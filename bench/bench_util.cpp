@@ -1,0 +1,52 @@
+#include "bench_util.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "eval/splits.hpp"
+
+namespace gp::bench {
+
+void banner(const std::string& experiment, const std::string& paper_ref) {
+  std::cout << "\n=== GesturePrint reproduction: " << experiment << " (" << paper_ref << ")"
+            << " | scale=" << run_scale_name() << " ===\n";
+}
+
+GesturePrintConfig default_system_config() {
+  GesturePrintConfig config;
+  config.training.epochs = scale_pick<std::size_t>(5, 8, 14);
+  config.training.batch_size = 32;
+  config.training.lr = 2e-3;
+  config.prep.augmentation.copies = scale_pick(1, 2, 3);
+  config.prep.augment = true;
+  return config;
+}
+
+Split split_dataset(const Dataset& dataset, double test_fraction, std::uint64_t seed) {
+  Rng rng(seed, 0xABCDEF12345ULL);
+  // Stratify on the (gesture, user) pair so every pair appears in train and
+  // test whenever it has enough repetitions.
+  std::vector<int> strata;
+  strata.reserve(dataset.samples.size());
+  const int num_users = static_cast<int>(dataset.num_users());
+  for (const auto& s : dataset.samples) strata.push_back(s.gesture * num_users + s.user);
+  return stratified_split(strata, test_fraction, rng);
+}
+
+SystemEvaluation run_system(const Dataset& dataset, const GesturePrintConfig& config,
+                            std::uint64_t seed) {
+  const Split split = split_dataset(dataset, 0.2, seed);
+  GesturePrintSystem system(config);
+  system.fit(dataset, split.train);
+  return system.evaluate(dataset, split.test);
+}
+
+std::string cell(double value) {
+  if (std::isnan(value)) return "/";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  return buf;
+}
+
+}  // namespace gp::bench

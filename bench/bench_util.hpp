@@ -1,0 +1,32 @@
+// Shared helpers for the bench harness binaries.
+#pragma once
+
+#include <string>
+
+#include "common/config.hpp"
+#include "common/stopwatch.hpp"
+#include "common/table.hpp"
+#include "datasets/catalog.hpp"
+#include "eval/splits.hpp"
+#include "system/gestureprint.hpp"
+
+namespace gp::bench {
+
+/// Prints the standard bench banner (experiment id + active scale).
+void banner(const std::string& experiment, const std::string& paper_ref);
+
+/// Training setup used by most benches at the active scale.
+GesturePrintConfig default_system_config();
+
+/// Stratified 8:2 split of a dataset (the paper's protocol).
+Split split_dataset(const Dataset& dataset, double test_fraction = 0.2,
+                    std::uint64_t seed = 1234);
+
+/// Fits + evaluates one system on one dataset with the default protocol.
+SystemEvaluation run_system(const Dataset& dataset, const GesturePrintConfig& config,
+                            std::uint64_t seed = 1234);
+
+/// "0.9887" style short formatting for table cells; "/" for NaN.
+std::string cell(double value);
+
+}  // namespace gp::bench

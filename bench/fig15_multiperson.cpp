@@ -1,0 +1,98 @@
+// Fig. 15 / §VII-1 reproduction: multi-person scenarios. Someone else (a)
+// walks past behind the user or (b) performs gestures nearby while the
+// target user interacts. The preprocessing stage must isolate the user's
+// point cluster.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "kinematics/performer.hpp"
+#include "pointcloud/point.hpp"
+#include "radar/sensor.hpp"
+#include "system/multi_person.hpp"
+
+int main() {
+  using namespace gp;
+  bench::banner("multi-person cluster separation", "Fig. 15");
+
+  const int trials = scale_pick(10, 30, 60);
+  Rng rng(77, 5);
+  Rng user_rng(1001, 0x5bd1e995ULL);
+  const UserProfile user = UserProfile::sample(0, user_rng);
+  const UserProfile other = UserProfile::sample(1, user_rng);
+  const auto gestures = asl_gesture_set();
+  const RadarSensor sensor;
+  const Vec3 user_position(0.0, 1.2, 0.0);
+
+  Table table({"case", "separated (>=2 clusters)", "zone policy finds user",
+               "size policy finds user", "mean centroid gap (m)"});
+  CsvWriter csv(output_dir() + "/fig15_multiperson.csv",
+                {"case", "trial", "num_clusters", "zone_ok", "size_ok", "centroid_gap"});
+
+  struct CaseStats {
+    int separated = 0;
+    int zone_ok = 0;
+    int size_ok = 0;
+    double gap_sum = 0.0;
+  };
+
+  const auto run_case = [&](const std::string& label, auto make_interferer) {
+    CaseStats stats;
+    for (int t = 0; t < trials; ++t) {
+      PerformanceConfig perf;
+      const GesturePerformer performer(user, perf);
+      const GestureSpec& spec = gestures[rng.index(gestures.size())];
+      SceneSequence scene = performer.perform(spec, rng);
+      scene = merge_scenes(scene, make_interferer(scene.size(), t));
+
+      const FrameSequence frames = sensor.observe(scene, rng);
+      const SeparationResult result = analyze_separation(aggregate(frames), user_position);
+
+      const bool separated = result.num_clusters >= 2;
+      const bool zone_ok = result.zone_cluster_distance < 0.8 && result.zone_cluster_size > 20;
+      stats.separated += separated ? 1 : 0;
+      stats.zone_ok += zone_ok ? 1 : 0;
+      stats.size_ok += result.main_cluster_is_user ? 1 : 0;
+      stats.gap_sum += result.centroid_gap;
+      csv.write_row({label, std::to_string(t), std::to_string(result.num_clusters),
+                     zone_ok ? "1" : "0", result.main_cluster_is_user ? "1" : "0",
+                     Table::num(result.centroid_gap, 3)});
+    }
+    const double n = static_cast<double>(trials);
+    table.add_row({label, Table::pct(stats.separated / n), Table::pct(stats.zone_ok / n),
+                   Table::pct(stats.size_ok / n), Table::num(stats.gap_sum / n, 2)});
+    return stats;
+  };
+
+  // Case (a): a walker passing behind the user, 2.5-3.5 m away.
+  const CaseStats walker_stats =
+      run_case("walker behind user", [&](std::size_t frames, int t) {
+        WalkerConfig config;
+        config.start = Vec3(2.2 + 0.1 * (t % 5), 3.1 + 0.15 * (t % 4), 0.0);
+        config.velocity = Vec3(-0.6 - 0.05 * (t % 3), 0.0, 0.0);
+        config.num_frames = static_cast<int>(frames);
+        return make_walker_scene(config, rng);
+      });
+
+  // Case (b): a second person gesturing ~2.5 m to the side.
+  const CaseStats gesturer_stats =
+      run_case("second gesturer aside", [&](std::size_t /*frames*/, int t) {
+        PerformanceConfig perf;
+        perf.lateral = 2.3 + 0.1 * (t % 4);
+        perf.distance = 1.4 + 0.1 * (t % 3);
+        const GesturePerformer interferer(other, perf);
+        return interferer.perform(gestures[rng.index(gestures.size())], rng);
+      });
+
+  std::cout << '\n';
+  table.print();
+  const double n = static_cast<double>(trials);
+  // Small-sample slack: at 10 trials one unlucky draw is 10 percentage points.
+  const double bar = scale_pick(0.75, 0.85, 0.88);
+  const bool shape_ok = walker_stats.zone_ok / n > bar && gesturer_stats.zone_ok / n > bar;
+  std::cout << "\nPaper shape: GesturePrint separates the user's cluster from bystanders in\n"
+               "both cases (Fig. 15); with the predefined work zone (Sec. VII-1) the user\n"
+               "cluster is recovered reliably. Shape "
+            << (shape_ok ? "holds" : "VIOLATED") << ".\nCSV: " << csv.path() << "\n";
+  return shape_ok ? 0 : 1;
+}

@@ -1,0 +1,120 @@
+// Fig. 3 reproduction: HD / CD / JSD between gesture point clouds of the
+// same user vs different users, for three ASL gestures ('away', 'push',
+// 'front'), 10 repetitions each — the preliminary feasibility study (§III).
+//
+// Expected shape (paper): for every gesture and every metric, the
+// different-user distance exceeds the same-user distance.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "kinematics/performer.hpp"
+#include "pipeline/noise_cancel.hpp"
+#include "pointcloud/metrics.hpp"
+#include "radar/sensor.hpp"
+
+namespace {
+
+using namespace gp;
+
+// Collects `reps` cleaned gesture clouds for one user performing `spec`.
+std::vector<PointCloud> collect_clouds(const UserProfile& user, const GestureSpec& spec,
+                                       int reps, Rng& rng) {
+  const RadarSensor sensor;
+  PerformanceConfig perf;
+  perf.idle_frames_before = 4;
+  perf.idle_frames_after = 4;
+  const GesturePerformer performer(user, perf);
+
+  std::vector<PointCloud> clouds;
+  clouds.reserve(reps);
+  for (int r = 0; r < reps; ++r) {
+    const SceneSequence scene = performer.perform(spec, rng);
+    const FrameSequence frames = sensor.observe(scene, rng);
+    const NoiseCancelResult cleaned = cancel_noise(frames);
+    if (cleaned.main_cluster.size() >= 8) clouds.push_back(cleaned.main_cluster);
+  }
+  return clouds;
+}
+
+// Mean pairwise metric per Eq. 1 between two cloud collections.
+double mean_metric(const std::vector<PointCloud>& a, const std::vector<PointCloud>& b,
+                   double (*metric)(const PointCloud&, const PointCloud&), bool same_set) {
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (same_set && i == j) continue;
+      acc += metric(a[i], b[j]);
+      ++count;
+    }
+  }
+  return count > 0 ? acc / static_cast<double>(count) : 0.0;
+}
+
+double jsd16(const PointCloud& a, const PointCloud& b) {
+  return jensen_shannon_divergence(a, b, 16);
+}
+
+}  // namespace
+
+int main() {
+  using namespace gp;
+  bench::banner("point-cloud dissimilarity, same vs different user", "Fig. 3");
+
+  Rng user_rng(1001, 0x5bd1e995ULL);
+  // Users A and B mirror the paper's setup: similar body shape.
+  UserProfile user_a = UserProfile::sample(0, user_rng);
+  UserProfile user_b = UserProfile::sample(1, user_rng);
+  user_b.height = user_a.height + 0.01;  // similar stature, like the paper's pair
+
+  const auto gestures = asl_gesture_set();
+  const int reps = scale_pick(6, 10, 10);
+
+  Table table({"gesture", "metric", "same user", "diff users", "diff > same"});
+  CsvWriter csv(output_dir() + "/fig3_metrics.csv",
+                {"gesture", "metric", "same_user", "diff_user"});
+
+  int violations = 0;
+  int hd_violations = 0;
+  Rng rng(42, 0x2545F4914F6CDD1DULL);
+  for (const char* name : {"away", "push", "front"}) {
+    const GestureSpec& spec = find_gesture(gestures, name);
+    const auto clouds_a = collect_clouds(user_a, spec, reps, rng);
+    const auto clouds_b = collect_clouds(user_b, spec, reps, rng);
+    if (clouds_a.size() < 2 || clouds_b.size() < 2) {
+      std::cout << "insufficient clouds for " << name << "\n";
+      continue;
+    }
+
+    struct MetricDef {
+      const char* label;
+      double (*fn)(const PointCloud&, const PointCloud&);
+    };
+    for (const MetricDef& m : {MetricDef{"HD", hausdorff_distance},
+                               MetricDef{"CD", chamfer_distance}, MetricDef{"JSD", jsd16}}) {
+      const double same = 0.5 * (mean_metric(clouds_a, clouds_a, m.fn, true) +
+                                 mean_metric(clouds_b, clouds_b, m.fn, true));
+      const double diff = mean_metric(clouds_a, clouds_b, m.fn, false);
+      if (diff <= same) {
+        ++violations;
+        if (std::string(m.label) == "HD") ++hd_violations;
+      }
+      table.add_row({name, m.label, Table::num(same, 4), Table::num(diff, 4),
+                     diff > same ? "yes" : "NO"});
+      csv.write_row({name, m.label, Table::num(same, 6), Table::num(diff, 6)});
+    }
+  }
+
+  table.print();
+  std::cout << "paper shape: different-user > same-user for all 9 cells; violations here: "
+            << violations << " (of which HD: " << hd_violations << ")\n"
+            << "CSV: " << csv.path() << "\n"
+            << "note: CD/JSD are averaged metrics and must hold strictly; HD takes the\n"
+               "single worst point pair, so one residual ghost point can flip a cell.\n";
+  // Pass criterion: every averaged-metric cell holds; a fragile HD cell or
+  // two may flip (more slack at small scale, where reps are few).
+  const int hd_allowed = scale_pick(2, 1, 1);
+  return (violations - hd_violations) == 0 && hd_violations <= hd_allowed ? 0 : 1;
+}

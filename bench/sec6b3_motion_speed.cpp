@@ -1,0 +1,54 @@
+// §VI-B3 reproduction: impact of motion speed. The Pantomime dataset
+// contains three articulation speeds; training across them, GesturePrint
+// still reaches high accuracy on deliberately speed-changed gestures
+// (paper: 97.73% GRA, 98.81% UIA).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+#include "datasets/cache.hpp"
+#include "datasets/prep.hpp"
+
+int main() {
+  using namespace gp;
+  bench::banner("impact of deliberate motion-speed changes", "Sec. VI-B3");
+
+  const DatasetScale scale = DatasetScale::from_run_scale();
+  DatasetSpec spec = pantomime_spec(0, scale);
+  spec.gestures.resize(scale_pick<std::size_t>(5, 8, 21));
+  spec.speeds = {0.7, 1.0, 1.4};  // slow / normal / fast articulation
+  spec.reps_per_gesture = std::max<std::size_t>(3, scale.reps / 2);
+  const Dataset dataset = generate_dataset_cached(spec);
+
+  const Split split = bench::split_dataset(dataset);
+  GesturePrintSystem system(bench::default_system_config());
+  system.fit(dataset, split.train);
+
+  // Overall + per-speed breakdown of the held-out set.
+  Table table({"test subset", "GRA", "UIA"});
+  CsvWriter csv(output_dir() + "/sec6b3_speed.csv", {"subset", "gra", "uia"});
+
+  const SystemEvaluation overall = system.evaluate(dataset, split.test);
+  table.add_row({"all speeds", bench::cell(overall.gra), bench::cell(overall.uia)});
+  csv.write_row({"all", bench::cell(overall.gra), bench::cell(overall.uia)});
+
+  for (double speed : spec.speeds) {
+    std::vector<std::size_t> subset;
+    for (std::size_t idx : split.test) {
+      if (dataset.samples[idx].speed == speed) subset.push_back(idx);
+    }
+    if (subset.empty()) continue;
+    const SystemEvaluation eval = system.evaluate(dataset, subset);
+    const std::string label = speed < 1.0 ? "slow (x0.7)" : speed > 1.0 ? "fast (x1.4)"
+                                                                        : "normal (x1.0)";
+    table.add_row({label, bench::cell(eval.gra), bench::cell(eval.uia)});
+    csv.write_row({label, bench::cell(eval.gra), bench::cell(eval.uia)});
+  }
+
+  std::cout << '\n';
+  table.print();
+  std::cout << "\nPaper shape: accuracy remains high despite deliberate speed changes\n"
+               "(paper: 97.73% GRA / 98.81% UIA on the three-speed Pantomime subset);\n"
+               "no speed subset collapses.\nCSV: " << csv.path() << "\n";
+  return 0;
+}

@@ -1,0 +1,195 @@
+// gpctl — command-line front end for the GesturePrint library.
+//
+//   gpctl generate <dataset> <out.gpds> [--users N] [--reps N]
+//       regenerate one of the four catalogue datasets and cache it
+//   gpctl train <in.gpds> <model.bin> [--epochs N] [--parallel]
+//       train recognition + identification models on a cached dataset
+//   gpctl eval <in.gpds> <model.bin> [--parallel]
+//       evaluate a trained system on a cached dataset (held-out 20%)
+//   gpctl crossval <in.gpds> [--folds K] [--epochs N]
+//       k-fold cross-validation (the paper's 5-fold protocol)
+//   gpctl info <in.gpds>
+//       print dataset statistics
+//
+// Dataset names: gestureprint-office, gestureprint-meeting, pantomime-office,
+// pantomime-open, mhomeges, mtranssee.
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/table.hpp"
+#include "datasets/cache.hpp"
+#include "datasets/catalog.hpp"
+#include "eval/splits.hpp"
+#include "system/cross_validate.hpp"
+#include "system/gestureprint.hpp"
+
+namespace {
+
+using namespace gp;
+
+int usage() {
+  std::cerr << "usage: gpctl generate|train|eval|crossval|info ... (see header comment)\n";
+  return 2;
+}
+
+// Minimal flag parsing: --key value pairs after the positional arguments.
+std::map<std::string, std::string> parse_flags(int argc, char** argv, int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  // Boolean flags (no value).
+  for (int i = first; i < argc; ++i) {
+    if (std::string(argv[i]) == "--parallel") flags["parallel"] = "1";
+  }
+  return flags;
+}
+
+DatasetSpec spec_by_name(const std::string& name, const DatasetScale& scale) {
+  if (name == "gestureprint-office") return gestureprint_spec(0, scale);
+  if (name == "gestureprint-meeting") return gestureprint_spec(1, scale);
+  if (name == "pantomime-office") return pantomime_spec(0, scale);
+  if (name == "pantomime-open") return pantomime_spec(1, scale);
+  if (name == "mhomeges") return mhomeges_spec({1.2}, scale);
+  if (name == "mtranssee") return mtranssee_spec({1.2}, scale);
+  throw InvalidArgument("unknown dataset name: " + name);
+}
+
+Split default_split(const Dataset& dataset) {
+  Rng rng(20240704, 1);
+  std::vector<int> strata;
+  const int num_users = static_cast<int>(dataset.num_users());
+  for (const auto& s : dataset.samples) strata.push_back(s.gesture * num_users + s.user);
+  return stratified_split(strata, 0.2, rng);
+}
+
+GesturePrintConfig config_from_flags(const std::map<std::string, std::string>& flags) {
+  GesturePrintConfig config;
+  config.training.epochs = flags.count("epochs") ? std::stoul(flags.at("epochs")) : 8;
+  config.prep.augmentation.copies = 2;
+  if (flags.count("parallel")) config.mode = IdentificationMode::kParallel;
+  return config;
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto flags = parse_flags(argc, argv, 4);
+  DatasetScale scale;
+  scale.max_users = flags.count("users") ? std::stoul(flags.at("users")) : 8;
+  scale.reps = flags.count("reps") ? std::stoul(flags.at("reps")) : 10;
+  const DatasetSpec spec = spec_by_name(argv[2], scale);
+  std::cout << "generating '" << spec.name << "' (" << spec.num_users << " users, "
+            << spec.gestures.size() << " gestures, " << spec.reps_per_gesture << " reps)...\n";
+  const Dataset dataset = generate_dataset(spec);
+  save_dataset(argv[3], dataset);
+  std::cout << dataset.samples.size() << " samples -> " << argv[3] << "\n";
+  return 0;
+}
+
+int cmd_train(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto dataset = load_dataset(argv[2]);
+  if (!dataset) {
+    std::cerr << "cannot load dataset " << argv[2] << "\n";
+    return 1;
+  }
+  const auto flags = parse_flags(argc, argv, 4);
+  GesturePrintSystem system(config_from_flags(flags));
+  const Split split = default_split(*dataset);
+  std::cout << "training on " << split.train.size() << " samples ("
+            << dataset->num_gestures() << " gestures, " << dataset->num_users()
+            << " users)...\n";
+  system.fit(*dataset, split.train);
+  system.save(argv[3]);
+  const SystemEvaluation eval = system.evaluate(*dataset, split.test);
+  std::cout << "held-out: GRA=" << Table::pct(eval.gra) << " UIA=" << Table::pct(eval.uia)
+            << "\nmodel -> " << argv[3] << "\n";
+  return 0;
+}
+
+int cmd_eval(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const auto dataset = load_dataset(argv[2]);
+  if (!dataset) {
+    std::cerr << "cannot load dataset " << argv[2] << "\n";
+    return 1;
+  }
+  const auto flags = parse_flags(argc, argv, 4);
+  GesturePrintSystem system(config_from_flags(flags));
+  system.load(argv[3]);
+  const Split split = default_split(*dataset);
+  const SystemEvaluation eval = system.evaluate(*dataset, split.test);
+  Table table({"metric", "value"});
+  table.add_row({"GRA", Table::pct(eval.gra)});
+  table.add_row({"GRF1", Table::num(eval.grf1, 4)});
+  table.add_row({"GRAUC", Table::num(eval.grauc, 4)});
+  table.add_row({"UIA", Table::pct(eval.uia)});
+  table.add_row({"UIF1", Table::num(eval.uif1, 4)});
+  table.add_row({"UIAUC", Table::num(eval.uiauc, 4)});
+  table.add_row({"EER", Table::pct(eval.user_roc.eer())});
+  table.print();
+  return 0;
+}
+
+int cmd_crossval(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto dataset = load_dataset(argv[2]);
+  if (!dataset) {
+    std::cerr << "cannot load dataset " << argv[2] << "\n";
+    return 1;
+  }
+  const auto flags = parse_flags(argc, argv, 3);
+  const std::size_t k = flags.count("folds") ? std::stoul(flags.at("folds")) : 5;
+  std::cout << k << "-fold cross-validation...\n";
+  const CrossValidationResult cv = cross_validate(*dataset, config_from_flags(flags), k);
+  std::cout << "GRA " << Table::pct(cv.mean_gra) << " +/- " << Table::pct(cv.std_gra)
+            << "\nUIA " << Table::pct(cv.mean_uia) << " +/- " << Table::pct(cv.std_uia)
+            << "\nmean EER " << Table::pct(cv.mean_eer) << "\n";
+  return 0;
+}
+
+int cmd_info(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const auto dataset = load_dataset(argv[2]);
+  if (!dataset) {
+    std::cerr << "cannot load dataset " << argv[2] << "\n";
+    return 1;
+  }
+  double total_points = 0.0;
+  double total_frames = 0.0;
+  for (const auto& s : dataset->samples) {
+    total_points += static_cast<double>(s.cloud.points.size());
+    total_frames += static_cast<double>(s.active_frames);
+  }
+  const double n = std::max<double>(1.0, static_cast<double>(dataset->samples.size()));
+  Table table({"property", "value"});
+  table.add_row({"name", dataset->spec.name});
+  table.add_row({"samples", std::to_string(dataset->samples.size())});
+  table.add_row({"gestures", std::to_string(dataset->num_gestures())});
+  table.add_row({"users", std::to_string(dataset->num_users())});
+  table.add_row({"mean points/sample", Table::num(total_points / n, 1)});
+  table.add_row({"mean duration (s)", Table::num(0.1 * total_frames / n, 2)});
+  table.print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "generate") return cmd_generate(argc, argv);
+    if (command == "train") return cmd_train(argc, argv);
+    if (command == "eval") return cmd_eval(argc, argv);
+    if (command == "crossval") return cmd_crossval(argc, argv);
+    if (command == "info") return cmd_info(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "gpctl: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}

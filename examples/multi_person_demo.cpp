@@ -1,0 +1,87 @@
+// Multi-person robustness demo (§VII-1 / Fig. 15): while the registered
+// user gestures at the radar, a colleague walks past behind them and a
+// second person gestures off to the side. The preprocessing stage isolates
+// the user's point cluster before classification.
+//
+// Build & run:  ./build/examples/multi_person_demo
+#include <iomanip>
+#include <iostream>
+
+#include "kinematics/performer.hpp"
+#include "pipeline/noise_cancel.hpp"
+#include "radar/sensor.hpp"
+#include "system/multi_person.hpp"
+
+namespace {
+
+void print_cluster(const char* label, const gp::PointCloud& cloud) {
+  if (cloud.empty()) {
+    std::cout << "  " << label << ": empty\n";
+    return;
+  }
+  const gp::Vec3 c = gp::centroid(cloud);
+  std::cout << "  " << label << ": " << cloud.size() << " points, centroid ("
+            << std::fixed << std::setprecision(2) << c.x << ", " << c.y << ", " << c.z
+            << ")\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace gp;
+
+  Rng rng(42, 7);
+  Rng user_rng(1001, 0x5bd1e995ULL);
+  const UserProfile alice = UserProfile::sample(0, user_rng);
+  const UserProfile mallory = UserProfile::sample(1, user_rng);
+  const auto gestures = asl_gesture_set();
+  const RadarSensor sensor;
+  const Vec3 work_zone(0.0, 1.2, 0.0);
+
+  std::cout << "Scene: Alice signs 'push' at 1.2 m; a colleague walks past ~3.3 m behind;\n"
+               "another person signs 'away' about 2.4 m to the side.\n\n";
+
+  // Alice's gesture.
+  PerformanceConfig alice_perf;
+  const GesturePerformer alice_performer(alice, alice_perf);
+  SceneSequence scene = alice_performer.perform(find_gesture(gestures, "push"), rng);
+
+  // The walker.
+  WalkerConfig walker;
+  walker.start = Vec3(2.4, 3.3, 0.0);
+  walker.velocity = Vec3(-0.65, 0.0, 0.0);
+  walker.num_frames = static_cast<int>(scene.size());
+  scene = merge_scenes(scene, make_walker_scene(walker, rng));
+
+  // The second gesturer.
+  PerformanceConfig other_perf;
+  other_perf.lateral = 2.4;
+  other_perf.distance = 1.5;
+  const GesturePerformer other_performer(mallory, other_perf);
+  scene = merge_scenes(scene, other_performer.perform(find_gesture(gestures, "away"), rng));
+
+  // Radar capture + noise canceling.
+  const FrameSequence frames = sensor.observe(scene, rng);
+  const PointCloud aggregated = aggregate(frames);
+  std::cout << "Radar captured " << aggregated.size() << " points over " << frames.size()
+            << " frames.\n\nDBSCAN clusters (D_max = 1 m, N_min = 4):\n";
+
+  const NoiseCancelResult clusters = cancel_noise(aggregated);
+  print_cluster("largest cluster", clusters.main_cluster);
+  for (std::size_t i = 0; i < clusters.other_clusters.size(); ++i) {
+    print_cluster(("other cluster " + std::to_string(i)).c_str(), clusters.other_clusters[i]);
+  }
+  std::cout << "  outliers dropped: " << clusters.noise_points << "\n";
+
+  const SeparationResult separation = analyze_separation(aggregated, work_zone);
+  std::cout << "\nSeparation analysis:\n  clusters found: " << separation.num_clusters
+            << "\n  centroid gap to nearest bystander: " << std::setprecision(2)
+            << separation.centroid_gap << " m\n  work-zone policy picked a cluster "
+            << separation.zone_cluster_distance << " m from Alice's position ("
+            << separation.zone_cluster_size << " points)\n  => "
+            << (separation.zone_cluster_distance < 0.8
+                    ? "Alice's gesture cloud isolated; bystanders discarded."
+                    : "separation failed this time — bystander too close.")
+            << "\n";
+  return 0;
+}

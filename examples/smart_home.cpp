@@ -1,0 +1,75 @@
+// Smart-home personalisation demo (the paper's Fig. 1 motivation):
+// the same physical gesture triggers a *different* action per user, because
+// GesturePrint identifies who performed it.
+//
+//   wave 'away'  -> Alice: open the curtain     Bob: lower the AC
+//   sign 'push'  -> Alice: play her jazz list   Bob: play his rock list
+//   sign 'front' -> Alice: dim the lights       Bob: brighten the lights
+//
+// Build & run:  ./build/examples/smart_home
+#include <array>
+#include <iostream>
+#include <map>
+
+#include "datasets/catalog.hpp"
+#include "eval/splits.hpp"
+#include "system/gestureprint.hpp"
+
+int main() {
+  using namespace gp;
+
+  // --- the household: two registered users ------------------------------
+  DatasetScale scale;
+  scale.max_users = 2;
+  scale.reps = 12;
+  DatasetSpec spec = gestureprint_spec(/*environment_id=*/1, scale);
+  // Keep the three gestures the demo personalises.
+  std::vector<GestureSpec> chosen;
+  for (const auto& name : {"away", "push", "front"}) {
+    chosen.push_back(find_gesture(spec.gestures, name));
+  }
+  spec.gestures = chosen;
+
+  std::cout << "Enrolling Alice and Bob (12 repetitions x 3 gestures each)...\n";
+  const Dataset dataset = generate_dataset(spec);
+
+  GesturePrintConfig config;
+  config.training.epochs = 8;
+  config.prep.augmentation.copies = 2;
+  GesturePrintSystem system(config);
+
+  Rng split_rng(11, 1);
+  const Split split = stratified_split(dataset.gesture_labels(), 0.25, split_rng);
+  system.fit(dataset, split.train);
+
+  // --- personalised command table ----------------------------------------
+  const std::array<std::string, 2> users{"Alice", "Bob"};
+  const std::map<std::string, std::array<std::string, 2>> commands{
+      {"away", {"opening the curtain", "lowering the AC temperature"}},
+      {"push", {"playing Alice's jazz playlist", "playing Bob's rock playlist"}},
+      {"front", {"dimming the lights", "brightening the lights"}},
+  };
+
+  // --- runtime: unseen repetitions arrive, actions fire ------------------
+  std::cout << "\nGestures observed by the living-room radar:\n";
+  int correct = 0;
+  int shown = 0;
+  for (std::size_t idx : split.test) {
+    const GestureSample& sample = dataset.samples[idx];
+    const InferenceResult result = system.classify(sample.cloud);
+    const std::string gesture_name = spec.gestures[result.gesture].name;
+    const std::string& user_name = users[static_cast<std::size_t>(result.user) % 2];
+    const bool ok = result.gesture == sample.gesture && result.user == sample.user;
+    correct += ok ? 1 : 0;
+    if (shown++ < 10) {
+      std::cout << "  radar saw '" << gesture_name << "' by " << user_name << "  ->  "
+                << commands.at(gesture_name)[static_cast<std::size_t>(result.user) % 2]
+                << (ok ? "" : "   [misidentified: truly " + users[sample.user % 2] + "'s '" +
+                                  spec.gestures[sample.gesture].name + "']")
+                << "\n";
+    }
+  }
+  std::cout << "\n" << correct << "/" << split.test.size()
+            << " gesture+user decisions fully correct.\n";
+  return 0;
+}

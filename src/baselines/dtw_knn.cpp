@@ -1,0 +1,109 @@
+#include "baselines/dtw_knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+Trajectory extract_trajectory(const FeaturizedSample& sample, const DtwKnnConfig& config) {
+  check_arg(config.time_bins >= 2, "DTW needs >= 2 time bins");
+  check_arg(config.time_channel < sample.dims, "bad time channel");
+
+  Trajectory traj(config.time_bins, {0.0, 0.0, 0.0, 0.0});
+  std::vector<double> counts(config.time_bins, 0.0);
+  for (std::size_t i = 0; i < sample.num_points; ++i) {
+    const double t = std::clamp(
+        static_cast<double>(sample.features[i * sample.dims + config.time_channel]), 0.0, 1.0);
+    const auto bin = std::min(
+        static_cast<std::size_t>(t * static_cast<double>(config.time_bins)),
+        config.time_bins - 1);
+    traj[bin][0] += sample.positions[i * 3 + 0];
+    traj[bin][1] += sample.positions[i * 3 + 1];
+    traj[bin][2] += sample.positions[i * 3 + 2];
+    traj[bin][3] += sample.features[i * sample.dims + 3];
+    counts[bin] += 1.0;
+  }
+  for (std::size_t t = 0; t < config.time_bins; ++t) {
+    const double n = std::max(counts[t], 1.0);
+    for (auto& v : traj[t]) v /= n;
+  }
+  return traj;
+}
+
+double dtw_distance(const Trajectory& a, const Trajectory& b) {
+  check_arg(!a.empty() && !b.empty(), "DTW of empty trajectory");
+  const std::size_t n = a.size();
+  const std::size_t m = b.size();
+  constexpr double inf = std::numeric_limits<double>::infinity();
+
+  const auto cost = [&](std::size_t i, std::size_t j) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      const double d = a[i][c] - b[j][c];
+      acc += d * d;
+    }
+    return std::sqrt(acc);
+  };
+
+  std::vector<double> prev(m + 1, inf);
+  std::vector<double> curr(m + 1, inf);
+  prev[0] = 0.0;
+  for (std::size_t i = 1; i <= n; ++i) {
+    curr[0] = inf;
+    for (std::size_t j = 1; j <= m; ++j) {
+      curr[j] = cost(i - 1, j - 1) + std::min({prev[j], curr[j - 1], prev[j - 1]});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+DtwKnnClassifier::DtwKnnClassifier(DtwKnnConfig config) : config_(config) {}
+
+void DtwKnnClassifier::fit(const LabeledSamples& data) {
+  check_arg(data.samples.size() == data.labels.size(), "sample/label mismatch");
+  check_arg(!data.samples.empty(), "empty DTW training set");
+  train_trajectories_.clear();
+  train_labels_ = data.labels;
+  train_trajectories_.reserve(data.samples.size());
+  for (const auto& s : data.samples) train_trajectories_.push_back(extract_trajectory(s, config_));
+}
+
+int DtwKnnClassifier::predict(const FeaturizedSample& sample) const {
+  check(!train_trajectories_.empty(), "DTW classifier not fitted");
+  const Trajectory query = extract_trajectory(sample, config_);
+
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(train_trajectories_.size());
+  for (std::size_t i = 0; i < train_trajectories_.size(); ++i) {
+    scored.emplace_back(dtw_distance(query, train_trajectories_[i]), train_labels_[i]);
+  }
+  const std::size_t k = std::min<std::size_t>(config_.k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<std::ptrdiff_t>(k),
+                    scored.end());
+
+  std::map<int, std::size_t> votes;
+  for (std::size_t i = 0; i < k; ++i) ++votes[scored[i].second];
+  int best_label = scored.front().second;
+  std::size_t best_votes = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best_votes = count;
+      best_label = label;
+    }
+  }
+  return best_label;
+}
+
+std::vector<int> DtwKnnClassifier::predict(const std::vector<FeaturizedSample>& samples) const {
+  std::vector<int> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(predict(s));
+  return out;
+}
+
+}  // namespace gp

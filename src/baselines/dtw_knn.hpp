@@ -1,0 +1,46 @@
+// Classical non-neural baseline: 1-NN over Dynamic Time Warping distance
+// between per-time-bin centroid trajectories. Useful as a sanity floor —
+// any learned model should comfortably beat it — and as an ablation anchor
+// showing the neural pipeline is doing real work.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "gesidnet/batch.hpp"
+#include "gesidnet/trainer.hpp"
+
+namespace gp {
+
+struct DtwKnnConfig {
+  std::size_t time_bins = 12;
+  std::size_t time_channel = 5;
+  std::size_t k = 1;
+};
+
+/// A trajectory sequence: per-time-bin [x, y, z, v] centroids.
+using Trajectory = std::vector<std::array<double, 4>>;
+
+/// Extracts the trajectory of one sample.
+Trajectory extract_trajectory(const FeaturizedSample& sample, const DtwKnnConfig& config);
+
+/// DTW distance between two trajectories (Euclidean local cost).
+double dtw_distance(const Trajectory& a, const Trajectory& b);
+
+/// Instance-based classifier (stores its training set).
+class DtwKnnClassifier {
+ public:
+  explicit DtwKnnClassifier(DtwKnnConfig config = {});
+
+  void fit(const LabeledSamples& data);
+  int predict(const FeaturizedSample& sample) const;
+  std::vector<int> predict(const std::vector<FeaturizedSample>& samples) const;
+
+ private:
+  DtwKnnConfig config_;
+  std::vector<Trajectory> train_trajectories_;
+  std::vector<int> train_labels_;
+};
+
+}  // namespace gp

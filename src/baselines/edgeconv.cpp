@@ -1,0 +1,157 @@
+#include "baselines/edgeconv.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+EdgeConvBaseline::EdgeConvBaseline(EdgeConvConfig config, Rng& rng) : config_(std::move(config)) {
+  check_arg(config_.k >= 1, "EdgeConv needs k >= 1");
+  edge_mlp_ = nn::make_mlp(2 * config_.in_channels, config_.edge_mlp, rng, true, "edge");
+  global_mlp_ = nn::make_mlp(config_.edge_mlp.back(), config_.global_mlp, rng, true, "edge.g");
+  head_ = std::make_unique<nn::Sequential>();
+  head_->emplace<nn::Linear>(config_.global_mlp.back(), config_.head_hidden, rng, "edge.fc0");
+  head_->emplace<nn::ReLU>();
+  head_->emplace<nn::Dropout>(config_.dropout, rng);
+  head_->emplace<nn::Linear>(config_.head_hidden, config_.num_classes, rng, "edge.fc1");
+}
+
+nn::Tensor EdgeConvBaseline::forward_internal(const BatchedCloud& batch, bool training) {
+  check_arg(batch.channels() == config_.in_channels, "EdgeConv channel mismatch");
+  check_arg(config_.time_channel < batch.channels(), "bad time channel index");
+  batch_ = batch.batch;
+  num_points_ = batch.num_points;
+  const std::size_t k = std::min(config_.k, num_points_);
+
+  // Temporal kNN per sample (space-time metric).
+  neighbours_.assign(batch_ * num_points_ * k, 0);
+  for (std::size_t b = 0; b < batch_; ++b) {
+    const std::size_t base = b * num_points_;
+    for (std::size_t i = 0; i < num_points_; ++i) {
+      std::vector<std::pair<double, std::size_t>> dist;
+      dist.reserve(num_points_);
+      const float* pi = batch.positions.row(base + i);
+      const double ti = batch.features.at(base + i, config_.time_channel);
+      for (std::size_t j = 0; j < num_points_; ++j) {
+        const float* pj = batch.positions.row(base + j);
+        const double dt = (batch.features.at(base + j, config_.time_channel) - ti) *
+                          config_.time_scale;
+        const double dx = pj[0] - pi[0];
+        const double dy = pj[1] - pi[1];
+        const double dz = pj[2] - pi[2];
+        dist.emplace_back(dx * dx + dy * dy + dz * dz + dt * dt, base + j);
+      }
+      std::partial_sort(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(k), dist.end());
+      for (std::size_t n = 0; n < k; ++n) {
+        neighbours_[(base + i) * k + n] = dist[n].second;
+      }
+    }
+  }
+
+  // Edge rows: [feat_i | feat_j - feat_i].
+  const std::size_t c_in = config_.in_channels;
+  nn::Tensor edges(batch_ * num_points_ * k, 2 * c_in);
+  for (std::size_t r = 0; r < batch_ * num_points_; ++r) {
+    const float* fi = batch.features.row(r);
+    for (std::size_t n = 0; n < k; ++n) {
+      const float* fj = batch.features.row(neighbours_[r * k + n]);
+      float* dst = edges.row(r * k + n);
+      for (std::size_t c = 0; c < c_in; ++c) {
+        dst[c] = fi[c];
+        dst[c_in + c] = fj[c] - fi[c];
+      }
+    }
+  }
+
+  // Shared edge MLP + max over the k edges per point.
+  const nn::Tensor edge_act = edge_mlp_->forward(edges, training);
+  const std::size_t ce = config_.edge_mlp.back();
+  nn::Tensor point_features(batch_ * num_points_, ce);
+  edge_argmax_.assign(batch_ * num_points_ * ce, 0);
+  for (std::size_t r = 0; r < batch_ * num_points_; ++r) {
+    float* dst = point_features.row(r);
+    for (std::size_t c = 0; c < ce; ++c) {
+      std::size_t best = r * k;
+      float best_v = edge_act.at(best, c);
+      for (std::size_t n = 1; n < k; ++n) {
+        const float v = edge_act.at(r * k + n, c);
+        if (v > best_v) {
+          best_v = v;
+          best = r * k + n;
+        }
+      }
+      dst[c] = best_v;
+      edge_argmax_[r * ce + c] = best;
+    }
+  }
+
+  // Global MLP on per-point features + max pool over each sample.
+  const nn::Tensor global_act = global_mlp_->forward(point_features, training);
+  const std::size_t cg = config_.global_mlp.back();
+  nn::Tensor global(batch_, cg);
+  global_argmax_.assign(batch_ * cg, 0);
+  for (std::size_t b = 0; b < batch_; ++b) {
+    float* dst = global.row(b);
+    for (std::size_t c = 0; c < cg; ++c) {
+      std::size_t best = b * num_points_;
+      float best_v = global_act.at(best, c);
+      for (std::size_t i = 1; i < num_points_; ++i) {
+        const float v = global_act.at(b * num_points_ + i, c);
+        if (v > best_v) {
+          best_v = v;
+          best = b * num_points_ + i;
+        }
+      }
+      dst[c] = best_v;
+      global_argmax_[b * cg + c] = best;
+    }
+  }
+
+  return head_->forward(global, training);
+}
+
+void EdgeConvBaseline::backward_internal(const nn::Tensor& dlogits) {
+  const nn::Tensor dglobal = head_->backward(dlogits);
+  const std::size_t cg = config_.global_mlp.back();
+  nn::Tensor dglobal_act(batch_ * num_points_, cg);
+  for (std::size_t b = 0; b < batch_; ++b) {
+    const float* src = dglobal.row(b);
+    for (std::size_t c = 0; c < cg; ++c) {
+      dglobal_act.at(global_argmax_[b * cg + c], c) += src[c];
+    }
+  }
+  const nn::Tensor dpoint = global_mlp_->backward(dglobal_act);
+
+  const std::size_t ce = config_.edge_mlp.back();
+  const std::size_t k = std::min(config_.k, num_points_);
+  nn::Tensor dedge_act(batch_ * num_points_ * k, ce);
+  for (std::size_t r = 0; r < batch_ * num_points_; ++r) {
+    const float* src = dpoint.row(r);
+    for (std::size_t c = 0; c < ce; ++c) {
+      dedge_act.at(edge_argmax_[r * ce + c], c) += src[c];
+    }
+  }
+  (void)edge_mlp_->backward(dedge_act);  // input features are leaves
+}
+
+nn::Tensor EdgeConvBaseline::infer(const BatchedCloud& batch) {
+  return forward_internal(batch, /*training=*/false);
+}
+
+double EdgeConvBaseline::train_step(const BatchedCloud& batch, const std::vector<int>& labels) {
+  const nn::Tensor logits = forward_internal(batch, /*training=*/true);
+  const nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+  backward_internal(loss.grad);
+  return loss.loss;
+}
+
+std::vector<nn::Parameter*> EdgeConvBaseline::parameters() {
+  auto out = edge_mlp_->parameters();
+  for (nn::Parameter* p : global_mlp_->parameters()) out.push_back(p);
+  for (nn::Parameter* p : head_->parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace gp

@@ -1,0 +1,40 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+
+namespace gp {
+
+RunScale run_scale() {
+  static const RunScale scale = [] {
+    const char* env = std::getenv("GESTUREPRINT_SCALE");
+    if (env == nullptr) return RunScale::kDefault;
+    const std::string v(env);
+    if (v == "small") return RunScale::kSmall;
+    if (v == "full") return RunScale::kFull;
+    return RunScale::kDefault;
+  }();
+  return scale;
+}
+
+std::string run_scale_name() {
+  switch (run_scale()) {
+    case RunScale::kSmall: return "small";
+    case RunScale::kFull: return "full";
+    case RunScale::kDefault: break;
+  }
+  return "default";
+}
+
+std::string output_dir() {
+  static const std::string dir = [] {
+    const char* env = std::getenv("GP_OUT_DIR");
+    std::string d = env != nullptr ? env : "bench_out";
+    std::error_code ec;
+    std::filesystem::create_directories(d, ec);
+    return d;
+  }();
+  return dir;
+}
+
+}  // namespace gp

@@ -1,0 +1,38 @@
+// Global experiment scaling knobs.
+//
+// Every bench regenerates a paper table/figure. At the paper's full dataset
+// sizes a single bench would train for hours on CPU, so benches consult
+// RunScale to pick dataset sizes / epochs that preserve the experimental
+// *shape* while finishing in minutes. Set GESTUREPRINT_SCALE=full for
+// paper-scale runs, =small for smoke runs; default is "default".
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace gp {
+
+enum class RunScale { kSmall, kDefault, kFull };
+
+/// Scale selected via the GESTUREPRINT_SCALE environment variable.
+RunScale run_scale();
+
+/// Human-readable name of the active scale.
+std::string run_scale_name();
+
+/// Picks one of three values according to the active scale.
+template <typename T>
+T scale_pick(T small, T def, T full) {
+  switch (run_scale()) {
+    case RunScale::kSmall: return small;
+    case RunScale::kFull: return full;
+    case RunScale::kDefault: break;
+  }
+  return def;
+}
+
+/// Directory for bench CSV artefacts (created on demand); honours GP_OUT_DIR,
+/// defaults to "bench_out".
+std::string output_dir();
+
+}  // namespace gp

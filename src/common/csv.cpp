@@ -1,0 +1,53 @@
+#include "common/csv.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), path_(path), arity_(header.size()) {
+  check_arg(!header.empty(), "CSV header must be non-empty");
+  if (!out_) throw Error("cannot open CSV file for writing: " + path);
+  emit(header);
+}
+
+void CsvWriter::emit(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  check_arg(cells.size() == arity_, "CSV row arity mismatch");
+  emit(cells);
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double v : cells) {
+    std::ostringstream ss;
+    ss.precision(6);
+    ss << v;
+    text.push_back(ss.str());
+  }
+  write_row(text);
+}
+
+}  // namespace gp

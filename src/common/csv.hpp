@@ -1,0 +1,34 @@
+// CSV emission for bench outputs (point clouds, ROC curves, t-SNE embeddings)
+// so results can be plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace gp {
+
+/// Streams rows to a CSV file. Values containing commas/quotes are quoted.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Appends one row; must match the header arity.
+  void write_row(const std::vector<std::string>& cells);
+  /// Convenience overload formatting doubles with 6 significant digits.
+  void write_row(const std::vector<double>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void emit(const std::vector<std::string>& cells);
+  std::ofstream out_;
+  std::string path_;
+  std::size_t arity_;
+};
+
+/// Escapes a single CSV cell per RFC 4180.
+std::string csv_escape(const std::string& cell);
+
+}  // namespace gp

@@ -1,0 +1,43 @@
+// Error handling primitives shared by every GesturePrint module.
+//
+// Library code reports contract violations and unrecoverable conditions by
+// throwing gp::Error (C++ Core Guidelines E.2: throw to signal that a
+// function can't perform its task). gp::check/gp::check_arg attach a short
+// message describing the violated condition.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace gp {
+
+/// Base exception for all GesturePrint errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates its precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when serialized data is malformed or version-incompatible.
+class SerializationError : public Error {
+ public:
+  explicit SerializationError(const std::string& what) : Error(what) {}
+};
+
+/// Verifies an internal invariant; throws gp::Error when it does not hold.
+inline void check(bool condition, std::string_view message) {
+  if (!condition) throw Error(std::string(message));
+}
+
+/// Verifies a caller-supplied argument; throws gp::InvalidArgument otherwise.
+inline void check_arg(bool condition, std::string_view message) {
+  if (!condition) throw InvalidArgument(std::string(message));
+}
+
+}  // namespace gp

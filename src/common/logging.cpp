@@ -1,0 +1,55 @@
+#include "common/logging.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace gp {
+
+namespace {
+
+LogLevel parse_level(const char* s) {
+  if (s == nullptr) return LogLevel::kInfo;
+  const std::string v(s);
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  if (v == "error") return LogLevel::kError;
+  if (v == "off") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+LogLevel& level_ref() {
+  static LogLevel level = parse_level(std::getenv("GP_LOG"));
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+std::mutex& log_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel log_level() { return level_ref(); }
+
+void set_log_level(LogLevel level) { level_ref() = level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (level < level_ref() || level_ref() == LogLevel::kOff) return;
+  const std::lock_guard<std::mutex> lock(log_mutex());
+  std::cerr << "[gp " << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace gp

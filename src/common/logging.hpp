@@ -1,0 +1,47 @@
+// Leveled logging to stderr.
+//
+// Default level is Info; set the environment variable GP_LOG=debug|info|warn|
+// error|off to change it. Logging is intentionally simple (single process,
+// no async sink) — benches and examples are short-lived CLI programs.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace gp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Currently active level (initialised from GP_LOG on first use).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emits one formatted line to stderr if `level` is enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace gp

@@ -1,0 +1,76 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  (*this)();
+  state_ += seed;
+  (*this)();
+}
+
+std::uint32_t Rng::operator()() {
+  const std::uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  const auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+  const auto rot = static_cast<std::uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa from two draws for full double resolution.
+  const std::uint64_t hi = (*this)() >> 5;   // 27 bits
+  const std::uint64_t lo = (*this)() >> 6;   // 26 bits
+  return static_cast<double>((hi << 26) | lo) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::size_t Rng::index(std::size_t n) {
+  check_arg(n > 0, "Rng::index requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t span = n;
+  const std::uint64_t limit = (0x100000000ULL / span) * span;
+  std::uint64_t draw = 0;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return static_cast<std::size_t>(draw % span);
+}
+
+int Rng::uniform_int(int lo, int hi) {
+  check_arg(lo <= hi, "Rng::uniform_int requires lo <= hi");
+  return lo + static_cast<int>(index(static_cast<std::size_t>(hi - lo) + 1));
+}
+
+double Rng::gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+Rng Rng::fork() {
+  const std::uint64_t seed = (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+  const std::uint64_t stream = (static_cast<std::uint64_t>((*this)()) << 32) | (*this)();
+  return Rng(seed, stream);
+}
+
+}  // namespace gp

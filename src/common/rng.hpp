@@ -1,0 +1,65 @@
+// Deterministic random number generation.
+//
+// All stochastic components (radar noise, user biometrics, augmentation,
+// weight init, shuffling) draw from gp::Rng so that experiments are exactly
+// reproducible from a single seed. The generator is PCG32 (O'Neill 2014):
+// small state, excellent statistical quality, and trivially portable —
+// unlike std::mt19937 its stream is identical across standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gp {
+
+/// PCG32 pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL,
+               std::uint64_t stream = 0xda3e39cb94b95bdbULL);
+
+  /// Raw 32-bit draw (UniformRandomBitGenerator interface).
+  std::uint32_t operator()();
+  static constexpr std::uint32_t min() { return 0; }
+  static constexpr std::uint32_t max() { return 0xffffffffu; }
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi);
+  /// Standard normal via Box–Muller (cached second draw).
+  double gaussian();
+  /// Normal with the given mean and standard deviation.
+  double gaussian(double mean, double stddev);
+  /// Bernoulli draw with success probability p.
+  bool bernoulli(double p);
+
+  /// Derives an independent child generator; used to give each user /
+  /// sample / module its own stream so adding draws in one place does not
+  /// perturb another.
+  Rng fork();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace gp

@@ -1,0 +1,134 @@
+#include "common/serialize.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+
+namespace gp {
+
+namespace {
+constexpr std::uint8_t kFormatVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, T v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+}  // namespace
+
+BinaryWriter::BinaryWriter(std::ostream& out, const std::string& tag) : out_(out) {
+  check_arg(tag.size() == 4, "BinaryWriter tag must be 4 bytes");
+  out_.write(tag.data(), 4);
+  write_u8(kFormatVersion);
+}
+
+void BinaryWriter::write_u8(std::uint8_t v) { write_pod(out_, v); }
+void BinaryWriter::write_u32(std::uint32_t v) { write_pod(out_, v); }
+void BinaryWriter::write_u64(std::uint64_t v) { write_pod(out_, v); }
+void BinaryWriter::write_i32(std::int32_t v) { write_pod(out_, v); }
+void BinaryWriter::write_f32(float v) { write_pod(out_, v); }
+void BinaryWriter::write_f64(double v) { write_pod(out_, v); }
+
+void BinaryWriter::write_string(const std::string& s) {
+  check_arg(s.size() <= std::numeric_limits<std::uint32_t>::max(), "string too long");
+  write_u32(static_cast<std::uint32_t>(s.size()));
+  out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void BinaryWriter::write_f32_vector(const std::vector<float>& v) {
+  write_u64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+void BinaryWriter::write_f64_vector(const std::vector<double>& v) {
+  write_u64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(double)));
+}
+
+void BinaryWriter::write_u32_vector(const std::vector<std::uint32_t>& v) {
+  write_u64(v.size());
+  out_.write(reinterpret_cast<const char*>(v.data()),
+             static_cast<std::streamsize>(v.size() * sizeof(std::uint32_t)));
+}
+
+BinaryReader::BinaryReader(std::istream& in, const std::string& expected_tag) : in_(in) {
+  check_arg(expected_tag.size() == 4, "BinaryReader tag must be 4 bytes");
+  char tag[4];
+  read_raw(tag, 4);
+  if (std::string(tag, 4) != expected_tag) {
+    throw SerializationError("binary stream tag mismatch: expected " + expected_tag);
+  }
+  const std::uint8_t version = read_u8();
+  if (version != kFormatVersion) {
+    throw SerializationError("unsupported gp binary format version " + std::to_string(version));
+  }
+}
+
+void BinaryReader::read_raw(void* dst, std::size_t n) {
+  in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(in_.gcount()) != n) {
+    throw SerializationError("unexpected end of gp binary stream");
+  }
+}
+
+std::uint8_t BinaryReader::read_u8() {
+  std::uint8_t v = 0;
+  read_raw(&v, sizeof(v));
+  return v;
+}
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v = 0;
+  read_raw(&v, sizeof(v));
+  return v;
+}
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v = 0;
+  read_raw(&v, sizeof(v));
+  return v;
+}
+std::int32_t BinaryReader::read_i32() {
+  std::int32_t v = 0;
+  read_raw(&v, sizeof(v));
+  return v;
+}
+float BinaryReader::read_f32() {
+  float v = 0;
+  read_raw(&v, sizeof(v));
+  return v;
+}
+double BinaryReader::read_f64() {
+  double v = 0;
+  read_raw(&v, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint32_t n = read_u32();
+  std::string s(n, '\0');
+  if (n > 0) read_raw(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::read_f32_vector() {
+  const std::uint64_t n = read_u64();
+  std::vector<float> v(n);
+  if (n > 0) read_raw(v.data(), n * sizeof(float));
+  return v;
+}
+
+std::vector<double> BinaryReader::read_f64_vector() {
+  const std::uint64_t n = read_u64();
+  std::vector<double> v(n);
+  if (n > 0) read_raw(v.data(), n * sizeof(double));
+  return v;
+}
+
+std::vector<std::uint32_t> BinaryReader::read_u32_vector() {
+  const std::uint64_t n = read_u64();
+  std::vector<std::uint32_t> v(n);
+  if (n > 0) read_raw(v.data(), n * sizeof(std::uint32_t));
+  return v;
+}
+
+}  // namespace gp

@@ -1,0 +1,61 @@
+// Binary serialization for datasets and model weights.
+//
+// Format: little-endian, length-prefixed containers, a 4-byte magic plus a
+// version byte at stream start. The format is deliberately simple — it only
+// needs to round-trip between builds of this library (dataset caching and
+// trained-model persistence), not across languages.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+/// Writes primitives and containers to a std::ostream in gp binary format.
+class BinaryWriter {
+ public:
+  /// `tag` identifies the payload kind (e.g. "GPDS" for datasets) and is
+  /// validated on read.
+  BinaryWriter(std::ostream& out, const std::string& tag);
+
+  void write_u8(std::uint8_t v);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i32(std::int32_t v);
+  void write_f32(float v);
+  void write_f64(double v);
+  void write_string(const std::string& s);
+  void write_f32_vector(const std::vector<float>& v);
+  void write_f64_vector(const std::vector<double>& v);
+  void write_u32_vector(const std::vector<std::uint32_t>& v);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Reads the gp binary format; throws SerializationError on any mismatch.
+class BinaryReader {
+ public:
+  BinaryReader(std::istream& in, const std::string& expected_tag);
+
+  std::uint8_t read_u8();
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int32_t read_i32();
+  float read_f32();
+  double read_f64();
+  std::string read_string();
+  std::vector<float> read_f32_vector();
+  std::vector<double> read_f64_vector();
+  std::vector<std::uint32_t> read_u32_vector();
+
+ private:
+  void read_raw(void* dst, std::size_t n);
+  std::istream& in_;
+};
+
+}  // namespace gp

@@ -1,0 +1,58 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  check_arg(!header_.empty(), "table header must be non-empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  check_arg(cells.size() == header_.size(), "table row arity mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    std::cout << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::cout << row[c] << std::string(widths[c] - row[c].size(), ' ');
+      std::cout << (c + 1 == row.size() ? " |" : " | ");
+    }
+    std::cout << '\n';
+  };
+
+  print_row(header_);
+  std::cout << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    std::cout << std::string(widths[c] + 2, '-') << "|";
+  }
+  std::cout << '\n';
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+std::string Table::pct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", fraction * 100.0);
+  return buf;
+}
+
+std::string Table::num(double value, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace gp

@@ -1,0 +1,29 @@
+// Console table printer used by the bench harness to render rows in the
+// shape of the paper's tables (paper value next to measured value).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace gp {
+
+/// Accumulates rows, then renders an aligned ASCII table to stdout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Renders with a separator under the header; truncates nothing.
+  void print() const;
+
+  /// Formats a fraction as a percentage with two decimals, e.g. "98.87%".
+  static std::string pct(double fraction);
+  /// Fixed-point format with the given decimals.
+  static std::string num(double value, int decimals = 3);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gp

@@ -1,0 +1,59 @@
+// Minimal 3-D vector type used by the kinematic model and point clouds.
+#pragma once
+
+#include <cmath>
+
+namespace gp {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  constexpr double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  double norm() const { return std::sqrt(dot(*this)); }
+  constexpr double norm2() const { return dot(*this); }
+  Vec3 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? (*this) / n : Vec3{};
+  }
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+inline double distance(const Vec3& a, const Vec3& b) { return (a - b).norm(); }
+
+/// Linear interpolation: a at t=0, b at t=1.
+constexpr Vec3 lerp(const Vec3& a, const Vec3& b, double t) { return a + (b - a) * t; }
+
+}  // namespace gp

@@ -1,0 +1,136 @@
+#include "datasets/cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/config.hpp"
+#include "common/logging.hpp"
+#include "common/serialize.hpp"
+#include "kinematics/performer.hpp"
+
+namespace gp {
+
+namespace {
+constexpr const char* kTag = "GPDS";
+
+void write_cloud(BinaryWriter& writer, const GestureCloud& cloud) {
+  writer.write_u64(cloud.points.size());
+  for (const auto& p : cloud.points) {
+    writer.write_f64(p.position.x);
+    writer.write_f64(p.position.y);
+    writer.write_f64(p.position.z);
+    writer.write_f64(p.velocity);
+    writer.write_f64(p.snr_db);
+    writer.write_i32(p.frame);
+  }
+  writer.write_u64(cloud.num_frames);
+  writer.write_i32(cloud.first_frame);
+  writer.write_f64(cloud.duration_s);
+}
+
+GestureCloud read_cloud(BinaryReader& reader) {
+  GestureCloud cloud;
+  const std::uint64_t n = reader.read_u64();
+  cloud.points.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    RadarPoint p;
+    p.position.x = reader.read_f64();
+    p.position.y = reader.read_f64();
+    p.position.z = reader.read_f64();
+    p.velocity = reader.read_f64();
+    p.snr_db = reader.read_f64();
+    p.frame = reader.read_i32();
+    cloud.points.push_back(p);
+  }
+  cloud.num_frames = reader.read_u64();
+  cloud.first_frame = reader.read_i32();
+  cloud.duration_s = reader.read_f64();
+  return cloud;
+}
+
+}  // namespace
+
+void save_dataset(const std::string& path, const Dataset& dataset) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open dataset cache for writing: " + path);
+  BinaryWriter writer(out, kTag);
+
+  writer.write_string(dataset.spec.name);
+  writer.write_u64(dataset.users.size());
+  writer.write_u64(dataset.spec.gestures.size());
+  writer.write_u64(dataset.samples.size());
+  for (const auto& sample : dataset.samples) {
+    write_cloud(writer, sample.cloud);
+    writer.write_i32(sample.gesture);
+    writer.write_i32(sample.user);
+    writer.write_i32(sample.environment);
+    writer.write_f64(sample.distance);
+    writer.write_f64(sample.speed);
+    writer.write_u64(sample.active_frames);
+  }
+}
+
+std::optional<Dataset> load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  BinaryReader reader(in, kTag);
+
+  Dataset dataset;
+  dataset.spec.name = reader.read_string();
+  const std::uint64_t num_users = reader.read_u64();
+  const std::uint64_t num_gestures = reader.read_u64();
+  dataset.spec.num_users = num_users;
+  dataset.users.resize(num_users);  // biometrics not needed post-generation
+  for (std::uint64_t u = 0; u < num_users; ++u) dataset.users[u].id = static_cast<int>(u);
+  dataset.spec.gestures.resize(num_gestures);
+
+  const std::uint64_t count = reader.read_u64();
+  dataset.samples.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    GestureSample sample;
+    sample.cloud = read_cloud(reader);
+    sample.gesture = reader.read_i32();
+    sample.user = reader.read_i32();
+    sample.environment = reader.read_i32();
+    sample.distance = reader.read_f64();
+    sample.speed = reader.read_f64();
+    sample.active_frames = reader.read_u64();
+    dataset.samples.push_back(std::move(sample));
+  }
+  return dataset;
+}
+
+std::string dataset_cache_key(const DatasetSpec& spec) {
+  std::ostringstream key;
+  key << spec.name << "_u" << spec.num_users << "_r" << spec.reps_per_gesture << "_g"
+      << spec.gestures.size();
+  std::uint64_t h = fnv1a(spec.name) ^ spec.seed ^ (spec.user_seed << 1);
+  for (double d : spec.distances) h = h * 31 + static_cast<std::uint64_t>(d * 1000.0);
+  for (double s : spec.speeds) h = h * 37 + static_cast<std::uint64_t>(s * 1000.0);
+  h ^= static_cast<std::uint64_t>(spec.environment.clutter_rate * 1e6);
+  h ^= static_cast<std::uint64_t>(spec.backend == RadarBackend::kGeometric ? 1 : 2) << 60;
+  key << "_" << std::hex << h;
+  return key.str();
+}
+
+Dataset generate_dataset_cached(const DatasetSpec& spec, const std::string& cache_dir) {
+  const std::string dir = cache_dir.empty() ? output_dir() : cache_dir;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = dir + "/" + dataset_cache_key(spec) + ".gpds";
+
+  if (auto cached = load_dataset(path)) {
+    log_debug() << "dataset cache hit: " << path;
+    return std::move(*cached);
+  }
+  Dataset dataset = generate_dataset(spec);
+  try {
+    save_dataset(path, dataset);
+  } catch (const Error& e) {
+    log_warn() << "dataset cache write failed (" << e.what() << "); continuing uncached";
+  }
+  return dataset;
+}
+
+}  // namespace gp

@@ -1,0 +1,27 @@
+// Dataset caching: serialises generated datasets so repeated bench runs
+// skip regeneration (only the preprocessed clouds and labels are stored).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "datasets/dataset.hpp"
+
+namespace gp {
+
+/// Serialises the dataset's samples and labels (not the raw frames).
+void save_dataset(const std::string& path, const Dataset& dataset);
+
+/// Loads a cached dataset; returns nullopt if the file is missing. Throws
+/// SerializationError on malformed content.
+std::optional<Dataset> load_dataset(const std::string& path);
+
+/// generate_dataset with a transparent file cache under `cache_dir`
+/// (defaults to gp::output_dir()). Cache key = spec name + a content hash
+/// of the generation parameters, so changed specs never collide.
+Dataset generate_dataset_cached(const DatasetSpec& spec, const std::string& cache_dir = "");
+
+/// The cache key used by generate_dataset_cached (exposed for tests).
+std::string dataset_cache_key(const DatasetSpec& spec);
+
+}  // namespace gp

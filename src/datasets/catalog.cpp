@@ -1,0 +1,121 @@
+#include "datasets/catalog.hpp"
+
+#include <algorithm>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+
+namespace gp {
+
+DatasetScale DatasetScale::from_run_scale() {
+  DatasetScale scale;
+  switch (run_scale()) {
+    case RunScale::kSmall:
+      scale.max_users = 5;
+      scale.reps = 6;
+      break;
+    case RunScale::kDefault:
+      scale.max_users = 8;
+      scale.reps = 8;
+      break;
+    case RunScale::kFull:
+      scale.max_users = 1000;
+      scale.reps = 12;
+      break;
+  }
+  return scale;
+}
+
+namespace {
+std::size_t capped(std::size_t paper_users, const DatasetScale& scale) {
+  return std::min(paper_users, scale.max_users);
+}
+}  // namespace
+
+DatasetSpec gestureprint_spec(int environment_id, const DatasetScale& scale) {
+  check_arg(environment_id == 0 || environment_id == 1, "gestureprint env is 0/1");
+  DatasetSpec spec;
+  spec.gestures = asl_gesture_set();
+  spec.num_users = capped(17, scale);
+  spec.reps_per_gesture = scale.reps;
+  spec.environment_id = environment_id;
+  spec.distances = {1.2};
+  spec.user_seed = 1001;  // same 17 participants in both environments
+  if (environment_id == 0) {
+    spec.name = "gestureprint_office";
+    spec.environment = {"office", 0.55, 0.045, 0.012, 0.04};
+    spec.seed = 20240;
+  } else {
+    spec.name = "gestureprint_meeting";
+    spec.environment = {"meeting_room", 0.25, 0.02, 0.012, 0.04};
+    spec.seed = 20241;
+  }
+  return spec;
+}
+
+DatasetSpec pantomime_spec(int environment_id, const DatasetScale& scale) {
+  check_arg(environment_id == 0 || environment_id == 1, "pantomime env is 0/1");
+  DatasetSpec spec;
+  spec.gestures = pantomime_gesture_set();
+  spec.reps_per_gesture = scale.reps;
+  spec.environment_id = environment_id;
+  spec.distances = {1.0};
+  if (environment_id == 0) {
+    spec.name = "pantomime_office";
+    spec.num_users = capped(26, scale);
+    spec.environment = {"office", 0.50, 0.04, 0.012, 0.04};
+    spec.seed = 30240;
+    spec.user_seed = 2001;  // office cohort
+  } else {
+    spec.name = "pantomime_open";
+    spec.num_users = capped(14, scale);
+    spec.environment = {"open_space", 0.10, 0.01, 0.012, 0.04};
+    spec.seed = 30241;
+    spec.user_seed = 2002;  // different participants in the open hall
+  }
+  return spec;
+}
+
+DatasetSpec mhomeges_spec(const std::vector<double>& anchors, const DatasetScale& scale) {
+  check_arg(!anchors.empty(), "mhomeges needs anchors");
+  DatasetSpec spec;
+  spec.name = "mhomeges_home";
+  spec.gestures = mhomeges_gesture_set();
+  spec.num_users = capped(12, scale);
+  spec.reps_per_gesture = scale.reps;
+  spec.environment = {"home", 0.35, 0.03, 0.012, 0.04};
+  spec.environment_id = 2;
+  spec.distances = anchors;
+  spec.seed = 40240;
+  spec.user_seed = 3001;
+  return spec;
+}
+
+DatasetSpec mtranssee_spec(const std::vector<double>& anchors, const DatasetScale& scale) {
+  check_arg(!anchors.empty(), "mtranssee needs anchors");
+  DatasetSpec spec;
+  spec.name = "mtranssee_home";
+  spec.gestures = mtranssee_gesture_set();
+  spec.num_users = capped(32, scale);
+  spec.reps_per_gesture = scale.reps;
+  spec.environment = {"home", 0.35, 0.03, 0.012, 0.04};
+  spec.environment_id = 2;
+  spec.distances = anchors;
+  spec.seed = 50240;
+  spec.user_seed = 4001;
+  return spec;
+}
+
+std::vector<double> mtranssee_anchors() {
+  std::vector<double> anchors;
+  for (double d = 1.2; d <= 4.8 + 1e-9; d += 0.3) anchors.push_back(d);
+  return anchors;
+}
+
+std::vector<double> mhomeges_anchors() {
+  std::vector<double> anchors;
+  for (double d = 1.2; d <= 3.0 + 1e-9; d += 0.15) anchors.push_back(d);
+  return anchors;
+}
+
+}  // namespace gp

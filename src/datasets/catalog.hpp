@@ -1,0 +1,42 @@
+// Dataset catalogue: regenerator specs for the four datasets of Table I.
+//
+// Each factory mirrors the published structure of its dataset (gesture
+// count, user count, environments, anchor distances, articulation speeds).
+// The `scale` divisors let benches shrink user/rep counts uniformly while
+// preserving that structure (GESTUREPRINT_SCALE).
+#pragma once
+
+#include "datasets/dataset.hpp"
+
+namespace gp {
+
+/// Uniform scaling knobs applied to a catalogue spec.
+struct DatasetScale {
+  std::size_t max_users = 1000;
+  std::size_t reps = 10;
+
+  /// Pulls the defaults for the active GESTUREPRINT_SCALE.
+  static DatasetScale from_run_scale();
+};
+
+/// Self-collected GesturePrint dataset: 15 ASL gestures, 17 users,
+/// office (env 0) / meeting room (env 1), 1.2 m.
+DatasetSpec gestureprint_spec(int environment_id, const DatasetScale& scale);
+
+/// Pantomime: 21 self-defined gestures, office (26 users) / open space
+/// (14 users, different cohort), 1 m, three articulation speeds available.
+DatasetSpec pantomime_spec(int environment_id, const DatasetScale& scale);
+
+/// mHomeGes: 10 large arm gestures, up to 14 users, home, anchors
+/// 1.2–3.0 m at 0.15 m steps.
+DatasetSpec mhomeges_spec(const std::vector<double>& anchors, const DatasetScale& scale);
+
+/// mTransSee: 5 arm gestures, 32 users, home, anchors 1.2–4.8 m (13).
+DatasetSpec mtranssee_spec(const std::vector<double>& anchors, const DatasetScale& scale);
+
+/// All 13 mTransSee anchor distances.
+std::vector<double> mtranssee_anchors();
+/// All 13 mHomeGes anchor distances (1.2–3.0 m).
+std::vector<double> mhomeges_anchors();
+
+}  // namespace gp

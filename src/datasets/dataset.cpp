@@ -1,0 +1,173 @@
+#include "datasets/dataset.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace gp {
+
+std::vector<int> Dataset::gesture_labels() const {
+  std::vector<int> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.gesture);
+  return out;
+}
+
+std::vector<int> Dataset::user_labels() const {
+  std::vector<int> out;
+  out.reserve(samples.size());
+  for (const auto& s : samples) out.push_back(s.user);
+  return out;
+}
+
+namespace {
+
+std::vector<UserProfile> make_cohort(const DatasetSpec& spec) {
+  Rng user_rng(spec.user_seed, 0x5bd1e995ULL);
+  std::vector<UserProfile> users;
+  users.reserve(spec.num_users);
+  for (std::size_t u = 0; u < spec.num_users; ++u) {
+    users.push_back(UserProfile::sample(static_cast<int>(u), user_rng));
+  }
+  return users;
+}
+
+// Session drift: the same user on a different day / in a different room
+// behaves slightly differently (paper: environments were recorded on
+// different days). Deterministic per (user, environment).
+UserProfile with_session_drift(const UserProfile& user, const EnvironmentSpec& env,
+                               std::uint64_t env_key) {
+  Rng drift_rng(user.habit_seed ^ env_key, 0x2545F4914F6CDD1DULL);
+  UserProfile drifted = user;
+  drifted.habit_offset += Vec3(drift_rng.gaussian(0.0, env.session_offset_sigma),
+                               drift_rng.gaussian(0.0, env.session_offset_sigma * 0.6),
+                               drift_rng.gaussian(0.0, env.session_offset_sigma));
+  drifted.speed_factor *= std::exp(drift_rng.gaussian(0.0, env.session_pace_sigma));
+  return drifted;
+}
+
+FastBackendConfig fast_config_for(const EnvironmentSpec& env) {
+  FastBackendConfig config;
+  config.clutter_rate = env.clutter_rate;
+  config.ghost_prob = env.ghost_prob;
+  return config;
+}
+
+}  // namespace
+
+Dataset generate_dataset(const DatasetSpec& spec) {
+  check_arg(!spec.gestures.empty(), "dataset needs gestures");
+  check_arg(spec.num_users >= 2, "dataset needs >= 2 users");
+  check_arg(!spec.distances.empty() && !spec.speeds.empty(), "dataset needs anchors/speeds");
+
+  Dataset dataset;
+  dataset.spec = spec;
+  dataset.users = make_cohort(spec);
+
+  const RadarSensor sensor(RadarConfig{}, spec.backend, fast_config_for(spec.environment));
+  const Preprocessor preprocessor;
+  Rng master(spec.seed, 0x14057b7ef767814fULL);
+
+  const std::uint64_t env_key =
+      fnv1a(spec.environment.name) ^ static_cast<std::uint64_t>(spec.environment_id);
+
+  dataset.samples.reserve(spec.num_users * spec.gestures.size() * spec.reps_per_gesture *
+                          spec.distances.size() * spec.speeds.size());
+
+  for (std::size_t u = 0; u < spec.num_users; ++u) {
+    const UserProfile user = with_session_drift(dataset.users[u], spec.environment, env_key);
+    Rng user_stream = master.fork();
+
+    for (std::size_t g = 0; g < spec.gestures.size(); ++g) {
+      for (double distance : spec.distances) {
+        for (double speed : spec.speeds) {
+          for (std::size_t rep = 0; rep < spec.reps_per_gesture; ++rep) {
+            PerformanceConfig perf;
+            perf.distance = distance;
+            perf.lateral = user_stream.gaussian(0.0, 0.04);
+            perf.speed_multiplier = speed;
+            perf.idle_frames_before = 6;
+            perf.idle_frames_after = 6;
+
+            const GesturePerformer performer(user, perf);
+            const SceneSequence scene = performer.perform(spec.gestures[g], user_stream);
+            const FrameSequence frames = sensor.observe(scene, user_stream);
+
+            // Ground-truth motion span is known from the performance config.
+            const std::size_t begin = static_cast<std::size_t>(perf.idle_frames_before);
+            const std::size_t end = frames.size() - static_cast<std::size_t>(perf.idle_frames_after);
+            const FrameSequence active(frames.begin() + static_cast<std::ptrdiff_t>(begin),
+                                       frames.begin() + static_cast<std::ptrdiff_t>(end));
+
+            GestureSample sample;
+            sample.cloud = preprocessor.process_segment(active);
+            sample.gesture = static_cast<int>(g);
+            sample.user = static_cast<int>(u);
+            sample.environment = spec.environment_id;
+            sample.distance = distance;
+            sample.speed = speed;
+            sample.active_frames = active.size();
+            if (sample.cloud.points.size() < 4) continue;  // radar saw nothing usable
+            dataset.samples.push_back(std::move(sample));
+          }
+        }
+      }
+    }
+  }
+  log_debug() << "generated dataset '" << spec.name << "': " << dataset.samples.size()
+              << " samples, " << spec.num_users << " users, " << spec.gestures.size()
+              << " gestures";
+  return dataset;
+}
+
+ContinuousRecording generate_recording(const DatasetSpec& spec, std::size_t user_index,
+                                       const std::vector<int>& gesture_sequence,
+                                       std::uint64_t seed) {
+  check_arg(user_index < spec.num_users, "user index out of range");
+  const auto users = make_cohort(spec);
+  const std::uint64_t env_key =
+      fnv1a(spec.environment.name) ^ static_cast<std::uint64_t>(spec.environment_id);
+  const UserProfile user = with_session_drift(users[user_index], spec.environment, env_key);
+
+  const RadarSensor sensor(RadarConfig{}, spec.backend, fast_config_for(spec.environment));
+  Rng rng(seed, 0x9E3779B97F4A7C15ULL);
+
+  ContinuousRecording recording;
+  recording.gestures = gesture_sequence;
+  int frame_cursor = 0;
+
+  for (std::size_t k = 0; k < gesture_sequence.size(); ++k) {
+    const int g = gesture_sequence[k];
+    check_arg(g >= 0 && static_cast<std::size_t>(g) < spec.gestures.size(),
+              "gesture index out of range");
+
+    PerformanceConfig perf;
+    perf.distance = spec.distances.front();
+    perf.lateral = rng.gaussian(0.0, 0.04);
+    // Paper: 2–4 s pause between gestures at 10 fps => 20–40 idle frames,
+    // split between the tail of one gesture and the head of the next.
+    perf.idle_frames_before = rng.uniform_int(10, 20);
+    perf.idle_frames_after = rng.uniform_int(10, 20);
+
+    const GesturePerformer performer(user, perf);
+    const SceneSequence scene = performer.perform(spec.gestures[static_cast<std::size_t>(g)], rng);
+    FrameSequence frames = sensor.observe(scene, rng);
+
+    const std::size_t begin = static_cast<std::size_t>(frame_cursor + perf.idle_frames_before);
+    const std::size_t end = static_cast<std::size_t>(frame_cursor) + frames.size() -
+                            static_cast<std::size_t>(perf.idle_frames_after) - 1;
+    recording.truth_spans.emplace_back(begin, end);
+
+    for (auto& frame : frames) {
+      frame.frame_index = frame_cursor;
+      frame.timestamp = frame_cursor * 0.1;
+      for (auto& p : frame.points) p.frame = frame_cursor;
+      ++frame_cursor;
+      recording.frames.push_back(std::move(frame));
+    }
+  }
+  return recording;
+}
+
+}  // namespace gp

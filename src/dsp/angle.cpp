@@ -1,0 +1,48 @@
+#include "dsp/angle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace gp::dsp {
+
+double spatial_bin_to_angle(std::size_t shifted_bin, std::size_t fft_size) {
+  check_arg(fft_size > 0 && shifted_bin < fft_size, "bad spatial bin");
+  // After fftshift, bin fft_size/2 is zero spatial frequency.
+  const double f =
+      (static_cast<double>(shifted_bin) - static_cast<double>(fft_size) / 2.0) /
+      static_cast<double>(fft_size);
+  // d = lambda/2  =>  sin(theta) = 2 f. Clamp for safety at the band edge.
+  const double s = std::clamp(2.0 * f, -1.0, 1.0);
+  return std::asin(s);
+}
+
+AngleEstimate estimate_angle(const std::vector<cplx>& snapshots, std::size_t fft_size) {
+  check_arg(!snapshots.empty(), "estimate_angle requires snapshots");
+  check_arg(is_pow2(fft_size) && fft_size >= snapshots.size(),
+            "fft_size must be pow2 and >= number of antennas");
+
+  std::vector<cplx> padded(fft_size, cplx(0, 0));
+  std::copy(snapshots.begin(), snapshots.end(), padded.begin());
+  fft_pow2_inplace(padded, /*inverse=*/false);
+  const auto shifted = fftshift(padded);
+
+  std::size_t best = 0;
+  double best_power = -1.0;
+  for (std::size_t i = 0; i < shifted.size(); ++i) {
+    const double p = std::norm(shifted[i]);
+    if (p > best_power) {
+      best_power = p;
+      best = i;
+    }
+  }
+
+  AngleEstimate est;
+  est.angle_rad = spatial_bin_to_angle(best, fft_size);
+  est.peak_power = best_power;
+  return est;
+}
+
+}  // namespace gp::dsp

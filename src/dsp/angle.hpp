@@ -1,0 +1,32 @@
+// Angle-of-arrival estimation across the virtual antenna array.
+//
+// The IWR6843AOP's 3TX x 4RX MIMO forms a 12-element virtual array; we model
+// it as two uniform linear arrays at half-wavelength spacing (azimuth and
+// elevation rows), the standard simplification for FFT beamforming. A
+// zero-padded FFT over antenna snapshots gives the spatial spectrum; the
+// peak bin maps to sin(theta).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "dsp/fft.hpp"
+
+namespace gp::dsp {
+
+struct AngleEstimate {
+  double angle_rad = 0.0;  ///< estimated arrival angle, in (-pi/2, pi/2)
+  double peak_power = 0.0;
+};
+
+/// FFT beamforming over per-antenna complex snapshots at one range–Doppler
+/// bin. `fft_size` controls interpolation (must be >= snapshots.size(),
+/// power of two).
+AngleEstimate estimate_angle(const std::vector<cplx>& snapshots, std::size_t fft_size = 64);
+
+/// Converts a (shifted) spatial-FFT bin index to an angle for a ULA with
+/// half-wavelength spacing: sin(theta) = 2 * f where f in [-0.5, 0.5).
+double spatial_bin_to_angle(std::size_t shifted_bin, std::size_t fft_size);
+
+}  // namespace gp::dsp

@@ -1,0 +1,110 @@
+#include "dsp/cfar.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp::dsp {
+
+double cfar_alpha(std::size_t num_training, double probability_false_alarm) {
+  check_arg(num_training > 0, "CFAR requires at least one training cell");
+  check_arg(probability_false_alarm > 0.0 && probability_false_alarm < 1.0,
+            "Pfa must lie in (0,1)");
+  const double n = static_cast<double>(num_training);
+  return n * (std::pow(probability_false_alarm, -1.0 / n) - 1.0);
+}
+
+namespace {
+
+// Local noise estimate around index i using up to `training` cells per side,
+// skipping `guard` cells. Returns {noise_power, cells_used}.
+std::pair<double, std::size_t> noise_around(const std::vector<double>& power, std::size_t i,
+                                            std::size_t guard, std::size_t training) {
+  double acc = 0.0;
+  std::size_t used = 0;
+  // Left side.
+  for (std::size_t k = 1; k <= training; ++k) {
+    const std::size_t offset = guard + k;
+    if (i >= offset) {
+      acc += power[i - offset];
+      ++used;
+    }
+  }
+  // Right side.
+  for (std::size_t k = 1; k <= training; ++k) {
+    const std::size_t j = i + guard + k;
+    if (j < power.size()) {
+      acc += power[j];
+      ++used;
+    }
+  }
+  return {used > 0 ? acc / static_cast<double>(used) : 0.0, used};
+}
+
+}  // namespace
+
+std::vector<std::size_t> cfar_1d(const std::vector<double>& power, const CfarConfig& config) {
+  check_arg(config.training_cells > 0, "CFAR requires training cells");
+  std::vector<std::size_t> detections;
+  if (power.size() < 2 * (config.guard_cells + 1)) return detections;
+
+  for (std::size_t i = 0; i < power.size(); ++i) {
+    const auto [noise, used] = noise_around(power, i, config.guard_cells, config.training_cells);
+    if (used == 0 || noise <= 0.0) continue;
+    const double alpha = cfar_alpha(used, config.probability_false_alarm);
+    if (power[i] > alpha * noise) detections.push_back(i);
+  }
+  return detections;
+}
+
+double Detection2d::snr_db() const {
+  if (noise <= 0.0 || power <= 0.0) return 0.0;
+  return 10.0 * std::log10(power / noise);
+}
+
+std::vector<Detection2d> cfar_2d(const PowerMap& map, const CfarConfig& range_config,
+                                 const CfarConfig& doppler_config) {
+  check_arg(map.data.size() == map.rows * map.cols, "PowerMap shape mismatch");
+  std::vector<Detection2d> detections;
+  if (map.rows == 0 || map.cols == 0) return detections;
+
+  // Pass 1: CFAR along range (columns fixed).
+  std::vector<char> range_pass(map.rows * map.cols, 0);
+  std::vector<double> column(map.rows);
+  std::vector<double> noise_est(map.rows * map.cols, 0.0);
+  for (std::size_t c = 0; c < map.cols; ++c) {
+    for (std::size_t r = 0; r < map.rows; ++r) column[r] = map.at(r, c);
+    for (std::size_t r = 0; r < map.rows; ++r) {
+      const auto [noise, used] =
+          noise_around(column, r, range_config.guard_cells, range_config.training_cells);
+      noise_est[r * map.cols + c] = noise;
+      if (used == 0 || noise <= 0.0) continue;
+      const double alpha = cfar_alpha(used, range_config.probability_false_alarm);
+      if (column[r] > alpha * noise) range_pass[r * map.cols + c] = 1;
+    }
+  }
+
+  // Pass 2: confirm along Doppler (rows fixed).
+  std::vector<double> row_buf(map.cols);
+  for (std::size_t r = 0; r < map.rows; ++r) {
+    for (std::size_t c = 0; c < map.cols; ++c) row_buf[c] = map.at(r, c);
+    for (std::size_t c = 0; c < map.cols; ++c) {
+      if (!range_pass[r * map.cols + c]) continue;
+      const auto [noise, used] =
+          noise_around(row_buf, c, doppler_config.guard_cells, doppler_config.training_cells);
+      if (used == 0 || noise <= 0.0) continue;
+      const double alpha = cfar_alpha(used, doppler_config.probability_false_alarm);
+      if (row_buf[c] > alpha * noise) {
+        Detection2d det;
+        det.row = r;
+        det.col = c;
+        det.power = map.at(r, c);
+        det.noise = 0.5 * (noise + noise_est[r * map.cols + c]);
+        detections.push_back(det);
+      }
+    }
+  }
+  return detections;
+}
+
+}  // namespace gp::dsp

@@ -1,0 +1,52 @@
+// Constant False Alarm Rate (CFAR) detection.
+//
+// Cell-Averaging CFAR estimates local noise power from training cells around
+// a cell under test (skipping guard cells) and declares a detection when the
+// cell's power exceeds alpha * noise_estimate. The threshold factor alpha is
+// derived from the desired false-alarm probability, matching the classic
+// CA-CFAR analysis for exponentially distributed noise power.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gp::dsp {
+
+struct CfarConfig {
+  std::size_t guard_cells = 2;     ///< cells skipped on each side of the CUT
+  std::size_t training_cells = 8;  ///< noise-estimation cells on each side
+  double probability_false_alarm = 1e-4;
+};
+
+/// Derives the CA-CFAR scaling factor alpha for `num_training` total training
+/// cells: alpha = N * (Pfa^(-1/N) - 1).
+double cfar_alpha(std::size_t num_training, double probability_false_alarm);
+
+/// 1-D CA-CFAR over a power signal. Returns indices of detected cells.
+/// Edges use the available (possibly one-sided) training cells.
+std::vector<std::size_t> cfar_1d(const std::vector<double>& power, const CfarConfig& config);
+
+/// Dense 2-D map stored row-major: rows = range bins, cols = Doppler bins.
+struct PowerMap {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::vector<double> data;  ///< rows * cols values
+
+  double at(std::size_t r, std::size_t c) const { return data[r * cols + c]; }
+  double& at(std::size_t r, std::size_t c) { return data[r * cols + c]; }
+};
+
+struct Detection2d {
+  std::size_t row = 0;
+  std::size_t col = 0;
+  double power = 0.0;
+  double noise = 0.0;  ///< estimated local noise power
+  double snr_db() const;
+};
+
+/// 2-D CA-CFAR applied separably (cross-shaped training region, the scheme
+/// the TI mmWave SDK uses: CFAR along range confirmed along Doppler).
+std::vector<Detection2d> cfar_2d(const PowerMap& map, const CfarConfig& range_config,
+                                 const CfarConfig& doppler_config);
+
+}  // namespace gp::dsp

@@ -1,0 +1,55 @@
+#include "dsp/drai.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gp::dsp {
+
+double RangeAngleImage::total_energy() const {
+  double acc = 0.0;
+  for (double v : data) acc += v;
+  return acc;
+}
+
+std::pair<std::size_t, std::size_t> RangeAngleImage::argmax() const {
+  check(!data.empty(), "argmax of empty DRAI");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    if (data[i] > data[best]) best = i;
+  }
+  return {best / num_angle_bins, best % num_angle_bins};
+}
+
+RangeAngleImage compute_drai(const RangeDopplerCube& cube, std::size_t num_azimuth,
+                             std::size_t angle_fft_size, bool exclude_zero_doppler) {
+  check_arg(num_azimuth >= 2 && num_azimuth <= cube.num_antennas,
+            "bad azimuth antenna count");
+  check_arg(is_pow2(angle_fft_size) && angle_fft_size >= num_azimuth,
+            "angle_fft_size must be pow2 and >= antennas");
+
+  RangeAngleImage image;
+  image.num_range_bins = cube.num_range_bins;
+  image.num_angle_bins = angle_fft_size;
+  image.data.assign(cube.num_range_bins * angle_fft_size, 0.0);
+
+  const std::size_t zero_doppler = cube.num_doppler_bins / 2;
+  std::vector<cplx> snapshot(angle_fft_size);
+
+  for (std::size_t r = 0; r < cube.num_range_bins; ++r) {
+    for (std::size_t d = 0; d < cube.num_doppler_bins; ++d) {
+      if (exclude_zero_doppler && d == zero_doppler) continue;
+
+      std::fill(snapshot.begin(), snapshot.end(), cplx(0, 0));
+      for (std::size_t a = 0; a < num_azimuth; ++a) snapshot[a] = cube.at(a, r, d);
+      fft_pow2_inplace(snapshot, /*inverse=*/false);
+      const auto shifted = fftshift(snapshot);
+      for (std::size_t k = 0; k < angle_fft_size; ++k) {
+        image.at(r, k) += std::norm(shifted[k]);
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace gp::dsp

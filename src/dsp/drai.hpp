@@ -1,0 +1,38 @@
+// Dynamic Range-Angle Image (DRAI) computation.
+//
+// DI-Gesture (the paper's segmentation comparison point, §IV-B) segments
+// gestures from DRAIs: per-frame range-azimuth heatmaps of *moving* energy.
+// We provide the same representation, computed from the range-Doppler cube
+// by beamforming each range bin's azimuth snapshots and integrating power
+// over the non-zero Doppler bins. GesturePrint's point-count segmentation
+// is compared against a DRAI-energy segmenter in pipeline/energy_segmentation.
+#pragma once
+
+#include "dsp/range_doppler.hpp"
+
+namespace gp::dsp {
+
+/// Dense range-angle heatmap (rows = range bins, cols = angle bins; angle
+/// axis fftshifted so boresight sits at cols/2).
+struct RangeAngleImage {
+  std::size_t num_range_bins = 0;
+  std::size_t num_angle_bins = 0;
+  std::vector<double> data;
+
+  double at(std::size_t r, std::size_t a) const { return data[r * num_angle_bins + a]; }
+  double& at(std::size_t r, std::size_t a) { return data[r * num_angle_bins + a]; }
+
+  /// Total energy (the per-frame motion indicator DI-Gesture thresholds).
+  double total_energy() const;
+  /// Location of the strongest cell.
+  std::pair<std::size_t, std::size_t> argmax() const;
+};
+
+/// Computes the DRAI of one frame from its range-Doppler cube, using the
+/// first `num_azimuth` antennas as the azimuth ULA. Zero-Doppler energy is
+/// excluded (the "dynamic" in DRAI), so static scenes produce ~zero energy.
+RangeAngleImage compute_drai(const RangeDopplerCube& cube, std::size_t num_azimuth,
+                             std::size_t angle_fft_size = 64,
+                             bool exclude_zero_doppler = true);
+
+}  // namespace gp::dsp

@@ -1,0 +1,70 @@
+// Range–Doppler processing for one FMCW frame.
+//
+// Input: a radar data cube (virtual antenna x chirp x ADC sample) of complex
+// IF samples. Processing follows the standard TI mmWave chain:
+//   1. window + range FFT along samples        (per chirp, per antenna)
+//   2. optional static clutter removal          (subtract per-bin chirp mean)
+//   3. window + Doppler FFT along chirps        (per range bin, per antenna)
+//   4. non-coherent integration across antennas (power sum)
+// yielding a PowerMap for CFAR, while the per-antenna complex range–Doppler
+// cube is retained for angle estimation.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "dsp/cfar.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/window.hpp"
+
+namespace gp::dsp {
+
+/// Raw IF samples for one frame: cube[antenna][chirp][sample].
+struct DataCube {
+  std::size_t num_antennas = 0;
+  std::size_t num_chirps = 0;
+  std::size_t num_samples = 0;
+  std::vector<cplx> data;  ///< antenna-major, then chirp, then sample
+
+  const cplx& at(std::size_t a, std::size_t c, std::size_t s) const {
+    return data[(a * num_chirps + c) * num_samples + s];
+  }
+  cplx& at(std::size_t a, std::size_t c, std::size_t s) {
+    return data[(a * num_chirps + c) * num_samples + s];
+  }
+};
+
+/// Complex range–Doppler cube: rd[antenna][range_bin][doppler_bin], Doppler
+/// axis fftshifted so bin cols/2 is zero velocity.
+struct RangeDopplerCube {
+  std::size_t num_antennas = 0;
+  std::size_t num_range_bins = 0;
+  std::size_t num_doppler_bins = 0;
+  std::vector<cplx> data;
+
+  const cplx& at(std::size_t a, std::size_t r, std::size_t d) const {
+    return data[(a * num_range_bins + r) * num_doppler_bins + d];
+  }
+  cplx& at(std::size_t a, std::size_t r, std::size_t d) {
+    return data[(a * num_range_bins + r) * num_doppler_bins + d];
+  }
+};
+
+struct RangeDopplerConfig {
+  WindowKind range_window = WindowKind::kHann;
+  WindowKind doppler_window = WindowKind::kHann;
+  /// Removes zero-Doppler energy before the Doppler FFT; mirrors the
+  /// "static clutter removal" switch GesturePrint enables on the device.
+  bool static_clutter_removal = true;
+};
+
+/// Runs steps 1–3; range bins = num_samples/2 (positive beat frequencies
+/// only), Doppler bins = num_chirps (fftshifted).
+RangeDopplerCube range_doppler_transform(const DataCube& cube, const RangeDopplerConfig& config);
+
+/// Step 4: non-coherent integration across antennas -> power map
+/// (rows = range bins, cols = Doppler bins).
+PowerMap integrate_power(const RangeDopplerCube& cube);
+
+}  // namespace gp::dsp

@@ -1,0 +1,62 @@
+#include "eval/splits.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+namespace {
+
+std::map<int, std::vector<std::size_t>> by_class(const std::vector<int>& labels, Rng& rng) {
+  std::map<int, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < labels.size(); ++i) groups[labels[i]].push_back(i);
+  for (auto& [label, indices] : groups) rng.shuffle(indices);
+  return groups;
+}
+
+}  // namespace
+
+Split stratified_split(const std::vector<int>& labels, double test_fraction, Rng& rng) {
+  check_arg(!labels.empty(), "split of empty label list");
+  check_arg(test_fraction > 0.0 && test_fraction < 1.0, "test fraction must be in (0,1)");
+
+  Split split;
+  for (auto& [label, indices] : by_class(labels, rng)) {
+    const auto test_count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(test_fraction * static_cast<double>(indices.size())));
+    check(test_count < indices.size(), "class too small to split");
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      (i < test_count ? split.test : split.train).push_back(indices[i]);
+    }
+  }
+  rng.shuffle(split.train);
+  rng.shuffle(split.test);
+  return split;
+}
+
+std::vector<Split> stratified_kfold(const std::vector<int>& labels, std::size_t k, Rng& rng) {
+  check_arg(k >= 2, "k-fold needs k >= 2");
+  check_arg(!labels.empty(), "k-fold of empty label list");
+
+  std::vector<std::vector<std::size_t>> folds(k);
+  for (auto& [label, indices] : by_class(labels, rng)) {
+    check(indices.size() >= k, "class smaller than fold count");
+    for (std::size_t i = 0; i < indices.size(); ++i) folds[i % k].push_back(indices[i]);
+  }
+
+  std::vector<Split> splits(k);
+  for (std::size_t f = 0; f < k; ++f) {
+    splits[f].test = folds[f];
+    for (std::size_t o = 0; o < k; ++o) {
+      if (o == f) continue;
+      splits[f].train.insert(splits[f].train.end(), folds[o].begin(), folds[o].end());
+    }
+    rng.shuffle(splits[f].train);
+    rng.shuffle(splits[f].test);
+  }
+  return splits;
+}
+
+}  // namespace gp

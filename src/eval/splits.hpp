@@ -1,0 +1,24 @@
+// Train/test splitting and k-fold cross-validation (§V: 8:2 split with
+// 5-fold cross-validation), stratified by label so every class appears in
+// every fold.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gp {
+
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Stratified holdout: `test_fraction` of each class goes to the test set.
+Split stratified_split(const std::vector<int>& labels, double test_fraction, Rng& rng);
+
+/// Stratified k folds; fold i's indices are the test set of split i.
+std::vector<Split> stratified_kfold(const std::vector<int>& labels, std::size_t k, Rng& rng);
+
+}  // namespace gp

@@ -1,0 +1,192 @@
+#include "eval/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+namespace {
+
+// Squared Euclidean distances between all rows.
+std::vector<double> pairwise_dist2(const nn::Tensor& x) {
+  const std::size_t n = x.rows();
+  std::vector<double> d2(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double acc = 0.0;
+      const float* a = x.row(i);
+      const float* b = x.row(j);
+      for (std::size_t c = 0; c < x.cols(); ++c) {
+        const double d = a[c] - b[c];
+        acc += d * d;
+      }
+      d2[i * n + j] = acc;
+      d2[j * n + i] = acc;
+    }
+  }
+  return d2;
+}
+
+// Binary-search the Gaussian bandwidth of row i to hit the target entropy.
+void row_affinities(const std::vector<double>& d2, std::size_t n, std::size_t i,
+                    double target_entropy, std::vector<double>& p_row) {
+  double beta = 1.0;
+  double beta_min = 0.0;
+  double beta_max = std::numeric_limits<double>::infinity();
+
+  for (int iter = 0; iter < 60; ++iter) {
+    double sum = 0.0;
+    double weighted = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) {
+        p_row[j] = 0.0;
+        continue;
+      }
+      const double pij = std::exp(-beta * d2[i * n + j]);
+      p_row[j] = pij;
+      sum += pij;
+      weighted += pij * d2[i * n + j];
+    }
+    if (sum <= 0.0) {
+      beta /= 2.0;
+      continue;
+    }
+    const double entropy = std::log(sum) + beta * weighted / sum;
+    const double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) break;
+    if (diff > 0.0) {
+      beta_min = beta;
+      beta = std::isinf(beta_max) ? beta * 2.0 : 0.5 * (beta + beta_max);
+    } else {
+      beta_max = beta;
+      beta = 0.5 * (beta + beta_min);
+    }
+  }
+  double sum = 0.0;
+  for (std::size_t j = 0; j < n; ++j) sum += p_row[j];
+  if (sum > 0.0) {
+    for (std::size_t j = 0; j < n; ++j) p_row[j] /= sum;
+  }
+}
+
+}  // namespace
+
+nn::Tensor tsne(const nn::Tensor& features, const TsneConfig& config, Rng& rng) {
+  const std::size_t n = features.rows();
+  check_arg(n >= 5, "t-SNE needs at least a handful of rows");
+  check_arg(config.perplexity > 1.0 && config.perplexity < static_cast<double>(n),
+            "perplexity out of range");
+
+  const auto d2 = pairwise_dist2(features);
+
+  // Symmetrised input affinities P.
+  std::vector<double> p(n * n, 0.0);
+  {
+    std::vector<double> row(n, 0.0);
+    const double target_entropy = std::log(config.perplexity);
+    for (std::size_t i = 0; i < n; ++i) {
+      row_affinities(d2, n, i, target_entropy, row);
+      for (std::size_t j = 0; j < n; ++j) p[i * n + j] = row[j];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double sym = (p[i * n + j] + p[j * n + i]) / (2.0 * static_cast<double>(n));
+        p[i * n + j] = std::max(sym, 1e-12);
+        p[j * n + i] = p[i * n + j];
+      }
+      p[i * n + i] = 0.0;
+    }
+  }
+
+  // Embedding state.
+  nn::Tensor y(n, 2);
+  y.randn(rng, 1e-2);
+  std::vector<double> velocity(n * 2, 0.0);
+  std::vector<double> grad(n * 2, 0.0);
+  std::vector<double> q(n * n, 0.0);
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration = iter < config.exaggeration_iters ? config.early_exaggeration : 1.0;
+    const double momentum =
+        iter < config.momentum_switch ? config.momentum : config.final_momentum;
+
+    // Student-t affinities Q.
+    double q_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double dx = y.at(i, 0) - y.at(j, 0);
+        const double dy = y.at(i, 1) - y.at(j, 1);
+        const double w = 1.0 / (1.0 + dx * dx + dy * dy);
+        q[i * n + j] = w;
+        q[j * n + i] = w;
+        q_sum += 2.0 * w;
+      }
+      q[i * n + i] = 0.0;
+    }
+    q_sum = std::max(q_sum, 1e-12);
+
+    // Gradient: 4 * sum_j (exag*P - Q)_ij * w_ij * (y_i - y_j).
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double w = q[i * n + j];
+        const double qij = w / q_sum;
+        const double mult = 4.0 * (exaggeration * p[i * n + j] - qij) * w;
+        grad[i * 2 + 0] += mult * (y.at(i, 0) - y.at(j, 0));
+        grad[i * 2 + 1] += mult * (y.at(i, 1) - y.at(j, 1));
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < 2; ++c) {
+        velocity[i * 2 + c] =
+            momentum * velocity[i * 2 + c] - config.learning_rate * grad[i * 2 + c];
+        y.at(i, c) += static_cast<float>(velocity[i * 2 + c]);
+      }
+    }
+  }
+  return y;
+}
+
+double silhouette_score(const nn::Tensor& embedding, const std::vector<int>& labels) {
+  const std::size_t n = embedding.rows();
+  check_arg(n == labels.size(), "silhouette size mismatch");
+  check_arg(n >= 3, "silhouette needs >= 3 rows");
+
+  const auto d2 = pairwise_dist2(embedding);
+  const auto dist = [&](std::size_t i, std::size_t j) { return std::sqrt(d2[i * n + j]); };
+
+  int max_label = 0;
+  for (int l : labels) max_label = std::max(max_label, l);
+  const std::size_t classes = static_cast<std::size_t>(max_label) + 1;
+
+  double acc = 0.0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> sum(classes, 0.0);
+    std::vector<std::size_t> count(classes, 0);
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sum[static_cast<std::size_t>(labels[j])] += dist(i, j);
+      ++count[static_cast<std::size_t>(labels[j])];
+    }
+    const auto own = static_cast<std::size_t>(labels[i]);
+    if (count[own] == 0) continue;  // singleton cluster: skip
+    const double a = sum[own] / static_cast<double>(count[own]);
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < classes; ++c) {
+      if (c == own || count[c] == 0) continue;
+      b = std::min(b, sum[c] / static_cast<double>(count[c]));
+    }
+    if (!std::isfinite(b)) continue;
+    acc += (b - a) / std::max(a, b);
+    ++counted;
+  }
+  return counted > 0 ? acc / static_cast<double>(counted) : 0.0;
+}
+
+}  // namespace gp

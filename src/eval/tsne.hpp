@@ -1,0 +1,33 @@
+// Exact t-SNE (van der Maaten & Hinton 2008) for the feature-space study
+// (Fig. 6), plus the silhouette score used to quantify how cleanly the
+// embedded classes cluster. O(n^2) — fine for the few hundred samples the
+// figure uses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace gp {
+
+struct TsneConfig {
+  double perplexity = 20.0;
+  std::size_t iterations = 400;
+  double learning_rate = 100.0;
+  double early_exaggeration = 4.0;
+  std::size_t exaggeration_iters = 80;
+  double momentum = 0.5;
+  double final_momentum = 0.8;
+  std::size_t momentum_switch = 120;
+};
+
+/// Embeds rows of `features` into 2-D. Returns an (n x 2) tensor.
+nn::Tensor tsne(const nn::Tensor& features, const TsneConfig& config, Rng& rng);
+
+/// Mean silhouette coefficient of a labelled embedding in [-1, 1];
+/// higher = tighter, better-separated clusters.
+double silhouette_score(const nn::Tensor& embedding, const std::vector<int>& labels);
+
+}  // namespace gp

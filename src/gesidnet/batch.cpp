@@ -1,0 +1,42 @@
+#include "gesidnet/batch.hpp"
+
+#include "common/error.hpp"
+
+namespace gp {
+
+BatchedCloud make_batch(const std::vector<const FeaturizedSample*>& samples) {
+  check_arg(!samples.empty(), "make_batch of empty sample list");
+  const std::size_t n = samples.front()->num_points;
+  const std::size_t dims = samples.front()->dims;
+
+  BatchedCloud out;
+  out.batch = samples.size();
+  out.num_points = n;
+  out.positions = nn::Tensor(out.batch * n, 3);
+  out.features = nn::Tensor(out.batch * n, dims);
+
+  for (std::size_t b = 0; b < samples.size(); ++b) {
+    const FeaturizedSample& s = *samples[b];
+    check_arg(s.num_points == n && s.dims == dims, "inhomogeneous batch");
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        out.positions.at(b * n + i, c) = s.positions[i * 3 + c];
+      }
+      for (std::size_t c = 0; c < dims; ++c) {
+        out.features.at(b * n + i, c) = s.features[i * dims + c];
+      }
+    }
+  }
+  return out;
+}
+
+BatchedCloud make_batch(const std::vector<FeaturizedSample>& samples, std::size_t begin,
+                        std::size_t count) {
+  check_arg(begin + count <= samples.size(), "batch slice out of range");
+  std::vector<const FeaturizedSample*> ptrs;
+  ptrs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) ptrs.push_back(&samples[begin + i]);
+  return make_batch(ptrs);
+}
+
+}  // namespace gp

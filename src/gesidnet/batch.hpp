@@ -1,0 +1,31 @@
+// Batched point-cloud tensors: the bridge between preprocessed gesture
+// samples (pipeline::FeaturizedSample) and the network layers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "pipeline/preprocessor.hpp"
+
+namespace gp {
+
+/// A batch of B clouds with a uniform point count N. Rows are laid out
+/// sample-major: row (b * N + i) belongs to sample b.
+struct BatchedCloud {
+  std::size_t batch = 0;
+  std::size_t num_points = 0;
+  nn::Tensor positions;  ///< (B*N x 3)
+  nn::Tensor features;   ///< (B*N x C)
+
+  std::size_t channels() const { return features.cols(); }
+};
+
+/// Assembles a batch; all samples must share num_points and dims.
+BatchedCloud make_batch(const std::vector<const FeaturizedSample*>& samples);
+
+/// Convenience for contiguous sample storage.
+BatchedCloud make_batch(const std::vector<FeaturizedSample>& samples, std::size_t begin,
+                        std::size_t count);
+
+}  // namespace gp

@@ -1,0 +1,46 @@
+// Attention-based multilevel feature fusion (Eq. 2–3 of the paper).
+//
+// At level k the resized other-level feature F^{l->k} and the native level
+// feature F^k are blended:
+//     Y^k = S(F^{l->k}) * F^{l->k} + S(F^k) * F^k
+// where S(.) is a two-way softmax over scalar gates g(.) (a learned linear
+// map, the 1x1-convolution of the paper applied to vector features). The
+// gate network g is shared between the two inputs at a level, exactly as in
+// Eq. 3 where the same g(.) scores both features.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace gp {
+
+class AttentionFusion {
+ public:
+  AttentionFusion(std::size_t channels, Rng& rng, const std::string& name);
+
+  /// resized: F^{l->k} (B x C); native: F^k (B x C). Returns Y^k (B x C).
+  nn::Tensor forward(const nn::Tensor& resized, const nn::Tensor& native);
+
+  struct Grads {
+    nn::Tensor resized;  ///< dL/dF^{l->k}
+    nn::Tensor native;   ///< dL/dF^k
+  };
+  Grads backward(const nn::Tensor& grad_output);
+
+  std::vector<nn::Parameter*> parameters();
+
+  /// Mean attention weight assigned to the resized feature (diagnostics).
+  double mean_resized_weight() const;
+
+ private:
+  std::size_t channels_;
+  nn::Parameter gate_weight_;  ///< (1 x C): g(F) = w . F + b
+  nn::Parameter gate_bias_;    ///< (1 x 1)
+  // Forward caches.
+  nn::Tensor resized_;
+  nn::Tensor native_;
+  std::vector<double> s_resized_;  ///< per-row attention on the resized input
+};
+
+}  // namespace gp

@@ -1,0 +1,164 @@
+#include "gesidnet/gesidnet.hpp"
+
+#include "common/error.hpp"
+
+namespace gp {
+
+GesIDNet::GesIDNet(GesIDNetConfig config, Rng& rng) : config_(std::move(config)) {
+  check_arg(config_.num_classes >= 2, "GesIDNet needs >= 2 classes");
+
+  sa1_ = std::make_unique<SetAbstraction>(config_.sa1_centroids, config_.in_channels,
+                                          config_.sa1_scales, rng, "sa1");
+  sa2_ = std::make_unique<SetAbstraction>(config_.sa2_centroids, sa1_->out_channels(),
+                                          config_.sa2_scales, rng, "sa2");
+  level1_ = std::make_unique<GroupAll>(sa1_->out_channels(), config_.level1_mlp, rng, "level1");
+  level2_ = std::make_unique<GroupAll>(sa2_->out_channels(), config_.level2_mlp, rng, "level2");
+
+  const std::size_t c1 = level1_->out_channels();
+  const std::size_t c2 = level2_->out_channels();
+
+  // Resizing blocks and fusion gates only exist when the fusion module is
+  // enabled (the Fig. 14 ablation removes them entirely).
+  if (config_.enable_fusion) {
+    resize_2to1_ = std::make_unique<nn::Sequential>();
+    resize_2to1_->emplace<nn::Linear>(c2, c1, rng, "rb2to1");
+    resize_2to1_->emplace<nn::ReLU>();
+    resize_1to2_ = std::make_unique<nn::Sequential>();
+    resize_1to2_->emplace<nn::Linear>(c1, c2, rng, "rb1to2");
+    resize_1to2_->emplace<nn::ReLU>();
+    fusion1_ = std::make_unique<AttentionFusion>(c1, rng, "fusion1");
+    fusion2_ = std::make_unique<AttentionFusion>(c2, rng, "fusion2");
+  }
+
+  // Primary head (level 1): a couple of FC layers; auxiliary head (level 2):
+  // one hidden FC, per "the number of FC layers depends on the level".
+  head1_ = std::make_unique<nn::Sequential>();
+  head1_->emplace<nn::Linear>(c1, config_.head1_hidden, rng, "head1.fc0");
+  head1_->emplace<nn::ReLU>();
+  head1_->emplace<nn::Dropout>(config_.dropout, rng);
+  head1_->emplace<nn::Linear>(config_.head1_hidden, config_.num_classes, rng, "head1.fc1");
+
+  head2_ = std::make_unique<nn::Sequential>();
+  head2_->emplace<nn::Linear>(c2, config_.head2_hidden, rng, "head2.fc0");
+  head2_->emplace<nn::ReLU>();
+  head2_->emplace<nn::Linear>(config_.head2_hidden, config_.num_classes, rng, "head2.fc1");
+}
+
+GesIDNet::ForwardOut GesIDNet::forward_internal(const BatchedCloud& batch, bool training) {
+  sa1_out_ = sa1_->forward(batch, training);
+  const BatchedCloud sa2_out = sa2_->forward(sa1_out_, training);
+
+  f1_ = level1_->forward(sa1_out_, training);
+  f2_ = level2_->forward(sa2_out, training);
+
+  nn::Tensor y1;
+  nn::Tensor y2;
+  if (config_.enable_fusion) {
+    const nn::Tensor r21 = resize_2to1_->forward(f2_, training);
+    const nn::Tensor r12 = resize_1to2_->forward(f1_, training);
+    y1 = fusion1_->forward(r21, f1_);
+    y2 = fusion2_->forward(r12, f2_);
+  } else {
+    y1 = f1_;
+    y2 = f2_;
+  }
+
+  ForwardOut out;
+  out.logits1 = head1_->forward(y1, training);
+  out.logits2 = head2_->forward(y2, training);
+  return out;
+}
+
+void GesIDNet::backward_internal(const nn::Tensor& dlogits1, const nn::Tensor& dlogits2) {
+  const nn::Tensor dy1 = head1_->backward(dlogits1);
+  const nn::Tensor dy2 = head2_->backward(dlogits2);
+
+  nn::Tensor df1;
+  nn::Tensor df2;
+  if (config_.enable_fusion) {
+    auto g1 = fusion1_->backward(dy1);   // {d r21, d f1 (native)}
+    auto g2 = fusion2_->backward(dy2);   // {d r12, d f2 (native)}
+    const nn::Tensor df2_via_rb = resize_2to1_->backward(g1.resized);
+    const nn::Tensor df1_via_rb = resize_1to2_->backward(g2.resized);
+    df1 = g1.native;
+    df1 += df1_via_rb;
+    df2 = g2.native;
+    df2 += df2_via_rb;
+  } else {
+    df1 = dy1;
+    df2 = dy2;
+  }
+
+  // Level heads back into the set-abstraction stack. SA1's output feeds
+  // both level1_ and sa2_, so its gradient is the sum of both paths.
+  const nn::Tensor d_sa2_features = level2_->backward(df2);
+  nn::Tensor d_sa1_features = sa2_->backward(d_sa2_features);
+  d_sa1_features += level1_->backward(df1);
+  (void)sa1_->backward(d_sa1_features);  // input grads unused (leaf data)
+}
+
+nn::Tensor GesIDNet::infer(const BatchedCloud& batch) {
+  return forward_internal(batch, /*training=*/false).logits1;
+}
+
+double GesIDNet::train_step(const BatchedCloud& batch, const std::vector<int>& labels) {
+  const ForwardOut out = forward_internal(batch, /*training=*/true);
+  const nn::LossResult primary = nn::softmax_cross_entropy(out.logits1, labels, 1.0);
+  const nn::LossResult auxiliary =
+      nn::softmax_cross_entropy(out.logits2, labels, config_.aux_loss_weight);
+  backward_internal(primary.grad, auxiliary.grad);
+  return primary.loss + auxiliary.loss;
+}
+
+std::vector<nn::Parameter*> GesIDNet::parameters() {
+  std::vector<nn::Parameter*> out;
+  const auto append = [&out](std::vector<nn::Parameter*> params) {
+    out.insert(out.end(), params.begin(), params.end());
+  };
+  append(sa1_->parameters());
+  append(sa2_->parameters());
+  append(level1_->parameters());
+  append(level2_->parameters());
+  if (config_.enable_fusion) {
+    append(resize_2to1_->parameters());
+    append(resize_1to2_->parameters());
+    append(fusion1_->parameters());
+    append(fusion2_->parameters());
+  }
+  append(head1_->parameters());
+  append(head2_->parameters());
+  return out;
+}
+
+std::vector<nn::Parameter*> GesIDNet::buffers() {
+  std::vector<nn::Parameter*> out;
+  const auto append = [&out](std::vector<nn::Parameter*> buffers) {
+    out.insert(out.end(), buffers.begin(), buffers.end());
+  };
+  append(sa1_->buffers());
+  append(sa2_->buffers());
+  append(level1_->buffers());
+  append(level2_->buffers());
+  // Resizing blocks, fusion gates and heads hold no batch-norm layers.
+  return out;
+}
+
+GesIDNet::Features GesIDNet::extract_features(const BatchedCloud& batch) {
+  Features features;
+  const BatchedCloud sa1_out = sa1_->forward(batch, /*training=*/false);
+  const BatchedCloud sa2_out = sa2_->forward(sa1_out, /*training=*/false);
+  features.low = level1_->forward(sa1_out, /*training=*/false);
+  features.high = level2_->forward(sa2_out, /*training=*/false);
+  if (config_.enable_fusion) {
+    const nn::Tensor r21 = resize_2to1_->forward(features.high, /*training=*/false);
+    const nn::Tensor r12 = resize_1to2_->forward(features.low, /*training=*/false);
+    features.fused_low = fusion1_->forward(r21, features.low);
+    features.fused_high = fusion2_->forward(r12, features.high);
+  } else {
+    features.fused_low = features.low;
+    features.fused_high = features.high;
+  }
+  return features;
+}
+
+}  // namespace gp

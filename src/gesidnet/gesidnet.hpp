@@ -1,0 +1,88 @@
+// GesIDNet (Fig. 5): multi-scale set abstraction, two level features,
+// attention-based multilevel fusion, and dual classification heads with an
+// auxiliary loss. The identical architecture is trained twice — once with
+// gesture labels (recognition) and once with user labels (identification).
+#pragma once
+
+#include <memory>
+
+#include "gesidnet/fusion.hpp"
+#include "gesidnet/model_api.hpp"
+#include "gesidnet/set_abstraction.hpp"
+#include "nn/loss.hpp"
+
+namespace gp {
+
+struct GesIDNetConfig {
+  std::size_t num_classes = 2;
+  std::size_t in_channels = 7;
+
+  std::size_t sa1_centroids = 24;
+  std::vector<ScaleSpec> sa1_scales{{0.18, 8, {16, 24}}, {0.40, 12, {24, 32}}};
+  std::size_t sa2_centroids = 8;
+  std::vector<ScaleSpec> sa2_scales{{0.35, 4, {32, 48}}, {0.70, 8, {48, 64}}};
+
+  std::vector<std::size_t> level1_mlp{64, 96};    ///< group-all at level 1
+  std::vector<std::size_t> level2_mlp{96, 128};   ///< group-all at level 2
+  std::size_t head1_hidden = 48;
+  std::size_t head2_hidden = 64;
+
+  double aux_loss_weight = 0.5;  ///< weight of the level-2 auxiliary loss
+  double dropout = 0.3;
+  bool enable_fusion = true;     ///< ablation switch (Fig. 14)
+};
+
+class GesIDNet : public PointCloudClassifier {
+ public:
+  GesIDNet(GesIDNetConfig config, Rng& rng);
+
+  nn::Tensor infer(const BatchedCloud& batch) override;
+  double train_step(const BatchedCloud& batch, const std::vector<int>& labels) override;
+  std::vector<nn::Parameter*> parameters() override;
+  std::vector<nn::Parameter*> buffers() override;
+  std::string name() const override { return "GesIDNet"; }
+
+  /// Intermediate representations for the t-SNE study (Fig. 6).
+  struct Features {
+    nn::Tensor low;         ///< F^l1 (B x C1)
+    nn::Tensor high;        ///< F^l2 (B x C2)
+    nn::Tensor fused_low;   ///< Y^l1
+    nn::Tensor fused_high;  ///< Y^l2
+  };
+  Features extract_features(const BatchedCloud& batch);
+
+  /// Mean attention weight the level-1 fusion puts on the resized
+  /// high-level feature (diagnostic for the fusion study).
+  double fusion_low_weight() const {
+    return fusion1_ != nullptr ? fusion1_->mean_resized_weight() : 0.0;
+  }
+
+  const GesIDNetConfig& config() const { return config_; }
+
+ private:
+  struct ForwardOut {
+    nn::Tensor logits1;
+    nn::Tensor logits2;
+  };
+  ForwardOut forward_internal(const BatchedCloud& batch, bool training);
+  void backward_internal(const nn::Tensor& dlogits1, const nn::Tensor& dlogits2);
+
+  GesIDNetConfig config_;
+  std::unique_ptr<SetAbstraction> sa1_;
+  std::unique_ptr<SetAbstraction> sa2_;
+  std::unique_ptr<GroupAll> level1_;
+  std::unique_ptr<GroupAll> level2_;
+  std::unique_ptr<nn::Sequential> resize_2to1_;  ///< RB: C2 -> C1
+  std::unique_ptr<nn::Sequential> resize_1to2_;  ///< RB: C1 -> C2
+  std::unique_ptr<AttentionFusion> fusion1_;
+  std::unique_ptr<AttentionFusion> fusion2_;
+  std::unique_ptr<nn::Sequential> head1_;
+  std::unique_ptr<nn::Sequential> head2_;
+
+  // Forward caches (shapes needed by backward_internal).
+  nn::Tensor f1_;
+  nn::Tensor f2_;
+  BatchedCloud sa1_out_;
+};
+
+}  // namespace gp

@@ -1,0 +1,30 @@
+// Common interface for all point-cloud classifiers (GesIDNet and the
+// baseline networks), so the trainer and evaluation harness are generic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "gesidnet/batch.hpp"
+#include "nn/layers.hpp"
+
+namespace gp {
+
+class PointCloudClassifier {
+ public:
+  virtual ~PointCloudClassifier() = default;
+
+  /// Inference-mode logits, one row per sample.
+  virtual nn::Tensor infer(const BatchedCloud& batch) = 0;
+
+  /// One training forward/backward pass; gradients accumulate into
+  /// parameters() (the optimiser consumes them). Returns the batch loss.
+  virtual double train_step(const BatchedCloud& batch, const std::vector<int>& labels) = 0;
+
+  virtual std::vector<nn::Parameter*> parameters() = 0;
+  /// Non-learned persistent state (batch-norm running stats); default none.
+  virtual std::vector<nn::Parameter*> buffers() { return {}; }
+  virtual std::string name() const = 0;
+};
+
+}  // namespace gp

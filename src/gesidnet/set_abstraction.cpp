@@ -1,0 +1,290 @@
+#include "gesidnet/set_abstraction.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+namespace {
+
+// Farthest point sampling over raw position rows [start_row, start_row+n).
+// Deterministic (seeded at row 0) so inference is repeatable.
+std::vector<std::size_t> fps_rows(const nn::Tensor& positions, std::size_t start_row,
+                                  std::size_t n, std::size_t count) {
+  std::vector<std::size_t> selected;
+  if (count >= n) {
+    selected.resize(n);
+    for (std::size_t i = 0; i < n; ++i) selected[i] = start_row + i;
+    return selected;
+  }
+  selected.reserve(count);
+  std::vector<double> min_dist2(n, std::numeric_limits<double>::infinity());
+  std::size_t current = 0;
+  const auto dist2 = [&](std::size_t a, std::size_t b) {
+    const float* pa = positions.row(start_row + a);
+    const float* pb = positions.row(start_row + b);
+    const double dx = pa[0] - pb[0];
+    const double dy = pa[1] - pb[1];
+    const double dz = pa[2] - pb[2];
+    return dx * dx + dy * dy + dz * dz;
+  };
+  for (std::size_t round = 0; round < count; ++round) {
+    selected.push_back(start_row + current);
+    std::size_t far = 0;
+    double best = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d2 = dist2(i, current);
+      min_dist2[i] = std::min(min_dist2[i], d2);
+      if (min_dist2[i] > best) {
+        best = min_dist2[i];
+        far = i;
+      }
+    }
+    current = far;
+  }
+  return selected;
+}
+
+}  // namespace
+
+SetAbstraction::SetAbstraction(std::size_t num_centroids, std::size_t in_channels,
+                               std::vector<ScaleSpec> scales, Rng& rng, const std::string& name)
+    : num_centroids_(num_centroids), in_channels_(in_channels), scales_(std::move(scales)) {
+  check_arg(num_centroids_ > 0, "set abstraction needs centroids");
+  check_arg(!scales_.empty(), "set abstraction needs at least one scale");
+  for (std::size_t s = 0; s < scales_.size(); ++s) {
+    const ScaleSpec& scale = scales_[s];
+    check_arg(scale.group_size > 0 && !scale.mlp.empty() && scale.radius > 0.0,
+              "bad scale spec");
+    mlps_.push_back(nn::make_mlp(3 + in_channels_, scale.mlp, rng, /*batch_norm=*/true,
+                                 name + ".s" + std::to_string(s)));
+    scale_out_channels_.push_back(scale.mlp.back());
+    out_channels_ += scale.mlp.back();
+  }
+  caches_.resize(scales_.size());
+}
+
+BatchedCloud SetAbstraction::forward(const BatchedCloud& in, bool training) {
+  check_arg(in.channels() == in_channels_, "set abstraction channel mismatch");
+  check_arg(in.num_points > 0 && in.batch > 0, "empty batch");
+  batch_ = in.batch;
+  in_rows_ = in.batch * in.num_points;
+
+  BatchedCloud out;
+  out.batch = in.batch;
+  out.num_points = num_centroids_;
+  out.positions = nn::Tensor(in.batch * num_centroids_, 3);
+  out.features = nn::Tensor(in.batch * num_centroids_, out_channels_);
+
+  // Centroids: FPS per sample, shared across scales.
+  std::vector<std::size_t> centroid_rows;
+  centroid_rows.reserve(in.batch * num_centroids_);
+  for (std::size_t b = 0; b < in.batch; ++b) {
+    const auto selected =
+        fps_rows(in.positions, b * in.num_points, in.num_points, num_centroids_);
+    for (std::size_t k = 0; k < num_centroids_; ++k) {
+      // If the cloud has fewer points than centroids, repeat cyclically.
+      const std::size_t row = selected[k % selected.size()];
+      centroid_rows.push_back(row);
+      const std::size_t out_row = b * num_centroids_ + k;
+      for (std::size_t c = 0; c < 3; ++c) {
+        out.positions.at(out_row, c) = in.positions.at(row, c);
+      }
+    }
+  }
+
+  std::size_t channel_offset = 0;
+  for (std::size_t s = 0; s < scales_.size(); ++s) {
+    const ScaleSpec& scale = scales_[s];
+    ScaleCache& cache = caches_[s];
+    const std::size_t m = scale.group_size;
+    const std::size_t groups = in.batch * num_centroids_;
+    cache.rows = groups * m;
+    cache.member.assign(cache.rows, 0);
+
+    // Build grouped rows: [local_xyz | features].
+    nn::Tensor rows(cache.rows, 3 + in_channels_);
+    const double r2 = scale.radius * scale.radius;
+    for (std::size_t g = 0; g < groups; ++g) {
+      const std::size_t b = g / num_centroids_;
+      const std::size_t centroid_row = centroid_rows[g];
+      const float* cp = in.positions.row(centroid_row);
+
+      // Ball query within this sample (nearest-first up to m).
+      std::vector<std::pair<double, std::size_t>> hits;
+      const std::size_t base = b * in.num_points;
+      for (std::size_t i = 0; i < in.num_points; ++i) {
+        const float* pp = in.positions.row(base + i);
+        const double dx = pp[0] - cp[0];
+        const double dy = pp[1] - cp[1];
+        const double dz = pp[2] - cp[2];
+        const double d2 = dx * dx + dy * dy + dz * dz;
+        if (d2 <= r2) hits.emplace_back(d2, base + i);
+      }
+      if (hits.empty()) hits.emplace_back(0.0, centroid_row);  // degenerate: centroid only
+      std::sort(hits.begin(), hits.end());
+      if (hits.size() > m) hits.resize(m);
+
+      for (std::size_t j = 0; j < m; ++j) {
+        const std::size_t src = hits[j % hits.size()].second;  // cyclic padding
+        cache.member[g * m + j] = src;
+        float* dst = rows.row(g * m + j);
+        const float* pp = in.positions.row(src);
+        dst[0] = pp[0] - cp[0];
+        dst[1] = pp[1] - cp[1];
+        dst[2] = pp[2] - cp[2];
+        const float* pf = in.features.row(src);
+        for (std::size_t c = 0; c < in_channels_; ++c) dst[3 + c] = pf[c];
+      }
+    }
+
+    // Shared MLP + per-group channel-wise max pool.
+    const nn::Tensor activated = mlps_[s]->forward(rows, training);
+    const std::size_t cs = scale_out_channels_[s];
+    cache.argmax.assign(groups * cs, 0);
+    for (std::size_t g = 0; g < groups; ++g) {
+      float* dst = out.features.row(g);
+      for (std::size_t c = 0; c < cs; ++c) {
+        std::size_t best_row = g * m;
+        float best = activated.at(best_row, c);
+        for (std::size_t j = 1; j < m; ++j) {
+          const float v = activated.at(g * m + j, c);
+          if (v > best) {
+            best = v;
+            best_row = g * m + j;
+          }
+        }
+        dst[channel_offset + c] = best;
+        cache.argmax[g * cs + c] = best_row;
+      }
+    }
+    channel_offset += cs;
+  }
+  return out;
+}
+
+nn::Tensor SetAbstraction::backward(const nn::Tensor& grad_out_features) {
+  const std::size_t groups = batch_ * num_centroids_;
+  check_arg(grad_out_features.rows() == groups && grad_out_features.cols() == out_channels_,
+            "set abstraction backward shape mismatch");
+
+  nn::Tensor grad_in(in_rows_, in_channels_);
+  std::size_t channel_offset = 0;
+  for (std::size_t s = 0; s < scales_.size(); ++s) {
+    const ScaleCache& cache = caches_[s];
+    const std::size_t cs = scale_out_channels_[s];
+
+    // Un-pool: route each output channel's gradient to its argmax row.
+    nn::Tensor rows_grad(cache.rows, cs);
+    for (std::size_t g = 0; g < groups; ++g) {
+      const float* src = grad_out_features.row(g);
+      for (std::size_t c = 0; c < cs; ++c) {
+        rows_grad.at(cache.argmax[g * cs + c], c) += src[channel_offset + c];
+      }
+    }
+
+    // Through the shared MLP, then scatter the feature part into the input.
+    const nn::Tensor rows_in_grad = mlps_[s]->backward(rows_grad);
+    for (std::size_t r = 0; r < cache.rows; ++r) {
+      const std::size_t src_row = cache.member[r];
+      const float* g = rows_in_grad.row(r);
+      float* dst = grad_in.row(src_row);
+      for (std::size_t c = 0; c < in_channels_; ++c) dst[c] += g[3 + c];
+    }
+    channel_offset += cs;
+  }
+  return grad_in;
+}
+
+std::vector<nn::Parameter*> SetAbstraction::parameters() {
+  std::vector<nn::Parameter*> out;
+  for (auto& mlp : mlps_) {
+    for (nn::Parameter* p : mlp->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<nn::Parameter*> SetAbstraction::buffers() {
+  std::vector<nn::Parameter*> out;
+  for (auto& mlp : mlps_) {
+    for (nn::Parameter* p : mlp->buffers()) out.push_back(p);
+  }
+  return out;
+}
+
+// ---- GroupAll --------------------------------------------------------------
+
+GroupAll::GroupAll(std::size_t in_channels, std::vector<std::size_t> mlp, Rng& rng,
+                   const std::string& name)
+    : in_channels_(in_channels) {
+  check_arg(!mlp.empty(), "GroupAll needs an MLP");
+  mlp_ = nn::make_mlp(3 + in_channels_, mlp, rng, /*batch_norm=*/true, name);
+  out_channels_ = mlp.back();
+}
+
+nn::Tensor GroupAll::forward(const BatchedCloud& in, bool training) {
+  check_arg(in.channels() == in_channels_, "GroupAll channel mismatch");
+  batch_ = in.batch;
+  num_points_ = in.num_points;
+
+  nn::Tensor rows(in.batch * in.num_points, 3 + in_channels_);
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    float* dst = rows.row(r);
+    const float* pp = in.positions.row(r);
+    dst[0] = pp[0];
+    dst[1] = pp[1];
+    dst[2] = pp[2];
+    const float* pf = in.features.row(r);
+    for (std::size_t c = 0; c < in_channels_; ++c) dst[3 + c] = pf[c];
+  }
+
+  const nn::Tensor activated = mlp_->forward(rows, training);
+  nn::Tensor out(batch_, out_channels_);
+  argmax_.assign(batch_ * out_channels_, 0);
+  for (std::size_t b = 0; b < batch_; ++b) {
+    float* dst = out.row(b);
+    for (std::size_t c = 0; c < out_channels_; ++c) {
+      std::size_t best_row = b * num_points_;
+      float best = activated.at(best_row, c);
+      for (std::size_t i = 1; i < num_points_; ++i) {
+        const float v = activated.at(b * num_points_ + i, c);
+        if (v > best) {
+          best = v;
+          best_row = b * num_points_ + i;
+        }
+      }
+      dst[c] = best;
+      argmax_[b * out_channels_ + c] = best_row;
+    }
+  }
+  return out;
+}
+
+nn::Tensor GroupAll::backward(const nn::Tensor& grad_output) {
+  check_arg(grad_output.rows() == batch_ && grad_output.cols() == out_channels_,
+            "GroupAll backward shape mismatch");
+  nn::Tensor rows_grad(batch_ * num_points_, out_channels_);
+  for (std::size_t b = 0; b < batch_; ++b) {
+    const float* src = grad_output.row(b);
+    for (std::size_t c = 0; c < out_channels_; ++c) {
+      rows_grad.at(argmax_[b * out_channels_ + c], c) += src[c];
+    }
+  }
+  const nn::Tensor rows_in_grad = mlp_->backward(rows_grad);
+  nn::Tensor grad_in(batch_ * num_points_, in_channels_);
+  for (std::size_t r = 0; r < grad_in.rows(); ++r) {
+    const float* g = rows_in_grad.row(r);
+    float* dst = grad_in.row(r);
+    for (std::size_t c = 0; c < in_channels_; ++c) dst[c] = g[3 + c];
+  }
+  return grad_in;
+}
+
+std::vector<nn::Parameter*> GroupAll::parameters() { return mlp_->parameters(); }
+
+std::vector<nn::Parameter*> GroupAll::buffers() { return mlp_->buffers(); }
+
+}  // namespace gp

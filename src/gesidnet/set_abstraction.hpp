@@ -1,0 +1,91 @@
+// PointNet++-style multi-scale set abstraction (§IV-C).
+//
+// One block: farthest-point-sample n centroids; for each scale, ball-query
+// up to m neighbours within radius d around each centroid, run a shared MLP
+// over [local_xyz, point_features] rows, and max-pool per group. Per-scale
+// outputs are concatenated ("multi-scale grouping"), matching the paper's
+// description of combining local features f_i of different scales into f_s.
+//
+// Backward is exact: max-pool routes gradients to argmax rows, the MLP
+// backpropagates them, and the feature part scatter-adds into the input
+// cloud's feature gradient (positions are leaf inputs and need no grad).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gesidnet/batch.hpp"
+#include "nn/layers.hpp"
+
+namespace gp {
+
+/// One grouping scale of a set-abstraction block.
+struct ScaleSpec {
+  double radius = 0.2;            ///< d_i: ball-query radius
+  std::size_t group_size = 8;     ///< m_i: points per group (padded cyclically)
+  std::vector<std::size_t> mlp;   ///< hidden widths of the shared MLP
+};
+
+class SetAbstraction {
+ public:
+  SetAbstraction(std::size_t num_centroids, std::size_t in_channels,
+                 std::vector<ScaleSpec> scales, Rng& rng, const std::string& name);
+
+  /// in: (B*N) rows; out: (B*num_centroids) rows with concatenated scales.
+  BatchedCloud forward(const BatchedCloud& in, bool training);
+
+  /// grad wrt out.features -> grad wrt in.features (same shape as input).
+  nn::Tensor backward(const nn::Tensor& grad_out_features);
+
+  std::vector<nn::Parameter*> parameters();
+  std::vector<nn::Parameter*> buffers();
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t num_centroids() const { return num_centroids_; }
+
+ private:
+  std::size_t num_centroids_;
+  std::size_t in_channels_;
+  std::vector<ScaleSpec> scales_;
+  std::vector<std::unique_ptr<nn::Sequential>> mlps_;
+  std::vector<std::size_t> scale_out_channels_;
+  std::size_t out_channels_ = 0;
+
+  // Forward caches (per scale).
+  struct ScaleCache {
+    std::vector<std::size_t> member;   ///< (B*n*m) input row index per slot
+    std::vector<std::size_t> argmax;   ///< (B*n*C_scale) winning slot row
+    std::size_t rows = 0;
+  };
+  std::vector<ScaleCache> caches_;
+  std::size_t in_rows_ = 0;
+  std::size_t batch_ = 0;
+};
+
+/// Global "group all" stage: per sample, concatenates [xyz, features] of
+/// every point, applies a shared MLP and max-pools over the sample,
+/// producing one level-feature vector per sample (the F^k of Eq. 2).
+class GroupAll {
+ public:
+  GroupAll(std::size_t in_channels, std::vector<std::size_t> mlp, Rng& rng,
+           const std::string& name);
+
+  /// in: (B*N x C) -> out: (B x C_out).
+  nn::Tensor forward(const BatchedCloud& in, bool training);
+  /// grad (B x C_out) -> grad wrt in.features (B*N x C).
+  nn::Tensor backward(const nn::Tensor& grad_output);
+
+  std::vector<nn::Parameter*> parameters();
+  std::vector<nn::Parameter*> buffers();
+  std::size_t out_channels() const { return out_channels_; }
+
+ private:
+  std::size_t in_channels_;
+  std::unique_ptr<nn::Sequential> mlp_;
+  std::size_t out_channels_ = 0;
+  std::vector<std::size_t> argmax_;
+  std::size_t batch_ = 0;
+  std::size_t num_points_ = 0;
+};
+
+}  // namespace gp

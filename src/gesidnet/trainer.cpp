@@ -1,0 +1,95 @@
+#include "gesidnet/trainer.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "nn/loss.hpp"
+
+namespace gp {
+
+TrainStats train_classifier(PointCloudClassifier& model, const LabeledSamples& data,
+                            const TrainConfig& config) {
+  check_arg(data.samples.size() == data.labels.size(), "sample/label count mismatch");
+  check_arg(!data.samples.empty(), "empty training set");
+  check_arg(config.batch_size >= 2, "batch size must be >= 2 (batch norm)");
+
+  Rng rng(config.seed, 0x7f4a7c15ULL);
+  nn::Adam optimizer(model.parameters(), config.lr, 0.9, 0.999, 1e-8, config.weight_decay);
+
+  std::vector<std::size_t> order(data.samples.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainStats stats;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t steps = 0;
+
+    for (std::size_t begin = 0; begin < order.size(); begin += config.batch_size) {
+      const std::size_t count = std::min(config.batch_size, order.size() - begin);
+      if (count < 2) break;  // batch-norm needs a real batch; drop remainder
+
+      std::vector<const FeaturizedSample*> batch_samples;
+      std::vector<int> batch_labels;
+      batch_samples.reserve(count);
+      batch_labels.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        batch_samples.push_back(&data.samples[order[begin + i]]);
+        batch_labels.push_back(data.labels[order[begin + i]]);
+      }
+
+      const BatchedCloud batch = make_batch(batch_samples);
+      epoch_loss += model.train_step(batch, batch_labels);
+      optimizer.step();
+      ++steps;
+    }
+
+    stats.epoch_loss.push_back(steps > 0 ? epoch_loss / static_cast<double>(steps) : 0.0);
+    optimizer.set_lr(optimizer.lr() * config.lr_decay);
+    if (config.verbose) {
+      log_info() << model.name() << " epoch " << epoch + 1 << "/" << config.epochs
+                 << " loss=" << stats.epoch_loss.back();
+    }
+  }
+
+  const nn::Tensor logits = predict_logits(model, data.samples);
+  stats.train_accuracy = nn::accuracy(logits, data.labels);
+  return stats;
+}
+
+nn::Tensor predict_logits(PointCloudClassifier& model,
+                          const std::vector<FeaturizedSample>& samples,
+                          std::size_t batch_size) {
+  check_arg(!samples.empty(), "predict over empty sample list");
+  nn::Tensor all;
+  for (std::size_t begin = 0; begin < samples.size(); begin += batch_size) {
+    const std::size_t count = std::min(batch_size, samples.size() - begin);
+    const BatchedCloud batch = make_batch(samples, begin, count);
+    const nn::Tensor logits = model.infer(batch);
+    if (all.empty()) {
+      all = nn::Tensor(samples.size(), logits.cols());
+    }
+    for (std::size_t i = 0; i < count; ++i) {
+      for (std::size_t c = 0; c < logits.cols(); ++c) {
+        all.at(begin + i, c) = logits.at(i, c);
+      }
+    }
+  }
+  return all;
+}
+
+std::vector<int> argmax_labels(const nn::Tensor& logits) {
+  std::vector<int> out(logits.rows());
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    const float* row = logits.row(i);
+    std::size_t best = 0;
+    for (std::size_t j = 1; j < logits.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[i] = static_cast<int>(best);
+  }
+  return out;
+}
+
+}  // namespace gp

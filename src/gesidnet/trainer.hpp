@@ -1,0 +1,51 @@
+// Generic minibatch trainer for PointCloudClassifier models.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gesidnet/model_api.hpp"
+#include "nn/optimizer.hpp"
+
+namespace gp {
+
+/// A featurized dataset slice with integer labels.
+struct LabeledSamples {
+  std::vector<FeaturizedSample> samples;
+  std::vector<int> labels;
+
+  std::size_t size() const { return samples.size(); }
+  void push(FeaturizedSample sample, int label) {
+    samples.push_back(std::move(sample));
+    labels.push_back(label);
+  }
+};
+
+struct TrainConfig {
+  std::size_t epochs = 10;
+  std::size_t batch_size = 32;
+  double lr = 1e-3;
+  double lr_decay = 0.95;      ///< multiplicative, per epoch
+  double weight_decay = 1e-4;
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct TrainStats {
+  std::vector<double> epoch_loss;
+  double train_accuracy = 0.0;
+};
+
+/// Trains in place with Adam; returns per-epoch losses.
+TrainStats train_classifier(PointCloudClassifier& model, const LabeledSamples& data,
+                            const TrainConfig& config);
+
+/// Batched inference over a sample list; rows align with `samples`.
+nn::Tensor predict_logits(PointCloudClassifier& model,
+                          const std::vector<FeaturizedSample>& samples,
+                          std::size_t batch_size = 64);
+
+/// Argmax labels from logits.
+std::vector<int> argmax_labels(const nn::Tensor& logits);
+
+}  // namespace gp

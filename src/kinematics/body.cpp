@@ -1,0 +1,77 @@
+#include "kinematics/body.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace gp {
+
+UserProfile UserProfile::sample(int id, Rng& rng) {
+  UserProfile u;
+  u.id = id;
+  u.height = rng.uniform(1.55, 1.80);
+  u.upper_arm = 0.186 * u.height * rng.uniform(0.96, 1.04);
+  u.forearm = 0.146 * u.height * rng.uniform(0.96, 1.04);
+  u.hand = 0.108 * u.height * rng.uniform(0.95, 1.05);
+  u.shoulder_height = 0.818 * u.height * rng.uniform(0.99, 1.01);
+  u.shoulder_width = 0.230 * u.height * rng.uniform(0.95, 1.05);
+
+  u.speed_factor = rng.uniform(0.75, 1.30);
+  u.rom_scale = Vec3(rng.uniform(0.82, 1.15), rng.uniform(0.85, 1.12), rng.uniform(0.82, 1.15));
+  u.tremor_sigma = rng.uniform(0.002, 0.009);
+  u.elbow_swivel = rng.uniform(-0.6, 0.6);
+  u.habit_offset = Vec3(rng.gaussian(0.0, 0.03), rng.gaussian(0.0, 0.02), rng.gaussian(0.0, 0.03));
+  u.pace_jitter = rng.uniform(0.04, 0.09);
+  u.rep_jitter = rng.uniform(0.006, 0.013);
+  u.habit_warp = rng.uniform(0.035, 0.075);
+  u.habit_seed = (static_cast<std::uint64_t>(rng()) << 32) | rng();
+  return u;
+}
+
+ArmPose solve_arm(const Vec3& shoulder, const Vec3& wrist_target, double upper_arm,
+                  double forearm, double swivel) {
+  check_arg(upper_arm > 0.0 && forearm > 0.0, "arm segments must be positive");
+
+  Vec3 to_wrist = wrist_target - shoulder;
+  double d = to_wrist.norm();
+  const double reach = upper_arm + forearm;
+  constexpr double kMinExtension = 1e-4;
+
+  Vec3 wrist = wrist_target;
+  if (d > reach * 0.999) {
+    // Out of reach: clamp onto the (slightly contracted) reachable sphere.
+    const Vec3 dir = d > kMinExtension ? to_wrist / d : Vec3(0.0, 1.0, 0.0);
+    wrist = shoulder + dir * (reach * 0.999);
+    to_wrist = wrist - shoulder;
+    d = to_wrist.norm();
+  } else if (d < std::abs(upper_arm - forearm) * 1.001 + kMinExtension) {
+    // Too close to the shoulder: push out to the inner workspace boundary.
+    const Vec3 dir = d > kMinExtension ? to_wrist / d : Vec3(0.0, 1.0, 0.0);
+    wrist = shoulder + dir * (std::abs(upper_arm - forearm) * 1.001 + kMinExtension);
+    to_wrist = wrist - shoulder;
+    d = to_wrist.norm();
+  }
+
+  // Law of cosines: distance from shoulder to the elbow-circle centre.
+  const double a = (upper_arm * upper_arm - forearm * forearm + d * d) / (2.0 * d);
+  const double r2 = upper_arm * upper_arm - a * a;
+  const double r = std::sqrt(std::max(r2, 0.0));
+
+  const Vec3 axis = to_wrist / d;
+  // Orthonormal basis perpendicular to the shoulder->wrist axis. Reference
+  // "down" keeps the elbow naturally below the arm for swivel = 0.
+  Vec3 ref(0.0, 0.0, -1.0);
+  if (std::abs(axis.dot(ref)) > 0.98) ref = Vec3(1.0, 0.0, 0.0);
+  const Vec3 u = (ref - axis * axis.dot(ref)).normalized();
+  const Vec3 v = axis.cross(u);
+
+  ArmPose pose;
+  pose.shoulder = shoulder;
+  pose.wrist = wrist;
+  pose.elbow = shoulder + axis * a + (u * std::cos(swivel) + v * std::sin(swivel)) * r;
+  return pose;
+}
+
+}  // namespace gp

@@ -1,0 +1,57 @@
+// Synthetic user biometrics.
+//
+// This file is the heart of the hardware/participant substitution (see
+// DESIGN.md §1): the paper's identifiability signal is "individual
+// variations in arm length, motion speed, range of motion, and even implicit
+// motion habits" (§III), so each synthetic user carries exactly those
+// parameters. Segment lengths follow standard anthropometric ratios
+// (Drillis & Contini): upper arm 0.186 h, forearm+hand 0.146 h + 0.108 h,
+// shoulder height 0.818 h.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/vec3.hpp"
+
+namespace gp {
+
+/// Biometric and behavioural parameters of one synthetic user. All the
+/// fields marked "habit" are fixed per user and constitute the identity
+/// signal; per-repetition variability is injected separately at perform time.
+struct UserProfile {
+  int id = 0;
+  double height = 1.70;          ///< m; paper cohort spans 1.55–1.80
+  double upper_arm = 0.316;      ///< shoulder->elbow, m
+  double forearm = 0.248;        ///< elbow->wrist, m
+  double hand = 0.18;            ///< wrist->fingertips, m
+  double shoulder_height = 1.39; ///< ground->shoulder, m
+  double shoulder_width = 0.39;  ///< m
+
+  double speed_factor = 1.0;     ///< habitual pace multiplier (0.75–1.30)
+  Vec3 rom_scale{1.0, 1.0, 1.0}; ///< habit: per-axis range-of-motion scaling
+  double tremor_sigma = 0.005;   ///< m, physiological tremor amplitude
+  double elbow_swivel = 0.0;     ///< habit: preferred elbow swivel angle, rad
+  Vec3 habit_offset{};           ///< habit: systematic wrist offset, m
+  double pace_jitter = 0.08;     ///< lognormal sigma of per-rep pace change
+  double rep_jitter = 0.015;     ///< m, per-repetition keyframe variability
+  double habit_warp = 0.03;      ///< m, magnitude of fixed keyframe warps
+  std::uint64_t habit_seed = 0;  ///< seeds the per-gesture keyframe warps
+
+  /// Draws a plausible user. Deterministic for a given (id, rng state).
+  static UserProfile sample(int id, Rng& rng);
+};
+
+/// Two-link arm inverse kinematics: elbow position for a given shoulder,
+/// wrist target, segment lengths, and swivel angle phi around the
+/// shoulder–wrist axis. If the target is out of reach the wrist is pulled
+/// onto the reachable sphere first.
+struct ArmPose {
+  Vec3 shoulder;
+  Vec3 elbow;
+  Vec3 wrist;
+};
+ArmPose solve_arm(const Vec3& shoulder, const Vec3& wrist_target, double upper_arm,
+                  double forearm, double swivel);
+
+}  // namespace gp

@@ -1,0 +1,237 @@
+#include "kinematics/gesture_spec.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace gp {
+
+Vec3 rest_wrist() { return {0.08, 0.12, -0.82}; }
+
+namespace {
+
+// ---- keyframe construction helpers -------------------------------------
+
+// Single-arm gesture through the given right-wrist waypoints; phases are
+// spread uniformly and the arm starts/ends at rest.
+GestureSpec single(std::string name, double duration, std::vector<Vec3> waypoints) {
+  GestureSpec g;
+  g.name = std::move(name);
+  g.bimanual = false;
+  g.duration_s = duration;
+  const std::size_t n = waypoints.size();
+  gp::check(n >= 2, "gesture needs at least two waypoints");
+  g.keyframes.push_back({0.0, rest_wrist(), rest_wrist()});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = 0.12 + 0.76 * static_cast<double>(i) / static_cast<double>(n - 1);
+    g.keyframes.push_back({t, waypoints[i], rest_wrist()});
+  }
+  g.keyframes.push_back({1.0, rest_wrist(), rest_wrist()});
+  return g;
+}
+
+// Bimanual gesture; left waypoints are given in the *left* shoulder frame
+// (x already mirrored by the caller when building symmetric motions).
+GestureSpec bimanual(std::string name, double duration, std::vector<Vec3> right,
+                     std::vector<Vec3> left) {
+  gp::check(right.size() == left.size() && right.size() >= 2, "bimanual waypoint mismatch");
+  GestureSpec g;
+  g.name = std::move(name);
+  g.bimanual = true;
+  g.duration_s = duration;
+  const std::size_t n = right.size();
+  g.keyframes.push_back({0.0, rest_wrist(), rest_wrist()});
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = 0.12 + 0.76 * static_cast<double>(i) / static_cast<double>(n - 1);
+    g.keyframes.push_back({t, right[i], left[i]});
+  }
+  g.keyframes.push_back({1.0, rest_wrist(), rest_wrist()});
+  return g;
+}
+
+// Mirror a waypoint list across the body midline (negate x).
+std::vector<Vec3> mirror(const std::vector<Vec3>& v) {
+  std::vector<Vec3> out;
+  out.reserve(v.size());
+  for (const auto& p : v) out.push_back({-p.x, p.y, p.z});
+  return out;
+}
+
+// Circle waypoints in the frontal (x–z) plane at forward depth y.
+std::vector<Vec3> circle_xz(Vec3 center, double radius, bool clockwise, std::size_t segments = 8,
+                            double start_angle = kPi / 2.0) {
+  std::vector<Vec3> out;
+  out.reserve(segments + 1);
+  for (std::size_t i = 0; i <= segments; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(segments);
+    const double a = start_angle + (clockwise ? -1.0 : 1.0) * 2.0 * kPi * frac;
+    out.push_back({center.x + radius * std::cos(a), center.y, center.z + radius * std::sin(a)});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<GestureSpec> asl_gesture_set() {
+  std::vector<GestureSpec> set;
+  set.reserve(15);
+
+  // 9 single-arm ASL signs.
+  set.push_back(single("ahead", 2.2, {{0.05, 0.35, 0.05}, {0.05, 0.78, 0.08}, {0.05, 0.82, 0.08}}));
+  set.push_back(single("and", 2.3,
+                       {{0.45, 0.50, 0.05}, {0.22, 0.55, 0.08}, {0.00, 0.52, 0.05}, {-0.10, 0.48, 0.02}}));
+  set.push_back(single("another", 2.1, {{0.10, 0.42, -0.18}, {0.26, 0.46, 0.00}, {0.42, 0.44, 0.16}}));
+  set.push_back(single("appoint", 2.6,
+                       {{0.32, 0.60, 0.12}, {0.12, 0.52, 0.02}, {0.10, 0.60, -0.06}, {0.16, 0.66, -0.12}}));
+  set.push_back(single("away", 2.2, {{0.02, 0.50, 0.10}, {0.30, 0.58, 0.18}, {0.58, 0.52, 0.22}, {0.72, 0.46, 0.12}}));
+  set.push_back(single("face", 2.8, circle_xz({0.02, 0.42, 0.34}, 0.14, /*clockwise=*/false)));
+  set.push_back(single("forget", 2.3,
+                       {{-0.14, 0.40, 0.44}, {0.06, 0.42, 0.46}, {0.26, 0.42, 0.44}, {0.38, 0.38, 0.34}}));
+  set.push_back(single("front", 2.0, {{0.02, 0.55, 0.30}, {0.02, 0.60, 0.08}, {0.02, 0.62, -0.12}}));
+  set.push_back(single("zigzag", 2.9,
+                       {{-0.22, 0.52, 0.32}, {0.30, 0.50, 0.30}, {-0.24, 0.54, 0.02}, {0.30, 0.52, -0.02},
+                        {-0.20, 0.52, -0.26}}));
+
+  // 6 bimanual ASL signs.
+  {
+    const std::vector<Vec3> r{{0.42, 0.50, 0.02}, {0.20, 0.54, 0.04}, {0.06, 0.56, 0.04}};
+    set.push_back(bimanual("connect", 2.4, r, mirror(r)));
+  }
+  {
+    const std::vector<Vec3> r{{0.34, 0.50, 0.10}, {0.04, 0.54, 0.14}, {-0.18, 0.56, 0.16}};
+    set.push_back(bimanual("cross", 2.4, r, mirror(r)));
+  }
+  {
+    // every Sunday: both hands sweep outward in horizontal arcs.
+    const std::vector<Vec3> r{{0.08, 0.52, 0.12}, {0.30, 0.58, 0.14}, {0.52, 0.54, 0.12}, {0.62, 0.46, 0.08}};
+    set.push_back(bimanual("every_sunday", 3.0, r, mirror(r)));
+  }
+  {
+    // finish: hands rotate outward from centre, palms flipping.
+    const std::vector<Vec3> r{{0.10, 0.50, 0.18}, {0.26, 0.52, 0.14}, {0.42, 0.50, 0.06}};
+    set.push_back(bimanual("finish", 2.2, r, mirror(r)));
+  }
+  {
+    // push: both palms drive forward from the chest.
+    const std::vector<Vec3> r{{0.16, 0.35, 0.04}, {0.16, 0.62, 0.06}, {0.16, 0.80, 0.06}};
+    set.push_back(bimanual("push", 2.1, r, mirror(r)));
+  }
+  {
+    // table: forearms horizontal, double tap downward.
+    const std::vector<Vec3> r{{0.28, 0.50, -0.02}, {0.28, 0.50, -0.14}, {0.28, 0.50, -0.04},
+                              {0.28, 0.50, -0.16}};
+    set.push_back(bimanual("table", 2.5, r, mirror(r)));
+  }
+  return set;
+}
+
+std::vector<GestureSpec> pantomime_gesture_set() {
+  std::vector<GestureSpec> set;
+  set.reserve(21);
+
+  // 9 easy single-arm gestures.
+  set.push_back(single("swipe_left", 1.9, {{0.50, 0.55, 0.10}, {0.05, 0.58, 0.12}, {-0.35, 0.55, 0.10}}));
+  set.push_back(single("swipe_right", 1.9, {{-0.30, 0.55, 0.10}, {0.10, 0.58, 0.12}, {0.55, 0.55, 0.10}}));
+  set.push_back(single("swipe_up", 1.9, {{0.08, 0.55, -0.25}, {0.08, 0.58, 0.10}, {0.08, 0.55, 0.45}}));
+  set.push_back(single("swipe_down", 1.9, {{0.08, 0.55, 0.45}, {0.08, 0.58, 0.10}, {0.08, 0.55, -0.25}}));
+  set.push_back(single("push_single", 2.0, {{0.05, 0.35, 0.05}, {0.05, 0.80, 0.08}}));
+  set.push_back(single("pull_single", 2.0, {{0.05, 0.80, 0.08}, {0.05, 0.35, 0.05}}));
+  set.push_back(single("circle_cw", 2.6, circle_xz({0.05, 0.55, 0.10}, 0.22, /*clockwise=*/true)));
+  set.push_back(single("circle_ccw", 2.6, circle_xz({0.05, 0.55, 0.10}, 0.22, /*clockwise=*/false)));
+  set.push_back(single("wave", 2.6,
+                       {{0.15, 0.50, 0.35}, {-0.10, 0.52, 0.38}, {0.15, 0.50, 0.35}, {-0.10, 0.52, 0.38},
+                        {0.15, 0.50, 0.35}}));
+
+  // 12 bimanual complex gestures.
+  {
+    const std::vector<Vec3> r{{0.12, 0.55, 0.10}, {0.35, 0.55, 0.10}, {0.55, 0.52, 0.10}};
+    set.push_back(bimanual("zoom_in", 2.3, r, mirror(r)));
+  }
+  {
+    const std::vector<Vec3> r{{0.55, 0.52, 0.10}, {0.35, 0.55, 0.10}, {0.12, 0.55, 0.10}};
+    set.push_back(bimanual("zoom_out", 2.3, r, mirror(r)));
+  }
+  {
+    const auto r = circle_xz({0.25, 0.55, 0.10}, 0.16, /*clockwise=*/true, 6);
+    set.push_back(bimanual("rotate_cw", 2.8, r, mirror(r)));
+  }
+  {
+    const auto r = circle_xz({0.25, 0.55, 0.10}, 0.16, /*clockwise=*/false, 6);
+    set.push_back(bimanual("rotate_ccw", 2.8, r, mirror(r)));
+  }
+  {
+    const std::vector<Vec3> r{{0.18, 0.35, 0.05}, {0.18, 0.65, 0.07}, {0.18, 0.82, 0.07}};
+    set.push_back(bimanual("push_both", 2.1, r, mirror(r)));
+  }
+  {
+    const std::vector<Vec3> r{{0.18, 0.82, 0.07}, {0.18, 0.60, 0.07}, {0.18, 0.35, 0.05}};
+    set.push_back(bimanual("pull_both", 2.1, r, mirror(r)));
+  }
+  {
+    const std::vector<Vec3> r{{0.35, 0.55, 0.08}, {0.06, 0.58, 0.10}, {0.35, 0.55, 0.08},
+                              {0.06, 0.58, 0.10}};
+    set.push_back(bimanual("clap", 2.4, r, mirror(r)));
+  }
+  {
+    const std::vector<Vec3> r{{0.30, 0.52, 0.10}, {-0.15, 0.56, 0.14}, {-0.25, 0.56, 0.16}};
+    set.push_back(bimanual("cross_hands", 2.3, r, mirror(r)));
+  }
+  {
+    const std::vector<Vec3> r{{0.10, 0.55, 0.10}, {0.40, 0.52, 0.15}, {0.62, 0.45, 0.18}};
+    set.push_back(bimanual("open_arms", 2.5, r, mirror(r)));
+  }
+  {
+    const std::vector<Vec3> r{{0.20, 0.55, -0.30}, {0.20, 0.58, 0.10}, {0.20, 0.55, 0.45}};
+    set.push_back(bimanual("lift", 2.4, r, mirror(r)));
+  }
+  {
+    const std::vector<Vec3> r{{0.20, 0.55, 0.45}, {0.20, 0.58, 0.10}, {0.20, 0.55, -0.30}};
+    set.push_back(bimanual("drop", 2.4, r, mirror(r)));
+  }
+  {
+    // Diagonal double swipe (complex): both arms trace opposing diagonals.
+    const std::vector<Vec3> r{{0.45, 0.52, 0.40}, {0.10, 0.56, 0.05}, {-0.20, 0.52, -0.25}};
+    const std::vector<Vec3> l{{-0.20, 0.52, -0.25}, {0.10, 0.56, 0.05}, {0.45, 0.52, 0.40}};
+    set.push_back(bimanual("diagonal_swipe", 2.6, r, l));
+  }
+  return set;
+}
+
+std::vector<GestureSpec> mhomeges_gesture_set() {
+  std::vector<GestureSpec> set;
+  set.reserve(10);
+  set.push_back(single("raise_arm", 2.0, {{0.10, 0.45, -0.40}, {0.10, 0.50, 0.10}, {0.10, 0.45, 0.60}}));
+  set.push_back(single("lower_arm", 2.0, {{0.10, 0.45, 0.60}, {0.10, 0.50, 0.10}, {0.10, 0.45, -0.40}}));
+  set.push_back(single("push_forward", 2.0, {{0.06, 0.35, 0.05}, {0.06, 0.82, 0.08}}));
+  set.push_back(single("pull_back", 2.0, {{0.06, 0.82, 0.08}, {0.06, 0.35, 0.05}}));
+  set.push_back(single("slide_left", 2.0, {{0.50, 0.55, 0.12}, {-0.35, 0.55, 0.12}}));
+  set.push_back(single("slide_right", 2.0, {{-0.30, 0.55, 0.12}, {0.55, 0.55, 0.12}}));
+  set.push_back(single("draw_circle", 2.8, circle_xz({0.05, 0.55, 0.12}, 0.25, /*clockwise=*/false)));
+  set.push_back(single("wave_hand", 2.6,
+                       {{0.18, 0.50, 0.38}, {-0.08, 0.52, 0.40}, {0.18, 0.50, 0.38}, {-0.08, 0.52, 0.40}}));
+  set.push_back(single("beckon", 2.4,
+                       {{0.08, 0.70, 0.15}, {0.08, 0.45, 0.02}, {0.08, 0.68, 0.14}, {0.08, 0.45, 0.02}}));
+  set.push_back(single("throw", 2.2, {{0.05, 0.30, -0.10}, {0.15, 0.55, 0.30}, {0.30, 0.85, 0.25}}));
+  return set;
+}
+
+std::vector<GestureSpec> mtranssee_gesture_set() {
+  std::vector<GestureSpec> set;
+  set.reserve(5);
+  set.push_back(single("push", 2.0, {{0.06, 0.35, 0.05}, {0.06, 0.82, 0.08}}));
+  set.push_back(single("pull", 2.0, {{0.06, 0.82, 0.08}, {0.06, 0.35, 0.05}}));
+  set.push_back(single("swipe_left", 1.9, {{0.50, 0.55, 0.10}, {0.05, 0.58, 0.12}, {-0.35, 0.55, 0.10}}));
+  set.push_back(single("swipe_right", 1.9, {{-0.30, 0.55, 0.10}, {0.10, 0.58, 0.12}, {0.55, 0.55, 0.10}}));
+  set.push_back(single("circle", 2.7, circle_xz({0.05, 0.55, 0.10}, 0.24, /*clockwise=*/false)));
+  return set;
+}
+
+const GestureSpec& find_gesture(const std::vector<GestureSpec>& set, const std::string& name) {
+  for (const auto& g : set) {
+    if (g.name == name) return g;
+  }
+  throw InvalidArgument("unknown gesture: " + name);
+}
+
+}  // namespace gp

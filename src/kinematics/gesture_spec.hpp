@@ -1,0 +1,52 @@
+// Parametric gesture definitions.
+//
+// A gesture is a sequence of wrist keyframes in *reach units*: coordinates
+// relative to the acting shoulder, scaled so 1.0 equals the user's full arm
+// reach (upper arm + forearm). Defining gestures this way bakes the paper's
+// identity signal in naturally — two users executing the same spec trace
+// different absolute trajectories because their reach, range-of-motion
+// scaling and habit warps differ.
+//
+// Axes: +x right (from the user's perspective facing the radar), +y forward
+// toward the radar, +z up. The left arm mirrors x.
+//
+// Four gesture sets mirror the four evaluated datasets (§VI-A1):
+//   asl_gesture_set()       15 ASL signs  (self-collected GesturePrint set)
+//   pantomime_gesture_set() 21 self-defined (9 single-arm + 12 bimanual)
+//   mhomeges_gesture_set()  10 large arm movements
+//   mtranssee_gesture_set()  5 arm motions
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace gp {
+
+/// One wrist keyframe. `t` is normalised phase in [0, 1].
+struct Keyframe {
+  double t = 0.0;
+  Vec3 right;  ///< right wrist, reach units, relative to right shoulder
+  Vec3 left;   ///< left wrist, reach units, relative to left shoulder
+};
+
+struct GestureSpec {
+  std::string name;
+  bool bimanual = false;
+  double duration_s = 2.4;  ///< nominal duration at pace 1.0 (paper mean 2.43 s)
+  std::vector<Keyframe> keyframes;
+};
+
+std::vector<GestureSpec> asl_gesture_set();
+std::vector<GestureSpec> pantomime_gesture_set();
+std::vector<GestureSpec> mhomeges_gesture_set();
+std::vector<GestureSpec> mtranssee_gesture_set();
+
+/// Looks a gesture up by name within a set; throws InvalidArgument if absent.
+const GestureSpec& find_gesture(const std::vector<GestureSpec>& set, const std::string& name);
+
+/// Resting wrist position (arm hanging beside the torso), reach units.
+Vec3 rest_wrist();
+
+}  // namespace gp

@@ -1,0 +1,240 @@
+#include "kinematics/performer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+#include "kinematics/trajectory.hpp"
+
+namespace gp {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+GesturePerformer::GesturePerformer(UserProfile user, PerformanceConfig config)
+    : user_(std::move(user)), config_(config) {
+  check_arg(config_.distance > 0.2, "user must stand in front of the radar");
+  check_arg(config_.frame_rate > 0.0, "frame rate must be positive");
+}
+
+double GesturePerformer::nominal_duration_s(const GestureSpec& spec) const {
+  return spec.duration_s / (user_.speed_factor * config_.speed_multiplier);
+}
+
+namespace {
+
+// Applies the user's fixed habits plus per-repetition jitter to the spec's
+// keyframes, returning absolute wrist targets in metres relative to each
+// shoulder.
+struct WarpedKeyframes {
+  std::vector<double> phases;
+  std::vector<Vec3> right_m;
+  std::vector<Vec3> left_m;
+};
+
+WarpedKeyframes warp_keyframes(const GestureSpec& spec, const UserProfile& user, Rng& rep_rng) {
+  // Habit warps are drawn from a stream seeded by (user, gesture) only, so
+  // they are identical across repetitions — they ARE the user's signature.
+  Rng habit_rng(user.habit_seed ^ fnv1a(spec.name), 0x9e3779b97f4a7c15ULL);
+
+  const double reach = user.upper_arm + user.forearm;
+  WarpedKeyframes out;
+  out.phases.reserve(spec.keyframes.size());
+  out.right_m.reserve(spec.keyframes.size());
+  out.left_m.reserve(spec.keyframes.size());
+
+  const Vec3 rest = rest_wrist();
+  for (const auto& kf : spec.keyframes) {
+    out.phases.push_back(kf.t);
+    for (int arm = 0; arm < 2; ++arm) {
+      const Vec3& raw = arm == 0 ? kf.right : kf.left;
+      const bool at_rest = (raw - rest).norm() < 1e-9;
+
+      // Range-of-motion scaling about the rest pose (habit).
+      Vec3 scaled{rest.x + (raw.x - rest.x) * user.rom_scale.x,
+                  rest.y + (raw.y - rest.y) * user.rom_scale.y,
+                  rest.z + (raw.z - rest.z) * user.rom_scale.z};
+      Vec3 metres = scaled * reach;
+
+      // Habit warp: fixed per (user, gesture, keyframe, arm).
+      const Vec3 habit(habit_rng.gaussian(0.0, user.habit_warp),
+                       habit_rng.gaussian(0.0, user.habit_warp * 0.6),
+                       habit_rng.gaussian(0.0, user.habit_warp));
+      // Per-repetition jitter: varies every call.
+      const Vec3 jitter(rep_rng.gaussian(0.0, user.rep_jitter),
+                        rep_rng.gaussian(0.0, user.rep_jitter * 0.7),
+                        rep_rng.gaussian(0.0, user.rep_jitter));
+
+      if (!at_rest) metres += habit + jitter + user.habit_offset;
+
+      if (arm == 0) {
+        out.right_m.push_back(metres);
+      } else {
+        out.left_m.push_back(metres);
+      }
+    }
+  }
+  return out;
+}
+
+// Evaluates the warped keyframe spline (metres, shoulder-relative) at eased
+// phase t in [0,1].
+Vec3 eval_track(const std::vector<Vec3>& points, const std::vector<double>& phases, double t) {
+  const double eased = ease_phase(t);
+  const double phase = std::clamp(eased, phases.front(), phases.back());
+  std::size_t seg = 0;
+  while (seg + 2 < phases.size() && phase > phases[seg + 1]) ++seg;
+  const double span = phases[seg + 1] - phases[seg];
+  const double local = span > 0.0 ? (phase - phases[seg]) / span : 0.0;
+  const double u = (static_cast<double>(seg) + local) / static_cast<double>(phases.size() - 1);
+  return catmull_rom(points, u);
+}
+
+// Emits reflectors along one arm's pose.
+void emit_arm(const ArmPose& pose, const Vec3& hand_dir, double hand_len,
+              std::vector<Reflector>& out, std::vector<Vec3>& tracked) {
+  // Upper arm.
+  for (double f : {0.35, 0.7}) {
+    tracked.push_back(lerp(pose.shoulder, pose.elbow, f));
+    out.push_back({tracked.back(), {}, 0.25});
+  }
+  // Forearm.
+  for (double f : {0.25, 0.55, 0.85}) {
+    tracked.push_back(lerp(pose.elbow, pose.wrist, f));
+    out.push_back({tracked.back(), {}, 0.35});
+  }
+  // Hand: wrist plus two points continuing the forearm direction.
+  tracked.push_back(pose.wrist);
+  out.push_back({tracked.back(), {}, 0.8});
+  tracked.push_back(pose.wrist + hand_dir * (hand_len * 0.5));
+  out.push_back({tracked.back(), {}, 1.0});
+  tracked.push_back(pose.wrist + hand_dir * (hand_len * 0.9));
+  out.push_back({tracked.back(), {}, 0.9});
+}
+
+}  // namespace
+
+SceneSequence GesturePerformer::perform(const GestureSpec& spec, Rng& rng) const {
+  check_arg(spec.keyframes.size() >= 2, "gesture needs >= 2 keyframes");
+
+  const double pace = user_.speed_factor * config_.speed_multiplier *
+                      std::exp(rng.gaussian(0.0, user_.pace_jitter));
+  const double duration = spec.duration_s / pace;
+  const int active_frames =
+      std::max(6, static_cast<int>(std::lround(duration * config_.frame_rate)));
+  const int total_frames = config_.idle_frames_before + active_frames + config_.idle_frames_after;
+  const double dt = 1.0 / config_.frame_rate;
+
+  const auto warped = warp_keyframes(spec, user_, rng);
+
+  // Shoulder anchors in the radar frame. The user faces the radar, so the
+  // user's right shoulder appears at negative x from the radar's viewpoint.
+  const double base_z = user_.shoulder_height - config_.radar_height;
+  const Vec3 right_shoulder(-user_.shoulder_width / 2.0 + config_.lateral, config_.distance,
+                            base_z);
+  const Vec3 left_shoulder(user_.shoulder_width / 2.0 + config_.lateral, config_.distance, base_z);
+
+  // Wrist target in the radar frame at active phase t. The keyframe frame
+  // has +x to the user's right and +y toward the radar; facing the radar
+  // flips both relative to radar axes.
+  const auto wrist_at = [&](bool left_arm, double t) {
+    const Vec3 rel = left_arm ? eval_track(warped.left_m, warped.phases, t)
+                              : eval_track(warped.right_m, warped.phases, t);
+    const Vec3& shoulder = left_arm ? left_shoulder : right_shoulder;
+    const double mirror = left_arm ? 1.0 : -1.0;  // user-right -> radar -x
+    return shoulder + Vec3(mirror * rel.x, -rel.y, rel.z);
+  };
+
+  // Static torso/head reflector anchors.
+  std::vector<Reflector> torso;
+  if (config_.include_torso) {
+    const double torso_y = config_.distance + 0.10;
+    for (double h : {0.55, 0.75, 0.95, 1.15, 1.35}) {
+      const double z = h * user_.height - config_.radar_height;
+      torso.push_back({{config_.lateral - 0.08, torso_y, z}, {}, 1.6});
+      torso.push_back({{config_.lateral + 0.08, torso_y, z}, {}, 1.6});
+    }
+    // Head.
+    torso.push_back(
+        {{config_.lateral, torso_y, 0.94 * user_.height - config_.radar_height}, {}, 1.0});
+  }
+
+  const double eps = 1e-3;  // finite-difference step, seconds
+  SceneSequence scene;
+  scene.reserve(static_cast<std::size_t>(total_frames));
+
+  for (int f = 0; f < total_frames; ++f) {
+    SceneFrame frame;
+    frame.frame_index = f;
+    frame.timestamp = f * dt;
+
+    // Active phase for this frame (clamped to rest outside the motion).
+    const double active_t =
+        (static_cast<double>(f - config_.idle_frames_before) * dt) / duration;
+    const bool in_motion = active_t >= 0.0 && active_t <= 1.0;
+    const double t0 = std::clamp(active_t, 0.0, 1.0);
+    const double t1 = std::clamp(active_t + eps / duration, 0.0, 1.0);
+
+    // Solve both arms at t0 and slightly later for velocities.
+    for (int arm = 0; arm < 2; ++arm) {
+      const bool left = arm == 1;
+      const Vec3& shoulder = left ? left_shoulder : right_shoulder;
+      const double swivel = left ? -user_.elbow_swivel : user_.elbow_swivel;
+
+      const Vec3 w0 = wrist_at(left, t0);
+      const Vec3 w1 = wrist_at(left, t1);
+      const ArmPose p0 = solve_arm(shoulder, w0, user_.upper_arm, user_.forearm, swivel);
+      const ArmPose p1 = solve_arm(shoulder, w1, user_.upper_arm, user_.forearm, swivel);
+
+      const Vec3 hand_dir0 = (p0.wrist - p0.elbow).normalized();
+      const Vec3 hand_dir1 = (p1.wrist - p1.elbow).normalized();
+
+      std::vector<Reflector> refl0;
+      std::vector<Vec3> pts0;
+      emit_arm(p0, hand_dir0, user_.hand, refl0, pts0);
+      std::vector<Reflector> refl1;
+      std::vector<Vec3> pts1;
+      emit_arm(p1, hand_dir1, user_.hand, refl1, pts1);
+
+      // Tremor-induced micro-Doppler: a few-mm oscillation at muscle-tremor
+      // frequencies produces instantaneous velocities of O(0.1 m/s), which
+      // is why a real radar keeps seeing a "paused" arm mid-gesture. Only
+      // applied while the arm is engaged in the motion.
+      const double micro_doppler_sigma = in_motion ? 0.045 + 6.0 * user_.tremor_sigma : 0.0;
+      for (std::size_t i = 0; i < refl0.size(); ++i) {
+        Reflector r = refl0[i];
+        r.velocity = in_motion ? (pts1[i] - pts0[i]) / eps : Vec3{};
+        r.velocity += Vec3(rng.gaussian(0.0, micro_doppler_sigma),
+                           rng.gaussian(0.0, micro_doppler_sigma),
+                           rng.gaussian(0.0, micro_doppler_sigma));
+        // Physiological tremor: small position noise every frame.
+        r.position += Vec3(rng.gaussian(0.0, user_.tremor_sigma),
+                           rng.gaussian(0.0, user_.tremor_sigma),
+                           rng.gaussian(0.0, user_.tremor_sigma));
+        frame.reflectors.push_back(r);
+      }
+    }
+
+    // Torso with breathing micro-motion (sub-cm, near-zero Doppler).
+    for (const auto& t : torso) {
+      Reflector r = t;
+      const double breath = 0.004 * std::sin(2.0 * kPi * 0.25 * frame.timestamp);
+      r.position.y += breath;
+      r.velocity = Vec3(0.0, 0.004 * 2.0 * kPi * 0.25 * std::cos(2.0 * kPi * 0.25 * frame.timestamp),
+                        0.0);
+      frame.reflectors.push_back(r);
+    }
+
+    scene.push_back(std::move(frame));
+  }
+  return scene;
+}
+
+}  // namespace gp

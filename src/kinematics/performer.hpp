@@ -1,0 +1,76 @@
+// Gesture performance synthesis: turns (user, gesture, repetition) into a
+// time-sampled scene of radar reflectors.
+//
+// Identity signal composition (per DESIGN.md §1):
+//  * fixed per user:            arm lengths, shoulder geometry, habitual
+//                               pace, per-axis range-of-motion scaling,
+//                               elbow swivel preference, systematic wrist
+//                               offset, per-gesture keyframe "habit warps"
+//                               (seeded by UserProfile::habit_seed)
+//  * varies per repetition:     pace jitter (lognormal), keyframe jitter,
+//                               physiological tremor
+// so repeated executions by one user cluster tightly while different users
+// differ systematically — the regime Fig. 2/3 of the paper documents.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/vec3.hpp"
+#include "kinematics/body.hpp"
+#include "kinematics/gesture_spec.hpp"
+
+namespace gp {
+
+/// One physical scattering centre at an instant.
+struct Reflector {
+  Vec3 position;       ///< radar frame, metres
+  Vec3 velocity;       ///< metres/second
+  double rcs = 1.0;    ///< relative radar cross-section (linear)
+};
+
+/// All reflectors visible during one radar frame interval.
+struct SceneFrame {
+  int frame_index = 0;
+  double timestamp = 0.0;
+  std::vector<Reflector> reflectors;
+};
+
+using SceneSequence = std::vector<SceneFrame>;
+
+/// Where and how the gesture is performed relative to the radar.
+struct PerformanceConfig {
+  double distance = 1.2;        ///< radar->user along +y, metres
+  double lateral = 0.0;         ///< sideways offset, metres
+  double frame_rate = 10.0;     ///< radar frames per second (paper: 10 fps)
+  double radar_height = 1.25;   ///< radar mount height, metres (paper: 1.25)
+  double speed_multiplier = 1.0;///< deliberate articulation-speed change
+  int idle_frames_before = 10;  ///< static frames preceding the motion
+  int idle_frames_after = 10;   ///< static frames following the motion
+  bool include_torso = true;    ///< emit torso/head reflectors
+};
+
+/// Synthesises reflector scenes for gestures performed by one user.
+class GesturePerformer {
+ public:
+  GesturePerformer(UserProfile user, PerformanceConfig config);
+
+  /// One repetition of `spec`; `rng` drives per-repetition variability.
+  SceneSequence perform(const GestureSpec& spec, Rng& rng) const;
+
+  /// Nominal duration of `spec` for this user at pace multiplier 1 (no
+  /// per-rep jitter); used by the duration study (Fig. 13).
+  double nominal_duration_s(const GestureSpec& spec) const;
+
+  const UserProfile& user() const { return user_; }
+  const PerformanceConfig& config() const { return config_; }
+
+ private:
+  UserProfile user_;
+  PerformanceConfig config_;
+};
+
+/// Stable 64-bit FNV-1a hash (used to derive per-gesture habit streams).
+std::uint64_t fnv1a(const std::string& s);
+
+}  // namespace gp

@@ -1,0 +1,76 @@
+#include "kinematics/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+Vec3 catmull_rom(const std::vector<Vec3>& points, double u) {
+  check_arg(!points.empty(), "catmull_rom over empty control points");
+  if (points.size() == 1) return points[0];
+  u = std::clamp(u, 0.0, 1.0);
+
+  const std::size_t segments = points.size() - 1;
+  const double scaled = u * static_cast<double>(segments);
+  std::size_t seg = std::min(static_cast<std::size_t>(scaled), segments - 1);
+  const double t = scaled - static_cast<double>(seg);
+
+  // Clamped end tangents: duplicate boundary points.
+  const Vec3& p1 = points[seg];
+  const Vec3& p2 = points[seg + 1];
+  const Vec3& p0 = seg > 0 ? points[seg - 1] : p1;
+  const Vec3& p3 = seg + 2 < points.size() ? points[seg + 2] : p2;
+
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  return 0.5 * ((2.0 * p1) + (p2 - p0) * t + (2.0 * p0 - 5.0 * p1 + 4.0 * p2 - p3) * t2 +
+                (3.0 * p1 - 3.0 * p2 + p3 - p0) * t3);
+}
+
+double ease_phase(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  return t * t * (3.0 - 2.0 * t);  // smoothstep: zero end velocities
+}
+
+ArmTrack sample_tracks(const GestureSpec& spec, std::size_t num_samples) {
+  check_arg(num_samples >= 2, "sample_tracks needs >= 2 samples");
+  check_arg(spec.keyframes.size() >= 2, "gesture needs >= 2 keyframes");
+
+  // Keyframe phases are non-uniform; build control sequences by resampling
+  // the keyframe timeline at a fine uniform grid, then spline through the
+  // keyframe positions directly with per-segment phase mapping.
+  std::vector<Vec3> right_pts;
+  std::vector<Vec3> left_pts;
+  std::vector<double> phases;
+  right_pts.reserve(spec.keyframes.size());
+  for (const auto& kf : spec.keyframes) {
+    right_pts.push_back(kf.right);
+    left_pts.push_back(kf.left);
+    phases.push_back(kf.t);
+  }
+
+  // Maps global phase to spline parameter using the keyframe phase table.
+  const auto phase_to_u = [&](double phase) {
+    phase = std::clamp(phase, phases.front(), phases.back());
+    std::size_t seg = 0;
+    while (seg + 2 < phases.size() && phase > phases[seg + 1]) ++seg;
+    const double span = phases[seg + 1] - phases[seg];
+    const double local = span > 0.0 ? (phase - phases[seg]) / span : 0.0;
+    return (static_cast<double>(seg) + local) / static_cast<double>(phases.size() - 1);
+  };
+
+  ArmTrack track;
+  track.right.reserve(num_samples);
+  track.left.reserve(num_samples);
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(num_samples - 1);
+    const double u = phase_to_u(ease_phase(t));
+    track.right.push_back(catmull_rom(right_pts, u));
+    track.left.push_back(catmull_rom(left_pts, u));
+  }
+  return track;
+}
+
+}  // namespace gp

@@ -1,0 +1,31 @@
+// Smooth trajectory evaluation through gesture keyframes.
+//
+// Keyframes are interpolated with a centripetal-flavoured Catmull–Rom spline
+// (C1 continuous, passes through every keyframe) and an ease-in/ease-out
+// phase warp that mimics natural acceleration profiles of human reaching
+// motions (minimum-jerk-like bell-shaped speed).
+#pragma once
+
+#include <vector>
+
+#include "common/vec3.hpp"
+#include "kinematics/gesture_spec.hpp"
+
+namespace gp {
+
+/// Evaluates a Catmull–Rom spline through `points` at parameter u in [0,1]
+/// (uniform parameterisation across segments, clamped end tangents).
+Vec3 catmull_rom(const std::vector<Vec3>& points, double u);
+
+/// Smoothstep-style ease: bell-shaped speed profile over [0,1].
+double ease_phase(double t);
+
+/// Samples one arm's wrist path at `num_samples` uniformly spaced times.
+/// Applies the phase ease so sampled speed follows a natural profile.
+struct ArmTrack {
+  std::vector<Vec3> right;  ///< per-sample right wrist (reach units)
+  std::vector<Vec3> left;   ///< per-sample left wrist (reach units)
+};
+ArmTrack sample_tracks(const GestureSpec& spec, std::size_t num_samples);
+
+}  // namespace gp

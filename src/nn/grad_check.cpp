@@ -1,0 +1,99 @@
+#include "nn/grad_check.hpp"
+
+#include <cmath>
+
+namespace gp::nn {
+
+namespace {
+
+// Deterministic probe vector: pseudo-random but fixed weights so the scalar
+// objective L = sum_ij probe_ij * out_ij exercises every output element.
+float probe_weight(std::size_t i) {
+  return 0.25f + 0.5f * static_cast<float>((i * 2654435761u % 97)) / 97.0f;
+}
+
+double weighted_sum(const Tensor& out) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < out.numel(); ++i) {
+    acc += probe_weight(i) * static_cast<double>(out.vec()[i]);
+  }
+  return acc;
+}
+
+Tensor probe_grad(const Tensor& out) {
+  Tensor g(out.rows(), out.cols());
+  for (std::size_t i = 0; i < g.numel(); ++i) g.vec()[i] = probe_weight(i);
+  return g;
+}
+
+}  // namespace
+
+GradCheckResult grad_check(Layer& layer, const Tensor& input, bool training, double epsilon,
+                           double tolerance) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (Parameter* p : layer.parameters()) p->grad.zero();
+  const Tensor out = layer.forward(input, training);
+  const Tensor analytic_dx = layer.backward(probe_grad(out));
+
+  // Snapshot parameter grads (backward accumulated them).
+  std::vector<Tensor> param_grads;
+  for (Parameter* p : layer.parameters()) param_grads.push_back(p->grad);
+
+  // Numeric input gradient.
+  Tensor x = input;
+  for (std::size_t i = 0; i < x.numel(); ++i) {
+    const float orig = x.vec()[i];
+    x.vec()[i] = orig + static_cast<float>(epsilon);
+    const double f_plus = weighted_sum(layer.forward(x, training));
+    x.vec()[i] = orig - static_cast<float>(epsilon);
+    const double f_minus = weighted_sum(layer.forward(x, training));
+    x.vec()[i] = orig;
+    const double numeric = (f_plus - f_minus) / (2.0 * epsilon);
+    const double err = std::fabs(numeric - analytic_dx.vec()[i]);
+    result.max_input_error = std::max(result.max_input_error, err);
+    ++result.input_checked;
+    if (err > tolerance) ++result.input_bad;
+  }
+
+  // Numeric parameter gradients.
+  const auto params = layer.parameters();
+  for (std::size_t k = 0; k < params.size(); ++k) {
+    Tensor& value = params[k]->value;
+    for (std::size_t i = 0; i < value.numel(); ++i) {
+      const float orig = value.vec()[i];
+      value.vec()[i] = orig + static_cast<float>(epsilon);
+      const double f_plus = weighted_sum(layer.forward(input, training));
+      value.vec()[i] = orig - static_cast<float>(epsilon);
+      const double f_minus = weighted_sum(layer.forward(input, training));
+      value.vec()[i] = orig;
+      const double numeric = (f_plus - f_minus) / (2.0 * epsilon);
+      const double err = std::fabs(numeric - param_grads[k].vec()[i]);
+      result.max_param_error = std::max(result.max_param_error, err);
+      ++result.param_checked;
+      if (err > tolerance) ++result.param_bad;
+    }
+  }
+  return result;
+}
+
+double scalar_grad_check(const std::function<double(const Tensor&)>& f, const Tensor& x,
+                         const Tensor& analytic_grad, double epsilon) {
+  check_arg(x.numel() == analytic_grad.numel(), "grad shape mismatch");
+  Tensor probe = x;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < probe.numel(); ++i) {
+    const float orig = probe.vec()[i];
+    probe.vec()[i] = orig + static_cast<float>(epsilon);
+    const double f_plus = f(probe);
+    probe.vec()[i] = orig - static_cast<float>(epsilon);
+    const double f_minus = f(probe);
+    probe.vec()[i] = orig;
+    const double numeric = (f_plus - f_minus) / (2.0 * epsilon);
+    worst = std::max(worst, std::fabs(numeric - analytic_grad.vec()[i]));
+  }
+  return worst;
+}
+
+}  // namespace gp::nn

@@ -1,0 +1,45 @@
+// Numerical gradient checking: verifies a layer's analytic backward pass
+// against central finite differences. Used heavily in tests.
+#pragma once
+
+#include <functional>
+
+#include "nn/layers.hpp"
+
+namespace gp::nn {
+
+struct GradCheckResult {
+  double max_input_error = 0.0;  ///< max |analytic - numeric| over inputs
+  double max_param_error = 0.0;  ///< max over all parameters
+  std::size_t input_checked = 0;
+  std::size_t input_bad = 0;     ///< coordinates with error > tolerance
+  std::size_t param_checked = 0;
+  std::size_t param_bad = 0;
+
+  /// Strict pass: every coordinate within tolerance.
+  bool passed() const { return input_bad == 0 && param_bad == 0; }
+  /// Statistical pass for composites containing ReLU+max-pool: a finite-
+  /// difference probe that crosses a ReLU kink produces an O(1) mismatch at
+  /// isolated coordinates even when the backward pass is exact, so allow a
+  /// small fraction of outliers (a real backward bug corrupts most
+  /// coordinates, not a fraction of a percent).
+  bool passed(double allowed_bad_fraction) const {
+    const double total = static_cast<double>(input_checked + param_checked);
+    const double bad = static_cast<double>(input_bad + param_bad);
+    return total > 0 && bad / total <= allowed_bad_fraction;
+  }
+};
+
+/// Checks d(sum of outputs * probe)/d(input) and parameter gradients for
+/// `layer` at the given input. `training` selects the forward mode (dropout
+/// layers should be checked with training=false or a fixed mask).
+/// `tolerance` is the per-coordinate error bound used for the bad counts.
+GradCheckResult grad_check(Layer& layer, const Tensor& input, bool training = true,
+                           double epsilon = 1e-3, double tolerance = 2e-2);
+
+/// Generic scalar-function check: |d f / d x_i - numeric| for an arbitrary
+/// differentiable scalar function with analytic gradient supplied.
+double scalar_grad_check(const std::function<double(const Tensor&)>& f, const Tensor& x,
+                         const Tensor& analytic_grad, double epsilon = 1e-3);
+
+}  // namespace gp::nn

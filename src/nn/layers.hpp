@@ -1,0 +1,140 @@
+// Neural-network layers with hand-written exact backward passes.
+//
+// Layers are stateful: forward() caches whatever backward() needs, so the
+// usual call pattern is forward -> loss -> backward in lockstep. Parameter
+// gradients accumulate into Parameter::grad until the optimiser consumes
+// and clears them. Every backward pass here is verified against numerical
+// differentiation in tests/test_nn_gradcheck.cpp.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/tensor.hpp"
+
+namespace gp::nn {
+
+/// A learnable tensor with its gradient accumulator.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+};
+
+/// Base class: 2-D in, 2-D out.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  /// `training` toggles dropout/batch-norm statistics behaviour.
+  virtual Tensor forward(const Tensor& input, bool training) = 0;
+  /// Consumes dL/d(output); returns dL/d(input); accumulates param grads.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+  virtual std::vector<Parameter*> parameters() { return {}; }
+  /// Non-learned persistent state (e.g. batch-norm running statistics);
+  /// serialized alongside parameters but never touched by optimisers.
+  virtual std::vector<Parameter*> buffers() { return {}; }
+};
+
+/// y = x W^T + b, with W stored (out x in) and Kaiming-uniform init.
+class Linear : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng, std::string name = "linear");
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+
+  Parameter& weight() { return weight_; }
+  Parameter& bias() { return bias_; }
+
+ private:
+  Parameter weight_;  ///< (out x in)
+  Parameter bias_;    ///< (1 x out)
+  Tensor cached_input_;
+};
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  Tensor mask_;
+};
+
+/// Inverted dropout: scales kept activations by 1/(1-p) during training.
+class Dropout : public Layer {
+ public:
+  Dropout(double p, Rng& rng);
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+
+ private:
+  double p_;
+  Rng* rng_;
+  Tensor mask_;
+};
+
+/// Batch normalisation over the row (batch) dimension of a [N, C] matrix,
+/// with running statistics for inference.
+class BatchNorm1d : public Layer {
+ public:
+  BatchNorm1d(std::size_t num_features, Rng& rng, double momentum = 0.1, double eps = 1e-5,
+              std::string name = "bn");
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<Parameter*> buffers() override;
+
+  Tensor& running_mean() { return running_mean_.value; }
+  Tensor& running_var() { return running_var_.value; }
+
+ private:
+  std::size_t features_;
+  double momentum_;
+  double eps_;
+  Parameter gamma_;  ///< (1 x C)
+  Parameter beta_;   ///< (1 x C)
+  Parameter running_mean_;  ///< buffer, not optimised
+  Parameter running_var_;   ///< buffer, not optimised
+  // Caches for backward.
+  Tensor x_hat_;
+  Tensor batch_var_;
+  bool trained_with_batch_ = false;
+};
+
+/// Runs layers in order; owns them.
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Builder-style append; returns a reference to the added layer.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    layers_.push_back(std::move(layer));
+    return ref;
+  }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Parameter*> parameters() override;
+  std::vector<Parameter*> buffers() override;
+
+  std::size_t size() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Convenience: builds Linear -> BatchNorm -> ReLU stacks (the per-point
+/// shared "MLP" unit of PointNet++-style networks).
+std::unique_ptr<Sequential> make_mlp(std::size_t in_features,
+                                     const std::vector<std::size_t>& hidden, Rng& rng,
+                                     bool batch_norm = true, const std::string& name = "mlp");
+
+}  // namespace gp::nn

@@ -1,0 +1,56 @@
+// First-order optimisers over Parameter lists.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace gp::nn {
+
+/// Base optimiser: step() applies accumulated gradients, then clears them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void step() = 0;
+  void zero_grad();
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Parameter*> params, double lr, double momentum = 0.0,
+      double weight_decay = 0.0);
+  void step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  double weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Parameter*> params, double lr = 1e-3, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8, double weight_decay = 0.0);
+  void step() override;
+
+  void set_lr(double lr) { lr_ = lr; }
+  double lr() const { return lr_; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double weight_decay_;
+  long step_count_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace gp::nn

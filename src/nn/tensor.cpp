@@ -1,0 +1,88 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gp::nn {
+
+Tensor::Tensor(std::size_t rows, std::size_t cols, float fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::randn(Rng& rng, double stddev) {
+  for (auto& v : data_) v = static_cast<float>(rng.gaussian(0.0, stddev));
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  check_arg(rows_ == other.rows_ && cols_ == other.cols_, "tensor shape mismatch in +=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (auto& v : data_) v *= s;
+  return *this;
+}
+
+double Tensor::sum() const {
+  double acc = 0.0;
+  for (float v : data_) acc += v;
+  return acc;
+}
+
+double Tensor::abs_max() const {
+  double best = 0.0;
+  for (float v : data_) best = std::max(best, static_cast<double>(std::fabs(v)));
+  return best;
+}
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_arg(a.cols() == b.rows(), "matmul inner dimension mismatch");
+  if (out.rows() != a.rows() || out.cols() != b.cols()) out = Tensor(a.rows(), b.cols());
+  out.zero();
+  // ikj loop order: streams through b and out rows contiguously.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const float aik = arow[k];
+      if (aik == 0.0f) continue;
+      const float* brow = b.row(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_arg(a.cols() == b.cols(), "matmul_bt inner dimension mismatch");
+  if (out.rows() != a.rows() || out.cols() != b.rows()) out = Tensor(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    float* orow = out.row(i);
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const float* brow = b.row(j);
+      float acc = 0.0f;
+      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
+      orow[j] = acc;
+    }
+  }
+}
+
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out) {
+  check_arg(a.rows() == b.rows(), "matmul_at inner dimension mismatch");
+  if (out.rows() != a.cols() || out.cols() != b.cols()) out = Tensor(a.cols(), b.cols());
+  out.zero();
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.row(k);
+    const float* brow = b.row(k);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* orow = out.row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
+    }
+  }
+}
+
+}  // namespace gp::nn

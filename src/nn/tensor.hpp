@@ -1,0 +1,66 @@
+// Dense float tensor (row-major) plus the matrix kernels the layer library
+// is built on. Two-dimensional matrices cover every need of this codebase:
+// point clouds are flattened to [rows, channels] before entering layers.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace gp::nn {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  /// Matrix constructor (the common case).
+  Tensor(std::size_t rows, std::size_t cols, float fill = 0.0f);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  float at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  float* row(std::size_t r) { return data_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  std::span<float> data() { return data_; }
+  std::span<const float> data() const { return data_; }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  void fill(float v);
+  void zero() { fill(0.0f); }
+
+  /// Gaussian init with the given stddev.
+  void randn(Rng& rng, double stddev);
+
+  /// Element-wise helpers used by optimisers/fusion code.
+  Tensor& operator+=(const Tensor& other);
+  Tensor& operator*=(float s);
+
+  /// Frobenius-style reductions for diagnostics.
+  double sum() const;
+  double abs_max() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+/// out = a (rows x k) * b (k x cols). Shapes validated.
+void matmul(const Tensor& a, const Tensor& b, Tensor& out);
+/// out = a (rows x k) * b^T where b is (cols x k).
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out);
+/// out = a^T (k x rows) * b (k x cols)  => (rows x cols).
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out);
+
+}  // namespace gp::nn

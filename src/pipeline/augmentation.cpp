@@ -1,0 +1,27 @@
+#include "pipeline/augmentation.hpp"
+
+#include "common/error.hpp"
+
+namespace gp {
+
+PointCloud jitter_cloud(const PointCloud& cloud, double sigma, Rng& rng) {
+  check_arg(sigma >= 0.0, "jitter sigma must be non-negative");
+  PointCloud out = cloud;
+  for (auto& p : out) {
+    p.position += Vec3(rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma),
+                       rng.gaussian(0.0, sigma));
+  }
+  return out;
+}
+
+std::vector<PointCloud> augment(const PointCloud& cloud, const AugmentationParams& params,
+                                Rng& rng) {
+  check_arg(params.copies >= 0, "augmentation copies must be non-negative");
+  std::vector<PointCloud> out;
+  out.reserve(static_cast<std::size_t>(params.copies) + 1);
+  out.push_back(cloud);
+  for (int i = 0; i < params.copies; ++i) out.push_back(jitter_cloud(cloud, params.sigma, rng));
+  return out;
+}
+
+}  // namespace gp

@@ -1,0 +1,25 @@
+// Training-time data augmentation (§IV-B): each gesture cloud is replicated
+// three times with i.i.d. Gaussian displacements (mu = 0, sigma = 0.02 m)
+// added to every point.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pointcloud/point.hpp"
+
+namespace gp {
+
+struct AugmentationParams {
+  double sigma = 0.02;   ///< displacement standard deviation, metres
+  int copies = 3;        ///< augmented copies per original sample
+};
+
+/// One jittered copy of `cloud`.
+PointCloud jitter_cloud(const PointCloud& cloud, double sigma, Rng& rng);
+
+/// The original plus `copies` jittered copies.
+std::vector<PointCloud> augment(const PointCloud& cloud, const AugmentationParams& params,
+                                Rng& rng);
+
+}  // namespace gp

@@ -1,0 +1,91 @@
+#include "pipeline/energy_segmentation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace gp {
+
+EnergySegmenter::EnergySegmenter(EnergySegmentationParams params) : params_(params) {
+  check_arg(params_.threshold_window >= 4, "threshold window too small");
+  check_arg(params_.detection_window >= 2, "detection window too small");
+  check_arg(params_.min_motion_frames >= 1 &&
+                params_.min_motion_frames <= params_.detection_window,
+            "min_motion_frames must fit the detection window");
+  check_arg(params_.threshold_scale >= 1.0, "threshold scale must be >= 1");
+  window_states_.assign(params_.detection_window, 0);
+}
+
+double EnergySegmenter::current_threshold() const {
+  if (recent_.size() <= params_.detection_window) return params_.min_threshold;
+  std::vector<double> history(recent_.begin(),
+                              recent_.end() - static_cast<std::ptrdiff_t>(
+                                                  params_.detection_window));
+  const double q = quantile(history, params_.threshold_quantile);
+  return std::max(params_.min_threshold, params_.threshold_scale * q);
+}
+
+void EnergySegmenter::push(double frame_energy) {
+  // Energies have no natural noise floor (unlike point counts), so nothing
+  // can be classified as motion until enough background has been observed
+  // to estimate one.
+  const bool primed = recent_.size() > params_.detection_window + 3;
+  const bool motion = primed && frame_energy >= current_threshold();
+
+  if (!in_gesture_) {
+    recent_.push_back(frame_energy);
+    if (recent_.size() > params_.threshold_window + params_.detection_window) {
+      recent_.pop_front();
+    }
+  }
+
+  window_states_[window_pos_] = motion ? 1 : 0;
+  window_pos_ = (window_pos_ + 1) % params_.detection_window;
+  const std::size_t motion_in_window = static_cast<std::size_t>(
+      std::count(window_states_.begin(), window_states_.end(), 1));
+
+  if (!in_gesture_) {
+    if (motion_in_window >= params_.min_motion_frames) {
+      in_gesture_ = true;
+      const std::size_t lookback = std::min<std::size_t>(params_.detection_window - 1,
+                                                         frames_seen_);
+      gesture_start_ = frames_seen_ - lookback;
+      last_motion_frame_ = frames_seen_;
+      pending_frames_ = lookback + 1;
+    }
+  } else {
+    ++pending_frames_;
+    if (motion) last_motion_frame_ = frames_seen_;
+    if (motion_in_window == 0 || pending_frames_ >= params_.max_gesture_frames) {
+      completed_.push_back({gesture_start_, last_motion_frame_});
+      in_gesture_ = false;
+      pending_frames_ = 0;
+    }
+  }
+  ++frames_seen_;
+}
+
+void EnergySegmenter::finish() {
+  if (in_gesture_) {
+    completed_.push_back({gesture_start_, last_motion_frame_});
+    in_gesture_ = false;
+    pending_frames_ = 0;
+  }
+}
+
+std::vector<EnergySegment> EnergySegmenter::take_segments() {
+  std::vector<EnergySegment> out;
+  out.swap(completed_);
+  return out;
+}
+
+std::vector<EnergySegment> EnergySegmenter::segment_all(const std::vector<double>& energies,
+                                                        EnergySegmentationParams params) {
+  EnergySegmenter segmenter(params);
+  for (double e : energies) segmenter.push(e);
+  segmenter.finish();
+  return segmenter.take_segments();
+}
+
+}  // namespace gp

@@ -1,0 +1,64 @@
+// DRAI-energy gesture segmentation — the DI-Gesture-style alternative the
+// paper contrasts its point-count method against (§IV-B: "Unlike DI-Gesture
+// segmenting gestures by applying a dynamic window mechanism to DRAI ...
+// we segment gestures based on radar point clouds").
+//
+// This segmenter consumes a per-frame scalar motion-energy signal (the
+// total energy of each frame's dynamic range-angle image) and applies the
+// same sliding-window state machine over an adaptive energy threshold. It
+// exists so the two approaches can be compared on identical recordings
+// (tests/test_drai.cpp); the point-cloud segmenter stays the default
+// because it needs no raw data cube at runtime.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace gp {
+
+struct EnergySegmentationParams {
+  std::size_t threshold_window = 50;   ///< background history length
+  std::size_t detection_window = 10;   ///< sliding window length
+  std::size_t min_motion_frames = 8;   ///< motion frames required to start
+  double threshold_quantile = 0.70;
+  double threshold_scale = 3.0;        ///< margin: thr = scale * quantile
+  double min_threshold = 1e-9;
+  std::size_t max_gesture_frames = 120;
+};
+
+struct EnergySegment {
+  std::size_t start_frame = 0;
+  std::size_t end_frame = 0;  ///< inclusive
+};
+
+/// Streaming segmenter over per-frame motion energies.
+class EnergySegmenter {
+ public:
+  explicit EnergySegmenter(EnergySegmentationParams params = {});
+
+  void push(double frame_energy);
+  void finish();
+  std::vector<EnergySegment> take_segments();
+
+  double current_threshold() const;
+
+  /// Convenience: segment a full recording's energy trace.
+  static std::vector<EnergySegment> segment_all(const std::vector<double>& energies,
+                                                EnergySegmentationParams params = {});
+
+ private:
+  EnergySegmentationParams params_;
+  std::deque<double> recent_;
+  std::vector<char> window_states_;
+  std::size_t window_pos_ = 0;
+  std::size_t frames_seen_ = 0;
+
+  bool in_gesture_ = false;
+  std::size_t gesture_start_ = 0;
+  std::size_t last_motion_frame_ = 0;
+  std::size_t pending_frames_ = 0;
+  std::vector<EnergySegment> completed_;
+};
+
+}  // namespace gp

@@ -1,0 +1,38 @@
+#include "pipeline/noise_cancel.hpp"
+
+namespace gp {
+
+NoiseCancelResult cancel_noise(const PointCloud& aggregated, const NoiseCancelParams& params) {
+  NoiseCancelResult result;
+  if (aggregated.empty()) return result;
+
+  const DbscanResult clusters = dbscan(aggregated, params.dbscan);
+  const int main_id = clusters.largest_cluster();
+  if (main_id == kDbscanNoise) {
+    // Everything is noise; degrade gracefully by keeping the raw cloud so a
+    // downstream classifier still has input (matches the paper's behaviour
+    // of always producing a gesture cloud per segment).
+    result.main_cluster = aggregated;
+    return result;
+  }
+
+  for (std::size_t i = 0; i < aggregated.size(); ++i) {
+    const int label = clusters.labels[i];
+    if (label == main_id) {
+      result.main_cluster.push_back(aggregated[i]);
+    } else if (label == kDbscanNoise) {
+      ++result.noise_points;
+    }
+  }
+  for (int c = 0; c < static_cast<int>(clusters.num_clusters); ++c) {
+    if (c == main_id) continue;
+    result.other_clusters.push_back(extract_cluster(aggregated, clusters, c));
+  }
+  return result;
+}
+
+NoiseCancelResult cancel_noise(const FrameSequence& frames, const NoiseCancelParams& params) {
+  return cancel_noise(aggregate(frames), params);
+}
+
+}  // namespace gp

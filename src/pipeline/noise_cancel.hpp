@@ -1,0 +1,27 @@
+// Noise canceling (§IV-B): DBSCAN over the aggregated gesture cloud with
+// D_max = 1 m, N_min = 4; keep the cluster with the most points (the user),
+// discard ghosts / other reflectors / other people.
+#pragma once
+
+#include "pointcloud/dbscan.hpp"
+#include "pointcloud/point.hpp"
+
+namespace gp {
+
+struct NoiseCancelParams {
+  DbscanParams dbscan{1.0, 4};
+};
+
+struct NoiseCancelResult {
+  PointCloud main_cluster;              ///< the retained gesture cloud
+  std::vector<PointCloud> other_clusters;  ///< discarded clusters (Fig. 15)
+  std::size_t noise_points = 0;         ///< DBSCAN outliers dropped
+};
+
+/// Cleans an aggregated gesture cloud.
+NoiseCancelResult cancel_noise(const PointCloud& aggregated, const NoiseCancelParams& params = {});
+
+/// Convenience: aggregate a segment's frames, then clean.
+NoiseCancelResult cancel_noise(const FrameSequence& frames, const NoiseCancelParams& params = {});
+
+}  // namespace gp

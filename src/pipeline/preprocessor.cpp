@@ -1,0 +1,75 @@
+#include "pipeline/preprocessor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "pointcloud/ops.hpp"
+
+namespace gp {
+
+Preprocessor::Preprocessor(PreprocessorParams params) : params_(params) {
+  check_arg(params_.frame_rate > 0.0, "frame rate must be positive");
+}
+
+GestureCloud Preprocessor::process_segment(const FrameSequence& segment) const {
+  GestureCloud out;
+  if (segment.empty()) return out;
+  const auto cleaned = cancel_noise(segment, params_.noise);
+  out.points = cleaned.main_cluster;
+  out.num_frames = segment.size();
+  out.first_frame = segment.front().frame_index;
+  out.duration_s = static_cast<double>(segment.size()) / params_.frame_rate;
+  return out;
+}
+
+std::vector<GestureCloud> Preprocessor::process(const FrameSequence& recording) const {
+  std::vector<GestureCloud> out;
+  for (const auto& segment : GestureSegmenter::segment_all(recording, params_.segmentation)) {
+    GestureCloud cloud = process_segment(segment.frames);
+    if (cloud.points.size() >= params_.min_points) out.push_back(std::move(cloud));
+  }
+  return out;
+}
+
+FeaturizedSample featurize(const GestureCloud& cloud, const FeatureConfig& config, Rng& rng) {
+  check_arg(!cloud.points.empty(), "featurize of empty gesture cloud");
+  check_arg(config.num_points > 0, "featurize needs num_points > 0");
+
+  const PointCloud sampled = resample(cloud.points, config.num_points, rng);
+  const Vec3 offset = config.center ? centroid(sampled) : Vec3{};
+
+  // Temporal channel: frame index normalised over the motion span.
+  int min_frame = sampled.front().frame;
+  int max_frame = sampled.front().frame;
+  for (const auto& p : sampled) {
+    min_frame = std::min(min_frame, p.frame);
+    max_frame = std::max(max_frame, p.frame);
+  }
+  const double frame_span = std::max(1, max_frame - min_frame);
+
+  FeaturizedSample out;
+  out.num_points = config.num_points;
+  out.dims = 7;
+  const float duration_norm = static_cast<float>(
+      std::min<double>(static_cast<double>(cloud.num_frames), 60.0) / 40.0);
+  out.positions.reserve(config.num_points * 3);
+  out.features.reserve(config.num_points * out.dims);
+
+  for (const auto& p : sampled) {
+    const Vec3 pos = p.position - offset;
+    out.positions.push_back(static_cast<float>(pos.x));
+    out.positions.push_back(static_cast<float>(pos.y));
+    out.positions.push_back(static_cast<float>(pos.z));
+
+    out.features.push_back(static_cast<float>(pos.x));
+    out.features.push_back(static_cast<float>(pos.y));
+    out.features.push_back(static_cast<float>(pos.z));
+    out.features.push_back(static_cast<float>(p.velocity / config.velocity_scale));
+    out.features.push_back(static_cast<float>(p.snr_db / config.snr_scale));
+    out.features.push_back(static_cast<float>((p.frame - min_frame) / frame_span));
+    out.features.push_back(duration_norm);
+  }
+  return out;
+}
+
+}  // namespace gp

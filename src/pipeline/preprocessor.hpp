@@ -1,0 +1,72 @@
+// End-to-end data preprocessing stage (Fig. 4, left half): point-cloud
+// capture is the radar's job; this module chains gesture segmentation ->
+// noise canceling -> aggregation and prepares fixed-size model inputs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pipeline/augmentation.hpp"
+#include "pipeline/noise_cancel.hpp"
+#include "pipeline/segmentation.hpp"
+#include "pointcloud/point.hpp"
+
+namespace gp {
+
+/// A preprocessed gesture: the cleaned aggregated cloud plus timing
+/// metadata (used by the duration study and the temporal feature channel).
+struct GestureCloud {
+  PointCloud points;
+  std::size_t num_frames = 0;  ///< motion length in radar frames
+  int first_frame = 0;         ///< first motion frame index
+  double duration_s = 0.0;
+};
+
+struct PreprocessorParams {
+  SegmentationParams segmentation;
+  NoiseCancelParams noise;
+  double frame_rate = 10.0;
+  std::size_t min_points = 8;  ///< segments with fewer points are dropped
+};
+
+/// Runs the full preprocessing stage over a recording.
+class Preprocessor {
+ public:
+  explicit Preprocessor(PreprocessorParams params = {});
+
+  std::vector<GestureCloud> process(const FrameSequence& recording) const;
+
+  /// Cleans a known single-gesture segment (used when ground-truth
+  /// segmentation is available, e.g. regenerated public datasets).
+  GestureCloud process_segment(const FrameSequence& segment) const;
+
+  const PreprocessorParams& params() const { return params_; }
+
+ private:
+  PreprocessorParams params_;
+};
+
+/// Model input layout configuration.
+struct FeatureConfig {
+  std::size_t num_points = 128;  ///< clouds are resampled to this count
+  double velocity_scale = 2.7;   ///< Doppler normalisation (max velocity)
+  double snr_scale = 30.0;       ///< SNR normalisation
+  bool center = true;            ///< subtract the centroid from positions
+};
+
+/// A fixed-size tensor view of one gesture cloud.
+/// `positions` (num_points x 3) feed the set-abstraction geometry;
+/// `features` (num_points x dims) carry [x, y, z, v, snr, t, dur] channels
+/// (dur = motion length in frames, constant across the sample's points — it
+/// preserves the pace cue that aggregating frames would otherwise dilute).
+struct FeaturizedSample {
+  std::size_t num_points = 0;
+  std::size_t dims = 0;
+  std::vector<float> positions;
+  std::vector<float> features;
+};
+
+FeaturizedSample featurize(const GestureCloud& cloud, const FeatureConfig& config, Rng& rng);
+
+}  // namespace gp

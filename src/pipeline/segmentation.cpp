@@ -1,0 +1,145 @@
+#include "pipeline/segmentation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace gp {
+
+GestureSegmenter::GestureSegmenter(SegmentationParams params) : params_(params) {
+  check_arg(params_.threshold_window >= 4, "threshold window too small");
+  check_arg(params_.detection_window >= 2, "detection window too small");
+  check_arg(params_.min_motion_frames >= 1 &&
+                params_.min_motion_frames <= params_.detection_window,
+            "min_motion_frames must be within the detection window");
+  check_arg(params_.threshold_quantile > 0.0 && params_.threshold_quantile < 1.0,
+            "threshold quantile must lie in (0,1)");
+  window_states_.assign(params_.detection_window, 0);
+}
+
+std::size_t GestureSegmenter::current_threshold() const {
+  // Exclude the newest n entries: they may be a gesture onset that has not
+  // crossed the F_Thr detection bar yet.
+  if (recent_counts_.size() <= params_.detection_window) return params_.min_threshold;
+  std::vector<double> counts(recent_counts_.begin(),
+                             recent_counts_.end() - static_cast<std::ptrdiff_t>(
+                                                        params_.detection_window));
+  const double q = quantile(counts, params_.threshold_quantile);
+  const auto dynamic =
+      static_cast<std::size_t>(q) + params_.threshold_margin;
+  return std::max(params_.min_threshold, dynamic);
+}
+
+bool GestureSegmenter::is_motion_frame(std::size_t point_count) const {
+  return point_count >= current_threshold();
+}
+
+void GestureSegmenter::push(const FrameCloud& frame) {
+  const bool motion = is_motion_frame(frame.points.size());
+
+  // Update the background history AFTER classifying and only outside
+  // gestures (a gesture must not inflate its own threshold). The lag in
+  // current_threshold() keeps the pre-detection onset frames out of the
+  // estimate; sustained clutter-level changes still flow through once they
+  // age past the detection window.
+  if (!in_gesture_) {
+    recent_counts_.push_back(frame.points.size());
+    if (recent_counts_.size() > params_.threshold_window + params_.detection_window) {
+      recent_counts_.pop_front();
+    }
+  }
+
+  // Update the sliding detection window.
+  window_states_[window_pos_] = motion ? 1 : 0;
+  window_pos_ = (window_pos_ + 1) % params_.detection_window;
+  window_frames_.push_back(frame);
+  if (window_frames_.size() > params_.detection_window) {
+    window_frames_.erase(window_frames_.begin());
+  }
+
+  const std::size_t motion_in_window = static_cast<std::size_t>(
+      std::count(window_states_.begin(), window_states_.end(), 1));
+
+  if (!in_gesture_) {
+    if (motion_in_window >= params_.min_motion_frames) {
+      in_gesture_ = true;
+      // Backfill: the gesture started at the first motion frame currently
+      // inside the window.
+      pending_.clear();
+      bool seen_motion = false;
+      for (const auto& wf : window_frames_) {
+        const bool wf_motion = wf.points.size() >= current_threshold();
+        if (!seen_motion && !wf_motion) continue;
+        seen_motion = true;
+        pending_.push_back(wf);
+      }
+      if (pending_.empty()) pending_.push_back(frame);
+      gesture_start_ = frames_seen_ + 1 - pending_.size();
+      last_motion_frame_ = frames_seen_;
+    }
+  } else {
+    pending_.push_back(frame);
+    if (motion) last_motion_frame_ = frames_seen_;
+
+    const bool window_all_static = motion_in_window == 0;
+    const bool forced_close = pending_.size() >= params_.max_gesture_frames;
+    if (window_all_static || forced_close) {
+      // A "gesture" that never ends is sustained clutter, not a gesture:
+      // feed its counts back into the background history so the threshold
+      // adapts instead of re-triggering forever.
+      if (forced_close) {
+        for (const auto& pf : pending_) {
+          recent_counts_.push_back(pf.points.size());
+          if (recent_counts_.size() >
+              params_.threshold_window + params_.detection_window) {
+            recent_counts_.pop_front();
+          }
+        }
+      }
+      // Trim trailing static frames beyond the last motion frame.
+      const std::size_t keep =
+          std::min(pending_.size(), last_motion_frame_ - gesture_start_ + 1);
+      GestureSegment seg;
+      seg.start_frame = gesture_start_;
+      seg.end_frame = gesture_start_ + keep - 1;
+      seg.frames.assign(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(keep));
+      completed_.push_back(std::move(seg));
+      in_gesture_ = false;
+      pending_.clear();
+    }
+  }
+  ++frames_seen_;
+}
+
+void GestureSegmenter::finish() {
+  if (in_gesture_ && !pending_.empty()) {
+    const std::size_t keep =
+        std::min(pending_.size(), last_motion_frame_ - gesture_start_ + 1);
+    if (keep > 0) {
+      GestureSegment seg;
+      seg.start_frame = gesture_start_;
+      seg.end_frame = gesture_start_ + keep - 1;
+      seg.frames.assign(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(keep));
+      completed_.push_back(std::move(seg));
+    }
+    in_gesture_ = false;
+    pending_.clear();
+  }
+}
+
+std::vector<GestureSegment> GestureSegmenter::take_segments() {
+  std::vector<GestureSegment> out;
+  out.swap(completed_);
+  return out;
+}
+
+std::vector<GestureSegment> GestureSegmenter::segment_all(const FrameSequence& frames,
+                                                          SegmentationParams params) {
+  GestureSegmenter segmenter(params);
+  for (const auto& frame : frames) segmenter.push(frame);
+  segmenter.finish();
+  return segmenter.take_segments();
+}
+
+}  // namespace gp

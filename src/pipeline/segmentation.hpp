@@ -1,0 +1,77 @@
+// Parameter-adaptive sliding-window gesture segmentation (§IV-B).
+//
+// The segmenter watches the per-frame point count. A dynamic threshold
+// P_Thr is derived from the cumulative distribution of counts over the last
+// N frames (idle frames dominate, so a high quantile of the recent counts
+// separates motion from background). A sliding window of length n decides
+// frame state; a gesture starts once the window holds >= F_Thr motion
+// frames and ends when the window is entirely static.
+//
+// Paper parameter values (§V): N = 50, n = 10, F_Thr = 8.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+#include "pointcloud/point.hpp"
+
+namespace gp {
+
+struct SegmentationParams {
+  std::size_t threshold_window = 50;   ///< N: frames used for the threshold
+  std::size_t detection_window = 10;   ///< n: sliding motion window
+  std::size_t min_motion_frames = 8;   ///< F_Thr
+  double threshold_quantile = 0.70;    ///< quantile of recent counts
+  std::size_t threshold_margin = 2;    ///< added above the quantile
+  std::size_t min_threshold = 3;       ///< floor for P_Thr
+  std::size_t max_gesture_frames = 120;///< safety bound on segment length
+};
+
+/// One segmented gesture motion.
+struct GestureSegment {
+  std::size_t start_frame = 0;  ///< index into the input sequence
+  std::size_t end_frame = 0;    ///< inclusive
+  FrameSequence frames;         ///< the motion frames (copies)
+};
+
+/// Streaming segmenter. Feed frames in order with push(); completed
+/// segments accumulate and can be drained with take_segments(). finish()
+/// flushes a gesture still in progress at stream end.
+class GestureSegmenter {
+ public:
+  explicit GestureSegmenter(SegmentationParams params = {});
+
+  void push(const FrameCloud& frame);
+  void finish();
+  std::vector<GestureSegment> take_segments();
+
+  /// Current adaptive threshold (exposed for tests and diagnostics).
+  std::size_t current_threshold() const;
+
+  /// Convenience: segments a complete recorded sequence in one call.
+  static std::vector<GestureSegment> segment_all(const FrameSequence& frames,
+                                                 SegmentationParams params = {});
+
+ private:
+  bool is_motion_frame(std::size_t point_count) const;
+
+  SegmentationParams params_;
+  /// Background point-count history (oldest first). The newest
+  /// `detection_window` entries are excluded from the threshold quantile so
+  /// a gesture onset cannot inflate its own threshold; older entries track
+  /// genuine clutter-level changes.
+  std::deque<std::size_t> recent_counts_;
+  std::vector<char> window_states_;         ///< ring over last n frames
+  std::size_t window_pos_ = 0;
+  std::size_t frames_seen_ = 0;
+
+  bool in_gesture_ = false;
+  FrameSequence pending_;                   ///< frames of the open gesture
+  std::vector<FrameCloud> window_frames_;   ///< frames inside the window
+  std::size_t gesture_start_ = 0;
+  std::size_t last_motion_frame_ = 0;
+  std::vector<GestureSegment> completed_;
+};
+
+}  // namespace gp

@@ -1,0 +1,83 @@
+#include "pointcloud/dbscan.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+int DbscanResult::largest_cluster() const {
+  if (num_clusters == 0) return kDbscanNoise;
+  std::vector<std::size_t> counts(num_clusters, 0);
+  for (int l : labels) {
+    if (l >= 0) ++counts[static_cast<std::size_t>(l)];
+  }
+  const auto it = std::max_element(counts.begin(), counts.end());
+  return static_cast<int>(std::distance(counts.begin(), it));
+}
+
+std::size_t DbscanResult::cluster_size(int cluster) const {
+  std::size_t n = 0;
+  for (int l : labels) {
+    if (l == cluster) ++n;
+  }
+  return n;
+}
+
+DbscanResult dbscan(const PointCloud& cloud, const DbscanParams& params) {
+  check_arg(params.max_distance > 0.0, "DBSCAN max_distance must be positive");
+  check_arg(params.min_points >= 1, "DBSCAN min_points must be >= 1");
+
+  const std::size_t n = cloud.size();
+  DbscanResult result;
+  result.labels.assign(n, kDbscanNoise);
+  if (n == 0) return result;
+
+  const double eps2 = params.max_distance * params.max_distance;
+  const auto neighbours = [&](std::size_t i) {
+    std::vector<std::size_t> out;
+    for (std::size_t j = 0; j < n; ++j) {
+      if ((cloud[i].position - cloud[j].position).norm2() <= eps2) out.push_back(j);
+    }
+    return out;  // includes i itself, matching the classic definition
+  };
+
+  std::vector<char> visited(n, 0);
+  int next_cluster = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (visited[i]) continue;
+    visited[i] = 1;
+    auto seed = neighbours(i);
+    if (seed.size() < params.min_points) continue;  // not a core point (yet)
+
+    const int cluster = next_cluster++;
+    result.labels[i] = cluster;
+    std::deque<std::size_t> queue(seed.begin(), seed.end());
+    while (!queue.empty()) {
+      const std::size_t j = queue.front();
+      queue.pop_front();
+      if (result.labels[j] == kDbscanNoise) result.labels[j] = cluster;  // border point
+      if (visited[j]) continue;
+      visited[j] = 1;
+      result.labels[j] = cluster;
+      const auto nb = neighbours(j);
+      if (nb.size() >= params.min_points) {
+        queue.insert(queue.end(), nb.begin(), nb.end());
+      }
+    }
+  }
+  result.num_clusters = static_cast<std::size_t>(next_cluster);
+  return result;
+}
+
+PointCloud extract_cluster(const PointCloud& cloud, const DbscanResult& result, int cluster) {
+  check_arg(cloud.size() == result.labels.size(), "DBSCAN result size mismatch");
+  PointCloud out;
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    if (result.labels[i] == cluster) out.push_back(cloud[i]);
+  }
+  return out;
+}
+
+}  // namespace gp

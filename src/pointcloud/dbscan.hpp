@@ -1,0 +1,39 @@
+// DBSCAN density clustering.
+//
+// Used by the noise-canceling module (§IV-B): cluster the aggregated gesture
+// cloud, keep the cluster with the most points (the user's body/arm), drop
+// everything else (multipath ghosts, other reflectors, other people).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pointcloud/point.hpp"
+
+namespace gp {
+
+struct DbscanParams {
+  double max_distance = 1.0;    ///< D_max: eps neighbourhood radius (m)
+  std::size_t min_points = 4;   ///< N_min: minimum cluster size (core point)
+};
+
+inline constexpr int kDbscanNoise = -1;
+
+struct DbscanResult {
+  /// Per-point cluster id in [0, num_clusters) or kDbscanNoise.
+  std::vector<int> labels;
+  std::size_t num_clusters = 0;
+
+  /// Index of the cluster with the most members; kDbscanNoise if none.
+  int largest_cluster() const;
+  /// Number of points assigned to `cluster`.
+  std::size_t cluster_size(int cluster) const;
+};
+
+/// Runs DBSCAN over point positions (Euclidean metric).
+DbscanResult dbscan(const PointCloud& cloud, const DbscanParams& params);
+
+/// Extracts the points of one cluster.
+PointCloud extract_cluster(const PointCloud& cloud, const DbscanResult& result, int cluster);
+
+}  // namespace gp

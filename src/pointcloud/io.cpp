@@ -1,0 +1,83 @@
+#include "pointcloud/io.hpp"
+
+#include <fstream>
+
+#include "common/csv.hpp"
+#include "common/serialize.hpp"
+#include "common/table.hpp"
+
+namespace gp {
+
+namespace {
+constexpr const char* kTag = "GPRC";
+}
+
+void save_recording(std::ostream& out, const FrameSequence& frames) {
+  BinaryWriter writer(out, kTag);
+  writer.write_u64(frames.size());
+  for (const auto& frame : frames) {
+    writer.write_i32(frame.frame_index);
+    writer.write_f64(frame.timestamp);
+    writer.write_u64(frame.points.size());
+    for (const auto& p : frame.points) {
+      writer.write_f64(p.position.x);
+      writer.write_f64(p.position.y);
+      writer.write_f64(p.position.z);
+      writer.write_f64(p.velocity);
+      writer.write_f64(p.snr_db);
+      writer.write_i32(p.frame);
+    }
+  }
+}
+
+void save_recording_file(const std::string& path, const FrameSequence& frames) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open recording for writing: " + path);
+  save_recording(out, frames);
+}
+
+FrameSequence load_recording(std::istream& in) {
+  BinaryReader reader(in, kTag);
+  FrameSequence frames;
+  const std::uint64_t frame_count = reader.read_u64();
+  frames.reserve(frame_count);
+  for (std::uint64_t f = 0; f < frame_count; ++f) {
+    FrameCloud frame;
+    frame.frame_index = reader.read_i32();
+    frame.timestamp = reader.read_f64();
+    const std::uint64_t point_count = reader.read_u64();
+    frame.points.reserve(point_count);
+    for (std::uint64_t i = 0; i < point_count; ++i) {
+      RadarPoint p;
+      p.position.x = reader.read_f64();
+      p.position.y = reader.read_f64();
+      p.position.z = reader.read_f64();
+      p.velocity = reader.read_f64();
+      p.snr_db = reader.read_f64();
+      p.frame = reader.read_i32();
+      frame.points.push_back(p);
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+std::optional<FrameSequence> load_recording_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  return load_recording(in);
+}
+
+void export_recording_csv(const std::string& path, const FrameSequence& frames) {
+  CsvWriter csv(path, {"frame", "t", "x", "y", "z", "velocity", "snr_db"});
+  for (const auto& frame : frames) {
+    for (const auto& p : frame.points) {
+      csv.write_row({std::to_string(frame.frame_index), Table::num(frame.timestamp, 3),
+                     Table::num(p.position.x, 4), Table::num(p.position.y, 4),
+                     Table::num(p.position.z, 4), Table::num(p.velocity, 3),
+                     Table::num(p.snr_db, 1)});
+    }
+  }
+}
+
+}  // namespace gp

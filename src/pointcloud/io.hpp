@@ -1,0 +1,30 @@
+// Recording I/O: persist and replay raw point-cloud frame streams.
+//
+// A deployment records FrameSequences (what the radar emits) for later
+// replay through the preprocessing pipeline — dataset exchange, regression
+// testing against captured streams, and offline debugging all go through
+// this format ("GPRC" tag in the gp binary container).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "pointcloud/point.hpp"
+
+namespace gp {
+
+/// Writes a frame stream to a gp-binary stream/file.
+void save_recording(std::ostream& out, const FrameSequence& frames);
+void save_recording_file(const std::string& path, const FrameSequence& frames);
+
+/// Reads a frame stream; throws SerializationError on malformed content.
+FrameSequence load_recording(std::istream& in);
+/// Returns nullopt when the file does not exist.
+std::optional<FrameSequence> load_recording_file(const std::string& path);
+
+/// Exports a frame stream as CSV (frame, t, x, y, z, velocity, snr_db) for
+/// external tooling.
+void export_recording_csv(const std::string& path, const FrameSequence& frames);
+
+}  // namespace gp

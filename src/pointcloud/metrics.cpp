@@ -1,0 +1,91 @@
+#include "pointcloud/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+namespace {
+
+double min_dist_to(const PointCloud& cloud, const Vec3& q) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& p : cloud) best = std::min(best, (p.position - q).norm2());
+  return std::sqrt(best);
+}
+
+}  // namespace
+
+double directed_hausdorff(const PointCloud& a, const PointCloud& b) {
+  check_arg(!a.empty() && !b.empty(), "Hausdorff of empty cloud");
+  double worst = 0.0;
+  for (const auto& p : a) worst = std::max(worst, min_dist_to(b, p.position));
+  return worst;
+}
+
+double hausdorff_distance(const PointCloud& a, const PointCloud& b) {
+  return std::max(directed_hausdorff(a, b), directed_hausdorff(b, a));
+}
+
+double chamfer_distance(const PointCloud& a, const PointCloud& b) {
+  check_arg(!a.empty() && !b.empty(), "Chamfer of empty cloud");
+  double acc_ab = 0.0;
+  for (const auto& p : a) acc_ab += min_dist_to(b, p.position);
+  double acc_ba = 0.0;
+  for (const auto& p : b) acc_ba += min_dist_to(a, p.position);
+  return 0.5 * (acc_ab / static_cast<double>(a.size()) + acc_ba / static_cast<double>(b.size()));
+}
+
+double jensen_shannon_divergence(const PointCloud& a, const PointCloud& b,
+                                 std::size_t resolution) {
+  check_arg(!a.empty() && !b.empty(), "JSD of empty cloud");
+  check_arg(resolution >= 2, "JSD resolution must be >= 2");
+
+  // Joint bounding box, padded slightly so max-coordinate points stay inside.
+  PointCloud joint = a;
+  joint.insert(joint.end(), b.begin(), b.end());
+  Aabb box = bounding_box(joint);
+  const Vec3 extent = box.extent();
+  const double pad = 1e-9 + 1e-6 * std::max({extent.x, extent.y, extent.z, 1.0});
+  box.max += Vec3(pad, pad, pad);
+
+  const auto voxelize = [&](const PointCloud& cloud) {
+    std::vector<double> hist(resolution * resolution * resolution, 0.0);
+    const Vec3 span = box.extent();
+    for (const auto& p : cloud) {
+      const auto cell = [&](double v, double lo, double s) {
+        if (s <= 0.0) return std::size_t{0};
+        const double t = (v - lo) / s;
+        const auto i = static_cast<std::ptrdiff_t>(t * static_cast<double>(resolution));
+        return static_cast<std::size_t>(
+            std::clamp<std::ptrdiff_t>(i, 0, static_cast<std::ptrdiff_t>(resolution) - 1));
+      };
+      const std::size_t ix = cell(p.position.x, box.min.x, span.x);
+      const std::size_t iy = cell(p.position.y, box.min.y, span.y);
+      const std::size_t iz = cell(p.position.z, box.min.z, span.z);
+      hist[(ix * resolution + iy) * resolution + iz] += 1.0;
+    }
+    for (auto& h : hist) h /= static_cast<double>(cloud.size());
+    return hist;
+  };
+
+  const auto pa = voxelize(a);
+  const auto pb = voxelize(b);
+
+  const auto kl = [](const std::vector<double>& p, const std::vector<double>& m) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (p[i] > 0.0 && m[i] > 0.0) acc += p[i] * std::log(p[i] / m[i]);
+    }
+    return acc;
+  };
+
+  std::vector<double> mid(pa.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) mid[i] = 0.5 * (pa[i] + pb[i]);
+  return 0.5 * kl(pa, mid) + 0.5 * kl(pb, mid);
+}
+
+}  // namespace gp

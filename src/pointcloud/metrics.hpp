@@ -1,0 +1,28 @@
+// Point-cloud dissimilarity metrics used in the paper's preliminary study
+// (§III, Fig. 3): Hausdorff distance, Chamfer distance, and Jensen–Shannon
+// divergence between voxelised occupancy distributions.
+#pragma once
+
+#include <cstddef>
+
+#include "pointcloud/point.hpp"
+
+namespace gp {
+
+/// Directed Hausdorff: max over a of min over b of ||a-b||.
+double directed_hausdorff(const PointCloud& a, const PointCloud& b);
+
+/// Symmetric Hausdorff distance: max of the two directed distances.
+double hausdorff_distance(const PointCloud& a, const PointCloud& b);
+
+/// Chamfer distance: mean closest-point distance, averaged over both
+/// directions (the point-set generation network convention).
+double chamfer_distance(const PointCloud& a, const PointCloud& b);
+
+/// Jensen–Shannon divergence between the voxel occupancy distributions of
+/// two clouds. Both clouds are voxelised over their joint bounding box with
+/// `resolution` cells per axis. Returns a value in [0, ln 2].
+double jensen_shannon_divergence(const PointCloud& a, const PointCloud& b,
+                                 std::size_t resolution = 16);
+
+}  // namespace gp

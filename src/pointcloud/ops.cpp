@@ -1,0 +1,98 @@
+#include "pointcloud/ops.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+std::vector<std::size_t> knn(const PointCloud& cloud, const Vec3& query, std::size_t k) {
+  check_arg(!cloud.empty(), "knn over empty cloud");
+  k = std::min(k, cloud.size());
+  std::vector<std::size_t> idx(cloud.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + static_cast<std::ptrdiff_t>(k), idx.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      return (cloud[a].position - query).norm2() <
+                             (cloud[b].position - query).norm2();
+                    });
+  idx.resize(k);
+  return idx;
+}
+
+std::vector<std::size_t> ball_query(const PointCloud& cloud, const Vec3& query, double radius,
+                                    std::size_t max_count) {
+  check_arg(radius > 0.0, "ball_query radius must be positive");
+  std::vector<std::pair<double, std::size_t>> hits;
+  const double r2 = radius * radius;
+  for (std::size_t i = 0; i < cloud.size(); ++i) {
+    const double d2 = (cloud[i].position - query).norm2();
+    if (d2 <= r2) hits.emplace_back(d2, i);
+  }
+  std::sort(hits.begin(), hits.end());
+  if (max_count > 0 && hits.size() > max_count) hits.resize(max_count);
+  std::vector<std::size_t> out;
+  out.reserve(hits.size());
+  for (const auto& [d2, i] : hits) out.push_back(i);
+  return out;
+}
+
+std::vector<std::size_t> farthest_point_sample(const PointCloud& cloud, std::size_t n,
+                                               std::size_t start) {
+  check_arg(!cloud.empty(), "FPS over empty cloud");
+  check_arg(start < cloud.size(), "FPS start index out of range");
+  if (n >= cloud.size()) {
+    std::vector<std::size_t> all(cloud.size());
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+
+  std::vector<std::size_t> selected;
+  selected.reserve(n);
+  std::vector<double> min_dist2(cloud.size(), std::numeric_limits<double>::infinity());
+  std::size_t current = start;
+  for (std::size_t round = 0; round < n; ++round) {
+    selected.push_back(current);
+    std::size_t farthest = 0;
+    double best = -1.0;
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+      const double d2 = (cloud[i].position - cloud[current].position).norm2();
+      min_dist2[i] = std::min(min_dist2[i], d2);
+      if (min_dist2[i] > best) {
+        best = min_dist2[i];
+        farthest = i;
+      }
+    }
+    current = farthest;
+  }
+  return selected;
+}
+
+PointCloud resample(const PointCloud& cloud, std::size_t n, Rng& rng) {
+  check_arg(!cloud.empty(), "resample of empty cloud");
+  check_arg(n > 0, "resample to zero points");
+  PointCloud out;
+  out.reserve(n);
+  if (cloud.size() >= n) {
+    for (std::size_t i : farthest_point_sample(cloud, n, rng.index(cloud.size()))) {
+      out.push_back(cloud[i]);
+    }
+  } else {
+    out = cloud;
+    while (out.size() < n) out.push_back(cloud[rng.index(cloud.size())]);
+  }
+  return out;
+}
+
+PointCloud normalize_centroid(const PointCloud& cloud, double scale) {
+  check_arg(scale != 0.0, "normalize_centroid scale must be non-zero");
+  if (cloud.empty()) return {};
+  const Vec3 c = centroid(cloud);
+  PointCloud out = cloud;
+  for (auto& p : out) p.position = (p.position - c) / scale;
+  return out;
+}
+
+}  // namespace gp

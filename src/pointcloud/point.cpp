@@ -1,0 +1,47 @@
+#include "pointcloud/point.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+PointCloud aggregate(const FrameSequence& frames) {
+  PointCloud out;
+  out.reserve(total_points(frames));
+  for (const auto& frame : frames) {
+    out.insert(out.end(), frame.points.begin(), frame.points.end());
+  }
+  return out;
+}
+
+Vec3 centroid(const PointCloud& cloud) {
+  check_arg(!cloud.empty(), "centroid of empty cloud");
+  Vec3 acc;
+  for (const auto& p : cloud) acc += p.position;
+  return acc / static_cast<double>(cloud.size());
+}
+
+Aabb bounding_box(const PointCloud& cloud) {
+  check_arg(!cloud.empty(), "bounding box of empty cloud");
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  Aabb box{{inf, inf, inf}, {-inf, -inf, -inf}};
+  for (const auto& p : cloud) {
+    box.min.x = std::min(box.min.x, p.position.x);
+    box.min.y = std::min(box.min.y, p.position.y);
+    box.min.z = std::min(box.min.z, p.position.z);
+    box.max.x = std::max(box.max.x, p.position.x);
+    box.max.y = std::max(box.max.y, p.position.y);
+    box.max.z = std::max(box.max.z, p.position.z);
+  }
+  return box;
+}
+
+std::size_t total_points(const FrameSequence& frames) {
+  std::size_t n = 0;
+  for (const auto& frame : frames) n += frame.points.size();
+  return n;
+}
+
+}  // namespace gp

@@ -1,0 +1,54 @@
+// Core point-cloud data types shared by the radar, pipeline and models.
+//
+// Coordinate frame (radar-centric, matching the paper's deployment): the
+// radar sits at the origin at a mounted height; +y points away from the
+// radar toward the user, +x to the radar's right, +z up.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec3.hpp"
+
+namespace gp {
+
+/// One detected radar point.
+struct RadarPoint {
+  Vec3 position;          ///< Cartesian position in metres (radar frame)
+  double velocity = 0.0;  ///< radial Doppler velocity, m/s (+ = receding)
+  double snr_db = 0.0;    ///< detection signal-to-noise ratio
+  int frame = 0;          ///< index of the radar frame that produced it
+};
+
+/// Unordered set of radar points (possibly aggregated across frames).
+using PointCloud = std::vector<RadarPoint>;
+
+/// Points detected in a single radar frame with its capture timestamp.
+struct FrameCloud {
+  int frame_index = 0;
+  double timestamp = 0.0;  ///< seconds since capture start
+  PointCloud points;
+};
+
+/// A temporal stream of frames, the unit the segmentation module consumes.
+using FrameSequence = std::vector<FrameCloud>;
+
+/// Concatenates the points of every frame (used after segmentation: the
+/// paper aggregates the whole gesture into one cloud before GesIDNet).
+PointCloud aggregate(const FrameSequence& frames);
+
+/// Arithmetic mean of point positions. Requires a non-empty cloud.
+Vec3 centroid(const PointCloud& cloud);
+
+/// Axis-aligned bounding box.
+struct Aabb {
+  Vec3 min;
+  Vec3 max;
+  Vec3 extent() const { return max - min; }
+};
+Aabb bounding_box(const PointCloud& cloud);
+
+/// Total number of points across all frames.
+std::size_t total_points(const FrameSequence& frames);
+
+}  // namespace gp

@@ -1,0 +1,44 @@
+#include "radar/config.hpp"
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+#include "dsp/fft.hpp"
+
+namespace gp {
+
+double RadarConfig::wavelength() const { return kSpeedOfLight / carrier_hz; }
+
+double RadarConfig::bandwidth_hz() const { return kSpeedOfLight / (2.0 * range_resolution); }
+
+double RadarConfig::chirp_duration_s() const { return wavelength() / (4.0 * max_velocity); }
+
+double RadarConfig::chirp_slope() const { return bandwidth_hz() / chirp_duration_s(); }
+
+double RadarConfig::adc_rate_hz() const {
+  return static_cast<double>(num_samples) / chirp_duration_s();
+}
+
+double RadarConfig::velocity_resolution() const {
+  return 2.0 * max_velocity / static_cast<double>(num_chirps);
+}
+
+double RadarConfig::max_range() const {
+  return static_cast<double>(num_range_bins()) * range_resolution;
+}
+
+void RadarConfig::validate() const {
+  check_arg(carrier_hz > 0.0, "carrier frequency must be positive");
+  check_arg(range_resolution > 0.0, "range resolution must be positive");
+  check_arg(max_velocity > 0.0, "max velocity must be positive");
+  check_arg(dsp::is_pow2(num_samples), "num_samples must be a power of two");
+  check_arg(dsp::is_pow2(num_chirps), "num_chirps must be a power of two");
+  check_arg(num_azimuth_antennas >= 2, "need >= 2 azimuth antennas");
+  check_arg(num_elevation_antennas >= 2, "need >= 2 elevation antennas");
+  check_arg(dsp::is_pow2(angle_fft_size) &&
+                angle_fft_size >= num_azimuth_antennas &&
+                angle_fft_size >= num_elevation_antennas,
+            "angle_fft_size must be pow2 and >= antenna counts");
+  check_arg(frame_rate > 0.0, "frame rate must be positive");
+}
+
+}  // namespace gp

@@ -1,0 +1,45 @@
+// FMCW radar configuration modelled on the paper's IWR6843AOPEVM settings
+// (§V): 60–64 GHz band, 3TX x 4RX, 10 fps, 0.04 m range resolution,
+// 2.7 m/s max radial velocity, 0.34 m/s velocity resolution.
+#pragma once
+
+#include <cstddef>
+
+#include "dsp/cfar.hpp"
+
+namespace gp {
+
+struct RadarConfig {
+  double carrier_hz = 60.25e9;      ///< chirp start frequency
+  double range_resolution = 0.04;   ///< m  (=> bandwidth = c / (2 * 0.04))
+  double max_velocity = 2.7;        ///< m/s, max unambiguous radial velocity
+  std::size_t num_samples = 256;    ///< ADC samples per chirp (pow2)
+  std::size_t num_chirps = 16;      ///< chirps per frame (pow2) => v_res 0.34
+  std::size_t num_azimuth_antennas = 8;   ///< virtual ULA along x
+  std::size_t num_elevation_antennas = 4; ///< virtual ULA along z
+  double frame_rate = 10.0;         ///< frames per second
+  double noise_sigma = 0.004;       ///< IF-sample AWGN standard deviation
+  double tx_gain = 0.08;            ///< amplitude scale of the radar equation
+  bool static_clutter_removal = true;
+  dsp::CfarConfig range_cfar{2, 8, 1e-4};
+  dsp::CfarConfig doppler_cfar{1, 4, 5e-3};
+  std::size_t angle_fft_size = 64;
+
+  // ---- derived quantities ----
+  double wavelength() const;
+  double bandwidth_hz() const;      ///< c / (2 * range_resolution)
+  double chirp_duration_s() const;  ///< lambda / (4 * max_velocity)
+  double chirp_slope() const;       ///< bandwidth / chirp duration
+  double adc_rate_hz() const;       ///< num_samples / chirp duration
+  double velocity_resolution() const;  ///< 2*max_velocity / num_chirps
+  double max_range() const;         ///< (num_samples/2) * range_resolution
+  std::size_t num_range_bins() const { return num_samples / 2; }
+  std::size_t num_virtual_antennas() const {
+    return num_azimuth_antennas + num_elevation_antennas;
+  }
+
+  /// Throws InvalidArgument if the configuration is inconsistent.
+  void validate() const;
+};
+
+}  // namespace gp

@@ -1,0 +1,87 @@
+#include "radar/fmcw.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace gp {
+
+TargetEcho reflector_to_echo(const Reflector& reflector) {
+  TargetEcho echo;
+  const Vec3& p = reflector.position;
+  echo.range = p.norm();
+  check_arg(echo.range > 1e-6, "reflector at the radar origin");
+  echo.radial_velocity = reflector.velocity.dot(p / echo.range);
+  const double ground = std::sqrt(p.x * p.x + p.y * p.y);
+  echo.azimuth = std::atan2(p.x, p.y);
+  echo.elevation = std::atan2(p.z, ground);
+  echo.rcs = reflector.rcs;
+  return echo;
+}
+
+dsp::DataCube synthesize_frame(const RadarConfig& config,
+                               const std::vector<Reflector>& reflectors, Rng& rng) {
+  config.validate();
+
+  dsp::DataCube cube;
+  cube.num_antennas = config.num_virtual_antennas();
+  cube.num_chirps = config.num_chirps;
+  cube.num_samples = config.num_samples;
+  cube.data.assign(cube.num_antennas * cube.num_chirps * cube.num_samples, dsp::cplx(0, 0));
+
+  const double slope = config.chirp_slope();
+  const double tc = config.chirp_duration_s();
+  const double ts = 1.0 / config.adc_rate_hz();
+  const double fc = config.carrier_hz;
+  const double max_range = config.max_range();
+
+  for (const auto& reflector : reflectors) {
+    const TargetEcho echo = reflector_to_echo(reflector);
+    if (echo.range >= max_range || echo.range < 0.05) continue;
+
+    const double amplitude =
+        config.tx_gain * std::sqrt(std::max(echo.rcs, 0.0)) / (echo.range * echo.range);
+    const double sin_az = std::sin(echo.azimuth);
+    const double cos_el = std::cos(echo.elevation);
+    const double sin_el = std::sin(echo.elevation);
+
+    for (std::size_t a = 0; a < cube.num_antennas; ++a) {
+      // Antennas [0, num_az) form the azimuth ULA along x; the rest form the
+      // elevation ULA along z. Element spacing lambda/2 in both.
+      double spatial_phase = 0.0;
+      if (a < config.num_azimuth_antennas) {
+        spatial_phase = kPi * static_cast<double>(a) * sin_az * cos_el;
+      } else {
+        spatial_phase = kPi * static_cast<double>(a - config.num_azimuth_antennas) * sin_el;
+      }
+
+      for (std::size_t c = 0; c < cube.num_chirps; ++c) {
+        const double range_c = echo.range + echo.radial_velocity * (static_cast<double>(c) * tc);
+        const double beat_freq = 2.0 * slope * range_c / kSpeedOfLight;
+        const double phi0 =
+            4.0 * kPi * fc * range_c / kSpeedOfLight + spatial_phase;
+
+        // exp(j(phi0 + 2*pi*f_b*ts*s)) via a complex recurrence.
+        const double dphi = 2.0 * kPi * beat_freq * ts;
+        dsp::cplx w(std::cos(phi0), std::sin(phi0));
+        const dsp::cplx step(std::cos(dphi), std::sin(dphi));
+        dsp::cplx* row = &cube.at(a, c, 0);
+        for (std::size_t s = 0; s < cube.num_samples; ++s) {
+          row[s] += amplitude * w;
+          w *= step;
+        }
+      }
+    }
+  }
+
+  // Receiver noise: circular complex AWGN on every sample.
+  if (config.noise_sigma > 0.0) {
+    for (auto& v : cube.data) {
+      v += dsp::cplx(rng.gaussian(0.0, config.noise_sigma), rng.gaussian(0.0, config.noise_sigma));
+    }
+  }
+  return cube;
+}
+
+}  // namespace gp

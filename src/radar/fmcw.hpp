@@ -1,0 +1,44 @@
+// FMCW IF-signal synthesis.
+//
+// For each reflector the received chirp mixes with the transmitted chirp to
+// an IF tone whose frequency encodes range, whose chirp-to-chirp phase
+// rotation encodes radial velocity, and whose antenna-to-antenna phase
+// encodes arrival angle. We synthesise exactly that model:
+//
+//   s(a, c, t) = sum_k A_k * exp(j [ 2*pi*f_b(k,c) * t + phi_0(k,c) + phi_a(k,a) ])
+//
+//   f_b   = 2 * slope * R_kc / c_light          (beat frequency)
+//   phi_0 = 4*pi * f_carrier * R_kc / c_light   (round-trip carrier phase)
+//   R_kc  = R_k + v_k * c * T_chirp             (range at chirp c)
+//   phi_a = pi * a * sin(az)*cos(el)            (azimuth ULA, lambda/2)
+//         | pi * e * sin(el)                    (elevation ULA, lambda/2)
+//   A_k   = tx_gain * sqrt(rcs) / R^2           (radar-equation amplitude)
+//
+// plus complex AWGN. The per-sample phase advance is constant within a
+// chirp, so the inner loop is a complex-multiply recurrence (no exp calls).
+#pragma once
+
+#include "common/rng.hpp"
+#include "dsp/range_doppler.hpp"
+#include "kinematics/performer.hpp"
+#include "radar/config.hpp"
+
+namespace gp {
+
+/// Spherical target parameters as seen from the radar at the origin.
+struct TargetEcho {
+  double range = 0.0;          ///< m
+  double radial_velocity = 0;  ///< m/s, + receding
+  double azimuth = 0.0;        ///< rad, + toward +x
+  double elevation = 0.0;      ///< rad, + toward +z
+  double rcs = 1.0;
+};
+
+/// Converts a reflector (Cartesian position/velocity) to echo parameters.
+TargetEcho reflector_to_echo(const Reflector& reflector);
+
+/// Synthesises the raw IF data cube for one frame of reflectors.
+dsp::DataCube synthesize_frame(const RadarConfig& config,
+                               const std::vector<Reflector>& reflectors, Rng& rng);
+
+}  // namespace gp

@@ -1,0 +1,81 @@
+#include "radar/frontend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "dsp/angle.hpp"
+#include "radar/fmcw.hpp"
+
+namespace gp {
+
+PointCloud detect_points(const RadarConfig& config, const dsp::DataCube& cube, int frame_index) {
+  dsp::RangeDopplerConfig rd_config;
+  rd_config.static_clutter_removal = config.static_clutter_removal;
+  const auto rd = dsp::range_doppler_transform(cube, rd_config);
+  const auto power_map = dsp::integrate_power(rd);
+  const auto detections = dsp::cfar_2d(power_map, config.range_cfar, config.doppler_cfar);
+
+  const std::size_t zero_doppler = config.num_chirps / 2;
+  PointCloud points;
+  points.reserve(detections.size());
+
+  for (const auto& det : detections) {
+    // The device discards zero-Doppler detections when static clutter
+    // removal is enabled (they are residual clutter by construction).
+    if (config.static_clutter_removal && det.col == zero_doppler) continue;
+
+    const double range = (static_cast<double>(det.row) + 0.5) * config.range_resolution;
+    const double velocity =
+        (static_cast<double>(det.col) - static_cast<double>(zero_doppler)) *
+        config.velocity_resolution();
+
+    // Angle estimation from per-antenna snapshots at this range-Doppler bin.
+    std::vector<dsp::cplx> az_snap(config.num_azimuth_antennas);
+    for (std::size_t a = 0; a < config.num_azimuth_antennas; ++a) {
+      az_snap[a] = rd.at(a, det.row, det.col);
+    }
+    std::vector<dsp::cplx> el_snap(config.num_elevation_antennas);
+    for (std::size_t e = 0; e < config.num_elevation_antennas; ++e) {
+      el_snap[e] = rd.at(config.num_azimuth_antennas + e, det.row, det.col);
+    }
+
+    const auto el_est = dsp::estimate_angle(el_snap, config.angle_fft_size);
+    const double elevation = el_est.angle_rad;
+
+    // The azimuth ULA measures spatial frequency sin(az)*cos(el); undo the
+    // elevation projection.
+    const auto az_est = dsp::estimate_angle(az_snap, config.angle_fft_size);
+    const double cos_el = std::max(std::cos(elevation), 0.2);
+    const double sin_az = std::clamp(std::sin(az_est.angle_rad) / cos_el, -1.0, 1.0);
+    const double azimuth = std::asin(sin_az);
+
+    RadarPoint point;
+    point.position = Vec3(range * std::sin(azimuth) * std::cos(elevation),
+                          range * std::cos(azimuth) * std::cos(elevation),
+                          range * std::sin(elevation));
+    point.velocity = velocity;
+    point.snr_db = det.snr_db();
+    point.frame = frame_index;
+    points.push_back(point);
+  }
+  return points;
+}
+
+FrameCloud process_frame(const RadarConfig& config, const SceneFrame& scene, Rng& rng) {
+  const auto cube = synthesize_frame(config, scene.reflectors, rng);
+  FrameCloud frame;
+  frame.frame_index = scene.frame_index;
+  frame.timestamp = scene.timestamp;
+  frame.points = detect_points(config, cube, scene.frame_index);
+  return frame;
+}
+
+FrameSequence process_scene(const RadarConfig& config, const SceneSequence& scene, Rng& rng) {
+  FrameSequence out;
+  out.reserve(scene.size());
+  for (const auto& frame : scene) out.push_back(process_frame(config, frame, rng));
+  return out;
+}
+
+}  // namespace gp

@@ -1,0 +1,23 @@
+// Full radar detection chain: IF data cube -> range/Doppler FFTs -> static
+// clutter removal -> CA-CFAR -> FFT angle estimation -> Cartesian points.
+// This mirrors the on-chip processing of the TI device used in the paper.
+#pragma once
+
+#include "common/rng.hpp"
+#include "dsp/range_doppler.hpp"
+#include "kinematics/performer.hpp"
+#include "pointcloud/point.hpp"
+#include "radar/config.hpp"
+
+namespace gp {
+
+/// Runs the detection chain over an already-synthesised data cube.
+PointCloud detect_points(const RadarConfig& config, const dsp::DataCube& cube, int frame_index);
+
+/// Synthesises and processes one frame of reflectors end to end.
+FrameCloud process_frame(const RadarConfig& config, const SceneFrame& scene, Rng& rng);
+
+/// Processes a whole scene sequence (one gesture performance).
+FrameSequence process_scene(const RadarConfig& config, const SceneSequence& scene, Rng& rng);
+
+}  // namespace gp

@@ -1,0 +1,75 @@
+#include "radar/link_budget.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/math_utils.hpp"
+
+namespace gp {
+
+LinkBudget compute_link_budget(const RadarConfig& config, double range_m, double rcs) {
+  config.validate();
+  check_arg(range_m > 0.05, "link budget needs a positive range");
+  check_arg(rcs > 0.0, "link budget needs a positive RCS");
+
+  LinkBudget budget;
+  // IF amplitude per the synthesis model (radar/fmcw.cpp): A = G sqrt(rcs)/R^2.
+  budget.received_amplitude = config.tx_gain * std::sqrt(rcs) / (range_m * range_m);
+
+  // Coherent processing gain. With a window w, an FFT of N samples raises a
+  // tone of amplitude A to peak amplitude A * N * CG(w); Hann CG = 0.5.
+  constexpr double kHannGain = 0.5;
+  const double range_fft_amp = static_cast<double>(config.num_samples) * kHannGain;
+  const double doppler_fft_amp = static_cast<double>(config.num_chirps) * kHannGain;
+  const double signal_peak_amp = budget.received_amplitude * range_fft_amp * doppler_fft_amp;
+
+  // Power after non-coherent integration over V antennas: V * |peak|^2.
+  const double antennas = static_cast<double>(config.num_virtual_antennas());
+  const double signal_power = antennas * signal_peak_amp * signal_peak_amp;
+
+  // Noise: complex AWGN of per-sample variance 2*sigma^2 passes the two
+  // FFTs with power gain N*M * window-power (Hann power gain = 3/8), then
+  // the antenna sum adds V noise powers.
+  constexpr double kHannPowerGain = 0.375;
+  const double noise_power = antennas * 2.0 * config.noise_sigma * config.noise_sigma *
+                             static_cast<double>(config.num_samples) * kHannPowerGain *
+                             static_cast<double>(config.num_chirps) * kHannPowerGain;
+
+  budget.signal_power_db = 10.0 * std::log10(signal_power);
+  budget.noise_power_db = 10.0 * std::log10(noise_power);
+  budget.snr_db = budget.signal_power_db - budget.noise_power_db;
+  // Gain relative to a single raw sample's SNR.
+  const double raw_snr = (budget.received_amplitude * budget.received_amplitude) /
+                         (2.0 * config.noise_sigma * config.noise_sigma);
+  budget.processing_gain_db = budget.snr_db - 10.0 * std::log10(raw_snr);
+  return budget;
+}
+
+double detection_range(const RadarConfig& config, double rcs, double snr_threshold_db) {
+  // SNR is monotonically decreasing in range (R^-4 power law), so bisect.
+  double lo = 0.2;
+  double hi = config.max_range();
+  if (compute_link_budget(config, hi, rcs).snr_db >= snr_threshold_db) return hi;
+  if (compute_link_budget(config, lo, rcs).snr_db < snr_threshold_db) return lo;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (compute_link_budget(config, mid, rcs).snr_db >= snr_threshold_db) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+FastBackendConfig calibrate_fast_backend(const RadarConfig& config, FastBackendConfig base,
+                                         double implementation_loss_db) {
+  // Pin the geometric backend's reference point to the analytic budget of a
+  // unit-RCS reflector at the reference range, minus the implementation
+  // loss (see header).
+  base.snr_ref_db =
+      compute_link_budget(config, base.ref_range, 1.0).snr_db - implementation_loss_db;
+  return base;
+}
+
+}  // namespace gp

@@ -1,0 +1,43 @@
+// Radar link-budget analysis.
+//
+// Computes the post-processing SNR a reflector of given RCS yields at a
+// given range under a RadarConfig, from first principles: the radar
+// equation plus the coherent processing gains of the range FFT, Doppler FFT
+// and non-coherent antenna integration. This is the calculation that
+// justifies FastBackendConfig's calibration constants (snr_ref_db,
+// range_falloff) and predicts the distance behaviour Fig. 11 measures.
+#pragma once
+
+#include "radar/config.hpp"
+#include "radar/fast_backend.hpp"
+
+namespace gp {
+
+struct LinkBudget {
+  double received_amplitude = 0.0;  ///< IF-signal amplitude of the echo
+  double signal_power_db = 0.0;     ///< post-FFT peak power, dB
+  double noise_power_db = 0.0;      ///< post-FFT noise floor, dB
+  double snr_db = 0.0;              ///< signal - noise
+  double processing_gain_db = 0.0;  ///< range+Doppler FFT + antenna gain
+};
+
+/// Analytic link budget for a point reflector (IF model of radar/fmcw.cpp,
+/// Hann windows as in the processing chain).
+LinkBudget compute_link_budget(const RadarConfig& config, double range_m, double rcs);
+
+/// Range at which the post-processing SNR crosses `snr_threshold_db`
+/// (bisection over [0.2, max_range]); the radar's practical detection range
+/// for that RCS. Returns max_range when never crossing.
+double detection_range(const RadarConfig& config, double rcs, double snr_threshold_db);
+
+/// Calibrates a FastBackendConfig's reference SNR from the analytic budget
+/// minus an implementation-loss margin. The analytic value is the ideal
+/// coherent point-target bound; a gesturing arm loses ~25-35 dB against it
+/// in practice (energy spread across range/Doppler cells during the frame,
+/// skin/cloth RCS fluctuation, CFAR threshold margin, clutter-filter
+/// attenuation of slow components). The default margin reproduces the
+/// empirically tuned FastBackendConfig reference.
+FastBackendConfig calibrate_fast_backend(const RadarConfig& config, FastBackendConfig base = {},
+                                         double implementation_loss_db = 30.0);
+
+}  // namespace gp

@@ -1,0 +1,55 @@
+#include "system/cross_validate.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "eval/splits.hpp"
+
+namespace gp {
+
+CrossValidationResult cross_validate(const Dataset& dataset, const GesturePrintConfig& config,
+                                     std::size_t k, std::uint64_t seed) {
+  check_arg(k >= 2, "cross-validation needs k >= 2");
+
+  Rng rng(seed, 0x853c49e6748fea9bULL);
+  std::vector<int> strata;
+  strata.reserve(dataset.samples.size());
+  const int num_users = static_cast<int>(dataset.num_users());
+  for (const auto& s : dataset.samples) strata.push_back(s.gesture * num_users + s.user);
+  const std::vector<Split> folds = stratified_kfold(strata, k, rng);
+
+  CrossValidationResult result;
+  result.folds.reserve(k);
+  for (const Split& fold : folds) {
+    GesturePrintConfig fold_config = config;
+    fold_config.seed = config.seed + result.folds.size() + 1;
+    GesturePrintSystem system(fold_config);
+    system.fit(dataset, fold.train);
+    result.folds.push_back(system.evaluate(dataset, fold.test));
+  }
+
+  double gra_acc = 0.0;
+  double uia_acc = 0.0;
+  double eer_acc = 0.0;
+  for (const auto& fold : result.folds) {
+    gra_acc += fold.gra;
+    uia_acc += fold.uia;
+    eer_acc += fold.user_roc.eer();
+  }
+  const double n = static_cast<double>(result.folds.size());
+  result.mean_gra = gra_acc / n;
+  result.mean_uia = uia_acc / n;
+  result.mean_eer = eer_acc / n;
+
+  double gra_var = 0.0;
+  double uia_var = 0.0;
+  for (const auto& fold : result.folds) {
+    gra_var += (fold.gra - result.mean_gra) * (fold.gra - result.mean_gra);
+    uia_var += (fold.uia - result.mean_uia) * (fold.uia - result.mean_uia);
+  }
+  result.std_gra = std::sqrt(gra_var / n);
+  result.std_uia = std::sqrt(uia_var / n);
+  return result;
+}
+
+}  // namespace gp

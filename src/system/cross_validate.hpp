@@ -1,0 +1,23 @@
+// k-fold cross-validation of the full system — the paper's protocol (§V:
+// "8:2 split with 5-fold cross-validation for reliable results").
+#pragma once
+
+#include "system/gestureprint.hpp"
+
+namespace gp {
+
+struct CrossValidationResult {
+  std::vector<SystemEvaluation> folds;
+  double mean_gra = 0.0;
+  double std_gra = 0.0;
+  double mean_uia = 0.0;
+  double std_uia = 0.0;
+  double mean_eer = 0.0;
+};
+
+/// Trains and evaluates one system per stratified fold (stratification on
+/// the (gesture, user) pair so every pair appears in every fold).
+CrossValidationResult cross_validate(const Dataset& dataset, const GesturePrintConfig& config,
+                                     std::size_t k = 5, std::uint64_t seed = 1234);
+
+}  // namespace gp

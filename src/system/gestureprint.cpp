@@ -1,0 +1,388 @@
+#include "system/gestureprint.hpp"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/math_utils.hpp"
+#include "common/serialize.hpp"
+#include "nn/loss.hpp"
+#include "nn/serialize_nn.hpp"
+
+namespace gp {
+
+GesturePrintSystem::GesturePrintSystem(GesturePrintConfig config)
+    : config_(std::move(config)), rng_(config_.seed, 0xB5297A4D3F2C1E05ULL) {}
+
+GesIDNet& GesturePrintSystem::gesture_model() {
+  check(gesture_model_ != nullptr, "system not fitted");
+  return *gesture_model_;
+}
+
+void GesturePrintSystem::fit(const Dataset& dataset,
+                             std::span<const std::size_t> train_indices) {
+  check_arg(!train_indices.empty(), "fit with empty training set");
+  num_gestures_ = dataset.num_gestures();
+  num_users_ = dataset.num_users();
+  check_arg(num_gestures_ >= 2 && num_users_ >= 2, "need >= 2 gestures and users");
+
+  // ---- gesture recognition model ----
+  {
+    GesIDNetConfig net = config_.network;
+    net.num_classes = num_gestures_;
+    Rng init = rng_.fork();
+    gesture_model_ = std::make_unique<GesIDNet>(net, init);
+    Rng prep_rng = rng_.fork();
+    const LabeledSamples train = prepare_subset(dataset, train_indices, LabelKind::kGesture,
+                                                config_.prep, prep_rng);
+    TrainConfig tc = config_.training;
+    tc.seed = rng_();
+    const TrainStats stats = train_classifier(*gesture_model_, train, tc);
+    log_debug() << "gesture model train acc " << stats.train_accuracy;
+  }
+
+  // ---- user identification model(s) ----
+  user_models_.clear();
+  GesIDNetConfig net = config_.network;
+  net.num_classes = num_users_;
+
+  if (config_.mode == IdentificationMode::kParallel) {
+    Rng init = rng_.fork();
+    auto model = std::make_unique<GesIDNet>(net, init);
+    Rng prep_rng = rng_.fork();
+    const LabeledSamples train =
+        prepare_subset(dataset, train_indices, LabelKind::kUser, config_.prep, prep_rng);
+    TrainConfig tc = config_.training;
+    tc.seed = rng_();
+    train_classifier(*model, train, tc);
+    user_models_.push_back(std::move(model));
+    return;
+  }
+
+  // Serialized: one ID model per gesture, trained on that gesture's samples.
+  user_models_.resize(num_gestures_);
+  for (std::size_t g = 0; g < num_gestures_; ++g) {
+    std::vector<std::size_t> gesture_indices;
+    for (std::size_t idx : train_indices) {
+      if (dataset.samples[idx].gesture == static_cast<int>(g)) gesture_indices.push_back(idx);
+    }
+    if (gesture_indices.empty()) continue;  // gesture absent from training
+
+    Rng init = rng_.fork();
+    auto model = std::make_unique<GesIDNet>(net, init);
+    Rng prep_rng = rng_.fork();
+    const LabeledSamples train = prepare_subset(dataset, gesture_indices, LabelKind::kUser,
+                                                config_.prep, prep_rng);
+    TrainConfig tc = config_.training;
+    tc.seed = rng_();
+    // Each per-gesture model sees only 1/num_gestures of the data, so a
+    // budget that trains the recognition model leaves these undertrained.
+    // Compensate with more epochs and smaller batches (total serialized-ID
+    // compute stays ~2x one full model pass).
+    if (train.size() < 500) {
+      tc.epochs = std::min<std::size_t>(tc.epochs * 2, 24);
+      tc.batch_size = 16;
+    }
+    train_classifier(*model, train, tc);
+    user_models_[g] = std::move(model);
+  }
+}
+
+namespace {
+
+// Parameters plus buffers: the full persistent state of one model.
+std::vector<nn::Parameter*> full_state(GesIDNet& model) {
+  std::vector<nn::Parameter*> state = model.parameters();
+  const auto buffers = model.buffers();
+  state.insert(state.end(), buffers.begin(), buffers.end());
+  return state;
+}
+
+}  // namespace
+
+void GesturePrintSystem::fine_tune(const Dataset& dataset,
+                                   std::span<const std::size_t> indices, std::size_t epochs,
+                                   double lr) {
+  check(fitted(), "fine_tune before fit");
+  check_arg(!indices.empty(), "fine_tune with no samples");
+  check_arg(dataset.num_gestures() == num_gestures_ && dataset.num_users() == num_users_,
+            "fine_tune label space mismatch");
+
+  TrainConfig tc = config_.training;
+  tc.epochs = epochs;
+  tc.lr = lr;
+  tc.seed = rng_();
+
+  {
+    Rng prep_rng = rng_.fork();
+    const LabeledSamples adapt =
+        prepare_subset(dataset, indices, LabelKind::kGesture, config_.prep, prep_rng);
+    train_classifier(*gesture_model_, adapt, tc);
+  }
+
+  if (config_.mode == IdentificationMode::kParallel) {
+    Rng prep_rng = rng_.fork();
+    const LabeledSamples adapt =
+        prepare_subset(dataset, indices, LabelKind::kUser, config_.prep, prep_rng);
+    train_classifier(*user_models_.front(), adapt, tc);
+    return;
+  }
+  for (std::size_t g = 0; g < num_gestures_; ++g) {
+    if (user_models_[g] == nullptr) continue;
+    std::vector<std::size_t> gesture_indices;
+    for (std::size_t idx : indices) {
+      if (dataset.samples[idx].gesture == static_cast<int>(g)) gesture_indices.push_back(idx);
+    }
+    // Per-gesture adaptation needs at least a minibatch worth of samples.
+    if (gesture_indices.size() < 4) continue;
+    Rng prep_rng = rng_.fork();
+    const LabeledSamples adapt = prepare_subset(dataset, gesture_indices, LabelKind::kUser,
+                                                config_.prep, prep_rng);
+    train_classifier(*user_models_[g], adapt, tc);
+  }
+}
+
+void GesturePrintSystem::save(const std::string& path) {
+  check(fitted(), "save before fit");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot open system file for writing: " + path);
+  BinaryWriter writer(out, "GPSY");
+  writer.write_u8(config_.mode == IdentificationMode::kSerialized ? 1 : 0);
+  writer.write_u32(static_cast<std::uint32_t>(num_gestures_));
+  writer.write_u32(static_cast<std::uint32_t>(num_users_));
+  nn::save_parameters(out, full_state(*gesture_model_));
+  writer.write_u32(static_cast<std::uint32_t>(user_models_.size()));
+  for (auto& model : user_models_) {
+    writer.write_u8(model != nullptr ? 1 : 0);
+    if (model != nullptr) nn::save_parameters(out, full_state(*model));
+  }
+}
+
+void GesturePrintSystem::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open system file for reading: " + path);
+  BinaryReader reader(in, "GPSY");
+  const bool serialized = reader.read_u8() == 1;
+  if (serialized != (config_.mode == IdentificationMode::kSerialized)) {
+    throw SerializationError("identification mode mismatch while loading system");
+  }
+  num_gestures_ = reader.read_u32();
+  num_users_ = reader.read_u32();
+
+  GesIDNetConfig gnet = config_.network;
+  gnet.num_classes = num_gestures_;
+  Rng ginit = rng_.fork();
+  gesture_model_ = std::make_unique<GesIDNet>(gnet, ginit);
+  nn::load_parameters(in, full_state(*gesture_model_));
+
+  GesIDNetConfig unet = config_.network;
+  unet.num_classes = num_users_;
+  const std::uint32_t model_count = reader.read_u32();
+  user_models_.clear();
+  user_models_.resize(model_count);
+  for (std::uint32_t g = 0; g < model_count; ++g) {
+    if (reader.read_u8() == 0) continue;
+    Rng uinit = rng_.fork();
+    user_models_[g] = std::make_unique<GesIDNet>(unet, uinit);
+    nn::load_parameters(in, full_state(*user_models_[g]));
+  }
+}
+
+InferenceResult GesturePrintSystem::classify(const GestureCloud& cloud) {
+  check(fitted(), "classify before fit");
+  const std::size_t rounds = std::max<std::size_t>(1, config_.eval_rounds);
+
+  // Featurize `rounds` stochastic resamplings of the cloud once; average
+  // posteriors over them (test-time augmentation).
+  std::vector<FeaturizedSample> variants;
+  variants.reserve(rounds);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    Rng feat_rng = rng_.fork();
+    variants.push_back(featurize(cloud, config_.prep.features, feat_rng));
+  }
+
+  InferenceResult result;
+  result.gesture_probabilities.assign(num_gestures_, 0.0);
+  {
+    const nn::Tensor probs = nn::softmax(predict_logits(*gesture_model_, variants));
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t c = 0; c < num_gestures_; ++c) {
+        result.gesture_probabilities[c] += probs.at(r, c) / static_cast<double>(rounds);
+      }
+    }
+  }
+  result.gesture = static_cast<int>(argmax(result.gesture_probabilities));
+
+  GesIDNet* id_model = nullptr;
+  if (config_.mode == IdentificationMode::kParallel) {
+    id_model = user_models_.front().get();
+  } else if (result.gesture >= 0 &&
+             static_cast<std::size_t>(result.gesture) < user_models_.size()) {
+    id_model = user_models_[static_cast<std::size_t>(result.gesture)].get();
+  }
+  if (id_model != nullptr) {
+    result.user_probabilities.assign(num_users_, 0.0);
+    const nn::Tensor probs = nn::softmax(predict_logits(*id_model, variants));
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t c = 0; c < num_users_; ++c) {
+        result.user_probabilities[c] += probs.at(r, c) / static_cast<double>(rounds);
+      }
+    }
+    result.user = static_cast<int>(argmax(result.user_probabilities));
+  }
+  return result;
+}
+
+GesturePrintSystem::EmbeddingResult GesturePrintSystem::id_embedding(const GestureCloud& cloud) {
+  check(fitted(), "id_embedding before fit");
+  Rng feat_rng = rng_.fork();
+  std::vector<FeaturizedSample> one;
+  one.push_back(featurize(cloud, config_.prep.features, feat_rng));
+
+  EmbeddingResult result;
+  result.gesture = argmax_labels(predict_logits(*gesture_model_, one))[0];
+
+  GesIDNet* id_model = nullptr;
+  if (config_.mode == IdentificationMode::kParallel) {
+    id_model = user_models_.front().get();
+  } else if (result.gesture >= 0 &&
+             static_cast<std::size_t>(result.gesture) < user_models_.size() &&
+             user_models_[static_cast<std::size_t>(result.gesture)] != nullptr) {
+    id_model = user_models_[static_cast<std::size_t>(result.gesture)].get();
+  }
+  if (id_model == nullptr) {
+    for (auto& m : user_models_) {
+      if (m != nullptr) {
+        id_model = m.get();
+        break;
+      }
+    }
+  }
+  check(id_model != nullptr, "no user model available");
+
+  const GesIDNet::Features features = id_model->extract_features(make_batch(one, 0, 1));
+  result.embedding.assign(features.fused_low.row(0),
+                          features.fused_low.row(0) + features.fused_low.cols());
+  return result;
+}
+
+SystemEvaluation GesturePrintSystem::evaluate(const Dataset& dataset,
+                                              std::span<const std::size_t> test_indices) {
+  std::vector<const GestureSample*> samples;
+  samples.reserve(test_indices.size());
+  for (std::size_t idx : test_indices) {
+    check_arg(idx < dataset.samples.size(), "test index out of range");
+    samples.push_back(&dataset.samples[idx]);
+  }
+  return evaluate_samples(samples);
+}
+
+SystemEvaluation GesturePrintSystem::evaluate_dataset(const Dataset& dataset) {
+  std::vector<const GestureSample*> samples;
+  samples.reserve(dataset.samples.size());
+  for (const auto& s : dataset.samples) samples.push_back(&s);
+  return evaluate_samples(samples);
+}
+
+SystemEvaluation GesturePrintSystem::evaluate_samples(
+    const std::vector<const GestureSample*>& samples) {
+  check(fitted(), "evaluate before fit");
+  check_arg(!samples.empty(), "evaluate with no samples");
+
+  // Featurize `eval_rounds` stochastic resamplings per sample (test-time
+  // augmentation; no positional jitter) and average the posteriors.
+  const std::size_t rounds = std::max<std::size_t>(1, config_.eval_rounds);
+  std::vector<std::vector<FeaturizedSample>> round_features(rounds);
+  std::vector<int> truth_gesture;
+  std::vector<int> truth_user;
+  for (const GestureSample* s : samples) {
+    truth_gesture.push_back(s->gesture);
+    truth_user.push_back(s->user);
+  }
+  for (std::size_t r = 0; r < rounds; ++r) {
+    Rng feat_rng = rng_.fork();
+    round_features[r].reserve(samples.size());
+    for (const GestureSample* s : samples) {
+      round_features[r].push_back(featurize(s->cloud, config_.prep.features, feat_rng));
+    }
+  }
+
+  SystemEvaluation eval;
+
+  // ---- gesture recognition ----
+  nn::Tensor gprobs(samples.size(), num_gestures_);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const nn::Tensor probs = nn::softmax(predict_logits(*gesture_model_, round_features[r]));
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      for (std::size_t c = 0; c < num_gestures_; ++c) {
+        gprobs.at(i, c) += probs.at(i, c) / static_cast<float>(rounds);
+      }
+    }
+  }
+  const std::vector<int> gpred = argmax_labels(gprobs);
+  eval.gesture_confusion = build_confusion(truth_gesture, gpred, num_gestures_);
+  eval.gra = eval.gesture_confusion.accuracy();
+  eval.grf1 = eval.gesture_confusion.macro_f1();
+  eval.grauc = macro_auc(gprobs, truth_gesture);
+
+  // ---- user identification ----
+  nn::Tensor uprobs(samples.size(), num_users_);
+
+  if (config_.mode == IdentificationMode::kParallel) {
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const nn::Tensor probs =
+          nn::softmax(predict_logits(*user_models_.front(), round_features[r]));
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        for (std::size_t c = 0; c < num_users_; ++c) {
+          uprobs.at(i, c) += probs.at(i, c) / static_cast<float>(rounds);
+        }
+      }
+    }
+  } else {
+    // Serialized: route each test sample to the ID model its *predicted*
+    // gesture selects (the runtime behaviour).
+    for (std::size_t g = 0; g < num_gestures_; ++g) {
+      std::vector<std::size_t> routed;
+      for (std::size_t i = 0; i < samples.size(); ++i) {
+        if (gpred[i] == static_cast<int>(g)) routed.push_back(i);
+      }
+      if (routed.empty()) continue;
+      GesIDNet* model = user_models_[g] != nullptr
+                            ? user_models_[g].get()
+                            : nullptr;
+      if (model == nullptr) {
+        // Gesture had no training data: fall back to any available model.
+        for (auto& m : user_models_) {
+          if (m != nullptr) {
+            model = m.get();
+            break;
+          }
+        }
+      }
+      check(model != nullptr, "no user model available");
+
+      for (std::size_t r = 0; r < rounds; ++r) {
+        std::vector<FeaturizedSample> routed_features;
+        routed_features.reserve(routed.size());
+        for (std::size_t i : routed) routed_features.push_back(round_features[r][i]);
+        const nn::Tensor probs = nn::softmax(predict_logits(*model, routed_features));
+        for (std::size_t k = 0; k < routed.size(); ++k) {
+          for (std::size_t c = 0; c < num_users_; ++c) {
+            uprobs.at(routed[k], c) += probs.at(k, c) / static_cast<float>(rounds);
+          }
+        }
+      }
+    }
+  }
+  const std::vector<int> upred = argmax_labels(uprobs);
+
+  eval.user_confusion = build_confusion(truth_user, upred, num_users_);
+  eval.uia = eval.user_confusion.accuracy();
+  eval.uif1 = eval.user_confusion.macro_f1();
+  eval.uiauc = macro_auc(uprobs, truth_user);
+  eval.user_roc = roc_from_probabilities(uprobs, truth_user);
+  return eval;
+}
+
+}  // namespace gp

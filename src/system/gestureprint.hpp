@@ -1,0 +1,115 @@
+// GesturePrint end-to-end system (Fig. 4): trains the GesIDNet recognition
+// model plus user-identification models, and classifies gesture clouds into
+// (gesture, user) pairs.
+//
+// Identification modes (§IV-C):
+//  * serialized (default): one user-ID model per gesture; at runtime the
+//    recognised gesture selects which ID model scores the cloud.
+//  * parallel: a single user-ID model trained across all gestures.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "datasets/prep.hpp"
+#include "eval/metrics.hpp"
+#include "eval/roc.hpp"
+#include "gesidnet/gesidnet.hpp"
+#include "gesidnet/trainer.hpp"
+
+namespace gp {
+
+enum class IdentificationMode { kSerialized, kParallel };
+
+struct GesturePrintConfig {
+  GesIDNetConfig network;          ///< num_classes is set per model internally
+  TrainConfig training;
+  PrepConfig prep{FeatureConfig{}, AugmentationParams{0.02, 2}, true};
+  IdentificationMode mode = IdentificationMode::kSerialized;
+  /// Test-time augmentation: logits are averaged over this many stochastic
+  /// featurizations (cloud resampling) per sample. Inference is cheap next
+  /// to training, and averaging removes resampling variance.
+  std::size_t eval_rounds = 3;
+  std::uint64_t seed = 99;
+};
+
+/// Result of classifying one gesture sample.
+struct InferenceResult {
+  int gesture = -1;
+  int user = -1;
+  std::vector<double> gesture_probabilities;
+  std::vector<double> user_probabilities;
+};
+
+/// Aggregate evaluation metrics matching Table II's columns.
+struct SystemEvaluation {
+  double gra = 0.0;    ///< gesture recognition accuracy
+  double grf1 = 0.0;
+  double grauc = 0.0;
+  double uia = 0.0;    ///< user identification accuracy
+  double uif1 = 0.0;
+  double uiauc = 0.0;
+  RocCurve user_roc;   ///< for Fig. 10 (EER via user_roc.eer())
+  ConfusionMatrix gesture_confusion{2};
+  ConfusionMatrix user_confusion{2};
+};
+
+class GesturePrintSystem {
+ public:
+  explicit GesturePrintSystem(GesturePrintConfig config = {});
+
+  /// Trains recognition + identification models on the selected samples.
+  void fit(const Dataset& dataset, std::span<const std::size_t> train_indices);
+
+  /// Continues training the already-fitted models on additional samples —
+  /// the §VII-2 mitigation: adapt to a new environment with a few local
+  /// recordings instead of retraining from scratch. Label spaces must match
+  /// the original fit.
+  void fine_tune(const Dataset& dataset, std::span<const std::size_t> indices,
+                 std::size_t epochs, double lr = 5e-4);
+
+  /// Persists every trained model (weights + batch-norm statistics).
+  void save(const std::string& path);
+  /// Restores a system saved with save(); the network configuration must
+  /// match the one this system was constructed with.
+  void load(const std::string& path);
+
+  /// Classifies one preprocessed gesture cloud (runtime path).
+  InferenceResult classify(const GestureCloud& cloud);
+
+  /// The fused identification embedding of a cloud (the Y^l1 feature of the
+  /// ID model the recognised gesture routes to), plus the recognised
+  /// gesture. Open-set rejection scores novelty in this space.
+  struct EmbeddingResult {
+    int gesture = -1;
+    std::vector<float> embedding;
+  };
+  EmbeddingResult id_embedding(const GestureCloud& cloud);
+
+  /// Batch evaluation over the selected test samples.
+  SystemEvaluation evaluate(const Dataset& dataset, std::span<const std::size_t> test_indices);
+
+  /// Evaluation against a differently-generated dataset (cross-distance /
+  /// cross-environment studies). Label spaces must match the fit dataset.
+  SystemEvaluation evaluate_dataset(const Dataset& dataset);
+
+  bool fitted() const { return gesture_model_ != nullptr; }
+  std::size_t num_gestures() const { return num_gestures_; }
+  std::size_t num_users() const { return num_users_; }
+  GesIDNet& gesture_model();
+  const GesturePrintConfig& config() const { return config_; }
+
+ private:
+  SystemEvaluation evaluate_samples(const std::vector<const GestureSample*>& samples);
+
+  GesturePrintConfig config_;
+  std::size_t num_gestures_ = 0;
+  std::size_t num_users_ = 0;
+  Rng rng_;
+  std::unique_ptr<GesIDNet> gesture_model_;
+  /// Serialized mode: index = gesture id; parallel mode: single entry.
+  std::vector<std::unique_ptr<GesIDNet>> user_models_;
+};
+
+}  // namespace gp

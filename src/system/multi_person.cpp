@@ -1,0 +1,96 @@
+#include "system/multi_person.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+SceneSequence merge_scenes(const SceneSequence& a, const SceneSequence& b) {
+  SceneSequence out = a.size() >= b.size() ? a : b;
+  const SceneSequence& shorter = a.size() >= b.size() ? b : a;
+  for (std::size_t i = 0; i < shorter.size(); ++i) {
+    out[i].reflectors.insert(out[i].reflectors.end(), shorter[i].reflectors.begin(),
+                             shorter[i].reflectors.end());
+  }
+  return out;
+}
+
+SceneSequence make_walker_scene(const WalkerConfig& config, Rng& rng) {
+  check_arg(config.num_frames > 0 && config.frame_rate > 0.0, "bad walker config");
+  SceneSequence scene;
+  scene.reserve(static_cast<std::size_t>(config.num_frames));
+  const double dt = 1.0 / config.frame_rate;
+
+  for (int f = 0; f < config.num_frames; ++f) {
+    SceneFrame frame;
+    frame.frame_index = f;
+    frame.timestamp = f * dt;
+    const Vec3 base = config.start + config.velocity * frame.timestamp;
+
+    // Torso column + swinging arms (gait micro-motion).
+    for (double h : {0.5, 0.7, 0.9, 1.1, 1.3}) {
+      Reflector r;
+      r.position = base + Vec3(rng.gaussian(0.0, 0.02), rng.gaussian(0.0, 0.02),
+                               h * config.height - config.radar_height);
+      r.velocity = config.velocity;
+      r.rcs = 1.4;
+      frame.reflectors.push_back(r);
+    }
+    // Swinging arm: sinusoidal fore-aft motion on top of the walk velocity.
+    const double swing_phase = 2.0 * 3.14159265358979 * 0.9 * frame.timestamp;
+    for (double side : {-1.0, 1.0}) {
+      Reflector r;
+      r.position = base + Vec3(side * 0.22, 0.25 * std::sin(swing_phase + side),
+                               0.58 * config.height - config.radar_height);
+      r.velocity = config.velocity +
+                   Vec3(0.0, 0.25 * 2.0 * 3.14159265358979 * 0.9 * std::cos(swing_phase + side),
+                        0.0);
+      r.rcs = 0.5;
+      frame.reflectors.push_back(r);
+    }
+    scene.push_back(std::move(frame));
+  }
+  return scene;
+}
+
+SeparationResult analyze_separation(const PointCloud& aggregated, const Vec3& user_position,
+                                    const NoiseCancelParams& params) {
+  SeparationResult result;
+  if (aggregated.empty()) return result;
+
+  const NoiseCancelResult cleaned = cancel_noise(aggregated, params);
+  result.num_clusters = 1 + cleaned.other_clusters.size();
+
+  std::size_t clustered_points = cleaned.main_cluster.size();
+  for (const auto& c : cleaned.other_clusters) clustered_points += c.size();
+  if (clustered_points == 0) return result;
+  result.main_cluster_fraction =
+      static_cast<double>(cleaned.main_cluster.size()) / static_cast<double>(clustered_points);
+
+  if (cleaned.main_cluster.empty()) return result;
+  const Vec3 main_centroid = centroid(cleaned.main_cluster);
+  const double main_to_user = distance(main_centroid, user_position);
+
+  double nearest_other_gap = std::numeric_limits<double>::infinity();
+  bool other_closer_to_user = false;
+  result.zone_cluster_size = cleaned.main_cluster.size();
+  result.zone_cluster_distance = main_to_user;
+  for (const auto& cluster : cleaned.other_clusters) {
+    if (cluster.empty()) continue;
+    const Vec3 c = centroid(cluster);
+    nearest_other_gap = std::min(nearest_other_gap, distance(c, main_centroid));
+    const double to_user = distance(c, user_position);
+    if (to_user < main_to_user) other_closer_to_user = true;
+    if (to_user < result.zone_cluster_distance) {
+      result.zone_cluster_distance = to_user;
+      result.zone_cluster_size = cluster.size();
+    }
+  }
+  result.centroid_gap = std::isfinite(nearest_other_gap) ? nearest_other_gap : 0.0;
+  result.main_cluster_is_user = !other_closer_to_user;
+  return result;
+}
+
+}  // namespace gp

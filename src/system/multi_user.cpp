@@ -1,0 +1,47 @@
+#include "system/multi_user.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+std::vector<MultiUserResult> classify_multi(GesturePrintSystem& system,
+                                            const FrameSequence& frames,
+                                            const TrackerParams& params) {
+  check_arg(system.fitted(), "classify_multi needs a fitted system");
+
+  ClusterTracker tracker(params);
+  for (const auto& frame : frames) tracker.push(frame);
+  tracker.finish();
+
+  std::vector<Track> tracks = tracker.take_finished();
+  std::sort(tracks.begin(), tracks.end(),
+            [](const Track& a, const Track& b) { return a.id < b.id; });
+
+  std::vector<MultiUserResult> results;
+  for (const Track& track : tracks) {
+    if (!track.reportable(params)) continue;
+
+    GestureCloud cloud;
+    cloud.points = track.points;
+    cloud.num_frames = track.frames_observed;
+    cloud.duration_s = static_cast<double>(track.frames_observed) * 0.1;
+    if (!cloud.points.empty()) {
+      int min_frame = cloud.points.front().frame;
+      for (const auto& p : cloud.points) min_frame = std::min(min_frame, p.frame);
+      cloud.first_frame = min_frame;
+    }
+
+    MultiUserResult result;
+    result.track_id = track.id;
+    result.position = track.centroid;
+    result.num_points = track.points.size();
+    result.frames_observed = track.frames_observed;
+    result.inference = system.classify(cloud);
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+}  // namespace gp

@@ -1,0 +1,26 @@
+// Simultaneous multi-user gesture classification (§VII-1 future work):
+// track every person in the scene, aggregate each track's points into its
+// own gesture cloud, and classify each independently with a fitted
+// GesturePrintSystem.
+#pragma once
+
+#include "system/gestureprint.hpp"
+#include "system/tracker.hpp"
+
+namespace gp {
+
+struct MultiUserResult {
+  int track_id = 0;
+  Vec3 position;                ///< last tracked centroid
+  std::size_t num_points = 0;
+  std::size_t frames_observed = 0;
+  InferenceResult inference;
+};
+
+/// Runs the tracker over a recording and classifies every reportable track.
+/// Results are ordered by track id (appearance order).
+std::vector<MultiUserResult> classify_multi(GesturePrintSystem& system,
+                                            const FrameSequence& frames,
+                                            const TrackerParams& params = {});
+
+}  // namespace gp

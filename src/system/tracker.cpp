@@ -1,0 +1,107 @@
+#include "system/tracker.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace gp {
+
+ClusterTracker::ClusterTracker(TrackerParams params) : params_(params) {
+  check_arg(params_.gate_distance > 0.0, "gate distance must be positive");
+  check_arg(params_.max_misses >= 1, "max_misses must be >= 1");
+}
+
+void ClusterTracker::push(const FrameCloud& frame) {
+  // Cluster this frame's points.
+  struct FrameCluster {
+    Vec3 centroid;
+    PointCloud points;
+    bool used = false;
+  };
+  std::vector<FrameCluster> clusters;
+  if (!frame.points.empty()) {
+    const DbscanResult result = dbscan(frame.points, params_.frame_cluster);
+    clusters.resize(result.num_clusters);
+    for (std::size_t i = 0; i < frame.points.size(); ++i) {
+      const int label = result.labels[i];
+      if (label < 0) continue;
+      clusters[static_cast<std::size_t>(label)].points.push_back(frame.points[i]);
+    }
+    for (auto& cluster : clusters) {
+      if (!cluster.points.empty()) cluster.centroid = centroid(cluster.points);
+    }
+  }
+
+  // Greedy nearest association: repeatedly match the globally closest
+  // (track, cluster) pair under the gate.
+  std::vector<char> track_used(tracks_.size(), 0);
+  while (true) {
+    double best = params_.gate_distance;
+    std::size_t best_track = tracks_.size();
+    std::size_t best_cluster = clusters.size();
+    for (std::size_t t = 0; t < tracks_.size(); ++t) {
+      if (track_used[t]) continue;
+      for (std::size_t c = 0; c < clusters.size(); ++c) {
+        if (clusters[c].used || clusters[c].points.empty()) continue;
+        const double d = distance(tracks_[t].centroid, clusters[c].centroid);
+        if (d < best) {
+          best = d;
+          best_track = t;
+          best_cluster = c;
+        }
+      }
+    }
+    if (best_track == tracks_.size()) break;
+
+    Track& track = tracks_[best_track];
+    FrameCluster& cluster = clusters[best_cluster];
+    track.centroid = cluster.centroid;
+    track.last_update_frame = frame.frame_index;
+    track.misses = 0;
+    track.points.insert(track.points.end(), cluster.points.begin(), cluster.points.end());
+    ++track.frames_observed;
+    track_used[best_track] = 1;
+    cluster.used = true;
+  }
+
+  // Unmatched clusters spawn new tracks.
+  for (auto& cluster : clusters) {
+    if (cluster.used || cluster.points.empty()) continue;
+    Track track;
+    track.id = next_id_++;
+    track.centroid = cluster.centroid;
+    track.last_update_frame = frame.frame_index;
+    track.points = cluster.points;
+    track.frames_observed = 1;
+    tracks_.push_back(std::move(track));
+    track_used.push_back(1);  // freshly spawned: updated this frame
+  }
+
+  // Unmatched tracks age; the stale ones retire.
+  std::vector<Track> alive;
+  alive.reserve(tracks_.size());
+  for (std::size_t t = 0; t < tracks_.size(); ++t) {
+    Track& track = tracks_[t];
+    if (!track_used[t] && track.last_update_frame != frame.frame_index) ++track.misses;
+    if (track.misses > params_.max_misses) {
+      finished_.push_back(std::move(track));
+    } else {
+      alive.push_back(std::move(track));
+    }
+  }
+  tracks_ = std::move(alive);
+}
+
+std::vector<Track> ClusterTracker::take_finished() {
+  std::vector<Track> out;
+  out.swap(finished_);
+  return out;
+}
+
+void ClusterTracker::finish() {
+  for (auto& track : tracks_) finished_.push_back(std::move(track));
+  tracks_.clear();
+}
+
+}  // namespace gp

@@ -1,0 +1,69 @@
+// Multi-target cluster tracking across radar frames.
+//
+// §VII-1's future-work direction (via m3Track): handle several people
+// interacting simultaneously. This module segments each frame's points into
+// spatial clusters, associates clusters across frames by nearest-centroid
+// matching, and maintains per-track point buffers, so every person's
+// gesture cloud can be preprocessed and classified independently
+// (GesturePrintSystem::classify on each track's aggregated cloud).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pointcloud/dbscan.hpp"
+#include "pointcloud/point.hpp"
+
+namespace gp {
+
+struct TrackerParams {
+  /// Per-frame clustering (looser than the aggregate noise-canceling pass:
+  /// single-frame clouds are sparse).
+  DbscanParams frame_cluster{0.7, 3};
+  /// Maximum centroid movement between consecutive frames to associate a
+  /// cluster with an existing track (humans move << 1 m per 100 ms).
+  double gate_distance = 0.6;
+  /// Frames a track survives without an associated cluster.
+  int max_misses = 5;
+  /// Minimum total points before a track is reported.
+  std::size_t min_track_points = 12;
+};
+
+/// One tracked person/object.
+struct Track {
+  int id = 0;
+  Vec3 centroid;            ///< latest associated cluster centroid
+  int last_update_frame = 0;
+  int misses = 0;           ///< consecutive frames without association
+  PointCloud points;        ///< all points accumulated by this track
+  std::size_t frames_observed = 0;
+
+  bool reportable(const TrackerParams& params) const {
+    return points.size() >= params.min_track_points;
+  }
+};
+
+/// Online nearest-centroid tracker over per-frame DBSCAN clusters.
+class ClusterTracker {
+ public:
+  explicit ClusterTracker(TrackerParams params = {});
+
+  /// Consumes one radar frame; updates/creates/retires tracks.
+  void push(const FrameCloud& frame);
+
+  /// Tracks currently alive (reportable or not).
+  const std::vector<Track>& tracks() const { return tracks_; }
+  /// Tracks retired because they went unseen for max_misses frames.
+  std::vector<Track> take_finished();
+
+  /// Finishes all live tracks (end of recording).
+  void finish();
+
+ private:
+  TrackerParams params_;
+  std::vector<Track> tracks_;
+  std::vector<Track> finished_;
+  int next_id_ = 0;
+};
+
+}  // namespace gp

@@ -1,0 +1,185 @@
+// Baseline classifier tests: each comparison network (PointNet / EdgeConv /
+// ProfileNet / DTW-kNN) must learn the same separable synthetic task, and
+// their specific mechanics (profiles, trajectories, DTW) are unit tested.
+#include <gtest/gtest.h>
+
+#include "baselines/dtw_knn.hpp"
+#include "baselines/edgeconv.hpp"
+#include "baselines/pointnet.hpp"
+#include "baselines/profile_net.hpp"
+#include "gesidnet/trainer.hpp"
+#include "nn/loss.hpp"
+
+namespace gp {
+namespace {
+
+// Class 0: slow cloud drifting left-to-rest; class 1: fast cloud moving up.
+// Separable in both trajectory and velocity statistics.
+FeaturizedSample synth_sample(int label, Rng& rng, std::size_t points = 32) {
+  FeaturizedSample s;
+  s.num_points = points;
+  s.dims = 7;
+  for (std::size_t i = 0; i < points; ++i) {
+    const double t = rng.uniform();
+    const double x = label == 0 ? 0.4 - 0.8 * t : 0.0;
+    const double z = label == 0 ? 0.0 : -0.3 + 0.6 * t;
+    const double v = label == 0 ? 0.3 : 0.9;
+    const double px = x + rng.gaussian(0.0, 0.05);
+    const double py = rng.gaussian(0.0, 0.05);
+    const double pz = z + rng.gaussian(0.0, 0.05);
+    s.positions.insert(s.positions.end(),
+                       {static_cast<float>(px), static_cast<float>(py), static_cast<float>(pz)});
+    s.features.insert(s.features.end(),
+                      {static_cast<float>(px), static_cast<float>(py), static_cast<float>(pz),
+                       static_cast<float>(v + rng.gaussian(0.0, 0.05)), 0.5f,
+                       static_cast<float>(t), 0.5f});
+  }
+  return s;
+}
+
+LabeledSamples synth_dataset(std::size_t per_class, Rng& rng) {
+  LabeledSamples data;
+  for (std::size_t i = 0; i < per_class; ++i) {
+    data.push(synth_sample(0, rng), 0);
+    data.push(synth_sample(1, rng), 1);
+  }
+  return data;
+}
+
+template <typename Model>
+void expect_learns(Model& model, Rng& rng, double min_accuracy = 0.9) {
+  const LabeledSamples train = synth_dataset(20, rng);
+  TrainConfig tc;
+  tc.epochs = 10;
+  tc.batch_size = 16;
+  tc.lr = 2e-3;
+  const TrainStats stats = train_classifier(model, train, tc);
+  EXPECT_GT(stats.train_accuracy, min_accuracy);
+
+  Rng fresh(4242);
+  const LabeledSamples test = synth_dataset(10, fresh);
+  const nn::Tensor logits = predict_logits(model, test.samples);
+  EXPECT_GT(nn::accuracy(logits, test.labels), min_accuracy);
+}
+
+TEST(PointNet, LearnsSeparableTask) {
+  Rng rng(1);
+  PointNetConfig config;
+  config.num_classes = 2;
+  config.point_mlp = {16, 32};
+  config.head_hidden = 16;
+  PointNetBaseline model(config, rng);
+  expect_learns(model, rng);
+}
+
+TEST(PointNet, OutputShape) {
+  Rng rng(2);
+  PointNetConfig config;
+  config.num_classes = 4;
+  PointNetBaseline model(config, rng);
+  std::vector<FeaturizedSample> samples{synth_sample(0, rng), synth_sample(1, rng)};
+  const nn::Tensor logits = model.infer(make_batch(samples, 0, 2));
+  EXPECT_EQ(logits.rows(), 2u);
+  EXPECT_EQ(logits.cols(), 4u);
+}
+
+TEST(EdgeConv, LearnsSeparableTask) {
+  Rng rng(3);
+  EdgeConvConfig config;
+  config.num_classes = 2;
+  config.k = 6;
+  config.edge_mlp = {16, 24};
+  config.global_mlp = {32};
+  config.head_hidden = 16;
+  EdgeConvBaseline model(config, rng);
+  expect_learns(model, rng);
+}
+
+TEST(EdgeConv, HandlesKLargerThanPointCount) {
+  Rng rng(4);
+  EdgeConvConfig config;
+  config.num_classes = 2;
+  config.k = 100;  // > points: clamped internally
+  EdgeConvBaseline model(config, rng);
+  std::vector<FeaturizedSample> samples{synth_sample(0, rng, 8), synth_sample(1, rng, 8)};
+  const nn::Tensor logits = model.infer(make_batch(samples, 0, 2));
+  EXPECT_EQ(logits.rows(), 2u);
+}
+
+TEST(ProfileNet, ProfileExtractionAveragesBins) {
+  Rng rng(5);
+  ProfileNetConfig config;
+  config.num_classes = 2;
+  config.time_bins = 4;
+  ProfileNetBaseline model(config, rng);
+
+  // One sample, all points in time bin 0 at x=1.
+  FeaturizedSample s;
+  s.num_points = 4;
+  s.dims = 7;
+  for (int i = 0; i < 4; ++i) {
+    s.positions.insert(s.positions.end(), {1.0f, 2.0f, 3.0f});
+    s.features.insert(s.features.end(), {1.0f, 2.0f, 3.0f, 0.5f, 0.7f, 0.0f, 0.5f});
+  }
+  std::vector<FeaturizedSample> samples{s};
+  const nn::Tensor profiles = model.extract_profiles(make_batch(samples, 0, 1));
+  EXPECT_EQ(profiles.cols(), 4u * 6);
+  EXPECT_FLOAT_EQ(profiles.at(0, 0), 1.0f);   // bin 0 centroid x
+  EXPECT_FLOAT_EQ(profiles.at(0, 3), 0.5f);   // bin 0 mean Doppler
+  EXPECT_FLOAT_EQ(profiles.at(0, 5), 1.0f);   // bin 0 holds all points
+  EXPECT_FLOAT_EQ(profiles.at(0, 6 + 5), 0.0f);  // bin 1 empty
+}
+
+TEST(ProfileNet, LearnsSeparableTask) {
+  Rng rng(6);
+  ProfileNetConfig config;
+  config.num_classes = 2;
+  config.time_bins = 8;
+  config.hidden = {32, 24};
+  ProfileNetBaseline model(config, rng);
+  expect_learns(model, rng);
+}
+
+TEST(DtwKnn, DistanceAxioms) {
+  Trajectory a{{0, 0, 0, 0}, {1, 0, 0, 0}, {2, 0, 0, 0}};
+  Trajectory b{{0, 1, 0, 0}, {1, 1, 0, 0}, {2, 1, 0, 0}};
+  EXPECT_NEAR(dtw_distance(a, a), 0.0, 1e-12);
+  EXPECT_NEAR(dtw_distance(a, b), dtw_distance(b, a), 1e-12);
+  EXPECT_GT(dtw_distance(a, b), 0.0);
+}
+
+TEST(DtwKnn, WarpingToleratesSpeedChange) {
+  // Same path traversed at different sampling densities: DTW distance must
+  // stay far below the distance to a genuinely different path.
+  Trajectory slow;
+  Trajectory fast;
+  for (int i = 0; i <= 10; ++i) slow.push_back({i * 0.1, 0, 0, 0});
+  for (int i = 0; i <= 5; ++i) fast.push_back({i * 0.2, 0, 0, 0});
+  Trajectory other;
+  for (int i = 0; i <= 10; ++i) other.push_back({0, i * 0.1, 0, 0});
+  EXPECT_LT(dtw_distance(slow, fast), 0.3 * dtw_distance(slow, other));
+}
+
+TEST(DtwKnn, ClassifiesSeparableTask) {
+  Rng rng(7);
+  DtwKnnClassifier classifier;
+  classifier.fit(synth_dataset(15, rng));
+
+  Rng fresh(4243);
+  const LabeledSamples test = synth_dataset(10, fresh);
+  const auto predictions = classifier.predict(test.samples);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i) {
+    correct += predictions[i] == test.labels[i] ? 1 : 0;
+  }
+  EXPECT_GT(static_cast<double>(correct) / predictions.size(), 0.85);
+}
+
+TEST(DtwKnn, PredictBeforeFitThrows) {
+  DtwKnnClassifier classifier;
+  Rng rng(8);
+  EXPECT_THROW(classifier.predict(synth_sample(0, rng)), Error);
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,273 @@
+// Dataset regenerator tests: catalogue structure vs Table I, generation
+// invariants (labels, distances, sample counts), environment/session
+// effects, featurization prep, and the dataset cache round-trip.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+
+#include "datasets/cache.hpp"
+#include "datasets/catalog.hpp"
+#include "datasets/prep.hpp"
+
+namespace gp {
+namespace {
+
+DatasetScale tiny_scale() {
+  DatasetScale scale;
+  scale.max_users = 3;
+  scale.reps = 3;
+  return scale;
+}
+
+TEST(Catalog, MirrorsTableOne) {
+  const DatasetScale full{1000, 12};
+  EXPECT_EQ(gestureprint_spec(0, full).gestures.size(), 15u);
+  EXPECT_EQ(gestureprint_spec(0, full).num_users, 17u);
+  EXPECT_EQ(pantomime_spec(0, full).gestures.size(), 21u);
+  EXPECT_EQ(pantomime_spec(0, full).num_users, 26u);
+  EXPECT_EQ(pantomime_spec(1, full).num_users, 14u);
+  EXPECT_EQ(mhomeges_spec({1.2}, full).gestures.size(), 10u);
+  EXPECT_EQ(mtranssee_spec({1.2}, full).num_users, 32u);
+  EXPECT_EQ(mtranssee_anchors().size(), 13u);  // 1.2–4.8 m
+  EXPECT_EQ(mhomeges_anchors().size(), 13u);   // 1.2–3.0 m
+  EXPECT_NEAR(mtranssee_anchors().back(), 4.8, 1e-9);
+}
+
+TEST(Catalog, SameCohortAcrossGestureprintEnvironments) {
+  // Paper: the same 17 participants in both environments.
+  const auto office = gestureprint_spec(0, tiny_scale());
+  const auto meeting = gestureprint_spec(1, tiny_scale());
+  EXPECT_EQ(office.user_seed, meeting.user_seed);
+  // Pantomime office/open cohorts differ.
+  EXPECT_NE(pantomime_spec(0, tiny_scale()).user_seed, pantomime_spec(1, tiny_scale()).user_seed);
+}
+
+TEST(Generate, SampleCountAndLabels) {
+  DatasetSpec spec = gestureprint_spec(1, tiny_scale());
+  spec.gestures.resize(4);
+  const Dataset dataset = generate_dataset(spec);
+
+  // 3 users x 4 gestures x 3 reps = 36 (minus rare empty-cloud drops).
+  EXPECT_GE(dataset.samples.size(), 30u);
+  EXPECT_LE(dataset.samples.size(), 36u);
+
+  std::set<int> gestures;
+  std::set<int> users;
+  for (const auto& s : dataset.samples) {
+    gestures.insert(s.gesture);
+    users.insert(s.user);
+    EXPECT_GE(s.cloud.points.size(), 4u);
+    EXPECT_GT(s.active_frames, 5u);
+    EXPECT_DOUBLE_EQ(s.distance, 1.2);
+  }
+  EXPECT_EQ(gestures.size(), 4u);
+  EXPECT_EQ(users.size(), 3u);
+}
+
+TEST(Generate, DeterministicForSameSpec) {
+  DatasetSpec spec = mtranssee_spec({1.2}, tiny_scale());
+  spec.gestures.resize(3);
+  const Dataset a = generate_dataset(spec);
+  const Dataset b = generate_dataset(spec);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    ASSERT_EQ(a.samples[i].cloud.points.size(), b.samples[i].cloud.points.size());
+    if (!a.samples[i].cloud.points.empty()) {
+      EXPECT_DOUBLE_EQ(a.samples[i].cloud.points[0].position.x,
+                       b.samples[i].cloud.points[0].position.x);
+    }
+  }
+}
+
+TEST(Generate, MultipleAnchorsCycleDistances) {
+  DatasetSpec spec = mtranssee_spec({1.2, 2.4}, tiny_scale());
+  spec.gestures.resize(2);
+  const Dataset dataset = generate_dataset(spec);
+  std::set<double> distances;
+  for (const auto& s : dataset.samples) distances.insert(s.distance);
+  EXPECT_EQ(distances.size(), 2u);
+}
+
+TEST(Generate, FartherAnchorsYieldSparserClouds) {
+  DatasetSpec spec = mtranssee_spec({1.2, 4.2}, tiny_scale());
+  spec.gestures.resize(3);
+  const Dataset dataset = generate_dataset(spec);
+  double near_points = 0.0;
+  double near_count = 0.0;
+  double far_points = 0.0;
+  double far_count = 0.0;
+  for (const auto& s : dataset.samples) {
+    if (s.distance < 2.0) {
+      near_points += static_cast<double>(s.cloud.points.size());
+      near_count += 1.0;
+    } else {
+      far_points += static_cast<double>(s.cloud.points.size());
+      far_count += 1.0;
+    }
+  }
+  ASSERT_GT(near_count, 0.0);
+  ASSERT_GT(far_count, 0.0);
+  EXPECT_GT(near_points / near_count, 1.5 * far_points / far_count);
+}
+
+TEST(Generate, GestureAndUserLabelVectorsAlign) {
+  DatasetSpec spec = gestureprint_spec(0, tiny_scale());
+  spec.gestures.resize(3);
+  const Dataset dataset = generate_dataset(spec);
+  const auto g = dataset.gesture_labels();
+  const auto u = dataset.user_labels();
+  ASSERT_EQ(g.size(), dataset.samples.size());
+  ASSERT_EQ(u.size(), dataset.samples.size());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    EXPECT_EQ(g[i], dataset.samples[i].gesture);
+    EXPECT_EQ(u[i], dataset.samples[i].user);
+  }
+}
+
+TEST(Prep, SubsetFeaturizationAndLabels) {
+  DatasetSpec spec = gestureprint_spec(1, tiny_scale());
+  spec.gestures.resize(3);
+  const Dataset dataset = generate_dataset(spec);
+
+  PrepConfig config;
+  config.augment = false;
+  Rng rng(1);
+  const auto idx = all_indices(dataset);
+  const LabeledSamples gesture_set =
+      prepare_subset(dataset, idx, LabelKind::kGesture, config, rng);
+  EXPECT_EQ(gesture_set.size(), dataset.samples.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    EXPECT_EQ(gesture_set.labels[i], dataset.samples[idx[i]].gesture);
+    EXPECT_EQ(gesture_set.samples[i].num_points, config.features.num_points);
+  }
+
+  const LabeledSamples user_set = prepare_subset(dataset, idx, LabelKind::kUser, config, rng);
+  EXPECT_EQ(user_set.labels[0], dataset.samples[idx[0]].user);
+}
+
+TEST(Prep, AugmentationMultipliesSamples) {
+  DatasetSpec spec = gestureprint_spec(1, tiny_scale());
+  spec.gestures.resize(2);
+  const Dataset dataset = generate_dataset(spec);
+
+  PrepConfig config;
+  config.augment = true;
+  config.augmentation.copies = 3;
+  Rng rng(2);
+  const auto idx = all_indices(dataset);
+  const LabeledSamples augmented =
+      prepare_subset(dataset, idx, LabelKind::kGesture, config, rng);
+  EXPECT_EQ(augmented.size(), dataset.samples.size() * 4);  // original + 3
+}
+
+TEST(Prep, IndexFilters) {
+  DatasetSpec spec = mtranssee_spec({1.2, 2.4}, tiny_scale());
+  spec.gestures.resize(2);
+  spec.speeds = {1.0, 1.4};
+  const Dataset dataset = generate_dataset(spec);
+
+  for (std::size_t i : indices_where_gesture(dataset, 1)) {
+    EXPECT_EQ(dataset.samples[i].gesture, 1);
+  }
+  for (std::size_t i : indices_where_distance(dataset, 2.4)) {
+    EXPECT_DOUBLE_EQ(dataset.samples[i].distance, 2.4);
+  }
+  for (std::size_t i : indices_where_speed(dataset, 1.4)) {
+    EXPECT_DOUBLE_EQ(dataset.samples[i].speed, 1.4);
+  }
+  EXPECT_EQ(indices_where_gesture(dataset, 0).size() + indices_where_gesture(dataset, 1).size(),
+            dataset.samples.size());
+}
+
+TEST(Cache, SaveLoadRoundTrip) {
+  DatasetSpec spec = gestureprint_spec(0, tiny_scale());
+  spec.gestures.resize(2);
+  const Dataset dataset = generate_dataset(spec);
+
+  const std::string path = testing::TempDir() + "gp_cache_test.gpds";
+  save_dataset(path, dataset);
+  const auto loaded = load_dataset(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->samples.size(), dataset.samples.size());
+  for (std::size_t i = 0; i < dataset.samples.size(); ++i) {
+    EXPECT_EQ(loaded->samples[i].gesture, dataset.samples[i].gesture);
+    EXPECT_EQ(loaded->samples[i].user, dataset.samples[i].user);
+    ASSERT_EQ(loaded->samples[i].cloud.points.size(), dataset.samples[i].cloud.points.size());
+    if (!dataset.samples[i].cloud.points.empty()) {
+      EXPECT_DOUBLE_EQ(loaded->samples[i].cloud.points[0].velocity,
+                       dataset.samples[i].cloud.points[0].velocity);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Cache, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(load_dataset("/nonexistent/path.gpds").has_value());
+}
+
+TEST(Cache, GarbageFileThrows) {
+  const std::string path = testing::TempDir() + "gp_garbage.gpds";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a dataset";
+  }
+  EXPECT_THROW(load_dataset(path), SerializationError);
+  std::filesystem::remove(path);
+}
+
+TEST(Cache, TruncatedFileThrows) {
+  DatasetSpec spec = gestureprint_spec(0, tiny_scale());
+  spec.gestures.resize(2);
+  const Dataset dataset = generate_dataset(spec);
+  const std::string path = testing::TempDir() + "gp_trunc.gpds";
+  save_dataset(path, dataset);
+  // Chop the file in half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_THROW(load_dataset(path), SerializationError);
+  std::filesystem::remove(path);
+}
+
+TEST(Cache, CachedGenerationHitsOnSecondCall) {
+  DatasetSpec spec = gestureprint_spec(0, tiny_scale());
+  spec.gestures.resize(2);
+  const std::string dir = testing::TempDir() + "gp_cache_dir";
+  const Dataset first = generate_dataset_cached(spec, dir);
+  const Dataset second = generate_dataset_cached(spec, dir);
+  EXPECT_EQ(first.samples.size(), second.samples.size());
+  // The cache key file exists.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/" + dataset_cache_key(spec) + ".gpds"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cache, KeyChangesWithSpec) {
+  DatasetSpec a = gestureprint_spec(0, tiny_scale());
+  DatasetSpec b = a;
+  b.seed += 1;
+  EXPECT_NE(dataset_cache_key(a), dataset_cache_key(b));
+  DatasetSpec c = a;
+  c.distances = {2.0};
+  EXPECT_NE(dataset_cache_key(a), dataset_cache_key(c));
+}
+
+TEST(Recording, TruthSpansAreOrderedAndInBounds) {
+  DatasetSpec spec = gestureprint_spec(1, tiny_scale());
+  const ContinuousRecording recording = generate_recording(spec, 1, {0, 2, 1}, 55);
+  ASSERT_EQ(recording.truth_spans.size(), 3u);
+  std::size_t prev_end = 0;
+  for (const auto& [begin, end] : recording.truth_spans) {
+    EXPECT_GE(begin, prev_end);
+    EXPECT_LT(end, recording.frames.size());
+    EXPECT_LT(begin, end);
+    prev_end = end;
+  }
+  // Frame indices are globally consecutive.
+  for (std::size_t i = 0; i < recording.frames.size(); ++i) {
+    EXPECT_EQ(recording.frames[i].frame_index, static_cast<int>(i));
+  }
+}
+
+}  // namespace
+}  // namespace gp

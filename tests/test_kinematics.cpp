@@ -1,0 +1,295 @@
+// Tests for the kinematic substrate: user biometrics, arm IK, spline
+// trajectories, gesture catalogues, and the performer's identity/variability
+// contract (fixed habits vs per-repetition jitter).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "kinematics/body.hpp"
+#include "kinematics/gesture_spec.hpp"
+#include "kinematics/performer.hpp"
+#include "kinematics/trajectory.hpp"
+
+namespace gp {
+namespace {
+
+TEST(UserProfile, SampledBiometricsInPlausibleRanges) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const UserProfile u = UserProfile::sample(i, rng);
+    EXPECT_GE(u.height, 1.55);
+    EXPECT_LE(u.height, 1.80);
+    EXPECT_GT(u.upper_arm, 0.25);
+    EXPECT_LT(u.upper_arm, 0.40);
+    EXPECT_GT(u.forearm, 0.19);
+    EXPECT_LT(u.forearm, 0.30);
+    EXPECT_LT(u.shoulder_height, u.height);
+    EXPECT_GT(u.speed_factor, 0.7);
+    EXPECT_LT(u.speed_factor, 1.35);
+  }
+}
+
+TEST(UserProfile, DistinctUsersGetDistinctHabits) {
+  Rng rng(2);
+  const UserProfile a = UserProfile::sample(0, rng);
+  const UserProfile b = UserProfile::sample(1, rng);
+  EXPECT_NE(a.habit_seed, b.habit_seed);
+  EXPECT_NE(a.height, b.height);
+}
+
+TEST(ArmIk, SegmentLengthsPreserved) {
+  Rng rng(3);
+  const Vec3 shoulder(0.2, 1.2, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    const Vec3 target(shoulder.x + rng.uniform(-0.6, 0.6), shoulder.y + rng.uniform(-0.6, 0.6),
+                      shoulder.z + rng.uniform(-0.6, 0.6));
+    const double swivel = rng.uniform(-1.0, 1.0);
+    const ArmPose pose = solve_arm(shoulder, target, 0.31, 0.25, swivel);
+    EXPECT_NEAR((pose.elbow - pose.shoulder).norm(), 0.31, 1e-6);
+    EXPECT_NEAR((pose.wrist - pose.elbow).norm(), 0.25, 1e-6);
+  }
+}
+
+TEST(ArmIk, ReachableTargetHitExactly) {
+  const Vec3 shoulder(0, 0, 0);
+  const Vec3 target(0.1, 0.4, -0.1);  // well inside reach
+  const ArmPose pose = solve_arm(shoulder, target, 0.31, 0.25, 0.0);
+  EXPECT_NEAR((pose.wrist - target).norm(), 0.0, 1e-9);
+}
+
+TEST(ArmIk, OutOfReachTargetClampedToSphere) {
+  const Vec3 shoulder(0, 0, 0);
+  const ArmPose pose = solve_arm(shoulder, Vec3(5, 0, 0), 0.3, 0.25, 0.0);
+  EXPECT_NEAR((pose.wrist - shoulder).norm(), 0.55 * 0.999, 1e-6);
+}
+
+TEST(ArmIk, SwivelRotatesElbowAroundAxis) {
+  const Vec3 shoulder(0, 0, 0);
+  const Vec3 target(0, 0.4, 0);
+  const ArmPose down = solve_arm(shoulder, target, 0.31, 0.25, 0.0);
+  const ArmPose side = solve_arm(shoulder, target, 0.31, 0.25, 1.2);
+  EXPECT_GT((down.elbow - side.elbow).norm(), 0.05);
+  // Both stay consistent with segment lengths (checked above); elbow at
+  // swivel 0 hangs below the shoulder-wrist axis.
+  EXPECT_LT(down.elbow.z, 1e-9);
+}
+
+TEST(Trajectory, CatmullRomPassesThroughControlPoints) {
+  const std::vector<Vec3> pts{{0, 0, 0}, {1, 1, 0}, {2, 0, 1}, {3, -1, 0}};
+  EXPECT_NEAR((catmull_rom(pts, 0.0) - pts.front()).norm(), 0.0, 1e-12);
+  EXPECT_NEAR((catmull_rom(pts, 1.0) - pts.back()).norm(), 0.0, 1e-12);
+  EXPECT_NEAR((catmull_rom(pts, 1.0 / 3.0) - pts[1]).norm(), 0.0, 1e-9);
+  EXPECT_NEAR((catmull_rom(pts, 2.0 / 3.0) - pts[2]).norm(), 0.0, 1e-9);
+}
+
+TEST(Trajectory, EasePhaseEndpointsAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(ease_phase(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ease_phase(1.0), 1.0);
+  double prev = 0.0;
+  for (double t = 0.05; t <= 1.0; t += 0.05) {
+    const double v = ease_phase(t);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Trajectory, SampleTracksStartsAndEndsAtRest) {
+  const auto set = asl_gesture_set();
+  const ArmTrack track = sample_tracks(set.front(), 50);
+  ASSERT_EQ(track.right.size(), 50u);
+  EXPECT_NEAR((track.right.front() - rest_wrist()).norm(), 0.0, 1e-6);
+  EXPECT_NEAR((track.right.back() - rest_wrist()).norm(), 0.0, 1e-6);
+}
+
+TEST(GestureCatalog, ExpectedSetSizes) {
+  EXPECT_EQ(asl_gesture_set().size(), 15u);        // Table I / Fig. 9
+  EXPECT_EQ(pantomime_gesture_set().size(), 21u);  // Table I
+  EXPECT_EQ(mhomeges_gesture_set().size(), 10u);
+  EXPECT_EQ(mtranssee_gesture_set().size(), 5u);
+}
+
+TEST(GestureCatalog, AslBimanualCount) {
+  // Paper: 9 single-arm + 6 bimanual ASL signs.
+  int bimanual = 0;
+  for (const auto& g : asl_gesture_set()) bimanual += g.bimanual ? 1 : 0;
+  EXPECT_EQ(bimanual, 6);
+}
+
+TEST(GestureCatalog, PantomimeBimanualCount) {
+  // Paper: 9 easy single-arm + 12 bimanual complex gestures.
+  int bimanual = 0;
+  for (const auto& g : pantomime_gesture_set()) bimanual += g.bimanual ? 1 : 0;
+  EXPECT_EQ(bimanual, 12);
+}
+
+TEST(GestureCatalog, NamesUniqueWithinSet) {
+  for (const auto& set : {asl_gesture_set(), pantomime_gesture_set(), mhomeges_gesture_set(),
+                          mtranssee_gesture_set()}) {
+    std::set<std::string> names;
+    for (const auto& g : set) EXPECT_TRUE(names.insert(g.name).second) << g.name;
+  }
+}
+
+TEST(GestureCatalog, FindGestureByName) {
+  const auto set = asl_gesture_set();
+  EXPECT_EQ(find_gesture(set, "push").name, "push");
+  EXPECT_THROW(find_gesture(set, "nonexistent"), InvalidArgument);
+}
+
+TEST(GestureCatalog, KeyframePhasesSortedWithin01) {
+  for (const auto& set : {asl_gesture_set(), pantomime_gesture_set(), mhomeges_gesture_set(),
+                          mtranssee_gesture_set()}) {
+    for (const auto& g : set) {
+      ASSERT_GE(g.keyframes.size(), 2u) << g.name;
+      EXPECT_DOUBLE_EQ(g.keyframes.front().t, 0.0);
+      EXPECT_DOUBLE_EQ(g.keyframes.back().t, 1.0);
+      for (std::size_t i = 1; i < g.keyframes.size(); ++i) {
+        EXPECT_GE(g.keyframes[i].t, g.keyframes[i - 1].t) << g.name;
+      }
+    }
+  }
+}
+
+// ---- performer ---------------------------------------------------------
+
+GesturePerformer make_performer(int user_id, Rng& rng, PerformanceConfig perf = {}) {
+  const UserProfile user = UserProfile::sample(user_id, rng);
+  return GesturePerformer(user, perf);
+}
+
+TEST(Performer, FrameCountMatchesConfiguredIdleAndDuration) {
+  Rng rng(4);
+  PerformanceConfig perf;
+  perf.idle_frames_before = 7;
+  perf.idle_frames_after = 5;
+  const GesturePerformer performer = make_performer(0, rng, perf);
+  const auto spec = asl_gesture_set().front();
+  Rng rep(1);
+  const SceneSequence scene = performer.perform(spec, rep);
+  EXPECT_GE(scene.size(), 7u + 5u + 6u);
+  // Timestamps advance at the frame rate.
+  EXPECT_NEAR(scene[1].timestamp - scene[0].timestamp, 0.1, 1e-9);
+}
+
+TEST(Performer, IdleFramesHaveStillArms) {
+  Rng rng(5);
+  PerformanceConfig perf;
+  perf.idle_frames_before = 8;
+  const GesturePerformer performer = make_performer(1, rng, perf);
+  Rng rep(2);
+  const SceneSequence scene = performer.perform(asl_gesture_set()[4], rep);
+  // During idle, every reflector should have (near-)zero velocity except
+  // breathing torso motion (|v| <= ~0.01 m/s).
+  for (int f = 0; f < 4; ++f) {
+    for (const auto& r : scene[static_cast<std::size_t>(f)].reflectors) {
+      EXPECT_LT(r.velocity.norm(), 0.05);
+    }
+  }
+}
+
+TEST(Performer, MotionFramesHaveMovingHand) {
+  Rng rng(6);
+  PerformanceConfig perf;
+  perf.idle_frames_before = 4;
+  perf.idle_frames_after = 4;
+  const GesturePerformer performer = make_performer(2, rng, perf);
+  Rng rep(3);
+  const SceneSequence scene = performer.perform(find_gesture(asl_gesture_set(), "push"), rep);
+  double peak_speed = 0.0;
+  for (const auto& frame : scene) {
+    for (const auto& r : frame.reflectors) peak_speed = std::max(peak_speed, r.velocity.norm());
+  }
+  EXPECT_GT(peak_speed, 0.3);  // a push moves the hand visibly
+  EXPECT_LT(peak_speed, 6.0);  // but not unphysically fast
+}
+
+TEST(Performer, ReflectorsNearConfiguredDistance) {
+  Rng rng(7);
+  PerformanceConfig perf;
+  perf.distance = 2.5;
+  const GesturePerformer performer = make_performer(3, rng, perf);
+  Rng rep(4);
+  const SceneSequence scene = performer.perform(asl_gesture_set()[0], rep);
+  for (const auto& r : scene[0].reflectors) {
+    EXPECT_GT(r.position.y, 1.3);
+    EXPECT_LT(r.position.y, 3.2);
+  }
+}
+
+TEST(Performer, FasterUserFinishesSooner) {
+  Rng rng(8);
+  UserProfile slow = UserProfile::sample(0, rng);
+  UserProfile fast = slow;
+  slow.speed_factor = 0.8;
+  fast.speed_factor = 1.25;
+  const PerformanceConfig perf;
+  const GesturePerformer p_slow(slow, perf);
+  const GesturePerformer p_fast(fast, perf);
+  const auto spec = asl_gesture_set()[2];
+  EXPECT_GT(p_slow.nominal_duration_s(spec), p_fast.nominal_duration_s(spec));
+}
+
+TEST(Performer, HabitIsStableAcrossRepetitions) {
+  // The same user's repeated performances must be closer to each other than
+  // to a different user's performance (the identity contract).
+  Rng rng(9);
+  const UserProfile user_a = UserProfile::sample(0, rng);
+  const UserProfile user_b = UserProfile::sample(1, rng);
+  PerformanceConfig perf;
+  perf.include_torso = false;
+  const GesturePerformer pa(user_a, perf);
+  const GesturePerformer pb(user_b, perf);
+  const auto spec = find_gesture(asl_gesture_set(), "zigzag");
+
+  // Mean hand position over the motion as a cheap trajectory signature.
+  const auto signature = [&](const GesturePerformer& p, std::uint64_t seed) {
+    Rng rep(seed);
+    const SceneSequence scene = p.perform(spec, rep);
+    Vec3 acc;
+    std::size_t n = 0;
+    for (const auto& frame : scene) {
+      for (const auto& r : frame.reflectors) {
+        acc += r.position;
+        ++n;
+      }
+    }
+    return acc / static_cast<double>(n);
+  };
+
+  const Vec3 a1 = signature(pa, 11);
+  const Vec3 a2 = signature(pa, 22);
+  const Vec3 b1 = signature(pb, 33);
+  EXPECT_LT((a1 - a2).norm(), (a1 - b1).norm());
+}
+
+TEST(Performer, BimanualGestureUsesBothArms) {
+  Rng rng(10);
+  PerformanceConfig perf;
+  perf.include_torso = false;
+  const GesturePerformer performer = make_performer(4, rng, perf);
+  Rng rep(5);
+  const SceneSequence scene = performer.perform(find_gesture(asl_gesture_set(), "push"), rep);
+  // Mid-motion frame: reflectors on both sides of the body midline move.
+  const SceneFrame& mid = scene[scene.size() / 2];
+  bool left_moving = false;
+  bool right_moving = false;
+  for (const auto& r : mid.reflectors) {
+    if (r.velocity.norm() > 0.15) {
+      (r.position.x > 0 ? left_moving : right_moving) = true;
+    }
+  }
+  EXPECT_TRUE(left_moving);
+  EXPECT_TRUE(right_moving);
+}
+
+TEST(Fnv1a, StableKnownValue) {
+  // FNV-1a of empty string is the offset basis.
+  EXPECT_EQ(fnv1a(""), 14695981039346656037ULL);
+  EXPECT_NE(fnv1a("push"), fnv1a("pull"));
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,79 @@
+// Unit tests for the open-set biometric-statistics descriptor (the novelty
+// space used for unauthorized-user rejection). Kept separate from the
+// system-level open-set tests because these need no trained models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "system/open_set.hpp"
+
+namespace gp {
+namespace {
+
+GestureCloud make_cloud(std::size_t points, double extent, double speed,
+                        std::size_t frames = 20, double z_offset = 0.0) {
+  GestureCloud cloud;
+  cloud.num_frames = frames;
+  Rng rng(points * 131 + static_cast<std::size_t>(extent * 1000));
+  for (std::size_t i = 0; i < points; ++i) {
+    RadarPoint p;
+    p.position = Vec3(rng.uniform(-extent / 2, extent / 2), 1.2 + rng.uniform(-0.1, 0.1),
+                      z_offset + rng.uniform(-extent / 2, extent / 2));
+    p.velocity = (rng.bernoulli(0.5) ? 1.0 : -1.0) * speed;
+    p.frame = static_cast<int>(i % frames);
+    cloud.points.push_back(p);
+  }
+  return cloud;
+}
+
+TEST(BiometricStats, EncodesDurationExtentAndSpeed) {
+  const BiometricStats s = biometric_stats(make_cloud(100, 0.4, 0.8, 24));
+  EXPECT_NEAR(s[0], 24.0 / 30.0, 1e-9);        // duration channel
+  EXPECT_NEAR(s[1], 0.4, 0.08);                // x extent
+  EXPECT_NEAR(s[4], 0.8, 1e-6);                // mean |v|
+  EXPECT_NEAR(s[5], 0.0, 1e-6);                // constant-speed cloud
+  EXPECT_NEAR(s[6], 100.0 / 300.0, 1e-9);      // density channel
+}
+
+TEST(BiometricStats, SeparatesDifferentMotionStyles) {
+  // Larger/faster motion -> measurably different descriptor.
+  const BiometricStats small_slow = biometric_stats(make_cloud(80, 0.3, 0.5));
+  const BiometricStats big_fast = biometric_stats(make_cloud(80, 0.7, 1.4));
+  EXPECT_GT(big_fast[1], small_slow[1]);
+  EXPECT_GT(big_fast[4], small_slow[4]);
+}
+
+TEST(BiometricStats, HeightProfileTracksTrajectory) {
+  // A rising trajectory: later time bins sit higher.
+  GestureCloud cloud;
+  cloud.num_frames = 20;
+  for (int f = 0; f < 20; ++f) {
+    for (int i = 0; i < 5; ++i) {
+      RadarPoint p;
+      p.position = Vec3(0.0, 1.2, -0.3 + 0.03 * f);
+      p.velocity = 0.5;
+      p.frame = f;
+      cloud.points.push_back(p);
+    }
+  }
+  const BiometricStats s = biometric_stats(cloud);
+  EXPECT_LT(s[8], s[9]);
+  EXPECT_LT(s[9], s[10]);
+  EXPECT_LT(s[10], s[11]);
+}
+
+TEST(BiometricStats, EmptyCloudThrows) {
+  GestureCloud empty;
+  EXPECT_THROW(biometric_stats(empty), InvalidArgument);
+}
+
+TEST(BiometricStats, DeterministicForSameCloud) {
+  const GestureCloud cloud = make_cloud(60, 0.5, 0.9);
+  const BiometricStats a = biometric_stats(cloud);
+  const BiometricStats b = biometric_stats(cloud);
+  for (std::size_t d = 0; d < kBiometricDims; ++d) EXPECT_DOUBLE_EQ(a[d], b[d]);
+}
+
+}  // namespace
+}  // namespace gp

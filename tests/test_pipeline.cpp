@@ -1,0 +1,264 @@
+// Preprocessing pipeline tests: adaptive sliding-window segmentation on
+// synthetic and simulated streams, noise canceling, augmentation
+// statistics, and featurization contracts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "datasets/catalog.hpp"
+#include "pipeline/augmentation.hpp"
+#include "pipeline/noise_cancel.hpp"
+#include "pipeline/preprocessor.hpp"
+#include "pipeline/segmentation.hpp"
+
+namespace gp {
+namespace {
+
+// Builds a synthetic frame with `n` points clustered around `center`.
+FrameCloud synth_frame(int index, std::size_t n, const Vec3& center = {0, 1.2, 0}, Rng* rng = nullptr) {
+  FrameCloud frame;
+  frame.frame_index = index;
+  frame.timestamp = index * 0.1;
+  for (std::size_t i = 0; i < n; ++i) {
+    RadarPoint p;
+    const double jx = rng != nullptr ? rng->gaussian(0.0, 0.1) : 0.01 * static_cast<double>(i);
+    const double jz = rng != nullptr ? rng->gaussian(0.0, 0.1) : 0.0;
+    p.position = center + Vec3(jx, 0.0, jz);
+    p.velocity = 0.7;
+    p.frame = index;
+    frame.points.push_back(p);
+  }
+  return frame;
+}
+
+// idle(n_idle) -> motion(n_motion frames of `motion_points` points) -> idle.
+FrameSequence synth_stream(std::size_t idle_before, std::size_t motion, std::size_t idle_after,
+                           std::size_t idle_points = 1, std::size_t motion_points = 12) {
+  FrameSequence stream;
+  int index = 0;
+  Rng rng(42);
+  for (std::size_t i = 0; i < idle_before; ++i) stream.push_back(synth_frame(index++, idle_points, {0, 1.2, 0}, &rng));
+  for (std::size_t i = 0; i < motion; ++i) stream.push_back(synth_frame(index++, motion_points, {0, 1.2, 0}, &rng));
+  for (std::size_t i = 0; i < idle_after; ++i) stream.push_back(synth_frame(index++, idle_points, {0, 1.2, 0}, &rng));
+  return stream;
+}
+
+TEST(Segmentation, DetectsSingleGestureSpan) {
+  const FrameSequence stream = synth_stream(20, 25, 20);
+  const auto segments = GestureSegmenter::segment_all(stream);
+  ASSERT_EQ(segments.size(), 1u);
+  // Start within a window of the true onset (frame 20), end near frame 44.
+  EXPECT_NEAR(static_cast<double>(segments[0].start_frame), 20.0, 11.0);
+  EXPECT_NEAR(static_cast<double>(segments[0].end_frame), 44.0, 11.0);
+  EXPECT_GE(segments[0].frames.size(), 15u);
+}
+
+TEST(Segmentation, NoGestureInPureIdle) {
+  const FrameSequence stream = synth_stream(60, 0, 0);
+  EXPECT_TRUE(GestureSegmenter::segment_all(stream).empty());
+}
+
+TEST(Segmentation, ShortBlipBelowFThrIgnored) {
+  // 3 motion frames < F_Thr=8: must not trigger.
+  const FrameSequence stream = synth_stream(30, 3, 30);
+  EXPECT_TRUE(GestureSegmenter::segment_all(stream).empty());
+}
+
+TEST(Segmentation, TwoGesturesSeparatedByIdle) {
+  FrameSequence stream = synth_stream(20, 20, 18);
+  const FrameSequence second = synth_stream(0, 22, 20);
+  int index = static_cast<int>(stream.size());
+  for (FrameCloud f : second) {
+    f.frame_index = index++;
+    stream.push_back(f);
+  }
+  const auto segments = GestureSegmenter::segment_all(stream);
+  EXPECT_EQ(segments.size(), 2u);
+}
+
+TEST(Segmentation, AdaptiveThresholdTracksBackground) {
+  // Sustained elevated clutter (~6 points/frame). Initially this looks like
+  // motion and produces bounded false gestures, but the background history
+  // accumulated between them must eventually lift the threshold above the
+  // clutter level, silencing the stream.
+  GestureSegmenter segmenter;
+  Rng rng(1);
+  for (int i = 0; i < 300; ++i) {
+    segmenter.push(synth_frame(i, 5 + rng.index(3)));
+  }
+  EXPECT_GE(segmenter.current_threshold(), 7u);
+  (void)segmenter.take_segments();
+  // Once adapted, further clutter frames trigger nothing.
+  for (int i = 300; i < 360; ++i) {
+    segmenter.push(synth_frame(i, 5 + rng.index(3)));
+  }
+  segmenter.finish();
+  EXPECT_TRUE(segmenter.take_segments().empty());
+}
+
+TEST(Segmentation, MaxGestureFramesBoundsRunaway) {
+  SegmentationParams params;
+  params.max_gesture_frames = 30;
+  const FrameSequence stream = synth_stream(20, 200, 10);
+  const auto segments = GestureSegmenter::segment_all(stream, params);
+  ASSERT_GE(segments.size(), 1u);
+  for (const auto& seg : segments) EXPECT_LE(seg.frames.size(), 30u);
+}
+
+TEST(Segmentation, FinishFlushesOpenGesture) {
+  GestureSegmenter segmenter;
+  const FrameSequence stream = synth_stream(20, 25, 0);  // stream ends mid-gesture
+  for (const auto& f : stream) segmenter.push(f);
+  EXPECT_TRUE(segmenter.take_segments().empty());
+  segmenter.finish();
+  // finish() is idempotent w.r.t. already-taken segments.
+  const auto segments = segmenter.take_segments();
+  EXPECT_EQ(segments.size(), 1u);
+  segmenter.finish();
+  EXPECT_TRUE(segmenter.take_segments().empty());
+}
+
+TEST(Segmentation, EndToEndOnSimulatedRecording) {
+  // Full path: performer -> radar -> streaming segmentation. Three gestures
+  // with 2-4 s pauses; the segmenter should find close to three segments.
+  DatasetScale scale;
+  scale.max_users = 2;
+  scale.reps = 2;
+  const DatasetSpec spec = gestureprint_spec(1, scale);
+  const ContinuousRecording recording = generate_recording(spec, 0, {0, 4, 9}, 777);
+
+  const auto segments = GestureSegmenter::segment_all(recording.frames);
+  EXPECT_GE(segments.size(), 2u);
+  EXPECT_LE(segments.size(), 4u);
+
+  // Every detected segment overlaps a ground-truth span.
+  for (const auto& seg : segments) {
+    bool overlaps = false;
+    for (const auto& [begin, end] : recording.truth_spans) {
+      if (seg.start_frame <= end && seg.end_frame >= begin) overlaps = true;
+    }
+    EXPECT_TRUE(overlaps) << "segment [" << seg.start_frame << "," << seg.end_frame
+                          << "] matches no ground-truth span";
+  }
+}
+
+TEST(NoiseCancel, KeepsMainClusterDropsOutliers) {
+  Rng rng(2);
+  PointCloud cloud;
+  for (int i = 0; i < 60; ++i) {
+    RadarPoint p;
+    p.position = Vec3(rng.gaussian(0.0, 0.2), 1.2 + rng.gaussian(0.0, 0.2),
+                      rng.gaussian(0.0, 0.2));
+    cloud.push_back(p);
+  }
+  // Far ghost blob (small) + isolated outliers.
+  for (int i = 0; i < 6; ++i) {
+    RadarPoint p;
+    p.position = Vec3(3.0 + rng.gaussian(0.0, 0.1), 4.0, 0.0);
+    cloud.push_back(p);
+  }
+  RadarPoint lone;
+  lone.position = Vec3(-4, 5, 2);
+  cloud.push_back(lone);
+
+  const NoiseCancelResult result = cancel_noise(cloud);
+  EXPECT_EQ(result.main_cluster.size(), 60u);
+  EXPECT_EQ(result.other_clusters.size(), 1u);
+  EXPECT_EQ(result.noise_points, 1u);
+}
+
+TEST(NoiseCancel, EmptyInputYieldsEmptyResult) {
+  const NoiseCancelResult result = cancel_noise(PointCloud{});
+  EXPECT_TRUE(result.main_cluster.empty());
+  EXPECT_TRUE(result.other_clusters.empty());
+}
+
+TEST(NoiseCancel, AllNoiseFallsBackToRawCloud) {
+  // Points too sparse to cluster: keep the raw cloud (graceful degradation).
+  PointCloud cloud;
+  for (int i = 0; i < 5; ++i) {
+    RadarPoint p;
+    p.position = Vec3(i * 3.0, 1.0, 0.0);
+    cloud.push_back(p);
+  }
+  const NoiseCancelResult result = cancel_noise(cloud);
+  EXPECT_EQ(result.main_cluster.size(), cloud.size());
+}
+
+TEST(Augmentation, JitterPreservesCountAndApproximateScale) {
+  Rng rng(3);
+  PointCloud cloud;
+  for (int i = 0; i < 500; ++i) {
+    RadarPoint p;
+    p.position = Vec3(0.0, 1.2, 0.0);
+    cloud.push_back(p);
+  }
+  const PointCloud jittered = jitter_cloud(cloud, 0.02, rng);
+  ASSERT_EQ(jittered.size(), cloud.size());
+  // Empirical displacement stddev per axis ~ 0.02 (paper's sigma).
+  double acc = 0.0;
+  for (std::size_t i = 0; i < jittered.size(); ++i) {
+    const Vec3 d = jittered[i].position - cloud[i].position;
+    acc += d.x * d.x;
+  }
+  EXPECT_NEAR(std::sqrt(acc / 500.0), 0.02, 0.004);
+}
+
+TEST(Augmentation, ProducesConfiguredCopies) {
+  Rng rng(4);
+  PointCloud cloud(10);
+  const auto copies = augment(cloud, AugmentationParams{0.02, 3}, rng);
+  EXPECT_EQ(copies.size(), 4u);  // original + 3 (paper: "three times")
+}
+
+TEST(Preprocessor, ProcessSegmentComputesTiming) {
+  const FrameSequence segment = synth_stream(0, 24, 0);
+  const Preprocessor preprocessor;
+  const GestureCloud cloud = preprocessor.process_segment(segment);
+  EXPECT_EQ(cloud.num_frames, 24u);
+  EXPECT_NEAR(cloud.duration_s, 2.4, 1e-9);
+  EXPECT_FALSE(cloud.points.empty());
+}
+
+TEST(Featurize, ShapeAndChannels) {
+  const FrameSequence segment = synth_stream(0, 20, 0);
+  const Preprocessor preprocessor;
+  const GestureCloud cloud = preprocessor.process_segment(segment);
+
+  Rng rng(5);
+  FeatureConfig config;
+  config.num_points = 64;
+  const FeaturizedSample sample = featurize(cloud, config, rng);
+  EXPECT_EQ(sample.num_points, 64u);
+  EXPECT_EQ(sample.dims, 7u);
+  EXPECT_EQ(sample.positions.size(), 64u * 3);
+  EXPECT_EQ(sample.features.size(), 64u * 7);
+
+  // Centered positions: mean ~ 0.
+  double mean_x = 0.0;
+  for (std::size_t i = 0; i < 64; ++i) mean_x += sample.positions[i * 3];
+  EXPECT_NEAR(mean_x / 64.0, 0.0, 1e-5);
+
+  // Temporal channel within [0, 1]; duration channel constant.
+  for (std::size_t i = 0; i < 64; ++i) {
+    const float t = sample.features[i * 7 + 5];
+    EXPECT_GE(t, 0.0f);
+    EXPECT_LE(t, 1.0f);
+    EXPECT_FLOAT_EQ(sample.features[i * 7 + 6], sample.features[6]);
+  }
+}
+
+TEST(Featurize, UpsamplesSparseClouds) {
+  FrameSequence segment = synth_stream(0, 5, 0, 1, 3);  // 15 points total
+  const Preprocessor preprocessor;
+  const GestureCloud cloud = preprocessor.process_segment(segment);
+  Rng rng(6);
+  FeatureConfig config;
+  config.num_points = 128;
+  const FeaturizedSample sample = featurize(cloud, config, rng);
+  EXPECT_EQ(sample.num_points, 128u);
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,284 @@
+// Cross-cutting property tests (TEST_P sweeps) spanning modules: radar
+// geometry round-trips over parameter grids, full-chain angle recovery,
+// featurization invariances, segmentation across gesture types, metric
+// ordering under controlled perturbations, and spline/IK invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "common/rng.hpp"
+#include "kinematics/gesture_spec.hpp"
+#include "kinematics/performer.hpp"
+#include "pipeline/preprocessor.hpp"
+#include "pipeline/segmentation.hpp"
+#include "pointcloud/metrics.hpp"
+#include "radar/fast_backend.hpp"
+#include "radar/fmcw.hpp"
+#include "radar/frontend.hpp"
+#include "radar/sensor.hpp"
+
+namespace gp {
+namespace {
+
+// ---- radar geometry round-trip over a (range, azimuth, elevation) grid ----
+
+struct EchoCase {
+  double range;
+  double azimuth;
+  double elevation;
+};
+
+class EchoRoundTrip : public ::testing::TestWithParam<EchoCase> {};
+
+TEST_P(EchoRoundTrip, CartesianToEchoAndBack) {
+  const EchoCase c = GetParam();
+  Reflector r;
+  r.position = Vec3(c.range * std::sin(c.azimuth) * std::cos(c.elevation),
+                    c.range * std::cos(c.azimuth) * std::cos(c.elevation),
+                    c.range * std::sin(c.elevation));
+  r.velocity = r.position.normalized() * 0.9;
+  const TargetEcho echo = reflector_to_echo(r);
+  EXPECT_NEAR(echo.range, c.range, 1e-9);
+  EXPECT_NEAR(echo.azimuth, c.azimuth, 1e-9);
+  EXPECT_NEAR(echo.elevation, c.elevation, 1e-9);
+  EXPECT_NEAR(echo.radial_velocity, 0.9, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EchoRoundTrip,
+    ::testing::Values(EchoCase{1.2, 0.0, 0.0}, EchoCase{1.2, 0.5, 0.1},
+                      EchoCase{2.4, -0.6, -0.2}, EchoCase{3.6, 0.9, 0.3},
+                      EchoCase{4.8, -0.3, 0.25}, EchoCase{0.8, 1.1, -0.3}));
+
+// ---- fast-backend quantisation honours the radar's bin grids everywhere ----
+
+class FastBackendGrid : public ::testing::TestWithParam<double> {};
+
+TEST_P(FastBackendGrid, PointsLandOnResolutionGrids) {
+  const double range = GetParam();
+  RadarConfig radar;
+  FastBackendConfig fast;
+  fast.clutter_rate = 0.0;
+  fast.ghost_prob = 0.0;
+  Rng rng(static_cast<std::uint64_t>(range * 1000));
+
+  SceneFrame scene;
+  Reflector r;
+  r.position = Vec3(0.3, range, 0.1);
+  r.velocity = r.position.normalized() * 1.1;
+  r.rcs = 3.0;
+  scene.reflectors.push_back(r);
+
+  const double v_res = radar.velocity_resolution();
+  for (int trial = 0; trial < 40; ++trial) {
+    const FrameCloud frame = fast_process_frame(radar, fast, scene, rng);
+    for (const auto& p : frame.points) {
+      // Velocity snapped to the Doppler grid and bounded.
+      EXPECT_NEAR(std::remainder(p.velocity, v_res), 0.0, 1e-9);
+      EXPECT_LE(std::abs(p.velocity), radar.max_velocity + 1e-9);
+      // Range within the unambiguous span.
+      EXPECT_LT(p.position.norm(), radar.max_range());
+      EXPECT_GT(p.position.norm(), 0.0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, FastBackendGrid, ::testing::Values(1.2, 2.1, 3.0, 4.2));
+
+// ---- full FMCW chain recovers injected azimuth across the field of view ----
+
+class FullChainAzimuth : public ::testing::TestWithParam<double> {};
+
+TEST_P(FullChainAzimuth, StrongTargetAzimuthWithinTolerance) {
+  const double az = GetParam();
+  RadarConfig config;
+  config.noise_sigma = 0.001;
+  Rng rng(static_cast<std::uint64_t>((az + 2.0) * 1e4));
+  SceneFrame scene;
+  Reflector r;
+  r.position = Vec3(1.8 * std::sin(az), 1.8 * std::cos(az), 0.0);
+  r.velocity = r.position.normalized() * 1.0;
+  r.rcs = 3.0;
+  scene.reflectors.push_back(r);
+
+  const auto cube = synthesize_frame(config, scene.reflectors, rng);
+  const PointCloud points = detect_points(config, cube, 0);
+  ASSERT_FALSE(points.empty());
+  const RadarPoint* best = &points[0];
+  for (const auto& p : points) {
+    if (p.snr_db > best->snr_db) best = &p;
+  }
+  EXPECT_NEAR(std::atan2(best->position.x, best->position.y), az, 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Azimuths, FullChainAzimuth,
+                         ::testing::Values(-0.7, -0.35, 0.0, 0.35, 0.7));
+
+// ---- featurization invariances --------------------------------------------
+
+TEST(FeaturizeProperty, TranslationInvariantWhenCentered) {
+  // Shifting the whole cloud must not change centered features (up to the
+  // deterministic resampling, which depends only on geometry differences).
+  Rng rng(1);
+  GestureCloud cloud;
+  cloud.num_frames = 20;
+  for (int i = 0; i < 60; ++i) {
+    RadarPoint p;
+    p.position = Vec3(rng.gaussian(0.0, 0.2), 1.2 + rng.gaussian(0.0, 0.2),
+                      rng.gaussian(0.0, 0.2));
+    p.velocity = 0.7;
+    p.frame = i % 20;
+    cloud.points.push_back(p);
+  }
+  GestureCloud shifted = cloud;
+  for (auto& p : shifted.points) p.position += Vec3(0.5, -0.3, 0.2);
+
+  FeatureConfig config;
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const FeaturizedSample a = featurize(cloud, config, rng_a);
+  const FeaturizedSample b = featurize(shifted, config, rng_b);
+  for (std::size_t i = 0; i < a.positions.size(); ++i) {
+    EXPECT_NEAR(a.positions[i], b.positions[i], 1e-5);
+  }
+}
+
+class FeaturizePointCount : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FeaturizePointCount, AlwaysProducesExactCount) {
+  Rng rng(GetParam());
+  GestureCloud cloud;
+  cloud.num_frames = 10;
+  const std::size_t raw = 5 + rng.index(300);
+  for (std::size_t i = 0; i < raw; ++i) {
+    RadarPoint p;
+    p.position = Vec3(rng.gaussian(), rng.gaussian(), rng.gaussian());
+    p.frame = static_cast<int>(i % 10);
+    cloud.points.push_back(p);
+  }
+  FeatureConfig config;
+  config.num_points = GetParam() * 16;
+  const FeaturizedSample sample = featurize(cloud, config, rng);
+  EXPECT_EQ(sample.num_points, config.num_points);
+  EXPECT_EQ(sample.positions.size(), config.num_points * 3);
+  EXPECT_EQ(sample.features.size(), config.num_points * sample.dims);
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, FeaturizePointCount, ::testing::Values(2, 4, 8, 12));
+
+// ---- segmentation detects every catalogue gesture end-to-end --------------
+
+class SegmentationPerGesture : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentationPerGesture, SimulatedGestureIsFound) {
+  const auto gestures = asl_gesture_set();
+  const GestureSpec& spec = gestures[static_cast<std::size_t>(GetParam())];
+
+  Rng rng(100 + GetParam());
+  const UserProfile user = UserProfile::sample(GetParam(), rng);
+  PerformanceConfig perf;
+  perf.idle_frames_before = 25;
+  perf.idle_frames_after = 25;
+  const GesturePerformer performer(user, perf);
+  Rng rep(200 + GetParam());
+  const SceneSequence scene = performer.perform(spec, rep);
+  const RadarSensor sensor;
+  Rng radar_rng(300 + GetParam());
+  const FrameSequence frames = sensor.observe(scene, radar_rng);
+
+  const auto segments = GestureSegmenter::segment_all(frames);
+  ASSERT_GE(segments.size(), 1u) << spec.name;
+  // The (largest) segment overlaps the true motion window.
+  const auto& seg = *std::max_element(
+      segments.begin(), segments.end(),
+      [](const auto& a, const auto& b) { return a.frames.size() < b.frames.size(); });
+  const std::size_t true_begin = 25;
+  const std::size_t true_end = frames.size() - 26;
+  EXPECT_LE(seg.start_frame, true_end) << spec.name;
+  EXPECT_GE(seg.end_frame, true_begin) << spec.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AslGestures, SegmentationPerGesture,
+                         ::testing::Values(0, 2, 4, 6, 8, 9, 11, 13, 14));
+
+// ---- metric ordering under growing perturbation ---------------------------
+
+class MetricMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricMonotonicity, ChamferGrowsWithJitterMagnitude) {
+  Rng rng(GetParam());
+  PointCloud base;
+  for (int i = 0; i < 80; ++i) {
+    RadarPoint p;
+    p.position = Vec3(rng.gaussian(0.0, 0.3), rng.gaussian(0.0, 0.3), rng.gaussian(0.0, 0.3));
+    base.push_back(p);
+  }
+  double prev = 0.0;
+  for (double sigma : {0.01, 0.05, 0.15, 0.4}) {
+    PointCloud jittered = base;
+    Rng jitter_rng(GetParam() * 31 + static_cast<int>(sigma * 1000));
+    for (auto& p : jittered) {
+      p.position += Vec3(jitter_rng.gaussian(0.0, sigma), jitter_rng.gaussian(0.0, sigma),
+                         jitter_rng.gaussian(0.0, sigma));
+    }
+    const double cd = chamfer_distance(base, jittered);
+    EXPECT_GT(cd, prev);
+    prev = cd;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricMonotonicity, ::testing::Values(1, 2, 3));
+
+// ---- arm IK workspace sweep ------------------------------------------------
+
+class ArmWorkspace : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArmWorkspace, WristErrorZeroInsideWorkspace) {
+  Rng rng(GetParam() * 7 + 5);
+  const double upper = 0.31;
+  const double fore = 0.25;
+  const Vec3 shoulder(0.2, 1.2, 0.15);
+  for (int i = 0; i < 100; ++i) {
+    // Sample targets inside the reachable annulus.
+    const double radius = rng.uniform(std::abs(upper - fore) + 0.02, (upper + fore) * 0.97);
+    const double az = rng.uniform(0.0, 2.0 * kPi);
+    const double el = rng.uniform(-kPi / 2.0, kPi / 2.0);
+    const Vec3 target = shoulder + Vec3(radius * std::cos(az) * std::cos(el),
+                                        radius * std::sin(az) * std::cos(el),
+                                        radius * std::sin(el));
+    const ArmPose pose = solve_arm(shoulder, target, upper, fore, rng.uniform(-1.5, 1.5));
+    EXPECT_NEAR((pose.wrist - target).norm(), 0.0, 1e-6);
+    EXPECT_NEAR((pose.elbow - shoulder).norm(), upper, 1e-6);
+    EXPECT_NEAR((pose.wrist - pose.elbow).norm(), fore, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArmWorkspace, ::testing::Values(1, 2, 3, 4));
+
+// ---- performer duration scales inversely with pace -------------------------
+
+class PaceSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PaceSweep, DurationScalesWithSpeedMultiplier) {
+  Rng rng(11);
+  UserProfile user = UserProfile::sample(0, rng);
+  user.pace_jitter = 1e-6;  // isolate the deliberate speed factor
+  PerformanceConfig perf;
+  perf.idle_frames_before = 0;
+  perf.idle_frames_after = 0;
+  perf.speed_multiplier = GetParam();
+  const GesturePerformer performer(user, perf);
+  const auto spec = asl_gesture_set()[4];
+  Rng rep(3);
+  const SceneSequence scene = performer.perform(spec, rep);
+  const double expected_frames =
+      spec.duration_s / (user.speed_factor * GetParam()) * 10.0;
+  EXPECT_NEAR(static_cast<double>(scene.size()), expected_frames,
+              std::max(2.0, expected_frames * 0.1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Speeds, PaceSweep, ::testing::Values(0.7, 1.0, 1.4, 2.0));
+
+}  // namespace
+}  // namespace gp

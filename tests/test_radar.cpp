@@ -1,0 +1,275 @@
+// Radar substrate tests: config derivations against the paper's numbers,
+// FMCW synthesis + full detection chain end-to-end on known targets, fast
+// geometric backend behaviour, and full-chain vs fast-backend consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/math_utils.hpp"
+#include "common/rng.hpp"
+#include "radar/fast_backend.hpp"
+#include "radar/fmcw.hpp"
+#include "radar/frontend.hpp"
+#include "radar/sensor.hpp"
+
+namespace gp {
+namespace {
+
+Reflector make_reflector(const Vec3& pos, const Vec3& vel, double rcs = 1.0) {
+  Reflector r;
+  r.position = pos;
+  r.velocity = vel;
+  r.rcs = rcs;
+  return r;
+}
+
+TEST(RadarConfig, DerivedQuantitiesMatchPaper) {
+  const RadarConfig config;
+  config.validate();
+  // §V: 60-64 GHz, 0.04 m range resolution, 2.7 m/s max velocity,
+  // 0.34 m/s velocity resolution.
+  EXPECT_NEAR(config.wavelength(), 0.004977, 1e-4);
+  EXPECT_NEAR(config.bandwidth_hz(), 3.747e9, 5e6);
+  EXPECT_NEAR(config.velocity_resolution(), 0.3375, 1e-3);
+  EXPECT_GT(config.max_range(), 5.0);  // covers every anchor distance used
+  EXPECT_EQ(config.num_virtual_antennas(), 12u);  // 3TX x 4RX
+}
+
+TEST(RadarConfig, ValidateRejectsBadShapes) {
+  RadarConfig config;
+  config.num_samples = 100;  // not pow2
+  EXPECT_THROW(config.validate(), InvalidArgument);
+  config = RadarConfig{};
+  config.angle_fft_size = 4;  // < antennas
+  EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+TEST(Echo, ReflectorConversionGeometry) {
+  const Reflector r = make_reflector(Vec3(1.0, 1.0, 0.0), Vec3(0.0, 1.0, 0.0));
+  const TargetEcho echo = reflector_to_echo(r);
+  EXPECT_NEAR(echo.range, std::sqrt(2.0), 1e-9);
+  EXPECT_NEAR(echo.azimuth, kPi / 4.0, 1e-9);
+  EXPECT_NEAR(echo.elevation, 0.0, 1e-9);
+  // Radial velocity: v . r_hat = (0,1,0).(1/sqrt2, 1/sqrt2, 0) = 1/sqrt2.
+  EXPECT_NEAR(echo.radial_velocity, 1.0 / std::sqrt(2.0), 1e-9);
+}
+
+TEST(FullChain, DetectsMovingTargetAtCorrectRange) {
+  RadarConfig config;
+  config.noise_sigma = 0.002;
+  Rng rng(1);
+  // Receding target at 1.5 m, 1.0 m/s radially, on boresight.
+  SceneFrame scene;
+  scene.frame_index = 0;
+  scene.reflectors.push_back(
+      make_reflector(Vec3(0.0, 1.5, 0.0), Vec3(0.0, 1.0, 0.0), 2.0));
+
+  const auto cube = synthesize_frame(config, scene.reflectors, rng);
+  const PointCloud points = detect_points(config, cube, 0);
+  ASSERT_FALSE(points.empty());
+
+  // The strongest point should sit near the true position with positive
+  // (receding) velocity close to 1 m/s.
+  const RadarPoint* best = &points[0];
+  for (const auto& p : points) {
+    if (p.snr_db > best->snr_db) best = &p;
+  }
+  EXPECT_NEAR(best->position.norm(), 1.5, 0.08);
+  EXPECT_NEAR(best->position.x, 0.0, 0.15);
+  EXPECT_NEAR(best->velocity, 1.0, 0.35);  // within one Doppler bin
+}
+
+TEST(FullChain, StaticTargetRemovedByClutterFilter) {
+  RadarConfig config;
+  config.noise_sigma = 0.002;
+  Rng rng(2);
+  SceneFrame scene;
+  scene.reflectors.push_back(make_reflector(Vec3(0.0, 2.0, 0.0), Vec3(), 3.0));
+
+  const auto cube = synthesize_frame(config, scene.reflectors, rng);
+  const PointCloud points = detect_points(config, cube, 0);
+  // A perfectly static target yields no (or almost no) detections.
+  std::size_t near_target = 0;
+  for (const auto& p : points) {
+    if (std::abs(p.position.norm() - 2.0) < 0.15) ++near_target;
+  }
+  EXPECT_LE(near_target, 1u);
+}
+
+TEST(FullChain, OffBoresightAzimuthRecovered) {
+  RadarConfig config;
+  config.noise_sigma = 0.001;
+  Rng rng(3);
+  const double az = 0.35;  // rad
+  const Vec3 pos(2.0 * std::sin(az), 2.0 * std::cos(az), 0.0);
+  const Vec3 vel = pos.normalized() * 0.9;
+  SceneFrame scene;
+  scene.reflectors.push_back(make_reflector(pos, vel, 2.0));
+
+  const auto cube = synthesize_frame(config, scene.reflectors, rng);
+  const PointCloud points = detect_points(config, cube, 0);
+  ASSERT_FALSE(points.empty());
+  const RadarPoint* best = &points[0];
+  for (const auto& p : points) {
+    if (p.snr_db > best->snr_db) best = &p;
+  }
+  const double measured_az = std::atan2(best->position.x, best->position.y);
+  EXPECT_NEAR(measured_az, az, 0.12);
+}
+
+TEST(FullChain, ElevationRecovered) {
+  RadarConfig config;
+  config.noise_sigma = 0.001;
+  Rng rng(4);
+  const double el = 0.25;
+  const Vec3 pos(0.0, 1.8 * std::cos(el), 1.8 * std::sin(el));
+  SceneFrame scene;
+  scene.reflectors.push_back(make_reflector(pos, pos.normalized() * 0.8, 2.0));
+
+  const auto cube = synthesize_frame(config, scene.reflectors, rng);
+  const PointCloud points = detect_points(config, cube, 0);
+  ASSERT_FALSE(points.empty());
+  const RadarPoint* best = &points[0];
+  for (const auto& p : points) {
+    if (p.snr_db > best->snr_db) best = &p;
+  }
+  const double ground = std::sqrt(best->position.x * best->position.x +
+                                  best->position.y * best->position.y);
+  EXPECT_NEAR(std::atan2(best->position.z, ground), el, 0.18);  // 4-element ULA is coarse
+}
+
+TEST(FastBackend, StaticReflectorsDropped) {
+  RadarConfig radar;
+  FastBackendConfig fast;
+  fast.clutter_rate = 0.0;
+  fast.ghost_prob = 0.0;
+  Rng rng(5);
+  SceneFrame scene;
+  scene.reflectors.push_back(make_reflector(Vec3(0, 1.5, 0), Vec3(), 2.0));
+  const FrameCloud frame = fast_process_frame(radar, fast, scene, rng);
+  EXPECT_TRUE(frame.points.empty());
+}
+
+TEST(FastBackend, MovingReflectorDetectedAndQuantised) {
+  RadarConfig radar;
+  FastBackendConfig fast;
+  fast.clutter_rate = 0.0;
+  fast.ghost_prob = 0.0;
+  Rng rng(6);
+  SceneFrame scene;
+  scene.reflectors.push_back(make_reflector(Vec3(0, 1.2, 0), Vec3(0, 1.0, 0), 1.0));
+
+  int detected = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const FrameCloud frame = fast_process_frame(radar, fast, scene, rng);
+    if (frame.points.empty()) continue;
+    ++detected;
+    const RadarPoint& p = frame.points.front();
+    // Velocity snapped to the 0.3375 m/s grid and nonzero.
+    const double v_res = radar.velocity_resolution();
+    EXPECT_NEAR(std::remainder(p.velocity, v_res), 0.0, 1e-9);
+    EXPECT_NE(p.velocity, 0.0);
+    EXPECT_NEAR(p.position.norm(), 1.2, 0.15);
+  }
+  EXPECT_GT(detected, 40);  // strong close target: high detection rate
+}
+
+TEST(FastBackend, DetectionRateFallsWithRange) {
+  RadarConfig radar;
+  FastBackendConfig fast;
+  fast.clutter_rate = 0.0;
+  fast.ghost_prob = 0.0;
+  Rng rng(7);
+
+  const auto rate_at = [&](double range) {
+    SceneFrame scene;
+    scene.reflectors.push_back(
+        make_reflector(Vec3(0, range, 0), Vec3(0, 0.9, 0), 0.8));
+    int hits = 0;
+    for (int trial = 0; trial < 200; ++trial) {
+      hits += fast_process_frame(radar, fast, scene, rng).points.empty() ? 0 : 1;
+    }
+    return hits / 200.0;
+  };
+
+  const double near_rate = rate_at(1.2);
+  const double mid_rate = rate_at(3.0);
+  const double far_rate = rate_at(4.8);
+  EXPECT_GT(near_rate, 0.85);
+  EXPECT_GT(near_rate, mid_rate);
+  EXPECT_GT(mid_rate, far_rate);
+  EXPECT_GT(far_rate, 0.005);  // still occasionally visible (paper: degraded but alive)
+}
+
+TEST(FastBackend, ClutterRateProducesBackgroundPoints) {
+  RadarConfig radar;
+  FastBackendConfig fast;
+  fast.clutter_rate = 2.0;
+  fast.ghost_prob = 0.0;
+  Rng rng(8);
+  SceneFrame empty_scene;
+  empty_scene.reflectors.push_back(make_reflector(Vec3(0, 4.9, 0), Vec3(), 0.01));
+
+  std::size_t total = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    total += fast_process_frame(radar, fast, empty_scene, rng).points.size();
+  }
+  // Poisson(2) per frame, thinned by the detection curve: expect a sizable
+  // fraction to survive.
+  EXPECT_GT(total, 30u);
+}
+
+TEST(RadarSensor, ObserveProducesFramePerSceneFrame) {
+  Rng rng(9);
+  const UserProfile user = UserProfile::sample(0, rng);
+  const GesturePerformer performer(user, PerformanceConfig{});
+  Rng rep(10);
+  const SceneSequence scene = performer.perform(asl_gesture_set()[0], rep);
+
+  const RadarSensor sensor;
+  const FrameSequence frames = sensor.observe(scene, rng);
+  ASSERT_EQ(frames.size(), scene.size());
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i].frame_index, scene[i].frame_index);
+  }
+  // During the active window the radar must see a meaningful point count.
+  std::size_t peak = 0;
+  for (const auto& f : frames) peak = std::max(peak, f.points.size());
+  EXPECT_GE(peak, 5u);
+}
+
+TEST(RadarConsistency, FastBackendMatchesFullChainStatistics) {
+  // The fast backend is a calibrated surrogate: per-frame point counts over
+  // a gesture should agree with the full chain within a factor of ~2.
+  Rng rng(11);
+  const UserProfile user = UserProfile::sample(3, rng);
+  PerformanceConfig perf;
+  perf.idle_frames_before = 2;
+  perf.idle_frames_after = 2;
+  const GesturePerformer performer(user, perf);
+  Rng rep(12);
+  const SceneSequence scene = performer.perform(find_gesture(asl_gesture_set(), "push"), rep);
+
+  FastBackendConfig fast;
+  fast.clutter_rate = 0.0;
+  fast.ghost_prob = 0.0;
+  RadarConfig config;
+  Rng rng_full(13);
+  Rng rng_fast(13);
+
+  double full_total = 0;
+  double fast_total = 0;
+  for (const auto& frame : scene) {
+    full_total += static_cast<double>(process_frame(config, frame, rng_full).points.size());
+    fast_total +=
+        static_cast<double>(fast_process_frame(config, fast, frame, rng_fast).points.size());
+  }
+  ASSERT_GT(full_total, 0.0);
+  ASSERT_GT(fast_total, 0.0);
+  const double ratio = fast_total / full_total;
+  EXPECT_GT(ratio, 0.4) << "fast=" << fast_total << " full=" << full_total;
+  EXPECT_LT(ratio, 2.5) << "fast=" << fast_total << " full=" << full_total;
+}
+
+}  // namespace
+}  // namespace gp

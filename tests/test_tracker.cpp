@@ -1,0 +1,168 @@
+// Tests for the multi-target cluster tracker and simultaneous multi-user
+// classification (the §VII-1 future-work extension).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datasets/catalog.hpp"
+#include "eval/splits.hpp"
+#include "kinematics/performer.hpp"
+#include "radar/sensor.hpp"
+#include "system/multi_person.hpp"
+#include "system/multi_user.hpp"
+#include "system/tracker.hpp"
+
+namespace gp {
+namespace {
+
+// A frame with one dense blob at `center` (enough points to be a core
+// cluster under the tracker's per-frame DBSCAN).
+FrameCloud blob_frame(int index, const Vec3& center, std::size_t n = 6, double spread = 0.15) {
+  FrameCloud frame;
+  frame.frame_index = index;
+  frame.timestamp = index * 0.1;
+  Rng rng(static_cast<std::uint64_t>(index) * 977 + 13);
+  for (std::size_t i = 0; i < n; ++i) {
+    RadarPoint p;
+    p.position = center + Vec3(rng.gaussian(0.0, spread), rng.gaussian(0.0, spread),
+                               rng.gaussian(0.0, spread));
+    p.frame = index;
+    frame.points.push_back(p);
+  }
+  return frame;
+}
+
+TEST(Tracker, SingleTargetFollowedAcrossFrames) {
+  ClusterTracker tracker;
+  for (int f = 0; f < 20; ++f) {
+    // Target drifts slowly (+0.03 m per frame, inside the gate).
+    tracker.push(blob_frame(f, Vec3(0.03 * f, 1.2, 0.0)));
+  }
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  const Track& track = tracker.tracks().front();
+  EXPECT_EQ(track.frames_observed, 20u);
+  EXPECT_NEAR(track.centroid.x, 0.03 * 19, 0.12);
+  EXPECT_GE(track.points.size(), 100u);
+}
+
+TEST(Tracker, TwoSeparatedTargetsGetTwoTracks) {
+  ClusterTracker tracker;
+  for (int f = 0; f < 15; ++f) {
+    FrameCloud frame = blob_frame(f, Vec3(-1.0, 1.2, 0.0));
+    const FrameCloud second = blob_frame(f + 1000, Vec3(1.5, 2.0, 0.0));
+    frame.points.insert(frame.points.end(), second.points.begin(), second.points.end());
+    frame.frame_index = f;
+    tracker.push(frame);
+  }
+  EXPECT_EQ(tracker.tracks().size(), 2u);
+  // Identities are stable: track centroids stay near their own blob.
+  for (const Track& track : tracker.tracks()) {
+    const bool near_first = distance(track.centroid, Vec3(-1.0, 1.2, 0.0)) < 0.4;
+    const bool near_second = distance(track.centroid, Vec3(1.5, 2.0, 0.0)) < 0.4;
+    EXPECT_TRUE(near_first || near_second);
+  }
+}
+
+TEST(Tracker, TrackRetiresAfterMisses) {
+  TrackerParams params;
+  params.max_misses = 3;
+  ClusterTracker tracker(params);
+  for (int f = 0; f < 8; ++f) tracker.push(blob_frame(f, Vec3(0, 1.5, 0)));
+  ASSERT_EQ(tracker.tracks().size(), 1u);
+  // Target disappears.
+  for (int f = 8; f < 14; ++f) {
+    FrameCloud empty;
+    empty.frame_index = f;
+    tracker.push(empty);
+  }
+  EXPECT_TRUE(tracker.tracks().empty());
+  const auto finished = tracker.take_finished();
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_EQ(finished.front().frames_observed, 8u);
+  // take_finished drains.
+  EXPECT_TRUE(tracker.take_finished().empty());
+}
+
+TEST(Tracker, ReappearanceBeyondGateSpawnsNewTrack) {
+  ClusterTracker tracker;
+  for (int f = 0; f < 6; ++f) tracker.push(blob_frame(f, Vec3(0, 1.2, 0)));
+  // Jump far beyond the gate in one frame.
+  for (int f = 6; f < 12; ++f) tracker.push(blob_frame(f, Vec3(3.0, 3.0, 0)));
+  // Old track ages out eventually; at this point both may coexist.
+  EXPECT_GE(tracker.tracks().size(), 1u);
+  bool has_far = false;
+  for (const Track& t : tracker.tracks()) {
+    if (distance(t.centroid, Vec3(3.0, 3.0, 0.0)) < 0.5) has_far = true;
+  }
+  EXPECT_TRUE(has_far);
+}
+
+TEST(Tracker, FinishFlushesLiveTracks) {
+  ClusterTracker tracker;
+  for (int f = 0; f < 5; ++f) tracker.push(blob_frame(f, Vec3(0, 1.5, 0)));
+  tracker.finish();
+  EXPECT_TRUE(tracker.tracks().empty());
+  EXPECT_EQ(tracker.take_finished().size(), 1u);
+}
+
+TEST(MultiUser, ClassifiesTwoSimultaneousGesturers) {
+  // Train a small system, then have two enrolled users gesture at the same
+  // time, 2.5 m apart: classify_multi must produce (at least) two tracks
+  // and assign plausible gestures.
+  DatasetScale scale;
+  scale.max_users = 2;
+  scale.reps = 10;
+  DatasetSpec spec = gestureprint_spec(1, scale);
+  spec.gestures.resize(3);
+  const Dataset dataset = generate_dataset(spec);
+
+  GesturePrintConfig config;
+  config.training.epochs = 6;
+  config.prep.augmentation.copies = 2;
+  GesturePrintSystem system(config);
+  Rng split_rng(5, 1);
+  system.fit(dataset, stratified_split(dataset.gesture_labels(), 0.2, split_rng).train);
+
+  // Compose the simultaneous scene from both enrolled users' biometrics.
+  Rng user_rng(spec.user_seed, 0x5bd1e995ULL);
+  const UserProfile user0 = UserProfile::sample(0, user_rng);
+  const UserProfile user1 = UserProfile::sample(1, user_rng);
+  PerformanceConfig perf0;
+  PerformanceConfig perf1;
+  perf1.lateral = 2.5;
+  const GesturePerformer p0(user0, perf0);
+  const GesturePerformer p1(user1, perf1);
+  Rng rep(9);
+  const SceneSequence merged =
+      merge_scenes(p0.perform(spec.gestures[0], rep), p1.perform(spec.gestures[2], rep));
+  Rng radar_rng(3);
+  const FrameSequence frames = RadarSensor().observe(merged, radar_rng);
+
+  const auto results = classify_multi(system, frames);
+  ASSERT_GE(results.size(), 2u);
+
+  // The two largest tracks sit near the two users' positions.
+  const MultiUserResult* near_track = nullptr;
+  const MultiUserResult* far_track = nullptr;
+  for (const auto& r : results) {
+    if (std::abs(r.position.x) < 1.0) near_track = &r;
+    if (r.position.x > 1.5) far_track = &r;
+  }
+  ASSERT_NE(near_track, nullptr);
+  ASSERT_NE(far_track, nullptr);
+  EXPECT_GE(near_track->num_points, 12u);
+  EXPECT_GE(far_track->num_points, 12u);
+  // Gesture assignments are valid labels (accuracy asserted loosely: the
+  // near user's gesture 0 should usually be recovered).
+  EXPECT_GE(near_track->inference.gesture, 0);
+  EXPECT_LT(near_track->inference.gesture, 3);
+}
+
+TEST(MultiUser, RequiresFittedSystem) {
+  GesturePrintSystem system{GesturePrintConfig{}};
+  FrameSequence frames(3);
+  EXPECT_THROW(classify_multi(system, frames), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_openset.dir/bench_util.cpp.o"
+  "CMakeFiles/ext_openset.dir/bench_util.cpp.o.d"
+  "CMakeFiles/ext_openset.dir/ext_openset.cpp.o"
+  "CMakeFiles/ext_openset.dir/ext_openset.cpp.o.d"
+  "ext_openset"
+  "ext_openset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_openset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_roc_eer.dir/bench_util.cpp.o"
+  "CMakeFiles/fig10_roc_eer.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig10_roc_eer.dir/fig10_roc_eer.cpp.o"
+  "CMakeFiles/fig10_roc_eer.dir/fig10_roc_eer.cpp.o.d"
+  "fig10_roc_eer"
+  "fig10_roc_eer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_roc_eer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

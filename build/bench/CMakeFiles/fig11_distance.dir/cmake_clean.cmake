@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_distance.dir/bench_util.cpp.o"
+  "CMakeFiles/fig11_distance.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig11_distance.dir/fig11_distance.cpp.o"
+  "CMakeFiles/fig11_distance.dir/fig11_distance.cpp.o.d"
+  "fig11_distance"
+  "fig11_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_distance_robustness.dir/bench_util.cpp.o"
+  "CMakeFiles/fig12_distance_robustness.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig12_distance_robustness.dir/fig12_distance_robustness.cpp.o"
+  "CMakeFiles/fig12_distance_robustness.dir/fig12_distance_robustness.cpp.o.d"
+  "fig12_distance_robustness"
+  "fig12_distance_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_distance_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

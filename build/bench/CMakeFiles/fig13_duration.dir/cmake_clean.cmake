@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_duration.dir/bench_util.cpp.o"
+  "CMakeFiles/fig13_duration.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig13_duration.dir/fig13_duration.cpp.o"
+  "CMakeFiles/fig13_duration.dir/fig13_duration.cpp.o.d"
+  "fig13_duration"
+  "fig13_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_multiperson.dir/bench_util.cpp.o"
+  "CMakeFiles/fig15_multiperson.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig15_multiperson.dir/fig15_multiperson.cpp.o"
+  "CMakeFiles/fig15_multiperson.dir/fig15_multiperson.cpp.o.d"
+  "fig15_multiperson"
+  "fig15_multiperson.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_multiperson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

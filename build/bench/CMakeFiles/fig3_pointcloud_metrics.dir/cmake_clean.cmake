@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_pointcloud_metrics.dir/bench_util.cpp.o"
+  "CMakeFiles/fig3_pointcloud_metrics.dir/bench_util.cpp.o.d"
+  "CMakeFiles/fig3_pointcloud_metrics.dir/fig3_pointcloud_metrics.cpp.o"
+  "CMakeFiles/fig3_pointcloud_metrics.dir/fig3_pointcloud_metrics.cpp.o.d"
+  "fig3_pointcloud_metrics"
+  "fig3_pointcloud_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_pointcloud_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

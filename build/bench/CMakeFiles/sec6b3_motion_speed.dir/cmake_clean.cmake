@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6b3_motion_speed.dir/bench_util.cpp.o"
+  "CMakeFiles/sec6b3_motion_speed.dir/bench_util.cpp.o.d"
+  "CMakeFiles/sec6b3_motion_speed.dir/sec6b3_motion_speed.cpp.o"
+  "CMakeFiles/sec6b3_motion_speed.dir/sec6b3_motion_speed.cpp.o.d"
+  "sec6b3_motion_speed"
+  "sec6b3_motion_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6b3_motion_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec6b3_motion_speed.
+# This may be replaced when dependencies are built.

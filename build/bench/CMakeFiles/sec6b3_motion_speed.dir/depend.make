@@ -1,0 +1,2 @@
+# Empty dependencies file for sec6b3_motion_speed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6b5_latency.dir/bench_util.cpp.o"
+  "CMakeFiles/sec6b5_latency.dir/bench_util.cpp.o.d"
+  "CMakeFiles/sec6b5_latency.dir/sec6b5_latency.cpp.o"
+  "CMakeFiles/sec6b5_latency.dir/sec6b5_latency.cpp.o.d"
+  "sec6b5_latency"
+  "sec6b5_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6b5_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

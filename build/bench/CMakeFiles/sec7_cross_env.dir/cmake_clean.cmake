@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_cross_env.dir/bench_util.cpp.o"
+  "CMakeFiles/sec7_cross_env.dir/bench_util.cpp.o.d"
+  "CMakeFiles/sec7_cross_env.dir/sec7_cross_env.cpp.o"
+  "CMakeFiles/sec7_cross_env.dir/sec7_cross_env.cpp.o.d"
+  "sec7_cross_env"
+  "sec7_cross_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_cross_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

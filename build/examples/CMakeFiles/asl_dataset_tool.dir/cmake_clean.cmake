@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asl_dataset_tool.dir/asl_dataset_tool.cpp.o"
+  "CMakeFiles/asl_dataset_tool.dir/asl_dataset_tool.cpp.o.d"
+  "asl_dataset_tool"
+  "asl_dataset_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asl_dataset_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

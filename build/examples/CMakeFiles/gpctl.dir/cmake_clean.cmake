@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpctl.dir/gpctl.cpp.o"
+  "CMakeFiles/gpctl.dir/gpctl.cpp.o.d"
+  "gpctl"
+  "gpctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_segmentation.dir/live_segmentation.cpp.o"
+  "CMakeFiles/live_segmentation.dir/live_segmentation.cpp.o.d"
+  "live_segmentation"
+  "live_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

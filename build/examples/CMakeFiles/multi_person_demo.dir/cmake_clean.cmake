@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_person_demo.dir/multi_person_demo.cpp.o"
+  "CMakeFiles/multi_person_demo.dir/multi_person_demo.cpp.o.d"
+  "multi_person_demo"
+  "multi_person_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_person_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

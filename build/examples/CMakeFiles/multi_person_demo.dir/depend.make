@@ -1,0 +1,2 @@
+# Empty dependencies file for multi_person_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dtw_knn.cpp" "src/baselines/CMakeFiles/gp_baselines.dir/dtw_knn.cpp.o" "gcc" "src/baselines/CMakeFiles/gp_baselines.dir/dtw_knn.cpp.o.d"
+  "/root/repo/src/baselines/edgeconv.cpp" "src/baselines/CMakeFiles/gp_baselines.dir/edgeconv.cpp.o" "gcc" "src/baselines/CMakeFiles/gp_baselines.dir/edgeconv.cpp.o.d"
+  "/root/repo/src/baselines/pointnet.cpp" "src/baselines/CMakeFiles/gp_baselines.dir/pointnet.cpp.o" "gcc" "src/baselines/CMakeFiles/gp_baselines.dir/pointnet.cpp.o.d"
+  "/root/repo/src/baselines/profile_net.cpp" "src/baselines/CMakeFiles/gp_baselines.dir/profile_net.cpp.o" "gcc" "src/baselines/CMakeFiles/gp_baselines.dir/profile_net.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gesidnet/CMakeFiles/gp_gesidnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/gp_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/gp_pointcloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

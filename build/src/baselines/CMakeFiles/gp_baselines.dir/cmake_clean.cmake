@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_baselines.dir/dtw_knn.cpp.o"
+  "CMakeFiles/gp_baselines.dir/dtw_knn.cpp.o.d"
+  "CMakeFiles/gp_baselines.dir/edgeconv.cpp.o"
+  "CMakeFiles/gp_baselines.dir/edgeconv.cpp.o.d"
+  "CMakeFiles/gp_baselines.dir/pointnet.cpp.o"
+  "CMakeFiles/gp_baselines.dir/pointnet.cpp.o.d"
+  "CMakeFiles/gp_baselines.dir/profile_net.cpp.o"
+  "CMakeFiles/gp_baselines.dir/profile_net.cpp.o.d"
+  "libgp_baselines.a"
+  "libgp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_common.dir/config.cpp.o"
+  "CMakeFiles/gp_common.dir/config.cpp.o.d"
+  "CMakeFiles/gp_common.dir/csv.cpp.o"
+  "CMakeFiles/gp_common.dir/csv.cpp.o.d"
+  "CMakeFiles/gp_common.dir/logging.cpp.o"
+  "CMakeFiles/gp_common.dir/logging.cpp.o.d"
+  "CMakeFiles/gp_common.dir/rng.cpp.o"
+  "CMakeFiles/gp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/gp_common.dir/serialize.cpp.o"
+  "CMakeFiles/gp_common.dir/serialize.cpp.o.d"
+  "CMakeFiles/gp_common.dir/table.cpp.o"
+  "CMakeFiles/gp_common.dir/table.cpp.o.d"
+  "libgp_common.a"
+  "libgp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_datasets.dir/cache.cpp.o"
+  "CMakeFiles/gp_datasets.dir/cache.cpp.o.d"
+  "CMakeFiles/gp_datasets.dir/catalog.cpp.o"
+  "CMakeFiles/gp_datasets.dir/catalog.cpp.o.d"
+  "CMakeFiles/gp_datasets.dir/dataset.cpp.o"
+  "CMakeFiles/gp_datasets.dir/dataset.cpp.o.d"
+  "CMakeFiles/gp_datasets.dir/prep.cpp.o"
+  "CMakeFiles/gp_datasets.dir/prep.cpp.o.d"
+  "libgp_datasets.a"
+  "libgp_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/angle.cpp" "src/dsp/CMakeFiles/gp_dsp.dir/angle.cpp.o" "gcc" "src/dsp/CMakeFiles/gp_dsp.dir/angle.cpp.o.d"
+  "/root/repo/src/dsp/cfar.cpp" "src/dsp/CMakeFiles/gp_dsp.dir/cfar.cpp.o" "gcc" "src/dsp/CMakeFiles/gp_dsp.dir/cfar.cpp.o.d"
+  "/root/repo/src/dsp/drai.cpp" "src/dsp/CMakeFiles/gp_dsp.dir/drai.cpp.o" "gcc" "src/dsp/CMakeFiles/gp_dsp.dir/drai.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/gp_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/gp_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/range_doppler.cpp" "src/dsp/CMakeFiles/gp_dsp.dir/range_doppler.cpp.o" "gcc" "src/dsp/CMakeFiles/gp_dsp.dir/range_doppler.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/gp_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/gp_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_dsp.dir/angle.cpp.o"
+  "CMakeFiles/gp_dsp.dir/angle.cpp.o.d"
+  "CMakeFiles/gp_dsp.dir/cfar.cpp.o"
+  "CMakeFiles/gp_dsp.dir/cfar.cpp.o.d"
+  "CMakeFiles/gp_dsp.dir/drai.cpp.o"
+  "CMakeFiles/gp_dsp.dir/drai.cpp.o.d"
+  "CMakeFiles/gp_dsp.dir/fft.cpp.o"
+  "CMakeFiles/gp_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/gp_dsp.dir/range_doppler.cpp.o"
+  "CMakeFiles/gp_dsp.dir/range_doppler.cpp.o.d"
+  "CMakeFiles/gp_dsp.dir/window.cpp.o"
+  "CMakeFiles/gp_dsp.dir/window.cpp.o.d"
+  "libgp_dsp.a"
+  "libgp_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

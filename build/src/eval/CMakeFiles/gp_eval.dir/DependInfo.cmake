@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/metrics.cpp" "src/eval/CMakeFiles/gp_eval.dir/metrics.cpp.o" "gcc" "src/eval/CMakeFiles/gp_eval.dir/metrics.cpp.o.d"
+  "/root/repo/src/eval/roc.cpp" "src/eval/CMakeFiles/gp_eval.dir/roc.cpp.o" "gcc" "src/eval/CMakeFiles/gp_eval.dir/roc.cpp.o.d"
+  "/root/repo/src/eval/splits.cpp" "src/eval/CMakeFiles/gp_eval.dir/splits.cpp.o" "gcc" "src/eval/CMakeFiles/gp_eval.dir/splits.cpp.o.d"
+  "/root/repo/src/eval/tsne.cpp" "src/eval/CMakeFiles/gp_eval.dir/tsne.cpp.o" "gcc" "src/eval/CMakeFiles/gp_eval.dir/tsne.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gp_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

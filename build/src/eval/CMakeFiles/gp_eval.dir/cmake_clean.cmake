@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_eval.dir/metrics.cpp.o"
+  "CMakeFiles/gp_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/gp_eval.dir/roc.cpp.o"
+  "CMakeFiles/gp_eval.dir/roc.cpp.o.d"
+  "CMakeFiles/gp_eval.dir/splits.cpp.o"
+  "CMakeFiles/gp_eval.dir/splits.cpp.o.d"
+  "CMakeFiles/gp_eval.dir/tsne.cpp.o"
+  "CMakeFiles/gp_eval.dir/tsne.cpp.o.d"
+  "libgp_eval.a"
+  "libgp_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

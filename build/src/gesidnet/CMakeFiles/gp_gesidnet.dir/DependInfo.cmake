@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gesidnet/batch.cpp" "src/gesidnet/CMakeFiles/gp_gesidnet.dir/batch.cpp.o" "gcc" "src/gesidnet/CMakeFiles/gp_gesidnet.dir/batch.cpp.o.d"
+  "/root/repo/src/gesidnet/fusion.cpp" "src/gesidnet/CMakeFiles/gp_gesidnet.dir/fusion.cpp.o" "gcc" "src/gesidnet/CMakeFiles/gp_gesidnet.dir/fusion.cpp.o.d"
+  "/root/repo/src/gesidnet/gesidnet.cpp" "src/gesidnet/CMakeFiles/gp_gesidnet.dir/gesidnet.cpp.o" "gcc" "src/gesidnet/CMakeFiles/gp_gesidnet.dir/gesidnet.cpp.o.d"
+  "/root/repo/src/gesidnet/set_abstraction.cpp" "src/gesidnet/CMakeFiles/gp_gesidnet.dir/set_abstraction.cpp.o" "gcc" "src/gesidnet/CMakeFiles/gp_gesidnet.dir/set_abstraction.cpp.o.d"
+  "/root/repo/src/gesidnet/trainer.cpp" "src/gesidnet/CMakeFiles/gp_gesidnet.dir/trainer.cpp.o" "gcc" "src/gesidnet/CMakeFiles/gp_gesidnet.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/gp_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/gp_pointcloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_gesidnet.dir/batch.cpp.o"
+  "CMakeFiles/gp_gesidnet.dir/batch.cpp.o.d"
+  "CMakeFiles/gp_gesidnet.dir/fusion.cpp.o"
+  "CMakeFiles/gp_gesidnet.dir/fusion.cpp.o.d"
+  "CMakeFiles/gp_gesidnet.dir/gesidnet.cpp.o"
+  "CMakeFiles/gp_gesidnet.dir/gesidnet.cpp.o.d"
+  "CMakeFiles/gp_gesidnet.dir/set_abstraction.cpp.o"
+  "CMakeFiles/gp_gesidnet.dir/set_abstraction.cpp.o.d"
+  "CMakeFiles/gp_gesidnet.dir/trainer.cpp.o"
+  "CMakeFiles/gp_gesidnet.dir/trainer.cpp.o.d"
+  "libgp_gesidnet.a"
+  "libgp_gesidnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_gesidnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

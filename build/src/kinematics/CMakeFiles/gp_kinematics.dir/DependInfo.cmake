@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kinematics/body.cpp" "src/kinematics/CMakeFiles/gp_kinematics.dir/body.cpp.o" "gcc" "src/kinematics/CMakeFiles/gp_kinematics.dir/body.cpp.o.d"
+  "/root/repo/src/kinematics/gesture_spec.cpp" "src/kinematics/CMakeFiles/gp_kinematics.dir/gesture_spec.cpp.o" "gcc" "src/kinematics/CMakeFiles/gp_kinematics.dir/gesture_spec.cpp.o.d"
+  "/root/repo/src/kinematics/performer.cpp" "src/kinematics/CMakeFiles/gp_kinematics.dir/performer.cpp.o" "gcc" "src/kinematics/CMakeFiles/gp_kinematics.dir/performer.cpp.o.d"
+  "/root/repo/src/kinematics/trajectory.cpp" "src/kinematics/CMakeFiles/gp_kinematics.dir/trajectory.cpp.o" "gcc" "src/kinematics/CMakeFiles/gp_kinematics.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_kinematics.dir/body.cpp.o"
+  "CMakeFiles/gp_kinematics.dir/body.cpp.o.d"
+  "CMakeFiles/gp_kinematics.dir/gesture_spec.cpp.o"
+  "CMakeFiles/gp_kinematics.dir/gesture_spec.cpp.o.d"
+  "CMakeFiles/gp_kinematics.dir/performer.cpp.o"
+  "CMakeFiles/gp_kinematics.dir/performer.cpp.o.d"
+  "CMakeFiles/gp_kinematics.dir/trajectory.cpp.o"
+  "CMakeFiles/gp_kinematics.dir/trajectory.cpp.o.d"
+  "libgp_kinematics.a"
+  "libgp_kinematics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_kinematics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_nn.dir/grad_check.cpp.o"
+  "CMakeFiles/gp_nn.dir/grad_check.cpp.o.d"
+  "CMakeFiles/gp_nn.dir/layers.cpp.o"
+  "CMakeFiles/gp_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/gp_nn.dir/loss.cpp.o"
+  "CMakeFiles/gp_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/gp_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/gp_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/gp_nn.dir/serialize_nn.cpp.o"
+  "CMakeFiles/gp_nn.dir/serialize_nn.cpp.o.d"
+  "CMakeFiles/gp_nn.dir/tensor.cpp.o"
+  "CMakeFiles/gp_nn.dir/tensor.cpp.o.d"
+  "libgp_nn.a"
+  "libgp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pipeline/augmentation.cpp" "src/pipeline/CMakeFiles/gp_pipeline.dir/augmentation.cpp.o" "gcc" "src/pipeline/CMakeFiles/gp_pipeline.dir/augmentation.cpp.o.d"
+  "/root/repo/src/pipeline/energy_segmentation.cpp" "src/pipeline/CMakeFiles/gp_pipeline.dir/energy_segmentation.cpp.o" "gcc" "src/pipeline/CMakeFiles/gp_pipeline.dir/energy_segmentation.cpp.o.d"
+  "/root/repo/src/pipeline/noise_cancel.cpp" "src/pipeline/CMakeFiles/gp_pipeline.dir/noise_cancel.cpp.o" "gcc" "src/pipeline/CMakeFiles/gp_pipeline.dir/noise_cancel.cpp.o.d"
+  "/root/repo/src/pipeline/preprocessor.cpp" "src/pipeline/CMakeFiles/gp_pipeline.dir/preprocessor.cpp.o" "gcc" "src/pipeline/CMakeFiles/gp_pipeline.dir/preprocessor.cpp.o.d"
+  "/root/repo/src/pipeline/segmentation.cpp" "src/pipeline/CMakeFiles/gp_pipeline.dir/segmentation.cpp.o" "gcc" "src/pipeline/CMakeFiles/gp_pipeline.dir/segmentation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/gp_pointcloud.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_pipeline.dir/augmentation.cpp.o"
+  "CMakeFiles/gp_pipeline.dir/augmentation.cpp.o.d"
+  "CMakeFiles/gp_pipeline.dir/energy_segmentation.cpp.o"
+  "CMakeFiles/gp_pipeline.dir/energy_segmentation.cpp.o.d"
+  "CMakeFiles/gp_pipeline.dir/noise_cancel.cpp.o"
+  "CMakeFiles/gp_pipeline.dir/noise_cancel.cpp.o.d"
+  "CMakeFiles/gp_pipeline.dir/preprocessor.cpp.o"
+  "CMakeFiles/gp_pipeline.dir/preprocessor.cpp.o.d"
+  "CMakeFiles/gp_pipeline.dir/segmentation.cpp.o"
+  "CMakeFiles/gp_pipeline.dir/segmentation.cpp.o.d"
+  "libgp_pipeline.a"
+  "libgp_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

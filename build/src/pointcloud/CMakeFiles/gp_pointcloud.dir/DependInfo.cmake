@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pointcloud/dbscan.cpp" "src/pointcloud/CMakeFiles/gp_pointcloud.dir/dbscan.cpp.o" "gcc" "src/pointcloud/CMakeFiles/gp_pointcloud.dir/dbscan.cpp.o.d"
+  "/root/repo/src/pointcloud/io.cpp" "src/pointcloud/CMakeFiles/gp_pointcloud.dir/io.cpp.o" "gcc" "src/pointcloud/CMakeFiles/gp_pointcloud.dir/io.cpp.o.d"
+  "/root/repo/src/pointcloud/metrics.cpp" "src/pointcloud/CMakeFiles/gp_pointcloud.dir/metrics.cpp.o" "gcc" "src/pointcloud/CMakeFiles/gp_pointcloud.dir/metrics.cpp.o.d"
+  "/root/repo/src/pointcloud/ops.cpp" "src/pointcloud/CMakeFiles/gp_pointcloud.dir/ops.cpp.o" "gcc" "src/pointcloud/CMakeFiles/gp_pointcloud.dir/ops.cpp.o.d"
+  "/root/repo/src/pointcloud/point.cpp" "src/pointcloud/CMakeFiles/gp_pointcloud.dir/point.cpp.o" "gcc" "src/pointcloud/CMakeFiles/gp_pointcloud.dir/point.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

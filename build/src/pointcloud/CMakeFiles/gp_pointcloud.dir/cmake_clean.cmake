@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_pointcloud.dir/dbscan.cpp.o"
+  "CMakeFiles/gp_pointcloud.dir/dbscan.cpp.o.d"
+  "CMakeFiles/gp_pointcloud.dir/io.cpp.o"
+  "CMakeFiles/gp_pointcloud.dir/io.cpp.o.d"
+  "CMakeFiles/gp_pointcloud.dir/metrics.cpp.o"
+  "CMakeFiles/gp_pointcloud.dir/metrics.cpp.o.d"
+  "CMakeFiles/gp_pointcloud.dir/ops.cpp.o"
+  "CMakeFiles/gp_pointcloud.dir/ops.cpp.o.d"
+  "CMakeFiles/gp_pointcloud.dir/point.cpp.o"
+  "CMakeFiles/gp_pointcloud.dir/point.cpp.o.d"
+  "libgp_pointcloud.a"
+  "libgp_pointcloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_pointcloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

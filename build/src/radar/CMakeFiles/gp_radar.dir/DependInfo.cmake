@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radar/config.cpp" "src/radar/CMakeFiles/gp_radar.dir/config.cpp.o" "gcc" "src/radar/CMakeFiles/gp_radar.dir/config.cpp.o.d"
+  "/root/repo/src/radar/fast_backend.cpp" "src/radar/CMakeFiles/gp_radar.dir/fast_backend.cpp.o" "gcc" "src/radar/CMakeFiles/gp_radar.dir/fast_backend.cpp.o.d"
+  "/root/repo/src/radar/fmcw.cpp" "src/radar/CMakeFiles/gp_radar.dir/fmcw.cpp.o" "gcc" "src/radar/CMakeFiles/gp_radar.dir/fmcw.cpp.o.d"
+  "/root/repo/src/radar/frontend.cpp" "src/radar/CMakeFiles/gp_radar.dir/frontend.cpp.o" "gcc" "src/radar/CMakeFiles/gp_radar.dir/frontend.cpp.o.d"
+  "/root/repo/src/radar/link_budget.cpp" "src/radar/CMakeFiles/gp_radar.dir/link_budget.cpp.o" "gcc" "src/radar/CMakeFiles/gp_radar.dir/link_budget.cpp.o.d"
+  "/root/repo/src/radar/sensor.cpp" "src/radar/CMakeFiles/gp_radar.dir/sensor.cpp.o" "gcc" "src/radar/CMakeFiles/gp_radar.dir/sensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/gp_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/gp_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinematics/CMakeFiles/gp_kinematics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

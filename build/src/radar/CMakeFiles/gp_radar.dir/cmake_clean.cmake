@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_radar.dir/config.cpp.o"
+  "CMakeFiles/gp_radar.dir/config.cpp.o.d"
+  "CMakeFiles/gp_radar.dir/fast_backend.cpp.o"
+  "CMakeFiles/gp_radar.dir/fast_backend.cpp.o.d"
+  "CMakeFiles/gp_radar.dir/fmcw.cpp.o"
+  "CMakeFiles/gp_radar.dir/fmcw.cpp.o.d"
+  "CMakeFiles/gp_radar.dir/frontend.cpp.o"
+  "CMakeFiles/gp_radar.dir/frontend.cpp.o.d"
+  "CMakeFiles/gp_radar.dir/link_budget.cpp.o"
+  "CMakeFiles/gp_radar.dir/link_budget.cpp.o.d"
+  "CMakeFiles/gp_radar.dir/sensor.cpp.o"
+  "CMakeFiles/gp_radar.dir/sensor.cpp.o.d"
+  "libgp_radar.a"
+  "libgp_radar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_system.dir/cross_validate.cpp.o"
+  "CMakeFiles/gp_system.dir/cross_validate.cpp.o.d"
+  "CMakeFiles/gp_system.dir/gestureprint.cpp.o"
+  "CMakeFiles/gp_system.dir/gestureprint.cpp.o.d"
+  "CMakeFiles/gp_system.dir/multi_person.cpp.o"
+  "CMakeFiles/gp_system.dir/multi_person.cpp.o.d"
+  "CMakeFiles/gp_system.dir/multi_user.cpp.o"
+  "CMakeFiles/gp_system.dir/multi_user.cpp.o.d"
+  "CMakeFiles/gp_system.dir/open_set.cpp.o"
+  "CMakeFiles/gp_system.dir/open_set.cpp.o.d"
+  "CMakeFiles/gp_system.dir/tracker.cpp.o"
+  "CMakeFiles/gp_system.dir/tracker.cpp.o.d"
+  "libgp_system.a"
+  "libgp_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

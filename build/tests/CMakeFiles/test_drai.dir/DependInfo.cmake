@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_drai.cpp" "tests/CMakeFiles/test_drai.dir/test_drai.cpp.o" "gcc" "tests/CMakeFiles/test_drai.dir/test_drai.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/gp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/system/CMakeFiles/gp_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/gp_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/gp_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/radar/CMakeFiles/gp_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/gp_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/kinematics/CMakeFiles/gp_kinematics.dir/DependInfo.cmake"
+  "/root/repo/build/src/gesidnet/CMakeFiles/gp_gesidnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/gp_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/pointcloud/CMakeFiles/gp_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/gp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/gp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drai.dir/test_drai.cpp.o"
+  "CMakeFiles/test_drai.dir/test_drai.cpp.o.d"
+  "test_drai"
+  "test_drai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gesidnet.dir/test_gesidnet.cpp.o"
+  "CMakeFiles/test_gesidnet.dir/test_gesidnet.cpp.o.d"
+  "test_gesidnet"
+  "test_gesidnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gesidnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_io_budget.dir/test_io_budget.cpp.o"
+  "CMakeFiles/test_io_budget.dir/test_io_budget.cpp.o.d"
+  "test_io_budget"
+  "test_io_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_io_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

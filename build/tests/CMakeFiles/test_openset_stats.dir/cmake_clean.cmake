@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_openset_stats.dir/test_openset_stats.cpp.o"
+  "CMakeFiles/test_openset_stats.dir/test_openset_stats.cpp.o.d"
+  "test_openset_stats"
+  "test_openset_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_openset_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_extensions.dir/test_system_extensions.cpp.o"
+  "CMakeFiles/test_system_extensions.dir/test_system_extensions.cpp.o.d"
+  "test_system_extensions"
+  "test_system_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -8,13 +8,29 @@
 // pipeline runs Python/PyTorch; ours is native C++, typically much faster);
 // the reproduced *shape* is the budget argument: total processing time per
 // sample must sit comfortably below the gesture duration.
+//
+// The binary also runs a parallel-scaling sweep over GP thread counts
+// {1, 2, 4, hardware} for three representative stages (matmul kernel, one
+// training epoch, dataset synthesis) and writes the measured speedups to
+// <output_dir>/BENCH_parallel.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "datasets/cache.hpp"
+#include "datasets/prep.hpp"
+#include "exec/exec.hpp"
+#include "gesidnet/gesidnet.hpp"
+#include "gesidnet/trainer.hpp"
+#include "nn/tensor.hpp"
 #include "pipeline/preprocessor.hpp"
 
 namespace {
@@ -82,6 +98,120 @@ void BM_EndToEndSingleGesture(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndSingleGesture)->Unit(benchmark::kMillisecond);
 
+// ------------------------------------------------------ parallel scaling sweep
+
+/// Best-of-`reps` wall time of `stage(ctx)` in milliseconds.
+template <typename Fn>
+double time_stage_ms(gp::exec::ExecContext& ctx, const Fn& stage, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    stage(ctx);
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+struct SweepStage {
+  std::string name;
+  std::vector<double> ms;  ///< aligned with the swept thread counts
+};
+
+/// Sweeps GP thread counts over three representative stages and writes
+/// BENCH_parallel.json. Every stage produces bitwise-identical results at
+/// each thread count (the gp::exec contract), so only time varies.
+void run_parallel_sweep() {
+  using namespace gp;
+  std::vector<std::size_t> threads{1, 2, 4};
+  const std::size_t hw = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  threads.push_back(hw);
+  std::sort(threads.begin(), threads.end());
+  threads.erase(std::unique(threads.begin(), threads.end()), threads.end());
+
+  // Stage inputs, prepared once outside the timed region.
+  Rng mat_rng(2024);
+  nn::Tensor ma(384, 256);
+  ma.randn(mat_rng, 1.0);
+  nn::Tensor mb(256, 320);
+  mb.randn(mat_rng, 1.0);
+
+  DatasetScale scale;
+  scale.max_users = 3;
+  scale.reps = 4;
+  DatasetSpec spec = gestureprint_spec(0, scale);
+  spec.gestures.resize(4);
+
+  exec::ExecContext prep_ctx(1);
+  const Dataset train_data = generate_dataset(spec, prep_ctx);
+  const std::vector<std::size_t> idx = all_indices(train_data);
+  Rng prep_rng(7);
+  const LabeledSamples labeled =
+      prepare_subset(train_data, idx, LabelKind::kGesture, PrepConfig{}, prep_rng);
+  TrainConfig train_config;
+  train_config.epochs = 1;
+  train_config.batch_size = 16;
+
+  std::vector<SweepStage> stages{{"matmul_kernel", {}}, {"train_epoch", {}}, {"dataset_synthesis", {}}};
+  for (const std::size_t t : threads) {
+    exec::ExecContext ctx(t);
+    stages[0].ms.push_back(time_stage_ms(ctx, [&](exec::ExecContext& c) {
+      nn::Tensor out;
+      for (int i = 0; i < 16; ++i) {
+        nn::matmul(ma, mb, out, c);
+        benchmark::DoNotOptimize(out);
+      }
+    }));
+    stages[1].ms.push_back(time_stage_ms(
+        ctx,
+        [&](exec::ExecContext& c) {
+          Rng rng(51);
+          GesIDNetConfig net_config;
+          net_config.num_classes = train_data.num_gestures();
+          GesIDNet model(net_config, rng);
+          const TrainStats stats = train_classifier(model, labeled, train_config, c);
+          benchmark::DoNotOptimize(stats);
+        },
+        /*reps=*/2));
+    stages[2].ms.push_back(time_stage_ms(
+        ctx,
+        [&](exec::ExecContext& c) {
+          const Dataset d = generate_dataset(spec, c);
+          benchmark::DoNotOptimize(d);
+        },
+        /*reps=*/2));
+  }
+
+  std::cout << "\nparallel scaling (best-of wall time, ms; speedup vs 1 thread)\n";
+  std::ostringstream json;
+  json << "{\n  \"hardware_concurrency\": " << hw << ",\n  \"threads\": [";
+  for (std::size_t i = 0; i < threads.size(); ++i) json << (i ? ", " : "") << threads[i];
+  json << "],\n  \"stages\": [\n";
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const SweepStage& stage = stages[s];
+    std::cout << "  " << stage.name << ":";
+    json << "    {\"name\": \"" << stage.name << "\", \"ms\": [";
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+      const double speedup = stage.ms[0] / stage.ms[i];
+      std::cout << "  " << threads[i] << "t " << bench::cell(stage.ms[i]) << "ms (x"
+                << bench::cell(speedup) << ")";
+      json << (i ? ", " : "") << stage.ms[i];
+    }
+    json << "], \"speedup\": [";
+    for (std::size_t i = 0; i < threads.size(); ++i) {
+      json << (i ? ", " : "") << stage.ms[0] / stage.ms[i];
+    }
+    json << "]}" << (s + 1 < stages.size() ? "," : "") << "\n";
+    std::cout << "\n";
+  }
+  json << "  ]\n}\n";
+
+  const std::string path = output_dir() + "/BENCH_parallel.json";
+  std::ofstream out(path);
+  out << json.str();
+  std::cout << "wrote " << path << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,5 +223,6 @@ int main(int argc, char** argv) {
   LatencyFixture::instance();  // train outside the measured region
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  run_parallel_sweep();
   return 0;
 }

@@ -102,10 +102,14 @@ std::optional<Dataset> load_dataset(const std::string& path) {
 }
 
 std::string dataset_cache_key(const DatasetSpec& spec) {
+  // Bumped whenever the generator's RNG scheme changes (v2: per-sample
+  // child streams for parallel synthesis), so stale caches never collide.
+  constexpr std::uint64_t kGeneratorSchemaVersion = 2;
   std::ostringstream key;
   key << spec.name << "_u" << spec.num_users << "_r" << spec.reps_per_gesture << "_g"
       << spec.gestures.size();
   std::uint64_t h = fnv1a(spec.name) ^ spec.seed ^ (spec.user_seed << 1);
+  h = h * 1099511628211ULL + kGeneratorSchemaVersion;
   for (double d : spec.distances) h = h * 31 + static_cast<std::uint64_t>(d * 1000.0);
   for (double s : spec.speeds) h = h * 37 + static_cast<std::uint64_t>(s * 1000.0);
   h ^= static_cast<std::uint64_t>(spec.environment.clutter_rate * 1e6);
@@ -114,7 +118,8 @@ std::string dataset_cache_key(const DatasetSpec& spec) {
   return key.str();
 }
 
-Dataset generate_dataset_cached(const DatasetSpec& spec, const std::string& cache_dir) {
+Dataset generate_dataset_cached(const DatasetSpec& spec, const std::string& cache_dir,
+                                exec::ExecContext& ctx) {
   const std::string dir = cache_dir.empty() ? output_dir() : cache_dir;
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
@@ -124,7 +129,7 @@ Dataset generate_dataset_cached(const DatasetSpec& spec, const std::string& cach
     log_debug() << "dataset cache hit: " << path;
     return std::move(*cached);
   }
-  Dataset dataset = generate_dataset(spec);
+  Dataset dataset = generate_dataset(spec, ctx);
   try {
     save_dataset(path, dataset);
   } catch (const Error& e) {

@@ -18,8 +18,10 @@ std::optional<Dataset> load_dataset(const std::string& path);
 
 /// generate_dataset with a transparent file cache under `cache_dir`
 /// (defaults to gp::output_dir()). Cache key = spec name + a content hash
-/// of the generation parameters, so changed specs never collide.
-Dataset generate_dataset_cached(const DatasetSpec& spec, const std::string& cache_dir = "");
+/// of the generation parameters (including the generator schema version),
+/// so changed specs never collide. Generation runs on `ctx`.
+Dataset generate_dataset_cached(const DatasetSpec& spec, const std::string& cache_dir = "",
+                                exec::ExecContext& ctx = exec::ExecContext::global());
 
 /// The cache key used by generate_dataset_cached (exposed for tests).
 std::string dataset_cache_key(const DatasetSpec& spec);

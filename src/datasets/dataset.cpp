@@ -56,7 +56,7 @@ FastBackendConfig fast_config_for(const EnvironmentSpec& env) {
 
 }  // namespace
 
-Dataset generate_dataset(const DatasetSpec& spec) {
+Dataset generate_dataset(const DatasetSpec& spec, exec::ExecContext& ctx) {
   check_arg(!spec.gestures.empty(), "dataset needs gestures");
   check_arg(spec.num_users >= 2, "dataset needs >= 2 users");
   check_arg(!spec.distances.empty() && !spec.speeds.empty(), "dataset needs anchors/speeds");
@@ -67,53 +67,80 @@ Dataset generate_dataset(const DatasetSpec& spec) {
 
   const RadarSensor sensor(RadarConfig{}, spec.backend, fast_config_for(spec.environment));
   const Preprocessor preprocessor;
-  Rng master(spec.seed, 0x14057b7ef767814fULL);
 
   const std::uint64_t env_key =
       fnv1a(spec.environment.name) ^ static_cast<std::uint64_t>(spec.environment_id);
 
-  dataset.samples.reserve(spec.num_users * spec.gestures.size() * spec.reps_per_gesture *
-                          spec.distances.size() * spec.speeds.size());
-
+  // Session-drifted profiles are deterministic per (user, environment) and
+  // cheap; compute them once up front.
+  std::vector<UserProfile> drifted;
+  drifted.reserve(spec.num_users);
   for (std::size_t u = 0; u < spec.num_users; ++u) {
-    const UserProfile user = with_session_drift(dataset.users[u], spec.environment, env_key);
-    Rng user_stream = master.fork();
+    drifted.push_back(with_session_drift(dataset.users[u], spec.environment, env_key));
+  }
 
+  // Flatten the spec grid into one task per potential sample. Every sample
+  // draws from its own child RNG stream keyed by its grid position, which is
+  // what makes per-sample parallel synthesis order-independent: the result
+  // (and the bytes of a cached .gpds) is the same for 1 thread or 64.
+  struct SampleTask {
+    std::size_t user;
+    std::size_t gesture;
+    double distance;
+    double speed;
+  };
+  std::vector<SampleTask> tasks;
+  tasks.reserve(spec.num_users * spec.gestures.size() * spec.distances.size() *
+                spec.speeds.size() * spec.reps_per_gesture);
+  for (std::size_t u = 0; u < spec.num_users; ++u) {
     for (std::size_t g = 0; g < spec.gestures.size(); ++g) {
       for (double distance : spec.distances) {
         for (double speed : spec.speeds) {
           for (std::size_t rep = 0; rep < spec.reps_per_gesture; ++rep) {
-            PerformanceConfig perf;
-            perf.distance = distance;
-            perf.lateral = user_stream.gaussian(0.0, 0.04);
-            perf.speed_multiplier = speed;
-            perf.idle_frames_before = 6;
-            perf.idle_frames_after = 6;
-
-            const GesturePerformer performer(user, perf);
-            const SceneSequence scene = performer.perform(spec.gestures[g], user_stream);
-            const FrameSequence frames = sensor.observe(scene, user_stream);
-
-            // Ground-truth motion span is known from the performance config.
-            const std::size_t begin = static_cast<std::size_t>(perf.idle_frames_before);
-            const std::size_t end = frames.size() - static_cast<std::size_t>(perf.idle_frames_after);
-            const FrameSequence active(frames.begin() + static_cast<std::ptrdiff_t>(begin),
-                                       frames.begin() + static_cast<std::ptrdiff_t>(end));
-
-            GestureSample sample;
-            sample.cloud = preprocessor.process_segment(active);
-            sample.gesture = static_cast<int>(g);
-            sample.user = static_cast<int>(u);
-            sample.environment = spec.environment_id;
-            sample.distance = distance;
-            sample.speed = speed;
-            sample.active_frames = active.size();
-            if (sample.cloud.points.size() < 4) continue;  // radar saw nothing usable
-            dataset.samples.push_back(std::move(sample));
+            tasks.push_back({u, g, distance, speed});
           }
         }
       }
     }
+  }
+
+  std::vector<GestureSample> slots(tasks.size());
+  ctx.parallel_for(0, tasks.size(), /*grain=*/1, [&](std::size_t t) {
+    const SampleTask& task = tasks[t];
+    Rng sample_rng = exec::child_rng(spec.seed, t);
+
+    PerformanceConfig perf;
+    perf.distance = task.distance;
+    perf.lateral = sample_rng.gaussian(0.0, 0.04);
+    perf.speed_multiplier = task.speed;
+    perf.idle_frames_before = 6;
+    perf.idle_frames_after = 6;
+
+    const GesturePerformer performer(drifted[task.user], perf);
+    const SceneSequence scene = performer.perform(spec.gestures[task.gesture], sample_rng);
+    const FrameSequence frames = sensor.observe(scene, sample_rng);
+
+    // Ground-truth motion span is known from the performance config.
+    const std::size_t begin = static_cast<std::size_t>(perf.idle_frames_before);
+    const std::size_t end = frames.size() - static_cast<std::size_t>(perf.idle_frames_after);
+    const FrameSequence active(frames.begin() + static_cast<std::ptrdiff_t>(begin),
+                               frames.begin() + static_cast<std::ptrdiff_t>(end));
+
+    GestureSample& sample = slots[t];
+    sample.cloud = preprocessor.process_segment(active);
+    sample.gesture = static_cast<int>(task.gesture);
+    sample.user = static_cast<int>(task.user);
+    sample.environment = spec.environment_id;
+    sample.distance = task.distance;
+    sample.speed = task.speed;
+    sample.active_frames = active.size();
+  });
+
+  // Compact in task order so sample ordering matches the serial path.
+  dataset.samples.reserve(tasks.size());
+  for (auto& sample : slots) {
+    if (sample.cloud.points.size() < 4) continue;  // radar saw nothing usable
+    dataset.samples.push_back(std::move(sample));
   }
   log_debug() << "generated dataset '" << spec.name << "': " << dataset.samples.size()
               << " samples, " << spec.num_users << " users, " << spec.gestures.size()

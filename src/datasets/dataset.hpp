@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "exec/exec.hpp"
 #include "kinematics/gesture_spec.hpp"
 #include "kinematics/performer.hpp"
 #include "pipeline/preprocessor.hpp"
@@ -69,8 +70,12 @@ struct Dataset {
   std::vector<int> user_labels() const;
 };
 
-/// Generates the full dataset. Deterministic for a given spec.
-Dataset generate_dataset(const DatasetSpec& spec);
+/// Generates the full dataset. Samples are synthesised in parallel on `ctx`,
+/// each from its own child RNG stream (exec::child_rng keyed by the sample's
+/// position in the spec grid), so the result — including the bytes of a
+/// saved `.gpds` cache — is identical for every thread count.
+Dataset generate_dataset(const DatasetSpec& spec,
+                         exec::ExecContext& ctx = exec::ExecContext::global());
 
 /// Generates a continuous multi-gesture recording for one user (idle gaps
 /// between gestures), for exercising the streaming segmenter the way the

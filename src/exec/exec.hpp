@@ -1,0 +1,130 @@
+// gp::exec — the execution layer every hot path runs on.
+//
+// ExecContext wraps a ThreadPool behind a small set of deterministic
+// parallel primitives:
+//
+//   * parallel_for / parallel_for_chunks — static chunking by `grain`
+//     indices per chunk. Chunk boundaries depend only on (range, grain),
+//     never on the thread count, so any per-index or per-chunk computation
+//     that writes disjoint state is bitwise-reproducible.
+//   * parallel_map — parallel_for that collects one result per index.
+//   * parallel_reduce_ordered — chunk partials are combined **in chunk
+//     index order** after the region, so floating-point reductions give
+//     the same bits for 1 thread or 64.
+//
+// Randomised parallel work must not share one Rng across chunks: derive an
+// independent per-item generator with child_rng(base_seed, index), which is
+// a pure function of its inputs (order- and schedule-independent).
+//
+// The global() context sizes its pool from GP_THREADS (env var) or
+// std::thread::hardware_concurrency(). SerialScope forces every context
+// used by the current thread to run inline — handy in tests and in code
+// that is already inside a parallel region.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace gp::exec {
+
+/// Thread count used by the global context: GP_THREADS if set (clamped to
+/// [1, 512]), else std::thread::hardware_concurrency(), else 1.
+std::size_t default_threads();
+
+/// Deterministically mixes (base, index) into an independent 64-bit seed
+/// (splitmix64 finalisation). A pure function: the same inputs produce the
+/// same child no matter which thread asks, in which order.
+std::uint64_t child_seed(std::uint64_t base, std::uint64_t index);
+
+/// An independent PCG32 stream for item `index` of a job seeded by `base`.
+Rng child_rng(std::uint64_t base, std::uint64_t index);
+
+/// Forces all ExecContexts used by this thread to run inline while alive.
+/// Nestable; used by tests and by already-parallel callers.
+class SerialScope {
+ public:
+  SerialScope();
+  ~SerialScope();
+  SerialScope(const SerialScope&) = delete;
+  SerialScope& operator=(const SerialScope&) = delete;
+
+  static bool active();
+};
+
+class ExecContext {
+ public:
+  /// `threads` = total parallelism (including the calling thread);
+  /// 0 means default_threads().
+  explicit ExecContext(std::size_t threads = 0);
+
+  /// Process-wide context. Sized once, on first use.
+  static ExecContext& global();
+
+  /// Effective parallelism: 1 inside a SerialScope or an active region.
+  std::size_t threads() const;
+
+  /// Raw region API: fn(chunk) for chunk in [0, chunks), blocking.
+  void run_chunks(std::size_t chunks, const ThreadPool::ChunkFn& fn);
+
+  /// fn(chunk_begin, chunk_end) over [begin, end) split every `grain`
+  /// indices (grain 0 behaves as 1). Chunking is thread-count independent.
+  template <typename Fn>
+  void parallel_for_chunks(std::size_t begin, std::size_t end, std::size_t grain, Fn&& fn) {
+    if (end <= begin) return;
+    const std::size_t g = grain == 0 ? 1 : grain;
+    const std::size_t chunks = (end - begin + g - 1) / g;
+    run_chunks(chunks, [&](std::size_t c) {
+      const std::size_t cb = begin + c * g;
+      const std::size_t ce = cb + g < end ? cb + g : end;
+      fn(cb, ce);
+    });
+  }
+
+  /// fn(i) for every i in [begin, end).
+  template <typename Fn>
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain, Fn&& fn) {
+    parallel_for_chunks(begin, end, grain,
+                        [&](std::size_t cb, std::size_t ce) {
+                          for (std::size_t i = cb; i < ce; ++i) fn(i);
+                        });
+  }
+
+  /// Collects fn(i) for i in [0, n) into a vector (index-aligned).
+  template <typename T, typename Fn>
+  std::vector<T> parallel_map(std::size_t n, std::size_t grain, Fn&& fn) {
+    std::vector<T> out(n);
+    parallel_for(0, n, grain, [&](std::size_t i) { out[i] = fn(i); });
+    return out;
+  }
+
+  /// Ordered reduction: partial[c] = map(chunk_begin, chunk_end) computed in
+  /// parallel, then combine(acc, partial[c]) applied serially for ascending
+  /// c. Floating-point results are identical for every thread count.
+  template <typename T, typename MapFn, typename CombineFn>
+  T parallel_reduce_ordered(std::size_t begin, std::size_t end, std::size_t grain, T init,
+                            MapFn&& map, CombineFn&& combine) {
+    if (end <= begin) return init;
+    const std::size_t g = grain == 0 ? 1 : grain;
+    const std::size_t chunks = (end - begin + g - 1) / g;
+    std::vector<T> partial(chunks);
+    run_chunks(chunks, [&](std::size_t c) {
+      const std::size_t cb = begin + c * g;
+      const std::size_t ce = cb + g < end ? cb + g : end;
+      partial[c] = map(cb, ce);
+    });
+    T acc = std::move(init);
+    for (std::size_t c = 0; c < chunks; ++c) acc = combine(std::move(acc), std::move(partial[c]));
+    return acc;
+  }
+
+ private:
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace gp::exec

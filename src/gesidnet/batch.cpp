@@ -4,16 +4,15 @@
 
 namespace gp {
 
-BatchedCloud make_batch(const std::vector<const FeaturizedSample*>& samples) {
+void make_batch(const std::vector<const FeaturizedSample*>& samples, BatchedCloud& out) {
   check_arg(!samples.empty(), "make_batch of empty sample list");
   const std::size_t n = samples.front()->num_points;
   const std::size_t dims = samples.front()->dims;
 
-  BatchedCloud out;
   out.batch = samples.size();
   out.num_points = n;
-  out.positions = nn::Tensor(out.batch * n, 3);
-  out.features = nn::Tensor(out.batch * n, dims);
+  out.positions.resize(out.batch * n, 3);
+  out.features.resize(out.batch * n, dims);
 
   for (std::size_t b = 0; b < samples.size(); ++b) {
     const FeaturizedSample& s = *samples[b];
@@ -27,16 +26,28 @@ BatchedCloud make_batch(const std::vector<const FeaturizedSample*>& samples) {
       }
     }
   }
+}
+
+BatchedCloud make_batch(const std::vector<const FeaturizedSample*>& samples) {
+  BatchedCloud out;
+  make_batch(samples, out);
   return out;
 }
 
-BatchedCloud make_batch(const std::vector<FeaturizedSample>& samples, std::size_t begin,
-                        std::size_t count) {
+void make_batch(const std::vector<FeaturizedSample>& samples, std::size_t begin,
+                std::size_t count, BatchedCloud& out) {
   check_arg(begin + count <= samples.size(), "batch slice out of range");
   std::vector<const FeaturizedSample*> ptrs;
   ptrs.reserve(count);
   for (std::size_t i = 0; i < count; ++i) ptrs.push_back(&samples[begin + i]);
-  return make_batch(ptrs);
+  make_batch(ptrs, out);
+}
+
+BatchedCloud make_batch(const std::vector<FeaturizedSample>& samples, std::size_t begin,
+                        std::size_t count) {
+  BatchedCloud out;
+  make_batch(samples, begin, count, out);
+  return out;
 }
 
 }  // namespace gp

@@ -28,4 +28,10 @@ BatchedCloud make_batch(const std::vector<const FeaturizedSample*>& samples);
 BatchedCloud make_batch(const std::vector<FeaturizedSample>& samples, std::size_t begin,
                         std::size_t count);
 
+/// In-place variants: refill `out`, reusing its tensor allocations so batch
+/// loops (training epochs, batched inference) stop reallocating per batch.
+void make_batch(const std::vector<const FeaturizedSample*>& samples, BatchedCloud& out);
+void make_batch(const std::vector<FeaturizedSample>& samples, std::size_t begin,
+                std::size_t count, BatchedCloud& out);
+
 }  // namespace gp

@@ -110,6 +110,27 @@ double GesIDNet::train_step(const BatchedCloud& batch, const std::vector<int>& l
   return primary.loss + auxiliary.loss;
 }
 
+std::unique_ptr<PointCloudClassifier> GesIDNet::clone() {
+  // Fresh instance with the same architecture; the init draws are thrown
+  // away immediately when the source weights are copied over. The clone
+  // carries its own Rng so its Dropout layers never share a stream with the
+  // original (only relevant if a caller trains the clone).
+  auto rng = std::make_unique<Rng>(0xC10E5EEDBEEFCAFEULL, 0xA02BDBF7BB3C0A7EULL);
+  auto copy = std::make_unique<GesIDNet>(config_, *rng);
+  copy->owned_rng_ = std::move(rng);
+
+  const auto copy_state = [](std::vector<nn::Parameter*> src, std::vector<nn::Parameter*> dst) {
+    check(src.size() == dst.size(), "clone parameter list mismatch");
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      dst[i]->value = src[i]->value;
+      dst[i]->grad = src[i]->grad;
+    }
+  };
+  copy_state(parameters(), copy->parameters());
+  copy_state(buffers(), copy->buffers());
+  return copy;
+}
+
 std::vector<nn::Parameter*> GesIDNet::parameters() {
   std::vector<nn::Parameter*> out;
   const auto append = [&out](std::vector<nn::Parameter*> params) {

@@ -41,6 +41,9 @@ class GesIDNet : public PointCloudClassifier {
   std::vector<nn::Parameter*> parameters() override;
   std::vector<nn::Parameter*> buffers() override;
   std::string name() const override { return "GesIDNet"; }
+  /// Deep copy (weights + batch-norm statistics); enables the parallel
+  /// inference path in predict_logits.
+  std::unique_ptr<PointCloudClassifier> clone() override;
 
   /// Intermediate representations for the t-SNE study (Fig. 6).
   struct Features {
@@ -68,6 +71,9 @@ class GesIDNet : public PointCloudClassifier {
   void backward_internal(const nn::Tensor& dlogits1, const nn::Tensor& dlogits2);
 
   GesIDNetConfig config_;
+  /// Clones own their Rng (the primary model borrows the caller's); declared
+  /// before the layers so it outlives the Dropout that points into it.
+  std::unique_ptr<Rng> owned_rng_;
   std::unique_ptr<SetAbstraction> sa1_;
   std::unique_ptr<SetAbstraction> sa2_;
   std::unique_ptr<GroupAll> level1_;

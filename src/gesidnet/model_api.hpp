@@ -2,6 +2,7 @@
 // baseline networks), so the trainer and evaluation harness are generic.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,12 @@ class PointCloudClassifier {
   /// Non-learned persistent state (batch-norm running stats); default none.
   virtual std::vector<nn::Parameter*> buffers() { return {}; }
   virtual std::string name() const = 0;
+
+  /// Deep copy with identical weights and buffers, used to build per-thread
+  /// inference replicas (layers cache activations, so one instance cannot
+  /// serve two threads). Models that do not support replication return
+  /// nullptr and the execution layer falls back to serial inference.
+  virtual std::unique_ptr<PointCloudClassifier> clone() { return nullptr; }
 };
 
 }  // namespace gp

@@ -1,5 +1,6 @@
 #include "gesidnet/trainer.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 #include "common/error.hpp"
@@ -9,7 +10,7 @@
 namespace gp {
 
 TrainStats train_classifier(PointCloudClassifier& model, const LabeledSamples& data,
-                            const TrainConfig& config) {
+                            const TrainConfig& config, exec::ExecContext& ctx) {
   check_arg(data.samples.size() == data.labels.size(), "sample/label count mismatch");
   check_arg(!data.samples.empty(), "empty training set");
   check_arg(config.batch_size >= 2, "batch size must be >= 2 (batch norm)");
@@ -19,6 +20,12 @@ TrainStats train_classifier(PointCloudClassifier& model, const LabeledSamples& d
 
   std::vector<std::size_t> order(data.samples.size());
   std::iota(order.begin(), order.end(), 0);
+
+  // Scratch reused across every step of every epoch: the minibatch tensors
+  // keep their allocation (Tensor::resize), only their contents change.
+  std::vector<const FeaturizedSample*> batch_samples;
+  std::vector<int> batch_labels;
+  BatchedCloud batch;
 
   TrainStats stats;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
@@ -30,8 +37,8 @@ TrainStats train_classifier(PointCloudClassifier& model, const LabeledSamples& d
       const std::size_t count = std::min(config.batch_size, order.size() - begin);
       if (count < 2) break;  // batch-norm needs a real batch; drop remainder
 
-      std::vector<const FeaturizedSample*> batch_samples;
-      std::vector<int> batch_labels;
+      batch_samples.clear();
+      batch_labels.clear();
       batch_samples.reserve(count);
       batch_labels.reserve(count);
       for (std::size_t i = 0; i < count; ++i) {
@@ -39,7 +46,11 @@ TrainStats train_classifier(PointCloudClassifier& model, const LabeledSamples& d
         batch_labels.push_back(data.labels[order[begin + i]]);
       }
 
-      const BatchedCloud batch = make_batch(batch_samples);
+      // The forward/backward pass below is data-parallel across the
+      // minibatch: batched activations are sample-major, so the row-panel
+      // kernels in gp::nn split every layer over `ctx`'s pool while keeping
+      // the serial accumulation order (see DESIGN.md "Execution model").
+      make_batch(batch_samples, batch);
       epoch_loss += model.train_step(batch, batch_labels);
       optimizer.step();
       ++steps;
@@ -53,28 +64,85 @@ TrainStats train_classifier(PointCloudClassifier& model, const LabeledSamples& d
     }
   }
 
-  const nn::Tensor logits = predict_logits(model, data.samples);
+  const nn::Tensor logits = predict_logits(model, data.samples, 64, ctx);
   stats.train_accuracy = nn::accuracy(logits, data.labels);
   return stats;
 }
 
+namespace {
+
+/// Runs batch `batch_index` through `model` and writes its logit rows into
+/// the matching rows of `all`. `scratch` is the lane-local batch buffer.
+void infer_batch_into(PointCloudClassifier& model, const std::vector<FeaturizedSample>& samples,
+                      std::size_t batch_size, std::size_t batch_index, BatchedCloud& scratch,
+                      nn::Tensor& all) {
+  const std::size_t begin = batch_index * batch_size;
+  const std::size_t count = std::min(batch_size, samples.size() - begin);
+  make_batch(samples, begin, count, scratch);
+  const nn::Tensor logits = model.infer(scratch);
+  for (std::size_t i = 0; i < count; ++i) {
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      all.at(begin + i, c) = logits.at(i, c);
+    }
+  }
+}
+
+}  // namespace
+
 nn::Tensor predict_logits(PointCloudClassifier& model,
                           const std::vector<FeaturizedSample>& samples,
-                          std::size_t batch_size) {
+                          std::size_t batch_size, exec::ExecContext& ctx) {
   check_arg(!samples.empty(), "predict over empty sample list");
+  check_arg(batch_size > 0, "predict batch size must be > 0");
+  const std::size_t num_batches = (samples.size() + batch_size - 1) / batch_size;
+
+  // Batch 0 runs on the primary model to discover the class count.
   nn::Tensor all;
-  for (std::size_t begin = 0; begin < samples.size(); begin += batch_size) {
-    const std::size_t count = std::min(batch_size, samples.size() - begin);
-    const BatchedCloud batch = make_batch(samples, begin, count);
-    const nn::Tensor logits = model.infer(batch);
-    if (all.empty()) {
-      all = nn::Tensor(samples.size(), logits.cols());
-    }
+  BatchedCloud scratch;
+  {
+    const std::size_t count = std::min(batch_size, samples.size());
+    make_batch(samples, 0, count, scratch);
+    const nn::Tensor logits = model.infer(scratch);
+    all.resize(samples.size(), logits.cols());
     for (std::size_t i = 0; i < count; ++i) {
-      for (std::size_t c = 0; c < logits.cols(); ++c) {
-        all.at(begin + i, c) = logits.at(i, c);
-      }
+      for (std::size_t c = 0; c < logits.cols(); ++c) all.at(i, c) = logits.at(i, c);
     }
+  }
+  if (num_batches == 1) return all;
+
+  // Layers cache activations for backward, so a model instance is not
+  // reentrant: concurrent lanes need replicas. Lane 0 reuses the primary;
+  // batch slicing is identical for every lane count, so the result matches
+  // the serial path bitwise.
+  const std::size_t lanes = std::min(ctx.threads(), num_batches - 1);
+  if (lanes > 1) {
+    std::vector<std::unique_ptr<PointCloudClassifier>> replicas;
+    replicas.reserve(lanes - 1);
+    bool cloneable = true;
+    for (std::size_t r = 0; r + 1 < lanes; ++r) {
+      auto replica = model.clone();
+      if (!replica) {
+        cloneable = false;
+        break;
+      }
+      replicas.push_back(std::move(replica));
+    }
+    if (cloneable) {
+      ctx.run_chunks(lanes, [&](std::size_t lane) {
+        PointCloudClassifier& lane_model = lane == 0 ? model : *replicas[lane - 1];
+        BatchedCloud lane_scratch;
+        for (std::size_t b = 1 + lane; b < num_batches; b += lanes) {
+          infer_batch_into(lane_model, samples, batch_size, b, lane_scratch, all);
+        }
+      });
+      return all;
+    }
+  }
+
+  // Serial fallback (model not cloneable, single thread, or tiny input):
+  // the layer kernels still parallelise internally via ctx.
+  for (std::size_t b = 1; b < num_batches; ++b) {
+    infer_batch_into(model, samples, batch_size, b, scratch, all);
   }
   return all;
 }

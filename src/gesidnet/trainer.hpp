@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "exec/exec.hpp"
 #include "gesidnet/model_api.hpp"
 #include "nn/optimizer.hpp"
 
@@ -36,14 +37,25 @@ struct TrainStats {
   double train_accuracy = 0.0;
 };
 
-/// Trains in place with Adam; returns per-epoch losses.
+/// Trains in place with Adam; returns per-epoch losses. The minibatch
+/// forward/backward runs data-parallel on `ctx`: batched activations are
+/// sample-major (row b*N+i belongs to sample b), so the row-panel matmul
+/// kernels split every layer across the minibatch, and weight-gradient
+/// accumulation keeps the serial summation order — losses are
+/// bitwise-identical for any thread count.
 TrainStats train_classifier(PointCloudClassifier& model, const LabeledSamples& data,
-                            const TrainConfig& config);
+                            const TrainConfig& config,
+                            exec::ExecContext& ctx = exec::ExecContext::global());
 
 /// Batched inference over a sample list; rows align with `samples`.
+/// When the model supports clone(), batches are distributed across
+/// per-thread replicas (batch slicing is fixed by `batch_size`, so logits
+/// match the serial path exactly); otherwise inference runs serially with
+/// the layer kernels parallelised on `ctx`.
 nn::Tensor predict_logits(PointCloudClassifier& model,
                           const std::vector<FeaturizedSample>& samples,
-                          std::size_t batch_size = 64);
+                          std::size_t batch_size = 64,
+                          exec::ExecContext& ctx = exec::ExecContext::global());
 
 /// Argmax labels from logits.
 std::vector<int> argmax_labels(const nn::Tensor& logits);

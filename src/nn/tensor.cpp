@@ -10,6 +10,12 @@ Tensor::Tensor(std::size_t rows, std::size_t cols, float fill)
 
 void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
 
+void Tensor::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);  // keeps capacity on shrink; grows if needed
+}
+
 void Tensor::randn(Rng& rng, double stddev) {
   for (auto& v : data_) v = static_cast<float>(rng.gaussian(0.0, stddev));
 }
@@ -37,52 +43,118 @@ double Tensor::abs_max() const {
   return best;
 }
 
-void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+namespace {
+
+/// Below this many multiply-adds a kernel runs inline: the parallel-region
+/// dispatch would cost more than the arithmetic it distributes.
+constexpr std::size_t kParallelMinFlops = 32 * 1024;
+
+/// Inner-dimension tile: keeps the touched panel of `b` resident in cache
+/// while successive output rows stream over it. Iterating k-tiles in
+/// ascending order preserves the serial accumulation order exactly.
+constexpr std::size_t kKTile = 128;
+
+/// Row-panel size for one chunk of output rows. Fixed (not derived from the
+/// thread count) so chunk boundaries are reproducible; each output element
+/// lives in exactly one panel, so this only affects scheduling anyway.
+std::size_t row_grain(std::size_t rows, std::size_t flops_per_row) {
+  // Aim for panels worth ~256k flops so dispatch overhead stays <1%.
+  const std::size_t target = std::max<std::size_t>(1, (256 * 1024) / std::max<std::size_t>(1, flops_per_row));
+  return std::min(rows, target);
+}
+
+}  // namespace
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out, exec::ExecContext& ctx) {
   check_arg(a.cols() == b.rows(), "matmul inner dimension mismatch");
-  if (out.rows() != a.rows() || out.cols() != b.cols()) out = Tensor(a.rows(), b.cols());
+  if (out.rows() != a.rows() || out.cols() != b.cols()) out.resize(a.rows(), b.cols());
   out.zero();
-  // ikj loop order: streams through b and out rows contiguously.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.row(i);
-    float* orow = out.row(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const float aik = arow[k];
-      if (aik == 0.0f) continue;
-      const float* brow = b.row(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aik * brow[j];
+  const std::size_t K = a.cols();
+  const std::size_t N = b.cols();
+
+  // Panel kernel, ikj loop order with k-tiling: streams through b and out
+  // rows contiguously; per output element the k-accumulation order matches
+  // the untiled serial loop bit-for-bit.
+  const auto panel = [&](std::size_t rb, std::size_t re) {
+    for (std::size_t k0 = 0; k0 < K; k0 += kKTile) {
+      const std::size_t k1 = std::min(K, k0 + kKTile);
+      for (std::size_t i = rb; i < re; ++i) {
+        const float* arow = a.row(i);
+        float* orow = out.row(i);
+        for (std::size_t k = k0; k < k1; ++k) {
+          const float aik = arow[k];
+          if (aik == 0.0f) continue;
+          const float* brow = b.row(k);
+          for (std::size_t j = 0; j < N; ++j) orow[j] += aik * brow[j];
+        }
+      }
     }
+  };
+
+  const std::size_t flops = a.rows() * K * N;
+  if (flops < kParallelMinFlops || ctx.threads() <= 1) {
+    panel(0, a.rows());
+    return;
   }
+  ctx.parallel_for_chunks(0, a.rows(), row_grain(a.rows(), K * N), panel);
 }
 
-void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out) {
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out, exec::ExecContext& ctx) {
   check_arg(a.cols() == b.cols(), "matmul_bt inner dimension mismatch");
-  if (out.rows() != a.rows() || out.cols() != b.rows()) out = Tensor(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.row(i);
-    float* orow = out.row(i);
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const float* brow = b.row(j);
-      float acc = 0.0f;
-      for (std::size_t k = 0; k < a.cols(); ++k) acc += arow[k] * brow[k];
-      orow[j] = acc;
+  if (out.rows() != a.rows() || out.cols() != b.rows()) out.resize(a.rows(), b.rows());
+  const std::size_t K = a.cols();
+  const std::size_t N = b.rows();
+
+  const auto panel = [&](std::size_t rb, std::size_t re) {
+    for (std::size_t i = rb; i < re; ++i) {
+      const float* arow = a.row(i);
+      float* orow = out.row(i);
+      for (std::size_t j = 0; j < N; ++j) {
+        const float* brow = b.row(j);
+        float acc = 0.0f;
+        for (std::size_t k = 0; k < K; ++k) acc += arow[k] * brow[k];
+        orow[j] = acc;
+      }
     }
+  };
+
+  const std::size_t flops = a.rows() * K * N;
+  if (flops < kParallelMinFlops || ctx.threads() <= 1) {
+    panel(0, a.rows());
+    return;
   }
+  ctx.parallel_for_chunks(0, a.rows(), row_grain(a.rows(), K * N), panel);
 }
 
-void matmul_at(const Tensor& a, const Tensor& b, Tensor& out) {
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out, exec::ExecContext& ctx) {
   check_arg(a.rows() == b.rows(), "matmul_at inner dimension mismatch");
-  if (out.rows() != a.cols() || out.cols() != b.cols()) out = Tensor(a.cols(), b.cols());
+  if (out.rows() != a.cols() || out.cols() != b.cols()) out.resize(a.cols(), b.cols());
   out.zero();
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const float* arow = a.row(k);
-    const float* brow = b.row(k);
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) continue;
-      float* orow = out.row(i);
-      for (std::size_t j = 0; j < b.cols(); ++j) orow[j] += aki * brow[j];
+  const std::size_t K = a.rows();  // reduction dimension
+  const std::size_t N = b.cols();
+
+  // A chunk owns output rows [ib, ie) — i.e. columns [ib, ie) of `a`. The
+  // k-loop stays outermost (ascending) inside each chunk, so every output
+  // element accumulates its k-terms in the same order as the serial kernel.
+  const auto panel = [&](std::size_t ib, std::size_t ie) {
+    for (std::size_t k = 0; k < K; ++k) {
+      const float* arow = a.row(k);
+      const float* brow = b.row(k);
+      for (std::size_t i = ib; i < ie; ++i) {
+        const float aki = arow[i];
+        if (aki == 0.0f) continue;
+        float* orow = out.row(i);
+        for (std::size_t j = 0; j < N; ++j) orow[j] += aki * brow[j];
+      }
     }
+  };
+
+  const std::size_t flops = a.cols() * K * N;
+  if (flops < kParallelMinFlops || ctx.threads() <= 1) {
+    panel(0, a.cols());
+    return;
   }
+  ctx.parallel_for_chunks(0, a.cols(), row_grain(a.cols(), K * N), panel);
 }
 
 }  // namespace gp::nn

@@ -9,6 +9,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "exec/exec.hpp"
 
 namespace gp::nn {
 
@@ -39,6 +40,11 @@ class Tensor {
   void fill(float v);
   void zero() { fill(0.0f); }
 
+  /// Reshapes to (rows x cols), reusing the existing allocation whenever
+  /// capacity suffices (no shrink-to-fit). Element contents are unspecified
+  /// afterwards — callers are expected to overwrite every cell.
+  void resize(std::size_t rows, std::size_t cols);
+
   /// Gaussian init with the given stddev.
   void randn(Rng& rng, double stddev);
 
@@ -56,11 +62,20 @@ class Tensor {
   std::vector<float> data_;
 };
 
+// The matrix kernels partition work into row panels of the *output* matrix,
+// executed on the given ExecContext. Each output element is produced by
+// exactly one chunk with the serial accumulation order, so results are
+// bitwise-identical for every thread count (see DESIGN.md "Execution
+// model"). Small products run inline to avoid dispatch overhead.
+
 /// out = a (rows x k) * b (k x cols). Shapes validated.
-void matmul(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul(const Tensor& a, const Tensor& b, Tensor& out,
+            exec::ExecContext& ctx = exec::ExecContext::global());
 /// out = a (rows x k) * b^T where b is (cols x k).
-void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out,
+               exec::ExecContext& ctx = exec::ExecContext::global());
 /// out = a^T (k x rows) * b (k x cols)  => (rows x cols).
-void matmul_at(const Tensor& a, const Tensor& b, Tensor& out);
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out,
+               exec::ExecContext& ctx = exec::ExecContext::global());
 
 }  // namespace gp::nn

@@ -8,7 +8,7 @@
 namespace gp {
 
 CrossValidationResult cross_validate(const Dataset& dataset, const GesturePrintConfig& config,
-                                     std::size_t k, std::uint64_t seed) {
+                                     std::size_t k, std::uint64_t seed, exec::ExecContext& ctx) {
   check_arg(k >= 2, "cross-validation needs k >= 2");
 
   Rng rng(seed, 0x853c49e6748fea9bULL);
@@ -18,15 +18,19 @@ CrossValidationResult cross_validate(const Dataset& dataset, const GesturePrintC
   for (const auto& s : dataset.samples) strata.push_back(s.gesture * num_users + s.user);
   const std::vector<Split> folds = stratified_kfold(strata, k, rng);
 
+  // Folds are fully independent (each trains its own system from a seed
+  // derived from the fold index), so they parallelise without changing any
+  // per-fold number. Inside a fold the nested training/inference parallel
+  // calls run inline — the fold level already saturates the pool.
   CrossValidationResult result;
-  result.folds.reserve(k);
-  for (const Split& fold : folds) {
+  result.folds.resize(folds.size());
+  ctx.parallel_for(0, folds.size(), /*grain=*/1, [&](std::size_t i) {
     GesturePrintConfig fold_config = config;
-    fold_config.seed = config.seed + result.folds.size() + 1;
+    fold_config.seed = config.seed + i + 1;
     GesturePrintSystem system(fold_config);
-    system.fit(dataset, fold.train);
-    result.folds.push_back(system.evaluate(dataset, fold.test));
-  }
+    system.fit(dataset, folds[i].train);
+    result.folds[i] = system.evaluate(dataset, folds[i].test);
+  });
 
   double gra_acc = 0.0;
   double uia_acc = 0.0;

@@ -2,6 +2,7 @@
 // "8:2 split with 5-fold cross-validation for reliable results").
 #pragma once
 
+#include "exec/exec.hpp"
 #include "system/gestureprint.hpp"
 
 namespace gp {
@@ -16,8 +17,11 @@ struct CrossValidationResult {
 };
 
 /// Trains and evaluates one system per stratified fold (stratification on
-/// the (gesture, user) pair so every pair appears in every fold).
+/// the (gesture, user) pair so every pair appears in every fold). Folds are
+/// independent and run in parallel on `ctx`; each fold's seed is a function
+/// of its index, so per-fold metrics do not depend on the thread count.
 CrossValidationResult cross_validate(const Dataset& dataset, const GesturePrintConfig& config,
-                                     std::size_t k = 5, std::uint64_t seed = 1234);
+                                     std::size_t k = 5, std::uint64_t seed = 1234,
+                                     exec::ExecContext& ctx = exec::ExecContext::global());
 
 }  // namespace gp

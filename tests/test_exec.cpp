@@ -1,0 +1,230 @@
+// gp::exec tests: pool lifecycle, chunk coverage, exception propagation,
+// grain edge cases, ordered reduction reproducibility, child RNG streams,
+// and the serial-scope escape hatch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "exec/thread_pool.hpp"
+
+namespace gp::exec {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, StartStopVariousSizes) {
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{9}}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.size(), threads == 0 ? 1 : std::max<std::size_t>(threads, 1));
+  }
+  // Destruction with no region ever run must not hang (checked by exit).
+}
+
+TEST(ThreadPool, RunsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kChunks = 137;
+  std::vector<std::atomic<int>> hits(kChunks);
+  pool.run(kChunks, [&](std::size_t c) { hits[c].fetch_add(1); });
+  for (std::size_t c = 0; c < kChunks; ++c) EXPECT_EQ(hits[c].load(), 1) << "chunk " << c;
+}
+
+TEST(ThreadPool, ZeroChunksIsANoop) {
+  ThreadPool pool(3);
+  bool ran = false;
+  pool.run(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run(64,
+               [&](std::size_t c) {
+                 if (c == 13) throw std::runtime_error("chunk 13 failed");
+               }),
+      std::runtime_error);
+
+  // Lowest-index exception wins deterministically.
+  try {
+    pool.run(64, [&](std::size_t c) {
+      if (c == 7) throw std::runtime_error("seven");
+      if (c == 21) throw std::logic_error("twenty-one");
+    });
+    FAIL() << "expected a throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "seven");
+  }
+
+  // The pool survives failed regions.
+  std::atomic<int> count{0};
+  pool.run(32, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ThreadPool, NestedRunExecutesInline) {
+  ThreadPool pool(4);
+  std::atomic<int> inner_total{0};
+  pool.run(8, [&](std::size_t) {
+    EXPECT_TRUE(ThreadPool::in_region());
+    pool.run(4, [&](std::size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32);
+  EXPECT_FALSE(ThreadPool::in_region());
+}
+
+TEST(ThreadPool, ConcurrentCallersSerialise) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::thread other([&] { pool.run(50, [&](std::size_t) { total.fetch_add(1); }); });
+  pool.run(50, [&](std::size_t) { total.fetch_add(1); });
+  other.join();
+  EXPECT_EQ(total.load(), 100);
+}
+
+// --------------------------------------------------------------- ExecContext
+
+TEST(ExecContext, ParallelForCoversRangeOnce) {
+  ExecContext ctx(4);
+  constexpr std::size_t kBegin = 3;
+  constexpr std::size_t kEnd = 1203;
+  std::vector<std::atomic<int>> hits(kEnd);
+  ctx.parallel_for(kBegin, kEnd, /*grain=*/17, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kBegin; ++i) EXPECT_EQ(hits[i].load(), 0);
+  for (std::size_t i = kBegin; i < kEnd; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ExecContext, GrainEdgeCases) {
+  ExecContext ctx(4);
+  std::atomic<int> count{0};
+  const auto bump = [&](std::size_t) { count.fetch_add(1); };
+
+  ctx.parallel_for(0, 0, 8, bump);  // empty range
+  EXPECT_EQ(count.load(), 0);
+  ctx.parallel_for(5, 5, 8, bump);  // empty range, non-zero begin
+  EXPECT_EQ(count.load(), 0);
+
+  ctx.parallel_for(0, 10, 0, bump);  // grain 0 behaves as 1
+  EXPECT_EQ(count.load(), 10);
+
+  count = 0;
+  ctx.parallel_for(0, 10, 1000, bump);  // grain > range: one chunk
+  EXPECT_EQ(count.load(), 10);
+
+  count = 0;
+  ctx.parallel_for(0, 1, 1, bump);  // single index
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ExecContext, ChunkBoundariesIndependentOfThreadCount) {
+  const auto chunk_spans = [](ExecContext& ctx) {
+    std::vector<std::pair<std::size_t, std::size_t>> spans(7);
+    std::atomic<std::size_t> cursor{0};
+    ctx.parallel_for_chunks(0, 100, 15, [&](std::size_t cb, std::size_t ce) {
+      spans[cursor.fetch_add(1)] = {cb, ce};
+    });
+    std::sort(spans.begin(), spans.end());
+    return spans;
+  };
+  ExecContext serial(1);
+  ExecContext wide(8);
+  EXPECT_EQ(chunk_spans(serial), chunk_spans(wide));
+}
+
+TEST(ExecContext, ParallelMapAlignsIndices) {
+  ExecContext ctx(4);
+  const std::vector<int> out =
+      ctx.parallel_map<int>(257, 8, [](std::size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(ExecContext, OrderedReductionIsBitwiseReproducible) {
+  // Summands of wildly different magnitude: any reordering changes the bits.
+  std::vector<float> values(10000);
+  Rng rng(7);
+  for (auto& v : values) {
+    v = static_cast<float>(rng.gaussian(0.0, 1.0) * std::pow(10.0, rng.uniform(-6.0, 6.0)));
+  }
+  const auto sum_with = [&](std::size_t threads) {
+    ExecContext ctx(threads);
+    return ctx.parallel_reduce_ordered(
+        0, values.size(), /*grain=*/97, 0.0,
+        [&](std::size_t b, std::size_t e) {
+          double acc = 0.0;
+          for (std::size_t i = b; i < e; ++i) acc += values[i];
+          return acc;
+        },
+        [](double acc, double part) { return acc + part; });
+  };
+  const double serial = sum_with(1);
+  for (std::size_t threads : {2, 4, 8}) {
+    const double parallel = sum_with(threads);
+    EXPECT_EQ(serial, parallel) << threads << " threads";  // exact, not NEAR
+  }
+}
+
+TEST(ExecContext, ExceptionFromParallelForPropagates) {
+  ExecContext ctx(4);
+  EXPECT_THROW(ctx.parallel_for(0, 100, 3,
+                                [](std::size_t i) {
+                                  if (i == 42) throw std::runtime_error("boom");
+                                }),
+               std::runtime_error);
+}
+
+// ------------------------------------------------------- RNG stream splitting
+
+TEST(ChildRng, DeterministicAndOrderIndependent) {
+  Rng a = child_rng(123, 5);
+  Rng b = child_rng(123, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(ChildRng, DistinctIndicesGiveDecorrelatedStreams) {
+  // Adjacent indices and adjacent bases must give different first draws.
+  std::set<std::uint32_t> first_draws;
+  for (std::uint64_t index = 0; index < 64; ++index) {
+    Rng rng = child_rng(42, index);
+    first_draws.insert(rng());
+  }
+  EXPECT_EQ(first_draws.size(), 64u);
+
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t base = 0; base < 64; ++base) seeds.insert(child_seed(base, 0));
+  EXPECT_EQ(seeds.size(), 64u);
+}
+
+// ----------------------------------------------------------------- SerialScope
+
+TEST(SerialScope, ForcesInlineExecution) {
+  ExecContext ctx(8);
+  EXPECT_GT(ctx.threads(), 1u);
+  {
+    SerialScope scope;
+    EXPECT_EQ(ctx.threads(), 1u);
+    const std::thread::id self = std::this_thread::get_id();
+    ctx.parallel_for(0, 64, 1, [&](std::size_t) {
+      EXPECT_EQ(std::this_thread::get_id(), self);
+    });
+    {
+      SerialScope nested;  // nests
+      EXPECT_EQ(ctx.threads(), 1u);
+    }
+    EXPECT_EQ(ctx.threads(), 1u);
+  }
+  EXPECT_GT(ctx.threads(), 1u);
+}
+
+TEST(Defaults, GlobalContextAndThreadFloor) {
+  EXPECT_GE(default_threads(), 1u);
+  EXPECT_GE(ExecContext::global().threads(), 1u);
+}
+
+}  // namespace
+}  // namespace gp::exec

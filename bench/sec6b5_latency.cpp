@@ -31,6 +31,10 @@
 #include "gesidnet/gesidnet.hpp"
 #include "gesidnet/trainer.hpp"
 #include "nn/tensor.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/preprocessor.hpp"
 
 namespace {
@@ -97,6 +101,90 @@ void BM_EndToEndSingleGesture(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndSingleGesture)->Unit(benchmark::kMillisecond);
+
+// --------------------------------------------------- per-stage latency profile
+
+/// Re-measures the three latency paths outside google-benchmark, feeding
+/// every iteration into obs histograms so the report carries p50/p95/p99
+/// (google-benchmark's default counters only expose the mean). The GP_SPAN
+/// instrumentation inside the stack fills in the per-stage breakdown
+/// (pipeline.segment, gesidnet.predict, ...) over the same iterations,
+/// which lands in BENCH_latency_stages.json next to the top-level numbers.
+void run_latency_quantiles() {
+  using clock = std::chrono::steady_clock;
+  LatencyFixture& f = LatencyFixture::instance();
+  const Preprocessor preprocessor;
+  const GestureCloud& sample_cloud = f.dataset.samples.front().cloud;
+
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().reset_all();  // profile only the measured region
+
+  obs::Histogram& pre_ms = obs::histogram("gp.bench.preprocess_ms");
+  obs::Histogram& infer_ms = obs::histogram("gp.bench.classify_ms");
+  obs::Histogram& total_ms = obs::histogram("gp.bench.end_to_end_ms");
+
+  constexpr int kIters = 30;
+  for (int i = 0; i < kIters; ++i) {
+    const auto t0 = clock::now();
+    const auto clouds = preprocessor.process(f.raw_recording);
+    const auto t1 = clock::now();
+    const InferenceResult result = f.system->classify(sample_cloud);
+    const auto t2 = clock::now();
+    benchmark::DoNotOptimize(clouds);
+    benchmark::DoNotOptimize(result);
+    pre_ms.observe(std::chrono::duration<double, std::milli>(t1 - t0).count());
+    infer_ms.observe(std::chrono::duration<double, std::milli>(t2 - t1).count());
+    total_ms.observe(std::chrono::duration<double, std::milli>(t2 - t0).count());
+  }
+
+  const auto row = [](const char* name, const obs::HistogramSnapshot& h) {
+    std::cout << "  " << name << ": p50 " << bench::cell(h.quantile(0.5)) << "ms  p95 "
+              << bench::cell(h.quantile(0.95)) << "ms  p99 " << bench::cell(h.quantile(0.99))
+              << "ms  mean " << bench::cell(h.mean()) << "ms\n";
+  };
+  std::cout << "\nlatency quantiles over " << kIters << " runs (obs histograms)\n";
+  row("preprocessing ", pre_ms.snapshot());
+  row("classification", infer_ms.snapshot());
+  row("end-to-end    ", total_ms.snapshot());
+
+  // BENCH_latency_stages.json: top-level quantiles + GP_SPAN breakdown.
+  std::ostringstream json;
+  json << "{\n  \"iterations\": " << kIters << ",\n  \"top_level\": [\n";
+  const auto emit = [&json](const char* name, const obs::HistogramSnapshot& h, bool last) {
+    json << "    {\"name\": \"" << obs::json::escape(name)
+         << "\", \"count\": " << h.count << ", \"mean_ms\": " << obs::json::number(h.mean())
+         << ", \"p50_ms\": " << obs::json::number(h.quantile(0.5))
+         << ", \"p95_ms\": " << obs::json::number(h.quantile(0.95))
+         << ", \"p99_ms\": " << obs::json::number(h.quantile(0.99)) << "}" << (last ? "" : ",")
+         << "\n";
+  };
+  emit("preprocessing", pre_ms.snapshot(), false);
+  emit("classification_inference", infer_ms.snapshot(), false);
+  emit("end_to_end", total_ms.snapshot(), true);
+  json << "  ],\n  \"stages\": [\n";
+  const auto stages = obs::stage_snapshots();
+  std::size_t emitted = 0;
+  std::size_t nonzero = 0;
+  for (const auto& s : stages) nonzero += s.histogram.count > 0 ? 1 : 0;
+  for (const auto& s : stages) {
+    if (s.histogram.count == 0) continue;
+    ++emitted;
+    json << "    {\"name\": \"" << obs::json::escape(s.name)
+         << "\", \"min_depth\": " << s.min_depth << ", \"count\": " << s.histogram.count
+         << ", \"total_ms\": " << obs::json::number(s.histogram.sum)
+         << ", \"mean_ms\": " << obs::json::number(s.histogram.mean())
+         << ", \"p50_ms\": " << obs::json::number(s.histogram.quantile(0.5))
+         << ", \"p95_ms\": " << obs::json::number(s.histogram.quantile(0.95))
+         << ", \"p99_ms\": " << obs::json::number(s.histogram.quantile(0.99)) << "}"
+         << (emitted < nonzero ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  const std::string path = output_dir() + "/BENCH_latency_stages.json";
+  std::ofstream out(path);
+  out << json.str();
+  std::cout << "wrote " << path << "\n";
+}
 
 // ------------------------------------------------------ parallel scaling sweep
 
@@ -223,6 +311,8 @@ int main(int argc, char** argv) {
   LatencyFixture::instance();  // train outside the measured region
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  run_latency_quantiles();
   run_parallel_sweep();
+  obs::write_run_report("sec6b5_latency");
   return 0;
 }

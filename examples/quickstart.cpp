@@ -7,10 +7,18 @@
 // 4. Classify fresh, unseen repetitions and print (gesture, user) guesses.
 //
 // Build & run:  ./build/examples/quickstart
+//
+// Observability: the run always writes <output_dir>/REPORT_quickstart.json
+// (per-stage latency profile + metrics); with GP_TRACE=on it additionally
+// writes TRACE_quickstart.json, loadable in chrome://tracing or Perfetto.
+// GESTUREPRINT_SCALE=small shrinks the demo for smoke tests.
 #include <iostream>
 
+#include "common/config.hpp"
 #include "datasets/catalog.hpp"
 #include "eval/splits.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "system/gestureprint.hpp"
 
 int main() {
@@ -18,25 +26,32 @@ int main() {
 
   // --- 1. a small dataset: 4 users x 5 ASL gestures x 8 repetitions ------
   DatasetScale scale;
-  scale.max_users = 4;
-  scale.reps = 10;
+  scale.max_users = scale_pick<std::size_t>(3, 4, 4);
+  scale.reps = scale_pick<std::size_t>(5, 10, 10);
   DatasetSpec spec = gestureprint_spec(/*environment_id=*/1, scale);
-  spec.gestures.resize(5);  // keep the demo quick: 5 of the 15 ASL signs
+  spec.gestures.resize(scale_pick<std::size_t>(3, 5, 5));  // demo subset of the 15 ASL signs
   std::cout << "Generating synthetic mmWave gesture data ("
             << spec.num_users << " users, " << spec.gestures.size() << " gestures)...\n";
-  const Dataset dataset = generate_dataset(spec);
+  Dataset dataset;
+  {
+    GP_SPAN("quickstart.generate");
+    dataset = generate_dataset(spec);
+  }
   std::cout << "  " << dataset.samples.size() << " gesture samples captured.\n";
 
   // --- 2./3. train the system --------------------------------------------
   GesturePrintConfig config;
-  config.training.epochs = 8;
+  config.training.epochs = scale_pick<std::size_t>(4, 8, 8);
   config.prep.augmentation.copies = 2;
   GesturePrintSystem system(config);
 
   Rng split_rng(7, 1);
   const Split split = stratified_split(dataset.gesture_labels(), 0.2, split_rng);
   std::cout << "Training GesIDNet models on " << split.train.size() << " samples...\n";
-  system.fit(dataset, split.train);
+  {
+    GP_SPAN("quickstart.train");
+    system.fit(dataset, split.train);
+  }
 
   // --- 4. classify unseen repetitions ------------------------------------
   std::cout << "\nClassifying " << std::min<std::size_t>(8, split.test.size())
@@ -44,24 +59,29 @@ int main() {
   int correct_gesture = 0;
   int correct_user = 0;
   int shown = 0;
-  for (std::size_t idx : split.test) {
-    const GestureSample& sample = dataset.samples[idx];
-    const InferenceResult result = system.classify(sample.cloud);
-    if (shown < 8) {
-      std::cout << "  truth: gesture=" << spec.gestures[sample.gesture].name << " user#"
-                << sample.user << "  ->  predicted: gesture="
-                << spec.gestures[result.gesture].name << " user#" << result.user
-                << (result.gesture == sample.gesture && result.user == sample.user ? "  [ok]"
-                                                                                   : "  [x]")
-                << "\n";
-      ++shown;
+  {
+    GP_SPAN("quickstart.classify");
+    for (std::size_t idx : split.test) {
+      const GestureSample& sample = dataset.samples[idx];
+      const InferenceResult result = system.classify(sample.cloud);
+      if (shown < 8) {
+        std::cout << "  truth: gesture=" << spec.gestures[sample.gesture].name << " user#"
+                  << sample.user << "  ->  predicted: gesture="
+                  << spec.gestures[result.gesture].name << " user#" << result.user
+                  << (result.gesture == sample.gesture && result.user == sample.user ? "  [ok]"
+                                                                                     : "  [x]")
+                  << "\n";
+        ++shown;
+      }
+      correct_gesture += result.gesture == sample.gesture ? 1 : 0;
+      correct_user += result.user == sample.user ? 1 : 0;
     }
-    correct_gesture += result.gesture == sample.gesture ? 1 : 0;
-    correct_user += result.user == sample.user ? 1 : 0;
   }
   std::cout << "\nGesture recognition accuracy: "
             << 100.0 * correct_gesture / static_cast<double>(split.test.size()) << "%\n"
             << "User identification accuracy: "
             << 100.0 * correct_user / static_cast<double>(split.test.size()) << "%\n";
+
+  obs::write_run_report("quickstart");
   return 0;
 }

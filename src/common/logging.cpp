@@ -1,5 +1,8 @@
 #include "common/logging.hpp"
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
@@ -24,6 +27,15 @@ LogLevel& level_ref() {
   return level;
 }
 
+std::atomic<bool>& json_mode_ref() {
+  static std::atomic<bool> mode = [] {
+    const char* v = std::getenv("GP_LOG_JSON");
+    return v != nullptr && (std::string(v) == "1" || std::string(v) == "on" ||
+                            std::string(v) == "true");
+  }();
+  return mode;
+}
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";
@@ -35,21 +47,96 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+const char* level_name_json(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
 std::mutex& log_mutex() {
   static std::mutex m;
   return m;
 }
 
+/// Minimal JSON string escape (mirrors obs/json.cpp; kept local so
+/// gp_common stays dependency-free).
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", static_cast<unsigned>(c));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
 }  // namespace
+
+std::uint64_t monotonic_ns() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - epoch).count());
+}
+
+double uptime_seconds() { return static_cast<double>(monotonic_ns()) * 1e-9; }
+
+int thread_ordinal() {
+  static std::atomic<int> next{0};
+  thread_local const int ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
 
 LogLevel log_level() { return level_ref(); }
 
 void set_log_level(LogLevel level) { level_ref() = level; }
 
+bool log_json_mode() { return json_mode_ref().load(std::memory_order_relaxed); }
+
+void set_log_json_mode(bool enabled) {
+  json_mode_ref().store(enabled, std::memory_order_relaxed);
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (level < level_ref() || level_ref() == LogLevel::kOff) return;
+
+  // Assemble the complete line up front; the lock only covers one write,
+  // so lines from concurrent threads are atomic units, never interleaved.
+  const double ts = uptime_seconds();
+  const int tid = thread_ordinal();
+  std::string line;
+  line.reserve(message.size() + 64);
+  char prefix[96];
+  if (log_json_mode()) {
+    std::snprintf(prefix, sizeof(prefix), "{\"ts_s\": %.6f, \"tid\": %d, \"level\": \"%s\", \"msg\": \"",
+                  ts, tid, level_name_json(level));
+    line += prefix;
+    append_json_escaped(line, message);
+    line += "\"}\n";
+  } else {
+    std::snprintf(prefix, sizeof(prefix), "[gp %s +%.3fs t%02d] ", level_name(level), ts, tid);
+    line += prefix;
+    line += message;
+    line += '\n';
+  }
+
   const std::lock_guard<std::mutex> lock(log_mutex());
-  std::cerr << "[gp " << level_name(level) << "] " << message << '\n';
+  std::cerr << line;
 }
 
 }  // namespace gp

@@ -1,10 +1,16 @@
 // Leveled logging to stderr.
 //
 // Default level is Info; set the environment variable GP_LOG=debug|info|warn|
-// error|off to change it. Logging is intentionally simple (single process,
-// no async sink) — benches and examples are short-lived CLI programs.
+// error|off to change it. Each line carries a monotonic timestamp (seconds
+// since process start) and a small per-thread ordinal, and the full line is
+// assembled *before* the locked write, so concurrent parallel_for workers
+// can never interleave fragments.
+//
+// GP_LOG_JSON=1 switches to one structured JSON object per line:
+//   {"ts_s": 12.345, "tid": 3, "level": "info", "msg": "..."}
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -16,8 +22,25 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
+/// True when GP_LOG_JSON=1 structured-line mode is active.
+bool log_json_mode();
+void set_log_json_mode(bool enabled);
+
 /// Emits one formatted line to stderr if `level` is enabled.
 void log_message(LogLevel level, const std::string& message);
+
+/// Nanoseconds on the steady clock since the process's logging/obs epoch
+/// (the first call in the process). Shared by log timestamps and trace
+/// spans so both timelines line up.
+std::uint64_t monotonic_ns();
+
+/// Seconds since the process epoch (monotonic_ns / 1e9).
+double uptime_seconds();
+
+/// Small dense id for the calling thread (main thread observes the first
+/// id handed out, workers get successive ones). Used for log prefixes,
+/// metric shard selection, and trace-event thread ids.
+int thread_ordinal();
 
 namespace detail {
 class LogLine {

@@ -1,18 +1,69 @@
 #include "datasets/cache.hpp"
 
+#include <atomic>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 #include "common/config.hpp"
 #include "common/logging.hpp"
 #include "common/serialize.hpp"
 #include "kinematics/performer.hpp"
+#include "obs/metrics.hpp"
 
 namespace gp {
 
 namespace {
 constexpr const char* kTag = "GPDS";
+
+// Format version written into every .gpds right after the tag. Bumped when
+// the generator's sampling scheme or the record layout changes. A version
+// mismatch is *reported* before the dataset is regenerated, never silently
+// swallowed, so stale caches are visible in the logs.
+//   v3: version field embedded in the file instead of the cache filename.
+constexpr std::uint64_t kDatasetSchemaVersion = 3;
+
+/// Process-lifetime cache tallies. Mirrored into the obs registry as
+/// gp.dataset.cache.* counters; kept locally as well so the teardown
+/// summary does not depend on registry destruction order.
+struct CacheStats {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> bytes_read{0};
+  std::atomic<std::uint64_t> bytes_written{0};
+
+  ~CacheStats() {
+    if (hits.load() == 0 && misses.load() == 0) return;
+    if (log_level() > LogLevel::kInfo) return;
+    // Written straight to stderr as one assembled line: this destructor may
+    // run after the logging mutex (another function-local static) has been
+    // destroyed, so log_info() is off-limits here. std::cerr itself is kept
+    // alive by ios_base::Init.
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "[gp INFO  +%.3fs t%02d] dataset cache: %llu hits, %llu misses, "
+                  "%.1f MiB read, %.1f MiB written\n",
+                  uptime_seconds(), thread_ordinal(),
+                  static_cast<unsigned long long>(hits.load()),
+                  static_cast<unsigned long long>(misses.load()),
+                  static_cast<double>(bytes_read.load()) / (1024.0 * 1024.0),
+                  static_cast<double>(bytes_written.load()) / (1024.0 * 1024.0));
+    std::cerr << line;
+  }
+};
+
+CacheStats& cache_stats() {
+  static CacheStats stats;
+  return stats;
+}
+
+std::uint64_t file_size_or_zero(const std::string& path) {
+  std::error_code ec;
+  const auto size = std::filesystem::file_size(path, ec);
+  return ec ? 0 : static_cast<std::uint64_t>(size);
+}
 
 void write_cloud(BinaryWriter& writer, const GestureCloud& cloud) {
   writer.write_u64(cloud.points.size());
@@ -52,29 +103,42 @@ GestureCloud read_cloud(BinaryReader& reader) {
 }  // namespace
 
 void save_dataset(const std::string& path, const Dataset& dataset) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw Error("cannot open dataset cache for writing: " + path);
-  BinaryWriter writer(out, kTag);
+  {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw Error("cannot open dataset cache for writing: " + path);
+    BinaryWriter writer(out, kTag);
+    writer.write_u64(kDatasetSchemaVersion);
 
-  writer.write_string(dataset.spec.name);
-  writer.write_u64(dataset.users.size());
-  writer.write_u64(dataset.spec.gestures.size());
-  writer.write_u64(dataset.samples.size());
-  for (const auto& sample : dataset.samples) {
-    write_cloud(writer, sample.cloud);
-    writer.write_i32(sample.gesture);
-    writer.write_i32(sample.user);
-    writer.write_i32(sample.environment);
-    writer.write_f64(sample.distance);
-    writer.write_f64(sample.speed);
-    writer.write_u64(sample.active_frames);
+    writer.write_string(dataset.spec.name);
+    writer.write_u64(dataset.users.size());
+    writer.write_u64(dataset.spec.gestures.size());
+    writer.write_u64(dataset.samples.size());
+    for (const auto& sample : dataset.samples) {
+      write_cloud(writer, sample.cloud);
+      writer.write_i32(sample.gesture);
+      writer.write_i32(sample.user);
+      writer.write_i32(sample.environment);
+      writer.write_f64(sample.distance);
+      writer.write_f64(sample.speed);
+      writer.write_u64(sample.active_frames);
+    }
   }
+  const std::uint64_t bytes = file_size_or_zero(path);
+  cache_stats().bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  GP_COUNTER_ADD("gp.dataset.cache.bytes_written", bytes);
 }
 
 std::optional<Dataset> load_dataset(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   BinaryReader reader(in, kTag);
+  const std::uint64_t version = reader.read_u64();
+  if (version != kDatasetSchemaVersion) {
+    log_warn() << "dataset cache schema mismatch at " << path << ": file has v" << version
+               << ", generator expects v" << kDatasetSchemaVersion
+               << "; the dataset will be regenerated";
+    return std::nullopt;
+  }
 
   Dataset dataset;
   dataset.spec.name = reader.read_string();
@@ -98,18 +162,21 @@ std::optional<Dataset> load_dataset(const std::string& path) {
     sample.active_frames = reader.read_u64();
     dataset.samples.push_back(std::move(sample));
   }
+  const std::uint64_t bytes = file_size_or_zero(path);
+  cache_stats().bytes_read.fetch_add(bytes, std::memory_order_relaxed);
+  GP_COUNTER_ADD("gp.dataset.cache.bytes_read", bytes);
   return dataset;
 }
 
 std::string dataset_cache_key(const DatasetSpec& spec) {
-  // Bumped whenever the generator's RNG scheme changes (v2: per-sample
-  // child streams for parallel synthesis), so stale caches never collide.
-  constexpr std::uint64_t kGeneratorSchemaVersion = 2;
+  // The key hashes only the *spec*; the generator schema version lives
+  // inside the file so a version bump produces a visible mismatch warning
+  // instead of an unexplained silent regeneration under a new name.
   std::ostringstream key;
   key << spec.name << "_u" << spec.num_users << "_r" << spec.reps_per_gesture << "_g"
       << spec.gestures.size();
   std::uint64_t h = fnv1a(spec.name) ^ spec.seed ^ (spec.user_seed << 1);
-  h = h * 1099511628211ULL + kGeneratorSchemaVersion;
+  h = h * 1099511628211ULL;
   for (double d : spec.distances) h = h * 31 + static_cast<std::uint64_t>(d * 1000.0);
   for (double s : spec.speeds) h = h * 37 + static_cast<std::uint64_t>(s * 1000.0);
   h ^= static_cast<std::uint64_t>(spec.environment.clutter_rate * 1e6);
@@ -125,10 +192,21 @@ Dataset generate_dataset_cached(const DatasetSpec& spec, const std::string& cach
   std::filesystem::create_directories(dir, ec);
   const std::string path = dir + "/" + dataset_cache_key(spec) + ".gpds";
 
-  if (auto cached = load_dataset(path)) {
-    log_debug() << "dataset cache hit: " << path;
-    return std::move(*cached);
+  try {
+    if (auto cached = load_dataset(path)) {
+      cache_stats().hits.fetch_add(1, std::memory_order_relaxed);
+      GP_COUNTER_ADD("gp.dataset.cache.hits", 1);
+      log_debug() << "dataset cache hit: " << path;
+      return std::move(*cached);
+    }
+  } catch (const SerializationError& e) {
+    // Corrupt or pre-versioned file: report it instead of silently
+    // regenerating over it.
+    log_warn() << "dataset cache unreadable at " << path << " (" << e.what()
+               << "); the dataset will be regenerated";
   }
+  cache_stats().misses.fetch_add(1, std::memory_order_relaxed);
+  GP_COUNTER_ADD("gp.dataset.cache.misses", 1);
   Dataset dataset = generate_dataset(spec, ctx);
   try {
     save_dataset(path, dataset);

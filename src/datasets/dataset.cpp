@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gp {
 
@@ -57,6 +59,7 @@ FastBackendConfig fast_config_for(const EnvironmentSpec& env) {
 }  // namespace
 
 Dataset generate_dataset(const DatasetSpec& spec, exec::ExecContext& ctx) {
+  GP_SPAN("dataset.synthesis");
   check_arg(!spec.gestures.empty(), "dataset needs gestures");
   check_arg(spec.num_users >= 2, "dataset needs >= 2 users");
   check_arg(!spec.distances.empty() && !spec.speeds.empty(), "dataset needs anchors/speeds");
@@ -142,6 +145,8 @@ Dataset generate_dataset(const DatasetSpec& spec, exec::ExecContext& ctx) {
     if (sample.cloud.points.size() < 4) continue;  // radar saw nothing usable
     dataset.samples.push_back(std::move(sample));
   }
+  GP_COUNTER_ADD("gp.dataset.samples_generated", dataset.samples.size());
+  GP_COUNTER_ADD("gp.dataset.samples_dropped", tasks.size() - dataset.samples.size());
   log_debug() << "generated dataset '" << spec.name << "': " << dataset.samples.size()
               << " samples, " << spec.num_users << " users, " << spec.gestures.size()
               << " gestures";
@@ -151,6 +156,7 @@ Dataset generate_dataset(const DatasetSpec& spec, exec::ExecContext& ctx) {
 ContinuousRecording generate_recording(const DatasetSpec& spec, std::size_t user_index,
                                        const std::vector<int>& gesture_sequence,
                                        std::uint64_t seed) {
+  GP_SPAN("dataset.recording");
   check_arg(user_index < spec.num_users, "user index out of range");
   const auto users = make_cohort(spec);
   const std::uint64_t env_key =

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace gp::dsp {
 
@@ -64,6 +65,7 @@ double Detection2d::snr_db() const {
 
 std::vector<Detection2d> cfar_2d(const PowerMap& map, const CfarConfig& range_config,
                                  const CfarConfig& doppler_config) {
+  GP_SPAN("dsp.cfar");
   check_arg(map.data.size() == map.rows * map.cols, "PowerMap shape mismatch");
   std::vector<Detection2d> detections;
   if (map.rows == 0 || map.cols == 0) return detections;

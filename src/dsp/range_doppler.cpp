@@ -1,10 +1,17 @@
 #include "dsp/range_doppler.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace gp::dsp {
 
+// The transform runs stage-major (all antennas through the range FFT, then
+// clutter removal, then the Doppler FFT) so each DSP stage is individually
+// observable via GP_SPAN. Every array element sees exactly the same
+// floating-point operation sequence as a fused per-antenna loop would
+// apply, so the restructuring is bitwise-neutral.
 RangeDopplerCube range_doppler_transform(const DataCube& cube, const RangeDopplerConfig& config) {
+  GP_SPAN("dsp.range_doppler");
   check_arg(cube.num_antennas > 0 && cube.num_chirps > 0 && cube.num_samples > 0,
             "empty data cube");
   check_arg(cube.data.size() == cube.num_antennas * cube.num_chirps * cube.num_samples,
@@ -16,52 +23,59 @@ RangeDopplerCube range_doppler_transform(const DataCube& cube, const RangeDopple
   const auto range_win = make_window(config.range_window, cube.num_samples);
   const auto doppler_win = make_window(config.doppler_window, cube.num_chirps);
 
-  // Intermediate: per antenna, per chirp, range spectrum (positive bins).
   RangeDopplerCube out;
   out.num_antennas = cube.num_antennas;
   out.num_range_bins = num_range_bins;
   out.num_doppler_bins = cube.num_chirps;
   out.data.assign(cube.num_antennas * num_range_bins * cube.num_chirps, cplx(0, 0));
 
-  std::vector<cplx> chirp(cube.num_samples);
-  // range_spectra[chirp][range_bin] for the current antenna.
-  std::vector<cplx> range_spectra(cube.num_chirps * num_range_bins);
+  // range_spectra[antenna][chirp][range_bin] (positive bins only).
+  std::vector<cplx> range_spectra(cube.num_antennas * cube.num_chirps * num_range_bins);
+  const auto spectra_at = [&](std::size_t a, std::size_t c, std::size_t r) -> cplx& {
+    return range_spectra[(a * cube.num_chirps + c) * num_range_bins + r];
+  };
 
-  for (std::size_t a = 0; a < cube.num_antennas; ++a) {
-    // 1. Range FFT per chirp.
-    for (std::size_t c = 0; c < cube.num_chirps; ++c) {
-      for (std::size_t s = 0; s < cube.num_samples; ++s) {
-        chirp[s] = cube.at(a, c, s) * range_win[s];
-      }
-      fft_pow2_inplace(chirp, /*inverse=*/false);
-      for (std::size_t r = 0; r < num_range_bins; ++r) {
-        range_spectra[c * num_range_bins + r] = chirp[r];
+  // 1. Range FFT per chirp.
+  {
+    GP_SPAN("dsp.range_fft");
+    std::vector<cplx> chirp(cube.num_samples);
+    for (std::size_t a = 0; a < cube.num_antennas; ++a) {
+      for (std::size_t c = 0; c < cube.num_chirps; ++c) {
+        for (std::size_t s = 0; s < cube.num_samples; ++s) {
+          chirp[s] = cube.at(a, c, s) * range_win[s];
+        }
+        fft_pow2_inplace(chirp, /*inverse=*/false);
+        for (std::size_t r = 0; r < num_range_bins; ++r) spectra_at(a, c, r) = chirp[r];
       }
     }
+  }
 
-    // 2. Static clutter removal: subtract the chirp-mean per range bin.
-    if (config.static_clutter_removal) {
+  // 2. Static clutter removal: subtract the chirp-mean per range bin.
+  if (config.static_clutter_removal) {
+    GP_SPAN("dsp.clutter_removal");
+    for (std::size_t a = 0; a < cube.num_antennas; ++a) {
       for (std::size_t r = 0; r < num_range_bins; ++r) {
         cplx mean(0, 0);
-        for (std::size_t c = 0; c < cube.num_chirps; ++c) {
-          mean += range_spectra[c * num_range_bins + r];
-        }
+        for (std::size_t c = 0; c < cube.num_chirps; ++c) mean += spectra_at(a, c, r);
         mean /= static_cast<double>(cube.num_chirps);
-        for (std::size_t c = 0; c < cube.num_chirps; ++c) {
-          range_spectra[c * num_range_bins + r] -= mean;
-        }
+        for (std::size_t c = 0; c < cube.num_chirps; ++c) spectra_at(a, c, r) -= mean;
       }
     }
+  }
 
-    // 3. Doppler FFT across chirps, fftshifted so zero velocity is centred.
+  // 3. Doppler FFT across chirps, fftshifted so zero velocity is centred.
+  {
+    GP_SPAN("dsp.doppler_fft");
     std::vector<cplx> doppler(cube.num_chirps);
-    for (std::size_t r = 0; r < num_range_bins; ++r) {
-      for (std::size_t c = 0; c < cube.num_chirps; ++c) {
-        doppler[c] = range_spectra[c * num_range_bins + r] * doppler_win[c];
+    for (std::size_t a = 0; a < cube.num_antennas; ++a) {
+      for (std::size_t r = 0; r < num_range_bins; ++r) {
+        for (std::size_t c = 0; c < cube.num_chirps; ++c) {
+          doppler[c] = spectra_at(a, c, r) * doppler_win[c];
+        }
+        fft_pow2_inplace(doppler, /*inverse=*/false);
+        const auto shifted = fftshift(doppler);
+        for (std::size_t d = 0; d < cube.num_chirps; ++d) out.at(a, r, d) = shifted[d];
       }
-      fft_pow2_inplace(doppler, /*inverse=*/false);
-      const auto shifted = fftshift(doppler);
-      for (std::size_t d = 0; d < cube.num_chirps; ++d) out.at(a, r, d) = shifted[d];
     }
   }
   return out;

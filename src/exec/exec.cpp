@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/metrics.hpp"
+
 namespace gp::exec {
 
 namespace {
@@ -63,6 +65,8 @@ std::size_t ExecContext::threads() const {
 void ExecContext::run_chunks(std::size_t chunks, const ThreadPool::ChunkFn& fn) {
   if (chunks == 0) return;
   if (threads() <= 1 || chunks == 1) {
+    GP_COUNTER_ADD("gp.exec.regions_inline", 1);
+    GP_COUNTER_ADD("gp.exec.chunks", chunks);
     for (std::size_t c = 0; c < chunks; ++c) fn(c);
     return;
   }

@@ -1,5 +1,9 @@
 #include "exec/thread_pool.hpp"
 
+#include "common/logging.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace gp::exec {
 
 namespace {
@@ -39,6 +43,14 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::work_on(Region& region) {
   RegionMark mark;
+  // One span per participant per region: in a Perfetto trace every worker
+  // shows a "exec.work" block for the stretch it helped with; the metrics
+  // side accumulates per-worker busy time (the thread-sharded counter means
+  // per-thread utilisation survives in the shard totals).
+  GP_SPAN("exec.work");
+  const bool instrumented = obs::metrics_enabled();
+  const std::uint64_t t0 = instrumented ? monotonic_ns() : 0;
+  std::size_t chunks_run = 0;
   for (;;) {
     const std::size_t c = region.next.fetch_add(1, std::memory_order_relaxed);
     if (c >= region.num_chunks) break;
@@ -47,7 +59,12 @@ void ThreadPool::work_on(Region& region) {
     } catch (...) {
       region.errors[c] = std::current_exception();
     }
+    ++chunks_run;
     region.done.fetch_add(1, std::memory_order_acq_rel);
+  }
+  if (instrumented) {
+    GP_COUNTER_ADD("gp.exec.chunks", chunks_run);
+    GP_COUNTER_ADD("gp.exec.worker_busy_us", (monotonic_ns() - t0) / 1000);
   }
 }
 
@@ -76,10 +93,13 @@ void ThreadPool::run(std::size_t num_chunks, const ChunkFn& fn) {
   if (num_chunks == 0) return;
   if (workers_.empty() || num_chunks == 1 || tl_in_region) {
     RegionMark mark;
+    GP_COUNTER_ADD("gp.exec.regions_inline", 1);
     for (std::size_t c = 0; c < num_chunks; ++c) fn(c);
     return;
   }
 
+  const bool instrumented = obs::metrics_enabled();
+  const std::uint64_t region_t0 = instrumented ? monotonic_ns() : 0;
   std::lock_guard<std::mutex> region_guard(run_mutex_);
   Region region;
   region.fn = &fn;
@@ -104,6 +124,12 @@ void ThreadPool::run(std::size_t num_chunks, const ChunkFn& fn) {
              region.active_workers == 0;
     });
     region_ = nullptr;
+  }
+
+  if (instrumented) {
+    GP_COUNTER_ADD("gp.exec.regions", 1);
+    static obs::Histogram& region_ms = obs::histogram("gp.exec.region_ms");
+    region_ms.observe(static_cast<double>(monotonic_ns() - region_t0) * 1e-6);
   }
 
   for (auto& error : region.errors) {

@@ -1,6 +1,8 @@
 #include "gesidnet/gesidnet.hpp"
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gp {
 
@@ -45,15 +47,27 @@ GesIDNet::GesIDNet(GesIDNetConfig config, Rng& rng) : config_(std::move(config))
 }
 
 GesIDNet::ForwardOut GesIDNet::forward_internal(const BatchedCloud& batch, bool training) {
-  sa1_out_ = sa1_->forward(batch, training);
-  const BatchedCloud sa2_out = sa2_->forward(sa1_out_, training);
+  GP_SPAN("gesidnet.fwd");
+  {
+    GP_SPAN("gesidnet.sa.fwd");
+    sa1_out_ = sa1_->forward(batch, training);
+  }
+  BatchedCloud sa2_out;
+  {
+    GP_SPAN("gesidnet.sa.fwd");
+    sa2_out = sa2_->forward(sa1_out_, training);
+  }
 
-  f1_ = level1_->forward(sa1_out_, training);
-  f2_ = level2_->forward(sa2_out, training);
+  {
+    GP_SPAN("gesidnet.level.fwd");
+    f1_ = level1_->forward(sa1_out_, training);
+    f2_ = level2_->forward(sa2_out, training);
+  }
 
   nn::Tensor y1;
   nn::Tensor y2;
   if (config_.enable_fusion) {
+    GP_SPAN("gesidnet.fusion.fwd");
     const nn::Tensor r21 = resize_2to1_->forward(f2_, training);
     const nn::Tensor r12 = resize_1to2_->forward(f1_, training);
     y1 = fusion1_->forward(r21, f1_);
@@ -64,18 +78,28 @@ GesIDNet::ForwardOut GesIDNet::forward_internal(const BatchedCloud& batch, bool 
   }
 
   ForwardOut out;
-  out.logits1 = head1_->forward(y1, training);
-  out.logits2 = head2_->forward(y2, training);
+  {
+    GP_SPAN("gesidnet.head.fwd");
+    out.logits1 = head1_->forward(y1, training);
+    out.logits2 = head2_->forward(y2, training);
+  }
   return out;
 }
 
 void GesIDNet::backward_internal(const nn::Tensor& dlogits1, const nn::Tensor& dlogits2) {
-  const nn::Tensor dy1 = head1_->backward(dlogits1);
-  const nn::Tensor dy2 = head2_->backward(dlogits2);
+  GP_SPAN("gesidnet.bwd");
+  nn::Tensor dy1;
+  nn::Tensor dy2;
+  {
+    GP_SPAN("gesidnet.head.bwd");
+    dy1 = head1_->backward(dlogits1);
+    dy2 = head2_->backward(dlogits2);
+  }
 
   nn::Tensor df1;
   nn::Tensor df2;
   if (config_.enable_fusion) {
+    GP_SPAN("gesidnet.fusion.bwd");
     auto g1 = fusion1_->backward(dy1);   // {d r21, d f1 (native)}
     auto g2 = fusion2_->backward(dy2);   // {d r12, d f2 (native)}
     const nn::Tensor df2_via_rb = resize_2to1_->backward(g1.resized);
@@ -91,6 +115,7 @@ void GesIDNet::backward_internal(const nn::Tensor& dlogits1, const nn::Tensor& d
 
   // Level heads back into the set-abstraction stack. SA1's output feeds
   // both level1_ and sa2_, so its gradient is the sum of both paths.
+  GP_SPAN("gesidnet.sa.bwd");
   const nn::Tensor d_sa2_features = level2_->backward(df2);
   nn::Tensor d_sa1_features = sa2_->backward(d_sa2_features);
   d_sa1_features += level1_->backward(df1);
@@ -98,6 +123,9 @@ void GesIDNet::backward_internal(const nn::Tensor& dlogits1, const nn::Tensor& d
 }
 
 nn::Tensor GesIDNet::infer(const BatchedCloud& batch) {
+  GP_SPAN("gesidnet.infer");
+  GP_COUNTER_ADD("gp.gesidnet.infer_batches", 1);
+  GP_COUNTER_ADD("gp.gesidnet.infer_samples", batch.batch);
   return forward_internal(batch, /*training=*/false).logits1;
 }
 

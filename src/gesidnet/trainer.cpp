@@ -6,11 +6,14 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gp {
 
 TrainStats train_classifier(PointCloudClassifier& model, const LabeledSamples& data,
                             const TrainConfig& config, exec::ExecContext& ctx) {
+  GP_SPAN("train.fit");
   check_arg(data.samples.size() == data.labels.size(), "sample/label count mismatch");
   check_arg(!data.samples.empty(), "empty training set");
   check_arg(config.batch_size >= 2, "batch size must be >= 2 (batch norm)");
@@ -29,11 +32,15 @@ TrainStats train_classifier(PointCloudClassifier& model, const LabeledSamples& d
 
   TrainStats stats;
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    GP_SPAN("train.epoch");
+    const std::uint64_t epoch_t0 = obs::metrics_enabled() ? monotonic_ns() : 0;
     rng.shuffle(order);
     double epoch_loss = 0.0;
     std::size_t steps = 0;
+    std::size_t samples_seen = 0;
 
     for (std::size_t begin = 0; begin < order.size(); begin += config.batch_size) {
+      GP_SPAN("train.step");
       const std::size_t count = std::min(config.batch_size, order.size() - begin);
       if (count < 2) break;  // batch-norm needs a real batch; drop remainder
 
@@ -54,10 +61,24 @@ TrainStats train_classifier(PointCloudClassifier& model, const LabeledSamples& d
       epoch_loss += model.train_step(batch, batch_labels);
       optimizer.step();
       ++steps;
+      samples_seen += count;
     }
 
     stats.epoch_loss.push_back(steps > 0 ? epoch_loss / static_cast<double>(steps) : 0.0);
     optimizer.set_lr(optimizer.lr() * config.lr_decay);
+    if (obs::metrics_enabled()) {
+      GP_COUNTER_ADD("gp.train.epochs", 1);
+      GP_COUNTER_ADD("gp.train.steps", steps);
+      GP_COUNTER_ADD("gp.train.samples", samples_seen);
+      static obs::Gauge& loss_gauge = obs::gauge("gp.train.epoch_loss");
+      loss_gauge.set(stats.epoch_loss.back());
+      const double epoch_s =
+          static_cast<double>(monotonic_ns() - epoch_t0) * 1e-9;
+      if (epoch_s > 0.0) {
+        static obs::Gauge& throughput = obs::gauge("gp.train.samples_per_s");
+        throughput.set(static_cast<double>(samples_seen) / epoch_s);
+      }
+    }
     if (config.verbose) {
       log_info() << model.name() << " epoch " << epoch + 1 << "/" << config.epochs
                  << " loss=" << stats.epoch_loss.back();
@@ -92,6 +113,7 @@ void infer_batch_into(PointCloudClassifier& model, const std::vector<FeaturizedS
 nn::Tensor predict_logits(PointCloudClassifier& model,
                           const std::vector<FeaturizedSample>& samples,
                           std::size_t batch_size, exec::ExecContext& ctx) {
+  GP_SPAN("gesidnet.predict");
   check_arg(!samples.empty(), "predict over empty sample list");
   check_arg(batch_size > 0, "predict batch size must be > 0");
   const std::size_t num_batches = (samples.size() + batch_size - 1) / batch_size;

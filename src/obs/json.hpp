@@ -1,0 +1,52 @@
+// Minimal JSON support for the observability layer: string escaping for the
+// exporters and a small recursive-descent parser used to validate emitted
+// documents (tests and the obs-smoke checker parse traces/reports back).
+//
+// The parser handles the full JSON grammar (objects, arrays, strings with
+// escapes, numbers, booleans, null) but is tuned for trust-worthy inputs we
+// emitted ourselves: errors throw gp::Error with a byte offset.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gp::obs::json {
+
+/// Escapes a string for embedding inside a JSON string literal (quotes,
+/// backslashes, control characters; non-ASCII bytes pass through untouched).
+std::string escape(const std::string& s);
+
+/// Formats a double the way JSON expects: finite values via shortest-ish
+/// round-trip formatting, non-finite values as null (JSON has no inf/nan).
+std::string number(double v);
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;  ///< insertion-ordered
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+
+  /// find() that throws gp::Error when the member is missing.
+  const Value& at(const std::string& key) const;
+};
+
+/// Parses a complete JSON document; trailing non-whitespace is an error.
+Value parse(const std::string& text);
+
+}  // namespace gp::obs::json

@@ -1,0 +1,216 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+
+#include "common/logging.hpp"
+#include "obs/json.hpp"
+
+namespace gp::obs {
+
+namespace {
+
+bool parse_enabled_env(const char* name, bool default_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return default_value;
+  const std::string s(v);
+  if (s == "off" || s == "0" || s == "false" || s == "no") return false;
+  if (s == "on" || s == "1" || s == "true" || s == "yes") return true;
+  return default_value;
+}
+
+std::atomic<bool>& metrics_flag() {
+  static std::atomic<bool> flag{parse_enabled_env("GP_METRICS", /*default=*/true)};
+  return flag;
+}
+
+}  // namespace
+
+bool metrics_enabled() { return metrics_flag().load(std::memory_order_relaxed); }
+void set_metrics_enabled(bool enabled) {
+  metrics_flag().store(enabled, std::memory_order_relaxed);
+}
+
+std::size_t shard_index() {
+  return static_cast<std::size_t>(thread_ordinal()) % kShards;
+}
+
+// --------------------------------------------------------------- Histogram
+
+double Histogram::bucket_upper_bound(std::size_t b) {
+  if (b + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return kFirstBound * std::pow(kGrowth, static_cast<double>(b));
+}
+
+std::size_t Histogram::bucket_of(double value) {
+  if (!(value > kFirstBound)) return 0;  // also catches NaN and negatives
+  const double idx = std::floor(std::log(value / kFirstBound) / std::log(kGrowth)) + 1.0;
+  if (idx >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBuckets, 0);
+  for (const Shard& shard : shards_) {
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    snap.min = std::min(snap.min, shard.min.load(std::memory_order_relaxed));
+    snap.max = std::max(snap.max, shard.max.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      snap.buckets[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void Histogram::reset() {
+  for (Shard& shard : shards_) {
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum.store(0.0, std::memory_order_relaxed);
+    shard.min.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    shard.max.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    for (auto& bucket : shard.buckets) bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const std::uint64_t next = cumulative + buckets[b];
+    if (static_cast<double>(next) >= rank) {
+      // Interpolate inside the bucket; clamp to the observed min/max so
+      // the estimate never leaves the data's true range.
+      double lo = b == 0 ? 0.0 : Histogram::bucket_upper_bound(b - 1);
+      double hi = Histogram::bucket_upper_bound(b);
+      if (!std::isfinite(hi)) hi = max;
+      const double frac =
+          buckets[b] > 0 ? (rank - static_cast<double>(cumulative)) / static_cast<double>(buckets[b])
+                         : 0.0;
+      const double est = lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+      return std::clamp(est, min, max);
+    }
+    cumulative = next;
+  }
+  return max;
+}
+
+// ---------------------------------------------------------------- Registry
+
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry::Impl& Registry::impl() const {
+  static Impl instance;  // leaks nothing: process-lifetime registry
+  return instance;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& m = impl();
+  const std::lock_guard<std::mutex> lock(m.mutex);
+  auto& slot = m.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Impl& m = impl();
+  const std::lock_guard<std::mutex> lock(m.mutex);
+  auto& slot = m.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  Impl& m = impl();
+  const std::lock_guard<std::mutex> lock(m.mutex);
+  auto& slot = m.histograms[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Registry::to_text(std::ostream& out) const {
+  Impl& m = impl();
+  const std::lock_guard<std::mutex> lock(m.mutex);
+  for (const auto& [name, c] : m.counters) out << name << " " << c->value() << "\n";
+  for (const auto& [name, g] : m.gauges) out << name << " " << g->value() << "\n";
+  for (const auto& [name, h] : m.histograms) {
+    const HistogramSnapshot s = h->snapshot();
+    out << name << " count=" << s.count << " mean=" << s.mean() << " p50=" << s.quantile(0.5)
+        << " p95=" << s.quantile(0.95) << " p99=" << s.quantile(0.99) << " min="
+        << (s.count ? s.min : 0.0) << " max=" << (s.count ? s.max : 0.0) << "\n";
+  }
+}
+
+void Registry::to_json(std::ostream& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string pad2 = pad + "  ";
+  const std::string pad3 = pad2 + "  ";
+  Impl& m = impl();
+  const std::lock_guard<std::mutex> lock(m.mutex);
+
+  out << "{\n" << pad2 << "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : m.counters) {
+    out << (first ? "\n" : ",\n") << pad3 << "\"" << json::escape(name) << "\": " << c->value();
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad2) << "},\n";
+
+  out << pad2 << "\"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : m.gauges) {
+    out << (first ? "\n" : ",\n") << pad3 << "\"" << json::escape(name)
+        << "\": " << json::number(g->value());
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad2) << "},\n";
+
+  out << pad2 << "\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : m.histograms) {
+    const HistogramSnapshot s = h->snapshot();
+    out << (first ? "\n" : ",\n") << pad3 << "\"" << json::escape(name) << "\": {"
+        << "\"count\": " << s.count << ", \"sum\": " << json::number(s.sum)
+        << ", \"mean\": " << json::number(s.mean())
+        << ", \"min\": " << json::number(s.count ? s.min : 0.0)
+        << ", \"max\": " << json::number(s.count ? s.max : 0.0)
+        << ", \"p50\": " << json::number(s.quantile(0.5))
+        << ", \"p95\": " << json::number(s.quantile(0.95))
+        << ", \"p99\": " << json::number(s.quantile(0.99)) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n" + pad2) << "}\n" << pad << "}";
+}
+
+void Registry::reset_all() {
+  Impl& m = impl();
+  const std::lock_guard<std::mutex> lock(m.mutex);
+  for (auto& [name, c] : m.counters) c->reset();
+  for (auto& [name, g] : m.gauges) g->reset();
+  for (auto& [name, h] : m.histograms) h->reset();
+}
+
+Counter& counter(const std::string& name) { return Registry::global().counter(name); }
+Gauge& gauge(const std::string& name) { return Registry::global().gauge(name); }
+Histogram& histogram(const std::string& name) { return Registry::global().histogram(name); }
+
+}  // namespace gp::obs

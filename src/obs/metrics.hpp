@@ -1,0 +1,213 @@
+// gp::obs metrics — counters, gauges, and histograms cheap enough for hot
+// paths, plus text/JSON exporters.
+//
+// Design:
+//   * Handles are process-lifetime references into a global Registry; call
+//     sites cache them in function-local statics (see GP_COUNTER below), so
+//     the string lookup happens once per site.
+//   * Counters and histograms are sharded: each metric owns kShards
+//     cache-line-padded slots and a thread picks its slot from its
+//     thread ordinal. Hot-path updates are relaxed atomics on the local
+//     shard; shards are merged only when a snapshot is taken.
+//   * Everything is TSan-clean by construction (atomics only; the registry
+//     map itself is mutex-guarded and only touched on first lookup).
+//   * GP_METRICS=off (or set_metrics_enabled(false)) turns recording into a
+//     single predicted branch; recording never perturbs RNG streams or FP
+//     accumulation order, so instrumented runs stay bitwise deterministic.
+//
+// Naming scheme: `gp.<subsystem>.<name>` (e.g. gp.exec.chunks,
+// gp.dataset.cache.hits, gp.train.step_ms). See DESIGN.md §5.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace gp::obs {
+
+/// Global enable switch; initialised from GP_METRICS (default: enabled,
+/// "off"/"0" disables). Overridable at runtime for tests/benches.
+bool metrics_enabled();
+void set_metrics_enabled(bool enabled);
+
+/// Shard count for counters/histograms. Threads map onto shards by their
+/// ordinal, so with <= kShards live threads there is no sharing at all.
+inline constexpr std::size_t kShards = 16;
+
+/// The shard index of the calling thread.
+std::size_t shard_index();
+
+// ----------------------------------------------------------------- Counter
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    if (!metrics_enabled()) return;
+    shards_[shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Merged total across shards.
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) total += shard.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() {
+    for (auto& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kShards> shards_;
+};
+
+// ------------------------------------------------------------------- Gauge
+
+/// A last-write-wins double; `add` is an atomic read-modify-write.
+class Gauge {
+ public:
+  void set(double v) {
+    if (!metrics_enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+
+  void add(double delta) {
+    if (!metrics_enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// --------------------------------------------------------------- Histogram
+
+/// Snapshot of a histogram at one instant (shards merged).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  std::vector<std::uint64_t> buckets;  ///< aligned with Histogram bucket bounds
+
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+
+  /// Streaming quantile estimate (q in [0,1]) interpolated inside the
+  /// geometric bucket holding the q-th observation; relative error is
+  /// bounded by the bucket growth factor (~10%). Constant memory, single
+  /// pass — the shape the latency benches need for p50/p95/p99.
+  double quantile(double q) const;
+};
+
+/// Fixed-bucket histogram with geometric bounds spanning [1e-6, ~1e7]
+/// (about 12 decades; in ms that is 1 ns .. ~3 h). Values outside the range
+/// land in the first/last bucket. Each shard is fully atomic.
+class Histogram {
+ public:
+  static constexpr double kFirstBound = 1e-6;
+  static constexpr double kGrowth = 1.2;
+  static constexpr std::size_t kBuckets = 168;
+
+  void observe(double value) {
+    if (!metrics_enabled()) return;
+    Shard& shard = shards_[shard_index()];
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    atomic_add(shard.sum, value);
+    atomic_min(shard.min, value);
+    atomic_max(shard.max, value);
+    shard.buckets[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;
+  void reset();
+
+  /// Upper bound of bucket `b` (lower bound = upper bound of b-1; bucket 0
+  /// collects everything below kFirstBound).
+  static double bucket_upper_bound(std::size_t b);
+  static std::size_t bucket_of(double value);
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  };
+
+  static void atomic_add(std::atomic<double>& slot, double delta) {
+    double cur = slot.load(std::memory_order_relaxed);
+    while (!slot.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_min(std::atomic<double>& slot, double v) {
+    double cur = slot.load(std::memory_order_relaxed);
+    while (v < cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void atomic_max(std::atomic<double>& slot, double v) {
+    double cur = slot.load(std::memory_order_relaxed);
+    while (v > cur && !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<Shard, kShards> shards_;
+};
+
+// ---------------------------------------------------------------- Registry
+
+/// Name -> metric. Lookup registers on first use; handles stay valid for
+/// the process lifetime. All three namespaces (counter/gauge/histogram) are
+/// separate: one name may exist in at most one of them.
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// One line per metric, sorted by name ("name value ..."), for humans.
+  void to_text(std::ostream& out) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count, sum,
+  /// min, max, mean, p50, p95, p99}}} — the machine-readable snapshot
+  /// embedded in run reports.
+  void to_json(std::ostream& out, int indent = 0) const;
+
+  /// Zeroes every registered metric (handles stay valid). Tests only.
+  void reset_all();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// Convenience forwarding helpers for call sites.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name);
+
+/// Caches the metric handle in a function-local static so the name lookup
+/// happens once per call site.
+#define GP_COUNTER_ADD(name_literal, n)                                         \
+  do {                                                                          \
+    static ::gp::obs::Counter& gp_obs_counter_ = ::gp::obs::counter(name_literal); \
+    gp_obs_counter_.add(n);                                                     \
+  } while (0)
+
+}  // namespace gp::obs

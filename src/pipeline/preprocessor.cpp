@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pointcloud/ops.hpp"
 
 namespace gp {
@@ -12,6 +14,7 @@ Preprocessor::Preprocessor(PreprocessorParams params) : params_(params) {
 }
 
 GestureCloud Preprocessor::process_segment(const FrameSequence& segment) const {
+  GP_SPAN("pipeline.noise_cancel");
   GestureCloud out;
   if (segment.empty()) return out;
   const auto cleaned = cancel_noise(segment, params_.noise);
@@ -23,15 +26,19 @@ GestureCloud Preprocessor::process_segment(const FrameSequence& segment) const {
 }
 
 std::vector<GestureCloud> Preprocessor::process(const FrameSequence& recording) const {
+  GP_SPAN("pipeline.segment");
   std::vector<GestureCloud> out;
   for (const auto& segment : GestureSegmenter::segment_all(recording, params_.segmentation)) {
     GestureCloud cloud = process_segment(segment.frames);
     if (cloud.points.size() >= params_.min_points) out.push_back(std::move(cloud));
   }
+  GP_COUNTER_ADD("gp.pipeline.segments", out.size());
   return out;
 }
 
 FeaturizedSample featurize(const GestureCloud& cloud, const FeatureConfig& config, Rng& rng) {
+  GP_SPAN("pipeline.featurize");
+  GP_COUNTER_ADD("gp.pipeline.samples_featurized", 1);
   check_arg(!cloud.points.empty(), "featurize of empty gesture cloud");
   check_arg(config.num_points > 0, "featurize needs num_points > 0");
 

@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "common/math_utils.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "radar/fmcw.hpp"
 
 namespace gp {
@@ -35,6 +37,8 @@ double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
 
 FrameCloud fast_process_frame(const RadarConfig& radar, const FastBackendConfig& config,
                               const SceneFrame& scene, Rng& rng) {
+  GP_SPAN("radar.fast_backend");
+  GP_COUNTER_ADD("gp.radar.frames_fast", 1);
   radar.validate();
   FrameCloud frame;
   frame.frame_index = scene.frame_index;

@@ -4,6 +4,8 @@
 
 #include "common/error.hpp"
 #include "common/math_utils.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gp {
 
@@ -22,6 +24,8 @@ TargetEcho reflector_to_echo(const Reflector& reflector) {
 
 dsp::DataCube synthesize_frame(const RadarConfig& config,
                                const std::vector<Reflector>& reflectors, Rng& rng) {
+  GP_SPAN("radar.chirp_synth");
+  GP_COUNTER_ADD("gp.radar.frames_synthesized", 1);
   config.validate();
 
   dsp::DataCube cube;

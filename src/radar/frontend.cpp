@@ -5,17 +5,22 @@
 
 #include "common/math_utils.hpp"
 #include "dsp/angle.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "radar/fmcw.hpp"
 
 namespace gp {
 
 PointCloud detect_points(const RadarConfig& config, const dsp::DataCube& cube, int frame_index) {
+  GP_SPAN("radar.detect");
   dsp::RangeDopplerConfig rd_config;
   rd_config.static_clutter_removal = config.static_clutter_removal;
   const auto rd = dsp::range_doppler_transform(cube, rd_config);
   const auto power_map = dsp::integrate_power(rd);
   const auto detections = dsp::cfar_2d(power_map, config.range_cfar, config.doppler_cfar);
+  GP_COUNTER_ADD("gp.radar.cfar_detections", detections.size());
 
+  GP_SPAN("radar.angle_fft");
   const std::size_t zero_doppler = config.num_chirps / 2;
   PointCloud points;
   points.reserve(detections.size());
@@ -59,6 +64,7 @@ PointCloud detect_points(const RadarConfig& config, const dsp::DataCube& cube, i
     point.frame = frame_index;
     points.push_back(point);
   }
+  GP_COUNTER_ADD("gp.radar.points_detected", points.size());
   return points;
 }
 

@@ -9,6 +9,8 @@
 #include "common/serialize.hpp"
 #include "nn/loss.hpp"
 #include "nn/serialize_nn.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gp {
 
@@ -22,6 +24,7 @@ GesIDNet& GesturePrintSystem::gesture_model() {
 
 void GesturePrintSystem::fit(const Dataset& dataset,
                              std::span<const std::size_t> train_indices) {
+  GP_SPAN("system.fit");
   check_arg(!train_indices.empty(), "fit with empty training set");
   num_gestures_ = dataset.num_gestures();
   num_users_ = dataset.num_users();
@@ -190,6 +193,8 @@ void GesturePrintSystem::load(const std::string& path) {
 }
 
 InferenceResult GesturePrintSystem::classify(const GestureCloud& cloud) {
+  GP_SPAN("system.classify");
+  GP_COUNTER_ADD("gp.system.classifications", 1);
   check(fitted(), "classify before fit");
   const std::size_t rounds = std::max<std::size_t>(1, config_.eval_rounds);
 
@@ -287,6 +292,7 @@ SystemEvaluation GesturePrintSystem::evaluate_dataset(const Dataset& dataset) {
 
 SystemEvaluation GesturePrintSystem::evaluate_samples(
     const std::vector<const GestureSample*>& samples) {
+  GP_SPAN("system.evaluate");
   check(fitted(), "evaluate before fit");
   check_arg(!samples.empty(), "evaluate with no samples");
 

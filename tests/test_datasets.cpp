@@ -217,6 +217,29 @@ TEST(Cache, GarbageFileThrows) {
   std::filesystem::remove(path);
 }
 
+TEST(Cache, SchemaVersionMismatchWarnsAndReturnsNullopt) {
+  DatasetSpec spec = gestureprint_spec(0, tiny_scale());
+  spec.gestures.resize(2);
+  const Dataset dataset = generate_dataset(spec);
+  const std::string path = testing::TempDir() + "gp_schema_mismatch.gpds";
+  save_dataset(path, dataset);
+
+  // The schema version is the u64 immediately after the 4-byte "GPDS" tag
+  // and the 1-byte container format version; bump it to a future version
+  // the loader has never heard of.
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(5);
+    const std::uint64_t future_version = 0xFFFFFFFFULL;
+    file.write(reinterpret_cast<const char*>(&future_version), sizeof(future_version));
+  }
+
+  // A mismatch is not corruption: it must report (via log) and decline the
+  // cache rather than throw, so callers regenerate with a visible reason.
+  EXPECT_FALSE(load_dataset(path).has_value());
+  std::filesystem::remove(path);
+}
+
 TEST(Cache, TruncatedFileThrows) {
   DatasetSpec spec = gestureprint_spec(0, tiny_scale());
   spec.gestures.resize(2);

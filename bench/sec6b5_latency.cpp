@@ -31,7 +31,7 @@
 #include "gesidnet/gesidnet.hpp"
 #include "gesidnet/trainer.hpp"
 #include "nn/tensor.hpp"
-#include "obs/json.hpp"
+#include "obs/bench_json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -147,42 +147,18 @@ void run_latency_quantiles() {
   row("classification", infer_ms.snapshot());
   row("end-to-end    ", total_ms.snapshot());
 
-  // BENCH_latency_stages.json: top-level quantiles + GP_SPAN breakdown.
-  std::ostringstream json;
-  json << "{\n  \"iterations\": " << kIters << ",\n  \"top_level\": [\n";
-  const auto emit = [&json](const char* name, const obs::HistogramSnapshot& h, bool last) {
-    json << "    {\"name\": \"" << obs::json::escape(name)
-         << "\", \"count\": " << h.count << ", \"mean_ms\": " << obs::json::number(h.mean())
-         << ", \"p50_ms\": " << obs::json::number(h.quantile(0.5))
-         << ", \"p95_ms\": " << obs::json::number(h.quantile(0.95))
-         << ", \"p99_ms\": " << obs::json::number(h.quantile(0.99)) << "}" << (last ? "" : ",")
-         << "\n";
-  };
-  emit("preprocessing", pre_ms.snapshot(), false);
-  emit("classification_inference", infer_ms.snapshot(), false);
-  emit("end_to_end", total_ms.snapshot(), true);
-  json << "  ],\n  \"stages\": [\n";
-  const auto stages = obs::stage_snapshots();
-  std::size_t emitted = 0;
-  std::size_t nonzero = 0;
-  for (const auto& s : stages) nonzero += s.histogram.count > 0 ? 1 : 0;
-  for (const auto& s : stages) {
-    if (s.histogram.count == 0) continue;
-    ++emitted;
-    json << "    {\"name\": \"" << obs::json::escape(s.name)
-         << "\", \"min_depth\": " << s.min_depth << ", \"count\": " << s.histogram.count
-         << ", \"total_ms\": " << obs::json::number(s.histogram.sum)
-         << ", \"mean_ms\": " << obs::json::number(s.histogram.mean())
-         << ", \"p50_ms\": " << obs::json::number(s.histogram.quantile(0.5))
-         << ", \"p95_ms\": " << obs::json::number(s.histogram.quantile(0.95))
-         << ", \"p99_ms\": " << obs::json::number(s.histogram.quantile(0.99)) << "}"
-         << (emitted < nonzero ? "," : "") << "\n";
-  }
-  json << "  ]\n}\n";
+  // BENCH_latency_stages.json: top-level quantiles + GP_SPAN breakdown,
+  // emitted through the canonical builder whose schema the golden tests pin.
+  const std::string doc = obs::latency_stages_json(
+      kIters,
+      {{"preprocessing", pre_ms.snapshot()},
+       {"classification_inference", infer_ms.snapshot()},
+       {"end_to_end", total_ms.snapshot()}},
+      obs::stage_snapshots());
 
   const std::string path = output_dir() + "/BENCH_latency_stages.json";
   std::ofstream out(path);
-  out << json.str();
+  out << doc;
   std::cout << "wrote " << path << "\n";
 }
 
@@ -201,10 +177,7 @@ double time_stage_ms(gp::exec::ExecContext& ctx, const Fn& stage, int reps = 3) 
   return best;
 }
 
-struct SweepStage {
-  std::string name;
-  std::vector<double> ms;  ///< aligned with the swept thread counts
-};
+using SweepStage = obs::SweepStageSeries;
 
 /// Sweeps GP thread counts over three representative stages and writes
 /// BENCH_parallel.json. Every stage produces bitwise-identical results at
@@ -271,32 +244,19 @@ void run_parallel_sweep() {
   }
 
   std::cout << "\nparallel scaling (best-of wall time, ms; speedup vs 1 thread)\n";
-  std::ostringstream json;
-  json << "{\n  \"hardware_concurrency\": " << hw << ",\n  \"threads\": [";
-  for (std::size_t i = 0; i < threads.size(); ++i) json << (i ? ", " : "") << threads[i];
-  json << "],\n  \"stages\": [\n";
-  for (std::size_t s = 0; s < stages.size(); ++s) {
-    const SweepStage& stage = stages[s];
+  for (const SweepStage& stage : stages) {
     std::cout << "  " << stage.name << ":";
-    json << "    {\"name\": \"" << stage.name << "\", \"ms\": [";
     for (std::size_t i = 0; i < threads.size(); ++i) {
       const double speedup = stage.ms[0] / stage.ms[i];
       std::cout << "  " << threads[i] << "t " << bench::cell(stage.ms[i]) << "ms (x"
                 << bench::cell(speedup) << ")";
-      json << (i ? ", " : "") << stage.ms[i];
     }
-    json << "], \"speedup\": [";
-    for (std::size_t i = 0; i < threads.size(); ++i) {
-      json << (i ? ", " : "") << stage.ms[0] / stage.ms[i];
-    }
-    json << "]}" << (s + 1 < stages.size() ? "," : "") << "\n";
     std::cout << "\n";
   }
-  json << "  ]\n}\n";
 
   const std::string path = output_dir() + "/BENCH_parallel.json";
   std::ofstream out(path);
-  out << json.str();
+  out << obs::parallel_sweep_json(hw, threads, stages);
   std::cout << "wrote " << path << "\n";
 }
 

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Tiered verification runner for the GesturePrint repo.
+#
+#   scripts/verify.sh            # tier 1: default build + full ctest
+#   scripts/verify.sh asan       # tier 2: -DGP_SANITIZE=address build,
+#                                #         fuzz-smoke + obs-smoke labels
+#   scripts/verify.sh tsan       # tier 3: -DGP_SANITIZE=thread build,
+#                                #         tsan-smoke label
+#   scripts/verify.sh all        # tiers 1 + 2 + 3 in sequence
+#
+# Tier 1 is the bar every PR must clear (ROADMAP "tier-1"); the sanitizer
+# tiers re-run the labelled smoke subsets in instrumented builds. Each tier
+# uses its own build directory (build, build-asan, build-tsan) so the
+# instrumented caches never pollute the default one.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 4)}"
+MODE="${1:-tier1}"
+
+run_tier1() {
+  echo "==> tier 1: default build + full test suite"
+  cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+  cmake --build "$ROOT/build" -j "$JOBS"
+  (cd "$ROOT/build" && ctest --output-on-failure -j "$JOBS")
+}
+
+run_asan() {
+  echo "==> tier 2: AddressSanitizer build, fuzz-smoke + obs-smoke labels"
+  cmake -B "$ROOT/build-asan" -S "$ROOT" -DGP_SANITIZE=address >/dev/null
+  cmake --build "$ROOT/build-asan" -j "$JOBS"
+  (cd "$ROOT/build-asan" && ctest --output-on-failure -j "$JOBS" -L 'fuzz-smoke|obs-smoke')
+}
+
+run_tsan() {
+  echo "==> tier 3: ThreadSanitizer build, tsan-smoke label"
+  cmake -B "$ROOT/build-tsan" -S "$ROOT" -DGP_SANITIZE=thread >/dev/null
+  cmake --build "$ROOT/build-tsan" -j "$JOBS"
+  (cd "$ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS" -L tsan-smoke)
+}
+
+case "$MODE" in
+  tier1) run_tier1 ;;
+  asan)  run_asan ;;
+  tsan)  run_tsan ;;
+  all)   run_tier1; run_asan; run_tsan ;;
+  *)
+    echo "usage: $0 [tier1|asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "==> verify.sh: '$MODE' passed"

@@ -72,6 +72,40 @@ void BinaryReader::read_raw(void* dst, std::size_t n) {
   }
 }
 
+std::size_t BinaryReader::remaining_bytes() {
+  const std::streampos here = in_.tellg();
+  if (here == std::streampos(-1)) return std::numeric_limits<std::size_t>::max();
+  in_.seekg(0, std::ios::end);
+  const std::streampos end = in_.tellg();
+  in_.seekg(here);
+  if (end == std::streampos(-1) || end < here) {
+    return std::numeric_limits<std::size_t>::max();
+  }
+  return static_cast<std::size_t>(end - here);
+}
+
+std::uint64_t BinaryReader::read_count(std::size_t min_bytes_per_elem, const char* what) {
+  const std::uint64_t n = read_u64();
+  // Hard sanity cap even for non-seekable streams: no legitimate gp payload
+  // holds anywhere near 2^40 elements of anything.
+  constexpr std::uint64_t kHardCap = 1ULL << 40;
+  if (n > kHardCap) {
+    throw SerializationError(std::string("implausible ") + what + " count " +
+                             std::to_string(n) + " in gp binary stream");
+  }
+  if (min_bytes_per_elem > 0) {
+    const std::size_t left = remaining_bytes();
+    if (left != std::numeric_limits<std::size_t>::max() &&
+        n > static_cast<std::uint64_t>(left) / min_bytes_per_elem) {
+      throw SerializationError(std::string(what) + " count " + std::to_string(n) +
+                               " exceeds remaining stream bytes (" + std::to_string(left) +
+                               " left, >= " + std::to_string(min_bytes_per_elem) +
+                               " bytes/element)");
+    }
+  }
+  return n;
+}
+
 std::uint8_t BinaryReader::read_u8() {
   std::uint8_t v = 0;
   read_raw(&v, sizeof(v));
@@ -105,29 +139,34 @@ double BinaryReader::read_f64() {
 
 std::string BinaryReader::read_string() {
   const std::uint32_t n = read_u32();
+  const std::size_t left = remaining_bytes();
+  if (left != std::numeric_limits<std::size_t>::max() && n > left) {
+    throw SerializationError("string length " + std::to_string(n) +
+                             " exceeds remaining stream bytes (" + std::to_string(left) + ")");
+  }
   std::string s(n, '\0');
   if (n > 0) read_raw(s.data(), n);
   return s;
 }
 
 std::vector<float> BinaryReader::read_f32_vector() {
-  const std::uint64_t n = read_u64();
-  std::vector<float> v(n);
-  if (n > 0) read_raw(v.data(), n * sizeof(float));
+  const std::uint64_t n = read_count(sizeof(float), "f32 vector");
+  std::vector<float> v(static_cast<std::size_t>(n));
+  if (n > 0) read_raw(v.data(), static_cast<std::size_t>(n) * sizeof(float));
   return v;
 }
 
 std::vector<double> BinaryReader::read_f64_vector() {
-  const std::uint64_t n = read_u64();
-  std::vector<double> v(n);
-  if (n > 0) read_raw(v.data(), n * sizeof(double));
+  const std::uint64_t n = read_count(sizeof(double), "f64 vector");
+  std::vector<double> v(static_cast<std::size_t>(n));
+  if (n > 0) read_raw(v.data(), static_cast<std::size_t>(n) * sizeof(double));
   return v;
 }
 
 std::vector<std::uint32_t> BinaryReader::read_u32_vector() {
-  const std::uint64_t n = read_u64();
-  std::vector<std::uint32_t> v(n);
-  if (n > 0) read_raw(v.data(), n * sizeof(std::uint32_t));
+  const std::uint64_t n = read_count(sizeof(std::uint32_t), "u32 vector");
+  std::vector<std::uint32_t> v(static_cast<std::size_t>(n));
+  if (n > 0) read_raw(v.data(), static_cast<std::size_t>(n) * sizeof(std::uint32_t));
   return v;
 }
 

@@ -38,6 +38,12 @@ class BinaryWriter {
 };
 
 /// Reads the gp binary format; throws SerializationError on any mismatch.
+///
+/// Hardened against corrupt and adversarial input: every length prefix is
+/// validated against the number of bytes actually left in the stream before
+/// any allocation happens, so a flipped length byte yields a typed
+/// SerializationError instead of a multi-gigabyte allocation (std::bad_alloc
+/// or an ASan allocator abort).
 class BinaryReader {
  public:
   BinaryReader(std::istream& in, const std::string& expected_tag);
@@ -52,6 +58,16 @@ class BinaryReader {
   std::vector<float> read_f32_vector();
   std::vector<double> read_f64_vector();
   std::vector<std::uint32_t> read_u32_vector();
+
+  /// Reads a u64 element count and validates that `count * min_bytes_per_elem`
+  /// bytes could still be present in the stream (plus a hard sanity cap for
+  /// non-seekable streams). `what` names the container in the error message.
+  /// Use this before reserving memory proportional to an untrusted count.
+  std::uint64_t read_count(std::size_t min_bytes_per_elem, const char* what);
+
+  /// Bytes left between the current read position and end-of-stream, or
+  /// SIZE_MAX when the stream is not seekable (e.g. a pipe).
+  std::size_t remaining_bytes();
 
  private:
   void read_raw(void* dst, std::size_t n);

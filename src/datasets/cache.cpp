@@ -80,10 +80,18 @@ void write_cloud(BinaryWriter& writer, const GestureCloud& cloud) {
   writer.write_f64(cloud.duration_s);
 }
 
+// Minimum on-stream bytes per serialized RadarPoint (5 x f64 + 1 x i32).
+constexpr std::size_t kBytesPerPoint = 5 * sizeof(double) + sizeof(std::int32_t);
+// Minimum on-stream bytes per GestureSample: an empty cloud (u64 count +
+// u64 num_frames + i32 first_frame + f64 duration) plus the label block
+// (3 x i32 + 2 x f64 + u64).
+constexpr std::size_t kBytesPerSample =
+    (8 + 8 + 4 + 8) + (3 * sizeof(std::int32_t) + 2 * sizeof(double) + 8);
+
 GestureCloud read_cloud(BinaryReader& reader) {
   GestureCloud cloud;
-  const std::uint64_t n = reader.read_u64();
-  cloud.points.reserve(n);
+  const std::uint64_t n = reader.read_count(kBytesPerPoint, "gesture cloud point");
+  cloud.points.reserve(static_cast<std::size_t>(n));
   for (std::uint64_t i = 0; i < n; ++i) {
     RadarPoint p;
     p.position.x = reader.read_f64();
@@ -102,39 +110,30 @@ GestureCloud read_cloud(BinaryReader& reader) {
 
 }  // namespace
 
-void save_dataset(const std::string& path, const Dataset& dataset) {
-  {
-    std::ofstream out(path, std::ios::binary);
-    if (!out) throw Error("cannot open dataset cache for writing: " + path);
-    BinaryWriter writer(out, kTag);
-    writer.write_u64(kDatasetSchemaVersion);
+void write_dataset(std::ostream& out, const Dataset& dataset) {
+  BinaryWriter writer(out, kTag);
+  writer.write_u64(kDatasetSchemaVersion);
 
-    writer.write_string(dataset.spec.name);
-    writer.write_u64(dataset.users.size());
-    writer.write_u64(dataset.spec.gestures.size());
-    writer.write_u64(dataset.samples.size());
-    for (const auto& sample : dataset.samples) {
-      write_cloud(writer, sample.cloud);
-      writer.write_i32(sample.gesture);
-      writer.write_i32(sample.user);
-      writer.write_i32(sample.environment);
-      writer.write_f64(sample.distance);
-      writer.write_f64(sample.speed);
-      writer.write_u64(sample.active_frames);
-    }
+  writer.write_string(dataset.spec.name);
+  writer.write_u64(dataset.users.size());
+  writer.write_u64(dataset.spec.gestures.size());
+  writer.write_u64(dataset.samples.size());
+  for (const auto& sample : dataset.samples) {
+    write_cloud(writer, sample.cloud);
+    writer.write_i32(sample.gesture);
+    writer.write_i32(sample.user);
+    writer.write_i32(sample.environment);
+    writer.write_f64(sample.distance);
+    writer.write_f64(sample.speed);
+    writer.write_u64(sample.active_frames);
   }
-  const std::uint64_t bytes = file_size_or_zero(path);
-  cache_stats().bytes_written.fetch_add(bytes, std::memory_order_relaxed);
-  GP_COUNTER_ADD("gp.dataset.cache.bytes_written", bytes);
 }
 
-std::optional<Dataset> load_dataset(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return std::nullopt;
+std::optional<Dataset> read_dataset(std::istream& in, const std::string& source) {
   BinaryReader reader(in, kTag);
   const std::uint64_t version = reader.read_u64();
   if (version != kDatasetSchemaVersion) {
-    log_warn() << "dataset cache schema mismatch at " << path << ": file has v" << version
+    log_warn() << "dataset cache schema mismatch at " << source << ": file has v" << version
                << ", generator expects v" << kDatasetSchemaVersion
                << "; the dataset will be regenerated";
     return std::nullopt;
@@ -142,15 +141,23 @@ std::optional<Dataset> load_dataset(const std::string& path) {
 
   Dataset dataset;
   dataset.spec.name = reader.read_string();
+  // Population counts carry no per-element payload in the stream, so the
+  // remaining-bytes check cannot bound them; apply an explicit sanity cap.
+  constexpr std::uint64_t kMaxPopulation = 1'000'000;
   const std::uint64_t num_users = reader.read_u64();
   const std::uint64_t num_gestures = reader.read_u64();
+  if (num_users > kMaxPopulation || num_gestures > kMaxPopulation) {
+    throw SerializationError("implausible dataset population in " + source + ": " +
+                             std::to_string(num_users) + " users, " +
+                             std::to_string(num_gestures) + " gestures");
+  }
   dataset.spec.num_users = num_users;
   dataset.users.resize(num_users);  // biometrics not needed post-generation
   for (std::uint64_t u = 0; u < num_users; ++u) dataset.users[u].id = static_cast<int>(u);
   dataset.spec.gestures.resize(num_gestures);
 
-  const std::uint64_t count = reader.read_u64();
-  dataset.samples.reserve(count);
+  const std::uint64_t count = reader.read_count(kBytesPerSample, "dataset sample");
+  dataset.samples.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i) {
     GestureSample sample;
     sample.cloud = read_cloud(reader);
@@ -162,6 +169,25 @@ std::optional<Dataset> load_dataset(const std::string& path) {
     sample.active_frames = reader.read_u64();
     dataset.samples.push_back(std::move(sample));
   }
+  return dataset;
+}
+
+void save_dataset(const std::string& path, const Dataset& dataset) {
+  {
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw Error("cannot open dataset cache for writing: " + path);
+    write_dataset(out, dataset);
+  }
+  const std::uint64_t bytes = file_size_or_zero(path);
+  cache_stats().bytes_written.fetch_add(bytes, std::memory_order_relaxed);
+  GP_COUNTER_ADD("gp.dataset.cache.bytes_written", bytes);
+}
+
+std::optional<Dataset> load_dataset(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::optional<Dataset> dataset = read_dataset(in, path);
+  if (!dataset) return std::nullopt;
   const std::uint64_t bytes = file_size_or_zero(path);
   cache_stats().bytes_read.fetch_add(bytes, std::memory_order_relaxed);
   GP_COUNTER_ADD("gp.dataset.cache.bytes_read", bytes);

@@ -2,6 +2,7 @@
 // skip regeneration (only the preprocessed clouds and labels are stored).
 #pragma once
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 
@@ -15,6 +16,15 @@ void save_dataset(const std::string& path, const Dataset& dataset);
 /// Loads a cached dataset; returns nullopt if the file is missing. Throws
 /// SerializationError on malformed content.
 std::optional<Dataset> load_dataset(const std::string& path);
+
+/// Stream variant of save_dataset (same GPDS container, no file involved).
+/// Used by in-memory round-trip tests and the fuzz corpus builders.
+void write_dataset(std::ostream& out, const Dataset& dataset);
+
+/// Stream variant of load_dataset. Returns nullopt on a schema-version
+/// mismatch (after logging a warning, mirroring load_dataset); throws
+/// SerializationError on malformed content. `source` labels log messages.
+std::optional<Dataset> read_dataset(std::istream& in, const std::string& source = "<stream>");
 
 /// generate_dataset with a transparent file cache under `cache_dir`
 /// (defaults to gp::output_dir()). Cache key = spec name + a content hash

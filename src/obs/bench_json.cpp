@@ -1,0 +1,69 @@
+#include "obs/bench_json.hpp"
+
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace gp::obs {
+
+std::string latency_stages_json(int iterations,
+                                const std::vector<LatencyQuantileRow>& top_level,
+                                const std::vector<StageSnapshot>& stages) {
+  std::ostringstream out;
+  out << "{\n  \"iterations\": " << iterations << ",\n  \"top_level\": [\n";
+  for (std::size_t i = 0; i < top_level.size(); ++i) {
+    const LatencyQuantileRow& row = top_level[i];
+    out << "    {\"name\": \"" << json::escape(row.name) << "\", \"count\": " << row.hist.count
+        << ", \"mean_ms\": " << json::number(row.hist.mean())
+        << ", \"p50_ms\": " << json::number(row.hist.quantile(0.5))
+        << ", \"p95_ms\": " << json::number(row.hist.quantile(0.95))
+        << ", \"p99_ms\": " << json::number(row.hist.quantile(0.99)) << "}"
+        << (i + 1 < top_level.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"stages\": [\n";
+  std::size_t nonzero = 0;
+  for (const StageSnapshot& s : stages) nonzero += s.histogram.count > 0 ? 1 : 0;
+  std::size_t emitted = 0;
+  for (const StageSnapshot& s : stages) {
+    if (s.histogram.count == 0) continue;
+    ++emitted;
+    out << "    {\"name\": \"" << json::escape(s.name) << "\", \"min_depth\": " << s.min_depth
+        << ", \"count\": " << s.histogram.count
+        << ", \"total_ms\": " << json::number(s.histogram.sum)
+        << ", \"mean_ms\": " << json::number(s.histogram.mean())
+        << ", \"p50_ms\": " << json::number(s.histogram.quantile(0.5))
+        << ", \"p95_ms\": " << json::number(s.histogram.quantile(0.95))
+        << ", \"p99_ms\": " << json::number(s.histogram.quantile(0.99)) << "}"
+        << (emitted < nonzero ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+std::string parallel_sweep_json(std::size_t hardware_concurrency,
+                                const std::vector<std::size_t>& threads,
+                                const std::vector<SweepStageSeries>& stages) {
+  std::ostringstream out;
+  out << "{\n  \"hardware_concurrency\": " << hardware_concurrency << ",\n  \"threads\": [";
+  for (std::size_t i = 0; i < threads.size(); ++i) out << (i ? ", " : "") << threads[i];
+  out << "],\n  \"stages\": [\n";
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    const SweepStageSeries& stage = stages[s];
+    out << "    {\"name\": \"" << json::escape(stage.name) << "\", \"ms\": [";
+    for (std::size_t i = 0; i < stage.ms.size(); ++i) {
+      out << (i ? ", " : "") << json::number(stage.ms[i]);
+    }
+    out << "], \"speedup\": [";
+    for (std::size_t i = 0; i < stage.ms.size(); ++i) {
+      const double speedup = stage.ms.empty() || stage.ms[i] == 0.0
+                                 ? 0.0
+                                 : stage.ms[0] / stage.ms[i];
+      out << (i ? ", " : "") << json::number(speedup);
+    }
+    out << "]}" << (s + 1 < stages.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+}  // namespace gp::obs

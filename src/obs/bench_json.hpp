@@ -1,0 +1,48 @@
+// Canonical builders for the machine-readable bench artifacts
+// (BENCH_latency_stages.json, BENCH_parallel.json).
+//
+// The bench binaries used to hand-roll these documents inline, which left
+// the schema pinned down nowhere; centralising the emission here gives the
+// golden-snapshot tests (tests/test_golden_snapshot.cpp) a single place to
+// pin the schema of every BENCH_*.json artifact external tooling consumes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gp::obs {
+
+/// One top-level latency series (e.g. "preprocessing") with its quantiles.
+struct LatencyQuantileRow {
+  std::string name;
+  HistogramSnapshot hist;
+};
+
+/// Builds the BENCH_latency_stages.json document: top-level quantile rows
+/// plus the GP_SPAN per-stage breakdown. Stages with zero observations are
+/// skipped. Schema (pinned by golden test `bench_latency_schema`):
+///   {iterations, top_level:[{name,count,mean_ms,p50_ms,p95_ms,p99_ms}],
+///    stages:[{name,min_depth,count,total_ms,mean_ms,p50_ms,p95_ms,p99_ms}]}
+std::string latency_stages_json(int iterations,
+                                const std::vector<LatencyQuantileRow>& top_level,
+                                const std::vector<StageSnapshot>& stages);
+
+/// One stage's wall-times across the swept thread counts.
+struct SweepStageSeries {
+  std::string name;
+  std::vector<double> ms;  ///< aligned with the swept thread counts
+};
+
+/// Builds the BENCH_parallel.json document. Speedups are derived from the
+/// first (lowest) thread count. Schema (pinned by golden test
+/// `bench_parallel_schema`):
+///   {hardware_concurrency, threads:[...], stages:[{name,ms:[],speedup:[]}]}
+std::string parallel_sweep_json(std::size_t hardware_concurrency,
+                                const std::vector<std::size_t>& threads,
+                                const std::vector<SweepStageSeries>& stages);
+
+}  // namespace gp::obs

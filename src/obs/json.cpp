@@ -127,7 +127,21 @@ class Parser {
     return parse_number();
   }
 
+  // A pathological input of the form "[[[[..." recurses once per bracket;
+  // cap nesting so adversarial payloads get a typed Error instead of a
+  // stack overflow. Real gp documents nest ~4 levels deep.
+  static constexpr int kMaxDepth = 200;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth) parser.fail("nesting depth exceeds limit");
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
+
   Value parse_object() {
+    DepthGuard guard(*this);
     expect('{');
     Value v;
     v.type = Value::Type::kObject;
@@ -153,6 +167,7 @@ class Parser {
   }
 
   Value parse_array() {
+    DepthGuard guard(*this);
     expect('[');
     Value v;
     v.type = Value::Type::kArray;
@@ -246,6 +261,7 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -39,14 +39,20 @@ void save_recording_file(const std::string& path, const FrameSequence& frames) {
 FrameSequence load_recording(std::istream& in) {
   BinaryReader reader(in, kTag);
   FrameSequence frames;
-  const std::uint64_t frame_count = reader.read_u64();
-  frames.reserve(frame_count);
+  // Minimum on-stream bytes: an empty frame is i32 + f64 + u64 point count;
+  // each point is 5 x f64 + i32. The counts are validated against the bytes
+  // actually left in the stream so corrupt length prefixes become typed
+  // SerializationErrors rather than unbounded allocations.
+  constexpr std::size_t kBytesPerFrame = sizeof(std::int32_t) + sizeof(double) + 8;
+  constexpr std::size_t kBytesPerPoint = 5 * sizeof(double) + sizeof(std::int32_t);
+  const std::uint64_t frame_count = reader.read_count(kBytesPerFrame, "recording frame");
+  frames.reserve(static_cast<std::size_t>(frame_count));
   for (std::uint64_t f = 0; f < frame_count; ++f) {
     FrameCloud frame;
     frame.frame_index = reader.read_i32();
     frame.timestamp = reader.read_f64();
-    const std::uint64_t point_count = reader.read_u64();
-    frame.points.reserve(point_count);
+    const std::uint64_t point_count = reader.read_count(kBytesPerPoint, "frame point");
+    frame.points.reserve(static_cast<std::size_t>(point_count));
     for (std::uint64_t i = 0; i < point_count; ++i) {
       RadarPoint p;
       p.position.x = reader.read_f64();

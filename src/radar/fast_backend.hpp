@@ -10,8 +10,9 @@
 //   * per-bin deduplication (a radar cannot resolve within one cell),
 //   * multipath ghost points and residual clutter injected at calibrated
 //     rates.
-// tests/test_radar_consistency.cpp asserts its per-frame statistics agree
-// with the full chain.
+// tests/test_oracles.cpp (BackendOracle) asserts its per-gesture cloud
+// statistics agree with the full chain within physical tolerance bands
+// (src/testkit/oracle.hpp: default_backend_bands()).
 #pragma once
 
 #include "common/rng.hpp"

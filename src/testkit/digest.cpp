@@ -1,0 +1,92 @@
+#include "testkit/digest.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace gp::testkit {
+
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+}
+
+double quantize(double v, double scale) {
+  if (std::isnan(v)) return std::numeric_limits<double>::quiet_NaN();
+  if (std::isinf(v)) return v;
+  const double snapped = static_cast<double>(std::llround(v * scale)) / scale;
+  return snapped == 0.0 ? 0.0 : snapped;  // normalise -0.0
+}
+
+Digest& Digest::add_bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h_ ^= p[i];
+    h_ *= kFnvPrime;
+  }
+  return *this;
+}
+
+Digest& Digest::add_u8(std::uint8_t v) { return add_bytes(&v, 1); }
+
+Digest& Digest::add_u32(std::uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  return add_bytes(b, sizeof(b));
+}
+
+Digest& Digest::add_u64(std::uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  return add_bytes(b, sizeof(b));
+}
+
+Digest& Digest::add_i64(std::int64_t v) { return add_u64(static_cast<std::uint64_t>(v)); }
+
+Digest& Digest::add_f64_bits(double v) { return add_u64(std::bit_cast<std::uint64_t>(v)); }
+
+Digest& Digest::add_f64_quantized(double v, double scale) {
+  if (std::isnan(v)) return add_u64(0x7FF8DEADBEEF0001ULL);  // canonical NaN marker
+  if (std::isinf(v)) return add_u64(v > 0 ? 0x7FF0DEADBEEF0002ULL : 0xFFF0DEADBEEF0003ULL);
+  // Clamp to the representable llround range before rounding: out-of-range
+  // llround is UB. Snapshot stats live in sane physical ranges anyway.
+  const double scaled = v * scale;
+  constexpr double kMax = 9.2e18;
+  if (scaled >= kMax) return add_u64(0x7FF0DEADBEEF0004ULL);
+  if (scaled <= -kMax) return add_u64(0xFFF0DEADBEEF0005ULL);
+  std::int64_t snapped = std::llround(scaled);
+  if (snapped == 0) snapped = 0;  // -0 impossible on integers; kept for clarity
+  return add_i64(snapped);
+}
+
+Digest& Digest::add_string(std::string_view s) {
+  add_u64(s.size());
+  return add_bytes(s.data(), s.size());
+}
+
+std::string Digest::hex() const {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 0; i < 16; ++i) out[15 - i] = kHex[(h_ >> (4 * i)) & 0xF];
+  return out;
+}
+
+std::uint64_t parse_digest_hex(std::string_view hex) {
+  if (hex.size() != 16) throw SerializationError("digest hex must be 16 chars");
+  std::uint64_t v = 0;
+  for (const char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      throw SerializationError("bad digest hex digit");
+    }
+  }
+  return v;
+}
+
+}  // namespace gp::testkit

@@ -1,0 +1,59 @@
+// Canonical digests for regression oracles (gp::testkit).
+//
+// Digest is a streaming FNV-1a-64 accumulator over a *canonical byte
+// encoding*: every value is serialised little-endian with an explicit width,
+// strings are length-prefixed, and floating-point values can be fed either
+// as raw IEEE-754 bits (bitwise oracles: serial-vs-parallel, cache-vs-fresh)
+// or *quantised* to a fixed grid (golden snapshots, where the last few ulps
+// are build-dependent but physical drift must be caught).
+//
+// The encoding is platform-stable: the same logical values produce the same
+// 64-bit digest on any little-endian build (big-endian hosts are normalised
+// explicitly), so digests can be checked into tests/golden/.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gp::testkit {
+
+/// Default quantisation grid for golden snapshots: values are snapped to
+/// multiples of 1/kDefaultQuantScale before hashing (1e-6 absolute).
+inline constexpr double kDefaultQuantScale = 1e6;
+
+/// Snaps `v` to the grid of multiples of 1/scale (round-half-away-from-zero
+/// via llround). Non-finite values map to sentinel grid points so NaN/Inf
+/// changes are still visible in the digest. -0.0 normalises to +0.0.
+double quantize(double v, double scale = kDefaultQuantScale);
+
+/// Streaming FNV-1a-64 over the canonical encoding described above.
+class Digest {
+ public:
+  Digest& add_bytes(const void* data, std::size_t n);
+  Digest& add_u8(std::uint8_t v);
+  Digest& add_u32(std::uint32_t v);
+  Digest& add_u64(std::uint64_t v);
+  Digest& add_i64(std::int64_t v);
+  /// Raw IEEE-754 bits (bitwise-equality oracles).
+  Digest& add_f64_bits(double v);
+  /// Quantised value (golden snapshots): hashes llround(v * scale).
+  Digest& add_f64_quantized(double v, double scale = kDefaultQuantScale);
+  /// Length-prefixed string (no terminator ambiguity).
+  Digest& add_string(std::string_view s);
+
+  std::uint64_t value() const { return h_; }
+  /// 16 lowercase hex digits.
+  std::string hex() const;
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ULL;  ///< FNV-1a offset basis
+};
+
+/// Parses a Digest::hex() string back to the 64-bit value; throws
+/// gp::SerializationError on malformed input.
+std::uint64_t parse_digest_hex(std::string_view hex);
+
+}  // namespace gp::testkit

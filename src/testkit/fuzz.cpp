@@ -1,0 +1,157 @@
+#include "testkit/fuzz.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gp::testkit {
+
+namespace {
+
+std::string hex_prefix(const std::string& payload, std::size_t max_bytes = 96) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  const std::size_t n = std::min(payload.size(), max_bytes);
+  out.reserve(n * 2 + 16);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto b = static_cast<unsigned char>(payload[i]);
+    out += kHex[b >> 4];
+    out += kHex[b & 0xF];
+  }
+  if (payload.size() > max_bytes) out += "...";
+  return out;
+}
+
+}  // namespace
+
+std::string FuzzOutcome::summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "fuzz[%s]: %zu runs, %zu accepted, %zu typed errors, %zu contract violations",
+                target.c_str(), executions, accepted, typed_errors, failures.size());
+  return buf;
+}
+
+std::vector<std::string> load_corpus_dir(const std::string& dir) {
+  std::vector<std::string> seeds;
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir, ec)) return seeds;
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    seeds.push_back(buf.str());
+  }
+  return seeds;
+}
+
+std::string mutate(const std::string& input, const std::vector<std::string>& all_seeds,
+                   Rng& rng, std::size_t max_payload) {
+  std::string out = input;
+  const int op = rng.uniform_int(0, 5);
+  switch (op) {
+    case 0: {  // bit flip
+      if (out.empty()) { out.push_back('\0'); break; }
+      const std::size_t pos = rng.index(out.size());
+      out[pos] = static_cast<char>(static_cast<unsigned char>(out[pos]) ^
+                                   (1u << rng.uniform_int(0, 7)));
+      break;
+    }
+    case 1: {  // byte substitution (interesting values over-represented)
+      if (out.empty()) { out.push_back('\xff'); break; }
+      static constexpr unsigned char kInteresting[] = {0x00, 0x01, 0x7F, 0x80, 0xFF,
+                                                       0xFE, 0x10, 0x20, 0x41};
+      const std::size_t pos = rng.index(out.size());
+      out[pos] = rng.bernoulli(0.5)
+                     ? static_cast<char>(kInteresting[rng.index(sizeof(kInteresting))])
+                     : static_cast<char>(rng.uniform_int(0, 255));
+      break;
+    }
+    case 2: {  // truncate
+      if (!out.empty()) out.resize(rng.index(out.size() + 1));
+      break;
+    }
+    case 3: {  // extend with random bytes
+      const std::size_t extra = 1 + rng.index(64);
+      for (std::size_t i = 0; i < extra; ++i) {
+        out.push_back(static_cast<char>(rng.uniform_int(0, 255)));
+      }
+      break;
+    }
+    case 4: {  // splice: head of this payload + tail of another seed
+      if (all_seeds.empty()) break;
+      const std::string& other = all_seeds[rng.index(all_seeds.size())];
+      const std::size_t head = out.empty() ? 0 : rng.index(out.size() + 1);
+      const std::size_t tail_at = other.empty() ? 0 : rng.index(other.size() + 1);
+      out = out.substr(0, head) + other.substr(tail_at);
+      break;
+    }
+    default: {  // length-prefix attack: overwrite 8 aligned bytes with a huge LE count
+      if (out.size() < 8) { out.append(8 - out.size(), '\0'); }
+      const std::size_t pos = rng.index(out.size() - 7);
+      const std::uint64_t huge =
+          rng.bernoulli(0.5) ? 0xFFFFFFFFFFFFFFFFULL : (1ULL << (32 + rng.uniform_int(0, 28)));
+      for (int i = 0; i < 8; ++i) out[pos + i] = static_cast<char>(huge >> (8 * i));
+      break;
+    }
+  }
+  if (out.size() > max_payload) out.resize(max_payload);
+  return out;
+}
+
+FuzzOutcome fuzz_target(const std::string& name, const std::vector<std::string>& seeds,
+                        const FuzzTarget& target, const FuzzOptions& options) {
+  FuzzOutcome outcome;
+  outcome.target = name;
+
+  const auto execute = [&](const std::string& payload, const char* origin) {
+    ++outcome.executions;
+    try {
+      target(payload);
+      ++outcome.accepted;
+    } catch (const Error&) {
+      ++outcome.typed_errors;  // clean, typed rejection — the contract
+    } catch (const std::exception& e) {
+      if (outcome.failures.size() < 8) {
+        outcome.failures.push_back("target '" + name + "' (" + origin + ") leaked " +
+                                   std::string(e.what()) + "; payload[" +
+                                   std::to_string(payload.size()) + "B] = " +
+                                   hex_prefix(payload));
+      }
+    } catch (...) {
+      if (outcome.failures.size() < 8) {
+        outcome.failures.push_back("target '" + name + "' (" + origin +
+                                   ") threw a non-std exception; payload[" +
+                                   std::to_string(payload.size()) + "B] = " +
+                                   hex_prefix(payload));
+      }
+    }
+  };
+
+  for (const std::string& seed : seeds) execute(seed, "seed");
+
+  Rng rng(options.seed, 0xF022A6B1C3D4E5F6ULL);
+  for (std::size_t i = 0; i < options.iterations; ++i) {
+    std::string payload =
+        seeds.empty() ? std::string() : seeds[rng.index(seeds.size())];
+    const std::size_t rounds = 1 + rng.index(options.max_mutations);
+    for (std::size_t m = 0; m < rounds; ++m) {
+      payload = mutate(payload, seeds, rng, options.max_payload);
+    }
+    execute(payload, "mutant");
+  }
+  return outcome;
+}
+
+}  // namespace gp::testkit

@@ -1,0 +1,65 @@
+// Structured, seed-driven fuzzing (gp::testkit).
+//
+// A deliberately small in-process mutation engine: corpus seeds (valid
+// example payloads, committed under tests/corpus/) are mutated with
+// bit-flips, byte substitutions, truncations, extensions and cross-seed
+// splices, and each mutant is fed to a parser/decoder target. The contract
+// under test is *crash-freedom and clean error propagation*:
+//
+//   * returning normally is fine (the mutant happened to stay valid);
+//   * throwing gp::Error (or a subclass, e.g. SerializationError /
+//     InvalidArgument) is fine — that is the typed-error contract;
+//   * any other exception (std::bad_alloc from an unchecked length prefix,
+//     std::length_error, ...) or UB caught by ASan/TSan is a bug.
+//
+// Determinism: the mutation stream is a pure function of (options.seed,
+// corpus content), so a failing run reproduces exactly; the first failing
+// payload is dumped hex-encoded for triage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gp::testkit {
+
+/// A target consumes one payload; see the contract above.
+using FuzzTarget = std::function<void(const std::string& payload)>;
+
+struct FuzzOptions {
+  std::size_t iterations = 400;  ///< mutants per target
+  std::uint64_t seed = 0x5EEDF00DULL;
+  std::size_t max_mutations = 4;   ///< mutation ops applied per mutant
+  std::size_t max_payload = 1 << 16;  ///< mutants are clipped to this size
+};
+
+struct FuzzOutcome {
+  std::string target;
+  std::size_t executions = 0;
+  std::size_t accepted = 0;      ///< target returned normally
+  std::size_t typed_errors = 0;  ///< target threw gp::Error
+  std::vector<std::string> failures;  ///< diagnostic per contract violation
+
+  bool clean() const { return failures.empty(); }
+  /// One-line summary for logging.
+  std::string summary() const;
+};
+
+/// Loads every regular file in `dir` (sorted by filename) as a seed payload.
+/// Missing directory -> empty corpus (callers add built-in seeds anyway).
+std::vector<std::string> load_corpus_dir(const std::string& dir);
+
+/// Applies one random mutation op. `all_seeds` feeds the splice op.
+std::string mutate(const std::string& input, const std::vector<std::string>& all_seeds,
+                   Rng& rng, std::size_t max_payload);
+
+/// Runs the engine: every seed verbatim first, then `options.iterations`
+/// mutants. Exceptions are classified per the contract above.
+FuzzOutcome fuzz_target(const std::string& name, const std::vector<std::string>& seeds,
+                        const FuzzTarget& target, const FuzzOptions& options = {});
+
+}  // namespace gp::testkit

@@ -1,0 +1,96 @@
+#include "testkit/golden.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace gp::testkit {
+
+namespace {
+
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  const std::string_view s(v);
+  return !(s.empty() || s == "0" || s == "off" || s == "false");
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot read golden file: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::filesystem::create_directories(std::filesystem::path(path).parent_path());
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw Error("cannot write golden file: " + path);
+  out << content;
+}
+
+}  // namespace
+
+GoldenConfig golden_config_from_env(int argc, const char* const* argv,
+                                    const std::string& default_dir) {
+  GoldenConfig config;
+  if (const char* dir = std::getenv("GP_GOLDEN_DIR")) config.dir = dir;
+  if (config.dir.empty()) config.dir = default_dir;
+  config.update = env_truthy("GP_UPDATE_GOLDEN");
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--update-golden") config.update = true;
+  }
+  return config;
+}
+
+GoldenOutcome check_golden(const GoldenConfig& config, const std::string& name,
+                           const Snapshot& current) {
+  check_arg(!config.dir.empty(), "golden directory not configured (set GP_GOLDEN_DIR)");
+  const std::string path = config.dir + "/" + name + ".golden";
+  GoldenOutcome outcome;
+
+  if (!std::filesystem::exists(path)) {
+    if (config.update) {
+      write_file(path, to_text(current));
+      outcome.ok = true;
+      outcome.updated = true;
+      outcome.created = true;
+      outcome.message = "golden created: " + path + "\n";
+    } else {
+      outcome.ok = false;
+      outcome.message = "golden missing: " + path +
+                        "\nrun the test with --update-golden (or GP_UPDATE_GOLDEN=1) "
+                        "to create it, then review and commit the file\n";
+    }
+    return outcome;
+  }
+
+  const Snapshot golden = parse_text(read_file(path));
+  outcome.diff = diff_snapshots(golden, current);
+  if (outcome.diff.identical()) {
+    outcome.ok = true;
+    outcome.message = "golden match: " + path + "\n";
+    return outcome;
+  }
+
+  if (config.update) {
+    write_file(path, to_text(current));
+    outcome.ok = true;
+    outcome.updated = true;
+    outcome.message = "golden updated: " + path + "\n" + outcome.diff.report();
+    return outcome;
+  }
+
+  outcome.ok = false;
+  outcome.message = "golden mismatch: " + path + "\n" + outcome.diff.report() +
+                    "if the drift is intended, regenerate with --update-golden and "
+                    "review the diff above before committing\n";
+  return outcome;
+}
+
+}  // namespace gp::testkit

@@ -1,0 +1,40 @@
+// Golden-file workflow (gp::testkit).
+//
+// check_golden() compares a freshly computed Snapshot against the checked-in
+// golden under GoldenConfig::dir. In normal runs a mismatch fails with a
+// reviewable per-stage diff (first divergent stage named). In update mode
+// (--update-golden on the test command line, or GP_UPDATE_GOLDEN=1) the
+// golden file is rewritten instead and the same diff is printed so the
+// regeneration is reviewable before committing.
+#pragma once
+
+#include <string>
+
+#include "testkit/snapshot.hpp"
+
+namespace gp::testkit {
+
+struct GoldenConfig {
+  std::string dir;      ///< directory holding <name>.golden files
+  bool update = false;  ///< rewrite goldens instead of failing on drift
+};
+
+/// Builds a GoldenConfig from the environment and argv:
+///  * dir: GP_GOLDEN_DIR env var (required unless `default_dir` is given);
+///  * update: --update-golden anywhere in argv, or GP_UPDATE_GOLDEN=1.
+GoldenConfig golden_config_from_env(int argc, const char* const* argv,
+                                    const std::string& default_dir = "");
+
+struct GoldenOutcome {
+  bool ok = false;       ///< matched, or was (re)written in update mode
+  bool updated = false;  ///< golden file was rewritten
+  bool created = false;  ///< golden file did not exist and was created
+  SnapshotDiff diff;
+  std::string message;   ///< printable report (diff / instructions)
+};
+
+/// Compares `current` against `<config.dir>/<name>.golden`.
+GoldenOutcome check_golden(const GoldenConfig& config, const std::string& name,
+                           const Snapshot& current);
+
+}  // namespace gp::testkit

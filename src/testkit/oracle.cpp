@@ -1,0 +1,189 @@
+#include "testkit/oracle.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+
+#include "testkit/digest.hpp"
+
+namespace gp::testkit {
+
+CloudStats cloud_stats(const FrameSequence& frames) {
+  CloudStats s;
+  s.frames = static_cast<double>(frames.size());
+  double sum_range = 0.0, sum_absv = 0.0, sum_absv_sq = 0.0, sum_snr = 0.0;
+  double min_x = 0.0, max_x = 0.0, min_y = 0.0, max_y = 0.0, min_z = 0.0, max_z = 0.0;
+  std::size_t n = 0, active = 0;
+  for (const FrameCloud& frame : frames) {
+    if (!frame.points.empty()) ++active;
+    for (const RadarPoint& p : frame.points) {
+      const double absv = std::abs(p.velocity);
+      sum_range += p.position.norm();
+      sum_absv += absv;
+      sum_absv_sq += absv * absv;
+      sum_snr += p.snr_db;
+      if (n == 0) {
+        min_x = max_x = p.position.x;
+        min_y = max_y = p.position.y;
+        min_z = max_z = p.position.z;
+      } else {
+        min_x = std::min(min_x, p.position.x);
+        max_x = std::max(max_x, p.position.x);
+        min_y = std::min(min_y, p.position.y);
+        max_y = std::max(max_y, p.position.y);
+        min_z = std::min(min_z, p.position.z);
+        max_z = std::max(max_z, p.position.z);
+      }
+      ++n;
+    }
+  }
+  s.total_points = static_cast<double>(n);
+  s.points_per_frame = frames.empty() ? 0.0 : s.total_points / s.frames;
+  s.active_frame_fraction =
+      frames.empty() ? 0.0 : static_cast<double>(active) / s.frames;
+  if (n > 0) {
+    const double dn = static_cast<double>(n);
+    s.mean_range_m = sum_range / dn;
+    s.mean_abs_velocity_mps = sum_absv / dn;
+    const double var = sum_absv_sq / dn - s.mean_abs_velocity_mps * s.mean_abs_velocity_mps;
+    s.velocity_spread_mps = var > 0.0 ? std::sqrt(var) : 0.0;
+    s.mean_snr_db = sum_snr / dn;
+    s.extent_x_m = max_x - min_x;
+    s.extent_y_m = max_y - min_y;
+    s.extent_z_m = max_z - min_z;
+  }
+  return s;
+}
+
+namespace {
+
+double stat_by_name(const CloudStats& s, const std::string& name) {
+  if (name == "points_per_frame") return s.points_per_frame;
+  if (name == "active_frame_fraction") return s.active_frame_fraction;
+  if (name == "mean_range_m") return s.mean_range_m;
+  if (name == "mean_abs_velocity_mps") return s.mean_abs_velocity_mps;
+  if (name == "velocity_spread_mps") return s.velocity_spread_mps;
+  if (name == "mean_snr_db") return s.mean_snr_db;
+  if (name == "extent_x_m") return s.extent_x_m;
+  if (name == "extent_y_m") return s.extent_y_m;
+  if (name == "extent_z_m") return s.extent_z_m;
+  if (name == "total_points") return s.total_points;
+  return std::nan("");
+}
+
+}  // namespace
+
+std::vector<StatBand> default_backend_bands() {
+  using Kind = StatBand::Kind;
+  // The fast backend is a calibrated statistical surrogate, not a bit
+  // reproduction: detection counts agree within ~2x (matching the seed's
+  // RadarConsistency tolerance), geometry within a couple of range bins,
+  // Doppler spread within ~2x, SNR within the CFAR estimation noise.
+  return {
+      {"points_per_frame", Kind::kRatio, 0.4, 2.5},
+      {"active_frame_fraction", Kind::kRatio, 0.5, 2.0},
+      {"mean_range_m", Kind::kAbsDiff, 0.0, 0.15},
+      {"mean_abs_velocity_mps", Kind::kRatio, 0.35, 2.8},
+      {"velocity_spread_mps", Kind::kRatio, 0.3, 3.0},
+      {"mean_snr_db", Kind::kAbsDiff, 0.0, 8.0},
+      {"extent_y_m", Kind::kAbsDiff, 0.0, 0.5},
+      {"extent_z_m", Kind::kAbsDiff, 0.0, 0.6},
+  };
+}
+
+std::vector<std::string> check_stat_bands(const CloudStats& a, const CloudStats& b,
+                                          const std::vector<StatBand>& bands) {
+  std::vector<std::string> violations;
+  char buf[256];
+  for (const StatBand& band : bands) {
+    const double va = stat_by_name(a, band.name);
+    const double vb = stat_by_name(b, band.name);
+    if (std::isnan(va) || std::isnan(vb)) {
+      violations.push_back("unknown stat band: " + band.name);
+      continue;
+    }
+    if (band.kind == StatBand::Kind::kRatio) {
+      if (vb == 0.0) {
+        if (va != 0.0) {
+          std::snprintf(buf, sizeof(buf), "%s: ratio undefined (a=%g, b=0)", band.name.c_str(),
+                        va);
+          violations.push_back(buf);
+        }
+        continue;
+      }
+      const double ratio = va / vb;
+      if (ratio < band.lo || ratio > band.hi) {
+        std::snprintf(buf, sizeof(buf), "%s: ratio %.4f outside [%.2f, %.2f] (a=%g, b=%g)",
+                      band.name.c_str(), ratio, band.lo, band.hi, va, vb);
+        violations.push_back(buf);
+      }
+    } else {
+      const double diff = std::abs(va - vb);
+      if (diff > band.hi) {
+        std::snprintf(buf, sizeof(buf), "%s: |a-b| = %.4f exceeds %.2f (a=%g, b=%g)",
+                      band.name.c_str(), diff, band.hi, va, vb);
+        violations.push_back(buf);
+      }
+    }
+  }
+  return violations;
+}
+
+std::uint64_t exact_digest(const FrameSequence& frames) {
+  Digest d;
+  d.add_u64(frames.size());
+  for (const FrameCloud& frame : frames) {
+    d.add_i64(frame.frame_index);
+    d.add_f64_bits(frame.timestamp);
+    d.add_u64(frame.points.size());
+    for (const RadarPoint& p : frame.points) {
+      d.add_f64_bits(p.position.x);
+      d.add_f64_bits(p.position.y);
+      d.add_f64_bits(p.position.z);
+      d.add_f64_bits(p.velocity);
+      d.add_f64_bits(p.snr_db);
+      d.add_i64(p.frame);
+    }
+  }
+  return d.value();
+}
+
+std::uint64_t exact_digest(const Dataset& dataset) {
+  Digest d;
+  d.add_string(dataset.spec.name);
+  d.add_u64(dataset.users.size());
+  d.add_u64(dataset.spec.gestures.size());
+  d.add_u64(dataset.samples.size());
+  for (const GestureSample& sample : dataset.samples) {
+    d.add_i64(sample.gesture);
+    d.add_i64(sample.user);
+    d.add_i64(sample.environment);
+    d.add_f64_bits(sample.distance);
+    d.add_f64_bits(sample.speed);
+    d.add_u64(sample.active_frames);
+    d.add_u64(sample.cloud.num_frames);
+    d.add_i64(sample.cloud.first_frame);
+    d.add_f64_bits(sample.cloud.duration_s);
+    d.add_u64(sample.cloud.points.size());
+    for (const RadarPoint& p : sample.cloud.points) {
+      d.add_f64_bits(p.position.x);
+      d.add_f64_bits(p.position.y);
+      d.add_f64_bits(p.position.z);
+      d.add_f64_bits(p.velocity);
+      d.add_f64_bits(p.snr_db);
+      d.add_i64(p.frame);
+    }
+  }
+  return d.value();
+}
+
+std::uint64_t exact_digest(const nn::Tensor& tensor) {
+  Digest d;
+  d.add_u64(tensor.rows());
+  d.add_u64(tensor.cols());
+  for (const float v : tensor.vec()) d.add_u32(std::bit_cast<std::uint32_t>(v));
+  return d.value();
+}
+
+}  // namespace gp::testkit

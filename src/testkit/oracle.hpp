@@ -1,0 +1,70 @@
+// Differential oracles (gp::testkit).
+//
+// The repo deliberately maintains two independent signal paths — the full
+// FMCW chirp-level chain and the fast geometric backend — plus several
+// pairs of code paths that must agree exactly (serial vs GP_THREADS=N,
+// cache-hit vs fresh synthesis, serialize→reload vs in-memory). This header
+// provides the two comparison families:
+//
+//  * CloudStats + check_stat_bands: *physical-tolerance* agreement between
+//    the two radar backends. GesturePrint's identifiability signal lives in
+//    per-user point-cloud statistics (§III), so these are exactly the
+//    quantities whose agreement keeps the fast backend a credible surrogate.
+//  * exact_digest(...): full-precision (raw IEEE bit) digests for the
+//    bitwise-equality oracles, where any deviation at all is a bug.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datasets/dataset.hpp"
+#include "nn/tensor.hpp"
+#include "pointcloud/point.hpp"
+
+namespace gp::testkit {
+
+/// Aggregate statistics of a per-frame point-cloud stream.
+struct CloudStats {
+  double frames = 0.0;
+  double total_points = 0.0;
+  double points_per_frame = 0.0;      ///< over all frames
+  double active_frame_fraction = 0.0; ///< frames with >= 1 detection
+  double mean_range_m = 0.0;
+  double mean_abs_velocity_mps = 0.0;
+  double velocity_spread_mps = 0.0;   ///< stddev of |v|
+  double mean_snr_db = 0.0;
+  double extent_x_m = 0.0;
+  double extent_y_m = 0.0;
+  double extent_z_m = 0.0;
+};
+
+CloudStats cloud_stats(const FrameSequence& frames);
+
+/// One tolerance band on the relation between two backends' statistics.
+/// kRatio checks lo <= a/b <= hi; kAbsDiff checks |a-b| <= hi.
+struct StatBand {
+  enum class Kind { kRatio, kAbsDiff };
+  std::string name;
+  Kind kind = Kind::kRatio;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Physical tolerance bands under which the full FMCW chain and the fast
+/// geometric backend must agree on the same scene (clutter/ghosts disabled).
+/// Derived from the fast backend's calibration contract (fast_backend.hpp).
+std::vector<StatBand> default_backend_bands();
+
+/// Returns one human-readable violation string per band that fails;
+/// empty result means the oracle passes.
+std::vector<std::string> check_stat_bands(const CloudStats& a, const CloudStats& b,
+                                          const std::vector<StatBand>& bands);
+
+// ---- bitwise-equality digests (raw IEEE bits, no quantisation) ------------
+
+std::uint64_t exact_digest(const FrameSequence& frames);
+std::uint64_t exact_digest(const Dataset& dataset);
+std::uint64_t exact_digest(const nn::Tensor& tensor);
+
+}  // namespace gp::testkit

@@ -1,0 +1,430 @@
+#include "testkit/snapshot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gp::testkit {
+
+namespace {
+
+/// Formats a quantised stat value so that it round-trips through strtod.
+std::string format_stat(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+void add_stat(StageSummary& s, Digest& d, const std::string& name, double value) {
+  const double q = quantize(value);
+  d.add_string(name);
+  d.add_f64_quantized(value);
+  s.stats.push_back({name, q});
+}
+
+struct Accumulator {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+
+  void push(double v) {
+    if (n == 0) {
+      min = max = v;
+    } else {
+      min = std::min(min, v);
+      max = std::max(max, v);
+    }
+    sum += v;
+    sum_sq += v * v;
+    ++n;
+  }
+  double mean() const { return n > 0 ? sum / static_cast<double>(n) : 0.0; }
+  double stddev() const {
+    if (n == 0) return 0.0;
+    const double m = mean();
+    const double var = sum_sq / static_cast<double>(n) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+};
+
+void digest_point(Digest& d, const RadarPoint& p) {
+  d.add_f64_quantized(p.position.x);
+  d.add_f64_quantized(p.position.y);
+  d.add_f64_quantized(p.position.z);
+  d.add_f64_quantized(p.velocity);
+  d.add_f64_quantized(p.snr_db);
+  d.add_i64(p.frame);
+}
+
+/// Shared point-cloud statistics block (frames and aggregated clouds).
+void add_cloud_stats(StageSummary& s, Digest& d, const PointCloud& points) {
+  Accumulator range, vx, vy, vz, vel, snr;
+  for (const RadarPoint& p : points) {
+    range.push(p.position.norm());
+    vx.push(p.position.x);
+    vy.push(p.position.y);
+    vz.push(p.position.z);
+    vel.push(std::abs(p.velocity));
+    snr.push(p.snr_db);
+  }
+  add_stat(s, d, "points", static_cast<double>(points.size()));
+  add_stat(s, d, "mean_range_m", range.mean());
+  add_stat(s, d, "mean_x_m", vx.mean());
+  add_stat(s, d, "mean_y_m", vy.mean());
+  add_stat(s, d, "mean_z_m", vz.mean());
+  add_stat(s, d, "extent_x_m", vx.max - vx.min);
+  add_stat(s, d, "extent_y_m", vy.max - vy.min);
+  add_stat(s, d, "extent_z_m", vz.max - vz.min);
+  add_stat(s, d, "mean_abs_velocity_mps", vel.mean());
+  add_stat(s, d, "velocity_spread_mps", vel.stddev());
+  add_stat(s, d, "mean_snr_db", snr.mean());
+}
+
+void collect_json_paths(const obs::json::Value& v, const std::string& prefix,
+                        std::vector<std::string>& out) {
+  using Type = obs::json::Value::Type;
+  switch (v.type) {
+    case Type::kObject:
+      if (v.obj.empty()) out.push_back(prefix + ":{}");
+      for (const auto& [key, member] : v.obj) {
+        collect_json_paths(member, prefix.empty() ? key : prefix + "." + key, out);
+      }
+      break;
+    case Type::kArray:
+      if (v.arr.empty()) {
+        out.push_back(prefix + "[]:empty");
+      } else {
+        // Arrays are homogeneous in our documents; the first element pins
+        // the element schema.
+        collect_json_paths(v.arr.front(), prefix + "[]", out);
+      }
+      break;
+    case Type::kString: out.push_back(prefix + ":s"); break;
+    case Type::kNumber: out.push_back(prefix + ":n"); break;
+    case Type::kBool: out.push_back(prefix + ":b"); break;
+    case Type::kNull: out.push_back(prefix + ":0"); break;
+  }
+}
+
+}  // namespace
+
+const StageStat* StageSummary::find_stat(const std::string& name) const {
+  for (const auto& stat : stats) {
+    if (stat.name == name) return &stat;
+  }
+  return nullptr;
+}
+
+const StageSummary* Snapshot::find(const std::string& stage) const {
+  for (const auto& s : stages) {
+    if (s.stage == stage) return &s;
+  }
+  return nullptr;
+}
+
+StageSummary summarize_radar_config(const std::string& stage, const RadarConfig& config) {
+  StageSummary s{stage, 0, {}};
+  Digest d;
+  // Scaled units keep every value inside the quantisation grid's range.
+  add_stat(s, d, "carrier_ghz", config.carrier_hz / 1e9);
+  add_stat(s, d, "bandwidth_ghz", config.bandwidth_hz() / 1e9);
+  add_stat(s, d, "range_resolution_m", config.range_resolution);
+  add_stat(s, d, "max_range_m", config.max_range());
+  add_stat(s, d, "chirp_duration_us", config.chirp_duration_s() * 1e6);
+  add_stat(s, d, "adc_rate_msps", config.adc_rate_hz() / 1e6);
+  add_stat(s, d, "max_velocity_mps", config.max_velocity);
+  add_stat(s, d, "velocity_resolution_mps", config.velocity_resolution());
+  add_stat(s, d, "num_samples", static_cast<double>(config.num_samples));
+  add_stat(s, d, "num_chirps", static_cast<double>(config.num_chirps));
+  add_stat(s, d, "virtual_antennas", static_cast<double>(config.num_virtual_antennas()));
+  add_stat(s, d, "angle_fft_size", static_cast<double>(config.angle_fft_size));
+  add_stat(s, d, "frame_rate_hz", config.frame_rate);
+  add_stat(s, d, "noise_sigma", config.noise_sigma);
+  add_stat(s, d, "tx_gain", config.tx_gain);
+  s.digest = d.value();
+  return s;
+}
+
+StageSummary summarize_scene(const std::string& stage, const SceneSequence& scene) {
+  StageSummary s{stage, 0, {}};
+  Digest d;
+  Accumulator per_frame, speed, rcs, y;
+  for (const SceneFrame& frame : scene) {
+    per_frame.push(static_cast<double>(frame.reflectors.size()));
+    d.add_i64(frame.frame_index);
+    d.add_f64_quantized(frame.timestamp);
+    for (const Reflector& r : frame.reflectors) {
+      speed.push(r.velocity.norm());
+      rcs.push(r.rcs);
+      y.push(r.position.y);
+      d.add_f64_quantized(r.position.x);
+      d.add_f64_quantized(r.position.y);
+      d.add_f64_quantized(r.position.z);
+      d.add_f64_quantized(r.velocity.x);
+      d.add_f64_quantized(r.velocity.y);
+      d.add_f64_quantized(r.velocity.z);
+      d.add_f64_quantized(r.rcs);
+    }
+  }
+  add_stat(s, d, "frames", static_cast<double>(scene.size()));
+  add_stat(s, d, "reflectors_per_frame", per_frame.mean());
+  add_stat(s, d, "mean_reflector_speed_mps", speed.mean());
+  add_stat(s, d, "mean_rcs", rcs.mean());
+  add_stat(s, d, "mean_y_m", y.mean());
+  s.digest = d.value();
+  return s;
+}
+
+StageSummary summarize_frames(const std::string& stage, const FrameSequence& frames) {
+  StageSummary s{stage, 0, {}};
+  Digest d;
+  PointCloud all;
+  std::size_t active = 0;
+  for (const FrameCloud& frame : frames) {
+    d.add_i64(frame.frame_index);
+    d.add_f64_quantized(frame.timestamp);
+    d.add_u64(frame.points.size());
+    for (const RadarPoint& p : frame.points) digest_point(d, p);
+    if (!frame.points.empty()) ++active;
+    all.insert(all.end(), frame.points.begin(), frame.points.end());
+  }
+  add_stat(s, d, "frames", static_cast<double>(frames.size()));
+  add_stat(s, d, "active_frame_fraction",
+           frames.empty() ? 0.0 : static_cast<double>(active) / static_cast<double>(frames.size()));
+  add_cloud_stats(s, d, all);
+  s.digest = d.value();
+  return s;
+}
+
+StageSummary summarize_gesture_cloud(const std::string& stage, const GestureCloud& cloud) {
+  StageSummary s{stage, 0, {}};
+  Digest d;
+  for (const RadarPoint& p : cloud.points) digest_point(d, p);
+  add_stat(s, d, "num_frames", static_cast<double>(cloud.num_frames));
+  add_stat(s, d, "first_frame", static_cast<double>(cloud.first_frame));
+  add_stat(s, d, "duration_s", cloud.duration_s);
+  add_cloud_stats(s, d, cloud.points);
+  s.digest = d.value();
+  return s;
+}
+
+StageSummary summarize_features(const std::string& stage, const FeaturizedSample& sample) {
+  StageSummary s{stage, 0, {}};
+  Digest d;
+  for (const float v : sample.positions) d.add_f64_quantized(v);
+  for (const float v : sample.features) d.add_f64_quantized(v);
+  add_stat(s, d, "num_points", static_cast<double>(sample.num_points));
+  add_stat(s, d, "dims", static_cast<double>(sample.dims));
+  // Per-channel means expose which feature channel a regression bent.
+  for (std::size_t c = 0; c < sample.dims; ++c) {
+    Accumulator acc;
+    for (std::size_t i = 0; i < sample.num_points; ++i) {
+      acc.push(sample.features[i * sample.dims + c]);
+    }
+    add_stat(s, d, "feature_mean_ch" + std::to_string(c), acc.mean());
+  }
+  s.digest = d.value();
+  return s;
+}
+
+StageSummary summarize_tensor(const std::string& stage, const nn::Tensor& tensor) {
+  StageSummary s{stage, 0, {}};
+  Digest d;
+  Accumulator acc, abs_acc;
+  for (const float v : tensor.vec()) {
+    acc.push(v);
+    abs_acc.push(std::abs(v));
+    d.add_f64_quantized(v);
+  }
+  add_stat(s, d, "rows", static_cast<double>(tensor.rows()));
+  add_stat(s, d, "cols", static_cast<double>(tensor.cols()));
+  add_stat(s, d, "mean", acc.mean());
+  add_stat(s, d, "mean_abs", abs_acc.mean());
+  add_stat(s, d, "min", acc.n > 0 ? acc.min : 0.0);
+  add_stat(s, d, "max", acc.n > 0 ? acc.max : 0.0);
+  s.digest = d.value();
+  return s;
+}
+
+StageSummary summarize_dataset(const std::string& stage, const Dataset& dataset) {
+  StageSummary s{stage, 0, {}};
+  Digest d;
+  Accumulator points, active, duration;
+  for (const GestureSample& sample : dataset.samples) {
+    d.add_i64(sample.gesture);
+    d.add_i64(sample.user);
+    d.add_i64(sample.environment);
+    d.add_f64_quantized(sample.distance);
+    d.add_f64_quantized(sample.speed);
+    d.add_u64(sample.active_frames);
+    for (const RadarPoint& p : sample.cloud.points) digest_point(d, p);
+    points.push(static_cast<double>(sample.cloud.points.size()));
+    active.push(static_cast<double>(sample.active_frames));
+    duration.push(sample.cloud.duration_s);
+  }
+  add_stat(s, d, "samples", static_cast<double>(dataset.samples.size()));
+  add_stat(s, d, "users", static_cast<double>(dataset.num_users()));
+  add_stat(s, d, "gestures", static_cast<double>(dataset.num_gestures()));
+  add_stat(s, d, "points_per_sample", points.mean());
+  add_stat(s, d, "active_frames_mean", active.mean());
+  add_stat(s, d, "duration_mean_s", duration.mean());
+  s.digest = d.value();
+  return s;
+}
+
+StageSummary summarize_json_schema(const std::string& stage, const obs::json::Value& doc) {
+  StageSummary s{stage, 0, {}};
+  std::vector<std::string> paths;
+  collect_json_paths(doc, "", paths);
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  Digest d;
+  for (const std::string& p : paths) d.add_string(p);
+  add_stat(s, d, "schema_paths", static_cast<double>(paths.size()));
+  s.digest = d.value();
+  return s;
+}
+
+std::string to_text(const Snapshot& snapshot) {
+  std::ostringstream out;
+  out << "# gp golden snapshot v1\n";
+  for (const StageSummary& s : snapshot.stages) {
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(s.digest));
+    out << "stage " << s.stage << " digest=" << hex << "\n";
+    for (const StageStat& stat : s.stats) {
+      out << "  stat " << stat.name << " " << format_stat(stat.value) << "\n";
+    }
+  }
+  return out.str();
+}
+
+Snapshot parse_text(const std::string& text) {
+  Snapshot snapshot;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip trailing CR for robustness against CRLF checkouts.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string kind;
+    ls >> kind;
+    if (kind == "stage") {
+      std::string name, digest_field;
+      ls >> name >> digest_field;
+      if (name.empty() || digest_field.rfind("digest=", 0) != 0) {
+        throw SerializationError("snapshot: malformed stage line " + std::to_string(line_no));
+      }
+      StageSummary s;
+      s.stage = name;
+      s.digest = parse_digest_hex(digest_field.substr(7));
+      snapshot.stages.push_back(std::move(s));
+    } else if (kind == "stat") {
+      if (snapshot.stages.empty()) {
+        throw SerializationError("snapshot: stat before any stage at line " +
+                                 std::to_string(line_no));
+      }
+      std::string name;
+      double value = 0.0;
+      ls >> name >> value;
+      if (name.empty() || ls.fail()) {
+        throw SerializationError("snapshot: malformed stat line " + std::to_string(line_no));
+      }
+      snapshot.stages.back().stats.push_back({name, value});
+    } else {
+      throw SerializationError("snapshot: unknown record '" + kind + "' at line " +
+                               std::to_string(line_no));
+    }
+  }
+  return snapshot;
+}
+
+SnapshotDiff diff_snapshots(const Snapshot& golden, const Snapshot& current) {
+  SnapshotDiff diff;
+  for (const StageSummary& cur : current.stages) {
+    const StageSummary* gold = golden.find(cur.stage);
+    if (gold == nullptr) {
+      StageDrift drift;
+      drift.stage = cur.stage;
+      drift.missing_in_golden = true;
+      drift.current_digest = cur.digest;
+      diff.drifted.push_back(std::move(drift));
+      continue;
+    }
+    if (gold->digest == cur.digest) continue;
+    StageDrift drift;
+    drift.stage = cur.stage;
+    drift.golden_digest = gold->digest;
+    drift.current_digest = cur.digest;
+    for (const StageStat& stat : cur.stats) {
+      const StageStat* gstat = gold->find_stat(stat.name);
+      if (gstat == nullptr) {
+        drift.stat_drifts.push_back({stat.name, std::nan(""), stat.value});
+      } else if (gstat->value != stat.value) {
+        drift.stat_drifts.push_back({stat.name, gstat->value, stat.value});
+      }
+    }
+    for (const StageStat& gstat : gold->stats) {
+      if (cur.find_stat(gstat.name) == nullptr) {
+        drift.stat_drifts.push_back({gstat.name, gstat.value, std::nan("")});
+      }
+    }
+    diff.drifted.push_back(std::move(drift));
+  }
+  for (const StageSummary& gold : golden.stages) {
+    if (current.find(gold.stage) == nullptr) {
+      StageDrift drift;
+      drift.stage = gold.stage;
+      drift.missing_in_current = true;
+      drift.golden_digest = gold.digest;
+      diff.drifted.push_back(std::move(drift));
+    }
+  }
+  if (!diff.drifted.empty()) diff.first_divergent_stage = diff.drifted.front().stage;
+  return diff;
+}
+
+std::string SnapshotDiff::report() const {
+  if (identical()) return "snapshots identical\n";
+  std::ostringstream out;
+  out << "snapshot drift in " << drifted.size() << " stage(s); first divergent stage: "
+      << first_divergent_stage << "\n";
+  for (const StageDrift& drift : drifted) {
+    out << "stage " << drift.stage << ":";
+    if (drift.missing_in_golden) {
+      out << " NEW (not in golden)\n";
+      continue;
+    }
+    if (drift.missing_in_current) {
+      out << " REMOVED (golden only)\n";
+      continue;
+    }
+    char gh[17], ch[17];
+    std::snprintf(gh, sizeof(gh), "%016llx", static_cast<unsigned long long>(drift.golden_digest));
+    std::snprintf(ch, sizeof(ch), "%016llx", static_cast<unsigned long long>(drift.current_digest));
+    out << " digest " << gh << " -> " << ch << "\n";
+    if (drift.stat_drifts.empty()) {
+      out << "    (summary stats unchanged: drift is below stat resolution "
+             "but visible in the full digest)\n";
+    }
+    for (const StatDrift& sd : drift.stat_drifts) {
+      out << "    " << sd.name << ": " << format_stat(sd.golden) << " -> "
+          << format_stat(sd.current);
+      if (std::isfinite(sd.golden) && std::isfinite(sd.current)) {
+        out << "  (delta " << format_stat(sd.current - sd.golden) << ")";
+      }
+      out << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace gp::testkit

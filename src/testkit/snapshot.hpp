@@ -1,0 +1,110 @@
+// Golden-snapshot summaries of pipeline stage outputs (gp::testkit).
+//
+// A Snapshot is an *ordered* list of StageSummary records — one per pipeline
+// stage, in data-flow order. Each summary carries
+//   * a canonical digest of the stage output, quantised to 1e-6 so the last
+//     few build-dependent ulps never flip it while real physical drift does;
+//   * a small set of named, quantised summary statistics (point counts, mean
+//     range, Doppler spread, ...) so a golden diff reports not just *that* a
+//     stage drifted but *by how much*.
+//
+// The text format is line-oriented and diff-friendly:
+//   stage <name> digest=<16 hex>
+//     stat <name> <value>
+// and round-trips through to_text()/parse_text(). diff_snapshots() compares
+// two snapshots in pipeline order and names the FIRST divergent stage — the
+// stage where a refactor started bending the physics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datasets/dataset.hpp"
+#include "kinematics/performer.hpp"
+#include "nn/tensor.hpp"
+#include "obs/json.hpp"
+#include "pipeline/preprocessor.hpp"
+#include "pointcloud/point.hpp"
+#include "radar/config.hpp"
+#include "testkit/digest.hpp"
+
+namespace gp::testkit {
+
+/// One named, quantised summary statistic of a stage output.
+struct StageStat {
+  std::string name;
+  double value = 0.0;  ///< already quantised (kDefaultQuantScale grid)
+};
+
+/// Digest + stats for one pipeline stage.
+struct StageSummary {
+  std::string stage;
+  std::uint64_t digest = 0;
+  std::vector<StageStat> stats;
+
+  const StageStat* find_stat(const std::string& name) const;
+};
+
+/// Ordered collection of stage summaries (pipeline order).
+struct Snapshot {
+  std::vector<StageSummary> stages;
+
+  void add(StageSummary summary) { stages.push_back(std::move(summary)); }
+  const StageSummary* find(const std::string& stage) const;
+};
+
+// ---- stage summarisers ----------------------------------------------------
+// All values are quantised with kDefaultQuantScale before hashing/storing.
+
+StageSummary summarize_radar_config(const std::string& stage, const RadarConfig& config);
+StageSummary summarize_scene(const std::string& stage, const SceneSequence& scene);
+StageSummary summarize_frames(const std::string& stage, const FrameSequence& frames);
+StageSummary summarize_gesture_cloud(const std::string& stage, const GestureCloud& cloud);
+StageSummary summarize_features(const std::string& stage, const FeaturizedSample& sample);
+StageSummary summarize_tensor(const std::string& stage, const nn::Tensor& tensor);
+StageSummary summarize_dataset(const std::string& stage, const Dataset& dataset);
+
+/// Summarises the *schema* of a JSON document: the digest covers the sorted
+/// set of key paths with a type letter per path (arrays descend into their
+/// first element), so value drift is invisible but any added / removed /
+/// retyped field changes the digest. Used to pin the REPORT/BENCH JSON
+/// schemas emitted by the obs layer and the bench harness.
+StageSummary summarize_json_schema(const std::string& stage, const obs::json::Value& doc);
+
+// ---- text round-trip ------------------------------------------------------
+
+std::string to_text(const Snapshot& snapshot);
+/// Throws gp::SerializationError on malformed snapshot text.
+Snapshot parse_text(const std::string& text);
+
+// ---- diffing --------------------------------------------------------------
+
+struct StatDrift {
+  std::string name;
+  double golden = 0.0;
+  double current = 0.0;
+};
+
+struct StageDrift {
+  std::string stage;
+  bool missing_in_golden = false;
+  bool missing_in_current = false;
+  std::uint64_t golden_digest = 0;
+  std::uint64_t current_digest = 0;
+  std::vector<StatDrift> stat_drifts;  ///< stats that moved off the grid point
+};
+
+struct SnapshotDiff {
+  std::vector<StageDrift> drifted;   ///< pipeline order (current order first)
+  std::string first_divergent_stage; ///< empty when identical
+
+  bool identical() const { return drifted.empty(); }
+  /// Human-readable, reviewable report: one block per drifted stage with
+  /// old/new stats and deltas; the first divergent stage is called out.
+  std::string report() const;
+};
+
+SnapshotDiff diff_snapshots(const Snapshot& golden, const Snapshot& current);
+
+}  // namespace gp::testkit

@@ -1,0 +1,212 @@
+// Error-path coverage: every rejection the public API promises must be a
+// *typed* gp::Error (or subclass), raised before any partial state or
+// unbounded allocation. Covers RadarConfig validation, the pointcloud/io
+// and serialize decoders (including regressions for the hardened
+// length-prefix checks), the dataset cache, and eval/roc degenerate inputs.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/serialize.hpp"
+#include "datasets/cache.hpp"
+#include "eval/roc.hpp"
+#include "pointcloud/io.hpp"
+#include "radar/config.hpp"
+#include "testkit/seeds.hpp"
+
+namespace gp {
+namespace {
+
+// ---- RadarConfig::validate: one test per guard ----------------------------
+
+TEST(RadarConfigErrors, RejectsNonPositivePhysics) {
+  RadarConfig config;
+  config.carrier_hz = 0.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+
+  config = RadarConfig{};
+  config.range_resolution = -0.04;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+
+  config = RadarConfig{};
+  config.max_velocity = 0.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+
+  config = RadarConfig{};
+  config.frame_rate = -10.0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+TEST(RadarConfigErrors, RejectsNonPowerOfTwoFftSizes) {
+  RadarConfig config;
+  config.num_samples = 300;  // not a power of two
+  EXPECT_THROW(config.validate(), InvalidArgument);
+
+  config = RadarConfig{};
+  config.num_chirps = 12;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+
+  config = RadarConfig{};
+  config.angle_fft_size = 48;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+TEST(RadarConfigErrors, RejectsDegenerateAntennaArrays) {
+  RadarConfig config;
+  config.num_azimuth_antennas = 1;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+
+  config = RadarConfig{};
+  config.num_elevation_antennas = 0;
+  EXPECT_THROW(config.validate(), InvalidArgument);
+}
+
+TEST(RadarConfigErrors, DefaultConfigIsValid) {
+  EXPECT_NO_THROW(RadarConfig{}.validate());
+}
+
+// ---- pointcloud/io: malformed recordings ----------------------------------
+
+TEST(RecordingErrors, RejectsWrongTag) {
+  std::istringstream in(std::string("XXXX\x01", 5), std::ios::binary);
+  EXPECT_THROW(load_recording(in), SerializationError);
+}
+
+TEST(RecordingErrors, RejectsTruncatedStream) {
+  std::string payload = testkit::recording_seed();
+  payload.resize(payload.size() / 2);
+  std::istringstream in(payload, std::ios::binary);
+  EXPECT_THROW(load_recording(in), SerializationError);
+}
+
+// Regression for the hardened count validation: a huge frame count with no
+// backing bytes must be rejected up front (before the reserve), not die in
+// the allocator after.
+TEST(RecordingErrors, RejectsHugeFrameCountBeforeAllocating) {
+  std::string payload = testkit::recording_seed();
+  const std::uint64_t huge = 1ULL << 62;
+  for (int i = 0; i < 8; ++i) payload[5 + i] = static_cast<char>(huge >> (8 * i));
+  std::istringstream in(payload, std::ios::binary);
+  EXPECT_THROW(load_recording(in), SerializationError);
+}
+
+TEST(RecordingErrors, MissingFileIsNulloptNotError) {
+  EXPECT_FALSE(load_recording_file("/nonexistent/gp_recording.gprc").has_value());
+}
+
+// ---- common/serialize: hardened reader regressions ------------------------
+
+TEST(SerializeErrors, StringLengthBeyondStreamIsTyped) {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(out, "GPTT");
+  writer.write_u32(0xFFFFFFFFu);  // string length prefix with no payload
+  std::istringstream in(out.str(), std::ios::binary);
+  BinaryReader reader(in, "GPTT");
+  EXPECT_THROW(reader.read_string(), SerializationError);
+}
+
+TEST(SerializeErrors, VectorCountBeyondStreamIsTyped) {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(out, "GPTT");
+  writer.write_u64(1ULL << 40);  // 1T floats "announced", zero present
+  std::istringstream in(out.str(), std::ios::binary);
+  BinaryReader reader(in, "GPTT");
+  EXPECT_THROW(reader.read_f32_vector(), SerializationError);
+}
+
+TEST(SerializeErrors, ImplausibleCountFailsEvenIfCapFits) {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(out, "GPTT");
+  writer.write_u64(std::numeric_limits<std::uint64_t>::max());
+  std::istringstream in(out.str(), std::ios::binary);
+  BinaryReader reader(in, "GPTT");
+  EXPECT_THROW(reader.read_count(0, "thing"), SerializationError);
+}
+
+TEST(SerializeErrors, ValidVectorStillRoundTrips) {
+  std::ostringstream out(std::ios::binary);
+  BinaryWriter writer(out, "GPTT");
+  writer.write_f32_vector({1.0f, -2.5f, 3.25f});
+  std::istringstream in(out.str(), std::ios::binary);
+  BinaryReader reader(in, "GPTT");
+  const auto v = reader.read_f32_vector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], -2.5f);
+}
+
+// ---- datasets/cache: corrupt and truncated payloads -----------------------
+
+TEST(DatasetCacheErrors, TruncatedSampleBlockIsTyped) {
+  std::string payload = testkit::dataset_seed();
+  payload.resize(payload.size() - 24);
+  std::istringstream in(payload, std::ios::binary);
+  EXPECT_THROW(read_dataset(in, "<test>"), SerializationError);
+}
+
+TEST(DatasetCacheErrors, HugePointCountIsRejectedBeforeAllocating) {
+  // Seed layout: tag(4) + version byte + schema u64 + name(u32 len + bytes)
+  // + users u64 + gestures u64 + samples u64 + first cloud's point count.
+  const std::string seed = testkit::dataset_seed();
+  const std::size_t name_len = 9;  // "fuzz_seed"
+  const std::size_t point_count_at = 4 + 1 + 8 + (4 + name_len) + 8 + 8 + 8;
+  std::string payload = seed;
+  ASSERT_GT(payload.size(), point_count_at + 8);
+  const std::uint64_t huge = 1ULL << 61;
+  for (int i = 0; i < 8; ++i) {
+    payload[point_count_at + i] = static_cast<char>(huge >> (8 * i));
+  }
+  std::istringstream in(payload, std::ios::binary);
+  EXPECT_THROW(read_dataset(in, "<test>"), SerializationError);
+}
+
+TEST(DatasetCacheErrors, ImplausiblePopulationIsTyped) {
+  const std::string seed = testkit::dataset_seed();
+  const std::size_t users_at = 4 + 1 + 8 + (4 + 9);  // u64 user count offset
+  std::string payload = seed;
+  const std::uint64_t huge = 500'000'000;
+  for (int i = 0; i < 8; ++i) payload[users_at + i] = static_cast<char>(huge >> (8 * i));
+  std::istringstream in(payload, std::ios::binary);
+  EXPECT_THROW(read_dataset(in, "<test>"), SerializationError);
+}
+
+TEST(DatasetCacheErrors, SeedStillParsesCleanly) {
+  std::istringstream in(testkit::dataset_seed(), std::ios::binary);
+  const auto dataset = read_dataset(in, "<test>");
+  ASSERT_TRUE(dataset.has_value());
+  EXPECT_EQ(dataset->samples.size(), 4u);
+  EXPECT_EQ(dataset->users.size(), 2u);
+}
+
+// ---- eval/roc: degenerate inputs ------------------------------------------
+
+TEST(RocErrors, EmptyScoreSetsAreRejected) {
+  EXPECT_THROW(roc_from_scores({}, {0.1, 0.2}), InvalidArgument);
+  EXPECT_THROW(roc_from_scores({0.9}, {}), InvalidArgument);
+  EXPECT_THROW(roc_from_scores({}, {}), InvalidArgument);
+}
+
+TEST(RocErrors, EmptyCurveHasNoEer) {
+  const RocCurve empty;
+  EXPECT_THROW(empty.eer(), Error);
+}
+
+TEST(RocErrors, SingleClassProbabilitiesAreRejected) {
+  // One user only: no impostor scores can exist, so the curve is undefined.
+  nn::Tensor probabilities(3, 1, 1.0f);
+  const std::vector<int> truth{0, 0, 0};
+  EXPECT_THROW(roc_from_probabilities(probabilities, truth), InvalidArgument);
+}
+
+TEST(RocErrors, DegenerateButLegalScoresStillProduceACurve) {
+  // All scores identical: legal input, must yield a finite curve, not UB.
+  const RocCurve curve = roc_from_scores({0.5, 0.5}, {0.5, 0.5});
+  EXPECT_FALSE(curve.points.empty());
+  EXPECT_GE(curve.auc, 0.0);
+  EXPECT_LE(curve.auc, 1.0);
+}
+
+}  // namespace
+}  // namespace gp

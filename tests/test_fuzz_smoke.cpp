@@ -1,0 +1,177 @@
+// Structured fuzzing of every parser/decoder boundary (`ctest -L fuzz-smoke`).
+//
+// Committed corpus seeds live under tests/corpus/ (regenerate byte-identical
+// with --write-corpus); the in-process mutation engine (gp::testkit::fuzz)
+// bit-flips, truncates, splices and length-prefix-attacks them and feeds
+// every mutant to the target. The contract under test is crash-freedom and
+// *clean typed-error propagation*: a target must either return normally or
+// throw gp::Error — std::bad_alloc from an unchecked length prefix,
+// std::length_error, or UB caught by a sanitizer build all fail the test.
+// Deterministic: a failure reproduces exactly from the printed seed.
+//
+// Run under sanitizers via scripts/verify.sh (configures -DGP_SANITIZE=address
+// and executes this label); the hardened readers in common/serialize,
+// datasets/cache and pointcloud/io are what keep the allocator quiet here.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "datasets/cache.hpp"
+#include "nn/serialize_nn.hpp"
+#include "obs/json.hpp"
+#include "pointcloud/io.hpp"
+#include "radar/config.hpp"
+#include "testkit/fuzz.hpp"
+#include "testkit/seeds.hpp"
+
+namespace gp {
+namespace {
+
+std::string g_corpus_dir;  // set in main()
+
+/// Committed corpus + built-in canonical seeds. Every target gets the full
+/// cross-format pool: feeding a GPRC blob to the GPDS parser is exactly the
+/// kind of tag/layout confusion the typed-error contract must absorb.
+std::vector<std::string> corpus() {
+  std::vector<std::string> seeds = testkit::load_corpus_dir(g_corpus_dir);
+  seeds.push_back(testkit::dataset_seed());
+  seeds.push_back(testkit::recording_seed());
+  seeds.push_back(testkit::params_seed());
+  seeds.push_back(testkit::report_json_seed());
+  seeds.push_back("");  // the degenerate seed every parser must survive
+  return seeds;
+}
+
+void expect_clean(const testkit::FuzzOutcome& outcome) {
+  std::cout << outcome.summary() << "\n";
+  std::string joined;
+  for (const auto& f : outcome.failures) joined += "  " + f + "\n";
+  EXPECT_TRUE(outcome.clean()) << "contract violations:\n" << joined;
+  // At least the matching canonical seed must parse; a target rejecting its
+  // own format means the corpus (or the parser) has rotted.
+  EXPECT_GT(outcome.accepted, 0u) << "no payload was ever accepted by " << outcome.target;
+}
+
+TEST(FuzzSmoke, DatasetCacheDecoder) {
+  const auto outcome = testkit::fuzz_target(
+      "datasets/read_dataset", corpus(),
+      [](const std::string& payload) {
+        std::istringstream in(payload, std::ios::binary);
+        (void)read_dataset(in, "<fuzz>");  // nullopt (version mismatch) is fine
+      });
+  expect_clean(outcome);
+}
+
+TEST(FuzzSmoke, RecordingDecoder) {
+  const auto outcome = testkit::fuzz_target(
+      "pointcloud/load_recording", corpus(),
+      [](const std::string& payload) {
+        std::istringstream in(payload, std::ios::binary);
+        (void)load_recording(in);
+      });
+  expect_clean(outcome);
+}
+
+TEST(FuzzSmoke, ModelParameterDecoder) {
+  const auto outcome = testkit::fuzz_target(
+      "nn/load_parameters", corpus(),
+      [](const std::string& payload) {
+        // Fresh skeleton per execution: load_parameters mutates in place and
+        // a partial load must not poison the next run.
+        std::vector<nn::Parameter> params = testkit::make_seed_parameters();
+        std::vector<nn::Parameter*> ptrs;
+        for (auto& p : params) ptrs.push_back(&p);
+        std::istringstream in(payload, std::ios::binary);
+        nn::load_parameters(in, ptrs);
+      });
+  expect_clean(outcome);
+}
+
+TEST(FuzzSmoke, ObsJsonParser) {
+  testkit::FuzzOptions options;
+  options.iterations = 600;  // cheap target, buy more coverage
+  const auto outcome = testkit::fuzz_target(
+      "obs/json_parse", corpus(),
+      [](const std::string& payload) { (void)obs::json::parse(payload); }, options);
+  expect_clean(outcome);
+}
+
+// The parse-back half of the obs contract: anything the emitter can produce
+// must survive a parse→escape→parse cycle, for arbitrary (even invalid
+// UTF-8) cell content.
+TEST(FuzzSmoke, CsvAndJsonEscapeTotality) {
+  const auto outcome = testkit::fuzz_target(
+      "common/escape_roundtrip", corpus(),
+      [](const std::string& payload) {
+        const std::string cell = csv_escape(payload);
+        if (cell.size() < payload.size()) throw Error("csv_escape shrank its input");
+        const std::string quoted = "\"" + obs::json::escape(payload) + "\"";
+        (void)obs::json::parse(quoted);  // emitted strings must re-parse
+      });
+  expect_clean(outcome);
+}
+
+// Structured fuzz of RadarConfig::validate: payload bytes become field
+// values (including NaN/Inf/denormal patterns from the mutation engine);
+// the contract is OK-or-InvalidArgument, never a crash or a hung derived
+// computation.
+TEST(FuzzSmoke, RadarConfigValidation) {
+  const auto outcome = testkit::fuzz_target(
+      "radar/config_validate", corpus(),
+      [](const std::string& payload) {
+        RadarConfig config;
+        const auto f64_at = [&](std::size_t offset, double fallback) {
+          if (payload.size() < offset + sizeof(double)) return fallback;
+          double v;
+          std::memcpy(&v, payload.data() + offset, sizeof(v));
+          return v;
+        };
+        const auto size_at = [&](std::size_t offset, std::size_t fallback) {
+          if (payload.size() < offset + sizeof(std::uint32_t)) return fallback;
+          std::uint32_t v;
+          std::memcpy(&v, payload.data() + offset, sizeof(v));
+          return static_cast<std::size_t>(v);
+        };
+        config.carrier_hz = f64_at(0, config.carrier_hz);
+        config.range_resolution = f64_at(8, config.range_resolution);
+        config.max_velocity = f64_at(16, config.max_velocity);
+        config.frame_rate = f64_at(24, config.frame_rate);
+        config.noise_sigma = f64_at(32, config.noise_sigma);
+        config.num_samples = size_at(40, config.num_samples);
+        config.num_chirps = size_at(44, config.num_chirps);
+        config.num_azimuth_antennas = size_at(48, config.num_azimuth_antennas);
+        config.num_elevation_antennas = size_at(52, config.num_elevation_antennas);
+        config.angle_fft_size = size_at(56, config.angle_fft_size);
+        config.validate();  // OK or InvalidArgument — nothing else
+      });
+  expect_clean(outcome);
+}
+
+}  // namespace
+}  // namespace gp
+
+#ifndef GP_CORPUS_DEFAULT_DIR
+#define GP_CORPUS_DEFAULT_DIR "tests/corpus"
+#endif
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  gp::g_corpus_dir = GP_CORPUS_DEFAULT_DIR;
+  if (const char* dir = std::getenv("GP_CORPUS_DIR")) gp::g_corpus_dir = dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--write-corpus") {
+      const auto written = gp::testkit::write_corpus(gp::g_corpus_dir);
+      std::cout << "wrote " << written.size() << " corpus seeds to " << gp::g_corpus_dir << "\n";
+      for (const auto& name : written) std::cout << "  " << name << "\n";
+      return 0;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,234 @@
+// Golden-snapshot regression over the radar→pipeline→GesIDNet stack.
+//
+// One deterministic mini-pipeline is pushed end to end — radar config,
+// kinematic scene, full FMCW chain, fast geometric backend, segmentation,
+// featurization, dataset synthesis, trained-net logits — and each stage's
+// quantised digest + summary stats are compared against the committed
+// goldens under tests/golden/. On drift the diff names the FIRST divergent
+// stage (the stage where a refactor started bending the physics) and shows
+// per-stat old→new deltas.
+//
+// Update workflow: run this binary with --update-golden (or
+// GP_UPDATE_GOLDEN=1), review the printed diff, commit the regenerated
+// files. GP_GOLDEN_DIR overrides the golden directory (defaults to the
+// source-tree tests/golden via the GP_GOLDEN_DEFAULT_DIR compile def).
+//
+// Also pinned here: the *schemas* of the machine-readable artifacts
+// (REPORT_*.json from obs, BENCH_latency_stages.json / BENCH_parallel.json
+// from the bench harness) — value drift is invisible, added/removed/retyped
+// fields are not.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "datasets/catalog.hpp"
+#include "datasets/dataset.hpp"
+#include "datasets/prep.hpp"
+#include "exec/exec.hpp"
+#include "gesidnet/gesidnet.hpp"
+#include "gesidnet/trainer.hpp"
+#include "kinematics/gesture_spec.hpp"
+#include "kinematics/performer.hpp"
+#include "obs/bench_json.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "pipeline/preprocessor.hpp"
+#include "radar/fast_backend.hpp"
+#include "radar/frontend.hpp"
+#include "testkit/golden.hpp"
+#include "testkit/snapshot.hpp"
+
+namespace gp {
+namespace {
+
+testkit::GoldenConfig g_golden;  // initialised in main()
+
+// ---- the pinned mini-pipeline ---------------------------------------------
+
+DatasetSpec small_spec() {
+  DatasetScale scale;
+  scale.max_users = 3;
+  scale.reps = 2;
+  DatasetSpec spec = gestureprint_spec(0, scale);
+  spec.gestures.resize(3);
+  return spec;
+}
+
+GesIDNetConfig tiny_config(int num_classes) {
+  GesIDNetConfig config;
+  config.num_classes = num_classes;
+  config.sa1_centroids = 8;
+  config.sa1_scales = {{0.3, 4, {8, 12}}, {0.6, 6, {12, 16}}};
+  config.sa2_centroids = 4;
+  config.sa2_scales = {{0.5, 3, {16, 20}}};
+  config.level1_mlp = {24, 32};
+  config.level2_mlp = {32, 40};
+  config.head1_hidden = 16;
+  config.head2_hidden = 16;
+  return config;
+}
+
+/// Builds the full pipeline snapshot. All randomness comes from fixed
+/// (seed, stream) Rngs; `ctx` carries the thread count, which must not
+/// change a single bit (asserted by SnapshotIsThreadCountInvariant).
+/// `fast_config` is a parameter so the first-divergent-stage test can
+/// perturb one radar constant and watch exactly one stage drift.
+testkit::Snapshot build_pipeline_snapshot(exec::ExecContext& ctx,
+                                          const FastBackendConfig& fast_config = {}) {
+  testkit::Snapshot snap;
+
+  const RadarConfig radar;  // paper §VI-A IWR1443 defaults
+  snap.add(testkit::summarize_radar_config("radar.config", radar));
+
+  Rng user_rng(2024, 1);
+  const UserProfile user = UserProfile::sample(0, user_rng);
+  const GesturePerformer performer(user, PerformanceConfig{});
+  const std::vector<GestureSpec> gestures = asl_gesture_set();
+  Rng scene_rng(2024, 2);
+  const SceneSequence scene = performer.perform(gestures.front(), scene_rng);
+  snap.add(testkit::summarize_scene("kinematics.scene", scene));
+
+  Rng full_rng(2024, 3);
+  const FrameSequence full_frames = process_scene(radar, scene, full_rng);
+  snap.add(testkit::summarize_frames("radar.full_chain", full_frames));
+
+  Rng fast_rng(2024, 4);
+  const FrameSequence fast_frames = fast_process_scene(radar, fast_config, scene, fast_rng);
+  snap.add(testkit::summarize_frames("radar.fast_backend", fast_frames));
+
+  const Preprocessor preprocessor;
+  const GestureCloud cloud = preprocessor.process_segment(full_frames);
+  snap.add(testkit::summarize_gesture_cloud("pipeline.segment", cloud));
+
+  Rng feat_rng(2024, 5);
+  const FeaturizedSample features = featurize(cloud, FeatureConfig{}, feat_rng);
+  snap.add(testkit::summarize_features("pipeline.featurize", features));
+
+  const Dataset dataset = generate_dataset(small_spec(), ctx);
+  snap.add(testkit::summarize_dataset("datasets.synthesis", dataset));
+
+  Rng prep_rng(2024, 6);
+  const LabeledSamples labeled = prepare_subset(dataset, all_indices(dataset),
+                                                LabelKind::kGesture, PrepConfig{}, prep_rng);
+  TrainConfig train_config;
+  train_config.epochs = 1;
+  train_config.batch_size = 8;
+  train_config.seed = 7;
+  Rng net_rng(2024, 7);
+  GesIDNet model(tiny_config(static_cast<int>(dataset.num_gestures())), net_rng);
+  train_classifier(model, labeled, train_config, ctx);
+  const nn::Tensor logits = predict_logits(model, labeled.samples, train_config.batch_size, ctx);
+  snap.add(testkit::summarize_tensor("gesidnet.logits", logits));
+
+  return snap;
+}
+
+TEST(GoldenSnapshot, PipelineMatchesGolden) {
+  exec::ExecContext ctx(4);
+  const testkit::Snapshot snap = build_pipeline_snapshot(ctx);
+  const testkit::GoldenOutcome outcome = testkit::check_golden(g_golden, "pipeline", snap);
+  if (outcome.updated) std::cout << outcome.message;
+  EXPECT_TRUE(outcome.ok) << outcome.message;
+}
+
+// The acceptance bar from the gp::exec contract: the snapshot — including
+// parallel dataset synthesis and parallel training — is bitwise identical
+// for GP_THREADS in {1, 4, 8}.
+TEST(GoldenSnapshot, SnapshotIsThreadCountInvariant) {
+  exec::ExecContext t1(1), t4(4), t8(8);
+  const std::string s1 = testkit::to_text(build_pipeline_snapshot(t1));
+  const std::string s4 = testkit::to_text(build_pipeline_snapshot(t4));
+  const std::string s8 = testkit::to_text(build_pipeline_snapshot(t8));
+  EXPECT_EQ(s1, s4);
+  EXPECT_EQ(s1, s8);
+}
+
+// Perturb one radar constant (the fast backend's reference SNR) and verify
+// the diff machinery pins the drift on exactly that stage: everything
+// upstream matches, radar.fast_backend is named as first divergent, and the
+// report carries usable stat deltas.
+TEST(GoldenSnapshot, PerturbedRadarConstantNamesFirstDivergentStage) {
+  exec::ExecContext ctx(2);
+  const testkit::Snapshot baseline = build_pipeline_snapshot(ctx);
+  FastBackendConfig perturbed;
+  perturbed.snr_ref_db += 3.0;
+  const testkit::Snapshot drifted = build_pipeline_snapshot(ctx, perturbed);
+
+  const testkit::SnapshotDiff diff = testkit::diff_snapshots(baseline, drifted);
+  ASSERT_FALSE(diff.identical());
+  EXPECT_EQ(diff.first_divergent_stage, "radar.fast_backend");
+  ASSERT_EQ(diff.drifted.size(), 1u);  // only the perturbed stage moves
+  EXPECT_NE(diff.report().find("radar.fast_backend"), std::string::npos);
+  EXPECT_NE(diff.report().find("mean_snr_db"), std::string::npos);
+}
+
+TEST(GoldenSnapshot, TextRoundTripIsLossless) {
+  exec::ExecContext ctx(2);
+  const testkit::Snapshot snap = build_pipeline_snapshot(ctx);
+  const testkit::Snapshot reparsed = testkit::parse_text(testkit::to_text(snap));
+  EXPECT_TRUE(testkit::diff_snapshots(snap, reparsed).identical());
+  EXPECT_EQ(testkit::to_text(snap), testkit::to_text(reparsed));
+}
+
+// ---- machine-readable artifact schemas ------------------------------------
+
+TEST(GoldenSnapshot, RunReportSchemaMatchesGolden) {
+  obs::set_metrics_enabled(true);
+  // Touch one counter, one histogram and one stage so every report section
+  // has at least one exemplar row for the schema walk to descend into.
+  GP_COUNTER_ADD("gp.golden.exemplar", 1);
+  obs::histogram("gp.golden.exemplar_ms").observe(1.0);
+  std::ostringstream out;
+  obs::write_run_report_json(out, "golden");
+  const obs::json::Value doc = obs::json::parse(out.str());
+
+  testkit::Snapshot snap;
+  snap.add(testkit::summarize_json_schema("obs.report_schema", doc));
+  const testkit::GoldenOutcome outcome =
+      testkit::check_golden(g_golden, "report_schema", snap);
+  if (outcome.updated) std::cout << outcome.message;
+  EXPECT_TRUE(outcome.ok) << outcome.message;
+}
+
+TEST(GoldenSnapshot, BenchJsonSchemasMatchGolden) {
+  obs::set_metrics_enabled(true);
+  obs::Histogram& h = obs::histogram("gp.golden.bench_ms");
+  for (int i = 1; i <= 8; ++i) h.observe(0.5 * i);
+  obs::StageSnapshot stage;
+  stage.name = "golden.stage";
+  stage.histogram = h.snapshot();
+  stage.min_depth = 0;
+
+  const std::string latency = obs::latency_stages_json(
+      8, {{"preprocessing", h.snapshot()}, {"end_to_end", h.snapshot()}}, {stage});
+  const std::string parallel = obs::parallel_sweep_json(
+      8, {1, 2, 4}, {{"matmul_kernel", {10.0, 6.0, 4.0}}, {"train_epoch", {20.0, 12.0, 8.0}}});
+
+  testkit::Snapshot snap;
+  snap.add(testkit::summarize_json_schema("bench.latency_stages_schema",
+                                          obs::json::parse(latency)));
+  snap.add(testkit::summarize_json_schema("bench.parallel_schema",
+                                          obs::json::parse(parallel)));
+  const testkit::GoldenOutcome outcome =
+      testkit::check_golden(g_golden, "bench_schemas", snap);
+  if (outcome.updated) std::cout << outcome.message;
+  EXPECT_TRUE(outcome.ok) << outcome.message;
+}
+
+}  // namespace
+}  // namespace gp
+
+#ifndef GP_GOLDEN_DEFAULT_DIR
+#define GP_GOLDEN_DEFAULT_DIR ""
+#endif
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  gp::g_golden = gp::testkit::golden_config_from_env(argc, argv, GP_GOLDEN_DEFAULT_DIR);
+  if (gp::g_golden.update) {
+    std::cout << "golden update mode: regenerating " << gp::g_golden.dir << "/*.golden\n";
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,205 @@
+// Differential oracles across the repo's intentionally-redundant paths.
+//
+//  * full FMCW chain vs fast geometric backend: per-frame cloud statistics
+//    must agree within the physical tolerance bands of the fast backend's
+//    calibration contract (testkit::default_backend_bands) — these are the
+//    §III quantities GesturePrint's identifiability signal lives in.
+//  * serial vs GP_THREADS=N: the whole GesturePrintSystem facade (fit →
+//    logits → evaluation) must be bitwise identical under SerialScope vs a
+//    wide pool — extending tests/test_determinism.cpp from single kernels
+//    to the top of the stack.
+//  * dataset cache hit vs fresh synthesis: exact digest equality.
+//  * serialize → reload vs in-memory model: bitwise logit equality.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <span>
+#include <sstream>
+
+#include "datasets/cache.hpp"
+#include "datasets/catalog.hpp"
+#include "datasets/dataset.hpp"
+#include "datasets/prep.hpp"
+#include "exec/exec.hpp"
+#include "gesidnet/trainer.hpp"
+#include "kinematics/gesture_spec.hpp"
+#include "kinematics/performer.hpp"
+#include "radar/fast_backend.hpp"
+#include "radar/frontend.hpp"
+#include "system/gestureprint.hpp"
+#include "testkit/oracle.hpp"
+
+namespace gp {
+namespace {
+
+DatasetSpec small_spec(const std::string& name = "oracle") {
+  DatasetScale scale;
+  scale.max_users = 3;
+  scale.reps = 2;
+  DatasetSpec spec = gestureprint_spec(0, scale);
+  spec.gestures.resize(3);
+  spec.name = name;
+  return spec;
+}
+
+std::filesystem::path fresh_temp_dir(const std::string& leaf) {
+  const auto dir = std::filesystem::temp_directory_path() / leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// ---- full FMCW chain vs fast geometric backend ----------------------------
+
+TEST(BackendOracle, FullChainAndFastBackendAgreeWithinBands) {
+  const RadarConfig radar;
+  FastBackendConfig fast;
+  fast.ghost_prob = 0.0;    // the comparison is on the clean physics;
+  fast.clutter_rate = 0.0;  // clutter calibration is a separate contract
+
+  // Aggregate over several (user, gesture) scenes so the statistics are
+  // stable enough for the band check to be meaningful.
+  const std::vector<GestureSpec> gestures = asl_gesture_set();
+  FrameSequence full_all, fast_all;
+  int stream = 0;
+  for (int user_id = 0; user_id < 2; ++user_id) {
+    Rng user_rng(404, 100 + user_id);
+    const UserProfile user = UserProfile::sample(user_id, user_rng);
+    const GesturePerformer performer(user, PerformanceConfig{});
+    for (std::size_t g = 0; g < 3; ++g) {
+      Rng scene_rng(404, 200 + stream);
+      const SceneSequence scene = performer.perform(gestures[g], scene_rng);
+      Rng full_rng(404, 300 + stream);
+      FrameSequence full = process_scene(radar, scene, full_rng);
+      Rng fast_rng(404, 400 + stream);
+      FrameSequence fastf = fast_process_scene(radar, fast, scene, fast_rng);
+      full_all.insert(full_all.end(), full.begin(), full.end());
+      fast_all.insert(fast_all.end(), fastf.begin(), fastf.end());
+      ++stream;
+    }
+  }
+
+  const testkit::CloudStats full_stats = testkit::cloud_stats(full_all);
+  const testkit::CloudStats fast_stats = testkit::cloud_stats(fast_all);
+  ASSERT_GT(full_stats.total_points, 0.0);
+  ASSERT_GT(fast_stats.total_points, 0.0);
+
+  const auto violations =
+      testkit::check_stat_bands(full_stats, fast_stats, testkit::default_backend_bands());
+  std::string joined;
+  for (const auto& v : violations) joined += "  " + v + "\n";
+  EXPECT_TRUE(violations.empty()) << "backend statistics diverged:\n" << joined;
+}
+
+// ---- serial vs GP_THREADS=N on the whole system facade --------------------
+
+struct FacadeRun {
+  std::vector<float> logits;
+  SystemEvaluation eval;
+};
+
+FacadeRun run_facade(const Dataset& dataset) {
+  GesturePrintConfig config;
+  config.training.epochs = 2;
+  config.training.batch_size = 8;
+  config.eval_rounds = 1;
+  GesturePrintSystem system(config);
+
+  std::vector<std::size_t> train_idx, test_idx;
+  for (std::size_t i = 0; i < dataset.samples.size(); ++i) {
+    (i % 3 == 0 ? test_idx : train_idx).push_back(i);
+  }
+  system.fit(dataset, train_idx);
+
+  Rng prep_rng(17);
+  const LabeledSamples labeled = prepare_subset(dataset, test_idx, LabelKind::kGesture,
+                                                PrepConfig{}, prep_rng);
+  const nn::Tensor logits = predict_logits(system.gesture_model(), labeled.samples, 8);
+  FacadeRun run;
+  run.logits = logits.vec();
+  run.eval = system.evaluate(dataset, test_idx);
+  return run;
+}
+
+TEST(ThreadOracle, SystemFacadeIsBitwiseSerialVsParallel) {
+  exec::ExecContext wide(8);
+  const Dataset dataset = generate_dataset(small_spec("facade"), wide);
+
+  FacadeRun serial_run = [&] {
+    exec::SerialScope serial;  // every internal ExecContext runs inline
+    return run_facade(dataset);
+  }();
+  FacadeRun parallel_run = run_facade(dataset);  // global pool, GP_THREADS/default
+
+  ASSERT_EQ(serial_run.logits.size(), parallel_run.logits.size());
+  EXPECT_TRUE(serial_run.logits == parallel_run.logits);
+  EXPECT_EQ(serial_run.eval.gra, parallel_run.eval.gra);
+  EXPECT_EQ(serial_run.eval.grf1, parallel_run.eval.grf1);
+  EXPECT_EQ(serial_run.eval.grauc, parallel_run.eval.grauc);
+  EXPECT_EQ(serial_run.eval.uia, parallel_run.eval.uia);
+  EXPECT_EQ(serial_run.eval.uif1, parallel_run.eval.uif1);
+  EXPECT_EQ(serial_run.eval.uiauc, parallel_run.eval.uiauc);
+}
+
+// ---- cache hit vs fresh synthesis -----------------------------------------
+
+TEST(CacheOracle, CacheHitEqualsFreshSynthesisExactly) {
+  const auto dir = fresh_temp_dir("gp_oracle_cache");
+  const DatasetSpec spec = small_spec("cache_oracle");
+  exec::ExecContext ctx(4);
+
+  const Dataset fresh = generate_dataset_cached(spec, dir.string(), ctx);   // miss
+  const Dataset cached = generate_dataset_cached(spec, dir.string(), ctx);  // hit
+  const Dataset direct = generate_dataset(spec, ctx);                       // no cache
+
+  EXPECT_EQ(testkit::exact_digest(fresh), testkit::exact_digest(cached));
+  EXPECT_EQ(testkit::exact_digest(fresh), testkit::exact_digest(direct));
+  std::filesystem::remove_all(dir);
+}
+
+// And the stream round-trip on its own: write → read must be lossless.
+TEST(CacheOracle, DatasetStreamRoundTripIsExact) {
+  exec::ExecContext ctx(2);
+  const Dataset dataset = generate_dataset(small_spec("roundtrip"), ctx);
+  std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+  write_dataset(buf, dataset);
+  const auto reloaded = read_dataset(buf, "roundtrip");
+  ASSERT_TRUE(reloaded.has_value());
+  EXPECT_EQ(testkit::exact_digest(dataset), testkit::exact_digest(*reloaded));
+}
+
+// ---- serialize → reload vs in-memory model --------------------------------
+
+TEST(SerializeOracle, SavedAndReloadedSystemEmitsBitwiseIdenticalLogits) {
+  exec::ExecContext ctx(4);
+  const Dataset dataset = generate_dataset(small_spec("saveload"), ctx);
+
+  GesturePrintConfig config;
+  config.training.epochs = 2;
+  config.training.batch_size = 8;
+  GesturePrintSystem trained(config);
+  trained.fit(dataset, all_indices(dataset));
+
+  Rng prep_rng(29);
+  const LabeledSamples labeled = prepare_subset(dataset, all_indices(dataset),
+                                                LabelKind::kGesture, PrepConfig{}, prep_rng);
+  const nn::Tensor before =
+      predict_logits(trained.gesture_model(), labeled.samples, 8, ctx);
+
+  const auto dir = fresh_temp_dir("gp_oracle_saveload");
+  const std::string path = (dir / "system.gpsy").string();
+  trained.save(path);
+
+  GesturePrintSystem reloaded(config);
+  reloaded.load(path);
+  const nn::Tensor after =
+      predict_logits(reloaded.gesture_model(), labeled.samples, 8, ctx);
+
+  EXPECT_EQ(testkit::exact_digest(before), testkit::exact_digest(after));
+  EXPECT_TRUE(before.vec() == after.vec());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace gp

@@ -5,15 +5,29 @@
 // pipeline in deployment order.
 //
 // Build & run:  ./build/examples/live_segmentation
+//
+// With --faulty the radar link degrades mid-stream: a seed-deterministic
+// FaultInjector (gp::faults, DESIGN.md §7) drops, truncates and pollutes
+// frames, and the abstention gate is armed so ambiguous captures are
+// refused instead of misclassified. GP_FAULTS overrides the default mixed
+// fault mix (e.g. GP_FAULTS="drop=0.3,ghost=0.4").
+#include <cstring>
 #include <iostream>
+#include <optional>
 
 #include "datasets/catalog.hpp"
 #include "eval/splits.hpp"
+#include "faults/faults.hpp"
 #include "pipeline/preprocessor.hpp"
 #include "system/gestureprint.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace gp;
+
+  bool faulty = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faulty") == 0) faulty = true;
+  }
 
   DatasetScale scale;
   scale.max_users = 3;
@@ -27,6 +41,7 @@ int main() {
   GesturePrintConfig config;
   config.training.epochs = 8;
   config.prep.augmentation.copies = 2;
+  if (faulty) config.abstain_margin = 0.10;  // refuse degraded captures
   GesturePrintSystem system(config);
   Rng split_rng(3, 1);
   system.fit(dataset, stratified_split(dataset.gesture_labels(), 0.2, split_rng).train);
@@ -34,46 +49,72 @@ int main() {
   // --- a continuous radar recording: user 1 performs 6 gestures ----------
   const std::vector<int> script{0, 3, 1, 4, 2, 0};
   std::cout << "\nStreaming a continuous recording (user #1 performing "
-            << script.size() << " gestures with natural pauses)...\n";
+            << script.size() << " gestures with natural pauses"
+            << (faulty ? ", radar link degraded" : "") << ")...\n";
   const ContinuousRecording recording = generate_recording(spec, 1, script, 20260704);
+
+  faults::FaultConfig fault_config;  // zeroed = identity
+  if (faulty) {
+    fault_config = faults::FaultConfig::from_env().value_or(faults::FaultConfig::mixed(0.5));
+  }
+  faults::FaultInjector injector(fault_config);
 
   // Streaming segmentation, frame by frame, as a live system would run.
   GestureSegmenter segmenter;
   const Preprocessor preprocessor;
   std::size_t detected = 0;
+  std::size_t abstained = 0;
   std::size_t correct_gesture = 0;
   std::size_t correct_user = 0;
 
-  for (const auto& frame : recording.frames) {
-    segmenter.push(frame);
-    for (const GestureSegment& segment : segmenter.take_segments()) {
-      const GestureCloud cloud = preprocessor.process_segment(segment.frames);
-      if (cloud.points.size() < 8) continue;
-      const InferenceResult result = system.classify(cloud);
-      const int truth =
-          detected < script.size() ? script[detected] : -1;
-      std::cout << "  frames [" << segment.start_frame << ", " << segment.end_frame
-                << "]: predicted gesture='" << spec.gestures[result.gesture].name << "' user#"
-                << result.user;
-      if (truth >= 0) {
-        std::cout << "  (truth: '" << spec.gestures[truth].name << "' user#1)"
-                  << (result.gesture == truth && result.user == 1 ? "  [ok]" : "  [x]");
-        correct_gesture += result.gesture == truth ? 1 : 0;
-        correct_user += result.user == 1 ? 1 : 0;
-      }
+  auto classify_segment = [&](const GestureSegment& segment) {
+    const GestureCloud cloud = preprocessor.process_segment(segment.frames);
+    if (!faulty && cloud.points.size() < 8) return;  // legacy clean-mode guard
+    const InferenceResult result = system.classify(cloud);
+    const int truth = detected < script.size() ? script[detected] : -1;
+    ++detected;
+    std::cout << "  frames [" << segment.start_frame << ", " << segment.end_frame << "]: ";
+    if (result.abstained) {
+      ++abstained;
+      std::cout << "ABSTAINED (quality=" << segment_quality_name(cloud.quality)
+                << ", margin=" << result.gesture_margin << ")";
+      if (truth >= 0) std::cout << "  (truth: '" << spec.gestures[truth].name << "')";
       std::cout << "\n";
-      ++detected;
+      return;
     }
+    std::cout << "predicted gesture='" << spec.gestures[result.gesture].name << "' user#"
+              << result.user;
+    if (truth >= 0) {
+      std::cout << "  (truth: '" << spec.gestures[truth].name << "' user#1)"
+                << (result.gesture == truth && result.user == 1 ? "  [ok]" : "  [x]");
+      correct_gesture += result.gesture == truth ? 1 : 0;
+      correct_user += result.user == 1 ? 1 : 0;
+    }
+    std::cout << "\n";
+  };
+
+  for (const auto& frame : recording.frames) {
+    const std::optional<FrameCloud> delivered = injector.apply(frame);
+    if (!delivered) continue;
+    segmenter.push(*delivered);
+    for (const GestureSegment& segment : segmenter.take_segments()) classify_segment(segment);
   }
   segmenter.finish();
   for (const GestureSegment& segment : segmenter.take_segments()) {
     std::cout << "  (flushed trailing segment [" << segment.start_frame << ", "
               << segment.end_frame << "])\n";
-    ++detected;
+    classify_segment(segment);
   }
 
+  if (faulty) {
+    const auto& c = injector.counts();
+    std::cout << "\nFaults injected: " << c.frames_dropped << "/" << c.frames_seen
+              << " frames dropped, " << c.frames_truncated << " truncated ("
+              << c.points_removed << " points removed), " << c.ghost_points
+              << " ghost points, " << c.frames_jittered << " jittered.\n";
+  }
   std::cout << "\nDetected " << detected << "/" << script.size() << " gestures; "
-            << correct_gesture << " correct gestures, " << correct_user
-            << " correct user IDs.\n";
+            << abstained << " abstained; " << correct_gesture << " correct gestures, "
+            << correct_user << " correct user IDs.\n";
   return 0;
 }

@@ -3,7 +3,7 @@
 #
 #   scripts/verify.sh            # tier 1: default build + full ctest
 #   scripts/verify.sh asan       # tier 2: -DGP_SANITIZE=address build,
-#                                #         fuzz-smoke + obs-smoke labels
+#                                #         fuzz-smoke + obs-smoke + fault labels
 #   scripts/verify.sh tsan       # tier 3: -DGP_SANITIZE=thread build,
 #                                #         tsan-smoke label
 #   scripts/verify.sh all        # tiers 1 + 2 + 3 in sequence
@@ -26,10 +26,10 @@ run_tier1() {
 }
 
 run_asan() {
-  echo "==> tier 2: AddressSanitizer build, fuzz-smoke + obs-smoke labels"
+  echo "==> tier 2: AddressSanitizer build, fuzz-smoke + obs-smoke + fault labels"
   cmake -B "$ROOT/build-asan" -S "$ROOT" -DGP_SANITIZE=address >/dev/null
   cmake --build "$ROOT/build-asan" -j "$JOBS"
-  (cd "$ROOT/build-asan" && ctest --output-on-failure -j "$JOBS" -L 'fuzz-smoke|obs-smoke')
+  (cd "$ROOT/build-asan" && ctest --output-on-failure -j "$JOBS" -L 'fuzz-smoke|obs-smoke|fault')
 }
 
 run_tsan() {

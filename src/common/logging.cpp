@@ -63,6 +63,15 @@ std::mutex& log_mutex() {
   return m;
 }
 
+/// Emitted-line tallies per level (debug..error). Plain atomics so the
+/// counters work even before/after the obs registry exists.
+std::atomic<std::uint64_t>& emit_count_ref(LogLevel level) {
+  static std::atomic<std::uint64_t> counts[4] = {};
+  std::size_t idx = static_cast<std::size_t>(level);
+  if (idx > 3) idx = 3;
+  return counts[idx];
+}
+
 /// Minimal JSON string escape (mirrors obs/json.cpp; kept local so
 /// gp_common stays dependency-free).
 void append_json_escaped(std::string& out, const std::string& s) {
@@ -112,8 +121,13 @@ void set_log_json_mode(bool enabled) {
   json_mode_ref().store(enabled, std::memory_order_relaxed);
 }
 
+std::uint64_t log_emit_count(LogLevel level) {
+  return emit_count_ref(level).load(std::memory_order_relaxed);
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (level < level_ref() || level_ref() == LogLevel::kOff) return;
+  emit_count_ref(level).fetch_add(1, std::memory_order_relaxed);
 
   // Assemble the complete line up front; the lock only covers one write,
   // so lines from concurrent threads are atomic units, never interleaved.

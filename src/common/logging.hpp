@@ -29,6 +29,11 @@ void set_log_json_mode(bool enabled);
 /// Emits one formatted line to stderr if `level` is enabled.
 void log_message(LogLevel level, const std::string& message);
 
+/// Number of lines actually emitted at `level` so far (lines filtered out
+/// by the active log level are not counted). Lets tests assert "exactly
+/// one warning was logged" without scraping stderr.
+std::uint64_t log_emit_count(LogLevel level);
+
 /// Nanoseconds on the steady clock since the process's logging/obs epoch
 /// (the first call in the process). Shared by log timestamps and trace
 /// spans so both timelines line up.

@@ -10,6 +10,7 @@
 #include "common/config.hpp"
 #include "common/logging.hpp"
 #include "common/serialize.hpp"
+#include "faults/selfheal.hpp"
 #include "kinematics/performer.hpp"
 #include "obs/metrics.hpp"
 
@@ -226,16 +227,27 @@ Dataset generate_dataset_cached(const DatasetSpec& spec, const std::string& cach
       return std::move(*cached);
     }
   } catch (const SerializationError& e) {
-    // Corrupt or pre-versioned file: report it instead of silently
-    // regenerating over it.
+    // Corrupt cache entry: quarantine-and-regenerate (DESIGN.md §7). The
+    // bad bytes are renamed aside — never overwritten — so the corruption
+    // stays available for a post-mortem, then the dataset is rebuilt from
+    // its spec and re-saved under the original name. Exactly one warning.
+    const std::string moved = faults::quarantine_file(path);
+    GP_COUNTER_ADD("gp.dataset.cache.quarantined", 1);
     log_warn() << "dataset cache unreadable at " << path << " (" << e.what()
-               << "); the dataset will be regenerated";
+               << "); quarantined to "
+               << (moved.empty() ? std::string("<rename failed>") : moved)
+               << " and regenerating";
   }
   cache_stats().misses.fetch_add(1, std::memory_order_relaxed);
   GP_COUNTER_ADD("gp.dataset.cache.misses", 1);
   Dataset dataset = generate_dataset(spec, ctx);
   try {
-    save_dataset(path, dataset);
+    // Transient write failures (flaky storage) retry with backoff before
+    // the uncached fallback kicks in.
+    faults::with_retries(faults::RetryPolicy{}, [&] {
+      save_dataset(path, dataset);
+      return true;
+    });
   } catch (const Error& e) {
     log_warn() << "dataset cache write failed (" << e.what() << "); continuing uncached";
   }

@@ -1,0 +1,24 @@
+#include "faults/selfheal.hpp"
+
+#include <filesystem>
+
+#include "obs/metrics.hpp"
+
+namespace gp::faults {
+
+std::string quarantine_file(const std::string& path) noexcept {
+  const std::string target = path + kQuarantineSuffix;
+  std::error_code ec;
+  std::filesystem::rename(path, target, ec);  // POSIX rename replaces target
+  if (ec) {
+    // Cross-device or exotic-filesystem fallback: copy + remove.
+    std::filesystem::copy_file(path, target,
+                               std::filesystem::copy_options::overwrite_existing, ec);
+    if (ec) return {};
+    std::filesystem::remove(path, ec);
+  }
+  GP_COUNTER_ADD("gp.faults.files_quarantined", 1);
+  return target;
+}
+
+}  // namespace gp::faults

@@ -1,0 +1,61 @@
+// Self-healing IO primitives (gp::faults, DESIGN.md §7).
+//
+// Policy for corrupt on-disk artifacts (dataset caches, model files):
+// *quarantine and regenerate, never abort, never destroy evidence*. A file
+// that fails its typed decode is renamed aside with a ".quarantine" suffix
+// (so the corrupt bytes stay available for a post-mortem), one warning is
+// logged, and the caller rebuilds the artifact from source. Transient IO
+// errors (EBUSY-style open failures, partial writes on flaky storage) are
+// retried with exponential backoff before being treated as real.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace gp::faults {
+
+/// Suffix appended to quarantined files.
+inline constexpr const char* kQuarantineSuffix = ".quarantine";
+
+/// Moves `path` to `path + ".quarantine"`, replacing any previous
+/// quarantine of the same file (the newest corruption is the interesting
+/// one). Returns the quarantine path, or an empty string when the rename
+/// failed (e.g. the file vanished); never throws.
+std::string quarantine_file(const std::string& path) noexcept;
+
+/// Retry schedule for transient IO: `attempts` tries total, sleeping
+/// base_backoff_ms * 2^k between consecutive tries. The defaults keep the
+/// worst-case added latency to ~6 ms — cheap insurance on the cold path.
+struct RetryPolicy {
+  std::size_t attempts = 3;
+  double base_backoff_ms = 2.0;
+};
+
+/// Runs `fn` under the retry policy. A gp::Error from `fn` triggers a
+/// backoff and another attempt; the final attempt's error propagates.
+/// Returns fn()'s value. Only gp::Error is retried — std::bad_alloc and
+/// friends are not transient and escape immediately. SerializationError is
+/// *also* not retried: corrupt bytes stay corrupt no matter how often they
+/// are re-read, so it escapes at once for the caller to quarantine.
+template <typename Fn>
+auto with_retries(const RetryPolicy& policy, Fn&& fn) -> decltype(fn()) {
+  const std::size_t attempts = policy.attempts == 0 ? 1 : policy.attempts;
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      return fn();
+    } catch (const SerializationError&) {
+      throw;  // corruption is deterministic, not transient
+    } catch (const Error&) {
+      if (attempt + 1 >= attempts) throw;
+      const double ms = policy.base_backoff_ms * static_cast<double>(1ULL << attempt);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<long>(ms * 1000.0)));
+    }
+  }
+}
+
+}  // namespace gp::faults

@@ -66,4 +66,43 @@ std::string parallel_sweep_json(std::size_t hardware_concurrency,
   return out.str();
 }
 
+std::string fault_sweep_json(double abstain_margin,
+                             const std::vector<double>& severities,
+                             const std::vector<FaultFamilySeries>& families) {
+  std::ostringstream out;
+  out << "{\n  \"abstain_margin\": " << json::number(abstain_margin)
+      << ",\n  \"severities\": [";
+  for (std::size_t i = 0; i < severities.size(); ++i) {
+    out << (i ? ", " : "") << json::number(severities[i]);
+  }
+  out << "],\n  \"families\": [\n";
+  for (std::size_t f = 0; f < families.size(); ++f) {
+    const FaultFamilySeries& family = families[f];
+    out << "    {\"kind\": \"" << json::escape(family.kind) << "\", \"rows\": [\n";
+    for (std::size_t i = 0; i < family.rows.size(); ++i) {
+      const FaultSweepRow& r = family.rows[i];
+      const double accuracy =
+          r.classified == 0 ? 0.0
+                            : static_cast<double>(r.correct) /
+                                  static_cast<double>(r.classified);
+      out << "      {\"severity\": " << json::number(r.severity)
+          << ", \"frames_in\": " << r.frames_in
+          << ", \"frames_delivered\": " << r.frames_delivered
+          << ", \"frames_dropped\": " << r.frames_dropped
+          << ", \"ghost_points\": " << r.ghost_points
+          << ", \"points_removed\": " << r.points_removed
+          << ", \"segments\": " << r.segments
+          << ", \"classified\": " << r.classified
+          << ", \"abstained\": " << r.abstained
+          << ", \"correct\": " << r.correct
+          << ", \"accuracy\": " << json::number(accuracy)
+          << ", \"uncaught_exceptions\": " << r.uncaught_exceptions << "}"
+          << (i + 1 < family.rows.size() ? "," : "") << "\n";
+    }
+    out << "    ]}" << (f + 1 < families.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
 }  // namespace gp::obs

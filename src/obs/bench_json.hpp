@@ -45,4 +45,37 @@ std::string parallel_sweep_json(std::size_t hardware_concurrency,
                                 const std::vector<std::size_t>& threads,
                                 const std::vector<SweepStageSeries>& stages);
 
+/// One (fault family, severity) cell of the robustness sweep.
+struct FaultSweepRow {
+  double severity = 0.0;
+  std::uint64_t frames_in = 0;         ///< frames entering the injector
+  std::uint64_t frames_delivered = 0;  ///< frames surviving injection
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t ghost_points = 0;
+  std::uint64_t points_removed = 0;
+  std::uint64_t segments = 0;    ///< segments the streaming segmenter detected
+  std::uint64_t classified = 0;  ///< clouds that got a (gesture,user) answer
+  std::uint64_t abstained = 0;   ///< clouds the system refused (kAbstain)
+  std::uint64_t correct = 0;     ///< classified AND gesture matched truth
+  std::uint64_t uncaught_exceptions = 0;  ///< must be 0: degradation, not death
+};
+
+/// One fault family's severity series.
+struct FaultFamilySeries {
+  std::string kind;  ///< fault_kind_name() string, or "mixed"
+  std::vector<FaultSweepRow> rows;
+};
+
+/// Builds the BENCH_faults.json document (graceful-degradation evidence,
+/// DESIGN.md §7). `accuracy` is derived as correct/classified (0 when
+/// nothing was classified). Schema (pinned by golden test
+/// `bench_faults_schema`):
+///   {abstain_margin, severities:[...], families:[{kind, rows:[{severity,
+///    frames_in, frames_delivered, frames_dropped, ghost_points,
+///    points_removed, segments, classified, abstained, correct, accuracy,
+///    uncaught_exceptions}]}]}
+std::string fault_sweep_json(double abstain_margin,
+                             const std::vector<double>& severities,
+                             const std::vector<FaultFamilySeries>& families);
+
 }  // namespace gp::obs

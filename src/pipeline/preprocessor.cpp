@@ -13,15 +13,36 @@ Preprocessor::Preprocessor(PreprocessorParams params) : params_(params) {
   check_arg(params_.frame_rate > 0.0, "frame rate must be positive");
 }
 
+const char* segment_quality_name(SegmentQuality quality) {
+  switch (quality) {
+    case SegmentQuality::kGood: return "good";
+    case SegmentQuality::kTooShort: return "too_short";
+    case SegmentQuality::kTooFewPoints: return "too_few_points";
+    case SegmentQuality::kEmpty: return "empty";
+  }
+  return "?";
+}
+
+SegmentQuality Preprocessor::assess(const GestureCloud& cloud) const {
+  if (cloud.points.empty()) return SegmentQuality::kEmpty;
+  if (cloud.points.size() < params_.min_points) return SegmentQuality::kTooFewPoints;
+  if (cloud.num_frames < params_.min_frames) return SegmentQuality::kTooShort;
+  return SegmentQuality::kGood;
+}
+
 GestureCloud Preprocessor::process_segment(const FrameSequence& segment) const {
   GP_SPAN("pipeline.noise_cancel");
   GestureCloud out;
-  if (segment.empty()) return out;
+  if (segment.empty()) {
+    out.quality = SegmentQuality::kEmpty;
+    return out;
+  }
   const auto cleaned = cancel_noise(segment, params_.noise);
   out.points = cleaned.main_cluster;
   out.num_frames = segment.size();
   out.first_frame = segment.front().frame_index;
   out.duration_s = static_cast<double>(segment.size()) / params_.frame_rate;
+  out.quality = assess(out);
   return out;
 }
 
@@ -30,7 +51,20 @@ std::vector<GestureCloud> Preprocessor::process(const FrameSequence& recording) 
   std::vector<GestureCloud> out;
   for (const auto& segment : GestureSegmenter::segment_all(recording, params_.segmentation)) {
     GestureCloud cloud = process_segment(segment.frames);
-    if (cloud.points.size() >= params_.min_points) out.push_back(std::move(cloud));
+    switch (cloud.quality) {
+      case SegmentQuality::kGood:
+        out.push_back(std::move(cloud));
+        break;
+      case SegmentQuality::kTooShort:
+        GP_COUNTER_ADD("gp.pipeline.rejected.too_short", 1);
+        break;
+      case SegmentQuality::kTooFewPoints:
+        GP_COUNTER_ADD("gp.pipeline.rejected.too_few_points", 1);
+        break;
+      case SegmentQuality::kEmpty:
+        GP_COUNTER_ADD("gp.pipeline.rejected.empty", 1);
+        break;
+    }
   }
   GP_COUNTER_ADD("gp.pipeline.segments", out.size());
   return out;

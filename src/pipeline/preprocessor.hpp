@@ -14,6 +14,19 @@
 
 namespace gp {
 
+/// Typed verdict on a preprocessed segment (graceful-degradation contract:
+/// a degraded capture yields a *labelled* low-quality cloud, never an
+/// exception and never a silently-classified glitch). Ordered from best to
+/// worst so callers can threshold.
+enum class SegmentQuality {
+  kGood = 0,         ///< passes every guard; safe to classify
+  kTooShort,         ///< fewer motion frames than min_frames (glitch/truncated)
+  kTooFewPoints,     ///< cleaned cloud below min_points (dropout/truncation)
+  kEmpty,            ///< nothing survived noise cancelling
+};
+
+const char* segment_quality_name(SegmentQuality quality);
+
 /// A preprocessed gesture: the cleaned aggregated cloud plus timing
 /// metadata (used by the duration study and the temporal feature channel).
 struct GestureCloud {
@@ -21,6 +34,7 @@ struct GestureCloud {
   std::size_t num_frames = 0;  ///< motion length in radar frames
   int first_frame = 0;         ///< first motion frame index
   double duration_s = 0.0;
+  SegmentQuality quality = SegmentQuality::kGood;  ///< set by process_segment
 };
 
 struct PreprocessorParams {
@@ -28,6 +42,9 @@ struct PreprocessorParams {
   NoiseCancelParams noise;
   double frame_rate = 10.0;
   std::size_t min_points = 8;  ///< segments with fewer points are dropped
+  /// Minimum motion duration in frames; shorter segments are single-frame
+  /// glitches or truncated captures and are rejected as kTooShort.
+  std::size_t min_frames = 2;
 };
 
 /// Runs the full preprocessing stage over a recording.
@@ -38,8 +55,14 @@ class Preprocessor {
   std::vector<GestureCloud> process(const FrameSequence& recording) const;
 
   /// Cleans a known single-gesture segment (used when ground-truth
-  /// segmentation is available, e.g. regenerated public datasets).
+  /// segmentation is available, e.g. regenerated public datasets). The
+  /// returned cloud carries its quality verdict (assess()).
   GestureCloud process_segment(const FrameSequence& segment) const;
+
+  /// The quality verdict the min-point / min-duration guards assign to a
+  /// processed cloud. process() only emits kGood clouds; callers on the
+  /// runtime path use this to abstain instead of classifying garbage.
+  SegmentQuality assess(const GestureCloud& cloud) const;
 
   const PreprocessorParams& params() const { return params_; }
 

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/math_utils.hpp"
+#include "obs/metrics.hpp"
 
 namespace gp {
 
@@ -35,7 +36,52 @@ bool GestureSegmenter::is_motion_frame(std::size_t point_count) const {
   return point_count >= current_threshold();
 }
 
+void GestureSegmenter::reset_window() {
+  std::fill(window_states_.begin(), window_states_.end(), 0);
+  window_pos_ = 0;
+  window_frames_.clear();
+}
+
+void GestureSegmenter::close_pending() {
+  if (!in_gesture_ || pending_.empty()) {
+    in_gesture_ = false;
+    pending_.clear();
+    return;
+  }
+  // Trim trailing static frames beyond the last motion frame.
+  const std::size_t keep =
+      std::min(pending_.size(), last_motion_frame_ - gesture_start_ + 1);
+  if (keep > 0) {
+    GestureSegment seg;
+    seg.start_frame = gesture_start_;
+    seg.end_frame = gesture_start_ + keep - 1;
+    seg.frames.assign(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(keep));
+    completed_.push_back(std::move(seg));
+  }
+  in_gesture_ = false;
+  pending_.clear();
+}
+
 void GestureSegmenter::push(const FrameCloud& frame) {
+  // Gap-aware hangover: a frame_index jump beyond max_gap_frames means the
+  // sensor went dark (dropped frames / duty-cycle dropout). Close the open
+  // gesture at the last delivered frame and forget the sliding window so
+  // pre-gap motion cannot co-trigger with whatever follows the dropout.
+  // Contiguous streams (gap == 0) never enter this branch.
+  if (have_last_index_) {
+    const long gap = static_cast<long>(frame.frame_index) -
+                     static_cast<long>(last_frame_index_) - 1;
+    if (gap > static_cast<long>(params_.max_gap_frames)) {
+      if (in_gesture_) {
+        close_pending();
+        GP_COUNTER_ADD("gp.pipeline.gap_closures", 1);
+      }
+      reset_window();
+    }
+  }
+  have_last_index_ = true;
+  last_frame_index_ = frame.frame_index;
+
   const bool motion = is_motion_frame(frame.points.size());
 
   // Update the background history AFTER classifying and only outside
@@ -97,36 +143,13 @@ void GestureSegmenter::push(const FrameCloud& frame) {
           }
         }
       }
-      // Trim trailing static frames beyond the last motion frame.
-      const std::size_t keep =
-          std::min(pending_.size(), last_motion_frame_ - gesture_start_ + 1);
-      GestureSegment seg;
-      seg.start_frame = gesture_start_;
-      seg.end_frame = gesture_start_ + keep - 1;
-      seg.frames.assign(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(keep));
-      completed_.push_back(std::move(seg));
-      in_gesture_ = false;
-      pending_.clear();
+      close_pending();
     }
   }
   ++frames_seen_;
 }
 
-void GestureSegmenter::finish() {
-  if (in_gesture_ && !pending_.empty()) {
-    const std::size_t keep =
-        std::min(pending_.size(), last_motion_frame_ - gesture_start_ + 1);
-    if (keep > 0) {
-      GestureSegment seg;
-      seg.start_frame = gesture_start_;
-      seg.end_frame = gesture_start_ + keep - 1;
-      seg.frames.assign(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(keep));
-      completed_.push_back(std::move(seg));
-    }
-    in_gesture_ = false;
-    pending_.clear();
-  }
-}
+void GestureSegmenter::finish() { close_pending(); }
 
 std::vector<GestureSegment> GestureSegmenter::take_segments() {
   std::vector<GestureSegment> out;

@@ -26,6 +26,13 @@ struct SegmentationParams {
   std::size_t threshold_margin = 2;    ///< added above the quantile
   std::size_t min_threshold = 3;       ///< floor for P_Thr
   std::size_t max_gesture_frames = 120;///< safety bound on segment length
+  /// Hangover tolerance for missing frames (gap-aware segmentation): a jump
+  /// in the pushed frame_index of up to this many missing frames inside a
+  /// gesture is coasted over (a lossy link dropped frames mid-motion); a
+  /// larger gap closes the open gesture at the last delivered frame —
+  /// whatever was captured is emitted instead of being merged with
+  /// unrelated post-dropout motion. Contiguous streams never hit this path.
+  std::size_t max_gap_frames = 5;
 };
 
 /// One segmented gesture motion.
@@ -55,6 +62,12 @@ class GestureSegmenter {
 
  private:
   bool is_motion_frame(std::size_t point_count) const;
+  /// Trims trailing static frames and emits the open gesture (shared by
+  /// finish(), gap-closure, and the in-stream close paths).
+  void close_pending();
+  /// Forgets the sliding-window state after a dropout gap, so pre-gap
+  /// frames can never co-trigger a detection with post-gap motion.
+  void reset_window();
 
   SegmentationParams params_;
   /// Background point-count history (oldest first). The newest
@@ -67,6 +80,8 @@ class GestureSegmenter {
   std::size_t frames_seen_ = 0;
 
   bool in_gesture_ = false;
+  bool have_last_index_ = false;
+  int last_frame_index_ = 0;                ///< frame_index of the last push
   FrameSequence pending_;                   ///< frames of the open gesture
   std::vector<FrameCloud> window_frames_;   ///< frames inside the window
   std::size_t gesture_start_ = 0;

@@ -1,12 +1,16 @@
 #include "system/gestureprint.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "common/math_utils.hpp"
 #include "common/serialize.hpp"
+#include "faults/selfheal.hpp"
 #include "nn/loss.hpp"
 #include "nn/serialize_nn.hpp"
 #include "obs/metrics.hpp"
@@ -14,8 +18,57 @@
 
 namespace gp {
 
+namespace {
+
+/// FNV-1a over a byte blob — the model-file integrity checksum.
+std::uint64_t blob_digest(const std::string& blob) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : blob) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// GP_ABSTAIN_MARGIN override for the config field (empty/unset: keep).
+double env_abstain_margin(double fallback) {
+  const char* v = std::getenv("GP_ABSTAIN_MARGIN");
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || parsed < 0.0 || parsed > 1.0) {
+    log_warn() << "ignoring invalid GP_ABSTAIN_MARGIN='" << v << "' (want a value in [0,1])";
+    return fallback;
+  }
+  return parsed;
+}
+
+}  // namespace
+
+double top2_margin(const std::vector<double>& probabilities) {
+  if (probabilities.size() < 2) return 1.0;
+  double top1 = -1.0;
+  double top2 = -1.0;
+  for (const double p : probabilities) {
+    if (p > top1) {
+      top2 = top1;
+      top1 = p;
+    } else if (p > top2) {
+      top2 = p;
+    }
+  }
+  return top1 - top2;
+}
+
+bool should_abstain(const std::vector<double>& probabilities, double margin) {
+  if (margin <= 0.0) return false;
+  return top2_margin(probabilities) < margin;
+}
+
 GesturePrintSystem::GesturePrintSystem(GesturePrintConfig config)
-    : config_(std::move(config)), rng_(config_.seed, 0xB5297A4D3F2C1E05ULL) {}
+    : config_(std::move(config)), rng_(config_.seed, 0xB5297A4D3F2C1E05ULL) {
+  config_.abstain_margin = env_abstain_margin(config_.abstain_margin);
+}
 
 GesIDNet& GesturePrintSystem::gesture_model() {
   check(gesture_model_ != nullptr, "system not fitted");
@@ -148,23 +201,63 @@ void GesturePrintSystem::fine_tune(const Dataset& dataset,
 
 void GesturePrintSystem::save(const std::string& path) {
   check(fitted(), "save before fit");
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw Error("cannot open system file for writing: " + path);
-  BinaryWriter writer(out, "GPSY");
-  writer.write_u8(config_.mode == IdentificationMode::kSerialized ? 1 : 0);
-  writer.write_u32(static_cast<std::uint32_t>(num_gestures_));
-  writer.write_u32(static_cast<std::uint32_t>(num_users_));
-  nn::save_parameters(out, full_state(*gesture_model_));
-  writer.write_u32(static_cast<std::uint32_t>(user_models_.size()));
-  for (auto& model : user_models_) {
-    writer.write_u8(model != nullptr ? 1 : 0);
-    if (model != nullptr) nn::save_parameters(out, full_state(*model));
+  // Serialize into memory first so a whole-payload checksum trailer can be
+  // appended: load() verifies it before parsing, turning silent bit rot
+  // into a typed, quarantinable SerializationError.
+  std::ostringstream buf(std::ios::binary);
+  {
+    BinaryWriter writer(buf, "GPSY");
+    writer.write_u8(config_.mode == IdentificationMode::kSerialized ? 1 : 0);
+    writer.write_u32(static_cast<std::uint32_t>(num_gestures_));
+    writer.write_u32(static_cast<std::uint32_t>(num_users_));
+    nn::save_parameters(buf, full_state(*gesture_model_));
+    writer.write_u32(static_cast<std::uint32_t>(user_models_.size()));
+    for (auto& model : user_models_) {
+      writer.write_u8(model != nullptr ? 1 : 0);
+      if (model != nullptr) nn::save_parameters(buf, full_state(*model));
+    }
   }
+  const std::string blob = buf.str();
+  const std::uint64_t digest = blob_digest(blob);
+
+  // Transient write failures (flaky storage) are retried with backoff.
+  faults::with_retries(faults::RetryPolicy{}, [&] {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("cannot open system file for writing: " + path);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    for (int i = 0; i < 8; ++i) {
+      out.put(static_cast<char>((digest >> (8 * i)) & 0xFF));
+    }
+    if (!out) throw Error("short write while saving system file: " + path);
+    return true;
+  });
 }
 
 void GesturePrintSystem::load(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open system file for reading: " + path);
+  std::string blob;
+  {
+    std::ifstream file(path, std::ios::binary);
+    if (!file) throw Error("cannot open system file for reading: " + path);
+    std::ostringstream buf;
+    buf << file.rdbuf();
+    blob = buf.str();
+  }
+  if (blob.size() < 8) {
+    throw SerializationError("system file truncated (no checksum trailer): " + path);
+  }
+  std::uint64_t stored = 0;
+  for (int i = 0; i < 8; ++i) {
+    stored |= static_cast<std::uint64_t>(
+                  static_cast<unsigned char>(blob[blob.size() - 8 + i]))
+              << (8 * i);
+  }
+  blob.resize(blob.size() - 8);
+  if (blob_digest(blob) != stored) {
+    throw SerializationError("system file checksum mismatch (bit rot or truncation): " +
+                             path);
+  }
+
+  std::istringstream in(blob, std::ios::binary);
   BinaryReader reader(in, "GPSY");
   const bool serialized = reader.read_u8() == 1;
   if (serialized != (config_.mode == IdentificationMode::kSerialized)) {
@@ -192,11 +285,57 @@ void GesturePrintSystem::load(const std::string& path) {
   }
 }
 
+bool GesturePrintSystem::try_load(const std::string& path) {
+  // Missing file is the ordinary cold-start case: no warning, no retry.
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return false;
+
+  try {
+    // Transient open/read failures retry with backoff; corruption
+    // (SerializationError) escapes immediately — re-reading rotten bytes
+    // cannot heal them.
+    faults::with_retries(faults::RetryPolicy{}, [&] {
+      load(path);
+      return true;
+    });
+    return true;
+  } catch (const SerializationError& e) {
+    const std::string moved = faults::quarantine_file(path);
+    GP_COUNTER_ADD("gp.system.model_quarantined", 1);
+    log_warn() << "quarantined corrupt system file " << path << " -> "
+               << (moved.empty() ? std::string("<rename failed>") : moved)
+               << " (" << e.what() << "); refit and re-save";
+  } catch (const Error& e) {
+    log_warn() << "cannot load system file " << path << ": " << e.what();
+  }
+  // Failure leaves the system unfitted so the caller's refit path is
+  // unambiguous (a half-loaded model must never classify).
+  gesture_model_.reset();
+  user_models_.clear();
+  return false;
+}
+
 InferenceResult GesturePrintSystem::classify(const GestureCloud& cloud) {
   GP_SPAN("system.classify");
   GP_COUNTER_ADD("gp.system.classifications", 1);
   check(fitted(), "classify before fit");
   const std::size_t rounds = std::max<std::size_t>(1, config_.eval_rounds);
+
+  // Quality gate (graceful degradation, DESIGN.md §7): when the abstention
+  // gate is armed, a cloud that failed its preprocessing guards is refused
+  // outright rather than resampled into garbage. With the gate disabled
+  // (abstain_margin == 0) behaviour is bitwise-identical to older builds.
+  if (config_.abstain_margin > 0.0 &&
+      (cloud.points.empty() || cloud.quality != SegmentQuality::kGood)) {
+    GP_COUNTER_ADD("gp.system.abstained.quality", 1);
+    InferenceResult refused;
+    refused.gesture = kAbstain;
+    refused.user = kAbstain;
+    refused.abstained = true;
+    refused.gesture_margin = 0.0;
+    refused.user_margin = 0.0;
+    return refused;
+  }
 
   // Featurize `rounds` stochastic resamplings of the cloud once; average
   // posteriors over them (test-time augmentation).
@@ -218,6 +357,19 @@ InferenceResult GesturePrintSystem::classify(const GestureCloud& cloud) {
     }
   }
   result.gesture = static_cast<int>(argmax(result.gesture_probabilities));
+  result.gesture_margin = top2_margin(result.gesture_probabilities);
+
+  // Confidence gate on the gesture head: an ambiguous posterior means the
+  // capture degraded past what the model can disambiguate. Abstaining here
+  // also skips user ID — serialized mode would route to the *wrong* ID
+  // model, which is worse than no answer.
+  if (should_abstain(result.gesture_probabilities, config_.abstain_margin)) {
+    GP_COUNTER_ADD("gp.system.abstained.gesture", 1);
+    result.gesture = kAbstain;
+    result.user = kAbstain;
+    result.abstained = true;
+    return result;
+  }
 
   GesIDNet* id_model = nullptr;
   if (config_.mode == IdentificationMode::kParallel) {
@@ -235,6 +387,12 @@ InferenceResult GesturePrintSystem::classify(const GestureCloud& cloud) {
       }
     }
     result.user = static_cast<int>(argmax(result.user_probabilities));
+    result.user_margin = top2_margin(result.user_probabilities);
+    if (should_abstain(result.user_probabilities, config_.abstain_margin)) {
+      GP_COUNTER_ADD("gp.system.abstained.user", 1);
+      result.user = kAbstain;
+      result.abstained = true;
+    }
   }
   return result;
 }

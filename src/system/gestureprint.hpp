@@ -22,6 +22,20 @@ namespace gp {
 
 enum class IdentificationMode { kSerialized, kParallel };
 
+/// Label value returned by classify() when the system abstains: the
+/// posterior margin fell below the calibrated abstention margin, or the
+/// cloud failed its quality guards. Distinct from -1 ("no model ran").
+inline constexpr int kAbstain = -2;
+
+/// Top-1 minus top-2 posterior probability — the abstention-gate statistic.
+/// Returns 1.0 for distributions with fewer than two classes.
+double top2_margin(const std::vector<double>& probabilities);
+
+/// The abstention gate: true when the margin of `probabilities` is below
+/// `margin` (a non-positive margin disables the gate). Monotone in
+/// `margin`: raising it can only turn answers into abstentions.
+bool should_abstain(const std::vector<double>& probabilities, double margin);
+
 struct GesturePrintConfig {
   GesIDNetConfig network;          ///< num_classes is set per model internally
   TrainConfig training;
@@ -32,14 +46,24 @@ struct GesturePrintConfig {
   /// to training, and averaging removes resampling variance.
   std::size_t eval_rounds = 3;
   std::uint64_t seed = 99;
+  /// Confidence-gated abstention (coverage/risk trade-off): classify()
+  /// returns kAbstain when the top-1/top-2 posterior margin falls below
+  /// this value, instead of silently misclassifying a degraded capture.
+  /// 0 disables the gate (the clean-capture default — bitwise-identical
+  /// behaviour to a build without the gate). The GP_ABSTAIN_MARGIN
+  /// environment variable, when set, overrides this field.
+  double abstain_margin = 0.0;
 };
 
 /// Result of classifying one gesture sample.
 struct InferenceResult {
-  int gesture = -1;
-  int user = -1;
+  int gesture = -1;             ///< class id, or kAbstain
+  int user = -1;                ///< class id, or kAbstain
   std::vector<double> gesture_probabilities;
   std::vector<double> user_probabilities;
+  bool abstained = false;       ///< any gate fired (margin or quality)
+  double gesture_margin = 1.0;  ///< top-1 minus top-2 gesture posterior
+  double user_margin = 1.0;     ///< top-1 minus top-2 user posterior
 };
 
 /// Aggregate evaluation metrics matching Table II's columns.
@@ -69,11 +93,21 @@ class GesturePrintSystem {
   void fine_tune(const Dataset& dataset, std::span<const std::size_t> indices,
                  std::size_t epochs, double lr = 5e-4);
 
-  /// Persists every trained model (weights + batch-norm statistics).
+  /// Persists every trained model (weights + batch-norm statistics). The
+  /// file carries a whole-payload FNV-1a checksum trailer so bit rot is
+  /// *detected* on load instead of silently perturbing weights.
   void save(const std::string& path);
   /// Restores a system saved with save(); the network configuration must
-  /// match the one this system was constructed with.
+  /// match the one this system was constructed with. Throws
+  /// SerializationError on checksum mismatch or malformed content.
   void load(const std::string& path);
+  /// Self-healing load (DESIGN.md §7): retries transient IO errors with
+  /// backoff; on a corrupt file, quarantines it aside (".quarantine"
+  /// suffix), logs one warning, and returns false so the caller can refit
+  /// and re-save instead of aborting. Returns false (without warning) when
+  /// the file simply does not exist. The system is left unfitted on
+  /// failure.
+  bool try_load(const std::string& path);
 
   /// Classifies one preprocessed gesture cloud (runtime path).
   InferenceResult classify(const GestureCloud& cloud);

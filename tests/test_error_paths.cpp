@@ -2,19 +2,28 @@
 // *typed* gp::Error (or subclass), raised before any partial state or
 // unbounded allocation. Covers RadarConfig validation, the pointcloud/io
 // and serialize decoders (including regressions for the hardened
-// length-prefix checks), the dataset cache, and eval/roc degenerate inputs.
+// length-prefix checks), the dataset cache (including the DESIGN.md §7
+// quarantine-and-regenerate recovery), and eval/roc degenerate inputs.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
 #include <limits>
 #include <sstream>
 #include <string>
 
 #include "common/error.hpp"
+#include "common/logging.hpp"
 #include "common/serialize.hpp"
 #include "datasets/cache.hpp"
+#include "datasets/catalog.hpp"
 #include "eval/roc.hpp"
 #include "pointcloud/io.hpp"
 #include "radar/config.hpp"
+#include "system/gestureprint.hpp"
+#include "testkit/oracle.hpp"
 #include "testkit/seeds.hpp"
 
 namespace gp {
@@ -178,6 +187,116 @@ TEST(DatasetCacheErrors, SeedStillParsesCleanly) {
   ASSERT_TRUE(dataset.has_value());
   EXPECT_EQ(dataset->samples.size(), 4u);
   EXPECT_EQ(dataset->users.size(), 2u);
+}
+
+// ---- datasets/cache: quarantine-and-regenerate (DESIGN.md §7) -------------
+
+/// Fresh per-test cache directory under the system temp dir.
+std::string fresh_cache_dir(const std::string& tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("gp_quarantine_" + tag + "_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+DatasetSpec tiny_spec() {
+  DatasetScale scale;
+  scale.max_users = 2;
+  scale.reps = 1;
+  DatasetSpec spec = gestureprint_spec(1, scale);
+  spec.gestures.resize(2);
+  return spec;
+}
+
+TEST(DatasetCacheQuarantine, CorruptEntryIsQuarantinedAndRegenerated) {
+  const std::string dir = fresh_cache_dir("regen");
+  const DatasetSpec spec = tiny_spec();
+  const std::string path = dir + "/" + dataset_cache_key(spec) + ".gpds";
+
+  const Dataset original = generate_dataset_cached(spec, dir);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // Truncate the entry to half its size: a guaranteed typed decode failure
+  // (bit flips in the point payload could parse cleanly; truncation cannot).
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+
+  const std::uint64_t warnings_before = log_emit_count(LogLevel::kWarn);
+  const Dataset regenerated = generate_dataset_cached(spec, dir);
+
+  // Exactly one warning: the quarantine notice, nothing else.
+  EXPECT_EQ(log_emit_count(LogLevel::kWarn) - warnings_before, 1u);
+  // The corrupt bytes survive aside for a post-mortem...
+  const std::string quarantine = path + ".quarantine";
+  ASSERT_TRUE(std::filesystem::exists(quarantine));
+  EXPECT_EQ(std::filesystem::file_size(quarantine), full_size / 2);
+  // ...while the cache entry is rebuilt in place and loads cleanly.
+  ASSERT_TRUE(std::filesystem::exists(path));
+  EXPECT_EQ(std::filesystem::file_size(path), full_size);
+  ASSERT_TRUE(load_dataset(path).has_value());
+  // Regeneration is deterministic: same spec, same dataset.
+  EXPECT_EQ(testkit::exact_digest(regenerated), testkit::exact_digest(original));
+
+  // A third call is a clean cache hit; the quarantine file is preserved
+  // (evidence is never garbage-collected behind the operator's back).
+  const std::uint64_t warnings_mid = log_emit_count(LogLevel::kWarn);
+  (void)generate_dataset_cached(spec, dir);
+  EXPECT_EQ(log_emit_count(LogLevel::kWarn), warnings_mid);
+  EXPECT_TRUE(std::filesystem::exists(quarantine));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DatasetCacheQuarantine, RepeatCorruptionReplacesOldQuarantine) {
+  const std::string dir = fresh_cache_dir("repeat");
+  const DatasetSpec spec = tiny_spec();
+  const std::string path = dir + "/" + dataset_cache_key(spec) + ".gpds";
+
+  (void)generate_dataset_cached(spec, dir);
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size / 2);
+  (void)generate_dataset_cached(spec, dir);
+  // Corrupt again, differently: the newest corruption wins the .quarantine
+  // name instead of the rename failing against the existing file.
+  std::filesystem::resize_file(path, full_size / 3);
+  (void)generate_dataset_cached(spec, dir);
+  ASSERT_TRUE(std::filesystem::exists(path + ".quarantine"));
+  EXPECT_EQ(std::filesystem::file_size(path + ".quarantine"), full_size / 3);
+
+  std::filesystem::remove_all(dir);
+}
+
+// ---- system/gestureprint: self-healing model load -------------------------
+
+TEST(SystemModelQuarantine, TryLoadQuarantinesGarbageAndLeavesSystemUnfitted) {
+  const std::string dir = fresh_cache_dir("model");
+  const std::string path = dir + "/model.gpsy";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a GPSY model file, but it is long enough to carry "
+           "something that looks like a checksum trailer";
+  }
+
+  GesturePrintSystem system;
+  const std::uint64_t warnings_before = log_emit_count(LogLevel::kWarn);
+  EXPECT_FALSE(system.try_load(path));
+  EXPECT_FALSE(system.fitted());
+  EXPECT_EQ(log_emit_count(LogLevel::kWarn) - warnings_before, 1u);
+  // Corrupt file moved aside, not destroyed and not left in place.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".quarantine"));
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SystemModelQuarantine, TryLoadOnMissingFileIsSilentlyFalse) {
+  GesturePrintSystem system;
+  const std::uint64_t warnings_before = log_emit_count(LogLevel::kWarn);
+  EXPECT_FALSE(system.try_load("/nonexistent/path/model.gpsy"));
+  EXPECT_FALSE(system.fitted());
+  // Cold start is not an anomaly: no warning.
+  EXPECT_EQ(log_emit_count(LogLevel::kWarn), warnings_before);
 }
 
 // ---- eval/roc: degenerate inputs ------------------------------------------

@@ -217,6 +217,33 @@ TEST(GoldenSnapshot, BenchJsonSchemasMatchGolden) {
   EXPECT_TRUE(outcome.ok) << outcome.message;
 }
 
+TEST(GoldenSnapshot, FaultSweepSchemaMatchesGolden) {
+  // Exemplar BENCH_faults.json (bench/fault_sweep.cpp): two families, two
+  // severities, values arbitrary — only the key-path set is pinned.
+  obs::FaultSweepRow row;
+  row.severity = 0.5;
+  row.frames_in = 100;
+  row.frames_delivered = 80;
+  row.frames_dropped = 20;
+  row.ghost_points = 7;
+  row.points_removed = 13;
+  row.segments = 5;
+  row.classified = 4;
+  row.abstained = 1;
+  row.correct = 3;
+  const std::string faults = obs::fault_sweep_json(
+      0.1, {0.0, 0.5},
+      {{"frame_drop", {obs::FaultSweepRow{}, row}}, {"mixed", {row}}});
+
+  testkit::Snapshot snap;
+  snap.add(testkit::summarize_json_schema("bench.faults_schema",
+                                          obs::json::parse(faults)));
+  const testkit::GoldenOutcome outcome =
+      testkit::check_golden(g_golden, "bench_faults_schema", snap);
+  if (outcome.updated) std::cout << outcome.message;
+  EXPECT_TRUE(outcome.ok) << outcome.message;
+}
+
 }  // namespace
 }  // namespace gp
 

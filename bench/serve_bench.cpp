@@ -1,0 +1,199 @@
+// gp::serve throughput sweep (DESIGN.md §8): N concurrent client sessions
+// stream continuous multi-gesture recordings into the serving layer, which
+// runs segmentation/featurization in the parallel shard drain and answers
+// completed segments through fused, cross-session micro-batched GesIDNet
+// forwards. The sequential baseline classifies the *same* segments one at a
+// time through the offline GesturePrintSystem::classify() path (unfused,
+// per-segment forward) — exactly what a caller without gp::serve would run.
+//
+// Emits <output_dir>/BENCH_serve.json and self-checks the headline
+// acceptance invariant on the exit code: at >= 8 concurrent sessions the
+// best serve cell must be >= 2x the sequential baseline.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "datasets/catalog.hpp"
+#include "eval/splits.hpp"
+#include "obs/bench_json.hpp"
+#include "pipeline/preprocessor.hpp"
+#include "serve/server.hpp"
+#include "system/gestureprint.hpp"
+
+namespace {
+
+using namespace gp;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+/// Sequential per-segment baseline: segment + preprocess each recording
+/// (same pipeline work serve does), then classify() every segment one at a
+/// time on the unfused system. Returns (segments, ms).
+obs::ServeBaselineRow run_baseline(const std::vector<ContinuousRecording>& recordings,
+                                   const GesturePrintConfig& config,
+                                   const std::string& model_path) {
+  obs::ServeBaselineRow row;
+  row.sessions = recordings.size();
+  GesturePrintSystem system(config);
+  system.load(model_path);  // unfused: the offline classify() path
+
+  const Clock::time_point start = Clock::now();
+  const Preprocessor preprocessor;
+  for (const ContinuousRecording& recording : recordings) {
+    GestureSegmenter segmenter;
+    auto consume = [&](const GestureSegment& segment) {
+      const GestureCloud cloud = preprocessor.process_segment(segment.frames);
+      ++row.segments;
+      (void)system.classify(cloud);
+    };
+    for (const FrameCloud& frame : recording.frames) {
+      segmenter.push(frame);
+      for (const GestureSegment& s : segmenter.take_segments()) consume(s);
+    }
+    segmenter.finish();
+    for (const GestureSegment& s : segmenter.take_segments()) consume(s);
+  }
+  row.ms = ms_since(start);
+  return row;
+}
+
+/// One serve cell: round-robin interleaved streaming of every session's
+/// frames with a pump per frame round, then a final drain.
+obs::ServeSweepCell run_serve_cell(const std::vector<ContinuousRecording>& recordings,
+                                   const serve::ServeConfig& serve_config,
+                                   serve::ModelRegistry& registry) {
+  obs::ServeSweepCell cell;
+  cell.sessions = recordings.size();
+  cell.batch_max = serve_config.batch_max;
+
+  const Clock::time_point start = Clock::now();
+  serve::Server server(serve_config, registry);
+  std::size_t max_frames = 0;
+  for (const ContinuousRecording& r : recordings) {
+    max_frames = std::max(max_frames, r.frames.size());
+  }
+  std::vector<serve::ServeResult> results;
+  for (std::size_t f = 0; f < max_frames; ++f) {
+    for (std::size_t s = 0; s < recordings.size(); ++s) {
+      if (f >= recordings[s].frames.size()) continue;
+      (void)server.push_frame(static_cast<std::uint64_t>(s + 1), recordings[s].frames[f]);
+    }
+    for (serve::ServeResult& r : server.pump()) results.push_back(std::move(r));
+  }
+  for (serve::ServeResult& r : server.drain()) results.push_back(std::move(r));
+  cell.ms = ms_since(start);
+
+  const serve::MicroBatcher::Stats stats = server.batch_stats();
+  cell.segments = stats.segments;
+  cell.results = results.size();
+  cell.batches = stats.batches;
+  cell.abstained = stats.abstained;
+  return cell;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gp;
+  bench::banner("serve_bench", "DESIGN.md §8 (serving layer; not in the paper)");
+
+  DatasetScale scale;
+  scale.max_users = 3;
+  scale.reps = 10;
+  DatasetSpec spec = gestureprint_spec(1, scale);
+  spec.gestures.resize(5);
+
+  std::cout << "Training on " << spec.num_users << " users x " << spec.gestures.size()
+            << " gestures...\n";
+  const Dataset dataset = generate_dataset(spec);
+  GesturePrintConfig config;
+  config.training.epochs = 8;
+  config.prep.augmentation.copies = 2;
+  config.abstain_margin = 0.10;
+
+  const std::string model_path = output_dir() + "/serve_bench_model.gpsy";
+  {
+    GesturePrintSystem trainer(config);
+    Rng split_rng(3, 1);
+    trainer.fit(dataset, stratified_split(dataset.gesture_labels(), 0.2, split_rng).train);
+    trainer.save(model_path);
+  }
+
+  // One registry (fused snapshot) shared by every serve cell.
+  serve::ModelRegistry registry(config);
+  if (!registry.publish_file(model_path)) {
+    std::cout << "FAIL: could not publish " << model_path << "\n";
+    return 1;
+  }
+
+  const std::vector<int> script{0, 3, 1, 4, 2, 0};
+  const std::vector<std::size_t> sessions_swept{1, 4, 8, 16};
+  const std::vector<std::size_t> batch_max_swept{1, 8, 32};
+
+  // Pre-generate per-session recordings once: session s streams user
+  // (s % users) performing the script, each from its own seed.
+  std::vector<ContinuousRecording> all_recordings;
+  for (std::size_t s = 0; s < sessions_swept.back(); ++s) {
+    all_recordings.push_back(
+        generate_recording(spec, s % spec.num_users, script, 20260806 + s));
+  }
+
+  std::vector<obs::ServeBaselineRow> baseline;
+  std::vector<obs::ServeSweepCell> cells;
+  for (std::size_t n : sessions_swept) {
+    const std::vector<ContinuousRecording> recordings(all_recordings.begin(),
+                                                      all_recordings.begin() + n);
+    baseline.push_back(run_baseline(recordings, config, model_path));
+    const obs::ServeBaselineRow& b = baseline.back();
+    std::cout << "  sessions=" << n << " sequential: " << b.segments << " segments in "
+              << b.ms << " ms\n";
+    for (std::size_t bm : batch_max_swept) {
+      serve::ServeConfig serve_config;
+      serve_config.system = config;
+      serve_config.batch_max = bm;
+      serve_config.batch_wait_us = 0;  // flush on every pump: latency-greedy
+      cells.push_back(run_serve_cell(recordings, serve_config, registry));
+      obs::ServeSweepCell& cell = cells.back();
+      cell.speedup = cell.ms > 0.0 ? b.ms / cell.ms : 0.0;
+      std::cout << "  sessions=" << n << " batch_max=" << bm << " serve: "
+                << cell.segments << " segments, " << cell.batches << " batches, "
+                << cell.ms << " ms (speedup " << cell.speedup << "x)\n";
+    }
+  }
+
+  const std::string json =
+      obs::serve_bench_json(sessions_swept, batch_max_swept, baseline, cells);
+  const std::string path = output_dir() + "/BENCH_serve.json";
+  std::ofstream(path) << json;
+  std::cout << "\nWrote " << path << "\n";
+
+  // Self-check (CI gates on the exit code, no artifact parsing needed):
+  //  1. every serve cell answered every segment it admitted;
+  //  2. at >= 8 sessions, the best cell is >= 2x the sequential baseline.
+  bool ok = true;
+  double best_speedup_8plus = 0.0;
+  for (const obs::ServeSweepCell& cell : cells) {
+    if (cell.results != cell.segments) {
+      std::cout << "FAIL: sessions=" << cell.sessions << " batch_max=" << cell.batch_max
+                << " answered " << cell.results << "/" << cell.segments << " segments\n";
+      ok = false;
+    }
+    if (cell.sessions >= 8) best_speedup_8plus = std::max(best_speedup_8plus, cell.speedup);
+  }
+  if (best_speedup_8plus < 2.0) {
+    std::cout << "FAIL: best speedup at >= 8 sessions is " << best_speedup_8plus
+              << "x (< 2x)\n";
+    ok = false;
+  } else {
+    std::cout << "Best speedup at >= 8 sessions: " << best_speedup_8plus << "x (>= 2x)\n";
+  }
+  std::cout << (ok ? "Serving invariants hold.\n" : "Invariants VIOLATED.\n");
+  return ok ? 0 : 1;
+}

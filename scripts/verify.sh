@@ -5,7 +5,7 @@
 #   scripts/verify.sh asan       # tier 2: -DGP_SANITIZE=address build,
 #                                #         fuzz-smoke + obs-smoke + fault labels
 #   scripts/verify.sh tsan       # tier 3: -DGP_SANITIZE=thread build,
-#                                #         tsan-smoke label
+#                                #         tsan-smoke + serve labels
 #   scripts/verify.sh all        # tiers 1 + 2 + 3 in sequence
 #
 # Tier 1 is the bar every PR must clear (ROADMAP "tier-1"); the sanitizer
@@ -33,10 +33,10 @@ run_asan() {
 }
 
 run_tsan() {
-  echo "==> tier 3: ThreadSanitizer build, tsan-smoke label"
+  echo "==> tier 3: ThreadSanitizer build, tsan-smoke + serve labels"
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DGP_SANITIZE=thread >/dev/null
   cmake --build "$ROOT/build-tsan" -j "$JOBS"
-  (cd "$ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS" -L tsan-smoke)
+  (cd "$ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS" -L 'tsan-smoke|serve')
 }
 
 case "$MODE" in

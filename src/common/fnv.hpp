@@ -1,0 +1,48 @@
+// Canonical FNV-1a-64 (gp::fnv) — the single home for the hash constants
+// that were previously copy-pasted into gp::testkit::Digest, the model-file
+// checksum trailer in src/system/gestureprint.cpp, the fault-schedule digest
+// in src/faults/faults.cpp, and gp::fnv1a in src/kinematics/performer.cpp.
+//
+// Every consumer streams bytes through the same accumulate() loop, so a
+// digest produced by one subsystem is bit-identical to a digest of the same
+// payload produced by any other (pinned by FnvDedup.* in tests/test_common.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gp::fnv {
+
+/// FNV-1a 64-bit offset basis (14695981039346656037).
+inline constexpr std::uint64_t kOffsetBasis = 0xCBF29CE484222325ULL;
+/// FNV-1a 64-bit prime (1099511628211).
+inline constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+
+/// Folds `n` bytes into a running FNV-1a state `h` and returns the new state.
+inline std::uint64_t accumulate(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+/// One-shot digest of a byte buffer.
+inline std::uint64_t hash_bytes(const void* data, std::size_t n) {
+  return accumulate(kOffsetBasis, data, n);
+}
+
+/// One-shot digest of a string's bytes (no length prefix, no terminator).
+inline std::uint64_t hash_string(std::string_view s) {
+  return hash_bytes(s.data(), s.size());
+}
+
+/// Folds the raw object representation of a trivially-copyable value.
+template <typename T>
+inline std::uint64_t accumulate_value(std::uint64_t h, const T& v) {
+  return accumulate(h, &v, sizeof(v));
+}
+
+}  // namespace gp::fnv

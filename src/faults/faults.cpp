@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/fnv.hpp"
 #include "exec/exec.hpp"
 #include "obs/metrics.hpp"
 
@@ -16,20 +17,14 @@ namespace {
 
 double clamp01(double v) { return std::min(1.0, std::max(0.0, v)); }
 
-/// FNV-1a over raw bytes; all schedule values are deterministic, so raw
-/// IEEE bits are a stable digest basis.
+/// Canonical FNV-1a (common/fnv.hpp); all schedule values are deterministic,
+/// so raw IEEE bits are a stable digest basis.
 struct Fnv {
-  std::uint64_t h = 1469598103934665603ULL;
-  void bytes(const void* data, std::size_t n) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-      h ^= p[i];
-      h *= 1099511628211ULL;
-    }
-  }
+  std::uint64_t h = fnv::kOffsetBasis;
+  void bytes(const void* data, std::size_t n) { h = fnv::accumulate(h, data, n); }
   template <typename T>
   void value(const T& v) {
-    bytes(&v, sizeof(v));
+    h = fnv::accumulate_value(h, v);
   }
 };
 

@@ -130,6 +130,7 @@ nn::Tensor GesIDNet::infer(const BatchedCloud& batch) {
 }
 
 double GesIDNet::train_step(const BatchedCloud& batch, const std::vector<int>& labels) {
+  check(!fused_, "train_step on a fused (inference-only) GesIDNet");
   const ForwardOut out = forward_internal(batch, /*training=*/true);
   const nn::LossResult primary = nn::softmax_cross_entropy(out.logits1, labels, 1.0);
   const nn::LossResult auxiliary =
@@ -138,7 +139,27 @@ double GesIDNet::train_step(const BatchedCloud& batch, const std::vector<int>& l
   return primary.loss + auxiliary.loss;
 }
 
+void GesIDNet::fuse_for_inference() {
+  if (fused_) return;
+  sa1_->fuse_inference();
+  sa2_->fuse_inference();
+  level1_->fuse_inference();
+  level2_->fuse_inference();
+  if (config_.enable_fusion) {
+    resize_2to1_->fuse_inference();
+    resize_1to2_->fuse_inference();
+    // AttentionFusion holds raw gate parameters (no Linear/BN stack): its
+    // forward is already a single pass, nothing to fold.
+  }
+  head1_->fuse_inference();
+  head2_->fuse_inference();
+  fused_ = true;
+}
+
 std::unique_ptr<PointCloudClassifier> GesIDNet::clone() {
+  // A fused model no longer exposes its training parameters, so a deep copy
+  // cannot be reconstructed; predict_logits falls back to its serial path.
+  if (fused_) return nullptr;
   // Fresh instance with the same architecture; the init draws are thrown
   // away immediately when the source weights are copied over. The clone
   // carries its own Rng so its Dropout layers never share a stream with the

@@ -62,6 +62,17 @@ class GesIDNet : public PointCloudClassifier {
 
   const GesIDNetConfig& config() const { return config_; }
 
+  /// Irreversibly rewrites every MLP stack into its fused inference form
+  /// (nn/fused.hpp): batch-norms folded into the linears, ReLU epilogues,
+  /// dropout removed, weights transposed for the outer-product kernel.
+  /// Afterwards the model is forward-only — train_step() throws, clone()
+  /// returns nullptr, and parameters()/buffers() must not be serialized.
+  /// gp::serve calls this on its private ModelSnapshot copies (the 2×
+  /// serving-throughput win, DESIGN.md §8); never fuse a model you still
+  /// need to train, save, or clone.
+  void fuse_for_inference();
+  bool fused() const { return fused_; }
+
  private:
   struct ForwardOut {
     nn::Tensor logits1;
@@ -71,6 +82,7 @@ class GesIDNet : public PointCloudClassifier {
   void backward_internal(const nn::Tensor& dlogits1, const nn::Tensor& dlogits2);
 
   GesIDNetConfig config_;
+  bool fused_ = false;  ///< fuse_for_inference() ran; forward-only now
   /// Clones own their Rng (the primary model borrows the caller's); declared
   /// before the layers so it outlives the Dropout that points into it.
   std::unique_ptr<Rng> owned_rng_;

@@ -43,6 +43,12 @@ class SetAbstraction {
   std::size_t out_channels() const { return out_channels_; }
   std::size_t num_centroids() const { return num_centroids_; }
 
+  /// Fuses every per-scale shared MLP for inference (nn/fused.hpp);
+  /// irreversible, forward-only afterwards.
+  void fuse_inference() {
+    for (auto& mlp : mlps_) mlp->fuse_inference();
+  }
+
  private:
   std::size_t num_centroids_;
   std::size_t in_channels_;
@@ -78,6 +84,9 @@ class GroupAll {
   std::vector<nn::Parameter*> parameters();
   std::vector<nn::Parameter*> buffers();
   std::size_t out_channels() const { return out_channels_; }
+
+  /// Fuses the shared MLP for inference (nn/fused.hpp); irreversible.
+  void fuse_inference() { mlp_->fuse_inference(); }
 
  private:
   std::size_t in_channels_;

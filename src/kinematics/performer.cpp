@@ -4,19 +4,13 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/fnv.hpp"
 #include "common/math_utils.hpp"
 #include "kinematics/trajectory.hpp"
 
 namespace gp {
 
-std::uint64_t fnv1a(const std::string& s) {
-  std::uint64_t h = 14695981039346656037ULL;
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
+std::uint64_t fnv1a(const std::string& s) { return fnv::hash_string(s); }
 
 GesturePerformer::GesturePerformer(UserProfile user, PerformanceConfig config)
     : user_(std::move(user)), config_(config) {

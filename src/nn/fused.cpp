@@ -1,0 +1,101 @@
+#include "nn/fused.hpp"
+
+#include <cmath>
+
+namespace gp::nn {
+
+FusedLinear::FusedLinear(Linear& linear, BatchNorm1d* bn, bool relu) : relu_(relu) {
+  const Tensor& w = linear.weight().value;  // (out × in)
+  const Tensor& b = linear.bias().value;    // (1 × out)
+  const std::size_t out = w.rows();
+  const std::size_t in = w.cols();
+  if (bn != nullptr) {
+    check_arg(bn->running_mean().cols() == out, "FusedLinear: BN width mismatch");
+  }
+
+  weight_t_ = Tensor(in, out);
+  bias_ = Tensor(1, out);
+  for (std::size_t c = 0; c < out; ++c) {
+    // Fold in double precision: scale = γ/√(σ²+ε) per output channel, the
+    // identity map when no batch-norm follows the linear.
+    double scale = 1.0;
+    double shift = 0.0;
+    if (bn != nullptr) {
+      const double inv_std =
+          1.0 / std::sqrt(static_cast<double>(bn->running_var().at(0, c)) + bn->eps());
+      scale = static_cast<double>(bn->gamma().value.at(0, c)) * inv_std;
+      shift = static_cast<double>(bn->beta().value.at(0, c)) -
+              static_cast<double>(bn->running_mean().at(0, c)) * scale;
+    }
+    for (std::size_t k = 0; k < in; ++k) {
+      weight_t_.at(k, c) = static_cast<float>(static_cast<double>(w.at(c, k)) * scale);
+    }
+    bias_.at(0, c) = static_cast<float>(static_cast<double>(b.at(0, c)) * scale + shift);
+  }
+}
+
+Tensor FusedLinear::forward(const Tensor& input, bool /*training*/) {
+  const std::size_t in = weight_t_.rows();
+  const std::size_t out = weight_t_.cols();
+  check_arg(input.cols() == in, "FusedLinear input width mismatch");
+
+  Tensor result(input.rows(), out);
+  const float* bias = bias_.row(0);
+  for (std::size_t i = 0; i < input.rows(); ++i) {
+    const float* x = input.row(i);
+    float* y = result.row(i);
+    for (std::size_t j = 0; j < out; ++j) y[j] = bias[j];
+    // Outer-product accumulation: broadcast x[k], stream the contiguous
+    // transposed weight row into the resident output row. Serial in k per
+    // row → bitwise batch-composition-independent per sample.
+    for (std::size_t k = 0; k < in; ++k) {
+      const float xk = x[k];
+      if (xk == 0.0f) continue;  // ReLU-sparse activations skip whole rows
+      const float* wrow = weight_t_.row(k);
+      for (std::size_t j = 0; j < out; ++j) y[j] += xk * wrow[j];
+    }
+    if (relu_) {
+      for (std::size_t j = 0; j < out; ++j) {
+        if (y[j] < 0.0f) y[j] = 0.0f;
+      }
+    }
+  }
+  return result;
+}
+
+Tensor FusedLinear::backward(const Tensor& /*grad_output*/) {
+  throw Error("FusedLinear is inference-only: backward() on a fused model");
+}
+
+// ---- Sequential::fuse_inference --------------------------------------------
+
+void Sequential::fuse_inference() {
+  std::vector<std::unique_ptr<Layer>> fused;
+  fused.reserve(layers_.size());
+  std::size_t i = 0;
+  while (i < layers_.size()) {
+    if (auto* lin = dynamic_cast<Linear*>(layers_[i].get())) {
+      std::size_t j = i + 1;
+      BatchNorm1d* bn = nullptr;
+      if (j < layers_.size()) {
+        bn = dynamic_cast<BatchNorm1d*>(layers_[j].get());
+        if (bn != nullptr) ++j;
+      }
+      bool relu = false;
+      if (j < layers_.size() && dynamic_cast<ReLU*>(layers_[j].get()) != nullptr) {
+        relu = true;
+        ++j;
+      }
+      fused.push_back(std::make_unique<FusedLinear>(*lin, bn, relu));
+      i = j;
+    } else if (dynamic_cast<Dropout*>(layers_[i].get()) != nullptr) {
+      ++i;  // identity at inference; drop it
+    } else {
+      fused.push_back(std::move(layers_[i]));
+      ++i;
+    }
+  }
+  layers_ = std::move(fused);
+}
+
+}  // namespace gp::nn

@@ -1,0 +1,52 @@
+// Inference-only fused layers (gp::serve hot path, DESIGN.md §8).
+//
+// FusedLinear collapses a [Linear → BatchNorm1d? → ReLU?] run into one
+// kernel at inference time:
+//   * the batch-norm affine map is folded into the linear weights
+//     (W'_cj = W_cj · γ_c/√(σ²_c+ε), b'_c = (b_c−μ_c)·γ_c/√(σ²_c+ε)+β_c,
+//     folding done in double precision once at fuse time);
+//   * the weight matrix is stored *transposed* (in × out) so the kernel is
+//     an outer-product accumulation — broadcast x[k], FMA into a contiguous
+//     output row — which vectorises over the output dimension;
+//   * the optional ReLU runs as an epilogue on the already-resident output
+//     row, eliminating the ReLU layer's mask allocation and extra pass.
+//
+// Determinism: for each output row the k-accumulation is a fixed serial
+// loop, so a sample's output depends only on its own input row — never on
+// batch composition, thread count, or shard placement. That property is
+// what lets gp::serve micro-batch segments from many sessions while keeping
+// per-session results bitwise reproducible.
+//
+// Fused layers are forward-only: backward() throws, parameters()/buffers()
+// are empty (the folded weights are no longer the training parameters).
+// Fuse only models that will never be trained, serialized, or cloned again
+// — gp::serve fuses its private ModelSnapshot copies, never the caller's
+// system.
+#pragma once
+
+#include "nn/layers.hpp"
+
+namespace gp::nn {
+
+/// One fused inference kernel; see file comment. Constructed by folding an
+/// existing trained Linear (and optionally the BatchNorm1d that follows it,
+/// using its *running* statistics) plus an optional ReLU epilogue.
+class FusedLinear : public Layer {
+ public:
+  FusedLinear(Linear& linear, BatchNorm1d* bn, bool relu);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  /// Fused layers are inference-only.
+  Tensor backward(const Tensor& grad_output) override;
+
+  bool has_relu() const { return relu_; }
+  std::size_t in_features() const { return weight_t_.rows(); }
+  std::size_t out_features() const { return weight_t_.cols(); }
+
+ private:
+  Tensor weight_t_;  ///< (in × out): transposed, BN-folded weights
+  Tensor bias_;      ///< (1 × out): BN-folded bias
+  bool relu_;
+};
+
+}  // namespace gp::nn

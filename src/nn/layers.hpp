@@ -91,6 +91,9 @@ class BatchNorm1d : public Layer {
 
   Tensor& running_mean() { return running_mean_.value; }
   Tensor& running_var() { return running_var_.value; }
+  Parameter& gamma() { return gamma_; }
+  Parameter& beta() { return beta_; }
+  double eps() const { return eps_; }
 
  private:
   std::size_t features_;
@@ -126,6 +129,15 @@ class Sequential : public Layer {
   std::vector<Parameter*> buffers() override;
 
   std::size_t size() const { return layers_.size(); }
+
+  /// Rewrites this stack into its inference-only fused form: every
+  /// [Linear → BatchNorm1d? → ReLU?] run becomes one nn::FusedLinear
+  /// (batch-norm folded via running statistics, ReLU as an epilogue) and
+  /// Dropout layers are removed (identity at inference). Irreversible:
+  /// afterwards backward() throws and parameters()/buffers() no longer
+  /// expose the folded state — fuse only copies that will never be trained,
+  /// serialized, or cloned (see nn/fused.hpp). Defined in fused.cpp.
+  void fuse_inference();
 
  private:
   std::vector<std::unique_ptr<Layer>> layers_;

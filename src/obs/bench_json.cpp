@@ -105,4 +105,38 @@ std::string fault_sweep_json(double abstain_margin,
   return out.str();
 }
 
+std::string serve_bench_json(const std::vector<std::size_t>& sessions_swept,
+                             const std::vector<std::size_t>& batch_max_swept,
+                             const std::vector<ServeBaselineRow>& baseline,
+                             const std::vector<ServeSweepCell>& cells) {
+  std::ostringstream out;
+  out << "{\n  \"sessions\": [";
+  for (std::size_t i = 0; i < sessions_swept.size(); ++i) {
+    out << (i ? ", " : "") << sessions_swept[i];
+  }
+  out << "],\n  \"batch_max\": [";
+  for (std::size_t i = 0; i < batch_max_swept.size(); ++i) {
+    out << (i ? ", " : "") << batch_max_swept[i];
+  }
+  out << "],\n  \"baseline\": [\n";
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    const ServeBaselineRow& b = baseline[i];
+    out << "    {\"sessions\": " << b.sessions << ", \"segments\": " << b.segments
+        << ", \"ms\": " << json::number(b.ms) << "}"
+        << (i + 1 < baseline.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ServeSweepCell& c = cells[i];
+    out << "    {\"sessions\": " << c.sessions << ", \"batch_max\": " << c.batch_max
+        << ", \"segments\": " << c.segments << ", \"results\": " << c.results
+        << ", \"batches\": " << c.batches << ", \"abstained\": " << c.abstained
+        << ", \"ms\": " << json::number(c.ms)
+        << ", \"speedup\": " << json::number(c.speedup) << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
 }  // namespace gp::obs

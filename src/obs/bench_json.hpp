@@ -78,4 +78,34 @@ std::string fault_sweep_json(double abstain_margin,
                              const std::vector<double>& severities,
                              const std::vector<FaultFamilySeries>& families);
 
+/// Sequential per-segment baseline at one concurrency level: every segment
+/// classified one at a time through the unfused offline classify() path.
+struct ServeBaselineRow {
+  std::size_t sessions = 0;
+  std::uint64_t segments = 0;
+  double ms = 0.0;
+};
+
+/// One (sessions, batch_max) cell of the serving sweep.
+struct ServeSweepCell {
+  std::size_t sessions = 0;
+  std::size_t batch_max = 0;
+  std::uint64_t segments = 0;  ///< completed segments entering the batcher
+  std::uint64_t results = 0;   ///< ServeResults emitted
+  std::uint64_t batches = 0;   ///< micro-batches flushed
+  std::uint64_t abstained = 0;
+  double ms = 0.0;             ///< serve wall time (stream in → drained)
+  double speedup = 0.0;        ///< baseline(sessions).ms / ms
+};
+
+/// Builds the BENCH_serve.json document (gp::serve throughput evidence,
+/// DESIGN.md §8). Schema (pinned by golden test `bench_serve_schema`):
+///   {sessions:[...], batch_max:[...], baseline:[{sessions,segments,ms}],
+///    cells:[{sessions,batch_max,segments,results,batches,abstained,ms,
+///            speedup}]}
+std::string serve_bench_json(const std::vector<std::size_t>& sessions_swept,
+                             const std::vector<std::size_t>& batch_max_swept,
+                             const std::vector<ServeBaselineRow>& baseline,
+                             const std::vector<ServeSweepCell>& cells);
+
 }  // namespace gp::obs

@@ -1,0 +1,222 @@
+#include "serve/batcher.hpp"
+
+#include <map>
+#include <utility>
+
+#include "common/math_utils.hpp"
+#include "gesidnet/trainer.hpp"
+#include "nn/loss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gp::serve {
+
+namespace {
+
+/// Averages the softmax rows [begin, begin+rounds) of `probs` into a
+/// per-class posterior (the TTA average classify() computes).
+std::vector<double> average_rows(const nn::Tensor& probs, std::size_t begin,
+                                 std::size_t rounds, std::size_t classes) {
+  std::vector<double> avg(classes, 0.0);
+  for (std::size_t r = 0; r < rounds; ++r) {
+    for (std::size_t c = 0; c < classes; ++c) {
+      avg[c] += probs.at(begin + r, c) / static_cast<double>(rounds);
+    }
+  }
+  return avg;
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(const ServeConfig& config, ModelRegistry& registry)
+    : config_(&config), registry_(&registry) {}
+
+void MicroBatcher::submit(std::vector<PendingSegment> segments) {
+  if (segments.empty()) return;
+  const Clock::time_point now = Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (PendingSegment& segment : segments) {
+    queue_.push_back(Entry{std::move(segment), now});
+  }
+}
+
+bool MicroBatcher::should_flush(Clock::time_point now) const {
+  if (queue_.empty()) return false;
+  if (queue_.size() >= config_->batch_max) return true;
+  const auto age =
+      std::chrono::duration_cast<std::chrono::microseconds>(now - queue_.front().arrived);
+  return static_cast<std::uint64_t>(age.count()) >= config_->batch_wait_us;
+}
+
+std::vector<ServeResult> MicroBatcher::poll(bool force) {
+  std::vector<ServeResult> results;
+  for (;;) {
+    std::vector<Entry> batch;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (queue_.empty()) break;
+      if (!force && !should_flush(Clock::now())) break;
+      const std::size_t take = std::min(queue_.size(), config_->batch_max);
+      batch.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    std::vector<ServeResult> flushed = run_batch(std::move(batch));
+    for (ServeResult& r : flushed) results.push_back(std::move(r));
+  }
+  return results;
+}
+
+std::vector<ServeResult> MicroBatcher::run_batch(std::vector<Entry> batch) {
+  GP_SPAN("serve.batch");
+  const Clock::time_point start = Clock::now();
+  obs::histogram("gp.serve.batch.size").observe(static_cast<double>(batch.size()));
+
+  // One snapshot for the whole batch: a publish() landing mid-flush can
+  // never split a batch across model generations.
+  std::shared_ptr<ModelSnapshot> snapshot = registry_->current();
+  const std::uint64_t version = snapshot != nullptr ? snapshot->version : 0;
+
+  std::vector<ServeResult> results(batch.size());
+  Stats delta;
+  delta.batches = 1;
+  delta.segments = batch.size();
+
+  // Pass 0: typed dispositions that never touch a model. `live` keeps the
+  // batch indices that go through inference.
+  std::vector<std::size_t> live;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const PendingSegment& seg = batch[i].segment;
+    ServeResult& r = results[i];
+    r.session_id = seg.session_id;
+    r.segment_ordinal = seg.ordinal;
+    r.model_version = version;
+    if (snapshot == nullptr) {
+      // No published model: a typed refusal, not an exception — the client
+      // sees kAbstain and the tally lands in no_model.
+      r.gesture = kAbstain;
+      r.user = kAbstain;
+      r.abstained = true;
+      ++delta.no_model;
+      GP_COUNTER_ADD("gp.serve.no_model", 1);
+    } else if (seg.quality != SegmentQuality::kGood || seg.empty_cloud ||
+               seg.variants.empty()) {
+      // The serve path always refuses segments that failed preprocessing
+      // guards (stricter than classify(), which only gates when the margin
+      // is armed): a streaming client is told *why* via quality_rejected.
+      r.gesture = kAbstain;
+      r.user = kAbstain;
+      r.abstained = true;
+      r.quality_rejected = true;
+      ++delta.quality_rejected;
+      GP_COUNTER_ADD("gp.serve.rejected.quality", 1);
+    } else {
+      live.push_back(i);
+    }
+  }
+
+  if (!live.empty()) {
+    GesturePrintSystem& system = *snapshot->system;
+    const GesturePrintConfig& cfg = system.config();
+    const std::size_t num_gestures = system.num_gestures();
+    const std::size_t num_users = system.num_users();
+
+    // Gesture pass: every live segment's TTA variants in one forward.
+    std::vector<FeaturizedSample> rows;
+    std::vector<std::size_t> row_begin(live.size(), 0);
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      row_begin[k] = rows.size();
+      const PendingSegment& seg = batch[live[k]].segment;
+      rows.insert(rows.end(), seg.variants.begin(), seg.variants.end());
+    }
+    const nn::Tensor gesture_probs =
+        nn::softmax(predict_logits(system.gesture_model(), rows));
+
+    // Per-segment averaged posterior → gesture + margin gate; group the
+    // survivors by the user-ID model they route to.
+    std::map<std::size_t, std::vector<std::size_t>> by_model;  ///< model idx → k
+    for (std::size_t k = 0; k < live.size(); ++k) {
+      const PendingSegment& seg = batch[live[k]].segment;
+      ServeResult& r = results[live[k]];
+      const std::vector<double> avg =
+          average_rows(gesture_probs, row_begin[k], seg.variants.size(), num_gestures);
+      r.gesture = static_cast<int>(argmax(avg));
+      r.gesture_margin = top2_margin(avg);
+      if (should_abstain(avg, cfg.abstain_margin)) {
+        // Ambiguous gesture ⇒ serialized routing would pick the wrong ID
+        // model; abstain on both heads (same policy as classify()).
+        r.gesture = kAbstain;
+        r.user = kAbstain;
+        r.abstained = true;
+        continue;
+      }
+      const std::size_t route = cfg.mode == IdentificationMode::kParallel
+                                    ? 0
+                                    : static_cast<std::size_t>(r.gesture);
+      if (system.user_model(route) != nullptr) {
+        by_model[route].push_back(k);
+      }
+    }
+
+    // User-ID passes: one batched forward per routed model, ascending model
+    // index (deterministic; results are row-local so grouping order cannot
+    // change any segment's answer).
+    for (const auto& [model_idx, members] : by_model) {
+      std::vector<FeaturizedSample> group_rows;
+      std::vector<std::size_t> group_begin(members.size(), 0);
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        group_begin[m] = group_rows.size();
+        const PendingSegment& seg = batch[live[members[m]]].segment;
+        group_rows.insert(group_rows.end(), seg.variants.begin(), seg.variants.end());
+      }
+      const nn::Tensor user_probs =
+          nn::softmax(predict_logits(*system.user_model(model_idx), group_rows));
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        const std::size_t k = members[m];
+        const PendingSegment& seg = batch[live[k]].segment;
+        ServeResult& r = results[live[k]];
+        const std::vector<double> avg =
+            average_rows(user_probs, group_begin[m], seg.variants.size(), num_users);
+        r.user = static_cast<int>(argmax(avg));
+        r.user_margin = top2_margin(avg);
+        if (should_abstain(avg, cfg.abstain_margin)) {
+          r.user = kAbstain;
+          r.abstained = true;
+        }
+      }
+    }
+  }
+
+  for (const ServeResult& r : results) {
+    if (r.abstained) ++delta.abstained;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.batches += delta.batches;
+    stats_.segments += delta.segments;
+    stats_.quality_rejected += delta.quality_rejected;
+    stats_.abstained += delta.abstained;
+    stats_.no_model += delta.no_model;
+  }
+  GP_COUNTER_ADD("gp.serve.batches", 1);
+  GP_COUNTER_ADD("gp.serve.segments", batch.size());
+  const auto elapsed =
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start);
+  obs::histogram("gp.serve.batch.latency_us").observe(static_cast<double>(elapsed.count()));
+  return results;
+}
+
+std::size_t MicroBatcher::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+MicroBatcher::Stats MicroBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace gp::serve

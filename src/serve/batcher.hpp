@@ -1,0 +1,79 @@
+// MicroBatcher: deadline-bounded cross-session micro-batching (DESIGN.md §8).
+//
+// Completed featurized segments from *all* sessions accumulate in one FIFO.
+// A flush happens when (a) the FIFO reaches batch_max segments, (b) the
+// oldest pending segment has waited batch_wait_us of wall-clock time, or
+// (c) the caller forces one (stream drain). Each flush runs the batch
+// through the registry's current ModelSnapshot: one batched gesture-model
+// predict_logits over every variant row, then one batched pass per routed
+// user-ID model — so the per-forward fixed costs are amortised across
+// sessions, and (with the snapshot's fused layers) the whole batch rides the
+// inference-only fast path.
+//
+// Correctness under batching: the inference stack is per-sample
+// batch-composition independent (inference-mode BN uses running stats;
+// matmuls and SA grouping are row-local), so a segment's result does not
+// depend on which other sessions' segments shared its flush. Hot-swap
+// atomicity: the snapshot shared_ptr is acquired once per flush, so a batch
+// is always answered entirely by one model version even if a publish lands
+// mid-flush.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/registry.hpp"
+#include "serve/sessions.hpp"
+
+namespace gp::serve {
+
+class MicroBatcher {
+ public:
+  MicroBatcher(const ServeConfig& config, ModelRegistry& registry);
+
+  /// Accepts completed segments (submission order is preserved through to
+  /// the emitted results). Wall-clock arrival is stamped here for the
+  /// deadline half of the flush policy.
+  void submit(std::vector<PendingSegment> segments);
+
+  /// Applies the flush policy and returns the results of every batch it
+  /// flushed (possibly several when the backlog exceeds batch_max; empty
+  /// when no flush triggered). `force` flushes the remainder regardless of
+  /// size/age — the stream-drain path.
+  std::vector<ServeResult> poll(bool force = false);
+
+  /// Segments waiting for a flush.
+  std::size_t pending() const;
+
+  /// Monotonic tallies (batches flushed, results by disposition).
+  struct Stats {
+    std::uint64_t batches = 0;
+    std::uint64_t segments = 0;
+    std::uint64_t quality_rejected = 0;
+    std::uint64_t abstained = 0;
+    std::uint64_t no_model = 0;  ///< answered while no snapshot was published
+  };
+  Stats stats() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  struct Entry {
+    PendingSegment segment;
+    Clock::time_point arrived;
+  };
+
+  bool should_flush(Clock::time_point now) const;  ///< caller holds mu_
+  /// Classifies one flushed batch against the current snapshot.
+  std::vector<ServeResult> run_batch(std::vector<Entry> batch);
+
+  const ServeConfig* config_;
+  ModelRegistry* registry_;
+  mutable std::mutex mu_;
+  std::deque<Entry> queue_;  ///< guarded by mu_
+  Stats stats_;              ///< guarded by mu_
+};
+
+}  // namespace gp::serve

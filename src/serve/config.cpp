@@ -1,0 +1,47 @@
+#include "serve/config.hpp"
+
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace gp::serve {
+
+namespace {
+
+/// Parses a positive integer env var; warns and keeps `fallback` on junk.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback, std::uint64_t min_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < min_value) {
+    log_warn() << "ignoring invalid " << name << "='" << v << "' (want an integer >= "
+               << min_value << ")";
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace
+
+ServeConfig ServeConfig::from_env() { return from_env(ServeConfig{}); }
+
+ServeConfig ServeConfig::from_env(ServeConfig base) {
+  base.shards = static_cast<std::size_t>(env_u64("GP_SERVE_SHARDS", base.shards, 1));
+  base.batch_max = static_cast<std::size_t>(env_u64("GP_SERVE_BATCH_MAX", base.batch_max, 1));
+  base.batch_wait_us = env_u64("GP_SERVE_BATCH_WAIT_US", base.batch_wait_us, 0);
+  base.queue_cap = static_cast<std::size_t>(env_u64("GP_SERVE_QUEUE_CAP", base.queue_cap, 1));
+  base.stale_after_ticks = env_u64("GP_SERVE_STALE_TICKS", base.stale_after_ticks, 0);
+  if (auto faults = faults::FaultConfig::from_env()) base.session_faults = *faults;
+  return base;
+}
+
+const char* admission_name(Admission a) {
+  switch (a) {
+    case Admission::kAccepted: return "accepted";
+    case Admission::kRejectedQueueFull: return "rejected_queue_full";
+  }
+  return "?";
+}
+
+}  // namespace gp::serve

@@ -1,0 +1,93 @@
+// gp::serve — concurrent streaming-inference serving layer (DESIGN.md §8).
+//
+// Turns the offline radar→pipeline→GesIDNet stack into a request path: many
+// independent per-client streaming sessions, sharded across gp::exec
+// workers, feeding completed gesture segments into deadline-bounded
+// micro-batches that run through one fused batched GesIDNet forward pass.
+// Admission control (bounded per-shard ingress queues + typed load-shed
+// rejections + deadline-aware stale drops) keeps the server degrading
+// gracefully instead of queue-collapsing under overload, and a ModelRegistry
+// hot-swaps checksum-verified .gpsy models RCU-style without pausing the
+// stream.
+//
+// Determinism contract: every per-session output is a pure function of that
+// session's delivered frame sequence and (serve seed, session id, segment
+// ordinal) — never of GP_THREADS, the shard count, or which other sessions'
+// segments shared its micro-batch (per-sample batch-composition independence
+// of the inference stack; see nn/fused.hpp). tests/test_serve.cpp pins this
+// bitwise across GP_THREADS ∈ {1,4} × shards ∈ {1,4}.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "faults/faults.hpp"
+#include "pipeline/preprocessor.hpp"
+#include "system/gestureprint.hpp"
+
+namespace gp::serve {
+
+/// Serving-layer knobs. Every field has a GP_SERVE_* environment override
+/// (applied by from_env; invalid values warn and keep the base value).
+struct ServeConfig {
+  /// Session shards; sessions map to shard (session_id % shards) and shards
+  /// drain in parallel on gp::exec. GP_SERVE_SHARDS.
+  std::size_t shards = 2;
+  /// Micro-batch flush threshold in segments. GP_SERVE_BATCH_MAX.
+  std::size_t batch_max = 16;
+  /// Deadline half of the batching policy: a pending segment older than
+  /// this forces a flush even below batch_max. GP_SERVE_BATCH_WAIT_US.
+  std::uint64_t batch_wait_us = 2000;
+  /// Bounded per-shard ingress queue capacity in frames; a full queue sheds
+  /// new frames with a typed rejection. GP_SERVE_QUEUE_CAP.
+  std::size_t queue_cap = 256;
+  /// Deadline-aware stale-frame drop: frames that waited more than this
+  /// many engine ticks (pump cycles) in an ingress queue are shed at drain
+  /// time instead of being segmented late. 0 disables. GP_SERVE_STALE_TICKS.
+  std::uint64_t stale_after_ticks = 0;
+  /// Base seed of the per-session featurization RNG tree:
+  /// child_seed(child_seed(seed, session_id), ordinal) — pure, so results
+  /// are shard- and thread-invariant.
+  std::uint64_t seed = 0x5E12FEEDULL;
+  /// Per-session fault injection (GP_FAULTS soak): every session streams
+  /// through its own FaultInjector whose seed is derived from the session
+  /// id, so degraded links are modelled per client.
+  std::optional<faults::FaultConfig> session_faults;
+  /// Streaming segmentation + cleaning parameters for every session's
+  /// GestureSegmenter/Preprocessor (the offline stack's defaults).
+  PreprocessorParams preprocess;
+  /// System configuration the served models were trained with (prep chain,
+  /// eval_rounds TTA, abstention margin, network shape).
+  GesturePrintConfig system;
+
+  /// Applies GP_SERVE_SHARDS / GP_SERVE_BATCH_MAX / GP_SERVE_BATCH_WAIT_US /
+  /// GP_SERVE_QUEUE_CAP / GP_SERVE_STALE_TICKS / GP_FAULTS on top of `base`
+  /// (the overload without arguments starts from the defaults).
+  static ServeConfig from_env(ServeConfig base);
+  static ServeConfig from_env();
+};
+
+/// Typed admission verdict for one pushed frame (the load-shed vocabulary;
+/// rejections are counted in gp.serve.* obs counters, never thrown).
+enum class Admission {
+  kAccepted = 0,
+  kRejectedQueueFull,  ///< shard ingress queue at queue_cap; frame shed
+};
+
+const char* admission_name(Admission a);
+
+/// One classified (or typed-rejected) gesture segment.
+struct ServeResult {
+  std::uint64_t session_id = 0;
+  std::uint64_t segment_ordinal = 0;  ///< per-session completed-segment index
+  int gesture = -1;                   ///< class id, or kAbstain
+  int user = -1;                      ///< class id, or kAbstain
+  bool abstained = false;             ///< margin gate fired
+  bool quality_rejected = false;      ///< segment failed preprocessing guards
+  double gesture_margin = 0.0;
+  double user_margin = 0.0;
+  std::uint64_t model_version = 0;    ///< snapshot that answered (hot-swap audit)
+};
+
+}  // namespace gp::serve

@@ -1,0 +1,70 @@
+// ModelRegistry: versioned, hot-swappable model snapshots for gp::serve.
+//
+// A ModelSnapshot is a private, *fused* (inference-only, nn/fused.hpp) copy
+// of a trained GesturePrintSystem plus a monotonically increasing version.
+// publish_file() loads a .gpsy through the checksum-verified self-healing
+// path (GesturePrintSystem::try_load: retries transient IO, quarantines
+// corrupt files), fuses it, runs a warm-up forward pass, and then swaps the
+// published pointer RCU-style: readers that grabbed the old shared_ptr keep
+// a consistent model until they drop it, so an in-flight micro-batch is
+// answered entirely by one version (batch-atomic swaps). A failed publish
+// never disturbs the currently served model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "system/gestureprint.hpp"
+
+namespace gp::serve {
+
+/// One published model generation. The system is fused — forward-only; the
+/// batcher thread is the only caller of its inference path at any time.
+struct ModelSnapshot {
+  std::uint64_t version = 0;
+  std::unique_ptr<GesturePrintSystem> system;
+
+  std::size_t num_gestures() const { return system->num_gestures(); }
+  std::size_t num_users() const { return system->num_users(); }
+};
+
+class ModelRegistry {
+ public:
+  /// `config` must match the configuration the published models were
+  /// trained with (same contract as GesturePrintSystem::load).
+  explicit ModelRegistry(GesturePrintConfig config);
+
+  /// Loads `path` (checksum-verified, retrying, quarantining — try_load),
+  /// fuses it for inference, warms it up, and atomically publishes it.
+  /// Returns the new version, or nullopt when the load failed (the current
+  /// snapshot, if any, keeps serving; failure is counted in
+  /// gp.serve.model.load_failures).
+  std::optional<std::uint64_t> publish_file(const std::string& path);
+
+  /// Publishes an already-fitted system (ownership transferred). The system
+  /// is fused and warmed up here; pass an unfused, freshly trained/loaded
+  /// instance. Returns the new version.
+  std::uint64_t publish(std::unique_ptr<GesturePrintSystem> system);
+
+  /// The currently published snapshot (nullptr before the first publish).
+  /// Thread-safe; the returned shared_ptr pins the generation alive.
+  std::shared_ptr<ModelSnapshot> current() const;
+
+  /// Version of the published snapshot; 0 before the first publish.
+  std::uint64_t version() const;
+
+  const GesturePrintConfig& config() const { return config_; }
+
+ private:
+  std::uint64_t install(std::unique_ptr<GesturePrintSystem> system);
+
+  GesturePrintConfig config_;
+  mutable std::mutex mu_;
+  std::shared_ptr<ModelSnapshot> current_;  ///< guarded by mu_
+  std::uint64_t next_version_ = 1;          ///< guarded by mu_
+};
+
+}  // namespace gp::serve

@@ -1,0 +1,68 @@
+// Server: the gp::serve facade — admission → sessions → micro-batcher.
+//
+// Wiring: producer threads call push_frame() concurrently (lock-bounded
+// admission onto the owning shard's ingress queue). One pump thread calls
+// pump() in a loop; each pump is one engine *tick*: drain every shard in
+// parallel on the ExecContext (segmentation → preprocessing → featurization
+// per session), submit the completed segments to the MicroBatcher, and poll
+// it under the size/deadline flush policy. drain() ends the streams:
+// flushes in-progress gestures in every session and force-flushes the
+// batcher.
+//
+// Threading contract: push_frame is thread-safe against everything;
+// pump/drain/end_session must be externally serialized (one pump thread).
+// Model hot-swap (ModelRegistry::publish*) is safe at any time — the
+// batcher pins one snapshot per flush.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "serve/batcher.hpp"
+#include "serve/registry.hpp"
+#include "serve/sessions.hpp"
+
+namespace gp::serve {
+
+class Server {
+ public:
+  /// `registry` must outlive the server; publish at least one model before
+  /// expecting non-abstain answers (pre-publish segments get typed
+  /// no-model abstentions, never exceptions).
+  Server(const ServeConfig& config, ModelRegistry& registry,
+         exec::ExecContext& ctx = exec::ExecContext::global());
+
+  /// Thread-safe frame admission for `session_id`'s stream.
+  Admission push_frame(std::uint64_t session_id, const FrameCloud& frame);
+
+  /// One engine tick: parallel shard drain → batch submit → policy poll.
+  /// Returns every result whose batch flushed this tick.
+  std::vector<ServeResult> pump();
+
+  /// End-of-stream: drains queued frames, flushes in-progress gestures in
+  /// every session, and force-flushes the batcher.
+  std::vector<ServeResult> drain();
+
+  /// Ends one client's stream (its in-progress gesture is flushed). Also
+  /// force-flushes the batcher, so results of *other* sessions' pending
+  /// segments may ride along.
+  std::vector<ServeResult> end_session(std::uint64_t session_id);
+
+  std::uint64_t ticks() const { return tick_.load(std::memory_order_relaxed); }
+  SessionManager::Stats session_stats() const { return sessions_.stats(); }
+  MicroBatcher::Stats batch_stats() const { return batcher_.stats(); }
+  const SessionManager& sessions() const { return sessions_; }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  ServeConfig config_;
+  ModelRegistry* registry_;
+  exec::ExecContext* ctx_;
+  SessionManager sessions_;
+  MicroBatcher batcher_;
+  std::atomic<std::uint64_t> tick_{0};
+};
+
+}  // namespace gp::serve

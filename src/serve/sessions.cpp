@@ -1,0 +1,205 @@
+#include "serve/sessions.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace gp::serve {
+
+namespace {
+
+/// Seed index for the per-session fault injector chain (distinct from the
+/// featurize ordinal chain, which starts at 0).
+constexpr std::uint64_t kFaultSeedIndex = 0xFAULL;
+
+}  // namespace
+
+StreamSession::StreamSession(std::uint64_t session_id, const ServeConfig& config)
+    : id_(session_id),
+      session_seed_(exec::child_seed(config.seed, session_id)),
+      config_(&config),
+      segmenter_(config.preprocess.segmentation),
+      preprocessor_(config.preprocess) {
+  if (config.session_faults.has_value()) {
+    faults::FaultConfig fc = *config.session_faults;
+    // Per-session fault stream: the same GP_FAULTS spec degrades each
+    // client's link independently and reproducibly.
+    fc.seed = exec::child_seed(session_seed_, kFaultSeedIndex);
+    injector_ = std::make_unique<faults::FaultInjector>(fc);
+  }
+}
+
+void StreamSession::push_frame(const FrameCloud& frame, std::uint64_t tick,
+                               std::vector<PendingSegment>& out) {
+  if (injector_ != nullptr) {
+    std::optional<FrameCloud> delivered = injector_->apply(frame);
+    if (!delivered.has_value()) return;  // frame dropped/lost on the degraded link
+    segmenter_.push(*delivered);
+  } else {
+    segmenter_.push(frame);
+  }
+  drain_completed(tick, out);
+}
+
+void StreamSession::finish(std::uint64_t tick, std::vector<PendingSegment>& out) {
+  segmenter_.finish();
+  drain_completed(tick, out);
+}
+
+void StreamSession::drain_completed(std::uint64_t tick, std::vector<PendingSegment>& out) {
+  std::vector<GestureSegment> segments = segmenter_.take_segments();
+  for (GestureSegment& segment : segments) {
+    PendingSegment pending;
+    pending.session_id = id_;
+    pending.ordinal = ordinal_;
+    pending.enqueued_tick = tick;
+
+    GestureCloud processed = preprocessor_.process_segment(segment.frames);
+    pending.quality = processed.quality;
+    pending.empty_cloud = processed.points.empty();
+    if (pending.quality == SegmentQuality::kGood && !pending.empty_cloud) {
+      // Featurize eval_rounds TTA variants now, inside the (parallel) shard
+      // drain. RNG chain: child(child(session_seed, ordinal), round) — a pure
+      // function of (serve seed, session id, ordinal, round), so the variants
+      // are identical for any shard count / thread count / interleaving.
+      const std::uint64_t segment_seed = exec::child_seed(session_seed_, ordinal_);
+      const int rounds = config_->system.eval_rounds > 0 ? config_->system.eval_rounds : 1;
+      pending.variants.reserve(static_cast<std::size_t>(rounds));
+      for (int r = 0; r < rounds; ++r) {
+        Rng rng = exec::child_rng(segment_seed, static_cast<std::uint64_t>(r));
+        pending.variants.push_back(featurize(processed, config_->system.prep.features, rng));
+      }
+    }
+    ++ordinal_;
+    out.push_back(std::move(pending));
+  }
+}
+
+SessionManager::SessionManager(const ServeConfig& config) : config_(config) {
+  check_arg(config_.shards >= 1, "SessionManager: shards must be >= 1");
+  shards_.reserve(config_.shards);
+  for (std::size_t s = 0; s < config_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+Admission SessionManager::enqueue(std::uint64_t session_id, const FrameCloud& frame,
+                                  std::uint64_t tick) {
+  Shard& shard = *shards_[shard_of(session_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.queue.size() >= config_.queue_cap) {
+    ++shard.rejected_queue_full;
+    GP_COUNTER_ADD("gp.serve.rejected.queue_full", 1);
+    return Admission::kRejectedQueueFull;
+  }
+  QueuedFrame qf;
+  qf.session_id = session_id;
+  qf.tick = tick;
+  qf.frame = frame;
+  shard.queue.push_back(std::move(qf));
+  ++shard.accepted;
+  return Admission::kAccepted;
+}
+
+std::vector<PendingSegment> SessionManager::drain(exec::ExecContext& ctx, std::uint64_t tick) {
+  GP_SPAN("serve.sessions.drain");
+  const std::size_t n = shards_.size();
+  std::vector<std::vector<PendingSegment>> per_shard(n);
+
+  ctx.run_chunks(n, [&](std::size_t s) {
+    Shard& shard = *shards_[s];
+    std::deque<QueuedFrame> batch;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      batch.swap(shard.queue);
+    }
+    std::uint64_t shed = 0;
+    {
+      std::lock_guard<std::mutex> session_lock(shard.session_mu);
+      for (QueuedFrame& qf : batch) {
+        if (config_.stale_after_ticks > 0 && tick >= qf.tick &&
+            tick - qf.tick > config_.stale_after_ticks) {
+          ++shed;  // deadline-aware drop: too old to be worth segmenting late
+          continue;
+        }
+        session(shard, qf.session_id).push_frame(qf.frame, tick, per_shard[s]);
+      }
+    }
+    if (shed > 0) {
+      GP_COUNTER_ADD("gp.serve.shed.stale", shed);
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.shed_stale += shed;
+    }
+  });
+
+  // Concatenate in shard-index order: deterministic for any thread count.
+  std::vector<PendingSegment> out;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (PendingSegment& p : per_shard[s]) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+std::vector<PendingSegment> SessionManager::finish_session(std::uint64_t session_id,
+                                                           std::uint64_t tick) {
+  Shard& shard = *shards_[shard_of(session_id)];
+  std::vector<PendingSegment> out;
+  std::lock_guard<std::mutex> lock(shard.session_mu);
+  auto it = shard.sessions.find(session_id);
+  if (it != shard.sessions.end()) it->second.finish(tick, out);
+  return out;
+}
+
+std::vector<PendingSegment> SessionManager::finish_all(std::uint64_t tick) {
+  std::vector<PendingSegment> out;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.session_mu);
+    for (auto& [id, session] : shard.sessions) session.finish(tick, out);
+  }
+  return out;
+}
+
+SessionManager::Stats SessionManager::stats() const {
+  Stats total;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.frames_accepted += shard.accepted;
+    total.frames_rejected_queue_full += shard.rejected_queue_full;
+    total.frames_shed_stale += shard.shed_stale;
+  }
+  return total;
+}
+
+std::size_t SessionManager::queue_depth(std::size_t s) const {
+  check_arg(s < shards_.size(), "queue_depth: shard index out of range");
+  const Shard& shard = *shards_[s];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.queue.size();
+}
+
+std::size_t SessionManager::session_count() const {
+  std::size_t n = 0;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.session_mu);
+    n += shard.sessions.size();
+  }
+  return n;
+}
+
+StreamSession& SessionManager::session(Shard& shard, std::uint64_t session_id) {
+  auto it = shard.sessions.find(session_id);
+  if (it == shard.sessions.end()) {
+    it = shard.sessions
+             .emplace(std::piecewise_construct, std::forward_as_tuple(session_id),
+                      std::forward_as_tuple(session_id, config_))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace gp::serve

@@ -1,0 +1,132 @@
+// Per-client streaming sessions and the sharded SessionManager.
+//
+// A StreamSession owns the full per-client streaming state — fault injector
+// (optional), gap-aware GestureSegmenter, Preprocessor, featurization RNG
+// chain — so two clients can never bleed segmentation state into each other.
+// Completed segments leave a session already *featurized*: the expensive
+// per-segment work (noise cancel, aggregation, TTA resampling) runs inside
+// the parallel shard drain, and only fixed-size tensors travel to the
+// micro-batcher.
+//
+// Sharding: session (id) lives on shard (id % shards). Each shard has a
+// bounded ingress frame queue (admission control) and an ordered session
+// map; shards drain in parallel on gp::exec. Determinism: a session's
+// featurize RNG for segment `ordinal`, round `r` is
+//     child_rng(child_seed(child_seed(serve_seed, session_id), ordinal), r)
+// — a pure function, so per-session outputs are identical for any shard
+// count, thread count, or interleaving with other sessions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "exec/exec.hpp"
+#include "pipeline/preprocessor.hpp"
+#include "serve/config.hpp"
+
+namespace gp::serve {
+
+/// A completed, preprocessed, featurized gesture segment awaiting inference.
+struct PendingSegment {
+  std::uint64_t session_id = 0;
+  std::uint64_t ordinal = 0;                 ///< per-session segment index
+  SegmentQuality quality = SegmentQuality::kGood;
+  bool empty_cloud = false;                  ///< nothing survived preprocessing
+  std::vector<FeaturizedSample> variants;    ///< eval_rounds TTA featurizations
+  std::uint64_t enqueued_tick = 0;           ///< engine tick at completion
+};
+
+class StreamSession {
+ public:
+  StreamSession(std::uint64_t session_id, const ServeConfig& config);
+
+  /// Feeds one frame (through the per-session fault injector when armed);
+  /// appends any segments the push completed to `out`.
+  void push_frame(const FrameCloud& frame, std::uint64_t tick,
+                  std::vector<PendingSegment>& out);
+
+  /// End-of-stream: flushes a gesture still in progress.
+  void finish(std::uint64_t tick, std::vector<PendingSegment>& out);
+
+  std::uint64_t id() const { return id_; }
+  std::uint64_t segments_completed() const { return ordinal_; }
+
+ private:
+  void drain_completed(std::uint64_t tick, std::vector<PendingSegment>& out);
+
+  std::uint64_t id_;
+  std::uint64_t session_seed_;  ///< child_seed(serve_seed, id)
+  const ServeConfig* config_;
+  std::unique_ptr<faults::FaultInjector> injector_;  ///< per-session faults
+  GestureSegmenter segmenter_;
+  Preprocessor preprocessor_;
+  std::uint64_t ordinal_ = 0;
+};
+
+/// Sharded session table with bounded ingress queues.
+class SessionManager {
+ public:
+  explicit SessionManager(const ServeConfig& config);
+
+  /// Thread-safe frame admission: enqueues onto the owning shard's bounded
+  /// queue, or sheds with a typed rejection when the queue is at cap.
+  Admission enqueue(std::uint64_t session_id, const FrameCloud& frame, std::uint64_t tick);
+
+  /// Drains every shard queue (parallel over shards on `ctx`), running
+  /// segmentation → preprocessing → featurization per session, applying the
+  /// deadline-aware stale-frame drop. Returns completed segments in
+  /// deterministic order (shard index, then completion order).
+  std::vector<PendingSegment> drain(exec::ExecContext& ctx, std::uint64_t tick);
+
+  /// Flushes an in-progress gesture for one session / for all sessions.
+  /// (Queued frames are drained first by the caller via drain().)
+  std::vector<PendingSegment> finish_session(std::uint64_t session_id, std::uint64_t tick);
+  std::vector<PendingSegment> finish_all(std::uint64_t tick);
+
+  /// Aggregate load-shed tallies (monotonic).
+  struct Stats {
+    std::uint64_t frames_accepted = 0;
+    std::uint64_t frames_rejected_queue_full = 0;
+    std::uint64_t frames_shed_stale = 0;
+  };
+  Stats stats() const;
+
+  std::size_t shard_count() const { return shards_.size(); }
+  /// Current depth of shard `s`'s ingress queue (diagnostics/tests).
+  std::size_t queue_depth(std::size_t s) const;
+  std::size_t session_count() const;
+
+ private:
+  struct QueuedFrame {
+    std::uint64_t session_id = 0;
+    std::uint64_t tick = 0;  ///< admission tick (staleness basis)
+    FrameCloud frame;
+  };
+  struct Shard {
+    /// Guards queue + admission counters; held only for O(1) enqueue/swap so
+    /// frame admission never waits behind featurization.
+    mutable std::mutex mu;
+    /// Guards the session map; held by drain/finish while running the
+    /// (expensive) segmentation→preprocess→featurize work.
+    mutable std::mutex session_mu;
+    std::deque<QueuedFrame> queue;                       ///< bounded by queue_cap
+    std::map<std::uint64_t, StreamSession> sessions;     ///< ordered → deterministic
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t shed_stale = 0;
+  };
+
+  std::size_t shard_of(std::uint64_t session_id) const {
+    return static_cast<std::size_t>(session_id % shards_.size());
+  }
+  StreamSession& session(Shard& shard, std::uint64_t session_id);
+
+  ServeConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace gp::serve

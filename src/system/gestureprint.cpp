@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/fnv.hpp"
 #include "common/logging.hpp"
 #include "common/math_utils.hpp"
 #include "common/serialize.hpp"
@@ -20,15 +21,9 @@ namespace gp {
 
 namespace {
 
-/// FNV-1a over a byte blob — the model-file integrity checksum.
-std::uint64_t blob_digest(const std::string& blob) {
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const char c : blob) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
+/// Canonical FNV-1a (common/fnv.hpp) over a byte blob — the model-file
+/// integrity checksum.
+std::uint64_t blob_digest(const std::string& blob) { return fnv::hash_string(blob); }
 
 /// GP_ABSTAIN_MARGIN override for the config field (empty/unset: keep).
 double env_abstain_margin(double fallback) {
@@ -199,8 +194,17 @@ void GesturePrintSystem::fine_tune(const Dataset& dataset,
   }
 }
 
+void GesturePrintSystem::fuse_for_inference() {
+  check(fitted(), "fuse_for_inference before fit");
+  gesture_model_->fuse_for_inference();
+  for (auto& model : user_models_) {
+    if (model != nullptr) model->fuse_for_inference();
+  }
+}
+
 void GesturePrintSystem::save(const std::string& path) {
   check(fitted(), "save before fit");
+  check(!gesture_model_->fused(), "save on a fused (inference-only) system");
   // Serialize into memory first so a whole-payload checksum trailer can be
   // appended: load() verifies it before parsing, turning silent bit rot
   // into a typed, quarantinable SerializationError.

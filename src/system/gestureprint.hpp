@@ -134,6 +134,20 @@ class GesturePrintSystem {
   GesIDNet& gesture_model();
   const GesturePrintConfig& config() const { return config_; }
 
+  /// Serve-layer accessors: the user-ID model routed to for gesture `g`
+  /// (serialized mode; index 0 in parallel mode). nullptr when that gesture
+  /// had no training data or `g` is out of range.
+  std::size_t num_user_models() const { return user_models_.size(); }
+  GesIDNet* user_model(std::size_t g) {
+    return g < user_models_.size() ? user_models_[g].get() : nullptr;
+  }
+
+  /// Irreversibly fuses every trained model into its inference-only form
+  /// (GesIDNet::fuse_for_inference). Afterwards the system can classify but
+  /// not fit/fine_tune/save — gp::serve calls this on the private system
+  /// copy inside each ModelSnapshot, never on a caller's live system.
+  void fuse_for_inference();
+
  private:
   SystemEvaluation evaluate_samples(const std::vector<const GestureSample*>& samples);
 

@@ -9,10 +9,6 @@
 
 namespace gp::testkit {
 
-namespace {
-constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
-}
-
 double quantize(double v, double scale) {
   if (std::isnan(v)) return std::numeric_limits<double>::quiet_NaN();
   if (std::isinf(v)) return v;
@@ -21,11 +17,7 @@ double quantize(double v, double scale) {
 }
 
 Digest& Digest::add_bytes(const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h_ ^= p[i];
-    h_ *= kFnvPrime;
-  }
+  h_ = fnv::accumulate(h_, data, n);
   return *this;
 }
 

@@ -18,6 +18,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/fnv.hpp"
+
 namespace gp::testkit {
 
 /// Default quantisation grid for golden snapshots: values are snapped to
@@ -49,7 +51,7 @@ class Digest {
   std::string hex() const;
 
  private:
-  std::uint64_t h_ = 0xCBF29CE484222325ULL;  ///< FNV-1a offset basis
+  std::uint64_t h_ = fnv::kOffsetBasis;  ///< canonical FNV-1a basis (common/fnv.hpp)
 };
 
 /// Parses a Digest::hex() string back to the 64-bit value; throws

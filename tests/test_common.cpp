@@ -7,6 +7,7 @@
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
+#include "common/fnv.hpp"
 #include "common/math_utils.hpp"
 #include "common/rng.hpp"
 #include "common/serialize.hpp"
@@ -231,6 +232,35 @@ TEST(Csv, WritesRowsWithMatchingArity) {
 TEST(Table, FormatsPercentagesAndNumbers) {
   EXPECT_EQ(Table::pct(0.98872), "98.87%");
   EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+}
+
+// Regression pins for the deduplicated FNV-1a (common/fnv.hpp). Before this
+// helper existed, four subsystems each carried a private copy of the loop
+// (testkit digests, the .gpsy checksum trailer, fault-schedule digests,
+// kinematics string hashing). These tests pin (a) the published reference
+// values of FNV-1a-64 and (b) that every former call-path produces the same
+// digest for the same payload, so the constants can never drift apart again.
+TEST(FnvDedup, KnownReferenceValues) {
+  // Published FNV-1a-64 vectors.
+  EXPECT_EQ(fnv::hash_string(""), 14695981039346656037ULL);   // offset basis
+  EXPECT_EQ(fnv::hash_string("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(fnv::hash_string("foobar"), 0x85944171F73967E8ULL);
+  EXPECT_EQ(fnv::kOffsetBasis, 14695981039346656037ULL);
+  EXPECT_EQ(fnv::kPrime, 1099511628211ULL);
+}
+
+TEST(FnvDedup, StreamingMatchesOneShot) {
+  const std::string payload = "gestureprint checksum payload \x01\x02\xff";
+  std::uint64_t h = fnv::kOffsetBasis;
+  for (char c : payload) h = fnv::accumulate(h, &c, 1);  // byte-at-a-time stream
+  EXPECT_EQ(h, fnv::hash_string(payload));
+  EXPECT_EQ(h, fnv::hash_bytes(payload.data(), payload.size()));
+}
+
+TEST(FnvDedup, AccumulateValueMatchesRawBytes) {
+  const std::uint64_t v = 0x0123456789ABCDEFULL;
+  EXPECT_EQ(fnv::accumulate_value(fnv::kOffsetBasis, v),
+            fnv::hash_bytes(&v, sizeof(v)));
 }
 
 TEST(Error, CheckArgThrowsWithMessage) {

@@ -180,6 +180,23 @@ TEST(GoldenSnapshot, RunReportSchemaMatchesGolden) {
   // has at least one exemplar row for the schema walk to descend into.
   GP_COUNTER_ADD("gp.golden.exemplar", 1);
   obs::histogram("gp.golden.exemplar_ms").observe(1.0);
+  // Serve-layer exemplars: counter/gauge/histogram names are JSON object
+  // keys in the report, so touching every gp.serve.* metric the serving
+  // stack emits pins those key paths in the schema golden.
+  GP_COUNTER_ADD("gp.serve.frames", 1);
+  GP_COUNTER_ADD("gp.serve.segments", 1);
+  GP_COUNTER_ADD("gp.serve.batches", 1);
+  GP_COUNTER_ADD("gp.serve.rejected.queue_full", 1);
+  GP_COUNTER_ADD("gp.serve.rejected.quality", 1);
+  GP_COUNTER_ADD("gp.serve.shed.stale", 1);
+  GP_COUNTER_ADD("gp.serve.no_model", 1);
+  GP_COUNTER_ADD("gp.serve.model.swaps", 1);
+  GP_COUNTER_ADD("gp.serve.model.load_failures", 1);
+  obs::gauge("gp.serve.model.version").set(1.0);
+  obs::gauge("gp.serve.sessions").set(1.0);
+  obs::gauge("gp.serve.pending_segments").set(0.0);
+  obs::histogram("gp.serve.batch.size").observe(1.0);
+  obs::histogram("gp.serve.batch.latency_us").observe(100.0);
   std::ostringstream out;
   obs::write_run_report_json(out, "golden");
   const obs::json::Value doc = obs::json::parse(out.str());
@@ -240,6 +257,34 @@ TEST(GoldenSnapshot, FaultSweepSchemaMatchesGolden) {
                                           obs::json::parse(faults)));
   const testkit::GoldenOutcome outcome =
       testkit::check_golden(g_golden, "bench_faults_schema", snap);
+  if (outcome.updated) std::cout << outcome.message;
+  EXPECT_TRUE(outcome.ok) << outcome.message;
+}
+
+TEST(GoldenSnapshot, ServeBenchSchemaMatchesGolden) {
+  // Exemplar BENCH_serve.json (bench/serve_bench.cpp): the key-path set of
+  // the serving-throughput artifact, values arbitrary.
+  obs::ServeBaselineRow baseline;
+  baseline.sessions = 8;
+  baseline.segments = 45;
+  baseline.ms = 330.0;
+  obs::ServeSweepCell cell;
+  cell.sessions = 8;
+  cell.batch_max = 8;
+  cell.segments = 45;
+  cell.results = 45;
+  cell.batches = 41;
+  cell.abstained = 2;
+  cell.ms = 104.0;
+  cell.speedup = 3.17;
+  const std::string serve = obs::serve_bench_json(
+      {1, 8}, {1, 8}, {baseline}, {obs::ServeSweepCell{}, cell});
+
+  testkit::Snapshot snap;
+  snap.add(testkit::summarize_json_schema("bench.serve_schema",
+                                          obs::json::parse(serve)));
+  const testkit::GoldenOutcome outcome =
+      testkit::check_golden(g_golden, "bench_serve_schema", snap);
   if (outcome.updated) std::cout << outcome.message;
   EXPECT_TRUE(outcome.ok) << outcome.message;
 }

@@ -1,0 +1,367 @@
+// gp::serve tests (DESIGN.md §8): per-session determinism across thread and
+// shard counts, micro-batch composition independence, typed overload
+// shedding with bounded queues, deadline stale drops, RCU hot-swap audit,
+// fused-vs-unfused inference equivalence, and a GP_FAULTS-style soak with
+// zero uncaught exceptions.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "datasets/catalog.hpp"
+#include "eval/splits.hpp"
+#include "exec/exec.hpp"
+#include "faults/faults.hpp"
+#include "gesidnet/trainer.hpp"
+#include "pipeline/preprocessor.hpp"
+#include "serve/server.hpp"
+#include "system/gestureprint.hpp"
+
+namespace gp {
+namespace {
+
+/// Shared world: one small trained + saved system and a few client streams,
+/// built once for the whole binary (training dominates this file's runtime).
+struct ServeWorld {
+  GesturePrintConfig config;
+  std::string model_path;
+  DatasetSpec spec;
+  std::vector<ContinuousRecording> streams;  ///< per-session recordings
+};
+
+const ServeWorld& world() {
+  static const ServeWorld* w = [] {
+    auto* out = new ServeWorld();
+    DatasetScale scale;
+    scale.max_users = 3;
+    scale.reps = 8;
+    out->spec = gestureprint_spec(1, scale);
+    out->spec.gestures.resize(3);
+    const Dataset dataset = generate_dataset(out->spec);
+
+    out->config.training.epochs = 6;
+    out->config.training.batch_size = 16;
+    out->config.prep.augmentation.copies = 2;
+    out->config.abstain_margin = 0.05;
+
+    GesturePrintSystem system(out->config);
+    Rng split_rng(3, 1);
+    system.fit(dataset,
+               stratified_split(dataset.gesture_labels(), 0.2, split_rng).train);
+    out->model_path = testing::TempDir() + "gp_serve_model.gpsy";
+    system.save(out->model_path);
+
+    const std::vector<std::vector<int>> scripts{{0, 2, 1}, {1, 0, 2}, {2, 1, 0}};
+    for (std::size_t s = 0; s < scripts.size(); ++s) {
+      out->streams.push_back(generate_recording(out->spec, s % out->spec.num_users,
+                                                scripts[s], 0x5E17E + s));
+    }
+    return out;
+  }();
+  return *w;
+}
+
+serve::ServeConfig base_config(std::size_t shards) {
+  serve::ServeConfig sc;
+  sc.system = world().config;
+  sc.shards = shards;
+  sc.batch_wait_us = 0;  // flush every pump: deterministic batching for tests
+  return sc;
+}
+
+/// Streams `session_ids[i]` ← streams[i] interleaved frame-by-frame through
+/// a fresh Server and returns all results sorted by (session, ordinal).
+std::vector<serve::ServeResult> run_stream(const serve::ServeConfig& sc,
+                                           serve::ModelRegistry& registry,
+                                           const std::vector<std::uint64_t>& session_ids,
+                                           exec::ExecContext& ctx) {
+  serve::Server server(sc, registry, ctx);
+  const auto& streams = world().streams;
+  std::size_t max_frames = 0;
+  for (std::size_t i = 0; i < session_ids.size(); ++i) {
+    max_frames = std::max(max_frames, streams[i].frames.size());
+  }
+  std::vector<serve::ServeResult> results;
+  for (std::size_t f = 0; f < max_frames; ++f) {
+    for (std::size_t i = 0; i < session_ids.size(); ++i) {
+      if (f >= streams[i].frames.size()) continue;
+      EXPECT_EQ(server.push_frame(session_ids[i], streams[i].frames[f]),
+                serve::Admission::kAccepted);
+    }
+    for (serve::ServeResult& r : server.pump()) results.push_back(std::move(r));
+  }
+  for (serve::ServeResult& r : server.drain()) results.push_back(std::move(r));
+  std::sort(results.begin(), results.end(), [](const auto& a, const auto& b) {
+    return a.session_id != b.session_id ? a.session_id < b.session_id
+                                        : a.segment_ordinal < b.segment_ordinal;
+  });
+  return results;
+}
+
+void expect_bitwise_equal(const std::vector<serve::ServeResult>& a,
+                          const std::vector<serve::ServeResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].session_id, b[i].session_id);
+    EXPECT_EQ(a[i].segment_ordinal, b[i].segment_ordinal);
+    EXPECT_EQ(a[i].gesture, b[i].gesture);
+    EXPECT_EQ(a[i].user, b[i].user);
+    EXPECT_EQ(a[i].abstained, b[i].abstained);
+    EXPECT_EQ(a[i].quality_rejected, b[i].quality_rejected);
+    EXPECT_EQ(a[i].gesture_margin, b[i].gesture_margin);  // bitwise doubles
+    EXPECT_EQ(a[i].user_margin, b[i].user_margin);
+  }
+}
+
+// Per-session results must be a pure function of (frames, serve seed,
+// session id) — never of GP_THREADS or the shard count.
+TEST(Serve, DeterministicAcrossThreadsAndShards) {
+  serve::ModelRegistry registry(world().config);
+  ASSERT_TRUE(registry.publish_file(world().model_path).has_value());
+  const std::vector<std::uint64_t> ids{1, 2, 3};
+
+  std::vector<serve::ServeResult> reference;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    for (std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+      exec::ExecContext ctx(threads);
+      auto results = run_stream(base_config(shards), registry, ids, ctx);
+      ASSERT_GE(results.size(), ids.size());  // every stream completed segments
+      if (reference.empty()) {
+        reference = std::move(results);
+      } else {
+        SCOPED_TRACE("threads=" + std::to_string(threads) +
+                     " shards=" + std::to_string(shards));
+        expect_bitwise_equal(reference, results);
+      }
+    }
+  }
+}
+
+// A session's answers must not depend on which other sessions' segments
+// shared its micro-batches (per-sample batch-composition independence).
+TEST(Serve, BatchCompositionIndependent) {
+  serve::ModelRegistry registry(world().config);
+  ASSERT_TRUE(registry.publish_file(world().model_path).has_value());
+  exec::ExecContext ctx(2);
+
+  auto alone = run_stream(base_config(2), registry, {1}, ctx);
+  auto crowd = run_stream(base_config(2), registry, {1, 2, 3}, ctx);
+  crowd.erase(std::remove_if(crowd.begin(), crowd.end(),
+                             [](const serve::ServeResult& r) { return r.session_id != 1; }),
+              crowd.end());
+  expect_bitwise_equal(alone, crowd);
+}
+
+// Bounded ingress queues shed with a typed rejection, never grow past cap,
+// and the shed tally is observable.
+TEST(Serve, OverloadShedsTypedAndBounded) {
+  serve::ModelRegistry registry(world().config);
+  ASSERT_TRUE(registry.publish_file(world().model_path).has_value());
+  serve::ServeConfig sc = base_config(1);
+  sc.queue_cap = 4;
+  exec::ExecContext ctx(1);
+  serve::Server server(sc, registry, ctx);
+
+  const FrameSequence& frames = world().streams[0].frames;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  for (std::size_t f = 0; f < 50 && f < frames.size(); ++f) {
+    const serve::Admission verdict = server.push_frame(7, frames[f]);
+    if (verdict == serve::Admission::kAccepted) {
+      ++accepted;
+    } else {
+      EXPECT_EQ(verdict, serve::Admission::kRejectedQueueFull);
+      ++rejected;
+    }
+    EXPECT_LE(server.sessions().queue_depth(0), sc.queue_cap);
+  }
+  EXPECT_EQ(accepted, sc.queue_cap);
+  EXPECT_GT(rejected, 0u);
+
+  const serve::SessionManager::Stats stats = server.session_stats();
+  EXPECT_EQ(stats.frames_accepted, accepted);
+  EXPECT_EQ(stats.frames_rejected_queue_full, rejected);
+  EXPECT_NO_THROW((void)server.drain());  // shedding degraded, nothing died
+}
+
+// Frames that waited longer than stale_after_ticks are shed at drain time.
+TEST(Serve, StaleFramesShedAtDrain) {
+  serve::ServeConfig sc = base_config(1);
+  sc.stale_after_ticks = 1;
+  serve::SessionManager sessions(sc);
+  exec::ExecContext ctx(1);
+
+  const FrameSequence& frames = world().streams[0].frames;
+  const std::size_t pushed = std::min<std::size_t>(8, frames.size());
+  for (std::size_t f = 0; f < pushed; ++f) {
+    ASSERT_EQ(sessions.enqueue(1, frames[f], /*tick=*/0), serve::Admission::kAccepted);
+  }
+  (void)sessions.drain(ctx, /*tick=*/5);  // all 8 are > 1 tick old
+  EXPECT_EQ(sessions.stats().frames_shed_stale, pushed);
+  EXPECT_EQ(sessions.queue_depth(0), 0u);
+}
+
+// Mid-stream publish: versions in the result stream are monotonic, the swap
+// is batch-atomic (no flush mixes versions), and nothing is dropped.
+TEST(Serve, HotSwapMidStreamIsAuditedAndLossless) {
+  serve::ModelRegistry registry(world().config);
+  ASSERT_TRUE(registry.publish_file(world().model_path).has_value());
+  exec::ExecContext ctx(2);
+  const std::vector<std::uint64_t> ids{1, 2};
+
+  // Reference run without a swap, to pin the expected result count.
+  const std::size_t expected = run_stream(base_config(2), registry, ids, ctx).size();
+  ASSERT_EQ(registry.version(), 1u);
+
+  serve::Server server(base_config(2), registry, ctx);
+  const auto& streams = world().streams;
+  std::size_t max_frames = std::max(streams[0].frames.size(), streams[1].frames.size());
+  std::vector<serve::ServeResult> results;
+  for (std::size_t f = 0; f < max_frames; ++f) {
+    if (f == max_frames / 2) {
+      // Same weights, new generation: versions must flip, answers must not.
+      ASSERT_TRUE(registry.publish_file(world().model_path).has_value());
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (f >= streams[i].frames.size()) continue;
+      (void)server.push_frame(ids[i], streams[i].frames[f]);
+    }
+    for (serve::ServeResult& r : server.pump()) results.push_back(std::move(r));
+  }
+  for (serve::ServeResult& r : server.drain()) results.push_back(std::move(r));
+
+  EXPECT_EQ(results.size(), expected);  // hot-swap dropped nothing
+  EXPECT_EQ(registry.version(), 2u);
+  std::uint64_t last = 0;
+  bool saw_v2 = false;
+  for (const serve::ServeResult& r : results) {  // flush order
+    EXPECT_GE(r.model_version, last);
+    EXPECT_GE(r.model_version, 1u);
+    last = r.model_version;
+    saw_v2 = saw_v2 || r.model_version == 2;
+  }
+  EXPECT_TRUE(saw_v2);
+}
+
+// A failed publish must never disturb the served snapshot.
+TEST(Serve, FailedPublishKeepsServing) {
+  serve::ModelRegistry registry(world().config);
+  ASSERT_TRUE(registry.publish_file(world().model_path).has_value());
+  EXPECT_FALSE(registry.publish_file(testing::TempDir() + "gp_serve_missing.gpsy"));
+  EXPECT_EQ(registry.version(), 1u);
+  ASSERT_NE(registry.current(), nullptr);
+  EXPECT_EQ(registry.current()->version, 1u);
+}
+
+// Before the first publish, segments get typed no-model refusals — never
+// exceptions, never silent drops.
+TEST(Serve, NoModelPublishedGivesTypedRefusals) {
+  serve::ModelRegistry registry(world().config);  // nothing published
+  exec::ExecContext ctx(1);
+  std::vector<serve::ServeResult> results;
+  ASSERT_NO_THROW(results = run_stream(base_config(1), registry, {1}, ctx));
+  ASSERT_FALSE(results.empty());
+  for (const serve::ServeResult& r : results) {
+    EXPECT_EQ(r.gesture, kAbstain);
+    EXPECT_EQ(r.user, kAbstain);
+    EXPECT_TRUE(r.abstained);
+    EXPECT_EQ(r.model_version, 0u);
+  }
+}
+
+// The fused (inference-only) path must agree with the unfused offline path:
+// same argmax, probabilities within float-accumulation tolerance.
+TEST(Serve, FusedMatchesUnfusedLogits) {
+  GesturePrintSystem unfused(world().config);
+  ASSERT_TRUE(unfused.try_load(world().model_path));
+  GesturePrintSystem fused(world().config);
+  ASSERT_TRUE(fused.try_load(world().model_path));
+  fused.fuse_for_inference();
+
+  // Deterministic variants from the shared streams' first segments.
+  const Dataset dataset = generate_dataset(world().spec);
+  std::vector<FeaturizedSample> variants;
+  for (std::size_t i = 0; i < 6; ++i) {
+    Rng rng = exec::child_rng(0xF05EDu, i);
+    variants.push_back(
+        featurize(dataset.samples[i * 7].cloud, world().config.prep.features, rng));
+  }
+  const nn::Tensor a = predict_logits(unfused.gesture_model(), variants);
+  const nn::Tensor b = predict_logits(fused.gesture_model(), variants);
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double max_a = -1e30, max_b = -1e30;
+    std::size_t arg_a = 0, arg_b = 0;
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      EXPECT_NEAR(a.at(r, c), b.at(r, c), 1e-3) << "row " << r << " col " << c;
+      if (a.at(r, c) > max_a) { max_a = a.at(r, c); arg_a = c; }
+      if (b.at(r, c) > max_b) { max_b = b.at(r, c); arg_b = c; }
+    }
+    EXPECT_EQ(arg_a, arg_b) << "argmax diverged on row " << r;
+  }
+}
+
+// A fused system refuses the training/serialisation paths with typed errors.
+TEST(Serve, FusedSystemRefusesTrainingPaths) {
+  GesturePrintSystem system(world().config);
+  ASSERT_TRUE(system.try_load(world().model_path));
+  system.fuse_for_inference();
+  EXPECT_THROW(system.save(testing::TempDir() + "gp_serve_refused.gpsy"), Error);
+}
+
+// GP_FAULTS-style soak: every session behind a severely degraded link; the
+// server must produce only typed answers — zero uncaught exceptions.
+TEST(Serve, FaultSoakZeroUncaughtExceptions) {
+  serve::ModelRegistry registry(world().config);
+  ASSERT_TRUE(registry.publish_file(world().model_path).has_value());
+  serve::ServeConfig sc = base_config(2);
+  sc.session_faults = faults::FaultConfig::mixed(1.0);
+  exec::ExecContext ctx(2);
+
+  std::vector<serve::ServeResult> results;
+  ASSERT_NO_THROW(results = run_stream(sc, registry, {1, 2, 3}, ctx));
+  for (const serve::ServeResult& r : results) {
+    EXPECT_TRUE(r.gesture >= 0 || r.gesture == kAbstain);
+    EXPECT_TRUE(r.user >= 0 || r.user == kAbstain);
+  }
+  // And the faulty run is itself deterministic (per-session fault seeds).
+  std::vector<serve::ServeResult> again;
+  ASSERT_NO_THROW(again = run_stream(sc, registry, {1, 2, 3}, ctx));
+  expect_bitwise_equal(results, again);
+}
+
+// Concurrent producers against a pumping server: admission is thread-safe
+// (this test is part of the tsan-smoke lane).
+TEST(Serve, ConcurrentPushersUnderPump) {
+  serve::ModelRegistry registry(world().config);
+  ASSERT_TRUE(registry.publish_file(world().model_path).has_value());
+  serve::ServeConfig sc = base_config(4);
+  sc.queue_cap = 64;
+  exec::ExecContext ctx(2);
+  serve::Server server(sc, registry, ctx);
+
+  std::vector<std::thread> producers;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    producers.emplace_back([&, id] {
+      const FrameSequence& frames = world().streams[id - 1].frames;
+      for (const FrameCloud& frame : frames) (void)server.push_frame(id, frame);
+    });
+  }
+  std::vector<serve::ServeResult> results;
+  for (int i = 0; i < 200; ++i) {
+    for (serve::ServeResult& r : server.pump()) results.push_back(std::move(r));
+  }
+  for (std::thread& t : producers) t.join();
+  for (serve::ServeResult& r : server.drain()) results.push_back(std::move(r));
+
+  const serve::SessionManager::Stats stats = server.session_stats();
+  EXPECT_GT(stats.frames_accepted, 0u);
+  EXPECT_EQ(server.batch_stats().segments, results.size());
+}
+
+}  // namespace
+}  // namespace gp

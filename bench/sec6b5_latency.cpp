@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/mem.hpp"
 #include "datasets/cache.hpp"
 #include "datasets/prep.hpp"
 #include "exec/exec.hpp"
@@ -36,6 +37,7 @@
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "pipeline/preprocessor.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -110,7 +112,7 @@ BENCHMARK(BM_EndToEndSingleGesture)->Unit(benchmark::kMillisecond);
 /// instrumentation inside the stack fills in the per-stage breakdown
 /// (pipeline.segment, gesidnet.predict, ...) over the same iterations,
 /// which lands in BENCH_latency_stages.json next to the top-level numbers.
-void run_latency_quantiles() {
+void run_latency_quantiles(const std::vector<obs::ServeTickProfile>& serve_tick) {
   using clock = std::chrono::steady_clock;
   LatencyFixture& f = LatencyFixture::instance();
   const Preprocessor preprocessor;
@@ -154,12 +156,93 @@ void run_latency_quantiles() {
       {{"preprocessing", pre_ms.snapshot()},
        {"classification_inference", infer_ms.snapshot()},
        {"end_to_end", total_ms.snapshot()}},
-      obs::stage_snapshots());
+      obs::stage_snapshots(), serve_tick);
 
   const std::string path = output_dir() + "/BENCH_latency_stages.json";
   std::ofstream out(path);
   out << doc;
   std::cout << "wrote " << path << "\n";
+}
+
+// ------------------------------------------------------ serve tick profile
+
+/// Exact interpolated quantile over a sorted sample vector.
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+/// Streams the fixture recording into a serve::Server from kSessions
+/// concurrent sessions, timing each engine tick (one frame per session +
+/// one pump) and counting heap allocations per tick via mem::AllocCounter.
+/// Two passes over the same server: "cold" (pools and arenas still
+/// growing) and "steady" (everything warm — this is the gp::mem
+/// before/after evidence for DESIGN.md §9). The zero-alloc *assertion*
+/// lives in tests/test_mem.cpp; here we record the measured rates.
+std::vector<obs::ServeTickProfile> run_serve_tick_profile() {
+  LatencyFixture& f = LatencyFixture::instance();
+
+  GesturePrintConfig config = bench::default_system_config();
+  config.training.epochs = 4;  // must match the fixture's published model
+
+  const std::string model_path = output_dir() + "/latency_serve_model.gpsy";
+  f.system->save(model_path);
+  serve::ModelRegistry registry(config);
+  if (!registry.publish_file(model_path)) {
+    std::cout << "serve tick profile skipped: could not publish " << model_path << "\n";
+    return {};
+  }
+
+  serve::ServeConfig serve_config;
+  serve_config.system = config;
+  serve_config.batch_wait_us = 0;  // flush on every pump: latency-greedy
+  serve::Server server(serve_config, registry);
+
+  constexpr std::uint64_t kSessions = 4;
+  const auto pass = [&](const char* phase) {
+    obs::ServeTickProfile profile;
+    profile.phase = phase;
+    std::vector<double> tick_ms;
+    tick_ms.reserve(f.raw_recording.size());
+    mem::AllocCounter allocs;
+    for (const FrameCloud& frame : f.raw_recording) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::uint64_t s = 1; s <= kSessions; ++s) (void)server.push_frame(s, frame);
+      const auto results = server.pump();
+      const auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(results);
+      tick_ms.push_back(std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    profile.ticks = tick_ms.size();
+    profile.allocs_per_tick =
+        profile.ticks > 0
+            ? static_cast<double>(allocs.allocations()) / static_cast<double>(profile.ticks)
+            : 0.0;
+    std::sort(tick_ms.begin(), tick_ms.end());
+    profile.p50_ms = sorted_quantile(tick_ms, 0.5);
+    profile.p95_ms = sorted_quantile(tick_ms, 0.95);
+    profile.p99_ms = sorted_quantile(tick_ms, 0.99);
+    return profile;
+  };
+
+  // The second pass keeps the same server: sessions, pools, and shard
+  // arenas enter it warm, so the delta isolates the allocator tax.
+  std::vector<obs::ServeTickProfile> profiles;
+  profiles.push_back(pass("cold"));
+  profiles.push_back(pass("steady"));
+
+  std::cout << "\nserve tick profile (" << kSessions << " sessions, "
+            << f.raw_recording.size() << " ticks/pass)\n";
+  for (const obs::ServeTickProfile& p : profiles) {
+    std::cout << "  " << p.phase << ": p50 " << bench::cell(p.p50_ms) << "ms  p95 "
+              << bench::cell(p.p95_ms) << "ms  p99 " << bench::cell(p.p99_ms) << "ms  "
+              << bench::cell(p.allocs_per_tick) << " allocs/tick\n";
+  }
+  return profiles;
 }
 
 // ------------------------------------------------------ parallel scaling sweep
@@ -271,7 +354,8 @@ int main(int argc, char** argv) {
   LatencyFixture::instance();  // train outside the measured region
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  run_latency_quantiles();
+  const std::vector<obs::ServeTickProfile> serve_tick = run_serve_tick_profile();
+  run_latency_quantiles(serve_tick);
   run_parallel_sweep();
   obs::write_run_report("sec6b5_latency");
   return 0;

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/mem.hpp"
 #include "datasets/catalog.hpp"
 #include "eval/splits.hpp"
 #include "serve/server.hpp"
@@ -106,6 +107,24 @@ int main() {
     }
   }
   for (const serve::ServeResult& r : server.drain()) report(r);
+
+  // Steady-state memory check (DESIGN.md §9): with the server fully warm,
+  // quiet ticks — frames admitted and shards drained, but no segment
+  // completing — should not touch the heap at all.
+  {
+    constexpr std::size_t kQuietTicks = 8;
+    mem::AllocCounter tick_allocs;
+    for (std::size_t f = 0; f < kQuietTicks; ++f) {
+      for (std::size_t s = 0; s < streams.size(); ++s) {
+        (void)server.push_frame(s + 1, streams[s].frames[f]);
+      }
+      (void)server.pump();
+    }
+    std::cout << "\nsteady-state memory: "
+              << (tick_allocs.allocations() / kQuietTicks)
+              << " heap allocations per quiet serve tick ("
+              << tick_allocs.allocations() << " over " << kQuietTicks << " ticks)\n";
+  }
 
   const serve::SessionManager::Stats s = server.session_stats();
   const serve::MicroBatcher::Stats b = server.batch_stats();

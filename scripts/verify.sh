@@ -3,7 +3,7 @@
 #
 #   scripts/verify.sh            # tier 1: default build + full ctest
 #   scripts/verify.sh asan       # tier 2: -DGP_SANITIZE=address build,
-#                                #         fuzz-smoke + obs-smoke + fault labels
+#                                #         fuzz-smoke + obs-smoke + fault + mem labels
 #   scripts/verify.sh tsan       # tier 3: -DGP_SANITIZE=thread build,
 #                                #         tsan-smoke + serve labels
 #   scripts/verify.sh all        # tiers 1 + 2 + 3 in sequence
@@ -26,10 +26,12 @@ run_tier1() {
 }
 
 run_asan() {
-  echo "==> tier 2: AddressSanitizer build, fuzz-smoke + obs-smoke + fault labels"
+  echo "==> tier 2: AddressSanitizer build, fuzz-smoke + obs-smoke + fault + mem labels"
   cmake -B "$ROOT/build-asan" -S "$ROOT" -DGP_SANITIZE=address >/dev/null
   cmake --build "$ROOT/build-asan" -j "$JOBS"
-  (cd "$ROOT/build-asan" && ctest --output-on-failure -j "$JOBS" -L 'fuzz-smoke|obs-smoke|fault')
+  # mem rides the asan lane: the counting operator new/delete and the arena
+  # reuse paths must stay clean under ASan's allocator interposition.
+  (cd "$ROOT/build-asan" && ctest --output-on-failure -j "$JOBS" -L 'fuzz-smoke|obs-smoke|fault|mem')
 }
 
 run_tsan() {

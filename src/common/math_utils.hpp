@@ -65,8 +65,9 @@ std::size_t argmax(const std::vector<T>& v) {
   return argmax(std::span<const T>(v));
 }
 
-/// Quantile with linear interpolation, q in [0, 1].
-inline double quantile(std::vector<double> v, double q) {
+/// Quantile with linear interpolation, q in [0, 1]. Sorts `v` in place —
+/// the allocation-free form hot loops call on reused scratch buffers.
+inline double quantile_inplace(std::vector<double>& v, double q) {
   check_arg(!v.empty(), "quantile of empty vector");
   check_arg(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
   std::sort(v.begin(), v.end());
@@ -76,6 +77,9 @@ inline double quantile(std::vector<double> v, double q) {
   const double frac = pos - static_cast<double>(lo);
   return v[lo] * (1.0 - frac) + v[hi] * frac;
 }
+
+/// Copying convenience overload.
+inline double quantile(std::vector<double> v, double q) { return quantile_inplace(v, q); }
 
 /// Wraps an angle to (-pi, pi].
 inline double wrap_angle(double a) {

@@ -1,0 +1,237 @@
+#include "common/mem.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+
+#include "common/error.hpp"
+
+namespace gp::mem {
+
+namespace {
+
+// Process-global relaxed counters. Global (not thread_local) on purpose:
+// the serve hot loop runs shard drains on gp::exec worker threads, and a
+// per-thread counter read from the pump thread would miss them entirely.
+std::atomic<std::uint64_t> g_allocs{0};
+std::atomic<std::uint64_t> g_frees{0};
+std::atomic<std::uint64_t> g_bytes{0};
+
+std::atomic<std::uint64_t> g_pool_hits{0};
+std::atomic<std::uint64_t> g_pool_misses{0};
+std::atomic<std::uint64_t> g_arena_blocks{0};
+std::atomic<std::uint64_t> g_arena_bytes_recycled{0};
+std::atomic<std::uint64_t> g_arena_high_water{0};
+
+void raise_max(std::atomic<std::uint64_t>& slot, std::uint64_t value) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+inline void count_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+}
+
+inline void count_free() { g_frees.fetch_add(1, std::memory_order_relaxed); }
+
+std::atomic<int> g_poison_resize{-1};  ///< -1 = read GP_POISON_RESIZE lazily
+
+}  // namespace
+
+AllocStats alloc_stats() {
+  AllocStats s;
+  s.allocs = g_allocs.load(std::memory_order_relaxed);
+  s.frees = g_frees.load(std::memory_order_relaxed);
+  s.bytes = g_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+ScopedNoAlloc::~ScopedNoAlloc() {
+  const std::uint64_t n = counter_.allocations();
+  if (n != 0) {
+    std::fprintf(stderr,
+                 "GP_ASSERT_NO_ALLOC violated in '%s': %llu heap allocation(s) "
+                 "(%llu bytes) inside a zero-alloc scope\n",
+                 what_, static_cast<unsigned long long>(n),
+                 static_cast<unsigned long long>(counter_.bytes()));
+    std::abort();
+  }
+}
+
+// ------------------------------------------------------------------ arena
+
+std::size_t default_arena_bytes() {
+  static const std::size_t cached = [] {
+    constexpr std::size_t kDefault = 256 * 1024;
+    const char* env = std::getenv("GP_ARENA_BYTES");
+    if (env == nullptr || *env == '\0') return kDefault;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end == env || v == 0) return kDefault;
+    constexpr std::size_t kMin = 4 * 1024;
+    constexpr std::size_t kMax = std::size_t{1} << 30;
+    const auto bytes = static_cast<std::size_t>(v);
+    return bytes < kMin ? kMin : (bytes > kMax ? kMax : bytes);
+  }();
+  return cached;
+}
+
+Arena::Arena(std::size_t block_bytes)
+    : block_bytes_(block_bytes == 0 ? default_arena_bytes() : block_bytes) {}
+
+Arena::Block& Arena::grow(std::size_t min_bytes) {
+  Block block;
+  block.size = min_bytes > block_bytes_ ? min_bytes : block_bytes_;
+  block.data = std::make_unique<std::byte[]>(block.size);
+  blocks_.push_back(std::move(block));
+  g_arena_blocks.fetch_add(1, std::memory_order_relaxed);
+  return blocks_.back();
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  check_arg(align != 0 && (align & (align - 1)) == 0,
+            "Arena alignment must be a power of two");
+  if (bytes == 0) bytes = 1;
+
+  for (;;) {
+    if (active_ < blocks_.size()) {
+      Block& block = blocks_[active_];
+      const auto base = reinterpret_cast<std::uintptr_t>(block.data.get());
+      const std::uintptr_t aligned = (base + block.used + align - 1) & ~(align - 1);
+      const std::size_t offset = static_cast<std::size_t>(aligned - base);
+      if (offset + bytes <= block.size) {
+        block.used = offset + bytes;
+        used_ += bytes;
+        if (used_ > high_water_) {
+          high_water_ = used_;
+          raise_max(g_arena_high_water, high_water_);
+        }
+        return block.data.get() + offset;
+      }
+      // Doesn't fit: seal this block and try the next (kept from an earlier
+      // epoch) or grow the chain. Sealed slack is counted as used so the
+      // high-water mark reflects real footprint.
+      ++active_;
+      continue;
+    }
+    grow(bytes + align);
+    // Loop: the fresh block is blocks_[active_] and is guaranteed to fit.
+  }
+}
+
+void Arena::reset() {
+  g_arena_bytes_recycled.fetch_add(used_, std::memory_order_relaxed);
+  for (Block& block : blocks_) block.used = 0;
+  active_ = 0;
+  used_ = 0;
+}
+
+// ------------------------------------------------------------------- pool
+
+namespace detail {
+void record_pool_hit() { g_pool_hits.fetch_add(1, std::memory_order_relaxed); }
+void record_pool_miss() { g_pool_misses.fetch_add(1, std::memory_order_relaxed); }
+}  // namespace detail
+
+// -------------------------------------------------------- poison / stats
+
+bool poison_resize_enabled() {
+  int state = g_poison_resize.load(std::memory_order_relaxed);
+  if (state < 0) {
+    const char* env = std::getenv("GP_POISON_RESIZE");
+    state = (env != nullptr && (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0))
+                ? 1
+                : 0;
+    g_poison_resize.store(state, std::memory_order_relaxed);
+  }
+  return state == 1;
+}
+
+void set_poison_resize(bool enabled) {
+  g_poison_resize.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+MemCounters mem_counters() {
+  MemCounters c;
+  c.pool_hits = g_pool_hits.load(std::memory_order_relaxed);
+  c.pool_misses = g_pool_misses.load(std::memory_order_relaxed);
+  c.arena_blocks = g_arena_blocks.load(std::memory_order_relaxed);
+  c.arena_bytes_recycled = g_arena_bytes_recycled.load(std::memory_order_relaxed);
+  c.arena_high_water = g_arena_high_water.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace gp::mem
+
+// --------------------------------------------------- operator new/delete
+//
+// Counting replacements for the global allocation functions. Defined in
+// exactly one TU; any binary that pulls mem.o (everything linking the
+// pipeline/serve stack) gets counted allocation. The counters are two
+// relaxed fetch_adds — noise-level next to the allocation itself — and
+// malloc/free stay the backing store, so ASan/TSan interposition still
+// sees every block.
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  gp::mem::count_alloc(size);
+  return p;
+}
+
+void* counted_alloc_nothrow(std::size_t size) noexcept {
+  if (size == 0) size = 1;
+  void* p = std::malloc(size);
+  if (p != nullptr) gp::mem::count_alloc(size);
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size == 0 ? align : size) != 0) throw std::bad_alloc();
+  gp::mem::count_alloc(size);
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  gp::mem::count_free();
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc_nothrow(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { counted_free(p); }

@@ -1,0 +1,304 @@
+// gp::mem — arena/pool memory primitives for the zero-copy frame path
+// (DESIGN.md §9).
+//
+// The serving hot loop (radar frame → shard ingress → segmentation →
+// preprocess → featurize → micro-batch) must not pay allocator tax per
+// tick: on the 1-core reference host malloc/free round-trips are pure
+// latency, and deployed radar gesture stacks run in fixed memory
+// footprints. Three primitives make a steady-state tick allocation-free:
+//
+//   * Arena       — bump allocator with epoch reset. Frame points are
+//                   copied into the owning shard's arena at admission and
+//                   handed to the pipeline as non-owning FrameView spans;
+//                   the drain tick resets the arena instead of freeing.
+//   * Pool<T>     — mutex-guarded freelist of reusable heap objects with a
+//                   pool-returning smart-pointer deleter (PoolPtr<T>).
+//                   Completed segments recycle through it across threads.
+//   * SlotVector  — a logical-size prefix over persistent element slots:
+//                   clear() forgets elements without destroying them, so
+//                   nested vector capacities stay warm across reuse.
+//
+// Verification hooks: the translation unit replaces global operator
+// new/delete with counting versions (process-global relaxed atomics — the
+// hot loop spans gp::exec worker threads, so thread-local counters would
+// miss shard-drain allocations). AllocCounter reads the counters;
+// GP_ASSERT_NO_ALLOC aborts a scope that allocated. GP_POISON_RESIZE=1
+// arms NaN poisoning of Tensor::resize (whose contents are documented as
+// unspecified) to flush out callers relying on stale cells.
+//
+// Determinism: nothing here touches RNG streams or changes any
+// floating-point computation — buffers are recycled, values are not.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace gp::mem {
+
+// ------------------------------------------------------------ alloc hooks
+
+/// Snapshot of the process-global allocation counters maintained by the
+/// replaced operator new/delete (monotonic; all threads).
+struct AllocStats {
+  std::uint64_t allocs = 0;  ///< operator new calls
+  std::uint64_t frees = 0;   ///< operator delete calls
+  std::uint64_t bytes = 0;   ///< cumulative bytes requested
+};
+
+AllocStats alloc_stats();
+
+/// Counts allocations between construction (or the last reset()) and now.
+/// Usage: AllocCounter c; hot_loop(); EXPECT_EQ(c.allocations(), 0u);
+class AllocCounter {
+ public:
+  AllocCounter() : start_(alloc_stats()) {}
+  void reset() { start_ = alloc_stats(); }
+  std::uint64_t allocations() const { return alloc_stats().allocs - start_.allocs; }
+  std::uint64_t frees() const { return alloc_stats().frees - start_.frees; }
+  std::uint64_t bytes() const { return alloc_stats().bytes - start_.bytes; }
+
+ private:
+  AllocStats start_;
+};
+
+/// Scope guard that aborts (with a diagnostic naming the scope) if any
+/// heap allocation happened while it was alive. The hard failure mode is
+/// deliberate: a zero-alloc contract violated in a steady-state loop must
+/// be impossible to ignore in CI.
+class ScopedNoAlloc {
+ public:
+  explicit ScopedNoAlloc(const char* what) : what_(what) {}
+  ~ScopedNoAlloc();
+  ScopedNoAlloc(const ScopedNoAlloc&) = delete;
+  ScopedNoAlloc& operator=(const ScopedNoAlloc&) = delete;
+
+ private:
+  const char* what_;
+  AllocCounter counter_;
+};
+
+#define GP_MEM_CONCAT_IMPL(a, b) a##b
+#define GP_MEM_CONCAT(a, b) GP_MEM_CONCAT_IMPL(a, b)
+#define GP_ASSERT_NO_ALLOC(what_literal) \
+  ::gp::mem::ScopedNoAlloc GP_MEM_CONCAT(gp_mem_no_alloc_guard_, __LINE__)(what_literal)
+
+// ------------------------------------------------------------------ arena
+
+/// Default arena block size: GP_ARENA_BYTES (clamped to [4 KiB, 1 GiB]),
+/// else 256 KiB — comfortably above the largest per-tick frame burst the
+/// serve layer sees, so steady state never grows a new block.
+std::size_t default_arena_bytes();
+
+/// Bump allocator over a chain of fixed-size blocks. allocate() is O(1);
+/// reset() rewinds every block to empty without freeing, so the next epoch
+/// reuses the same memory. Blocks are stable: growing the chain never
+/// relocates previously returned spans, which is what lets producers keep
+/// appending to an arena another thread is still reading (distinct spans).
+///
+/// Not internally synchronised — the owner provides exclusion (the serve
+/// shards allocate under their ingress mutex and reset at a tick boundary
+/// when no producer can hold a span; see sessions.cpp).
+class Arena {
+ public:
+  /// `block_bytes` 0 means default_arena_bytes().
+  explicit Arena(std::size_t block_bytes = 0);
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two). An
+  /// oversized request gets a dedicated block of exactly its size.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(std::max_align_t));
+
+  /// Typed span of `n` default-uninitialised T slots (T must be trivially
+  /// copyable + destructible: the arena never runs destructors).
+  template <typename T>
+  std::span<T> allocate_span(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> && std::is_trivially_destructible_v<T>,
+                  "Arena spans hold trivial types only (reset skips destructors)");
+    if (n == 0) return {};
+    return {static_cast<T*>(allocate(n * sizeof(T), alignof(T))), n};
+  }
+
+  /// Copies `src` into the arena and returns the stable copy.
+  template <typename T>
+  std::span<const T> copy_span(std::span<const T> src) {
+    std::span<T> dst = allocate_span<T>(src.size());
+    for (std::size_t i = 0; i < src.size(); ++i) dst[i] = src[i];
+    return dst;
+  }
+
+  /// Epoch reset: every block rewinds to empty, nothing is freed. All
+  /// previously returned spans are invalidated.
+  void reset();
+
+  std::size_t bytes_used() const { return used_; }
+  std::size_t high_water() const { return high_water_; }
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  Block& grow(std::size_t min_bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;  ///< index of the block currently bumping
+  std::size_t block_bytes_;
+  std::size_t used_ = 0;        ///< bytes live since the last reset
+  std::size_t high_water_ = 0;  ///< max bytes_used() ever observed
+};
+
+// ------------------------------------------------------------------- pool
+
+namespace detail {
+/// gp.mem.pool.* tallies (kept in mem.cpp so this header stays free of the
+/// obs dependency; gp::obs publishes them — common sits below obs in the
+/// library graph).
+void record_pool_hit();
+void record_pool_miss();
+}  // namespace detail
+
+template <typename T>
+class Pool;
+
+/// unique_ptr deleter that returns the object to its pool (or plain
+/// deletes when detached). Default-constructible so PoolPtr composes with
+/// containers.
+template <typename T>
+struct PoolDeleter {
+  Pool<T>* pool = nullptr;
+  void operator()(T* object) const;
+};
+
+/// Owning handle to a pooled object; destruction recycles instead of
+/// freeing. The pool must outlive every handle it issued.
+template <typename T>
+using PoolPtr = std::unique_ptr<T, PoolDeleter<T>>;
+
+/// Mutex-guarded freelist of default-constructed T. acquire() pops a warm
+/// object (its internal buffers keep their capacity — callers reset
+/// logical state, not storage) or constructs a fresh one on miss.
+template <typename T>
+class Pool {
+ public:
+  Pool() = default;
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  PoolPtr<T> acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        T* object = free_.back().release();
+        free_.pop_back();
+        detail::record_pool_hit();
+        return PoolPtr<T>(object, PoolDeleter<T>{this});
+      }
+    }
+    detail::record_pool_miss();
+    return PoolPtr<T>(new T(), PoolDeleter<T>{this});
+  }
+
+  /// Deleter path; also usable directly to pre-warm the freelist.
+  void put(std::unique_ptr<T> object) {
+    if (object == nullptr) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(object));
+  }
+
+  std::size_t idle() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<T>> free_;
+};
+
+template <typename T>
+void PoolDeleter<T>::operator()(T* object) const {
+  if (pool != nullptr) {
+    pool->put(std::unique_ptr<T>(object));
+  } else {
+    delete object;
+  }
+}
+
+// ------------------------------------------------------------ slot vector
+
+/// A vector whose clear() keeps its elements alive: `size()` is a logical
+/// prefix over persistent slots, so recycling a SlotVector<FrameCloud>
+/// reuses every nested points-vector capacity instead of freeing it
+/// (std::vector::clear() destroys elements, which for vectors-of-vectors
+/// frees every nested buffer — the exact allocator traffic this type
+/// exists to avoid). emplace_back() hands back a possibly-stale slot; the
+/// caller overwrites it (copy-assignment into a warm slot reuses the
+/// destination's capacity).
+template <typename T>
+class SlotVector {
+ public:
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t slots() const { return slots_.size(); }
+
+  T& operator[](std::size_t i) { return slots_[i]; }
+  const T& operator[](std::size_t i) const { return slots_[i]; }
+  T& back() { return slots_[size_ - 1]; }
+
+  T* begin() { return slots_.data(); }
+  T* end() { return slots_.data() + size_; }
+  const T* begin() const { return slots_.data(); }
+  const T* end() const { return slots_.data() + size_; }
+
+  std::span<T> span() { return {slots_.data(), size_}; }
+  std::span<const T> span() const { return {slots_.data(), size_}; }
+
+  /// Next slot: a recycled one when available (stale contents — assign
+  /// over it), else a fresh default-constructed element.
+  T& emplace_back() {
+    if (size_ == slots_.size()) slots_.emplace_back();
+    return slots_[size_++];
+  }
+
+  /// Logical clear: slots (and their heap buffers) survive for reuse.
+  void clear() { size_ = 0; }
+  void pop_back() { --size_; }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t size_ = 0;
+};
+
+// -------------------------------------------------------- poison / stats
+
+/// GP_POISON_RESIZE=1 arms NaN poison-filling of Tensor::resize (debug
+/// mode: resize contents are documented unspecified; poisoning makes a
+/// caller that reads stale cells fail loudly). Overridable for tests.
+bool poison_resize_enabled();
+void set_poison_resize(bool enabled);
+
+/// Monotonic gp.mem.* tallies for the obs bridge (obs::publish_mem_metrics
+/// turns them into counters/gauges; see obs/metrics.hpp).
+struct MemCounters {
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  std::uint64_t arena_blocks = 0;          ///< arena blocks ever allocated
+  std::uint64_t arena_bytes_recycled = 0;  ///< bytes rewound by reset()
+  std::uint64_t arena_high_water = 0;      ///< max per-arena bytes_used()
+};
+
+MemCounters mem_counters();
+
+}  // namespace gp::mem

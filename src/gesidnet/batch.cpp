@@ -36,11 +36,33 @@ BatchedCloud make_batch(const std::vector<const FeaturizedSample*>& samples) {
 
 void make_batch(const std::vector<FeaturizedSample>& samples, std::size_t begin,
                 std::size_t count, BatchedCloud& out) {
+  make_batch(std::span<const FeaturizedSample>(samples), begin, count, out);
+}
+
+void make_batch(std::span<const FeaturizedSample> samples, std::size_t begin, std::size_t count,
+                BatchedCloud& out) {
   check_arg(begin + count <= samples.size(), "batch slice out of range");
-  std::vector<const FeaturizedSample*> ptrs;
-  ptrs.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) ptrs.push_back(&samples[begin + i]);
-  make_batch(ptrs, out);
+  check_arg(count > 0, "make_batch of empty sample list");
+  const std::size_t n = samples[begin].num_points;
+  const std::size_t dims = samples[begin].dims;
+
+  out.batch = count;
+  out.num_points = n;
+  out.positions.resize(count * n, 3);
+  out.features.resize(count * n, dims);
+
+  for (std::size_t b = 0; b < count; ++b) {
+    const FeaturizedSample& s = samples[begin + b];
+    check_arg(s.num_points == n && s.dims == dims, "inhomogeneous batch");
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        out.positions.at(b * n + i, c) = s.positions[i * 3 + c];
+      }
+      for (std::size_t c = 0; c < dims; ++c) {
+        out.features.at(b * n + i, c) = s.features[i * dims + c];
+      }
+    }
+  }
 }
 
 BatchedCloud make_batch(const std::vector<FeaturizedSample>& samples, std::size_t begin,

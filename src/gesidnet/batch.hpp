@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "nn/tensor.hpp"
@@ -33,5 +34,9 @@ BatchedCloud make_batch(const std::vector<FeaturizedSample>& samples, std::size_
 void make_batch(const std::vector<const FeaturizedSample*>& samples, BatchedCloud& out);
 void make_batch(const std::vector<FeaturizedSample>& samples, std::size_t begin,
                 std::size_t count, BatchedCloud& out);
+/// Span variant: slices contiguous storage directly — no pointer table, no
+/// per-call allocation (the inference hot path).
+void make_batch(std::span<const FeaturizedSample> samples, std::size_t begin, std::size_t count,
+                BatchedCloud& out);
 
 }  // namespace gp

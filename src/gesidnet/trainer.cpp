@@ -94,7 +94,7 @@ namespace {
 
 /// Runs batch `batch_index` through `model` and writes its logit rows into
 /// the matching rows of `all`. `scratch` is the lane-local batch buffer.
-void infer_batch_into(PointCloudClassifier& model, const std::vector<FeaturizedSample>& samples,
+void infer_batch_into(PointCloudClassifier& model, std::span<const FeaturizedSample> samples,
                       std::size_t batch_size, std::size_t batch_index, BatchedCloud& scratch,
                       nn::Tensor& all) {
   const std::size_t begin = batch_index * batch_size;
@@ -113,13 +113,24 @@ void infer_batch_into(PointCloudClassifier& model, const std::vector<FeaturizedS
 nn::Tensor predict_logits(PointCloudClassifier& model,
                           const std::vector<FeaturizedSample>& samples,
                           std::size_t batch_size, exec::ExecContext& ctx) {
+  return predict_logits(model, std::span<const FeaturizedSample>(samples), batch_size, ctx);
+}
+
+nn::Tensor predict_logits(PointCloudClassifier& model, std::span<const FeaturizedSample> samples,
+                          std::size_t batch_size, exec::ExecContext& ctx) {
+  nn::Tensor all;
+  predict_logits_into(model, samples, all, batch_size, ctx);
+  return all;
+}
+
+void predict_logits_into(PointCloudClassifier& model, std::span<const FeaturizedSample> samples,
+                         nn::Tensor& all, std::size_t batch_size, exec::ExecContext& ctx) {
   GP_SPAN("gesidnet.predict");
   check_arg(!samples.empty(), "predict over empty sample list");
   check_arg(batch_size > 0, "predict batch size must be > 0");
   const std::size_t num_batches = (samples.size() + batch_size - 1) / batch_size;
 
   // Batch 0 runs on the primary model to discover the class count.
-  nn::Tensor all;
   BatchedCloud scratch;
   {
     const std::size_t count = std::min(batch_size, samples.size());
@@ -130,7 +141,7 @@ nn::Tensor predict_logits(PointCloudClassifier& model,
       for (std::size_t c = 0; c < logits.cols(); ++c) all.at(i, c) = logits.at(i, c);
     }
   }
-  if (num_batches == 1) return all;
+  if (num_batches == 1) return;
 
   // Layers cache activations for backward, so a model instance is not
   // reentrant: concurrent lanes need replicas. Lane 0 reuses the primary;
@@ -157,7 +168,7 @@ nn::Tensor predict_logits(PointCloudClassifier& model,
           infer_batch_into(lane_model, samples, batch_size, b, lane_scratch, all);
         }
       });
-      return all;
+      return;
     }
   }
 
@@ -166,7 +177,6 @@ nn::Tensor predict_logits(PointCloudClassifier& model,
   for (std::size_t b = 1; b < num_batches; ++b) {
     infer_batch_into(model, samples, batch_size, b, scratch, all);
   }
-  return all;
 }
 
 std::vector<int> argmax_labels(const nn::Tensor& logits) {

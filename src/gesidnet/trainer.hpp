@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "exec/exec.hpp"
@@ -56,6 +57,18 @@ nn::Tensor predict_logits(PointCloudClassifier& model,
                           const std::vector<FeaturizedSample>& samples,
                           std::size_t batch_size = 64,
                           exec::ExecContext& ctx = exec::ExecContext::global());
+
+/// Span variant (contiguous storage from any container).
+nn::Tensor predict_logits(PointCloudClassifier& model, std::span<const FeaturizedSample> samples,
+                          std::size_t batch_size = 64,
+                          exec::ExecContext& ctx = exec::ExecContext::global());
+
+/// Buffer-reusing variant: identical logits written into `out` (resized to
+/// samples × classes). The serving flush path calls this with a recycled
+/// tensor so repeated batches stop reallocating the result.
+void predict_logits_into(PointCloudClassifier& model, std::span<const FeaturizedSample> samples,
+                         nn::Tensor& out, std::size_t batch_size = 64,
+                         exec::ExecContext& ctx = exec::ExecContext::global());
 
 /// Argmax labels from logits.
 std::vector<int> argmax_labels(const nn::Tensor& logits);

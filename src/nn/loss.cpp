@@ -6,7 +6,13 @@
 namespace gp::nn {
 
 Tensor softmax(const Tensor& logits) {
-  Tensor out(logits.rows(), logits.cols());
+  Tensor out;
+  softmax_into(logits, out);
+  return out;
+}
+
+void softmax_into(const Tensor& logits, Tensor& out) {
+  out.resize(logits.rows(), logits.cols());
   for (std::size_t i = 0; i < logits.rows(); ++i) {
     const float* in = logits.row(i);
     float* o = out.row(i);
@@ -21,7 +27,6 @@ Tensor softmax(const Tensor& logits) {
     const float inv = static_cast<float>(1.0 / denom);
     for (std::size_t j = 0; j < logits.cols(); ++j) o[j] *= inv;
   }
-  return out;
 }
 
 LossResult softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels,

@@ -11,6 +11,10 @@ namespace gp::nn {
 /// Row-wise softmax of logits.
 Tensor softmax(const Tensor& logits);
 
+/// Allocation-free variant: writes the row-wise softmax into `out`,
+/// reusing its buffer when the shape already matches.
+void softmax_into(const Tensor& logits, Tensor& out);
+
 struct LossResult {
   double loss = 0.0;     ///< mean cross-entropy over the batch
   Tensor grad;           ///< dL/d(logits), already divided by batch size

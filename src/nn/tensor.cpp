@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "common/mem.hpp"
 
 namespace gp::nn {
 
@@ -14,6 +17,12 @@ void Tensor::resize(std::size_t rows, std::size_t cols) {
   rows_ = rows;
   cols_ = cols;
   data_.resize(rows * cols);  // keeps capacity on shrink; grows if needed
+  // Debug mode (GP_POISON_RESIZE=1): contents after resize are documented
+  // unspecified, so poison every cell with NaN — a caller that reads a
+  // stale value propagates NaN instead of silently reusing old data.
+  if (mem::poison_resize_enabled()) {
+    std::fill(data_.begin(), data_.end(), std::numeric_limits<float>::quiet_NaN());
+  }
 }
 
 void Tensor::randn(Rng& rng, double stddev) {

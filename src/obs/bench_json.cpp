@@ -8,7 +8,8 @@ namespace gp::obs {
 
 std::string latency_stages_json(int iterations,
                                 const std::vector<LatencyQuantileRow>& top_level,
-                                const std::vector<StageSnapshot>& stages) {
+                                const std::vector<StageSnapshot>& stages,
+                                const std::vector<ServeTickProfile>& serve_tick) {
   std::ostringstream out;
   out << "{\n  \"iterations\": " << iterations << ",\n  \"top_level\": [\n";
   for (std::size_t i = 0; i < top_level.size(); ++i) {
@@ -35,6 +36,16 @@ std::string latency_stages_json(int iterations,
         << ", \"p95_ms\": " << json::number(s.histogram.quantile(0.95))
         << ", \"p99_ms\": " << json::number(s.histogram.quantile(0.99)) << "}"
         << (emitted < nonzero ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"serve_tick\": [\n";
+  for (std::size_t i = 0; i < serve_tick.size(); ++i) {
+    const ServeTickProfile& p = serve_tick[i];
+    out << "    {\"phase\": \"" << json::escape(p.phase) << "\", \"ticks\": " << p.ticks
+        << ", \"p50_ms\": " << json::number(p.p50_ms)
+        << ", \"p95_ms\": " << json::number(p.p95_ms)
+        << ", \"p99_ms\": " << json::number(p.p99_ms)
+        << ", \"allocs_per_tick\": " << json::number(p.allocs_per_tick) << "}"
+        << (i + 1 < serve_tick.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   return out.str();

@@ -22,14 +22,30 @@ struct LatencyQuantileRow {
   HistogramSnapshot hist;
 };
 
+/// One serve-tick latency/allocation profile phase (DESIGN.md §9): "cold"
+/// is the first pass over a stream (pools/arenas still growing), "steady"
+/// a repeat pass on the warmed server. allocs_per_tick is the mean heap
+/// allocation count per engine tick measured by mem::AllocCounter.
+struct ServeTickProfile {
+  std::string phase;
+  std::uint64_t ticks = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double allocs_per_tick = 0.0;
+};
+
 /// Builds the BENCH_latency_stages.json document: top-level quantile rows
-/// plus the GP_SPAN per-stage breakdown. Stages with zero observations are
-/// skipped. Schema (pinned by golden test `bench_latency_schema`):
+/// plus the GP_SPAN per-stage breakdown and the serve-tick memory profile.
+/// Stages with zero observations are skipped. Schema (pinned by golden test
+/// `bench_latency_schema`):
 ///   {iterations, top_level:[{name,count,mean_ms,p50_ms,p95_ms,p99_ms}],
-///    stages:[{name,min_depth,count,total_ms,mean_ms,p50_ms,p95_ms,p99_ms}]}
+///    stages:[{name,min_depth,count,total_ms,mean_ms,p50_ms,p95_ms,p99_ms}],
+///    serve_tick:[{phase,ticks,p50_ms,p95_ms,p99_ms,allocs_per_tick}]}
 std::string latency_stages_json(int iterations,
                                 const std::vector<LatencyQuantileRow>& top_level,
-                                const std::vector<StageSnapshot>& stages);
+                                const std::vector<StageSnapshot>& stages,
+                                const std::vector<ServeTickProfile>& serve_tick = {});
 
 /// One stage's wall-times across the swept thread counts.
 struct SweepStageSeries {

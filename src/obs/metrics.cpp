@@ -9,6 +9,7 @@
 #include <ostream>
 
 #include "common/logging.hpp"
+#include "common/mem.hpp"
 #include "obs/json.hpp"
 
 namespace gp::obs {
@@ -212,5 +213,28 @@ void Registry::reset_all() {
 Counter& counter(const std::string& name) { return Registry::global().counter(name); }
 Gauge& gauge(const std::string& name) { return Registry::global().gauge(name); }
 Histogram& histogram(const std::string& name) { return Registry::global().histogram(name); }
+
+void publish_mem_metrics() {
+  if (!metrics_enabled()) return;
+  // Delta state: mem's tallies are process-global monotonic; published
+  // counters must advance by exactly the unseen amount regardless of how
+  // many sites call this.
+  static std::mutex mu;
+  static mem::MemCounters last;
+  static Counter& pool_hits = counter("gp.mem.pool.hits");
+  static Counter& pool_misses = counter("gp.mem.pool.misses");
+  static Counter& arena_blocks = counter("gp.mem.arena.blocks");
+  static Counter& arena_recycled = counter("gp.mem.arena.bytes_recycled");
+  static Gauge& arena_high_water = gauge("gp.mem.arena.high_water_bytes");
+
+  const mem::MemCounters now = mem::mem_counters();
+  const std::lock_guard<std::mutex> lock(mu);
+  pool_hits.add(now.pool_hits - last.pool_hits);
+  pool_misses.add(now.pool_misses - last.pool_misses);
+  arena_blocks.add(now.arena_blocks - last.arena_blocks);
+  arena_recycled.add(now.arena_bytes_recycled - last.arena_bytes_recycled);
+  arena_high_water.set(static_cast<double>(now.arena_high_water));
+  last = now;
+}
 
 }  // namespace gp::obs

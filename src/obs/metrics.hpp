@@ -202,6 +202,14 @@ Counter& counter(const std::string& name);
 Gauge& gauge(const std::string& name);
 Histogram& histogram(const std::string& name);
 
+/// Bridges gp::mem's internal tallies (pool hit/miss, arena blocks/bytes
+/// recycled/high-water) into gp.mem.* counters and gauges. gp::mem lives in
+/// gp_common, *below* gp_obs in the library graph, so it cannot publish
+/// itself; callers on the serving/report path invoke this periodically
+/// (Server::pump, write_run_report). Publishes monotonic deltas — safe to
+/// call from several sites.
+void publish_mem_metrics();
+
 /// Caches the metric handle in a function-local static so the name lookup
 /// happens once per call site.
 #define GP_COUNTER_ADD(name_literal, n)                                         \

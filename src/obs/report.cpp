@@ -34,6 +34,7 @@ std::string env_or(const char* name, const std::string& fallback) {
 }  // namespace
 
 void write_run_report_json(std::ostream& out, const std::string& name) {
+  publish_mem_metrics();  // fold gp.mem.* tallies into the snapshot below
   const double wall_s = uptime_seconds();
   const auto unix_now = std::chrono::duration_cast<std::chrono::seconds>(
                             std::chrono::system_clock::now().time_since_epoch())

@@ -35,4 +35,22 @@ NoiseCancelResult cancel_noise(const FrameSequence& frames, const NoiseCancelPar
   return cancel_noise(aggregate(frames), params);
 }
 
+void cancel_noise_main_into(const PointCloud& aggregated, const NoiseCancelParams& params,
+                            NoiseCancelScratch& scratch, PointCloud& out_main) {
+  out_main.clear();
+  if (aggregated.empty()) return;
+
+  dbscan_into(aggregated, params.dbscan, scratch.dbscan, scratch.clusters);
+  const int main_id = largest_cluster(scratch.clusters, scratch.counts);
+  if (main_id == kDbscanNoise) {
+    // Everything is noise; degrade gracefully by keeping the raw cloud so a
+    // downstream classifier still has input (same policy as cancel_noise).
+    out_main.insert(out_main.end(), aggregated.begin(), aggregated.end());
+    return;
+  }
+  for (std::size_t i = 0; i < aggregated.size(); ++i) {
+    if (scratch.clusters.labels[i] == main_id) out_main.push_back(aggregated[i]);
+  }
+}
+
 }  // namespace gp

@@ -24,4 +24,19 @@ NoiseCancelResult cancel_noise(const PointCloud& aggregated, const NoiseCancelPa
 /// Convenience: aggregate a segment's frames, then clean.
 NoiseCancelResult cancel_noise(const FrameSequence& frames, const NoiseCancelParams& params = {});
 
+/// Reusable working memory for the streaming noise-cancel path.
+struct NoiseCancelScratch {
+  DbscanScratch dbscan;
+  DbscanResult clusters;
+  std::vector<std::size_t> counts;
+};
+
+/// Streaming variant producing only the retained main cluster — exactly
+/// cancel_noise(aggregated).main_cluster (including the keep-the-raw-cloud
+/// graceful path when everything is noise) — written into `out_main` with
+/// every buffer recycled. The discarded-cluster inventory (Fig. 15) is
+/// offline-analysis-only and is skipped here.
+void cancel_noise_main_into(const PointCloud& aggregated, const NoiseCancelParams& params,
+                            NoiseCancelScratch& scratch, PointCloud& out_main);
+
 }  // namespace gp

@@ -31,19 +31,29 @@ SegmentQuality Preprocessor::assess(const GestureCloud& cloud) const {
 }
 
 GestureCloud Preprocessor::process_segment(const FrameSequence& segment) const {
-  GP_SPAN("pipeline.noise_cancel");
+  Scratch scratch;
   GestureCloud out;
+  process_segment_into(segment, out, scratch);
+  return out;
+}
+
+void Preprocessor::process_segment_into(std::span<const FrameCloud> segment, GestureCloud& out,
+                                        Scratch& scratch) const {
+  GP_SPAN("pipeline.noise_cancel");
+  out.points.clear();
+  out.num_frames = 0;
+  out.first_frame = 0;
+  out.duration_s = 0.0;
   if (segment.empty()) {
     out.quality = SegmentQuality::kEmpty;
-    return out;
+    return;
   }
-  const auto cleaned = cancel_noise(segment, params_.noise);
-  out.points = cleaned.main_cluster;
+  aggregate_into(segment, scratch.aggregated);
+  cancel_noise_main_into(scratch.aggregated, params_.noise, scratch.noise, out.points);
   out.num_frames = segment.size();
   out.first_frame = segment.front().frame_index;
   out.duration_s = static_cast<double>(segment.size()) / params_.frame_rate;
   out.quality = assess(out);
-  return out;
 }
 
 std::vector<GestureCloud> Preprocessor::process(const FrameSequence& recording) const {
@@ -71,12 +81,21 @@ std::vector<GestureCloud> Preprocessor::process(const FrameSequence& recording) 
 }
 
 FeaturizedSample featurize(const GestureCloud& cloud, const FeatureConfig& config, Rng& rng) {
+  FeaturizeScratch scratch;
+  FeaturizedSample out;
+  featurize_into(cloud, config, rng, scratch, out);
+  return out;
+}
+
+void featurize_into(const GestureCloud& cloud, const FeatureConfig& config, Rng& rng,
+                    FeaturizeScratch& scratch, FeaturizedSample& out) {
   GP_SPAN("pipeline.featurize");
   GP_COUNTER_ADD("gp.pipeline.samples_featurized", 1);
   check_arg(!cloud.points.empty(), "featurize of empty gesture cloud");
   check_arg(config.num_points > 0, "featurize needs num_points > 0");
 
-  const PointCloud sampled = resample(cloud.points, config.num_points, rng);
+  resample_into(cloud.points, config.num_points, rng, scratch.resample, scratch.sampled);
+  const PointCloud& sampled = scratch.sampled;
   const Vec3 offset = config.center ? centroid(sampled) : Vec3{};
 
   // Temporal channel: frame index normalised over the motion span.
@@ -88,11 +107,12 @@ FeaturizedSample featurize(const GestureCloud& cloud, const FeatureConfig& confi
   }
   const double frame_span = std::max(1, max_frame - min_frame);
 
-  FeaturizedSample out;
   out.num_points = config.num_points;
   out.dims = 7;
   const float duration_norm = static_cast<float>(
       std::min<double>(static_cast<double>(cloud.num_frames), 60.0) / 40.0);
+  out.positions.clear();
+  out.features.clear();
   out.positions.reserve(config.num_points * 3);
   out.features.reserve(config.num_points * out.dims);
 
@@ -110,7 +130,6 @@ FeaturizedSample featurize(const GestureCloud& cloud, const FeatureConfig& confi
     out.features.push_back(static_cast<float>((p.frame - min_frame) / frame_span));
     out.features.push_back(duration_norm);
   }
-  return out;
 }
 
 }  // namespace gp

@@ -4,12 +4,14 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "pipeline/augmentation.hpp"
 #include "pipeline/noise_cancel.hpp"
 #include "pipeline/segmentation.hpp"
+#include "pointcloud/ops.hpp"
 #include "pointcloud/point.hpp"
 
 namespace gp {
@@ -50,6 +52,14 @@ struct PreprocessorParams {
 /// Runs the full preprocessing stage over a recording.
 class Preprocessor {
  public:
+  /// Reusable working memory for process_segment_into: one per streaming
+  /// caller (e.g. serve::StreamSession) keeps segment cleaning
+  /// allocation-free once warm.
+  struct Scratch {
+    PointCloud aggregated;
+    NoiseCancelScratch noise;
+  };
+
   explicit Preprocessor(PreprocessorParams params = {});
 
   std::vector<GestureCloud> process(const FrameSequence& recording) const;
@@ -58,6 +68,11 @@ class Preprocessor {
   /// segmentation is available, e.g. regenerated public datasets). The
   /// returned cloud carries its quality verdict (assess()).
   GestureCloud process_segment(const FrameSequence& segment) const;
+
+  /// Allocation-free streaming variant: identical result written into
+  /// `out` (capacity reuse) using caller-owned scratch.
+  void process_segment_into(std::span<const FrameCloud> segment, GestureCloud& out,
+                            Scratch& scratch) const;
 
   /// The quality verdict the min-point / min-duration guards assign to a
   /// processed cloud. process() only emits kGood clouds; callers on the
@@ -91,5 +106,16 @@ struct FeaturizedSample {
 };
 
 FeaturizedSample featurize(const GestureCloud& cloud, const FeatureConfig& config, Rng& rng);
+
+/// Reusable working memory for featurize_into.
+struct FeaturizeScratch {
+  PointCloud sampled;
+  ResampleScratch resample;
+};
+
+/// Allocation-free variant of featurize(): identical floats (same RNG draw
+/// order) written into `out`, reusing its buffers and `scratch`'s tables.
+void featurize_into(const GestureCloud& cloud, const FeatureConfig& config, Rng& rng,
+                    FeaturizeScratch& scratch, FeaturizedSample& out);
 
 }  // namespace gp

@@ -17,19 +17,43 @@ GestureSegmenter::GestureSegmenter(SegmentationParams params) : params_(params) 
   check_arg(params_.threshold_quantile > 0.0 && params_.threshold_quantile < 1.0,
             "threshold quantile must lie in (0,1)");
   window_states_.assign(params_.detection_window, 0);
+  // Fixed-capacity rings: sized once here so the streaming path never
+  // grows them again.
+  recent_counts_.assign(params_.threshold_window + params_.detection_window, 0);
+  threshold_scratch_.reserve(params_.threshold_window);
+}
+
+void GestureSegmenter::push_recent_count(std::size_t count) {
+  const std::size_t cap = recent_counts_.size();
+  if (recent_size_ == cap) {
+    // At capacity: overwrite the oldest entry — same contents as the old
+    // deque's push_back-then-pop_front.
+    recent_counts_[recent_start_] = count;
+    recent_start_ = (recent_start_ + 1) % cap;
+  } else {
+    recent_counts_[(recent_start_ + recent_size_) % cap] = count;
+    ++recent_size_;
+  }
+  threshold_dirty_ = true;
 }
 
 std::size_t GestureSegmenter::current_threshold() const {
   // Exclude the newest n entries: they may be a gesture onset that has not
   // crossed the F_Thr detection bar yet.
-  if (recent_counts_.size() <= params_.detection_window) return params_.min_threshold;
-  std::vector<double> counts(recent_counts_.begin(),
-                             recent_counts_.end() - static_cast<std::ptrdiff_t>(
-                                                        params_.detection_window));
-  const double q = quantile(counts, params_.threshold_quantile);
-  const auto dynamic =
-      static_cast<std::size_t>(q) + params_.threshold_margin;
-  return std::max(params_.min_threshold, dynamic);
+  if (recent_size_ <= params_.detection_window) return params_.min_threshold;
+  if (threshold_dirty_) {
+    const std::size_t used = recent_size_ - params_.detection_window;
+    threshold_scratch_.clear();
+    for (std::size_t k = 0; k < used; ++k) {
+      threshold_scratch_.push_back(static_cast<double>(
+          recent_counts_[(recent_start_ + k) % recent_counts_.size()]));
+    }
+    const double q = quantile_inplace(threshold_scratch_, params_.threshold_quantile);
+    const auto dynamic = static_cast<std::size_t>(q) + params_.threshold_margin;
+    threshold_cache_ = std::max(params_.min_threshold, dynamic);
+    threshold_dirty_ = false;
+  }
+  return threshold_cache_;
 }
 
 bool GestureSegmenter::is_motion_frame(std::size_t point_count) const {
@@ -39,7 +63,8 @@ bool GestureSegmenter::is_motion_frame(std::size_t point_count) const {
 void GestureSegmenter::reset_window() {
   std::fill(window_states_.begin(), window_states_.end(), 0);
   window_pos_ = 0;
-  window_frames_.clear();
+  window_start_ = 0;
+  window_count_ = 0;  // slots (and their point buffers) stay for reuse
 }
 
 void GestureSegmenter::close_pending() {
@@ -52,17 +77,21 @@ void GestureSegmenter::close_pending() {
   const std::size_t keep =
       std::min(pending_.size(), last_motion_frame_ - gesture_start_ + 1);
   if (keep > 0) {
-    GestureSegment seg;
-    seg.start_frame = gesture_start_;
-    seg.end_frame = gesture_start_ + keep - 1;
-    seg.frames.assign(pending_.begin(), pending_.begin() + static_cast<std::ptrdiff_t>(keep));
-    completed_.push_back(std::move(seg));
+    Range range;
+    range.start_frame = gesture_start_;
+    range.end_frame = gesture_start_ + keep - 1;
+    range.begin = completed_frames_.size();
+    range.count = keep;
+    for (std::size_t i = 0; i < keep; ++i) {
+      completed_frames_.emplace_back() = pending_[i];  // slot copy: capacity reuse
+    }
+    ranges_.push_back(range);
   }
   in_gesture_ = false;
   pending_.clear();
 }
 
-void GestureSegmenter::push(const FrameCloud& frame) {
+void GestureSegmenter::push(const FrameView& frame) {
   // Gap-aware hangover: a frame_index jump beyond max_gap_frames means the
   // sensor went dark (dropped frames / duty-cycle dropout). Close the open
   // gesture at the last delivered frame and forget the sliding window so
@@ -90,18 +119,24 @@ void GestureSegmenter::push(const FrameCloud& frame) {
   // estimate; sustained clutter-level changes still flow through once they
   // age past the detection window.
   if (!in_gesture_) {
-    recent_counts_.push_back(frame.points.size());
-    if (recent_counts_.size() > params_.threshold_window + params_.detection_window) {
-      recent_counts_.pop_front();
-    }
+    push_recent_count(frame.points.size());
   }
 
-  // Update the sliding detection window.
+  // Update the sliding detection window (fixed-size rings: states and the
+  // frame copies both overwrite their oldest slot).
   window_states_[window_pos_] = motion ? 1 : 0;
   window_pos_ = (window_pos_ + 1) % params_.detection_window;
-  window_frames_.push_back(frame);
-  if (window_frames_.size() > params_.detection_window) {
-    window_frames_.erase(window_frames_.begin());
+  if (window_frames_.size() < params_.detection_window &&
+      window_count_ == window_frames_.size()) {
+    window_frames_.emplace_back();
+  }
+  if (window_count_ == params_.detection_window) {
+    assign_frame(window_frames_[window_start_], frame);
+    window_start_ = (window_start_ + 1) % params_.detection_window;
+  } else {
+    assign_frame(window_frames_[(window_start_ + window_count_) % window_frames_.size()],
+                 frame);
+    ++window_count_;
   }
 
   const std::size_t motion_in_window = static_cast<std::size_t>(
@@ -114,18 +149,19 @@ void GestureSegmenter::push(const FrameCloud& frame) {
       // inside the window.
       pending_.clear();
       bool seen_motion = false;
-      for (const auto& wf : window_frames_) {
+      for (std::size_t k = 0; k < window_count_; ++k) {
+        const FrameCloud& wf = window_frame(k);
         const bool wf_motion = wf.points.size() >= current_threshold();
         if (!seen_motion && !wf_motion) continue;
         seen_motion = true;
-        pending_.push_back(wf);
+        pending_.emplace_back() = wf;
       }
-      if (pending_.empty()) pending_.push_back(frame);
+      if (pending_.empty()) assign_frame(pending_.emplace_back(), frame);
       gesture_start_ = frames_seen_ + 1 - pending_.size();
       last_motion_frame_ = frames_seen_;
     }
   } else {
-    pending_.push_back(frame);
+    assign_frame(pending_.emplace_back(), frame);
     if (motion) last_motion_frame_ = frames_seen_;
 
     const bool window_all_static = motion_in_window == 0;
@@ -135,12 +171,8 @@ void GestureSegmenter::push(const FrameCloud& frame) {
       // feed its counts back into the background history so the threshold
       // adapts instead of re-triggering forever.
       if (forced_close) {
-        for (const auto& pf : pending_) {
-          recent_counts_.push_back(pf.points.size());
-          if (recent_counts_.size() >
-              params_.threshold_window + params_.detection_window) {
-            recent_counts_.pop_front();
-          }
+        for (const FrameCloud& pf : pending_) {
+          push_recent_count(pf.points.size());
         }
       }
       close_pending();
@@ -151,9 +183,33 @@ void GestureSegmenter::push(const FrameCloud& frame) {
 
 void GestureSegmenter::finish() { close_pending(); }
 
+SegmentView GestureSegmenter::completed_segment(std::size_t i) const {
+  check_arg(i < ranges_.size(), "completed_segment index out of range");
+  const Range& range = ranges_[i];
+  SegmentView view;
+  view.start_frame = range.start_frame;
+  view.end_frame = range.end_frame;
+  view.frames = std::span<const FrameCloud>(&completed_frames_[range.begin], range.count);
+  return view;
+}
+
+void GestureSegmenter::clear_completed() {
+  completed_frames_.clear();  // slot storage survives for the next segment
+  ranges_.clear();
+}
+
 std::vector<GestureSegment> GestureSegmenter::take_segments() {
   std::vector<GestureSegment> out;
-  out.swap(completed_);
+  out.reserve(ranges_.size());
+  for (std::size_t i = 0; i < ranges_.size(); ++i) {
+    const SegmentView view = completed_segment(i);
+    GestureSegment seg;
+    seg.start_frame = view.start_frame;
+    seg.end_frame = view.end_frame;
+    seg.frames.assign(view.frames.begin(), view.frames.end());
+    out.push_back(std::move(seg));
+  }
+  clear_completed();
   return out;
 }
 

@@ -8,12 +8,21 @@
 // frames and ends when the window is entirely static.
 //
 // Paper parameter values (§V): N = 50, n = 10, F_Thr = 8.
+//
+// Memory model (DESIGN.md §9): the streaming path is allocation-free once
+// warm. Frames arrive as non-owning FrameView spans and are copied into
+// recycled ring/slot storage (count history and the detection window are
+// fixed-size rings; the open gesture and the completed-segment store are
+// SlotVectors whose nested point buffers survive clear()). Completed
+// segments are exposed as SegmentView spans; take_segments() remains the
+// allocating compatibility path for offline callers.
 #pragma once
 
 #include <cstddef>
-#include <deque>
+#include <span>
 #include <vector>
 
+#include "common/mem.hpp"
 #include "pointcloud/point.hpp"
 
 namespace gp {
@@ -35,22 +44,40 @@ struct SegmentationParams {
   std::size_t max_gap_frames = 5;
 };
 
-/// One segmented gesture motion.
+/// One segmented gesture motion (owning; the offline/compat currency).
 struct GestureSegment {
   std::size_t start_frame = 0;  ///< index into the input sequence
   std::size_t end_frame = 0;    ///< inclusive
   FrameSequence frames;         ///< the motion frames (copies)
 };
 
+/// Non-owning view of one completed segment inside the segmenter's
+/// recycled store. Valid until the next push()/finish()/clear_completed().
+struct SegmentView {
+  std::size_t start_frame = 0;
+  std::size_t end_frame = 0;  ///< inclusive
+  std::span<const FrameCloud> frames;
+};
+
 /// Streaming segmenter. Feed frames in order with push(); completed
-/// segments accumulate and can be drained with take_segments(). finish()
-/// flushes a gesture still in progress at stream end.
+/// segments accumulate in a recycled store read either zero-copy via
+/// completed_count()/completed_segment()/clear_completed() (the serving
+/// path) or as owning copies via take_segments() (offline callers).
+/// finish() flushes a gesture still in progress at stream end.
 class GestureSegmenter {
  public:
   explicit GestureSegmenter(SegmentationParams params = {});
 
-  void push(const FrameCloud& frame);
+  void push(const FrameView& frame);
+  void push(const FrameCloud& frame) { push(FrameView(frame)); }
   void finish();
+
+  /// Zero-copy completed-segment access (allocation-free steady state).
+  std::size_t completed_count() const { return ranges_.size(); }
+  SegmentView completed_segment(std::size_t i) const;
+  void clear_completed();
+
+  /// Owning compat drain: copies the completed store out and clears it.
   std::vector<GestureSegment> take_segments();
 
   /// Current adaptive threshold (exposed for tests and diagnostics).
@@ -68,13 +95,37 @@ class GestureSegmenter {
   /// Forgets the sliding-window state after a dropout gap, so pre-gap
   /// frames can never co-trigger a detection with post-gap motion.
   void reset_window();
+  /// Appends to the background count history ring (drops the oldest entry
+  /// at capacity) and invalidates the cached threshold.
+  void push_recent_count(std::size_t count);
+  /// k-th window frame, oldest first (k < window_count_).
+  const FrameCloud& window_frame(std::size_t k) const {
+    return window_frames_[(window_start_ + k) % window_frames_.size()];
+  }
+  /// Copies a view into recycled owning storage (capacity reuse).
+  static void assign_frame(FrameCloud& slot, const FrameView& frame) {
+    slot.frame_index = frame.frame_index;
+    slot.timestamp = frame.timestamp;
+    slot.points.assign(frame.points.begin(), frame.points.end());
+  }
 
   SegmentationParams params_;
-  /// Background point-count history (oldest first). The newest
-  /// `detection_window` entries are excluded from the threshold quantile so
-  /// a gesture onset cannot inflate its own threshold; older entries track
-  /// genuine clutter-level changes.
-  std::deque<std::size_t> recent_counts_;
+
+  /// Background point-count history ring (oldest first), fixed capacity
+  /// threshold_window + detection_window. The newest `detection_window`
+  /// entries are excluded from the threshold quantile so a gesture onset
+  /// cannot inflate its own threshold; older entries track genuine
+  /// clutter-level changes.
+  std::vector<std::size_t> recent_counts_;
+  std::size_t recent_start_ = 0;
+  std::size_t recent_size_ = 0;
+  /// Threshold cache: the quantile is a pure function of the (unchanged)
+  /// history between pushes, so intra-push recomputations (detection +
+  /// backfill) reuse one sort instead of re-sorting per window frame.
+  mutable std::vector<double> threshold_scratch_;
+  mutable std::size_t threshold_cache_ = 0;
+  mutable bool threshold_dirty_ = true;
+
   std::vector<char> window_states_;         ///< ring over last n frames
   std::size_t window_pos_ = 0;
   std::size_t frames_seen_ = 0;
@@ -82,11 +133,23 @@ class GestureSegmenter {
   bool in_gesture_ = false;
   bool have_last_index_ = false;
   int last_frame_index_ = 0;                ///< frame_index of the last push
-  FrameSequence pending_;                   ///< frames of the open gesture
-  std::vector<FrameCloud> window_frames_;   ///< frames inside the window
+  mem::SlotVector<FrameCloud> pending_;     ///< frames of the open gesture
+  std::vector<FrameCloud> window_frames_;   ///< frame ring inside the window
+  std::size_t window_start_ = 0;
+  std::size_t window_count_ = 0;
   std::size_t gesture_start_ = 0;
   std::size_t last_motion_frame_ = 0;
-  std::vector<GestureSegment> completed_;
+
+  /// Completed-segment store: all segments' frames concatenated in one
+  /// recycled SlotVector plus per-segment ranges.
+  struct Range {
+    std::size_t start_frame = 0;
+    std::size_t end_frame = 0;
+    std::size_t begin = 0;  ///< offset into completed_frames_
+    std::size_t count = 0;
+  };
+  mem::SlotVector<FrameCloud> completed_frames_;
+  std::vector<Range> ranges_;
 };
 
 }  // namespace gp

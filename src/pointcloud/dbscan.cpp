@@ -1,7 +1,6 @@
 #include "pointcloud/dbscan.hpp"
 
 #include <algorithm>
-#include <deque>
 
 #include "common/error.hpp"
 
@@ -26,49 +25,76 @@ std::size_t DbscanResult::cluster_size(int cluster) const {
 }
 
 DbscanResult dbscan(const PointCloud& cloud, const DbscanParams& params) {
+  DbscanScratch scratch;
+  DbscanResult result;
+  dbscan_into(cloud, params, scratch, result);
+  return result;
+}
+
+void dbscan_into(const PointCloud& cloud, const DbscanParams& params, DbscanScratch& scratch,
+                 DbscanResult& out) {
   check_arg(params.max_distance > 0.0, "DBSCAN max_distance must be positive");
   check_arg(params.min_points >= 1, "DBSCAN min_points must be >= 1");
 
   const std::size_t n = cloud.size();
-  DbscanResult result;
-  result.labels.assign(n, kDbscanNoise);
-  if (n == 0) return result;
+  out.labels.assign(n, kDbscanNoise);
+  out.num_clusters = 0;
+  if (n == 0) return;
 
   const double eps2 = params.max_distance * params.max_distance;
-  const auto neighbours = [&](std::size_t i) {
-    std::vector<std::size_t> out;
+  // Fills scratch.neighbours with every index within eps of point i
+  // (including i itself, matching the classic definition), ascending —
+  // the same order the allocating implementation produced.
+  const auto find_neighbours = [&](std::size_t i) {
+    scratch.neighbours.clear();
     for (std::size_t j = 0; j < n; ++j) {
-      if ((cloud[i].position - cloud[j].position).norm2() <= eps2) out.push_back(j);
+      if ((cloud[i].position - cloud[j].position).norm2() <= eps2) {
+        scratch.neighbours.push_back(j);
+      }
     }
-    return out;  // includes i itself, matching the classic definition
   };
 
-  std::vector<char> visited(n, 0);
+  scratch.visited.assign(n, 0);
+  std::vector<char>& visited = scratch.visited;
+  // BFS frontier as a head-indexed ring: push_back grows the tail, the
+  // head index advances instead of popping, so the expansion order matches
+  // the previous deque-based queue exactly while the storage is recycled.
+  std::vector<std::size_t>& queue = scratch.queue;
+
   int next_cluster = 0;
   for (std::size_t i = 0; i < n; ++i) {
     if (visited[i]) continue;
     visited[i] = 1;
-    auto seed = neighbours(i);
-    if (seed.size() < params.min_points) continue;  // not a core point (yet)
+    find_neighbours(i);
+    if (scratch.neighbours.size() < params.min_points) continue;  // not a core point (yet)
 
     const int cluster = next_cluster++;
-    result.labels[i] = cluster;
-    std::deque<std::size_t> queue(seed.begin(), seed.end());
-    while (!queue.empty()) {
-      const std::size_t j = queue.front();
-      queue.pop_front();
-      if (result.labels[j] == kDbscanNoise) result.labels[j] = cluster;  // border point
+    out.labels[i] = cluster;
+    queue.clear();
+    queue.insert(queue.end(), scratch.neighbours.begin(), scratch.neighbours.end());
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const std::size_t j = queue[head];
+      if (out.labels[j] == kDbscanNoise) out.labels[j] = cluster;  // border point
       if (visited[j]) continue;
       visited[j] = 1;
-      result.labels[j] = cluster;
-      const auto nb = neighbours(j);
-      if (nb.size() >= params.min_points) {
-        queue.insert(queue.end(), nb.begin(), nb.end());
+      out.labels[j] = cluster;
+      find_neighbours(j);
+      if (scratch.neighbours.size() >= params.min_points) {
+        queue.insert(queue.end(), scratch.neighbours.begin(), scratch.neighbours.end());
       }
     }
   }
-  result.num_clusters = static_cast<std::size_t>(next_cluster);
-  return result;
+  out.num_clusters = static_cast<std::size_t>(next_cluster);
+}
+
+int largest_cluster(const DbscanResult& result, std::vector<std::size_t>& counts_scratch) {
+  if (result.num_clusters == 0) return kDbscanNoise;
+  counts_scratch.assign(result.num_clusters, 0);
+  for (int l : result.labels) {
+    if (l >= 0) ++counts_scratch[static_cast<std::size_t>(l)];
+  }
+  const auto it = std::max_element(counts_scratch.begin(), counts_scratch.end());
+  return static_cast<int>(std::distance(counts_scratch.begin(), it));
 }
 
 PointCloud extract_cluster(const PointCloud& cloud, const DbscanResult& result, int cluster) {

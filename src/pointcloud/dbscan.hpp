@@ -33,6 +33,24 @@ struct DbscanResult {
 /// Runs DBSCAN over point positions (Euclidean metric).
 DbscanResult dbscan(const PointCloud& cloud, const DbscanParams& params);
 
+/// Reusable working memory for dbscan_into: hot loops keep one per caller
+/// so repeated clustering stops allocating (capacities stay warm).
+struct DbscanScratch {
+  std::vector<char> visited;
+  std::vector<std::size_t> neighbours;
+  std::vector<std::size_t> queue;  ///< BFS ring (head index, no pops)
+};
+
+/// Allocation-free variant of dbscan(): identical labels/cluster ids
+/// (bit-for-bit BFS expansion order), with every buffer including
+/// `out.labels` recycled across calls.
+void dbscan_into(const PointCloud& cloud, const DbscanParams& params, DbscanScratch& scratch,
+                 DbscanResult& out);
+
+/// largest_cluster() with caller-owned count scratch (allocation-free once
+/// warm). Same result as DbscanResult::largest_cluster().
+int largest_cluster(const DbscanResult& result, std::vector<std::size_t>& counts_scratch);
+
 /// Extracts the points of one cluster.
 PointCloud extract_cluster(const PointCloud& cloud, const DbscanResult& result, int cluster);
 

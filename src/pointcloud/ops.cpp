@@ -41,17 +41,26 @@ std::vector<std::size_t> ball_query(const PointCloud& cloud, const Vec3& query, 
 
 std::vector<std::size_t> farthest_point_sample(const PointCloud& cloud, std::size_t n,
                                                std::size_t start) {
+  ResampleScratch scratch;
+  farthest_point_sample_into(cloud, n, start, scratch);
+  return std::move(scratch.selected);
+}
+
+void farthest_point_sample_into(const PointCloud& cloud, std::size_t n, std::size_t start,
+                                ResampleScratch& scratch) {
   check_arg(!cloud.empty(), "FPS over empty cloud");
   check_arg(start < cloud.size(), "FPS start index out of range");
+  std::vector<std::size_t>& selected = scratch.selected;
+  selected.clear();
   if (n >= cloud.size()) {
-    std::vector<std::size_t> all(cloud.size());
-    std::iota(all.begin(), all.end(), 0);
-    return all;
+    selected.resize(cloud.size());
+    std::iota(selected.begin(), selected.end(), 0);
+    return;
   }
 
-  std::vector<std::size_t> selected;
   selected.reserve(n);
-  std::vector<double> min_dist2(cloud.size(), std::numeric_limits<double>::infinity());
+  scratch.min_dist2.assign(cloud.size(), std::numeric_limits<double>::infinity());
+  std::vector<double>& min_dist2 = scratch.min_dist2;
   std::size_t current = start;
   for (std::size_t round = 0; round < n; ++round) {
     selected.push_back(current);
@@ -67,23 +76,30 @@ std::vector<std::size_t> farthest_point_sample(const PointCloud& cloud, std::siz
     }
     current = farthest;
   }
-  return selected;
 }
 
 PointCloud resample(const PointCloud& cloud, std::size_t n, Rng& rng) {
+  ResampleScratch scratch;
+  PointCloud out;
+  resample_into(cloud, n, rng, scratch, out);
+  return out;
+}
+
+void resample_into(const PointCloud& cloud, std::size_t n, Rng& rng, ResampleScratch& scratch,
+                   PointCloud& out) {
   check_arg(!cloud.empty(), "resample of empty cloud");
   check_arg(n > 0, "resample to zero points");
-  PointCloud out;
+  out.clear();
   out.reserve(n);
   if (cloud.size() >= n) {
-    for (std::size_t i : farthest_point_sample(cloud, n, rng.index(cloud.size()))) {
-      out.push_back(cloud[i]);
-    }
+    // Same RNG draw order as the allocating path: one index() for the FPS
+    // start point.
+    farthest_point_sample_into(cloud, n, rng.index(cloud.size()), scratch);
+    for (std::size_t i : scratch.selected) out.push_back(cloud[i]);
   } else {
-    out = cloud;
+    out.insert(out.end(), cloud.begin(), cloud.end());
     while (out.size() < n) out.push_back(cloud[rng.index(cloud.size())]);
   }
-  return out;
 }
 
 PointCloud normalize_centroid(const PointCloud& cloud, double scale) {

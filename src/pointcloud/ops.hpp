@@ -28,9 +28,26 @@ std::vector<std::size_t> ball_query(const PointCloud& cloud, const Vec3& query, 
 std::vector<std::size_t> farthest_point_sample(const PointCloud& cloud, std::size_t n,
                                                std::size_t start = 0);
 
+/// Reusable working memory for resample_into (FPS selection + distance
+/// table); one per hot caller keeps resampling allocation-free.
+struct ResampleScratch {
+  std::vector<std::size_t> selected;
+  std::vector<double> min_dist2;
+};
+
+/// Allocation-free farthest point sampling: same indices as
+/// farthest_point_sample, written into `scratch.selected`.
+void farthest_point_sample_into(const PointCloud& cloud, std::size_t n, std::size_t start,
+                                ResampleScratch& scratch);
+
 /// Resamples a cloud to exactly n points: FPS when shrinking, repetition
 /// with jitter-free duplication when growing. Deterministic given `rng`.
 PointCloud resample(const PointCloud& cloud, std::size_t n, Rng& rng);
+
+/// Allocation-free variant: identical output (same RNG draw order) written
+/// into `out`, reusing its capacity and `scratch`'s tables.
+void resample_into(const PointCloud& cloud, std::size_t n, Rng& rng, ResampleScratch& scratch,
+                   PointCloud& out);
 
 /// Translates the cloud so its centroid is at origin and divides positions
 /// by `scale` (pass 1.0 to only centre). Velocity/SNR are untouched.

@@ -9,11 +9,18 @@ namespace gp {
 
 PointCloud aggregate(const FrameSequence& frames) {
   PointCloud out;
-  out.reserve(total_points(frames));
+  aggregate_into(frames, out);
+  return out;
+}
+
+void aggregate_into(std::span<const FrameCloud> frames, PointCloud& out) {
+  out.clear();
+  std::size_t total = 0;
+  for (const auto& frame : frames) total += frame.points.size();
+  out.reserve(total);
   for (const auto& frame : frames) {
     out.insert(out.end(), frame.points.begin(), frame.points.end());
   }
-  return out;
 }
 
 Vec3 centroid(const PointCloud& cloud) {

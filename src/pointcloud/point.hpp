@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "common/vec3.hpp"
@@ -33,9 +34,27 @@ struct FrameCloud {
 /// A temporal stream of frames, the unit the segmentation module consumes.
 using FrameSequence = std::vector<FrameCloud>;
 
+/// Non-owning view of one frame: the zero-copy currency of the serving hot
+/// path. Frame points live in the owning shard's mem::Arena (or any other
+/// stable storage); the view stays valid until that storage's epoch reset.
+/// Implicitly convertible from FrameCloud so owning call sites keep
+/// compiling unchanged.
+struct FrameView {
+  int frame_index = 0;
+  double timestamp = 0.0;
+  std::span<const RadarPoint> points;
+
+  FrameView() = default;
+  FrameView(const FrameCloud& frame)  // NOLINT(google-explicit-constructor)
+      : frame_index(frame.frame_index), timestamp(frame.timestamp), points(frame.points) {}
+};
+
 /// Concatenates the points of every frame (used after segmentation: the
 /// paper aggregates the whole gesture into one cloud before GesIDNet).
 PointCloud aggregate(const FrameSequence& frames);
+
+/// Allocation-free variant: refills `out`, reusing its capacity.
+void aggregate_into(std::span<const FrameCloud> frames, PointCloud& out);
 
 /// Arithmetic mean of point positions. Requires a non-empty cloud.
 Vec3 centroid(const PointCloud& cloud);

@@ -55,6 +55,11 @@ struct FastBackendConfig {
 FrameCloud fast_process_frame(const RadarConfig& radar, const FastBackendConfig& config,
                               const SceneFrame& scene, Rng& rng);
 
+/// Buffer-reusing variant: identical frame (same RNG draw order) written
+/// into `out`, recycling its point storage across frames.
+void fast_process_frame_into(const RadarConfig& radar, const FastBackendConfig& config,
+                             const SceneFrame& scene, Rng& rng, FrameCloud& out);
+
 /// Processes a whole gesture performance.
 FrameSequence fast_process_scene(const RadarConfig& radar, const FastBackendConfig& config,
                                  const SceneSequence& scene, Rng& rng);

@@ -1,6 +1,5 @@
 #include "serve/batcher.hpp"
 
-#include <map>
 #include <utility>
 
 #include "common/math_utils.hpp"
@@ -13,17 +12,16 @@ namespace gp::serve {
 
 namespace {
 
-/// Averages the softmax rows [begin, begin+rounds) of `probs` into a
-/// per-class posterior (the TTA average classify() computes).
-std::vector<double> average_rows(const nn::Tensor& probs, std::size_t begin,
-                                 std::size_t rounds, std::size_t classes) {
-  std::vector<double> avg(classes, 0.0);
+/// Averages the softmax rows [begin, begin+rounds) of `probs` into the
+/// per-class posterior (the TTA average classify() computes), reusing `avg`.
+void average_rows_into(const nn::Tensor& probs, std::size_t begin, std::size_t rounds,
+                       std::size_t classes, std::vector<double>& avg) {
+  avg.assign(classes, 0.0);
   for (std::size_t r = 0; r < rounds; ++r) {
     for (std::size_t c = 0; c < classes; ++c) {
       avg[c] += probs.at(begin + r, c) / static_cast<double>(rounds);
     }
   }
-  return avg;
 }
 
 }  // namespace
@@ -31,65 +29,78 @@ std::vector<double> average_rows(const nn::Tensor& probs, std::size_t begin,
 MicroBatcher::MicroBatcher(const ServeConfig& config, ModelRegistry& registry)
     : config_(&config), registry_(&registry) {}
 
-void MicroBatcher::submit(std::vector<PendingSegment> segments) {
+void MicroBatcher::submit(std::vector<SegmentPtr>& segments) {
   if (segments.empty()) return;
   const Clock::time_point now = Clock::now();
   std::lock_guard<std::mutex> lock(mu_);
-  for (PendingSegment& segment : segments) {
+  for (SegmentPtr& segment : segments) {
     queue_.push_back(Entry{std::move(segment), now});
   }
+  segments.clear();
 }
 
 bool MicroBatcher::should_flush(Clock::time_point now) const {
-  if (queue_.empty()) return false;
-  if (queue_.size() >= config_->batch_max) return true;
-  const auto age =
-      std::chrono::duration_cast<std::chrono::microseconds>(now - queue_.front().arrived);
+  const std::size_t depth = queue_.size() - queue_head_;
+  if (depth == 0) return false;
+  if (depth >= config_->batch_max) return true;
+  const auto age = std::chrono::duration_cast<std::chrono::microseconds>(
+      now - queue_[queue_head_].arrived);
   return static_cast<std::uint64_t>(age.count()) >= config_->batch_wait_us;
 }
 
 std::vector<ServeResult> MicroBatcher::poll(bool force) {
   std::vector<ServeResult> results;
   for (;;) {
-    std::vector<Entry> batch;
+    scratch_.entries.clear();
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (queue_.empty()) break;
+      const std::size_t depth = queue_.size() - queue_head_;
+      if (depth == 0) break;
       if (!force && !should_flush(Clock::now())) break;
-      const std::size_t take = std::min(queue_.size(), config_->batch_max);
-      batch.reserve(take);
+      const std::size_t take = std::min(depth, config_->batch_max);
       for (std::size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+        scratch_.entries.push_back(std::move(queue_[queue_head_ + i]));
+      }
+      queue_head_ += take;
+      if (queue_head_ == queue_.size()) {
+        // Ring emptied: recycle the slot storage (moved-out entries hold
+        // null SegmentPtrs, so clear() frees nothing).
+        queue_.clear();
+        queue_head_ = 0;
       }
     }
-    std::vector<ServeResult> flushed = run_batch(std::move(batch));
-    for (ServeResult& r : flushed) results.push_back(std::move(r));
+    run_batch_into(results);
+    scratch_.entries.clear();  // returns the pooled segments
   }
   return results;
 }
 
-std::vector<ServeResult> MicroBatcher::run_batch(std::vector<Entry> batch) {
+void MicroBatcher::run_batch_into(std::vector<ServeResult>& results) {
   GP_SPAN("serve.batch");
   const Clock::time_point start = Clock::now();
-  obs::histogram("gp.serve.batch.size").observe(static_cast<double>(batch.size()));
+  std::vector<Entry>& batch = scratch_.entries;
+  static obs::Histogram& batch_size_hist = obs::histogram("gp.serve.batch.size");
+  batch_size_hist.observe(static_cast<double>(batch.size()));
 
   // One snapshot for the whole batch: a publish() landing mid-flush can
   // never split a batch across model generations.
   std::shared_ptr<ModelSnapshot> snapshot = registry_->current();
   const std::uint64_t version = snapshot != nullptr ? snapshot->version : 0;
 
-  std::vector<ServeResult> results(batch.size());
+  const std::size_t base = results.size();
+  results.resize(base + batch.size());
   Stats delta;
   delta.batches = 1;
   delta.segments = batch.size();
 
   // Pass 0: typed dispositions that never touch a model. `live` keeps the
   // batch indices that go through inference.
-  std::vector<std::size_t> live;
+  std::vector<std::size_t>& live = scratch_.live;
+  live.clear();
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    const PendingSegment& seg = batch[i].segment;
-    ServeResult& r = results[i];
+    const PendingSegment& seg = *batch[i].segment;
+    ServeResult& r = results[base + i];
+    r = ServeResult{};
     r.session_id = seg.session_id;
     r.segment_ordinal = seg.ordinal;
     r.model_version = version;
@@ -102,7 +113,7 @@ std::vector<ServeResult> MicroBatcher::run_batch(std::vector<Entry> batch) {
       ++delta.no_model;
       GP_COUNTER_ADD("gp.serve.no_model", 1);
     } else if (seg.quality != SegmentQuality::kGood || seg.empty_cloud ||
-               seg.variants.empty()) {
+               seg.variant_count == 0) {
       // The serve path always refuses segments that failed preprocessing
       // guards (stricter than classify(), which only gates when the margin
       // is armed): a streaming client is told *why* via quality_rejected.
@@ -123,28 +134,39 @@ std::vector<ServeResult> MicroBatcher::run_batch(std::vector<Entry> batch) {
     const std::size_t num_gestures = system.num_gestures();
     const std::size_t num_users = system.num_users();
 
-    // Gesture pass: every live segment's TTA variants in one forward.
-    std::vector<FeaturizedSample> rows;
-    std::vector<std::size_t> row_begin(live.size(), 0);
-    for (std::size_t k = 0; k < live.size(); ++k) {
-      row_begin[k] = rows.size();
-      const PendingSegment& seg = batch[live[k]].segment;
-      rows.insert(rows.end(), seg.variants.begin(), seg.variants.end());
+    // Gesture pass: every live segment's TTA variants in one forward. The
+    // row table copies into recycled slots (sample buffers keep capacity).
+    mem::SlotVector<FeaturizedSample>& rows = scratch_.rows;
+    std::vector<std::size_t>& row_begin = scratch_.row_begin;
+    rows.clear();
+    row_begin.clear();
+    for (const std::size_t i : live) {
+      row_begin.push_back(rows.size());
+      for (const FeaturizedSample& sample : batch[i].segment->active_variants()) {
+        rows.emplace_back() = sample;
+      }
     }
-    const nn::Tensor gesture_probs =
-        nn::softmax(predict_logits(system.gesture_model(), rows));
+    predict_logits_into(system.gesture_model(), rows.span(), scratch_.gesture_logits);
+    nn::softmax_into(scratch_.gesture_logits, scratch_.gesture_probs);
+    const nn::Tensor& gesture_probs = scratch_.gesture_probs;
 
     // Per-segment averaged posterior → gesture + margin gate; group the
-    // survivors by the user-ID model they route to.
-    std::map<std::size_t, std::vector<std::size_t>> by_model;  ///< model idx → k
+    // survivors by the user-ID model they route to. Routing lists are
+    // recycled vectors indexed by model — iterated in ascending model index,
+    // the same order the std::map-based grouping produced.
+    const std::size_t route_count =
+        cfg.mode == IdentificationMode::kParallel ? 1 : num_gestures;
+    std::vector<std::vector<std::size_t>>& by_model = scratch_.by_model;
+    if (by_model.size() < route_count) by_model.resize(route_count);
+    for (auto& members : by_model) members.clear();
     for (std::size_t k = 0; k < live.size(); ++k) {
-      const PendingSegment& seg = batch[live[k]].segment;
-      ServeResult& r = results[live[k]];
-      const std::vector<double> avg =
-          average_rows(gesture_probs, row_begin[k], seg.variants.size(), num_gestures);
-      r.gesture = static_cast<int>(argmax(avg));
-      r.gesture_margin = top2_margin(avg);
-      if (should_abstain(avg, cfg.abstain_margin)) {
+      const PendingSegment& seg = *batch[live[k]].segment;
+      ServeResult& r = results[base + live[k]];
+      average_rows_into(gesture_probs, row_begin[k], seg.variant_count, num_gestures,
+                        scratch_.avg);
+      r.gesture = static_cast<int>(argmax(scratch_.avg));
+      r.gesture_margin = top2_margin(scratch_.avg);
+      if (should_abstain(scratch_.avg, cfg.abstain_margin)) {
         // Ambiguous gesture ⇒ serialized routing would pick the wrong ID
         // model; abstain on both heads (same policy as classify()).
         r.gesture = kAbstain;
@@ -155,7 +177,7 @@ std::vector<ServeResult> MicroBatcher::run_batch(std::vector<Entry> batch) {
       const std::size_t route = cfg.mode == IdentificationMode::kParallel
                                     ? 0
                                     : static_cast<std::size_t>(r.gesture);
-      if (system.user_model(route) != nullptr) {
+      if (route < route_count && system.user_model(route) != nullptr) {
         by_model[route].push_back(k);
       }
     }
@@ -163,25 +185,31 @@ std::vector<ServeResult> MicroBatcher::run_batch(std::vector<Entry> batch) {
     // User-ID passes: one batched forward per routed model, ascending model
     // index (deterministic; results are row-local so grouping order cannot
     // change any segment's answer).
-    for (const auto& [model_idx, members] : by_model) {
-      std::vector<FeaturizedSample> group_rows;
-      std::vector<std::size_t> group_begin(members.size(), 0);
-      for (std::size_t m = 0; m < members.size(); ++m) {
-        group_begin[m] = group_rows.size();
-        const PendingSegment& seg = batch[live[members[m]]].segment;
-        group_rows.insert(group_rows.end(), seg.variants.begin(), seg.variants.end());
+    for (std::size_t model_idx = 0; model_idx < route_count; ++model_idx) {
+      const std::vector<std::size_t>& members = by_model[model_idx];
+      if (members.empty()) continue;
+      mem::SlotVector<FeaturizedSample>& group_rows = scratch_.group_rows;
+      std::vector<std::size_t>& group_begin = scratch_.group_begin;
+      group_rows.clear();
+      group_begin.clear();
+      for (const std::size_t k : members) {
+        group_begin.push_back(group_rows.size());
+        for (const FeaturizedSample& sample : batch[live[k]].segment->active_variants()) {
+          group_rows.emplace_back() = sample;
+        }
       }
-      const nn::Tensor user_probs =
-          nn::softmax(predict_logits(*system.user_model(model_idx), group_rows));
+      predict_logits_into(*system.user_model(model_idx), group_rows.span(),
+                          scratch_.user_logits);
+      nn::softmax_into(scratch_.user_logits, scratch_.user_probs);
       for (std::size_t m = 0; m < members.size(); ++m) {
         const std::size_t k = members[m];
-        const PendingSegment& seg = batch[live[k]].segment;
-        ServeResult& r = results[live[k]];
-        const std::vector<double> avg =
-            average_rows(user_probs, group_begin[m], seg.variants.size(), num_users);
-        r.user = static_cast<int>(argmax(avg));
-        r.user_margin = top2_margin(avg);
-        if (should_abstain(avg, cfg.abstain_margin)) {
+        const PendingSegment& seg = *batch[live[k]].segment;
+        ServeResult& r = results[base + live[k]];
+        average_rows_into(scratch_.user_probs, group_begin[m], seg.variant_count, num_users,
+                          scratch_.avg);
+        r.user = static_cast<int>(argmax(scratch_.avg));
+        r.user_margin = top2_margin(scratch_.avg);
+        if (should_abstain(scratch_.avg, cfg.abstain_margin)) {
           r.user = kAbstain;
           r.abstained = true;
         }
@@ -189,8 +217,8 @@ std::vector<ServeResult> MicroBatcher::run_batch(std::vector<Entry> batch) {
     }
   }
 
-  for (const ServeResult& r : results) {
-    if (r.abstained) ++delta.abstained;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (results[base + i].abstained) ++delta.abstained;
   }
 
   {
@@ -205,13 +233,13 @@ std::vector<ServeResult> MicroBatcher::run_batch(std::vector<Entry> batch) {
   GP_COUNTER_ADD("gp.serve.segments", batch.size());
   const auto elapsed =
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start);
-  obs::histogram("gp.serve.batch.latency_us").observe(static_cast<double>(elapsed.count()));
-  return results;
+  static obs::Histogram& batch_latency_hist = obs::histogram("gp.serve.batch.latency_us");
+  batch_latency_hist.observe(static_cast<double>(elapsed.count()));
 }
 
 std::size_t MicroBatcher::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queue_.size();
+  return queue_.size() - queue_head_;
 }
 
 MicroBatcher::Stats MicroBatcher::stats() const {

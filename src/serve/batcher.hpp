@@ -17,14 +17,20 @@
 // atomicity: the snapshot shared_ptr is acquired once per flush, so a batch
 // is always answered entirely by one model version even if a publish lands
 // mid-flush.
+//
+// Memory model (DESIGN.md §9): the FIFO is a head-indexed vector ring of
+// pooled SegmentPtr handles, and every flush reuses one BatchScratch —
+// row tables, routing lists, logits/probs tensors — owned by the (single)
+// pump thread. A poll that flushes nothing performs no heap allocation.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <vector>
 
+#include "common/mem.hpp"
+#include "nn/tensor.hpp"
 #include "serve/registry.hpp"
 #include "serve/sessions.hpp"
 
@@ -34,15 +40,17 @@ class MicroBatcher {
  public:
   MicroBatcher(const ServeConfig& config, ModelRegistry& registry);
 
-  /// Accepts completed segments (submission order is preserved through to
-  /// the emitted results). Wall-clock arrival is stamped here for the
-  /// deadline half of the flush policy.
-  void submit(std::vector<PendingSegment> segments);
+  /// Accepts completed segments, moving them out of `segments` (which is
+  /// cleared — callers keep reusing the vector). Submission order is
+  /// preserved through to the emitted results. Wall-clock arrival is
+  /// stamped here for the deadline half of the flush policy.
+  void submit(std::vector<SegmentPtr>& segments);
 
   /// Applies the flush policy and returns the results of every batch it
   /// flushed (possibly several when the backlog exceeds batch_max; empty
   /// when no flush triggered). `force` flushes the remainder regardless of
-  /// size/age — the stream-drain path.
+  /// size/age — the stream-drain path. Must be called from the single pump
+  /// thread (reuses the flush scratch).
   std::vector<ServeResult> poll(bool force = false);
 
   /// Segments waiting for a flush.
@@ -61,19 +69,40 @@ class MicroBatcher {
  private:
   using Clock = std::chrono::steady_clock;
   struct Entry {
-    PendingSegment segment;
+    SegmentPtr segment;
     Clock::time_point arrived;
   };
 
   bool should_flush(Clock::time_point now) const;  ///< caller holds mu_
-  /// Classifies one flushed batch against the current snapshot.
-  std::vector<ServeResult> run_batch(std::vector<Entry> batch);
+  /// Classifies the batch staged in scratch_.entries against the current
+  /// snapshot, appending one result per entry to `results`.
+  void run_batch_into(std::vector<ServeResult>& results);
 
   const ServeConfig* config_;
   ModelRegistry* registry_;
   mutable std::mutex mu_;
-  std::deque<Entry> queue_;  ///< guarded by mu_
-  Stats stats_;              ///< guarded by mu_
+  /// FIFO as a head-indexed vector ring: pop = advance queue_head_;
+  /// storage is compacted (clear, head reset) whenever it empties, so slot
+  /// capacity recycles instead of reallocating. Guarded by mu_.
+  std::vector<Entry> queue_;
+  std::size_t queue_head_ = 0;
+  Stats stats_;  ///< guarded by mu_
+  /// Flush working set, reused across batches (pump thread only).
+  struct BatchScratch {
+    std::vector<Entry> entries;                     ///< the staged batch
+    std::vector<std::size_t> live;                  ///< indices going to inference
+    std::vector<std::size_t> row_begin;             ///< per-live first variant row
+    mem::SlotVector<FeaturizedSample> rows;         ///< gesture-pass row table
+    std::vector<std::vector<std::size_t>> by_model; ///< user-model routing lists
+    std::vector<std::size_t> group_begin;           ///< per-member first row
+    mem::SlotVector<FeaturizedSample> group_rows;   ///< user-pass row table
+    std::vector<double> avg;                        ///< TTA-averaged posterior
+    nn::Tensor gesture_logits;
+    nn::Tensor gesture_probs;
+    nn::Tensor user_logits;
+    nn::Tensor user_probs;
+  };
+  BatchScratch scratch_;
 };
 
 }  // namespace gp::serve

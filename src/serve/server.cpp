@@ -14,7 +14,7 @@ Server::Server(const ServeConfig& config, ModelRegistry& registry, exec::ExecCon
       sessions_(config_),
       batcher_(config_, *registry_) {}
 
-Admission Server::push_frame(std::uint64_t session_id, const FrameCloud& frame) {
+Admission Server::push_frame(std::uint64_t session_id, const FrameView& frame) {
   const Admission verdict =
       sessions_.enqueue(session_id, frame, tick_.load(std::memory_order_relaxed));
   if (verdict == Admission::kAccepted) GP_COUNTER_ADD("gp.serve.frames", 1);
@@ -24,20 +24,23 @@ Admission Server::push_frame(std::uint64_t session_id, const FrameCloud& frame) 
 std::vector<ServeResult> Server::pump() {
   GP_SPAN("serve.pump");
   const std::uint64_t tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
-  std::vector<PendingSegment> segments = sessions_.drain(*ctx_, tick);
-  batcher_.submit(std::move(segments));
-  obs::gauge("gp.serve.sessions").set(static_cast<double>(sessions_.session_count()));
-  obs::gauge("gp.serve.pending_segments").set(static_cast<double>(batcher_.pending()));
+  sessions_.drain_into(*ctx_, tick, segments_scratch_);
+  batcher_.submit(segments_scratch_);
+  static obs::Gauge& sessions_gauge = obs::gauge("gp.serve.sessions");
+  static obs::Gauge& pending_gauge = obs::gauge("gp.serve.pending_segments");
+  sessions_gauge.set(static_cast<double>(sessions_.session_count()));
+  pending_gauge.set(static_cast<double>(batcher_.pending()));
+  obs::publish_mem_metrics();
   return batcher_.poll(false);
 }
 
 std::vector<ServeResult> Server::drain() {
   GP_SPAN("serve.drain");
   const std::uint64_t tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
-  std::vector<PendingSegment> segments = sessions_.drain(*ctx_, tick);
-  std::vector<PendingSegment> tail = sessions_.finish_all(tick);
-  for (PendingSegment& p : tail) segments.push_back(std::move(p));
-  batcher_.submit(std::move(segments));
+  sessions_.drain_into(*ctx_, tick, segments_scratch_);
+  sessions_.finish_all(tick, segments_scratch_);
+  batcher_.submit(segments_scratch_);
+  obs::publish_mem_metrics();
   return batcher_.poll(true);
 }
 
@@ -45,10 +48,9 @@ std::vector<ServeResult> Server::end_session(std::uint64_t session_id) {
   const std::uint64_t tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
   // Queued frames (all shards) must segment before the flush so the ending
   // session's tail frames are not dropped on the floor.
-  std::vector<PendingSegment> segments = sessions_.drain(*ctx_, tick);
-  std::vector<PendingSegment> tail = sessions_.finish_session(session_id, tick);
-  for (PendingSegment& p : tail) segments.push_back(std::move(p));
-  batcher_.submit(std::move(segments));
+  sessions_.drain_into(*ctx_, tick, segments_scratch_);
+  sessions_.finish_session(session_id, tick, segments_scratch_);
+  batcher_.submit(segments_scratch_);
   return batcher_.poll(true);
 }
 

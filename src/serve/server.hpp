@@ -34,8 +34,10 @@ class Server {
   Server(const ServeConfig& config, ModelRegistry& registry,
          exec::ExecContext& ctx = exec::ExecContext::global());
 
-  /// Thread-safe frame admission for `session_id`'s stream.
-  Admission push_frame(std::uint64_t session_id, const FrameCloud& frame);
+  /// Thread-safe frame admission for `session_id`'s stream. The frame's
+  /// points are copied once, into the owning shard's epoch arena (FrameCloud
+  /// arguments convert implicitly).
+  Admission push_frame(std::uint64_t session_id, const FrameView& frame);
 
   /// One engine tick: parallel shard drain → batch submit → policy poll.
   /// Returns every result whose batch flushed this tick.
@@ -63,6 +65,9 @@ class Server {
   SessionManager sessions_;
   MicroBatcher batcher_;
   std::atomic<std::uint64_t> tick_{0};
+  /// Recycled segment carrier between drain_into and submit (pump thread
+  /// only; submit moves the handles out and clears it).
+  std::vector<SegmentPtr> segments_scratch_;
 };
 
 }  // namespace gp::serve

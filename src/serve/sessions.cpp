@@ -16,10 +16,12 @@ constexpr std::uint64_t kFaultSeedIndex = 0xFAULL;
 
 }  // namespace
 
-StreamSession::StreamSession(std::uint64_t session_id, const ServeConfig& config)
+StreamSession::StreamSession(std::uint64_t session_id, const ServeConfig& config,
+                             mem::Pool<PendingSegment>& pool)
     : id_(session_id),
       session_seed_(exec::child_seed(config.seed, session_id)),
       config_(&config),
+      pool_(&pool),
       segmenter_(config.preprocess.segmentation),
       preprocessor_(config.preprocess) {
   if (config.session_faults.has_value()) {
@@ -31,10 +33,16 @@ StreamSession::StreamSession(std::uint64_t session_id, const ServeConfig& config
   }
 }
 
-void StreamSession::push_frame(const FrameCloud& frame, std::uint64_t tick,
-                               std::vector<PendingSegment>& out) {
+void StreamSession::push_frame(const FrameView& frame, std::uint64_t tick,
+                               std::vector<SegmentPtr>& out) {
   if (injector_ != nullptr) {
-    std::optional<FrameCloud> delivered = injector_->apply(frame);
+    // The injector mutates owning frames; materialise the view into the
+    // session's recycled copy (faulted ticks are outside the zero-alloc
+    // steady-state contract).
+    fault_scratch_.frame_index = frame.frame_index;
+    fault_scratch_.timestamp = frame.timestamp;
+    fault_scratch_.points.assign(frame.points.begin(), frame.points.end());
+    std::optional<FrameCloud> delivered = injector_->apply(fault_scratch_);
     if (!delivered.has_value()) return;  // frame dropped/lost on the degraded link
     segmenter_.push(*delivered);
   } else {
@@ -43,38 +51,45 @@ void StreamSession::push_frame(const FrameCloud& frame, std::uint64_t tick,
   drain_completed(tick, out);
 }
 
-void StreamSession::finish(std::uint64_t tick, std::vector<PendingSegment>& out) {
+void StreamSession::finish(std::uint64_t tick, std::vector<SegmentPtr>& out) {
   segmenter_.finish();
   drain_completed(tick, out);
 }
 
-void StreamSession::drain_completed(std::uint64_t tick, std::vector<PendingSegment>& out) {
-  std::vector<GestureSegment> segments = segmenter_.take_segments();
-  for (GestureSegment& segment : segments) {
-    PendingSegment pending;
-    pending.session_id = id_;
-    pending.ordinal = ordinal_;
-    pending.enqueued_tick = tick;
+void StreamSession::drain_completed(std::uint64_t tick, std::vector<SegmentPtr>& out) {
+  const std::size_t count = segmenter_.completed_count();
+  if (count == 0) return;  // the steady-state fast path: nothing completed
+  for (std::size_t i = 0; i < count; ++i) {
+    const SegmentView view = segmenter_.completed_segment(i);
+    SegmentPtr pending = pool_->acquire();
+    pending->reset_for_reuse();
+    pending->session_id = id_;
+    pending->ordinal = ordinal_;
+    pending->enqueued_tick = tick;
 
-    GestureCloud processed = preprocessor_.process_segment(segment.frames);
-    pending.quality = processed.quality;
-    pending.empty_cloud = processed.points.empty();
-    if (pending.quality == SegmentQuality::kGood && !pending.empty_cloud) {
+    preprocessor_.process_segment_into(view.frames, cloud_scratch_, prep_scratch_);
+    pending->quality = cloud_scratch_.quality;
+    pending->empty_cloud = cloud_scratch_.points.empty();
+    if (pending->quality == SegmentQuality::kGood && !pending->empty_cloud) {
       // Featurize eval_rounds TTA variants now, inside the (parallel) shard
       // drain. RNG chain: child(child(session_seed, ordinal), round) — a pure
       // function of (serve seed, session id, ordinal, round), so the variants
       // are identical for any shard count / thread count / interleaving.
       const std::uint64_t segment_seed = exec::child_seed(session_seed_, ordinal_);
       const int rounds = config_->system.eval_rounds > 0 ? config_->system.eval_rounds : 1;
-      pending.variants.reserve(static_cast<std::size_t>(rounds));
       for (int r = 0; r < rounds; ++r) {
+        const auto slot = static_cast<std::size_t>(r);
+        if (slot == pending->variants.size()) pending->variants.emplace_back();
         Rng rng = exec::child_rng(segment_seed, static_cast<std::uint64_t>(r));
-        pending.variants.push_back(featurize(processed, config_->system.prep.features, rng));
+        featurize_into(cloud_scratch_, config_->system.prep.features, rng, feat_scratch_,
+                       pending->variants[slot]);
       }
+      pending->variant_count = static_cast<std::size_t>(rounds);
     }
     ++ordinal_;
     out.push_back(std::move(pending));
   }
+  segmenter_.clear_completed();
 }
 
 SessionManager::SessionManager(const ServeConfig& config) : config_(config) {
@@ -83,9 +98,12 @@ SessionManager::SessionManager(const ServeConfig& config) : config_(config) {
   for (std::size_t s = 0; s < config_.shards; ++s) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  // Built once so the per-tick run_chunks call never constructs a callable
+  // (std::function construction can allocate).
+  drain_fn_ = [this](std::size_t s) { drain_shard(s); };
 }
 
-Admission SessionManager::enqueue(std::uint64_t session_id, const FrameCloud& frame,
+Admission SessionManager::enqueue(std::uint64_t session_id, const FrameView& frame,
                                   std::uint64_t tick) {
   Shard& shard = *shards_[shard_of(session_id)];
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -97,69 +115,83 @@ Admission SessionManager::enqueue(std::uint64_t session_id, const FrameCloud& fr
   QueuedFrame qf;
   qf.session_id = session_id;
   qf.tick = tick;
-  qf.frame = frame;
-  shard.queue.push_back(std::move(qf));
+  qf.frame.frame_index = frame.frame_index;
+  qf.frame.timestamp = frame.timestamp;
+  // The single copy on the frame path: points land in the shard's epoch
+  // arena; everything downstream reads this stable view.
+  qf.frame.points = shard.arenas[shard.epoch].copy_span(frame.points);
+  shard.queue.push_back(qf);
   ++shard.accepted;
   return Admission::kAccepted;
 }
 
-std::vector<PendingSegment> SessionManager::drain(exec::ExecContext& ctx, std::uint64_t tick) {
-  GP_SPAN("serve.sessions.drain");
-  const std::size_t n = shards_.size();
-  std::vector<std::vector<PendingSegment>> per_shard(n);
-
-  ctx.run_chunks(n, [&](std::size_t s) {
-    Shard& shard = *shards_[s];
-    std::deque<QueuedFrame> batch;
-    {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      batch.swap(shard.queue);
-    }
-    std::uint64_t shed = 0;
-    {
-      std::lock_guard<std::mutex> session_lock(shard.session_mu);
-      for (QueuedFrame& qf : batch) {
-        if (config_.stale_after_ticks > 0 && tick >= qf.tick &&
-            tick - qf.tick > config_.stale_after_ticks) {
-          ++shed;  // deadline-aware drop: too old to be worth segmenting late
-          continue;
-        }
-        session(shard, qf.session_id).push_frame(qf.frame, tick, per_shard[s]);
+void SessionManager::drain_shard(std::size_t s) {
+  Shard& shard = *shards_[s];
+  const std::uint64_t tick = drain_tick_;
+  shard.out_scratch.clear();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    // Ping-pong flip: producers now write the other arena; the queued views
+    // keep referencing the epoch we are about to process (its arena is not
+    // reset until the *next* flip, after drain_queue has been cleared).
+    shard.epoch = 1 - shard.epoch;
+    shard.arenas[shard.epoch].reset();
+    shard.drain_queue.swap(shard.queue);
+  }
+  std::uint64_t shed = 0;
+  {
+    std::lock_guard<std::mutex> session_lock(shard.session_mu);
+    for (const QueuedFrame& qf : shard.drain_queue) {
+      if (config_.stale_after_ticks > 0 && tick >= qf.tick &&
+          tick - qf.tick > config_.stale_after_ticks) {
+        ++shed;  // deadline-aware drop: too old to be worth segmenting late
+        continue;
       }
+      session(shard, qf.session_id).push_frame(qf.frame, tick, shard.out_scratch);
     }
-    if (shed > 0) {
-      GP_COUNTER_ADD("gp.serve.shed.stale", shed);
-      std::lock_guard<std::mutex> lock(shard.mu);
-      shard.shed_stale += shed;
-    }
-  });
+  }
+  shard.drain_queue.clear();
+  if (shed > 0) {
+    GP_COUNTER_ADD("gp.serve.shed.stale", shed);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.shed_stale += shed;
+  }
+}
+
+void SessionManager::drain_into(exec::ExecContext& ctx, std::uint64_t tick,
+                                std::vector<SegmentPtr>& out) {
+  GP_SPAN("serve.sessions.drain");
+  drain_tick_ = tick;  // pump/drain are externally serialized
+  ctx.run_chunks(shards_.size(), drain_fn_);
 
   // Concatenate in shard-index order: deterministic for any thread count.
-  std::vector<PendingSegment> out;
-  for (std::size_t s = 0; s < n; ++s) {
-    for (PendingSegment& p : per_shard[s]) out.push_back(std::move(p));
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    for (SegmentPtr& p : shard.out_scratch) out.push_back(std::move(p));
+    shard.out_scratch.clear();
   }
+}
+
+std::vector<SegmentPtr> SessionManager::drain(exec::ExecContext& ctx, std::uint64_t tick) {
+  std::vector<SegmentPtr> out;
+  drain_into(ctx, tick, out);
   return out;
 }
 
-std::vector<PendingSegment> SessionManager::finish_session(std::uint64_t session_id,
-                                                           std::uint64_t tick) {
+void SessionManager::finish_session(std::uint64_t session_id, std::uint64_t tick,
+                                    std::vector<SegmentPtr>& out) {
   Shard& shard = *shards_[shard_of(session_id)];
-  std::vector<PendingSegment> out;
   std::lock_guard<std::mutex> lock(shard.session_mu);
   auto it = shard.sessions.find(session_id);
   if (it != shard.sessions.end()) it->second.finish(tick, out);
-  return out;
 }
 
-std::vector<PendingSegment> SessionManager::finish_all(std::uint64_t tick) {
-  std::vector<PendingSegment> out;
+void SessionManager::finish_all(std::uint64_t tick, std::vector<SegmentPtr>& out) {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.session_mu);
     for (auto& [id, session] : shard.sessions) session.finish(tick, out);
   }
-  return out;
 }
 
 SessionManager::Stats SessionManager::stats() const {
@@ -196,7 +228,7 @@ StreamSession& SessionManager::session(Shard& shard, std::uint64_t session_id) {
   if (it == shard.sessions.end()) {
     it = shard.sessions
              .emplace(std::piecewise_construct, std::forward_as_tuple(session_id),
-                      std::forward_as_tuple(session_id, config_))
+                      std::forward_as_tuple(session_id, config_, segment_pool_))
              .first;
   }
   return it->second;

@@ -15,15 +15,24 @@
 //     child_rng(child_seed(child_seed(serve_seed, session_id), ordinal), r)
 // — a pure function, so per-session outputs are identical for any shard
 // count, thread count, or interleaving with other sessions.
+//
+// Memory model (DESIGN.md §9): the frame path is zero-copy + recycled.
+// Admission copies a frame's points once, into the owning shard's epoch
+// arena, and queues a non-owning FrameView. The drain tick flips the
+// shard's ping-pong arenas (reset, no free) and walks the queued views
+// straight into the sessions' recycled segmentation state. Completed
+// segments travel as pooled PendingSegment handles (SegmentPtr) whose
+// variant buffers persist across reuse — a steady-state tick performs no
+// heap allocation (asserted by tests/test_mem.cpp).
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "common/mem.hpp"
 #include "exec/exec.hpp"
 #include "pipeline/preprocessor.hpp"
 #include "serve/config.hpp"
@@ -31,40 +40,68 @@
 namespace gp::serve {
 
 /// A completed, preprocessed, featurized gesture segment awaiting inference.
+/// Pooled: the first `variant_count` entries of `variants` are the live TTA
+/// featurizations; the vector itself is slot storage that keeps its
+/// capacity across pool round-trips.
 struct PendingSegment {
   std::uint64_t session_id = 0;
   std::uint64_t ordinal = 0;                 ///< per-session segment index
   SegmentQuality quality = SegmentQuality::kGood;
   bool empty_cloud = false;                  ///< nothing survived preprocessing
-  std::vector<FeaturizedSample> variants;    ///< eval_rounds TTA featurizations
+  std::vector<FeaturizedSample> variants;    ///< slot storage (valid prefix)
+  std::size_t variant_count = 0;             ///< live entries in variants
   std::uint64_t enqueued_tick = 0;           ///< engine tick at completion
+
+  std::span<const FeaturizedSample> active_variants() const {
+    return {variants.data(), variant_count};
+  }
+
+  /// Resets logical state for pool reuse; variant buffers stay warm.
+  void reset_for_reuse() {
+    session_id = 0;
+    ordinal = 0;
+    quality = SegmentQuality::kGood;
+    empty_cloud = false;
+    variant_count = 0;
+    enqueued_tick = 0;
+  }
 };
+
+/// Pooled handle; destruction recycles the segment into its pool.
+using SegmentPtr = mem::PoolPtr<PendingSegment>;
 
 class StreamSession {
  public:
-  StreamSession(std::uint64_t session_id, const ServeConfig& config);
+  StreamSession(std::uint64_t session_id, const ServeConfig& config,
+                mem::Pool<PendingSegment>& pool);
 
   /// Feeds one frame (through the per-session fault injector when armed);
   /// appends any segments the push completed to `out`.
-  void push_frame(const FrameCloud& frame, std::uint64_t tick,
-                  std::vector<PendingSegment>& out);
+  void push_frame(const FrameView& frame, std::uint64_t tick, std::vector<SegmentPtr>& out);
 
   /// End-of-stream: flushes a gesture still in progress.
-  void finish(std::uint64_t tick, std::vector<PendingSegment>& out);
+  void finish(std::uint64_t tick, std::vector<SegmentPtr>& out);
 
   std::uint64_t id() const { return id_; }
   std::uint64_t segments_completed() const { return ordinal_; }
 
  private:
-  void drain_completed(std::uint64_t tick, std::vector<PendingSegment>& out);
+  void drain_completed(std::uint64_t tick, std::vector<SegmentPtr>& out);
 
   std::uint64_t id_;
   std::uint64_t session_seed_;  ///< child_seed(serve_seed, id)
   const ServeConfig* config_;
+  mem::Pool<PendingSegment>* pool_;
   std::unique_ptr<faults::FaultInjector> injector_;  ///< per-session faults
   GestureSegmenter segmenter_;
   Preprocessor preprocessor_;
   std::uint64_t ordinal_ = 0;
+  /// Recycled working memory: the owning-copy a fault injector needs, the
+  /// cleaned cloud, and the preprocess/featurize scratch tables.
+  FrameCloud fault_scratch_;
+  GestureCloud cloud_scratch_;
+  Preprocessor::Scratch prep_scratch_;
+  FeaturizeScratch feat_scratch_;
 };
 
 /// Sharded session table with bounded ingress queues.
@@ -72,20 +109,26 @@ class SessionManager {
  public:
   explicit SessionManager(const ServeConfig& config);
 
-  /// Thread-safe frame admission: enqueues onto the owning shard's bounded
-  /// queue, or sheds with a typed rejection when the queue is at cap.
-  Admission enqueue(std::uint64_t session_id, const FrameCloud& frame, std::uint64_t tick);
+  /// Thread-safe frame admission: copies the frame's points into the owning
+  /// shard's epoch arena and enqueues a view, or sheds with a typed
+  /// rejection when the queue is at cap.
+  Admission enqueue(std::uint64_t session_id, const FrameView& frame, std::uint64_t tick);
 
   /// Drains every shard queue (parallel over shards on `ctx`), running
   /// segmentation → preprocessing → featurization per session, applying the
-  /// deadline-aware stale-frame drop. Returns completed segments in
-  /// deterministic order (shard index, then completion order).
-  std::vector<PendingSegment> drain(exec::ExecContext& ctx, std::uint64_t tick);
+  /// deadline-aware stale-frame drop. Appends completed segments to `out`
+  /// in deterministic order (shard index, then completion order).
+  void drain_into(exec::ExecContext& ctx, std::uint64_t tick, std::vector<SegmentPtr>& out);
 
-  /// Flushes an in-progress gesture for one session / for all sessions.
-  /// (Queued frames are drained first by the caller via drain().)
-  std::vector<PendingSegment> finish_session(std::uint64_t session_id, std::uint64_t tick);
-  std::vector<PendingSegment> finish_all(std::uint64_t tick);
+  /// Allocating convenience wrapper over drain_into.
+  std::vector<SegmentPtr> drain(exec::ExecContext& ctx, std::uint64_t tick);
+
+  /// Flushes an in-progress gesture for one session / for all sessions,
+  /// appending to `out`. (Queued frames are drained first by the caller via
+  /// drain_into().)
+  void finish_session(std::uint64_t session_id, std::uint64_t tick,
+                      std::vector<SegmentPtr>& out);
+  void finish_all(std::uint64_t tick, std::vector<SegmentPtr>& out);
 
   /// Aggregate load-shed tallies (monotonic).
   struct Stats {
@@ -104,16 +147,23 @@ class SessionManager {
   struct QueuedFrame {
     std::uint64_t session_id = 0;
     std::uint64_t tick = 0;  ///< admission tick (staleness basis)
-    FrameCloud frame;
+    FrameView frame;         ///< points live in the shard's epoch arena
   };
   struct Shard {
-    /// Guards queue + admission counters; held only for O(1) enqueue/swap so
-    /// frame admission never waits behind featurization.
+    /// Guards queue + arenas + admission counters; held only for O(1)
+    /// enqueue/flip so frame admission never waits behind featurization.
     mutable std::mutex mu;
     /// Guards the session map; held by drain/finish while running the
     /// (expensive) segmentation→preprocess→featurize work.
     mutable std::mutex session_mu;
-    std::deque<QueuedFrame> queue;                       ///< bounded by queue_cap
+    /// Ping-pong frame-point arenas: producers copy into arenas[epoch]; the
+    /// drain tick flips epoch and resets the incoming side, so views queued
+    /// before the flip stay valid while they are processed.
+    mem::Arena arenas[2];
+    std::size_t epoch = 0;
+    std::vector<QueuedFrame> queue;                      ///< bounded by queue_cap
+    std::vector<QueuedFrame> drain_queue;                ///< drain-side double buffer
+    std::vector<SegmentPtr> out_scratch;                 ///< drain-tick results
     std::map<std::uint64_t, StreamSession> sessions;     ///< ordered → deterministic
     std::uint64_t accepted = 0;
     std::uint64_t rejected_queue_full = 0;
@@ -124,9 +174,15 @@ class SessionManager {
     return static_cast<std::size_t>(session_id % shards_.size());
   }
   StreamSession& session(Shard& shard, std::uint64_t session_id);
+  void drain_shard(std::size_t s);
 
   ServeConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  mem::Pool<PendingSegment> segment_pool_;
+  /// Tick of the drain in flight (pump is externally serialized) plus the
+  /// pre-built chunk functor, so run_chunks never constructs a callable.
+  std::uint64_t drain_tick_ = 0;
+  exec::ThreadPool::ChunkFn drain_fn_;
 };
 
 }  // namespace gp::serve

@@ -197,6 +197,10 @@ TEST(GoldenSnapshot, RunReportSchemaMatchesGolden) {
   obs::gauge("gp.serve.pending_segments").set(0.0);
   obs::histogram("gp.serve.batch.size").observe(1.0);
   obs::histogram("gp.serve.batch.latency_us").observe(100.0);
+  // gp.mem.* needs no touching here: write_run_report_json calls
+  // obs::publish_mem_metrics(), which registers every bridged counter and
+  // gauge (pool hit/miss, arena blocks/recycled/high-water) by name — their
+  // key paths are pinned below like any other metric.
   std::ostringstream out;
   obs::write_run_report_json(out, "golden");
   const obs::json::Value doc = obs::json::parse(out.str());
@@ -218,8 +222,22 @@ TEST(GoldenSnapshot, BenchJsonSchemasMatchGolden) {
   stage.histogram = h.snapshot();
   stage.min_depth = 0;
 
+  // Serve-tick exemplar rows (bench/sec6b5_latency.cpp): the cold/steady
+  // memory profile of the zero-copy frame path, values arbitrary.
+  obs::ServeTickProfile cold;
+  cold.phase = "cold";
+  cold.ticks = 142;
+  cold.p50_ms = 0.01;
+  cold.p95_ms = 0.5;
+  cold.p99_ms = 9.0;
+  cold.allocs_per_tick = 180.0;
+  obs::ServeTickProfile steady = cold;
+  steady.phase = "steady";
+  steady.allocs_per_tick = 0.0;
+
   const std::string latency = obs::latency_stages_json(
-      8, {{"preprocessing", h.snapshot()}, {"end_to_end", h.snapshot()}}, {stage});
+      8, {{"preprocessing", h.snapshot()}, {"end_to_end", h.snapshot()}}, {stage},
+      {cold, steady});
   const std::string parallel = obs::parallel_sweep_json(
       8, {1, 2, 4}, {{"matmul_kernel", {10.0, 6.0, 4.0}}, {"train_epoch", {20.0, 12.0, 8.0}}});
 

@@ -1,13 +1,24 @@
-// Tests for the recording I/O format and the radar link-budget analysis.
+// Tests for the recording I/O format, the radar link-budget analysis, and
+// the allocation budgets of the repeated-IO paths (cache-hit dataset loads,
+// steady trainer epochs) — the gp::mem counting hooks keep allocator
+// traffic on these paths from silently regressing.
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/mem.hpp"
 #include "common/rng.hpp"
+#include "datasets/cache.hpp"
+#include "datasets/catalog.hpp"
+#include "datasets/prep.hpp"
+#include "exec/exec.hpp"
+#include "gesidnet/gesidnet.hpp"
+#include "gesidnet/trainer.hpp"
 #include "kinematics/performer.hpp"
 #include "pointcloud/io.hpp"
 #include "radar/fmcw.hpp"
@@ -150,6 +161,77 @@ TEST(LinkBudget, CalibratedFastBackendMatchesEmpiricalDefault) {
   EXPECT_NEAR(calibrated.snr_ref_db, FastBackendConfig{}.snr_ref_db, 3.0);
   // Ideal bound always exceeds the empirical reference.
   EXPECT_GT(compute_link_budget(config, 1.2, 1.0).snr_db, FastBackendConfig{}.snr_ref_db);
+}
+
+// ---- allocation budgets ----------------------------------------------------
+
+// A cache-hit dataset load must stay within a small per-sample allocation
+// budget: deserialising a sample needs its cloud vector plus a few fixed
+// buffers, nothing quadratic and nothing per-point. The bound is
+// deliberately generous (an order above the observed cost) — it exists to
+// catch accidental per-point or copy-amplifying regressions, not to pin the
+// exact count.
+TEST(AllocBudget, DatasetCacheHitLoadStaysBounded) {
+  DatasetScale scale;
+  scale.max_users = 2;
+  scale.reps = 2;
+  DatasetSpec spec = gestureprint_spec(1, scale);
+  spec.gestures.resize(2);
+
+  (void)generate_dataset_cached(spec);  // ensure the cache entry exists
+
+  mem::AllocCounter counter;
+  const Dataset dataset = generate_dataset_cached(spec);  // pure cache hit
+  const std::uint64_t allocs = counter.allocations();
+
+  ASSERT_FALSE(dataset.samples.empty());
+  const std::uint64_t per_sample = allocs / dataset.samples.size();
+  std::cout << "[budget] cache-hit load: " << allocs << " allocs for "
+            << dataset.samples.size() << " samples (" << per_sample << "/sample)\n";
+  EXPECT_LE(per_sample, 64u);
+}
+
+// Steady-state training: after the first epoch has sized every activation
+// and gradient buffer, later epochs over the same data must not allocate
+// more than the first did — per-epoch allocator traffic is bounded, not
+// creeping.
+TEST(AllocBudget, SteadyTrainerEpochStaysBounded) {
+  DatasetScale scale;
+  scale.max_users = 2;
+  scale.reps = 3;
+  DatasetSpec spec = gestureprint_spec(1, scale);
+  spec.gestures.resize(2);
+  const Dataset dataset = generate_dataset_cached(spec);
+
+  Rng prep_rng(11);
+  const LabeledSamples labeled = prepare_subset(dataset, all_indices(dataset),
+                                                LabelKind::kGesture, PrepConfig{}, prep_rng);
+  exec::ExecContext ctx(1);
+  TrainConfig tc;
+  tc.batch_size = 8;
+  tc.seed = 5;
+
+  const auto train_allocs = [&](std::size_t epochs) {
+    Rng model_rng(51);
+    GesIDNetConfig net_config;
+    net_config.num_classes = dataset.num_gestures();
+    GesIDNet model(net_config, model_rng);
+    tc.epochs = epochs;
+    mem::AllocCounter counter;
+    (void)train_classifier(model, labeled, tc, ctx);
+    return counter.allocations();
+  };
+
+  const std::uint64_t one_epoch = train_allocs(1);
+  const std::uint64_t three_epochs = train_allocs(3);
+  ASSERT_GE(three_epochs, one_epoch);
+  const std::uint64_t per_steady_epoch = (three_epochs - one_epoch) / 2;
+  std::cout << "[budget] trainer: first epoch " << one_epoch << " allocs, steady epoch "
+            << per_steady_epoch << " allocs\n";
+  // A steady epoch may allocate (fresh minibatch activations per step) but
+  // must not exceed the first epoch, which bore all one-time setup.
+  EXPECT_LE(per_steady_epoch, one_epoch);
+  EXPECT_GT(one_epoch, 0u);  // the counting hooks are actually live
 }
 
 }  // namespace

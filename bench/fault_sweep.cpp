@@ -21,6 +21,7 @@
 #include "eval/splits.hpp"
 #include "faults/faults.hpp"
 #include "obs/bench_json.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/preprocessor.hpp"
 #include "system/gestureprint.hpp"
 
@@ -41,10 +42,14 @@ obs::FaultSweepRow run_cell(const ContinuousRecording& recording,
                             const GesturePrintConfig& system_config,
                             const std::string& model_path,
                             const faults::FaultConfig& fault_config,
-                            double severity) {
+                            double severity, bool& counters_ok) {
   obs::FaultSweepRow row;
   row.severity = severity;
   row.frames_in = recording.frames.size();
+
+  // Per-cell counter baseline: gp.faults.* counters are process-global and
+  // keep accumulating across the sweep; the delta isolates this cell.
+  const obs::MetricsDelta delta;
 
   // Fresh system per cell: construction reseeds the internal RNG, load()
   // restores the exact trained weights, so classification is a pure
@@ -94,6 +99,20 @@ obs::FaultSweepRow run_cell(const ContinuousRecording& recording,
   row.frames_dropped = counts.frames_dropped;
   row.ghost_points = counts.ghost_points;
   row.points_removed = counts.points_removed;
+
+  // Cross-check: this cell's gp.faults.* counter deltas must equal the
+  // injector's own tallies (catches cross-cell accumulation bleeding into
+  // the artifact and double counting inside the injector).
+  if (obs::metrics_enabled()) {
+    const std::uint64_t d_dropped = delta.counter_delta("gp.faults.frames_dropped");
+    const std::uint64_t d_ghost = delta.counter_delta("gp.faults.ghost_points");
+    if (d_dropped != counts.frames_dropped || d_ghost != counts.ghost_points) {
+      std::cout << "FAIL: severity=" << severity << " counter deltas (dropped " << d_dropped
+                << ", ghost " << d_ghost << ") disagree with injector counts ("
+                << counts.frames_dropped << ", " << counts.ghost_points << ")\n";
+      counters_ok = false;
+    }
+  }
   return row;
 }
 
@@ -134,6 +153,7 @@ int main() {
 
   const std::vector<double> severities{0.0, 0.25, 0.5, 1.0};
   std::vector<obs::FaultFamilySeries> families;
+  bool counters_ok = true;
 
   auto sweep = [&](const std::string& kind_name,
                    auto&& make_config) {
@@ -141,7 +161,7 @@ int main() {
     series.kind = kind_name;
     for (double severity : severities) {
       series.rows.push_back(run_cell(recording, script, config, model_path,
-                                     make_config(severity), severity));
+                                     make_config(severity), severity, counters_ok));
       const obs::FaultSweepRow& r = series.rows.back();
       std::cout << "  " << kind_name << " s=" << severity << ": " << r.frames_delivered
                 << "/" << r.frames_in << " frames, " << r.segments << " segments, "
@@ -164,9 +184,10 @@ int main() {
   std::ofstream(path) << json;
   std::cout << "\nWrote " << path << "\n";
 
-  // Self-check the two degradation invariants so CI can gate on the exit
-  // code without parsing the artifact.
-  bool ok = true;
+  // Self-check the degradation invariants (plus the per-cell counter
+  // cross-check above) so CI can gate on the exit code without parsing the
+  // artifact.
+  bool ok = counters_ok;
   std::uint64_t worst_abstained = 0;
   for (const auto& family : families) {
     const auto& clean = families.front().rows.front();

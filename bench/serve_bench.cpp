@@ -20,6 +20,7 @@
 #include "datasets/catalog.hpp"
 #include "eval/splits.hpp"
 #include "obs/bench_json.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/preprocessor.hpp"
 #include "serve/server.hpp"
 #include "system/gestureprint.hpp"
@@ -65,14 +66,18 @@ obs::ServeBaselineRow run_baseline(const std::vector<ContinuousRecording>& recor
 }
 
 /// One serve cell: round-robin interleaved streaming of every session's
-/// frames with a pump per frame round, then a final drain.
+/// frames with a pump per frame round, then a final drain. The per-cell
+/// MetricsDelta baseline isolates this cell's gp.serve.* counter movement
+/// from every previous cell's, so the cross-check against MicroBatcher
+/// stats stays exact across the whole sweep.
 obs::ServeSweepCell run_serve_cell(const std::vector<ContinuousRecording>& recordings,
                                    const serve::ServeConfig& serve_config,
-                                   serve::ModelRegistry& registry) {
+                                   serve::ModelRegistry& registry, bool& counters_ok) {
   obs::ServeSweepCell cell;
   cell.sessions = recordings.size();
   cell.batch_max = serve_config.batch_max;
 
+  const obs::MetricsDelta delta;
   const Clock::time_point start = Clock::now();
   serve::Server server(serve_config, registry);
   std::size_t max_frames = 0;
@@ -95,6 +100,20 @@ obs::ServeSweepCell run_serve_cell(const std::vector<ContinuousRecording>& recor
   cell.results = results.size();
   cell.batches = stats.batches;
   cell.abstained = stats.abstained;
+
+  // Cross-check: this cell's counter deltas must agree with the batcher's
+  // own tallies (catches double counting and cross-cell accumulation).
+  if (obs::metrics_enabled()) {
+    const std::uint64_t d_batches = delta.counter_delta("gp.serve.batches");
+    const std::uint64_t d_segments = delta.counter_delta("gp.serve.segments");
+    if (d_batches != stats.batches || d_segments != stats.segments) {
+      std::cout << "FAIL: sessions=" << cell.sessions << " batch_max=" << cell.batch_max
+                << " counter deltas (batches " << d_batches << ", segments " << d_segments
+                << ") disagree with batcher stats (" << stats.batches << ", "
+                << stats.segments << ")\n";
+      counters_ok = false;
+    }
+  }
   return cell;
 }
 
@@ -147,6 +166,7 @@ int main() {
 
   std::vector<obs::ServeBaselineRow> baseline;
   std::vector<obs::ServeSweepCell> cells;
+  bool counters_ok = true;
   for (std::size_t n : sessions_swept) {
     const std::vector<ContinuousRecording> recordings(all_recordings.begin(),
                                                       all_recordings.begin() + n);
@@ -159,7 +179,7 @@ int main() {
       serve_config.system = config;
       serve_config.batch_max = bm;
       serve_config.batch_wait_us = 0;  // flush on every pump: latency-greedy
-      cells.push_back(run_serve_cell(recordings, serve_config, registry));
+      cells.push_back(run_serve_cell(recordings, serve_config, registry, counters_ok));
       obs::ServeSweepCell& cell = cells.back();
       cell.speedup = cell.ms > 0.0 ? b.ms / cell.ms : 0.0;
       std::cout << "  sessions=" << n << " batch_max=" << bm << " serve: "
@@ -176,8 +196,9 @@ int main() {
 
   // Self-check (CI gates on the exit code, no artifact parsing needed):
   //  1. every serve cell answered every segment it admitted;
-  //  2. at >= 8 sessions, the best cell is >= 2x the sequential baseline.
-  bool ok = true;
+  //  2. per-cell gp.serve.* counter deltas matched the batcher stats;
+  //  3. at >= 8 sessions, the best cell is >= 2x the sequential baseline.
+  bool ok = counters_ok;
   double best_speedup_8plus = 0.0;
   for (const obs::ServeSweepCell& cell : cells) {
     if (cell.results != cell.segments) {

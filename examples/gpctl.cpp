@@ -10,18 +10,26 @@
 //       k-fold cross-validation (the paper's 5-fold protocol)
 //   gpctl info <in.gpds>
 //       print dataset statistics
+//   gpctl top [--rounds N] [--sessions N]
+//       live health dashboard: drives a synthetic serve load in-process and
+//       redraws verdict/SLIs/exemplar from Server::health_snapshot() each
+//       round (honours GP_SLO, GP_FLIGHTREC, GP_SERVE_*, GP_FAULTS)
 //
 // Dataset names: gestureprint-office, gestureprint-meeting, pantomime-office,
 // pantomime-open, mhomeges, mtranssee.
+#include <unistd.h>
+
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common/table.hpp"
 #include "datasets/cache.hpp"
 #include "datasets/catalog.hpp"
 #include "eval/splits.hpp"
+#include "serve/server.hpp"
 #include "system/cross_validate.hpp"
 #include "system/gestureprint.hpp"
 
@@ -30,7 +38,7 @@ namespace {
 using namespace gp;
 
 int usage() {
-  std::cerr << "usage: gpctl generate|train|eval|crossval|info ... (see header comment)\n";
+  std::cerr << "usage: gpctl generate|train|eval|crossval|info|top ... (see header comment)\n";
   return 2;
 }
 
@@ -176,6 +184,108 @@ int cmd_info(int argc, char** argv) {
   return 0;
 }
 
+// ------------------------------------------------------------------- top
+
+/// One dashboard frame rendered from a health snapshot. On a tty the screen
+/// is cleared first so successive frames redraw in place.
+void draw_dashboard(const health::HealthSnapshot& h, std::uint64_t model_version,
+                    std::size_t sessions, std::size_t round, std::size_t rounds) {
+  if (::isatty(1) != 0) std::cout << "\033[2J\033[H";
+  std::cout << "gpctl top — round " << round << "/" << rounds << ", " << sessions
+            << " sessions, model v" << model_version << ", tick " << h.ticks_closed << "\n";
+  std::cout << "verdict: " << health::verdict_name(h.verdict);
+  if (h.has_slo) {
+    std::cout << "  (slo \"" << h.slo_spec << "\", breach streak " << h.breach_streak
+              << ", ok streak " << h.ok_streak << ", flips " << h.verdict_flips << ")";
+  } else {
+    std::cout << "  (no GP_SLO configured)";
+  }
+  std::cout << "\n\n";
+
+  Table table({"window", "ticks", "results", "p50 ms", "p99 ms", "shed", "abstain",
+               "occupancy"});
+  auto add_window = [&](const health::WindowStats& w) {
+    table.add_row({w.label, std::to_string(w.ticks), std::to_string(w.results),
+                   Table::num(w.p50_ms, 3), Table::num(w.p99_ms, 3),
+                   Table::pct(w.shed_rate), Table::pct(w.abstain_rate),
+                   Table::pct(w.batch_occupancy)});
+  };
+  add_window(h.slo_window);
+  for (const health::WindowStats& w : h.wall_windows) add_window(w);
+  table.print();
+
+  if (h.has_exemplar) {
+    const health::RequestSample& s = h.exemplar.sample;
+    std::cout << "\nslowest request: session " << s.session_id << " seg " << s.ordinal
+              << ", " << s.total_us << " us total, slowest stage "
+              << health::stage_name(s.slowest_stage()) << " (tick " << h.exemplar.tick
+              << ")\n";
+  }
+  std::cout << "flight recorder: " << h.flightrec_events << " events\n";
+  std::cout.flush();
+}
+
+/// Live text dashboard over a synthetic serve load. Everything runs in this
+/// process: train a small model, stream `--sessions` interleaved clients,
+/// and redraw the health snapshot `--rounds` times over the stream.
+int cmd_top(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv, 2);
+  const std::size_t rounds = flags.count("rounds") ? std::stoul(flags.at("rounds")) : 6;
+  const std::size_t sessions = flags.count("sessions") ? std::stoul(flags.at("sessions")) : 6;
+
+  DatasetScale scale;
+  scale.max_users = 3;
+  scale.reps = 6;
+  DatasetSpec spec = gestureprint_spec(1, scale);
+  spec.gestures.resize(5);
+  std::cout << "training a demo model (" << spec.num_users << " users x "
+            << spec.gestures.size() << " gestures)...\n";
+  const Dataset dataset = generate_dataset(spec);
+  GesturePrintConfig config;
+  config.training.epochs = 4;
+  config.prep.augmentation.copies = 1;
+  config.abstain_margin = 0.10;
+  Rng split_rng(3, 1);
+
+  serve::ModelRegistry registry(config);
+  {
+    auto system = std::make_unique<GesturePrintSystem>(config);
+    system->fit(dataset, stratified_split(dataset.gesture_labels(), 0.2, split_rng).train);
+    registry.publish(std::move(system));
+  }
+
+  serve::ServeConfig serve_config = serve::ServeConfig::from_env();
+  serve_config.system = config;
+  serve::Server server(serve_config, registry);
+
+  const std::vector<int> script{0, 3, 1, 4, 2, 0};
+  std::vector<ContinuousRecording> streams;
+  std::size_t max_frames = 0;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    streams.push_back(generate_recording(spec, s % spec.num_users, script, 0x709 + s));
+    max_frames = std::max(max_frames, streams.back().frames.size());
+  }
+
+  const std::size_t frames_per_round = std::max<std::size_t>(1, max_frames / rounds);
+  std::size_t round = 0;
+  for (std::size_t f = 0; f < max_frames; ++f) {
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (f >= streams[s].frames.size()) continue;
+      (void)server.push_frame(s + 1, streams[s].frames[f]);
+    }
+    (void)server.pump();
+    if ((f + 1) % frames_per_round == 0 && round < rounds) {
+      ++round;
+      draw_dashboard(server.health_snapshot(), registry.version(), streams.size(), round,
+                     rounds);
+    }
+  }
+  (void)server.drain();
+  draw_dashboard(server.health_snapshot(), registry.version(), streams.size(), rounds,
+                 rounds);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -187,6 +297,7 @@ int main(int argc, char** argv) {
     if (command == "eval") return cmd_eval(argc, argv);
     if (command == "crossval") return cmd_crossval(argc, argv);
     if (command == "info") return cmd_info(argc, argv);
+    if (command == "top") return cmd_top(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "gpctl: " << e.what() << "\n";
     return 1;

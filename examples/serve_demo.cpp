@@ -64,12 +64,8 @@ int main() {
   }
   std::cout << "Streaming " << streams.size() << " interleaved client sessions...\n\n";
 
-  std::size_t answered = 0;
-  std::size_t abstained = 0;
   std::size_t rejected = 0;
   auto report = [&](const serve::ServeResult& r) {
-    ++answered;
-    if (r.abstained) ++abstained;
     std::cout << "  [session " << r.session_id << " seg " << r.segment_ordinal << "] ";
     if (r.quality_rejected) {
       std::cout << "rejected (quality)";
@@ -126,13 +122,22 @@ int main() {
               << tick_allocs.allocations() << " over " << kQuietTicks << " ticks)\n";
   }
 
+  // Final tallies come from the health monitor's SLO window (sized to the
+  // whole run by default), not ad-hoc local counters: what the dashboard
+  // and SLO evaluator see is what the demo reports.
   const serve::SessionManager::Stats s = server.session_stats();
   const serve::MicroBatcher::Stats b = server.batch_stats();
+  const health::HealthSnapshot h = server.health_snapshot();
+  const health::WindowStats& w = h.slo_window;
   std::cout << "\n" << s.frames_accepted << " frames accepted, "
             << s.frames_rejected_queue_full << " shed at admission, " << s.frames_shed_stale
             << " shed stale; " << b.segments << " segments in " << b.batches
-            << " micro-batches; " << answered << " answers (" << abstained
-            << " abstained), " << rejected << " pushes refused; final model v"
+            << " micro-batches; " << rejected << " pushes refused; final model v"
             << registry.version() << ".\n";
+  std::cout << "health (" << w.ticks << " ticks): " << w.results << " answers, shed_rate="
+            << w.shed_rate << ", abstain_rate=" << w.abstain_rate << ", quality_reject_rate="
+            << w.quality_reject_rate << ", p99=" << w.p99_ms << " ms, verdict="
+            << health::verdict_name(h.verdict) << ", flight-recorder events: "
+            << h.flightrec_events << ".\n";
   return 0;
 }

@@ -5,7 +5,7 @@
 #   scripts/verify.sh asan       # tier 2: -DGP_SANITIZE=address build,
 #                                #         fuzz-smoke + obs-smoke + fault + mem labels
 #   scripts/verify.sh tsan       # tier 3: -DGP_SANITIZE=thread build,
-#                                #         tsan-smoke + serve labels
+#                                #         tsan-smoke + serve + health labels
 #   scripts/verify.sh all        # tiers 1 + 2 + 3 in sequence
 #
 # Tier 1 is the bar every PR must clear (ROADMAP "tier-1"); the sanitizer
@@ -35,10 +35,12 @@ run_asan() {
 }
 
 run_tsan() {
-  echo "==> tier 3: ThreadSanitizer build, tsan-smoke + serve labels"
+  echo "==> tier 3: ThreadSanitizer build, tsan-smoke + serve + health labels"
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DGP_SANITIZE=thread >/dev/null
   cmake --build "$ROOT/build-tsan" -j "$JOBS"
-  (cd "$ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS" -L 'tsan-smoke|serve')
+  # health rides the tsan lane: any-thread admission/shed/fault producers
+  # racing the pump thread's close_tick, plus the lock-free flight recorder.
+  (cd "$ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS" -L 'tsan-smoke|serve|health')
 }
 
 case "$MODE" in

@@ -1,5 +1,7 @@
 #include "exec/thread_pool.hpp"
 
+#include <cstdio>
+
 #include "common/logging.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -69,6 +71,12 @@ void ThreadPool::work_on(Region& region) {
 }
 
 void ThreadPool::worker_loop() {
+  {
+    // Label the worker's trace lane once; names are per-thread-lifetime.
+    char name[32];
+    std::snprintf(name, sizeof(name), "exec.worker-%d", thread_ordinal());
+    obs::set_thread_name(name);
+  }
   std::uint64_t seen_epoch = 0;
   for (;;) {
     Region* region = nullptr;

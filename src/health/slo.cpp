@@ -1,0 +1,187 @@
+#include "health/slo.hpp"
+
+#include <array>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace gp::health {
+
+namespace {
+
+struct MetricName {
+  const char* name;
+  SliMetric metric;
+};
+
+constexpr std::array<MetricName, kSliMetricCount> kMetricNames{{
+    {"p50_ms", SliMetric::kP50Ms},
+    {"p95_ms", SliMetric::kP95Ms},
+    {"p99_ms", SliMetric::kP99Ms},
+    {"shed_rate", SliMetric::kShedRate},
+    {"abstain_rate", SliMetric::kAbstainRate},
+    {"quality_reject_rate", SliMetric::kQualityRejectRate},
+    {"no_model_rate", SliMetric::kNoModelRate},
+    {"fault_rate", SliMetric::kFaultRate},
+    {"batch_occupancy", SliMetric::kBatchOccupancy},
+}};
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) s.remove_suffix(1);
+  return s;
+}
+
+SliMetric metric_from_name(std::string_view name, std::string_view token) {
+  for (const MetricName& m : kMetricNames) {
+    if (name == m.name) return m.metric;
+  }
+  throw InvalidArgument("GP_SLO: unknown SLI metric '" + std::string(name) + "' in clause '" +
+                        std::string(token) + "'");
+}
+
+double parse_threshold(std::string_view text, std::string_view token) {
+  const std::string s(trim(text));
+  if (s.empty()) throw InvalidArgument("GP_SLO: missing threshold in clause '" + std::string(token) + "'");
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || !(v == v)) {
+    throw InvalidArgument("GP_SLO: bad threshold '" + s + "' in clause '" + std::string(token) + "'");
+  }
+  if (v < 0.0) {
+    throw InvalidArgument("GP_SLO: threshold must be >= 0 in clause '" + std::string(token) + "'");
+  }
+  return v;
+}
+
+std::uint64_t parse_count(std::string_view text, const char* key) {
+  const std::string s(trim(text));
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (s.empty() || end != s.c_str() + s.size() || v == 0) {
+    throw InvalidArgument(std::string("GP_SLO: ") + key + " wants a positive integer, got '" + s + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kHealthy: return "healthy";
+    case Verdict::kDegraded: return "degraded";
+    case Verdict::kUnhealthy: return "unhealthy";
+  }
+  return "?";
+}
+
+const char* sli_metric_name(SliMetric m) {
+  for (const MetricName& entry : kMetricNames) {
+    if (entry.metric == m) return entry.name;
+  }
+  return "?";
+}
+
+SloSpec SloSpec::parse(std::string_view text) {
+  SloSpec spec;
+  std::string_view rest = text;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    std::string_view token = trim(rest.substr(0, comma));
+    rest = comma == std::string_view::npos ? std::string_view{} : rest.substr(comma + 1);
+    if (token.empty()) continue;
+
+    const std::size_t eq = token.find('=');
+    const std::size_t lt = token.find('<');
+    const std::size_t gt = token.find('>');
+    if (eq != std::string_view::npos && lt == std::string_view::npos &&
+        gt == std::string_view::npos) {
+      const std::string_view key = trim(token.substr(0, eq));
+      const std::string_view value = trim(token.substr(eq + 1));
+      if (key == "window") {
+        // Tick windows only: the SLO is evaluated on the deterministic
+        // per-tick ring, never on wall-clock cells (see header comment).
+        if (value.empty() || value.back() != 't') {
+          throw InvalidArgument("GP_SLO: window wants '<N>t' (ticks), got '" +
+                                std::string(value) + "'");
+        }
+        spec.window_ticks = parse_count(value.substr(0, value.size() - 1), "window");
+      } else if (key == "degraded_after") {
+        spec.degraded_after = parse_count(value, "degraded_after");
+      } else if (key == "unhealthy_after") {
+        spec.unhealthy_after = parse_count(value, "unhealthy_after");
+      } else if (key == "healthy_after") {
+        spec.healthy_after = parse_count(value, "healthy_after");
+      } else {
+        throw InvalidArgument("GP_SLO: unknown option '" + std::string(key) + "'");
+      }
+      continue;
+    }
+
+    const bool upper = lt != std::string_view::npos &&
+                       (gt == std::string_view::npos || lt < gt);
+    const std::size_t op = upper ? lt : gt;
+    if (op == std::string_view::npos) {
+      throw InvalidArgument("GP_SLO: clause '" + std::string(token) +
+                            "' is neither '<metric><op><value>' nor '<key>=<value>'");
+    }
+    SloClause clause;
+    clause.metric = metric_from_name(trim(token.substr(0, op)), token);
+    clause.upper_bound = upper;
+    clause.threshold = parse_threshold(token.substr(op + 1), token);
+    spec.clauses.push_back(clause);
+  }
+  if (spec.clauses.empty()) {
+    throw InvalidArgument("GP_SLO: spec has no clauses: '" + std::string(text) + "'");
+  }
+  if (spec.unhealthy_after < spec.degraded_after) {
+    throw InvalidArgument("GP_SLO: unhealthy_after must be >= degraded_after");
+  }
+  return spec;
+}
+
+std::string SloSpec::to_string() const {
+  std::ostringstream out;
+  for (const SloClause& c : clauses) {
+    out << sli_metric_name(c.metric) << (c.upper_bound ? '<' : '>') << c.threshold << ',';
+  }
+  out << "window=" << window_ticks << "t,degraded_after=" << degraded_after
+      << ",unhealthy_after=" << unhealthy_after << ",healthy_after=" << healthy_after;
+  return out.str();
+}
+
+bool VerdictTracker::evaluate(bool breached) {
+  if (breached) {
+    ++breach_streak_;
+    ok_streak_ = 0;
+  } else {
+    ++ok_streak_;
+    breach_streak_ = 0;
+  }
+  Verdict next = verdict_;
+  switch (verdict_) {
+    case Verdict::kHealthy:
+      if (breach_streak_ >= spec_->degraded_after) next = Verdict::kDegraded;
+      // A single window can be bad enough to jump straight past degraded.
+      if (breach_streak_ >= spec_->unhealthy_after) next = Verdict::kUnhealthy;
+      break;
+    case Verdict::kDegraded:
+      if (breach_streak_ >= spec_->unhealthy_after) next = Verdict::kUnhealthy;
+      if (ok_streak_ >= spec_->healthy_after) next = Verdict::kHealthy;
+      break;
+    case Verdict::kUnhealthy:
+      if (ok_streak_ >= spec_->healthy_after) next = Verdict::kHealthy;
+      break;
+  }
+  if (next == verdict_) return false;
+  verdict_ = next;
+  // The streak that caused the flip has been consumed; restart the count so
+  // e.g. degraded → unhealthy needs unhealthy_after *fresh* breaches.
+  breach_streak_ = 0;
+  ok_streak_ = 0;
+  ++flips_;
+  return true;
+}
+
+}  // namespace gp::health

@@ -150,4 +150,28 @@ std::string serve_bench_json(const std::vector<std::size_t>& sessions_swept,
   return out.str();
 }
 
+std::string health_bench_json(std::size_t reps, std::size_t ticks_per_rep,
+                              const std::vector<HealthBenchRow>& rows,
+                              double overhead_p50_pct, bool bitwise_identical,
+                              const std::string& verdict, std::uint64_t verdict_flips,
+                              std::uint64_t flightrec_events) {
+  std::ostringstream out;
+  out << "{\n  \"reps\": " << reps << ",\n  \"ticks_per_rep\": " << ticks_per_rep
+      << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const HealthBenchRow& r = rows[i];
+    out << "    {\"mode\": \"" << json::escape(r.mode) << "\", \"ticks\": " << r.ticks
+        << ", \"results\": " << r.results << ", \"p50_us\": " << json::number(r.p50_us)
+        << ", \"p95_us\": " << json::number(r.p95_us)
+        << ", \"p99_us\": " << json::number(r.p99_us) << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"overhead_p50_pct\": " << json::number(overhead_p50_pct)
+      << ",\n  \"bitwise_identical\": " << (bitwise_identical ? "true" : "false")
+      << ",\n  \"verdict\": \"" << json::escape(verdict) << "\""
+      << ",\n  \"verdict_flips\": " << verdict_flips
+      << ",\n  \"flightrec_events\": " << flightrec_events << "\n}\n";
+  return out.str();
+}
+
 }  // namespace gp::obs

@@ -124,4 +124,26 @@ std::string serve_bench_json(const std::vector<std::size_t>& sessions_swept,
                              const std::vector<ServeBaselineRow>& baseline,
                              const std::vector<ServeSweepCell>& cells);
 
+/// One mode of the health overhead sweep ("off" | "on"): serve-tick latency
+/// quantiles over the measured pump loop, best-of-reps.
+struct HealthBenchRow {
+  std::string mode;
+  std::uint64_t ticks = 0;
+  std::uint64_t results = 0;  ///< ServeResults answered across the run
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Builds the BENCH_health.json document (gp::health overhead evidence,
+/// DESIGN.md §10). Schema (pinned by golden test `bench_health_schema`):
+///   {reps, ticks_per_rep, rows:[{mode,ticks,results,p50_us,p95_us,p99_us}],
+///    overhead_p50_pct, bitwise_identical, verdict, verdict_flips,
+///    flightrec_events}
+std::string health_bench_json(std::size_t reps, std::size_t ticks_per_rep,
+                              const std::vector<HealthBenchRow>& rows,
+                              double overhead_p50_pct, bool bitwise_identical,
+                              const std::string& verdict, std::uint64_t verdict_flips,
+                              std::uint64_t flightrec_events);
+
 }  // namespace gp::obs

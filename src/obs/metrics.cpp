@@ -210,6 +210,35 @@ void Registry::reset_all() {
   for (auto& [name, h] : m.histograms) h->reset();
 }
 
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counter_values() const {
+  Impl& m = impl();
+  const std::lock_guard<std::mutex> lock(m.mutex);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(m.counters.size());
+  for (const auto& [name, c] : m.counters) out.emplace_back(name, c->value());
+  return out;  // std::map iteration: already name-sorted
+}
+
+void MetricsDelta::rebase() {
+  baseline_.clear();
+  for (auto& [name, value] : Registry::global().counter_values()) {
+    baseline_.emplace(std::move(name), value);
+  }
+}
+
+std::uint64_t MetricsDelta::counter_delta(const std::string& name) const {
+  std::uint64_t now = 0;
+  for (const auto& [n, value] : Registry::global().counter_values()) {
+    if (n == name) {
+      now = value;
+      break;
+    }
+  }
+  const auto it = baseline_.find(name);
+  const std::uint64_t base = it != baseline_.end() ? it->second : 0;
+  return now >= base ? now - base : 0;
+}
+
 Counter& counter(const std::string& name) { return Registry::global().counter(name); }
 Gauge& gauge(const std::string& name) { return Registry::global().gauge(name); }
 Histogram& histogram(const std::string& name) { return Registry::global().histogram(name); }

@@ -25,7 +25,9 @@
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace gp::obs {
@@ -191,10 +193,38 @@ class Registry {
   /// Zeroes every registered metric (handles stay valid). Tests only.
   void reset_all();
 
+  /// Every registered counter's merged total at one instant, sorted by
+  /// name. Feeds MetricsDelta; hot paths keep cached handles instead.
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+
  private:
   Registry() = default;
   struct Impl;
   Impl& impl() const;
+};
+
+// ------------------------------------------------------------ MetricsDelta
+
+/// Test/bench-only counter baseline: captures every registered counter at
+/// construction (or rebase()) and answers "how much did `name` move since".
+/// Multi-cell benches use this instead of Registry::reset_all() between
+/// cells — resetting would clobber totals that belong to the whole process
+/// (warm-up, other cells, the final run report), whereas a delta baseline
+/// isolates one cell without touching shared state.
+class MetricsDelta {
+ public:
+  /// Captures the baseline immediately.
+  MetricsDelta() { rebase(); }
+
+  /// Re-captures the baseline (start of the next cell).
+  void rebase();
+
+  /// Increase of counter `name` since the baseline. Counters registered
+  /// after the baseline count from zero; never-registered names return 0.
+  std::uint64_t counter_delta(const std::string& name) const;
+
+ private:
+  std::map<std::string, std::uint64_t> baseline_;
 };
 
 // Convenience forwarding helpers for call sites.

@@ -39,6 +39,7 @@ struct TraceBuffer {
   std::size_t next = 0;            ///< ring write cursor
   std::uint64_t total = 0;         ///< events ever appended
   int tid = 0;
+  std::string name;                ///< set_thread_name label ("" = unnamed)
 
   void append(const TraceEvent& event) {
     const std::lock_guard<std::mutex> lock(mutex);
@@ -153,6 +154,29 @@ Span::~Span() {
 
 // ------------------------------------------------------------ trace export
 
+void set_thread_name(const char* name) {
+  TraceBuffer& buffer = thread_buffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.name == name) return;  // hot-path idempotence: no assignment
+  buffer.name = name;
+}
+
+std::vector<std::pair<int, std::string>> thread_names() {
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+  {
+    BufferDirectory& dir = directory();
+    const std::lock_guard<std::mutex> lock(dir.mutex);
+    buffers = dir.buffers;
+  }
+  std::vector<std::pair<int, std::string>> out;
+  for (const auto& buffer : buffers) {
+    const std::lock_guard<std::mutex> lock(buffer->mutex);
+    if (!buffer->name.empty()) out.emplace_back(buffer->tid, buffer->name);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 std::vector<TraceEvent> collect_trace_events() {
   std::vector<std::shared_ptr<TraceBuffer>> buffers;
   {
@@ -199,6 +223,15 @@ void write_chrome_trace(std::ostream& out) {
   const std::vector<TraceEvent> events = collect_trace_events();
   out << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
   bool first = true;
+  // Metadata first: a process name plus one thread_name per named thread,
+  // so spans group under readable lanes in chrome://tracing / Perfetto.
+  out << "\n    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+         "\"args\": {\"name\": \"gestureprint\"}}";
+  first = false;
+  for (const auto& [tid, name] : thread_names()) {
+    out << ",\n    {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": " << tid
+        << ", \"args\": {\"name\": \"" << json::escape(name) << "\"}}";
+  }
   for (const TraceEvent& event : events) {
     out << (first ? "\n" : ",\n");
     first = false;

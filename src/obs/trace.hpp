@@ -27,6 +27,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
@@ -108,7 +109,14 @@ class Span {
 
 // ------------------------------------------------------------ trace export
 
-/// One recorded span occurrence (timestamps in ns since the process epoch).
+/// Names the calling thread for trace exports: write_chrome_trace emits a
+/// "thread_name" metadata event per named thread so serve shards/pump group
+/// legibly in Perfetto instead of bare tids. Idempotent and cheap when the
+/// thread already carries `name` (safe on hot paths); last write wins.
+void set_thread_name(const char* name);
+
+/// (tid, name) for every thread that called set_thread_name.
+std::vector<std::pair<int, std::string>> thread_names();
 struct TraceEvent {
   const char* name = nullptr;
   std::uint64_t start_ns = 0;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/logging.hpp"
 #include "common/math_utils.hpp"
 #include "gesidnet/trainer.hpp"
 #include "nn/loss.hpp"
@@ -11,6 +12,12 @@
 namespace gp::serve {
 
 namespace {
+
+/// ns → µs with saturation (health timestamps may be 0 = unknown).
+std::uint64_t sat_us(std::uint64_t later_ns, std::uint64_t earlier_ns) {
+  if (earlier_ns == 0 || later_ns <= earlier_ns) return 0;
+  return (later_ns - earlier_ns) / 1000;
+}
 
 /// Averages the softmax rows [begin, begin+rounds) of `probs` into the
 /// per-class posterior (the TTA average classify() computes), reusing `avg`.
@@ -26,15 +33,18 @@ void average_rows_into(const nn::Tensor& probs, std::size_t begin, std::size_t r
 
 }  // namespace
 
-MicroBatcher::MicroBatcher(const ServeConfig& config, ModelRegistry& registry)
-    : config_(&config), registry_(&registry) {}
+MicroBatcher::MicroBatcher(const ServeConfig& config, ModelRegistry& registry,
+                           health::HealthMonitor* monitor)
+    : config_(&config), registry_(&registry), monitor_(monitor) {}
 
 void MicroBatcher::submit(std::vector<SegmentPtr>& segments) {
   if (segments.empty()) return;
   const Clock::time_point now = Clock::now();
+  const std::uint64_t submit_ns =
+      monitor_ != nullptr && monitor_->enabled() ? monotonic_ns() : 0;
   std::lock_guard<std::mutex> lock(mu_);
   for (SegmentPtr& segment : segments) {
-    queue_.push_back(Entry{std::move(segment), now});
+    queue_.push_back(Entry{std::move(segment), now, submit_ns});
   }
   segments.clear();
 }
@@ -78,6 +88,9 @@ std::vector<ServeResult> MicroBatcher::poll(bool force) {
 void MicroBatcher::run_batch_into(std::vector<ServeResult>& results) {
   GP_SPAN("serve.batch");
   const Clock::time_point start = Clock::now();
+  const bool health_on = monitor_ != nullptr && monitor_->enabled();
+  const std::uint64_t flush_start_ns = health_on ? monotonic_ns() : 0;
+  std::uint64_t forward_ns = 0;  ///< fused model passes (shared by the batch)
   std::vector<Entry>& batch = scratch_.entries;
   static obs::Histogram& batch_size_hist = obs::histogram("gp.serve.batch.size");
   batch_size_hist.observe(static_cast<double>(batch.size()));
@@ -103,6 +116,7 @@ void MicroBatcher::run_batch_into(std::vector<ServeResult>& results) {
     r = ServeResult{};
     r.session_id = seg.session_id;
     r.segment_ordinal = seg.ordinal;
+    r.request_id = seg.request_id;
     r.model_version = version;
     if (snapshot == nullptr) {
       // No published model: a typed refusal, not an exception — the client
@@ -146,8 +160,12 @@ void MicroBatcher::run_batch_into(std::vector<ServeResult>& results) {
         rows.emplace_back() = sample;
       }
     }
-    predict_logits_into(system.gesture_model(), rows.span(), scratch_.gesture_logits);
-    nn::softmax_into(scratch_.gesture_logits, scratch_.gesture_probs);
+    {
+      const std::uint64_t f0 = health_on ? monotonic_ns() : 0;
+      predict_logits_into(system.gesture_model(), rows.span(), scratch_.gesture_logits);
+      nn::softmax_into(scratch_.gesture_logits, scratch_.gesture_probs);
+      if (health_on) forward_ns += monotonic_ns() - f0;
+    }
     const nn::Tensor& gesture_probs = scratch_.gesture_probs;
 
     // Per-segment averaged posterior → gesture + margin gate; group the
@@ -198,9 +216,13 @@ void MicroBatcher::run_batch_into(std::vector<ServeResult>& results) {
           group_rows.emplace_back() = sample;
         }
       }
-      predict_logits_into(*system.user_model(model_idx), group_rows.span(),
-                          scratch_.user_logits);
-      nn::softmax_into(scratch_.user_logits, scratch_.user_probs);
+      {
+        const std::uint64_t f0 = health_on ? monotonic_ns() : 0;
+        predict_logits_into(*system.user_model(model_idx), group_rows.span(),
+                            scratch_.user_logits);
+        nn::softmax_into(scratch_.user_logits, scratch_.user_probs);
+        if (health_on) forward_ns += monotonic_ns() - f0;
+      }
       for (std::size_t m = 0; m < members.size(); ++m) {
         const std::size_t k = members[m];
         const PendingSegment& seg = *batch[live[k]].segment;
@@ -235,6 +257,36 @@ void MicroBatcher::run_batch_into(std::vector<ServeResult>& results) {
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start);
   static obs::Histogram& batch_latency_hist = obs::histogram("gp.serve.batch.latency_us");
   batch_latency_hist.observe(static_cast<double>(elapsed.count()));
+
+  if (health_on) {
+    // Per-request stage breakdown (DESIGN.md §10). Forward/epilogue are
+    // batch-level costs shared by every member; the waits are per-request.
+    const std::uint64_t flush_end_ns = monotonic_ns();
+    const std::uint64_t flush_us = sat_us(flush_end_ns, flush_start_ns);
+    const std::uint64_t forward_us = forward_ns / 1000;
+    const std::uint64_t epilogue_us = flush_us > forward_us ? flush_us - forward_us : 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const PendingSegment& seg = *batch[i].segment;
+      const ServeResult& r = results[base + i];
+      health::RequestSample sample;
+      sample.request_id = seg.request_id;
+      sample.session_id = seg.session_id;
+      sample.ordinal = seg.ordinal;
+      sample.stage_us[static_cast<std::size_t>(health::Stage::kAdmissionWait)] =
+          sat_us(seg.drained_ns, seg.admit_ns);
+      sample.stage_us[static_cast<std::size_t>(health::Stage::kQueueWait)] =
+          sat_us(batch[i].submit_ns, seg.drained_ns);
+      sample.stage_us[static_cast<std::size_t>(health::Stage::kBatchWait)] =
+          sat_us(flush_start_ns, batch[i].submit_ns);
+      sample.stage_us[static_cast<std::size_t>(health::Stage::kForward)] = forward_us;
+      sample.stage_us[static_cast<std::size_t>(health::Stage::kEpilogue)] = epilogue_us;
+      sample.total_us = seg.admit_ns != 0 ? sat_us(flush_end_ns, seg.admit_ns)
+                                          : sat_us(flush_end_ns, batch[i].submit_ns);
+      monitor_->record_request(sample, r.abstained, r.quality_rejected, snapshot == nullptr,
+                               version);
+    }
+    monitor_->record_batch(batch.size(), version);
+  }
 }
 
 std::size_t MicroBatcher::pending() const {

@@ -38,7 +38,10 @@ namespace gp::serve {
 
 class MicroBatcher {
  public:
-  MicroBatcher(const ServeConfig& config, ModelRegistry& registry);
+  /// `monitor` (optional) receives per-request stage breakdowns and batch
+  /// flush records; it must outlive the batcher.
+  MicroBatcher(const ServeConfig& config, ModelRegistry& registry,
+               health::HealthMonitor* monitor = nullptr);
 
   /// Accepts completed segments, moving them out of `segments` (which is
   /// cleared — callers keep reusing the vector). Submission order is
@@ -71,6 +74,7 @@ class MicroBatcher {
   struct Entry {
     SegmentPtr segment;
     Clock::time_point arrived;
+    std::uint64_t submit_ns = 0;  ///< health timestamp (0 = monitor off)
   };
 
   bool should_flush(Clock::time_point now) const;  ///< caller holds mu_
@@ -80,6 +84,7 @@ class MicroBatcher {
 
   const ServeConfig* config_;
   ModelRegistry* registry_;
+  health::HealthMonitor* monitor_;
   mutable std::mutex mu_;
   /// FIFO as a head-indexed vector ring: pop = advance queue_head_;
   /// storage is compacted (clear, head reset) whenever it empties, so slot

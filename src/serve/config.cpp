@@ -33,6 +33,7 @@ ServeConfig ServeConfig::from_env(ServeConfig base) {
   base.queue_cap = static_cast<std::size_t>(env_u64("GP_SERVE_QUEUE_CAP", base.queue_cap, 1));
   base.stale_after_ticks = env_u64("GP_SERVE_STALE_TICKS", base.stale_after_ticks, 0);
   if (auto faults = faults::FaultConfig::from_env()) base.session_faults = *faults;
+  base.health = health::HealthConfig::from_env(base.health);
   return base;
 }
 

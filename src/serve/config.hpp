@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "faults/faults.hpp"
+#include "health/health.hpp"
 #include "pipeline/preprocessor.hpp"
 #include "system/gestureprint.hpp"
 
@@ -60,9 +61,15 @@ struct ServeConfig {
   /// System configuration the served models were trained with (prep chain,
   /// eval_rounds TTA, abstention margin, network shape).
   GesturePrintConfig system;
+  /// Health/SLO monitoring (gp::health, DESIGN.md §10). Default-on; never
+  /// feeds back into results — health on/off is bitwise-invisible to
+  /// ServeResult streams. GP_HEALTH / GP_HEALTH_WINDOW_TICKS / GP_SLO /
+  /// GP_FLIGHTREC.
+  health::HealthConfig health;
 
   /// Applies GP_SERVE_SHARDS / GP_SERVE_BATCH_MAX / GP_SERVE_BATCH_WAIT_US /
-  /// GP_SERVE_QUEUE_CAP / GP_SERVE_STALE_TICKS / GP_FAULTS on top of `base`
+  /// GP_SERVE_QUEUE_CAP / GP_SERVE_STALE_TICKS / GP_FAULTS plus the
+  /// GP_HEALTH* / GP_SLO / GP_FLIGHTREC health overrides on top of `base`
   /// (the overload without arguments starts from the defaults).
   static ServeConfig from_env(ServeConfig base);
   static ServeConfig from_env();
@@ -81,6 +88,10 @@ const char* admission_name(Admission a);
 struct ServeResult {
   std::uint64_t session_id = 0;
   std::uint64_t segment_ordinal = 0;  ///< per-session completed-segment index
+  /// Causal trace id minted at segment completion: FNV-1a over (session_id,
+  /// ordinal). A pure function of the stream — identical with health on or
+  /// off — that keys the per-request stage breakdown in gp::health.
+  std::uint64_t request_id = 0;
   int gesture = -1;                   ///< class id, or kAbstain
   int user = -1;                      ///< class id, or kAbstain
   bool abstained = false;             ///< margin gate fired

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "datasets/prep.hpp"
+#include "health/flightrec.hpp"
 #include "gesidnet/trainer.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -52,6 +53,7 @@ std::optional<std::uint64_t> ModelRegistry::publish_file(const std::string& path
   auto system = std::make_unique<GesturePrintSystem>(config_);
   if (!system->try_load(path)) {
     GP_COUNTER_ADD("gp.serve.model.load_failures", 1);
+    health::FlightRecorder::global().record(health::EventKind::kPublishFail, 0);
     log_warn() << "serve: publish of '" << path << "' failed; keeping version "
                << version();
     return std::nullopt;
@@ -79,6 +81,7 @@ std::uint64_t ModelRegistry::install(std::unique_ptr<GesturePrintSystem> system)
     current_ = std::move(snapshot);  // RCU: old generation lives until readers drop it
   }
   GP_COUNTER_ADD("gp.serve.model.swaps", 1);
+  health::FlightRecorder::global().record(health::EventKind::kHotSwap, 0, published);
   obs::gauge("gp.serve.model.version").set(static_cast<double>(published));
   return published;
 }

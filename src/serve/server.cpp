@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "health/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -11,8 +12,13 @@ Server::Server(const ServeConfig& config, ModelRegistry& registry, exec::ExecCon
     : config_(config),
       registry_(&registry),
       ctx_(&ctx),
-      sessions_(config_),
-      batcher_(config_, *registry_) {}
+      monitor_(config_.health, config_.batch_max),
+      sessions_(config_, &monitor_),
+      batcher_(config_, *registry_, &monitor_) {
+  // Force the global recorder's ring into existence now, so a steady tick
+  // never pays its construction (ServeSteadyTickZeroAlloc).
+  (void)health::FlightRecorder::global().capacity();
+}
 
 Admission Server::push_frame(std::uint64_t session_id, const FrameView& frame) {
   const Admission verdict =
@@ -23,6 +29,7 @@ Admission Server::push_frame(std::uint64_t session_id, const FrameView& frame) {
 
 std::vector<ServeResult> Server::pump() {
   GP_SPAN("serve.pump");
+  obs::set_thread_name("serve.pump");
   const std::uint64_t tick = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
   sessions_.drain_into(*ctx_, tick, segments_scratch_);
   batcher_.submit(segments_scratch_);
@@ -31,7 +38,9 @@ std::vector<ServeResult> Server::pump() {
   sessions_gauge.set(static_cast<double>(sessions_.session_count()));
   pending_gauge.set(static_cast<double>(batcher_.pending()));
   obs::publish_mem_metrics();
-  return batcher_.poll(false);
+  std::vector<ServeResult> results = batcher_.poll(false);
+  monitor_.close_tick(tick);
+  return results;
 }
 
 std::vector<ServeResult> Server::drain() {
@@ -41,7 +50,9 @@ std::vector<ServeResult> Server::drain() {
   sessions_.finish_all(tick, segments_scratch_);
   batcher_.submit(segments_scratch_);
   obs::publish_mem_metrics();
-  return batcher_.poll(true);
+  std::vector<ServeResult> results = batcher_.poll(true);
+  monitor_.close_tick(tick);
+  return results;
 }
 
 std::vector<ServeResult> Server::end_session(std::uint64_t session_id) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "exec/exec.hpp"
+#include "health/health.hpp"
 #include "serve/batcher.hpp"
 #include "serve/registry.hpp"
 #include "serve/sessions.hpp"
@@ -58,10 +59,18 @@ class Server {
   const SessionManager& sessions() const { return sessions_; }
   const ServeConfig& config() const { return config_; }
 
+  /// Health surface (DESIGN.md §10): rolling SLI windows, SLO verdict, and
+  /// the p99 exemplar. Serialise with pump/drain (like stats readers).
+  health::HealthSnapshot health_snapshot() const { return monitor_.snapshot(); }
+  const health::HealthMonitor& health() const { return monitor_; }
+  health::HealthMonitor& health() { return monitor_; }
+
  private:
   ServeConfig config_;
   ModelRegistry* registry_;
   exec::ExecContext* ctx_;
+  /// Declared before sessions_/batcher_: both capture a pointer to it.
+  health::HealthMonitor monitor_;
   SessionManager sessions_;
   MicroBatcher batcher_;
   std::atomic<std::uint64_t> tick_{0};

@@ -3,6 +3,9 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fnv.hpp"
+#include "common/logging.hpp"
+#include "health/flightrec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -17,11 +20,12 @@ constexpr std::uint64_t kFaultSeedIndex = 0xFAULL;
 }  // namespace
 
 StreamSession::StreamSession(std::uint64_t session_id, const ServeConfig& config,
-                             mem::Pool<PendingSegment>& pool)
+                             mem::Pool<PendingSegment>& pool, health::HealthMonitor* monitor)
     : id_(session_id),
       session_seed_(exec::child_seed(config.seed, session_id)),
       config_(&config),
       pool_(&pool),
+      monitor_(monitor),
       segmenter_(config.preprocess.segmentation),
       preprocessor_(config.preprocess) {
   if (config.session_faults.has_value()) {
@@ -34,7 +38,8 @@ StreamSession::StreamSession(std::uint64_t session_id, const ServeConfig& config
 }
 
 void StreamSession::push_frame(const FrameView& frame, std::uint64_t tick,
-                               std::vector<SegmentPtr>& out) {
+                               std::vector<SegmentPtr>& out, std::uint64_t admit_ns,
+                               std::uint64_t drained_ns) {
   if (injector_ != nullptr) {
     // The injector mutates owning frames; materialise the view into the
     // session's recycled copy (faulted ticks are outside the zero-alloc
@@ -43,12 +48,18 @@ void StreamSession::push_frame(const FrameView& frame, std::uint64_t tick,
     fault_scratch_.timestamp = frame.timestamp;
     fault_scratch_.points.assign(frame.points.begin(), frame.points.end());
     std::optional<FrameCloud> delivered = injector_->apply(fault_scratch_);
-    if (!delivered.has_value()) return;  // frame dropped/lost on the degraded link
+    if (!delivered.has_value()) {
+      // Frame dropped/lost on the degraded link — a health fact, not a
+      // result: the injector's own RNG already consumed this decision.
+      if (monitor_ != nullptr) monitor_->on_fault_drop();
+      health::FlightRecorder::global().record(health::EventKind::kFaultDrop, tick, id_);
+      return;
+    }
     segmenter_.push(*delivered);
   } else {
     segmenter_.push(frame);
   }
-  drain_completed(tick, out);
+  drain_completed(tick, out, admit_ns, drained_ns);
 }
 
 void StreamSession::finish(std::uint64_t tick, std::vector<SegmentPtr>& out) {
@@ -56,7 +67,8 @@ void StreamSession::finish(std::uint64_t tick, std::vector<SegmentPtr>& out) {
   drain_completed(tick, out);
 }
 
-void StreamSession::drain_completed(std::uint64_t tick, std::vector<SegmentPtr>& out) {
+void StreamSession::drain_completed(std::uint64_t tick, std::vector<SegmentPtr>& out,
+                                    std::uint64_t admit_ns, std::uint64_t drained_ns) {
   const std::size_t count = segmenter_.completed_count();
   if (count == 0) return;  // the steady-state fast path: nothing completed
   for (std::size_t i = 0; i < count; ++i) {
@@ -66,6 +78,14 @@ void StreamSession::drain_completed(std::uint64_t tick, std::vector<SegmentPtr>&
     pending->session_id = id_;
     pending->ordinal = ordinal_;
     pending->enqueued_tick = tick;
+    // RequestId: FNV-1a over (session, ordinal) — a pure function of the
+    // stream, so results carry the same id with health on or off.
+    pending->request_id =
+        fnv::accumulate_value(fnv::accumulate_value(fnv::kOffsetBasis, id_), ordinal_);
+    pending->admit_ns = admit_ns;    // the frame whose push closed the gesture
+    pending->drained_ns = drained_ns;
+    health::FlightRecorder::global().record(health::EventKind::kSegmentCompleted, tick, id_,
+                                            ordinal_, pending->request_id);
 
     preprocessor_.process_segment_into(view.frames, cloud_scratch_, prep_scratch_);
     pending->quality = cloud_scratch_.quality;
@@ -92,7 +112,8 @@ void StreamSession::drain_completed(std::uint64_t tick, std::vector<SegmentPtr>&
   segmenter_.clear_completed();
 }
 
-SessionManager::SessionManager(const ServeConfig& config) : config_(config) {
+SessionManager::SessionManager(const ServeConfig& config, health::HealthMonitor* monitor)
+    : config_(config), monitor_(monitor) {
   check_arg(config_.shards >= 1, "SessionManager: shards must be >= 1");
   shards_.reserve(config_.shards);
   for (std::size_t s = 0; s < config_.shards; ++s) {
@@ -101,20 +122,31 @@ SessionManager::SessionManager(const ServeConfig& config) : config_(config) {
   // Built once so the per-tick run_chunks call never constructs a callable
   // (std::function construction can allocate).
   drain_fn_ = [this](std::size_t s) { drain_shard(s); };
+  if (monitor_ != nullptr && monitor_->enabled()) {
+    admit_clock_ns_.store(monotonic_ns(), std::memory_order_relaxed);
+  }
 }
 
 Admission SessionManager::enqueue(std::uint64_t session_id, const FrameView& frame,
                                   std::uint64_t tick) {
+  const bool health_on = monitor_ != nullptr && monitor_->enabled();
   Shard& shard = *shards_[shard_of(session_id)];
   std::lock_guard<std::mutex> lock(shard.mu);
   if (shard.queue.size() >= config_.queue_cap) {
     ++shard.rejected_queue_full;
     GP_COUNTER_ADD("gp.serve.rejected.queue_full", 1);
+    if (health_on) monitor_->on_frame_rejected();
+    health::FlightRecorder::global().record(health::EventKind::kAdmissionReject, tick,
+                                            session_id);
     return Admission::kRejectedQueueFull;
   }
   QueuedFrame qf;
   qf.session_id = session_id;
   qf.tick = tick;
+  if (health_on) {
+    qf.admit_ns = admit_clock_ns_.load(std::memory_order_relaxed);
+    monitor_->on_frame_admitted();
+  }
   qf.frame.frame_index = frame.frame_index;
   qf.frame.timestamp = frame.timestamp;
   // The single copy on the frame path: points land in the shard's epoch
@@ -138,6 +170,8 @@ void SessionManager::drain_shard(std::size_t s) {
     shard.arenas[shard.epoch].reset();
     shard.drain_queue.swap(shard.queue);
   }
+  const std::uint64_t drained_ns =
+      monitor_ != nullptr && monitor_->enabled() ? monotonic_ns() : 0;
   std::uint64_t shed = 0;
   {
     std::lock_guard<std::mutex> session_lock(shard.session_mu);
@@ -147,12 +181,15 @@ void SessionManager::drain_shard(std::size_t s) {
         ++shed;  // deadline-aware drop: too old to be worth segmenting late
         continue;
       }
-      session(shard, qf.session_id).push_frame(qf.frame, tick, shard.out_scratch);
+      session(shard, qf.session_id)
+          .push_frame(qf.frame, tick, shard.out_scratch, qf.admit_ns, drained_ns);
     }
   }
   shard.drain_queue.clear();
   if (shed > 0) {
     GP_COUNTER_ADD("gp.serve.shed.stale", shed);
+    if (monitor_ != nullptr) monitor_->on_stale_shed(shed);
+    health::FlightRecorder::global().record(health::EventKind::kStaleShed, tick, s, shed);
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.shed_stale += shed;
   }
@@ -169,6 +206,12 @@ void SessionManager::drain_into(exec::ExecContext& ctx, std::uint64_t tick,
     Shard& shard = *shard_ptr;
     for (SegmentPtr& p : shard.out_scratch) out.push_back(std::move(p));
     shard.out_scratch.clear();
+  }
+
+  // Advance the tick-granular admission clock: frames pushed from here to
+  // the next drain are stamped with this boundary.
+  if (monitor_ != nullptr && monitor_->enabled()) {
+    admit_clock_ns_.store(monotonic_ns(), std::memory_order_relaxed);
   }
 }
 
@@ -228,7 +271,7 @@ StreamSession& SessionManager::session(Shard& shard, std::uint64_t session_id) {
   if (it == shard.sessions.end()) {
     it = shard.sessions
              .emplace(std::piecewise_construct, std::forward_as_tuple(session_id),
-                      std::forward_as_tuple(session_id, config_, segment_pool_))
+                      std::forward_as_tuple(session_id, config_, segment_pool_, monitor_))
              .first;
   }
   return it->second;

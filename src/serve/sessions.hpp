@@ -26,6 +26,7 @@
 // heap allocation (asserted by tests/test_mem.cpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -34,6 +35,7 @@
 
 #include "common/mem.hpp"
 #include "exec/exec.hpp"
+#include "health/health.hpp"
 #include "pipeline/preprocessor.hpp"
 #include "serve/config.hpp"
 
@@ -51,6 +53,13 @@ struct PendingSegment {
   std::vector<FeaturizedSample> variants;    ///< slot storage (valid prefix)
   std::size_t variant_count = 0;             ///< live entries in variants
   std::uint64_t enqueued_tick = 0;           ///< engine tick at completion
+  /// Causal trace id: FNV-1a over (session_id, ordinal) — pure, so identical
+  /// with health on/off. Audited on ServeResult::request_id.
+  std::uint64_t request_id = 0;
+  /// Health timestamps (0 when the monitor is off): when the frame that
+  /// completed this segment was admitted, and when its shard drain began.
+  std::uint64_t admit_ns = 0;
+  std::uint64_t drained_ns = 0;
 
   std::span<const FeaturizedSample> active_variants() const {
     return {variants.data(), variant_count};
@@ -64,6 +73,9 @@ struct PendingSegment {
     empty_cloud = false;
     variant_count = 0;
     enqueued_tick = 0;
+    request_id = 0;
+    admit_ns = 0;
+    drained_ns = 0;
   }
 };
 
@@ -73,11 +85,14 @@ using SegmentPtr = mem::PoolPtr<PendingSegment>;
 class StreamSession {
  public:
   StreamSession(std::uint64_t session_id, const ServeConfig& config,
-                mem::Pool<PendingSegment>& pool);
+                mem::Pool<PendingSegment>& pool, health::HealthMonitor* monitor = nullptr);
 
   /// Feeds one frame (through the per-session fault injector when armed);
-  /// appends any segments the push completed to `out`.
-  void push_frame(const FrameView& frame, std::uint64_t tick, std::vector<SegmentPtr>& out);
+  /// appends any segments the push completed to `out`. `admit_ns` /
+  /// `drained_ns` are health timestamps for the request stage breakdown
+  /// (0 = unknown / monitor off).
+  void push_frame(const FrameView& frame, std::uint64_t tick, std::vector<SegmentPtr>& out,
+                  std::uint64_t admit_ns = 0, std::uint64_t drained_ns = 0);
 
   /// End-of-stream: flushes a gesture still in progress.
   void finish(std::uint64_t tick, std::vector<SegmentPtr>& out);
@@ -86,12 +101,14 @@ class StreamSession {
   std::uint64_t segments_completed() const { return ordinal_; }
 
  private:
-  void drain_completed(std::uint64_t tick, std::vector<SegmentPtr>& out);
+  void drain_completed(std::uint64_t tick, std::vector<SegmentPtr>& out,
+                       std::uint64_t admit_ns = 0, std::uint64_t drained_ns = 0);
 
   std::uint64_t id_;
   std::uint64_t session_seed_;  ///< child_seed(serve_seed, id)
   const ServeConfig* config_;
   mem::Pool<PendingSegment>* pool_;
+  health::HealthMonitor* monitor_;  ///< may be null (monitor-less tests)
   std::unique_ptr<faults::FaultInjector> injector_;  ///< per-session faults
   GestureSegmenter segmenter_;
   Preprocessor preprocessor_;
@@ -107,7 +124,10 @@ class StreamSession {
 /// Sharded session table with bounded ingress queues.
 class SessionManager {
  public:
-  explicit SessionManager(const ServeConfig& config);
+  /// `monitor` (optional) receives admission/shed/fault tallies and the
+  /// per-request health timestamps; it must outlive the manager.
+  explicit SessionManager(const ServeConfig& config,
+                          health::HealthMonitor* monitor = nullptr);
 
   /// Thread-safe frame admission: copies the frame's points into the owning
   /// shard's epoch arena and enqueues a view, or sheds with a typed
@@ -146,8 +166,9 @@ class SessionManager {
  private:
   struct QueuedFrame {
     std::uint64_t session_id = 0;
-    std::uint64_t tick = 0;  ///< admission tick (staleness basis)
-    FrameView frame;         ///< points live in the shard's epoch arena
+    std::uint64_t tick = 0;      ///< admission tick (staleness basis)
+    std::uint64_t admit_ns = 0;  ///< admission timestamp (0 = monitor off)
+    FrameView frame;             ///< points live in the shard's epoch arena
   };
   struct Shard {
     /// Guards queue + arenas + admission counters; held only for O(1)
@@ -177,8 +198,16 @@ class SessionManager {
   void drain_shard(std::size_t s);
 
   ServeConfig config_;
+  health::HealthMonitor* monitor_;
   std::vector<std::unique_ptr<Shard>> shards_;
   mem::Pool<PendingSegment> segment_pool_;
+  /// Tick-granular admission clock: refreshed once per drain (and at
+  /// construction); admitted frames copy it instead of reading the clock.
+  /// A per-frame monotonic_ns() would cost more than everything else on
+  /// the admission path combined — admission wait is therefore measured
+  /// from the last tick boundary (an upper bound, exact for clients that
+  /// push right after a pump).
+  std::atomic<std::uint64_t> admit_clock_ns_{0};
   /// Tick of the drain in flight (pump is externally serialized) plus the
   /// pre-built chunk functor, so run_chunks never constructs a callable.
   std::uint64_t drain_tick_ = 0;

@@ -85,7 +85,13 @@ void check_trace(const std::string& path) {
   for (const Value& event : events.arr) {
     if (!event.is_object()) fail("trace event is not an object");
     if (!event.at("name").is_string()) fail("trace event name is not a string");
-    if (event.at("ph").str != "X") fail("trace event ph is not \"X\"");
+    if (event.at("ph").str == "M") {
+      // Metadata (process/thread names for Perfetto lane labels): only the
+      // args object is required.
+      if (!event.at("args").is_object()) fail("metadata event args is not an object");
+      continue;
+    }
+    if (event.at("ph").str != "X") fail("trace event ph is not \"X\" or \"M\"");
     if (!event.at("ts").is_number() || event.at("ts").num < 0.0) fail("bad trace event ts");
     if (!event.at("dur").is_number() || event.at("dur").num < 0.0) fail("bad trace event dur");
     if (!event.at("tid").is_number()) fail("trace event tid is not a number");

@@ -6,13 +6,18 @@
 // configurations, pinned in-process so one binary checks both).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "datasets/catalog.hpp"
 #include "datasets/dataset.hpp"
 #include "gesidnet/gesidnet.hpp"
 #include "gesidnet/trainer.hpp"
+#include "health/slo.hpp"
 #include "nn/tensor.hpp"
+#include "serve/server.hpp"
 
 namespace gp {
 namespace {
@@ -170,6 +175,84 @@ TEST(Determinism, TrainingLossIsThreadCountInvariant) {
   }
   EXPECT_EQ(stats_s.train_accuracy, stats_w.train_accuracy);
   EXPECT_TRUE(logits_s.vec() == logits_w.vec());
+}
+
+// --- serve: health observation must be invisible to results ----------------
+
+// gp::health observes the serve stack but never feeds it: the same streams
+// pushed through servers with health fully off vs fully on (SLO evaluator +
+// flight recorder armed) must produce bitwise-identical ServeResults for 1
+// and 8 threads. Runs registry-less — every segment gets the typed no-model
+// abstention — so the whole admission → segmentation → featurization →
+// micro-batch path is exercised without paying for a training run.
+TEST(Determinism, ServeResultsInvariantToHealthMonitoring) {
+  const DatasetSpec spec = small_spec();
+  std::vector<ContinuousRecording> streams;
+  for (std::size_t s = 0; s < 2; ++s) {
+    streams.push_back(generate_recording(spec, s, {0, 1}, 0xD7 + s));
+  }
+
+  GesturePrintConfig system_config;
+  serve::ModelRegistry registry(system_config);  // nothing published, on purpose
+
+  const auto run = [&](bool health_on, std::size_t threads) {
+    serve::ServeConfig sc;
+    sc.system = system_config;
+    sc.shards = 2;
+    sc.batch_wait_us = 0;
+    sc.health.enabled = health_on;
+    sc.health.flightrec = health_on;
+    if (health_on) {
+      sc.health.slo = health::SloSpec::parse("no_model_rate<2,window=16t");
+    }
+    exec::ExecContext ctx(threads);
+    serve::Server server(sc, registry, ctx);
+    std::vector<serve::ServeResult> results;
+    std::size_t max_frames = 0;
+    for (const ContinuousRecording& r : streams) {
+      max_frames = std::max(max_frames, r.frames.size());
+    }
+    for (std::size_t f = 0; f < max_frames; ++f) {
+      for (std::size_t i = 0; i < streams.size(); ++i) {
+        if (f >= streams[i].frames.size()) continue;
+        (void)server.push_frame(static_cast<std::uint64_t>(i + 1), streams[i].frames[f]);
+      }
+      for (serve::ServeResult& r : server.pump()) results.push_back(std::move(r));
+    }
+    for (serve::ServeResult& r : server.drain()) results.push_back(std::move(r));
+    std::sort(results.begin(), results.end(), [](const auto& a, const auto& b) {
+      return a.session_id != b.session_id ? a.session_id < b.session_id
+                                          : a.segment_ordinal < b.segment_ordinal;
+    });
+    return results;
+  };
+
+  std::vector<serve::ServeResult> reference;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    for (bool health_on : {false, true}) {
+      auto results = run(health_on, threads);
+      ASSERT_GT(results.size(), 0u);
+      if (reference.empty()) {
+        reference = std::move(results);
+        continue;
+      }
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " health=" + (health_on ? "on" : "off"));
+      ASSERT_EQ(reference.size(), results.size());
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        EXPECT_EQ(reference[i].session_id, results[i].session_id);
+        EXPECT_EQ(reference[i].segment_ordinal, results[i].segment_ordinal);
+        EXPECT_EQ(reference[i].request_id, results[i].request_id);
+        EXPECT_EQ(reference[i].gesture, results[i].gesture);
+        EXPECT_EQ(reference[i].user, results[i].user);
+        EXPECT_EQ(reference[i].abstained, results[i].abstained);
+        EXPECT_EQ(reference[i].quality_rejected, results[i].quality_rejected);
+        EXPECT_EQ(reference[i].gesture_margin, results[i].gesture_margin);  // bitwise
+        EXPECT_EQ(reference[i].user_margin, results[i].user_margin);
+        EXPECT_EQ(reference[i].model_version, results[i].model_version);
+      }
+    }
+  }
 }
 
 // Replica-based parallel inference must agree bitwise with the serial path.

@@ -18,12 +18,14 @@
 #include <cstring>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "datasets/cache.hpp"
+#include "health/slo.hpp"
 #include "nn/serialize_nn.hpp"
 #include "obs/json.hpp"
 #include "pointcloud/io.hpp"
@@ -114,6 +116,36 @@ TEST(FuzzSmoke, CsvAndJsonEscapeTotality) {
         if (cell.size() < payload.size()) throw Error("csv_escape shrank its input");
         const std::string quoted = "\"" + obs::json::escape(payload) + "\"";
         (void)obs::json::parse(quoted);  // emitted strings must re-parse
+      });
+  expect_clean(outcome);
+}
+
+// The GP_SLO spec parser guards an env-var boundary: arbitrary operator
+// soup, duplicate options, huge counts and NaN-ish thresholds must come
+// back as InvalidArgument, never a crash. Accepted specs must round-trip
+// through their canonical form (parse ∘ to_string is the identity on it).
+TEST(FuzzSmoke, SloSpecParser) {
+  testkit::FuzzOptions options;
+  options.iterations = 600;  // cheap target, buy more coverage
+  std::vector<std::string> seeds = corpus();
+  // Canonical in-grammar seeds so mutants explore near-valid specs, not
+  // just binary noise (the binary corpus rides along from corpus()).
+  seeds.push_back("p99_ms<5,shed_rate<0.05,window=256t,degraded_after=3");
+  seeds.push_back("fault_rate<0.01,batch_occupancy>0.1,unhealthy_after=10,healthy_after=3");
+  const auto outcome = testkit::fuzz_target(
+      "health/slo_parse", seeds,
+      [](const std::string& payload) {
+        // May throw InvalidArgument — the typed rejection the contract allows.
+        const health::SloSpec spec = health::SloSpec::parse(payload);
+        const std::string canonical = spec.to_string();
+        // An accepted spec failing its own round-trip is a parser bug, not a
+        // rejection: surface it as a contract violation, not a typed error.
+        try {
+          if (health::SloSpec::parse(canonical).to_string() == canonical) return;
+        } catch (const Error&) {
+        }
+        throw std::runtime_error("accepted GP_SLO spec failed canonical round-trip: '" +
+                                 canonical + "'");
       });
   expect_clean(outcome);
 }

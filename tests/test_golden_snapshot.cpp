@@ -28,6 +28,8 @@
 #include "exec/exec.hpp"
 #include "gesidnet/gesidnet.hpp"
 #include "gesidnet/trainer.hpp"
+#include "health/health.hpp"
+#include "health/slo.hpp"
 #include "kinematics/gesture_spec.hpp"
 #include "kinematics/performer.hpp"
 #include "obs/bench_json.hpp"
@@ -197,6 +199,17 @@ TEST(GoldenSnapshot, RunReportSchemaMatchesGolden) {
   obs::gauge("gp.serve.pending_segments").set(0.0);
   obs::histogram("gp.serve.batch.size").observe(1.0);
   obs::histogram("gp.serve.batch.latency_us").observe(100.0);
+  // Health-section exemplars (gp::health, DESIGN.md §10): the monitor's
+  // close_tick publishes these; touching them by name pins the health
+  // metric key paths in the report schema.
+  GP_COUNTER_ADD("gp.health.ticks", 1);
+  GP_COUNTER_ADD("gp.health.requests", 1);
+  GP_COUNTER_ADD("gp.health.slo.breaches", 1);
+  GP_COUNTER_ADD("gp.health.verdict.flips", 1);
+  GP_COUNTER_ADD("gp.health.flightrec.events", 1);
+  obs::gauge("gp.health.verdict").set(0.0);
+  obs::gauge("gp.health.p99_us").set(100.0);
+  obs::gauge("gp.health.shed_rate").set(0.0);
   // gp.mem.* needs no touching here: write_run_report_json calls
   // obs::publish_mem_metrics(), which registers every bridged counter and
   // gauge (pool hit/miss, arena blocks/recycled/high-water) by name — their
@@ -303,6 +316,56 @@ TEST(GoldenSnapshot, ServeBenchSchemaMatchesGolden) {
                                           obs::json::parse(serve)));
   const testkit::GoldenOutcome outcome =
       testkit::check_golden(g_golden, "bench_serve_schema", snap);
+  if (outcome.updated) std::cout << outcome.message;
+  EXPECT_TRUE(outcome.ok) << outcome.message;
+}
+
+TEST(GoldenSnapshot, HealthJsonSchemasMatchGolden) {
+  obs::set_metrics_enabled(true);
+  // Exemplar health snapshot: a HealthMonitor driven through one loaded
+  // tick so every optional section (slo verdict, exemplar, version mix) is
+  // populated and its key paths land in the schema.
+  health::HealthConfig config;
+  config.flightrec = false;
+  config.slo = health::SloSpec::parse("p99_ms<5,shed_rate<0.05,window=4t");
+  health::HealthMonitor monitor(config, /*batch_max=*/8);
+  monitor.on_frame_admitted();
+  monitor.on_frame_admitted();
+  monitor.on_frame_rejected();
+  health::RequestSample sample;
+  sample.request_id = 42;
+  sample.session_id = 1;
+  sample.ordinal = 0;
+  sample.total_us = 900;
+  sample.stage_us[static_cast<std::size_t>(health::Stage::kForward)] = 900;
+  monitor.record_request(sample, /*abstained=*/true, /*quality_rejected=*/false,
+                         /*no_model=*/false, /*model_version=*/3);
+  monitor.record_batch(1, 3);
+  monitor.close_tick(1);
+  const std::string snapshot_json = monitor.snapshot().to_json();
+
+  // Exemplar BENCH_health.json (bench/health_bench.cpp): values arbitrary,
+  // only the key-path set is pinned.
+  obs::HealthBenchRow off;
+  off.mode = "off";
+  off.ticks = 40;
+  off.results = 36;
+  off.p50_us = 52.0;
+  off.p95_us = 410.0;
+  off.p99_us = 2200.0;
+  obs::HealthBenchRow on = off;
+  on.mode = "on";
+  on.p50_us = 52.5;
+  const std::string bench = obs::health_bench_json(5, 40, {off, on}, 0.9, true,
+                                                   "healthy", 0, 17);
+
+  testkit::Snapshot snap;
+  snap.add(testkit::summarize_json_schema("health.snapshot_schema",
+                                          obs::json::parse(snapshot_json)));
+  snap.add(testkit::summarize_json_schema("bench.health_schema",
+                                          obs::json::parse(bench)));
+  const testkit::GoldenOutcome outcome =
+      testkit::check_golden(g_golden, "bench_health_schema", snap);
   if (outcome.updated) std::cout << outcome.message;
   EXPECT_TRUE(outcome.ok) << outcome.message;
 }

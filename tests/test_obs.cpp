@@ -247,15 +247,55 @@ TEST(ObsTrace, ChromeTraceJsonIsWellFormed) {
   const obs::json::Value& events = doc.at("traceEvents");
   ASSERT_TRUE(events.is_array());
   ASSERT_GE(events.arr.size(), 2u);
+  std::size_t span_events = 0;
+  std::size_t metadata_events = 0;
   for (const auto& e : events.arr) {
     ASSERT_TRUE(e.is_object());
     EXPECT_TRUE(e.at("name").is_string());
+    if (e.at("ph").str == "M") {
+      // Process/thread-name metadata: args carries the label, no timestamps.
+      EXPECT_TRUE(e.at("args").is_object());
+      ++metadata_events;
+      continue;
+    }
     EXPECT_EQ(e.at("ph").str, "X");
     EXPECT_TRUE(e.at("ts").is_number());
     EXPECT_TRUE(e.at("dur").is_number());
     EXPECT_GE(e.at("dur").num, 0.0);
     EXPECT_TRUE(e.at("tid").is_number());
+    ++span_events;
   }
+  EXPECT_GE(span_events, 2u);
+  EXPECT_GE(metadata_events, 1u);  // at least the process_name event
+}
+
+TEST(ObsTrace, ThreadNameMetadataAppearsInExport) {
+  ObsSwitchGuard guard;
+  obs::set_trace_enabled(true);
+  obs::clear_trace();
+  obs::set_thread_name("test.main");
+  {
+    GP_SPAN("test.named_thread");
+  }
+
+  std::ostringstream out;
+  obs::write_chrome_trace(out);
+  const obs::json::Value doc = obs::json::parse(out.str());
+  const obs::json::Value& events = doc.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  bool saw_name = false;
+  for (const auto& e : events.arr) {
+    if (e.at("ph").str != "M" || e.at("name").str != "thread_name") continue;
+    if (e.at("args").at("name").str == "test.main") saw_name = true;
+  }
+  EXPECT_TRUE(saw_name);
+
+  const auto names = obs::thread_names();
+  bool listed = false;
+  for (const auto& [tid, name] : names) {
+    if (name == "test.main") listed = true;
+  }
+  EXPECT_TRUE(listed);
 }
 
 TEST(ObsTrace, RingBufferBoundsMemory) {

@@ -1,0 +1,205 @@
+// Blocked-GEMM + int8 kernel evidence (DESIGN.md §11, ROADMAP item 1).
+//
+// Times the cache-blocked/register-tiled kernels in src/nn/tensor.cpp
+// against the retained naive references (src/nn/gemm_ref.hpp) across the
+// layer shapes the GesIDNet forward/backward actually runs, plus one int8
+// fused-layer row (FusedLinear kInt8 vs the f32 fused kernel). Every f32
+// row re-runs the differential check inline — matmul/matmul_at bitwise,
+// matmul_bt band-checked (see gemm_ref.hpp for why) — so a speedup number
+// can never be reported for a kernel that drifted.
+//
+// Emits <output_dir>/BENCH_gemm.json (schema pinned by the
+// `bench_gemm_schema` golden) and self-checks on the exit code:
+//  1. every differential check passes;
+//  2. the blocked kernels are not slower than the naive references overall
+//     (geometric-mean speedup >= 1.0 across the swept shapes).
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "exec/exec.hpp"
+#include "nn/fused.hpp"
+#include "nn/gemm_ref.hpp"
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+#include "obs/bench_json.hpp"
+
+namespace {
+
+using namespace gp;
+using Clock = std::chrono::steady_clock;
+
+struct Shape {
+  std::size_t m, k, n;
+};
+
+/// Fills `t` with a mix of ReLU-style zeros and finite values — the
+/// activation distribution the zero-skip fast paths actually see.
+void fill(nn::Tensor& t, Rng& rng, double zero_fraction) {
+  for (float& v : t.vec()) {
+    v = rng.uniform(0.0, 1.0) < zero_fraction
+            ? 0.0f
+            : static_cast<float>(rng.uniform(-1.5, 1.5));
+  }
+}
+
+double time_ms(const std::function<void()>& fn, int reps) {
+  fn();  // warm
+  const Clock::time_point t0 = Clock::now();
+  for (int r = 0; r < reps; ++r) fn();
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count() /
+         static_cast<double>(reps);
+}
+
+bool bitwise_equal(const nn::Tensor& a, const nn::Tensor& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.vec().data(), b.vec().data(), a.vec().size() * sizeof(float)) == 0;
+}
+
+/// Band check for matmul_bt: per element within a few ulps of the reference
+/// (the contraction-mix tolerance documented in gemm_ref.hpp).
+bool band_equal(const nn::Tensor& a, const nn::Tensor& b, std::size_t k_terms) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  const double tol_scale = 8.0 * static_cast<double>(k_terms) *
+                           static_cast<double>(std::numeric_limits<float>::epsilon());
+  for (std::size_t i = 0; i < a.vec().size(); ++i) {
+    const double x = a.vec()[i];
+    const double y = b.vec()[i];
+    const double mag = std::max({std::fabs(x), std::fabs(y), 1.0});
+    if (std::fabs(x - y) > tol_scale * mag) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gp;
+  bench::banner("gemm_bench", "DESIGN.md §11 (kernel evidence; not in the paper)");
+
+  exec::ExecContext ctx;  // honors GP_THREADS like the real stack
+  Rng rng(0xBE5C, 1);
+  std::vector<obs::GemmBenchRow> rows;
+  bool checks_ok = true;
+
+  // Layer shapes from the GesIDNet MLP stacks and heads plus two larger
+  // panels that exercise the k-tiling; batch dimension = micro-batch sizes.
+  const std::vector<Shape> shapes{
+      {32, 24, 32}, {64, 48, 64}, {64, 64, 96}, {64, 96, 128},
+      {128, 128, 128}, {256, 64, 96},
+  };
+
+  for (const Shape& s : shapes) {
+    nn::Tensor a(s.m, s.k), b(s.k, s.n), bt(s.n, s.k), at(s.k, s.m);
+    fill(a, rng, 0.45);
+    fill(b, rng, 0.0);
+    fill(bt, rng, 0.0);
+    fill(at, rng, 0.45);
+    const double flops = 2.0 * static_cast<double>(s.m) * static_cast<double>(s.k) *
+                         static_cast<double>(s.n);
+    const int reps = std::max(4, static_cast<int>(4.0e7 / flops));
+
+    struct Variant {
+      const char* name;
+      std::function<void(nn::Tensor&)> ref;
+      std::function<void(nn::Tensor&)> opt;
+      bool bitwise;
+    };
+    const std::vector<Variant> variants{
+        {"matmul", [&](nn::Tensor& o) { nn::matmul_ref(a, b, o); },
+         [&](nn::Tensor& o) { nn::matmul(a, b, o, ctx); }, true},
+        {"matmul_bt", [&](nn::Tensor& o) { nn::matmul_bt_ref(a, bt, o); },
+         [&](nn::Tensor& o) { nn::matmul_bt(a, bt, o, ctx); }, false},
+        {"matmul_at", [&](nn::Tensor& o) { nn::matmul_at_ref(at, b, o); },
+         [&](nn::Tensor& o) { nn::matmul_at(at, b, o, ctx); }, true},
+    };
+    for (const Variant& v : variants) {
+      nn::Tensor ref_out, opt_out;
+      v.ref(ref_out);
+      v.opt(opt_out);
+      const bool ok = v.bitwise ? bitwise_equal(ref_out, opt_out)
+                                : band_equal(ref_out, opt_out, s.k);
+      if (!ok) {
+        std::cout << "FAIL: " << v.name << " m=" << s.m << " k=" << s.k << " n=" << s.n
+                  << " diverged from the naive reference\n";
+        checks_ok = false;
+      }
+      obs::GemmBenchRow row;
+      row.kernel = v.name;
+      row.m = s.m;
+      row.k = s.k;
+      row.n = s.n;
+      row.ref_ms = time_ms([&] { v.ref(ref_out); }, reps);
+      row.opt_ms = time_ms([&] { v.opt(opt_out); }, reps);
+      row.speedup = row.opt_ms > 0.0 ? row.ref_ms / row.opt_ms : 0.0;
+      row.gflops = row.opt_ms > 0.0 ? flops / (row.opt_ms * 1.0e6) : 0.0;
+      row.check = v.bitwise ? "bitwise" : "band";
+      rows.push_back(row);
+      std::cout << "  " << row.kernel << " " << s.m << "x" << s.k << "x" << s.n << ": ref "
+                << row.ref_ms << " ms, opt " << row.opt_ms << " ms (" << row.speedup
+                << "x, " << row.gflops << " GFLOP/s, " << row.check << ")\n";
+    }
+  }
+
+  // int8 fused-layer row: FusedLinear kInt8 vs the f32 fused kernel on a
+  // representative (in, out) with ReLU-sparse activations. ref here is the
+  // f32 fused forward, check is the band the quantization error allows.
+  {
+    const std::size_t in = 96, out = 128, batch = 64;
+    Rng lrng(0xBE5C, 2);
+    nn::Linear lin(in, out, lrng);
+    nn::Tensor x(batch, in);
+    fill(x, rng, 0.45);
+    nn::FusedLinear f32(lin, nullptr, true);
+    nn::FusedLinear i8(lin, nullptr, true, nn::QuantMode::kInt8);
+    nn::Tensor y32, y8;
+    const int reps = 200;
+    obs::GemmBenchRow row;
+    row.kernel = "fused_int8";
+    row.m = batch;
+    row.k = in;
+    row.n = out;
+    row.ref_ms = time_ms([&] { y32 = f32.forward(x, false); }, reps);
+    row.opt_ms = time_ms([&] { y8 = i8.forward(x, false); }, reps);
+    row.speedup = row.opt_ms > 0.0 ? row.ref_ms / row.opt_ms : 0.0;
+    row.gflops = row.opt_ms > 0.0
+                     ? 2.0 * static_cast<double>(batch * in * out) / (row.opt_ms * 1.0e6)
+                     : 0.0;
+    row.check = "band";
+    rows.push_back(row);
+    std::cout << "  fused_int8 " << batch << "x" << in << "x" << out << ": f32 "
+              << row.ref_ms << " ms, int8 " << row.opt_ms << " ms (" << row.speedup
+              << "x)\n";
+  }
+
+  const std::string json = obs::gemm_bench_json(ctx.threads(), rows);
+  const std::string path = output_dir() + "/BENCH_gemm.json";
+  std::ofstream(path) << json;
+  std::cout << "\nWrote " << path << "\n";
+
+  double log_sum = 0.0;
+  std::size_t counted = 0;
+  for (const obs::GemmBenchRow& r : rows) {
+    if (r.kernel == "fused_int8" || r.speedup <= 0.0) continue;
+    log_sum += std::log(r.speedup);
+    ++counted;
+  }
+  const double geomean = counted > 0 ? std::exp(log_sum / static_cast<double>(counted)) : 0.0;
+  std::cout << "Geomean blocked-vs-naive speedup: " << geomean << "x\n";
+  bool ok = checks_ok;
+  if (geomean < 1.0) {
+    std::cout << "FAIL: blocked kernels slower than the naive reference overall\n";
+    ok = false;
+  }
+  std::cout << (ok ? "GEMM invariants hold.\n" : "Invariants VIOLATED.\n");
+  return ok ? 0 : 1;
+}

@@ -296,7 +296,7 @@ void run_parallel_sweep() {
   train_config.epochs = 1;
   train_config.batch_size = 16;
 
-  std::vector<SweepStage> stages{{"matmul_kernel", {}}, {"train_epoch", {}}, {"dataset_synthesis", {}}};
+  std::vector<SweepStage> stages{{"gemm_kernel", {}}, {"train_epoch", {}}, {"dataset_synthesis", {}}};
   for (const std::size_t t : threads) {
     exec::ExecContext ctx(t);
     stages[0].ms.push_back(time_stage_ms(ctx, [&](exec::ExecContext& c) {

@@ -6,10 +6,19 @@
 // time through the offline GesturePrintSystem::classify() path (unfused,
 // per-segment forward) — exactly what a caller without gp::serve would run.
 //
+// The sweep runs every (sessions, batch_max) cell twice — once with the f32
+// fused snapshot (GP_QUANT off) and once with the int8 snapshot (DESIGN.md
+// §11) — and adds a forward-isolated f32-vs-int8 head-to-head (the part of
+// the serve tick quantization can actually touch; end-to-end serve time is
+// diluted by segmentation/featurization, which the `quant` summary records
+// honestly).
+//
 // Emits <output_dir>/BENCH_serve.json and self-checks the headline
-// acceptance invariant on the exit code: at >= 8 concurrent sessions the
-// best serve cell must be >= 2x the sequential baseline.
+// acceptance invariants on the exit code: at >= 8 concurrent sessions the
+// best f32 serve cell must be >= 2x the sequential baseline, and the best
+// int8 cell >= 3x (the ROADMAP-item-1 single-core throughput target).
 #include <chrono>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -19,6 +28,7 @@
 #include "common/config.hpp"
 #include "datasets/catalog.hpp"
 #include "eval/splits.hpp"
+#include "gesidnet/trainer.hpp"
 #include "obs/bench_json.hpp"
 #include "obs/metrics.hpp"
 #include "pipeline/preprocessor.hpp"
@@ -76,6 +86,7 @@ obs::ServeSweepCell run_serve_cell(const std::vector<ContinuousRecording>& recor
   obs::ServeSweepCell cell;
   cell.sessions = recordings.size();
   cell.batch_max = serve_config.batch_max;
+  cell.quant = nn::quant_mode_name(serve_config.quant);
 
   const obs::MetricsDelta delta;
   const Clock::time_point start = Clock::now();
@@ -113,8 +124,67 @@ obs::ServeSweepCell run_serve_cell(const std::vector<ContinuousRecording>& recor
                 << stats.segments << ")\n";
       counters_ok = false;
     }
+    // Every batch answered by an int8 snapshot must be attributed to the
+    // quantized-batch counter — and none when serving the f32 snapshot.
+    const std::uint64_t d_quant = delta.counter_delta("gp.serve.batches.quant");
+    const std::uint64_t want_quant =
+        serve_config.quant == nn::QuantMode::kInt8 ? stats.batches : 0;
+    if (d_quant != want_quant) {
+      std::cout << "FAIL: sessions=" << cell.sessions << " batch_max=" << cell.batch_max
+                << " quant=" << cell.quant << " gp.serve.batches.quant moved " << d_quant
+                << " (want " << want_quant << ")\n";
+      counters_ok = false;
+    }
   }
   return cell;
+}
+
+/// Forward-isolated f32-vs-int8 head-to-head: the same featurized segments
+/// through both fused gesture models, plus argmax agreement across both
+/// classification heads' logits.
+obs::ServeQuantSummary run_quant_head_to_head(const Dataset& dataset,
+                                              const GesturePrintConfig& config,
+                                              const std::string& model_path) {
+  obs::ServeQuantSummary summary;
+  GesturePrintSystem f32(config), i8(config);
+  f32.load(model_path);
+  i8.load(model_path);
+  f32.fuse_for_inference(nn::QuantMode::kOff);
+  i8.fuse_for_inference(nn::QuantMode::kInt8);
+
+  Rng frng(0x5E12, 3);
+  std::vector<FeaturizedSample> batch;
+  for (std::size_t i = 0; i < 32; ++i) {
+    batch.push_back(featurize(dataset.samples[i % dataset.samples.size()].cloud,
+                              config.prep.features, frng));
+  }
+
+  const auto time_forward = [&](GesIDNet& model, int reps) {
+    nn::Tensor out;
+    (void)predict_logits(model, batch);  // warm
+    const Clock::time_point start = Clock::now();
+    for (int r = 0; r < reps; ++r) out = predict_logits(model, batch);
+    return ms_since(start) / static_cast<double>(reps);
+  };
+  const int reps = 20;
+  summary.measured = true;
+  summary.f32_forward_ms = time_forward(f32.gesture_model(), reps);
+  summary.int8_forward_ms = time_forward(i8.gesture_model(), reps);
+  summary.forward_speedup = summary.int8_forward_ms > 0.0
+                                ? summary.f32_forward_ms / summary.int8_forward_ms
+                                : 0.0;
+
+  const nn::Tensor l32 = predict_logits(f32.gesture_model(), batch);
+  const nn::Tensor l8 = predict_logits(i8.gesture_model(), batch);
+  for (std::size_t i = 0; i < l32.rows(); ++i) {
+    std::size_t a32 = 0, a8 = 0;
+    for (std::size_t c = 1; c < l32.cols(); ++c) {
+      if (l32.at(i, c) > l32.at(i, a32)) a32 = c;
+      if (l8.at(i, c) > l8.at(i, a8)) a8 = c;
+    }
+    if (a32 != a8) ++summary.argmax_mismatches;
+  }
+  return summary;
 }
 
 }  // namespace
@@ -145,9 +215,12 @@ int main() {
     trainer.save(model_path);
   }
 
-  // One registry (fused snapshot) shared by every serve cell.
-  serve::ModelRegistry registry(config);
-  if (!registry.publish_file(model_path)) {
+  // One registry per quant mode (fused snapshot) shared by every serve cell
+  // of that mode.
+  serve::ModelRegistry registry_f32(config);
+  serve::ModelRegistry registry_i8(config);
+  if (!registry_f32.publish_file(model_path, nn::QuantMode::kOff) ||
+      !registry_i8.publish_file(model_path, nn::QuantMode::kInt8)) {
     std::cout << "FAIL: could not publish " << model_path << "\n";
     return 1;
   }
@@ -175,45 +248,82 @@ int main() {
     std::cout << "  sessions=" << n << " sequential: " << b.segments << " segments in "
               << b.ms << " ms\n";
     for (std::size_t bm : batch_max_swept) {
-      serve::ServeConfig serve_config;
-      serve_config.system = config;
-      serve_config.batch_max = bm;
-      serve_config.batch_wait_us = 0;  // flush on every pump: latency-greedy
-      cells.push_back(run_serve_cell(recordings, serve_config, registry, counters_ok));
-      obs::ServeSweepCell& cell = cells.back();
-      cell.speedup = cell.ms > 0.0 ? b.ms / cell.ms : 0.0;
-      std::cout << "  sessions=" << n << " batch_max=" << bm << " serve: "
-                << cell.segments << " segments, " << cell.batches << " batches, "
-                << cell.ms << " ms (speedup " << cell.speedup << "x)\n";
+      for (const nn::QuantMode mode : {nn::QuantMode::kOff, nn::QuantMode::kInt8}) {
+        serve::ServeConfig serve_config;
+        serve_config.system = config;
+        serve_config.batch_max = bm;
+        serve_config.batch_wait_us = 0;  // flush on every pump: latency-greedy
+        serve_config.quant = mode;
+        serve::ModelRegistry& registry =
+            mode == nn::QuantMode::kInt8 ? registry_i8 : registry_f32;
+        cells.push_back(run_serve_cell(recordings, serve_config, registry, counters_ok));
+        obs::ServeSweepCell& cell = cells.back();
+        cell.speedup = cell.ms > 0.0 ? b.ms / cell.ms : 0.0;
+        std::cout << "  sessions=" << n << " batch_max=" << bm << " quant=" << cell.quant
+                  << " serve: " << cell.segments << " segments, " << cell.batches
+                  << " batches, " << cell.ms << " ms (speedup " << cell.speedup << "x)\n";
+      }
     }
   }
 
+  obs::ServeQuantSummary quant = run_quant_head_to_head(dataset, config, model_path);
+  {
+    // End-to-end serve ratio at the largest session count: best f32 cell
+    // over best int8 cell (Amdahl-honest next to forward_speedup).
+    double best_f32 = 0.0, best_i8 = 0.0;
+    for (const obs::ServeSweepCell& cell : cells) {
+      if (cell.sessions != sessions_swept.back()) continue;
+      double& best = cell.quant == "int8" ? best_i8 : best_f32;
+      if (cell.ms > 0.0) best = best == 0.0 ? cell.ms : std::min(best, cell.ms);
+    }
+    quant.serve_speedup = best_i8 > 0.0 ? best_f32 / best_i8 : 0.0;
+  }
+  std::cout << "  quant head-to-head: f32 forward " << quant.f32_forward_ms
+            << " ms, int8 " << quant.int8_forward_ms << " ms (forward "
+            << quant.forward_speedup << "x, serve " << quant.serve_speedup
+            << "x, argmax mismatches " << quant.argmax_mismatches << "/32)\n";
+
   const std::string json =
-      obs::serve_bench_json(sessions_swept, batch_max_swept, baseline, cells);
+      obs::serve_bench_json(sessions_swept, batch_max_swept, baseline, cells, quant);
   const std::string path = output_dir() + "/BENCH_serve.json";
   std::ofstream(path) << json;
   std::cout << "\nWrote " << path << "\n";
 
   // Self-check (CI gates on the exit code, no artifact parsing needed):
   //  1. every serve cell answered every segment it admitted;
-  //  2. per-cell gp.serve.* counter deltas matched the batcher stats;
-  //  3. at >= 8 sessions, the best cell is >= 2x the sequential baseline.
+  //  2. per-cell gp.serve.* counter deltas matched the batcher stats
+  //     (including exact gp.serve.batches.quant attribution);
+  //  3. at >= 8 sessions, the best f32 cell is >= 2x the sequential
+  //     baseline and the best int8 cell is >= 3x (throughput-per-core,
+  //     DESIGN.md §11).
   bool ok = counters_ok;
-  double best_speedup_8plus = 0.0;
+  double best_f32_8plus = 0.0;
+  double best_i8_8plus = 0.0;
   for (const obs::ServeSweepCell& cell : cells) {
     if (cell.results != cell.segments) {
       std::cout << "FAIL: sessions=" << cell.sessions << " batch_max=" << cell.batch_max
-                << " answered " << cell.results << "/" << cell.segments << " segments\n";
+                << " quant=" << cell.quant << " answered " << cell.results << "/"
+                << cell.segments << " segments\n";
       ok = false;
     }
-    if (cell.sessions >= 8) best_speedup_8plus = std::max(best_speedup_8plus, cell.speedup);
+    if (cell.sessions >= 8) {
+      double& best = cell.quant == "int8" ? best_i8_8plus : best_f32_8plus;
+      best = std::max(best, cell.speedup);
+    }
   }
-  if (best_speedup_8plus < 2.0) {
-    std::cout << "FAIL: best speedup at >= 8 sessions is " << best_speedup_8plus
+  if (best_f32_8plus < 2.0) {
+    std::cout << "FAIL: best f32 speedup at >= 8 sessions is " << best_f32_8plus
               << "x (< 2x)\n";
     ok = false;
   } else {
-    std::cout << "Best speedup at >= 8 sessions: " << best_speedup_8plus << "x (>= 2x)\n";
+    std::cout << "Best f32 speedup at >= 8 sessions: " << best_f32_8plus << "x (>= 2x)\n";
+  }
+  if (best_i8_8plus < 3.0) {
+    std::cout << "FAIL: best int8 speedup at >= 8 sessions is " << best_i8_8plus
+              << "x (< 3x)\n";
+    ok = false;
+  } else {
+    std::cout << "Best int8 speedup at >= 8 sessions: " << best_i8_8plus << "x (>= 3x)\n";
   }
   std::cout << (ok ? "Serving invariants hold.\n" : "Invariants VIOLATED.\n");
   return ok ? 0 : 1;

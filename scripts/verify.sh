@@ -3,7 +3,8 @@
 #
 #   scripts/verify.sh            # tier 1: default build + full ctest
 #   scripts/verify.sh asan       # tier 2: -DGP_SANITIZE=address build,
-#                                #         fuzz-smoke + obs-smoke + fault + mem labels
+#                                #         fuzz-smoke + obs-smoke + fault + mem
+#                                #         + gemm + quant labels
 #   scripts/verify.sh tsan       # tier 3: -DGP_SANITIZE=thread build,
 #                                #         tsan-smoke + serve + health labels
 #   scripts/verify.sh all        # tiers 1 + 2 + 3 in sequence
@@ -26,12 +27,14 @@ run_tier1() {
 }
 
 run_asan() {
-  echo "==> tier 2: AddressSanitizer build, fuzz-smoke + obs-smoke + fault + mem labels"
+  echo "==> tier 2: AddressSanitizer build, fuzz-smoke + obs-smoke + fault + mem + gemm + quant labels"
   cmake -B "$ROOT/build-asan" -S "$ROOT" -DGP_SANITIZE=address >/dev/null
   cmake --build "$ROOT/build-asan" -j "$JOBS"
   # mem rides the asan lane: the counting operator new/delete and the arena
   # reuse paths must stay clean under ASan's allocator interposition.
-  (cd "$ROOT/build-asan" && ctest --output-on-failure -j "$JOBS" -L 'fuzz-smoke|obs-smoke|fault|mem')
+  # gemm + quant ride it too: the register-tiled edge handling and the
+  # int8 panel/scratch indexing are exactly where an out-of-tile read hides.
+  (cd "$ROOT/build-asan" && ctest --output-on-failure -j "$JOBS" -L 'fuzz-smoke|obs-smoke|fault|mem|gemm|quant')
 }
 
 run_tsan() {

@@ -139,21 +139,54 @@ double GesIDNet::train_step(const BatchedCloud& batch, const std::vector<int>& l
   return primary.loss + auxiliary.loss;
 }
 
-void GesIDNet::fuse_for_inference() {
+void GesIDNet::fuse_for_inference(nn::QuantMode mode) {
   if (fused_) return;
-  sa1_->fuse_inference();
-  sa2_->fuse_inference();
-  level1_->fuse_inference();
-  level2_->fuse_inference();
+  // Preloaded tables (stashed by deserialization) are consumed in the same
+  // fixed component order collect_quant_tables emits; a cursor left
+  // part-consumed or over-consumed means the stream disagreed with this
+  // architecture, which is corruption — fail loudly, not silently.
+  nn::QuantTableCursor cursor;
+  nn::QuantTableCursor* preload = nullptr;
+  if (mode == nn::QuantMode::kInt8 && !pending_quant_.empty()) {
+    cursor.tables = &pending_quant_;
+    preload = &cursor;
+  }
+  sa1_->fuse_inference(mode, preload);
+  sa2_->fuse_inference(mode, preload);
+  level1_->fuse_inference(mode, preload);
+  level2_->fuse_inference(mode, preload);
   if (config_.enable_fusion) {
-    resize_2to1_->fuse_inference();
-    resize_1to2_->fuse_inference();
+    resize_2to1_->fuse_inference(mode, preload);
+    resize_1to2_->fuse_inference(mode, preload);
     // AttentionFusion holds raw gate parameters (no Linear/BN stack): its
     // forward is already a single pass, nothing to fold.
   }
-  head1_->fuse_inference();
-  head2_->fuse_inference();
+  head1_->fuse_inference(mode, preload);
+  head2_->fuse_inference(mode, preload);
+  if (preload != nullptr) {
+    check(cursor.next == pending_quant_.size(),
+          "GesIDNet: quant table count does not match architecture");
+  }
+  pending_quant_.clear();
+  pending_quant_.shrink_to_fit();
   fused_ = true;
+  quant_ = mode;
+}
+
+std::vector<nn::QuantLinearTables> GesIDNet::collect_quant_tables() {
+  check(!fused_, "collect_quant_tables on a fused model");
+  std::vector<nn::QuantLinearTables> tables;
+  sa1_->collect_quant_tables(tables);
+  sa2_->collect_quant_tables(tables);
+  level1_->collect_quant_tables(tables);
+  level2_->collect_quant_tables(tables);
+  if (config_.enable_fusion) {
+    resize_2to1_->collect_quant_tables(tables);
+    resize_1to2_->collect_quant_tables(tables);
+  }
+  head1_->collect_quant_tables(tables);
+  head2_->collect_quant_tables(tables);
+  return tables;
 }
 
 std::unique_ptr<PointCloudClassifier> GesIDNet::clone() {

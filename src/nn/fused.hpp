@@ -1,4 +1,4 @@
-// Inference-only fused layers (gp::serve hot path, DESIGN.md §8).
+// Inference-only fused layers (gp::serve hot path, DESIGN.md §8, §11).
 //
 // FusedLinear collapses a [Linear → BatchNorm1d? → ReLU?] run into one
 // kernel at inference time:
@@ -11,11 +11,30 @@
 //   * the optional ReLU runs as an epilogue on the already-resident output
 //     row, eliminating the ReLU layer's mask allocation and extra pass.
 //
+// QuantMode::kInt8 additionally builds symmetric per-output-channel int8
+// tables (see nn/quant.hpp) at fuse time — either quantized from the
+// double-precision fold, or taken verbatim from a preloaded .gpsy section —
+// and forward() switches to the integer kernel: per-row dynamic activation
+// scale, int16×int8 → int32 multiply-accumulate, dequantization folded into
+// the ReLU epilogue. The kernel runs as an outer product over k-PAIRS: the
+// canonical out-major table is re-laid-out at fuse time into an interleaved
+// (k/2, out, 2) int16 panel so each accumulator lane consumes two k terms at
+// once (one VPDPWSSD per 8 lanes on AVX-VNNI hardware; a scalar paired loop
+// elsewhere). The int32 accumulation is exact, so every lane count and both
+// code paths produce bitwise-identical results, and all-zero activation
+// pairs can be skipped (they contribute exactly 0) — the integer analogue of
+// the f32 path's ReLU-sparsity row skip. The int16/int32 scratch rows are
+// members sized once at fuse time, keeping the steady-state forward
+// allocation profile identical to the f32 path. forward() is single-caller
+// by contract (gp::serve's single pump thread / the serial fused-inference
+// fallback), which is what makes the member scratch safe.
+//
 // Determinism: for each output row the k-accumulation is a fixed serial
-// loop, so a sample's output depends only on its own input row — never on
-// batch composition, thread count, or shard placement. That property is
-// what lets gp::serve micro-batch segments from many sessions while keeping
-// per-session results bitwise reproducible.
+// loop (f32) or an exact integer reduction (int8), so a sample's output
+// depends only on its own input row — never on batch composition, thread
+// count, or shard placement. That property is what lets gp::serve
+// micro-batch segments from many sessions while keeping per-session results
+// bitwise reproducible.
 //
 // Fused layers are forward-only: backward() throws, parameters()/buffers()
 // are empty (the folded weights are no longer the training parameters).
@@ -24,7 +43,11 @@
 // system.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "nn/layers.hpp"
+#include "nn/quant.hpp"
 
 namespace gp::nn {
 
@@ -33,20 +56,40 @@ namespace gp::nn {
 /// using its *running* statistics) plus an optional ReLU epilogue.
 class FusedLinear : public Layer {
  public:
-  FusedLinear(Linear& linear, BatchNorm1d* bn, bool relu);
+  /// `mode` selects the inference kernel. With kInt8, `preload` (when
+  /// non-null) supplies tables deserialized from a .gpsy quant section —
+  /// validated against the folded shape — otherwise tables are quantized
+  /// from the fresh double-precision fold.
+  FusedLinear(Linear& linear, BatchNorm1d* bn, bool relu,
+              QuantMode mode = QuantMode::kOff,
+              const QuantLinearTables* preload = nullptr);
 
   Tensor forward(const Tensor& input, bool training) override;
   /// Fused layers are inference-only.
   Tensor backward(const Tensor& grad_output) override;
 
   bool has_relu() const { return relu_; }
+  bool quantized() const { return quant_ == QuantMode::kInt8; }
   std::size_t in_features() const { return weight_t_.rows(); }
   std::size_t out_features() const { return weight_t_.cols(); }
+  /// The BN-folded transposed weights — exposed so collect_quant_tables can
+  /// quantize the exact same fold it would get at fuse time.
+  const Tensor& weight_t() const { return weight_t_; }
 
  private:
+  void forward_int8_row(const float* x, float* y) const;
+
   Tensor weight_t_;  ///< (in × out): transposed, BN-folded weights
   Tensor bias_;      ///< (1 × out): BN-folded bias
   bool relu_;
+  QuantMode quant_ = QuantMode::kOff;
+  std::vector<float> qscales_;        ///< per-channel weight scales (out)
+  std::vector<std::int8_t> qweight_;  ///< out-major int8 weights (out × in)
+  /// Interleaved kernel panel built from qweight_ at fuse time:
+  /// qwpair_[(k/2)·out·2 + 2j + (k&1)], zero-padded to an even k count.
+  std::vector<std::int16_t> qwpair_;
+  mutable std::vector<std::int16_t> qx_;   ///< quantized activations (in, padded even)
+  mutable std::vector<std::int32_t> qacc_; ///< int32 accumulator row (out)
 };
 
 }  // namespace gp::nn

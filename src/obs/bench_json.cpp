@@ -119,7 +119,8 @@ std::string fault_sweep_json(double abstain_margin,
 std::string serve_bench_json(const std::vector<std::size_t>& sessions_swept,
                              const std::vector<std::size_t>& batch_max_swept,
                              const std::vector<ServeBaselineRow>& baseline,
-                             const std::vector<ServeSweepCell>& cells) {
+                             const std::vector<ServeSweepCell>& cells,
+                             const ServeQuantSummary& quant) {
   std::ostringstream out;
   out << "{\n  \"sessions\": [";
   for (std::size_t i = 0; i < sessions_swept.size(); ++i) {
@@ -140,11 +141,35 @@ std::string serve_bench_json(const std::vector<std::size_t>& sessions_swept,
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const ServeSweepCell& c = cells[i];
     out << "    {\"sessions\": " << c.sessions << ", \"batch_max\": " << c.batch_max
+        << ", \"quant\": \"" << json::escape(c.quant) << "\""
         << ", \"segments\": " << c.segments << ", \"results\": " << c.results
         << ", \"batches\": " << c.batches << ", \"abstained\": " << c.abstained
         << ", \"ms\": " << json::number(c.ms)
         << ", \"speedup\": " << json::number(c.speedup) << "}"
         << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"quant\": {\"measured\": " << (quant.measured ? "true" : "false")
+      << ", \"f32_forward_ms\": " << json::number(quant.f32_forward_ms)
+      << ", \"int8_forward_ms\": " << json::number(quant.int8_forward_ms)
+      << ", \"forward_speedup\": " << json::number(quant.forward_speedup)
+      << ", \"serve_speedup\": " << json::number(quant.serve_speedup)
+      << ", \"argmax_mismatches\": " << quant.argmax_mismatches << "}\n}\n";
+  return out.str();
+}
+
+std::string gemm_bench_json(std::size_t threads, const std::vector<GemmBenchRow>& rows) {
+  std::ostringstream out;
+  out << "{\n  \"threads\": " << threads << ",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const GemmBenchRow& r = rows[i];
+    out << "    {\"kernel\": \"" << json::escape(r.kernel) << "\", \"m\": " << r.m
+        << ", \"k\": " << r.k << ", \"n\": " << r.n
+        << ", \"ref_ms\": " << json::number(r.ref_ms)
+        << ", \"opt_ms\": " << json::number(r.opt_ms)
+        << ", \"speedup\": " << json::number(r.speedup)
+        << ", \"gflops\": " << json::number(r.gflops)
+        << ", \"check\": \"" << json::escape(r.check) << "\"}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   return out.str();

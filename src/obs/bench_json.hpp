@@ -102,10 +102,11 @@ struct ServeBaselineRow {
   double ms = 0.0;
 };
 
-/// One (sessions, batch_max) cell of the serving sweep.
+/// One (sessions, batch_max, quant mode) cell of the serving sweep.
 struct ServeSweepCell {
   std::size_t sessions = 0;
   std::size_t batch_max = 0;
+  std::string quant = "off";   ///< quant_mode_name() of the published model
   std::uint64_t segments = 0;  ///< completed segments entering the batcher
   std::uint64_t results = 0;   ///< ServeResults emitted
   std::uint64_t batches = 0;   ///< micro-batches flushed
@@ -114,15 +115,50 @@ struct ServeSweepCell {
   double speedup = 0.0;        ///< baseline(sessions).ms / ms
 };
 
+/// Head-to-head int8-vs-f32 summary of the serving sweep (DESIGN.md §11).
+/// forward_speedup isolates the fused GesIDNet forward pass (the part the
+/// int8 kernel accelerates); serve_speedup is end-to-end serve wall time,
+/// diluted by featurization/segmentation that quantization cannot touch.
+struct ServeQuantSummary {
+  bool measured = false;  ///< false when the sweep ran a single mode only
+  double f32_forward_ms = 0.0;
+  double int8_forward_ms = 0.0;
+  double forward_speedup = 0.0;  ///< f32_forward_ms / int8_forward_ms
+  double serve_speedup = 0.0;    ///< f32 serve wall / int8 serve wall
+  std::uint64_t argmax_mismatches = 0;  ///< (gesture,user) disagreements
+};
+
 /// Builds the BENCH_serve.json document (gp::serve throughput evidence,
-/// DESIGN.md §8). Schema (pinned by golden test `bench_serve_schema`):
+/// DESIGN.md §8, §11). Schema (pinned by golden test `bench_serve_schema`):
 ///   {sessions:[...], batch_max:[...], baseline:[{sessions,segments,ms}],
-///    cells:[{sessions,batch_max,segments,results,batches,abstained,ms,
-///            speedup}]}
+///    cells:[{sessions,batch_max,quant,segments,results,batches,abstained,
+///            ms,speedup}],
+///    quant:{measured,f32_forward_ms,int8_forward_ms,forward_speedup,
+///           serve_speedup,argmax_mismatches}}
 std::string serve_bench_json(const std::vector<std::size_t>& sessions_swept,
                              const std::vector<std::size_t>& batch_max_swept,
                              const std::vector<ServeBaselineRow>& baseline,
-                             const std::vector<ServeSweepCell>& cells);
+                             const std::vector<ServeSweepCell>& cells,
+                             const ServeQuantSummary& quant = {});
+
+/// One shape of the GEMM kernel benchmark: the blocked kernel vs the
+/// retained naive reference (nn/gemm_ref.hpp), plus the int8 fused-layer
+/// row where applicable.
+struct GemmBenchRow {
+  std::string kernel;  ///< "matmul" | "matmul_bt" | "matmul_at" | "fused_int8"
+  std::size_t m = 0, k = 0, n = 0;
+  double ref_ms = 0.0;   ///< naive reference (or f32 fused for fused_int8)
+  double opt_ms = 0.0;   ///< blocked kernel (or int8 fused for fused_int8)
+  double speedup = 0.0;  ///< ref_ms / opt_ms
+  double gflops = 0.0;   ///< 2*m*k*n / opt time
+  std::string check;     ///< "bitwise" | "band" — differential result
+};
+
+/// Builds the BENCH_gemm.json document (blocked-GEMM + int8 kernel
+/// evidence, DESIGN.md §11). Schema (pinned by golden test
+/// `bench_gemm_schema`):
+///   {threads, rows:[{kernel,m,k,n,ref_ms,opt_ms,speedup,gflops,check}]}
+std::string gemm_bench_json(std::size_t threads, const std::vector<GemmBenchRow>& rows);
 
 /// One mode of the health overhead sweep ("off" | "on"): serve-tick latency
 /// quantiles over the measured pump loop, best-of-reps.

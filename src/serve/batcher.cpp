@@ -252,6 +252,9 @@ void MicroBatcher::run_batch_into(std::vector<ServeResult>& results) {
     stats_.no_model += delta.no_model;
   }
   GP_COUNTER_ADD("gp.serve.batches", 1);
+  if (snapshot != nullptr && snapshot->quant == nn::QuantMode::kInt8) {
+    GP_COUNTER_ADD("gp.serve.batches.quant", 1);
+  }
   GP_COUNTER_ADD("gp.serve.segments", batch.size());
   const auto elapsed =
       std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() - start);

@@ -34,6 +34,7 @@ ServeConfig ServeConfig::from_env(ServeConfig base) {
   base.stale_after_ticks = env_u64("GP_SERVE_STALE_TICKS", base.stale_after_ticks, 0);
   if (auto faults = faults::FaultConfig::from_env()) base.session_faults = *faults;
   base.health = health::HealthConfig::from_env(base.health);
+  base.quant = nn::quant_mode_from_env(base.quant);
   return base;
 }
 

@@ -66,11 +66,16 @@ struct ServeConfig {
   /// ServeResult streams. GP_HEALTH / GP_HEALTH_WINDOW_TICKS / GP_SLO /
   /// GP_FLIGHTREC.
   health::HealthConfig health;
+  /// Quantization mode models are fused with at publish time (nn/quant.hpp,
+  /// DESIGN.md §11): kInt8 serves the symmetric int8 kernel, kOff the f32
+  /// fused baseline. Callers pass this to ModelRegistry::publish*; each
+  /// snapshot records the mode it was fused with. GP_QUANT (int8|off).
+  nn::QuantMode quant = nn::QuantMode::kOff;
 
   /// Applies GP_SERVE_SHARDS / GP_SERVE_BATCH_MAX / GP_SERVE_BATCH_WAIT_US /
-  /// GP_SERVE_QUEUE_CAP / GP_SERVE_STALE_TICKS / GP_FAULTS plus the
-  /// GP_HEALTH* / GP_SLO / GP_FLIGHTREC health overrides on top of `base`
-  /// (the overload without arguments starts from the defaults).
+  /// GP_SERVE_QUEUE_CAP / GP_SERVE_STALE_TICKS / GP_QUANT / GP_FAULTS plus
+  /// the GP_HEALTH* / GP_SLO / GP_FLIGHTREC health overrides on top of
+  /// `base` (the overload without arguments starts from the defaults).
   static ServeConfig from_env(ServeConfig base);
   static ServeConfig from_env();
 };

@@ -48,7 +48,8 @@ void warm_up(GesturePrintSystem& system, const GesturePrintConfig& config) {
 
 ModelRegistry::ModelRegistry(GesturePrintConfig config) : config_(std::move(config)) {}
 
-std::optional<std::uint64_t> ModelRegistry::publish_file(const std::string& path) {
+std::optional<std::uint64_t> ModelRegistry::publish_file(const std::string& path,
+                                                         nn::QuantMode mode) {
   GP_SPAN("serve.publish");
   auto system = std::make_unique<GesturePrintSystem>(config_);
   if (!system->try_load(path)) {
@@ -58,20 +59,23 @@ std::optional<std::uint64_t> ModelRegistry::publish_file(const std::string& path
                << version();
     return std::nullopt;
   }
-  return install(std::move(system));
+  return install(std::move(system), mode);
 }
 
-std::uint64_t ModelRegistry::publish(std::unique_ptr<GesturePrintSystem> system) {
+std::uint64_t ModelRegistry::publish(std::unique_ptr<GesturePrintSystem> system,
+                                     nn::QuantMode mode) {
   GP_SPAN("serve.publish");
   check_arg(system != nullptr && system->fitted(), "publish of an unfitted system");
-  return install(std::move(system));
+  return install(std::move(system), mode);
 }
 
-std::uint64_t ModelRegistry::install(std::unique_ptr<GesturePrintSystem> system) {
-  system->fuse_for_inference();
+std::uint64_t ModelRegistry::install(std::unique_ptr<GesturePrintSystem> system,
+                                     nn::QuantMode mode) {
+  system->fuse_for_inference(mode);
   warm_up(*system, config_);
 
   auto snapshot = std::make_shared<ModelSnapshot>();
+  snapshot->quant = mode;
   snapshot->system = std::move(system);
   std::uint64_t published = 0;
   {
@@ -83,6 +87,7 @@ std::uint64_t ModelRegistry::install(std::unique_ptr<GesturePrintSystem> system)
   GP_COUNTER_ADD("gp.serve.model.swaps", 1);
   health::FlightRecorder::global().record(health::EventKind::kHotSwap, 0, published);
   obs::gauge("gp.serve.model.version").set(static_cast<double>(published));
+  obs::gauge("gp.serve.model.quant").set(mode == nn::QuantMode::kInt8 ? 1.0 : 0.0);
   return published;
 }
 

@@ -25,6 +25,11 @@ namespace gp::serve {
 /// batcher thread is the only caller of its inference path at any time.
 struct ModelSnapshot {
   std::uint64_t version = 0;
+  /// Quant mode this snapshot was fused with (nn/quant.hpp): kInt8 serves
+  /// the symmetric int8 kernel, kOff the f32 fused baseline. Auditable per
+  /// generation next to `version`, so a mid-stream f32 → int8 hot-swap is
+  /// attributable in results and metrics.
+  nn::QuantMode quant = nn::QuantMode::kOff;
   std::unique_ptr<GesturePrintSystem> system;
 
   std::size_t num_gestures() const { return system->num_gestures(); }
@@ -38,16 +43,18 @@ class ModelRegistry {
   explicit ModelRegistry(GesturePrintConfig config);
 
   /// Loads `path` (checksum-verified, retrying, quarantining — try_load),
-  /// fuses it for inference, warms it up, and atomically publishes it.
-  /// Returns the new version, or nullopt when the load failed (the current
-  /// snapshot, if any, keeps serving; failure is counted in
-  /// gp.serve.model.load_failures).
-  std::optional<std::uint64_t> publish_file(const std::string& path);
+  /// fuses it for inference with `mode` (default: the GP_QUANT env choice),
+  /// warms it up, and atomically publishes it. Returns the new version, or
+  /// nullopt when the load failed (the current snapshot, if any, keeps
+  /// serving; failure is counted in gp.serve.model.load_failures).
+  std::optional<std::uint64_t> publish_file(
+      const std::string& path, nn::QuantMode mode = nn::quant_mode_from_env());
 
   /// Publishes an already-fitted system (ownership transferred). The system
-  /// is fused and warmed up here; pass an unfused, freshly trained/loaded
-  /// instance. Returns the new version.
-  std::uint64_t publish(std::unique_ptr<GesturePrintSystem> system);
+  /// is fused with `mode` and warmed up here; pass an unfused, freshly
+  /// trained/loaded instance. Returns the new version.
+  std::uint64_t publish(std::unique_ptr<GesturePrintSystem> system,
+                        nn::QuantMode mode = nn::quant_mode_from_env());
 
   /// The currently published snapshot (nullptr before the first publish).
   /// Thread-safe; the returned shared_ptr pins the generation alive.
@@ -59,7 +66,7 @@ class ModelRegistry {
   const GesturePrintConfig& config() const { return config_; }
 
  private:
-  std::uint64_t install(std::unique_ptr<GesturePrintSystem> system);
+  std::uint64_t install(std::unique_ptr<GesturePrintSystem> system, nn::QuantMode mode);
 
   GesturePrintConfig config_;
   mutable std::mutex mu_;

@@ -146,7 +146,11 @@ class GesturePrintSystem {
   /// (GesIDNet::fuse_for_inference). Afterwards the system can classify but
   /// not fit/fine_tune/save — gp::serve calls this on the private system
   /// copy inside each ModelSnapshot, never on a caller's live system.
-  void fuse_for_inference();
+  /// QuantMode::kInt8 selects the symmetric int8 inference kernel
+  /// (nn/quant.hpp); a system restored via load()/try_load() reuses the
+  /// .gpsy quant sections, a freshly fitted one quantizes at fuse time —
+  /// identical tables either way.
+  void fuse_for_inference(nn::QuantMode mode = nn::QuantMode::kOff);
 
  private:
   SystemEvaluation evaluate_samples(const std::vector<const GestureSample*>& samples);

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "datasets/cache.hpp"
+#include "nn/quant.hpp"
 #include "nn/serialize_nn.hpp"
 #include "pointcloud/io.hpp"
 
@@ -116,6 +117,19 @@ std::string report_json_seed() {
 })";
 }
 
+std::string quant_tables_seed() {
+  Rng rng(0xC0FFEE04ULL, 14);
+  std::vector<nn::QuantLinearTables> tables;
+  for (const auto& [in, out] : {std::pair<std::size_t, std::size_t>{6, 4}, {4, 3}}) {
+    std::vector<float> w(in * out);
+    for (float& v : w) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    tables.push_back(nn::quantize_folded(w, in, out));
+  }
+  std::ostringstream out(std::ios::binary);
+  nn::save_quant_tables(out, tables);
+  return out.str();
+}
+
 std::vector<std::string> write_corpus(const std::string& dir) {
   std::filesystem::create_directories(dir);
   const std::vector<std::pair<std::string, std::string>> entries = {
@@ -123,6 +137,7 @@ std::vector<std::string> write_corpus(const std::string& dir) {
       {"recording_gprc.bin", recording_seed()},
       {"params_gpnn.bin", params_seed()},
       {"report.json", report_json_seed()},
+      {"quant_gpq8.bin", quant_tables_seed()},
   };
   std::vector<std::string> names;
   for (const auto& [name, payload] : entries) {

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -175,6 +176,53 @@ TEST(Determinism, TrainingLossIsThreadCountInvariant) {
   }
   EXPECT_EQ(stats_s.train_accuracy, stats_w.train_accuracy);
   EXPECT_TRUE(logits_s.vec() == logits_w.vec());
+}
+
+// --- int8 quantized inference must be bitwise repeatable -------------------
+
+// GP_QUANT=int8 keeps the determinism contract: the integer kernel's int32
+// accumulation is exact, so two identically-trained models fused with
+// QuantMode::kInt8 emit bitwise-identical logits, independent of thread
+// count (the serial fused-inference fallback notwithstanding, predict_logits
+// is exercised at both 1 and 8 threads).
+TEST(Determinism, QuantizedInferenceIsBitwiseRepeatable) {
+  LabeledSamples data;
+  {
+    Rng rng(5);
+    for (std::size_t i = 0; i < 12; ++i) {
+      data.push(synth_sample(0, rng), 0);
+      data.push(synth_sample(1, rng), 1);
+    }
+  }
+  TrainConfig train_config;
+  train_config.epochs = 2;
+  train_config.batch_size = 6;
+  train_config.seed = 7;
+
+  const auto train_fused = [&] {
+    exec::ExecContext ctx(2);
+    Rng rng(31);
+    auto model = std::make_unique<GesIDNet>(tiny_config(), rng);
+    train_classifier(*model, data, train_config, ctx);
+    model->fuse_for_inference(nn::QuantMode::kInt8);
+    return model;
+  };
+
+  const auto a = train_fused();
+  const auto b = train_fused();
+  exec::ExecContext serial(1);
+  exec::ExecContext wide(8);
+  const nn::Tensor la = predict_logits(*a, data.samples, 6, serial);
+  const nn::Tensor lb = predict_logits(*b, data.samples, 6, wide);
+  ASSERT_EQ(la.rows(), lb.rows());
+  ASSERT_EQ(la.cols(), lb.cols());
+  EXPECT_TRUE(la.vec() == lb.vec())
+      << "int8 fused inference must be bitwise repeatable across runs/threads";
+
+  // And repeatable on the same model instance (the member scratch rows must
+  // not leak state between forward calls).
+  const nn::Tensor lc = predict_logits(*a, data.samples, 6, serial);
+  EXPECT_TRUE(la.vec() == lc.vec());
 }
 
 // --- serve: health observation must be invisible to results ----------------

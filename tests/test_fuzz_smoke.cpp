@@ -26,6 +26,7 @@
 #include "common/error.hpp"
 #include "datasets/cache.hpp"
 #include "health/slo.hpp"
+#include "nn/quant.hpp"
 #include "nn/serialize_nn.hpp"
 #include "obs/json.hpp"
 #include "pointcloud/io.hpp"
@@ -47,6 +48,7 @@ std::vector<std::string> corpus() {
   seeds.push_back(testkit::recording_seed());
   seeds.push_back(testkit::params_seed());
   seeds.push_back(testkit::report_json_seed());
+  seeds.push_back(testkit::quant_tables_seed());
   seeds.push_back("");  // the degenerate seed every parser must survive
   return seeds;
 }
@@ -92,6 +94,21 @@ TEST(FuzzSmoke, ModelParameterDecoder) {
         for (auto& p : params) ptrs.push_back(&p);
         std::istringstream in(payload, std::ios::binary);
         nn::load_parameters(in, ptrs);
+      });
+  expect_clean(outcome);
+}
+
+// The GPQ8 quant-table reader behind the .gpsy quant sections (DESIGN.md
+// §11): truncated sections, bit-flipped scale bytes (NaN/negative scales)
+// and out-of-range qweight bytes (-128 is outside the symmetric range) must
+// all surface as SerializationError — never a crash, never an allocation
+// driven by an unvalidated count.
+TEST(FuzzSmoke, QuantTableDecoder) {
+  const auto outcome = testkit::fuzz_target(
+      "nn/load_quant_tables", corpus(),
+      [](const std::string& payload) {
+        std::istringstream in(payload, std::ios::binary);
+        (void)nn::load_quant_tables(in);
       });
   expect_clean(outcome);
 }

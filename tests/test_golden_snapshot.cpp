@@ -188,6 +188,7 @@ TEST(GoldenSnapshot, RunReportSchemaMatchesGolden) {
   GP_COUNTER_ADD("gp.serve.frames", 1);
   GP_COUNTER_ADD("gp.serve.segments", 1);
   GP_COUNTER_ADD("gp.serve.batches", 1);
+  GP_COUNTER_ADD("gp.serve.batches.quant", 1);
   GP_COUNTER_ADD("gp.serve.rejected.queue_full", 1);
   GP_COUNTER_ADD("gp.serve.rejected.quality", 1);
   GP_COUNTER_ADD("gp.serve.shed.stale", 1);
@@ -195,6 +196,7 @@ TEST(GoldenSnapshot, RunReportSchemaMatchesGolden) {
   GP_COUNTER_ADD("gp.serve.model.swaps", 1);
   GP_COUNTER_ADD("gp.serve.model.load_failures", 1);
   obs::gauge("gp.serve.model.version").set(1.0);
+  obs::gauge("gp.serve.model.quant").set(0.0);
   obs::gauge("gp.serve.sessions").set(1.0);
   obs::gauge("gp.serve.pending_segments").set(0.0);
   obs::histogram("gp.serve.batch.size").observe(1.0);
@@ -252,7 +254,7 @@ TEST(GoldenSnapshot, BenchJsonSchemasMatchGolden) {
       8, {{"preprocessing", h.snapshot()}, {"end_to_end", h.snapshot()}}, {stage},
       {cold, steady});
   const std::string parallel = obs::parallel_sweep_json(
-      8, {1, 2, 4}, {{"matmul_kernel", {10.0, 6.0, 4.0}}, {"train_epoch", {20.0, 12.0, 8.0}}});
+      8, {1, 2, 4}, {{"gemm_kernel", {10.0, 6.0, 4.0}}, {"train_epoch", {20.0, 12.0, 8.0}}});
 
   testkit::Snapshot snap;
   snap.add(testkit::summarize_json_schema("bench.latency_stages_schema",
@@ -302,20 +304,55 @@ TEST(GoldenSnapshot, ServeBenchSchemaMatchesGolden) {
   obs::ServeSweepCell cell;
   cell.sessions = 8;
   cell.batch_max = 8;
+  cell.quant = "int8";
   cell.segments = 45;
   cell.results = 45;
   cell.batches = 41;
   cell.abstained = 2;
   cell.ms = 104.0;
   cell.speedup = 3.17;
+  obs::ServeQuantSummary quant;
+  quant.measured = true;
+  quant.f32_forward_ms = 12.0;
+  quant.int8_forward_ms = 10.0;
+  quant.forward_speedup = 1.2;
+  quant.serve_speedup = 1.1;
+  quant.argmax_mismatches = 0;
   const std::string serve = obs::serve_bench_json(
-      {1, 8}, {1, 8}, {baseline}, {obs::ServeSweepCell{}, cell});
+      {1, 8}, {1, 8}, {baseline}, {obs::ServeSweepCell{}, cell}, quant);
 
   testkit::Snapshot snap;
   snap.add(testkit::summarize_json_schema("bench.serve_schema",
                                           obs::json::parse(serve)));
   const testkit::GoldenOutcome outcome =
       testkit::check_golden(g_golden, "bench_serve_schema", snap);
+  if (outcome.updated) std::cout << outcome.message;
+  EXPECT_TRUE(outcome.ok) << outcome.message;
+}
+
+TEST(GoldenSnapshot, GemmBenchSchemaMatchesGolden) {
+  // Exemplar BENCH_gemm.json (bench/gemm_bench.cpp): blocked-kernel vs
+  // naive-reference rows plus the int8 fused-layer row, values arbitrary.
+  obs::GemmBenchRow mm;
+  mm.kernel = "matmul";
+  mm.m = 64;
+  mm.k = 96;
+  mm.n = 128;
+  mm.ref_ms = 4.0;
+  mm.opt_ms = 1.0;
+  mm.speedup = 4.0;
+  mm.gflops = 1.5;
+  mm.check = "bitwise";
+  obs::GemmBenchRow bt = mm;
+  bt.kernel = "matmul_bt";
+  bt.check = "band";
+  const std::string gemm = obs::gemm_bench_json(1, {mm, bt});
+
+  testkit::Snapshot snap;
+  snap.add(testkit::summarize_json_schema("bench.gemm_schema",
+                                          obs::json::parse(gemm)));
+  const testkit::GoldenOutcome outcome =
+      testkit::check_golden(g_golden, "bench_gemm_schema", snap);
   if (outcome.updated) std::cout << outcome.message;
   EXPECT_TRUE(outcome.ok) << outcome.message;
 }

@@ -17,6 +17,7 @@
 #include "datasets/catalog.hpp"
 #include "eval/splits.hpp"
 #include "exec/exec.hpp"
+#include "nn/quant.hpp"
 #include "nn/tensor.hpp"
 #include "pipeline/preprocessor.hpp"
 #include "serve/server.hpp"
@@ -330,9 +331,9 @@ TEST(Mem, PoisonResizeLeavesServeAnswersIdentical) {
 // zero times — frame points land in the shard arena, segmenter rings and
 // scratch reuse their capacity, and the empty batcher poll returns an
 // empty (non-allocating) result vector.
-TEST(Mem, ServeSteadyTickZeroAlloc) {
+void run_steady_tick_zero_alloc(nn::QuantMode quant) {
   serve::ModelRegistry registry(world().config);
-  ASSERT_TRUE(registry.publish_file(world().model_path).has_value());
+  ASSERT_TRUE(registry.publish_file(world().model_path, quant).has_value());
   serve::ServeConfig sc;
   sc.system = world().config;
   sc.shards = 2;
@@ -369,6 +370,18 @@ TEST(Mem, ServeSteadyTickZeroAlloc) {
   EXPECT_EQ(counter.allocations(), 0u)
       << "steady-state serve tick touched the heap (" << counter.bytes() << " bytes)";
   EXPECT_EQ(server.batch_stats().segments, segments_before);
+}
+
+TEST(Mem, ServeSteadyTickZeroAlloc) {
+  run_steady_tick_zero_alloc(nn::QuantMode::kOff);
+}
+
+// The int8 fused path keeps the same allocation profile: its quantized
+// activation/accumulator scratch rows are members sized once at fuse time
+// (see nn/fused.hpp), so a warm quantized server's quiet tick is just as
+// heap-silent as the f32 one.
+TEST(Mem, ServeSteadyTickZeroAllocQuantized) {
+  run_steady_tick_zero_alloc(nn::QuantMode::kInt8);
 }
 
 }  // namespace

@@ -246,6 +246,60 @@ TEST(Serve, HotSwapMidStreamIsAuditedAndLossless) {
   EXPECT_TRUE(saw_v2);
 }
 
+// Quantized hot-swap: an int8 snapshot published mid-stream (GP_QUANT-style
+// rollout) must be as lossless and audited as an f32→f32 swap. Every result
+// carries the model_version that answered it, the registry's served snapshot
+// flips to quant == kInt8, and post-swap segments keep producing typed
+// answers — int8 changes the kernel, never the serving contract.
+TEST(Serve, QuantizedHotSwapMidStreamIsAudited) {
+  serve::ModelRegistry registry(world().config);
+  ASSERT_TRUE(registry.publish_file(world().model_path, nn::QuantMode::kOff).has_value());
+  ASSERT_NE(registry.current(), nullptr);
+  EXPECT_EQ(registry.current()->quant, nn::QuantMode::kOff);
+  exec::ExecContext ctx(2);
+  const std::vector<std::uint64_t> ids{1, 2};
+
+  const std::size_t expected = run_stream(base_config(2), registry, ids, ctx).size();
+  ASSERT_EQ(registry.version(), 1u);
+
+  serve::Server server(base_config(2), registry, ctx);
+  const auto& streams = world().streams;
+  std::size_t max_frames = std::max(streams[0].frames.size(), streams[1].frames.size());
+  std::vector<serve::ServeResult> results;
+  for (std::size_t f = 0; f < max_frames; ++f) {
+    if (f == max_frames / 2) {
+      // Same weights, quantized kernel: the swap must be announced via
+      // model_version, not detectable via drops or exceptions.
+      ASSERT_TRUE(
+          registry.publish_file(world().model_path, nn::QuantMode::kInt8).has_value());
+      ASSERT_NE(registry.current(), nullptr);
+      EXPECT_EQ(registry.current()->quant, nn::QuantMode::kInt8);
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (f >= streams[i].frames.size()) continue;
+      (void)server.push_frame(ids[i], streams[i].frames[f]);
+    }
+    for (serve::ServeResult& r : server.pump()) results.push_back(std::move(r));
+  }
+  for (serve::ServeResult& r : server.drain()) results.push_back(std::move(r));
+
+  EXPECT_EQ(results.size(), expected);  // quantized hot-swap dropped nothing
+  EXPECT_EQ(registry.version(), 2u);
+  std::uint64_t last = 0;
+  bool saw_quantized = false;
+  for (const serve::ServeResult& r : results) {
+    EXPECT_GE(r.model_version, last);  // flush order: versions never regress
+    EXPECT_GE(r.model_version, 1u);
+    last = r.model_version;
+    if (r.model_version == 2) {
+      saw_quantized = true;
+      EXPECT_TRUE(r.gesture >= 0 || r.gesture == kAbstain);
+      EXPECT_TRUE(r.user >= 0 || r.user == kAbstain);
+    }
+  }
+  EXPECT_TRUE(saw_quantized) << "no segment was answered by the int8 snapshot";
+}
+
 // A failed publish must never disturb the served snapshot.
 TEST(Serve, FailedPublishKeepsServing) {
   serve::ModelRegistry registry(world().config);
@@ -332,6 +386,21 @@ TEST(Serve, FaultSoakZeroUncaughtExceptions) {
   std::vector<serve::ServeResult> again;
   ASSERT_NO_THROW(again = run_stream(sc, registry, {1, 2, 3}, ctx));
   expect_bitwise_equal(results, again);
+
+  // Quantized cell of the soak: the int8 kernel behind the same degraded
+  // links must uphold the identical typed-answers and determinism contract.
+  serve::ModelRegistry quant_registry(world().config);
+  ASSERT_TRUE(
+      quant_registry.publish_file(world().model_path, nn::QuantMode::kInt8).has_value());
+  std::vector<serve::ServeResult> qresults;
+  ASSERT_NO_THROW(qresults = run_stream(sc, quant_registry, {1, 2, 3}, ctx));
+  for (const serve::ServeResult& r : qresults) {
+    EXPECT_TRUE(r.gesture >= 0 || r.gesture == kAbstain);
+    EXPECT_TRUE(r.user >= 0 || r.user == kAbstain);
+  }
+  std::vector<serve::ServeResult> qagain;
+  ASSERT_NO_THROW(qagain = run_stream(sc, quant_registry, {1, 2, 3}, ctx));
+  expect_bitwise_equal(qresults, qagain);
 }
 
 // Concurrent producers against a pumping server: admission is thread-safe

@@ -4,7 +4,7 @@
 #   scripts/verify.sh            # tier 1: default build + full ctest
 #   scripts/verify.sh asan       # tier 2: -DGP_SANITIZE=address build,
 #                                #         fuzz-smoke + obs-smoke + fault + mem
-#                                #         + gemm + quant labels
+#                                #         + gemm + quant + cluster labels
 #   scripts/verify.sh tsan       # tier 3: -DGP_SANITIZE=thread build,
 #                                #         tsan-smoke + serve + health labels
 #   scripts/verify.sh all        # tiers 1 + 2 + 3 in sequence
@@ -27,14 +27,18 @@ run_tier1() {
 }
 
 run_asan() {
-  echo "==> tier 2: AddressSanitizer build, fuzz-smoke + obs-smoke + fault + mem + gemm + quant labels"
+  echo "==> tier 2: AddressSanitizer build, fuzz-smoke + obs-smoke + fault + mem + gemm + quant + cluster labels"
   cmake -B "$ROOT/build-asan" -S "$ROOT" -DGP_SANITIZE=address >/dev/null
   cmake --build "$ROOT/build-asan" -j "$JOBS"
   # mem rides the asan lane: the counting operator new/delete and the arena
   # reuse paths must stay clean under ASan's allocator interposition.
   # gemm + quant ride it too: the register-tiled edge handling and the
   # int8 panel/scratch indexing are exactly where an out-of-tile read hides.
-  (cd "$ROOT/build-asan" && ctest --output-on-failure -j "$JOBS" -L 'fuzz-smoke|obs-smoke|fault|mem|gemm|quant')
+  # cluster rides asan (not tsan): the wire decoders chew corrupted bytes and
+  # the failover path replays serialized session state — both are
+  # memory-safety surfaces — while the fork()ed single-threaded workers give
+  # TSan nothing to see and are kept out of its lane.
+  (cd "$ROOT/build-asan" && ctest --output-on-failure -j "$JOBS" -L 'fuzz-smoke|obs-smoke|fault|mem|gemm|quant|cluster')
 }
 
 run_tsan() {

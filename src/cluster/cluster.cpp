@@ -1,0 +1,585 @@
+#include "cluster/cluster.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/fnv.hpp"
+#include "common/logging.hpp"
+#include "health/flightrec.hpp"
+#include "obs/metrics.hpp"
+
+namespace gp::cluster {
+
+namespace {
+
+/// Ring point for (slot, virtual node) — pure, so the ring is identical
+/// across runs and across routers.
+std::uint64_t ring_hash(std::size_t slot, std::size_t vnode) {
+  std::uint64_t h = fnv::kOffsetBasis;
+  h = fnv::accumulate_value(h, static_cast<std::uint64_t>(slot));
+  h = fnv::accumulate_value(h, static_cast<std::uint64_t>(vnode));
+  return h;
+}
+
+std::uint64_t session_hash(std::uint64_t session_id) {
+  return fnv::accumulate_value(fnv::kOffsetBasis, session_id);
+}
+
+FrameCloud own_frame(const FrameView& frame) {
+  FrameCloud owned;
+  owned.frame_index = frame.frame_index;
+  owned.timestamp = frame.timestamp;
+  owned.points.assign(frame.points.begin(), frame.points.end());
+  return owned;
+}
+
+}  // namespace
+
+const char* eviction_reason_name(EvictionReason reason) {
+  switch (reason) {
+    case EvictionReason::kProcessDied:
+      return "process_died";
+    case EvictionReason::kLinkFailure:
+      return "link_failure";
+    case EvictionReason::kMissedHeartbeats:
+      return "missed_heartbeats";
+  }
+  return "unknown";
+}
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  if (config_.workers == 0) config_.workers = 1;
+  if (config_.virtual_nodes == 0) config_.virtual_nodes = 1;
+  if (config_.checkpoint_every == 0) config_.checkpoint_every = 1;
+  workers_.resize(config_.workers);
+  ring_.reserve(config_.workers * config_.virtual_nodes);
+  for (std::size_t slot = 0; slot < config_.workers; ++slot) {
+    for (std::size_t v = 0; v < config_.virtual_nodes; ++v) {
+      ring_.emplace_back(ring_hash(slot, v), slot);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t slot = 0; slot < config_.workers; ++slot) spawn_slot_locked(slot);
+  publish_gauges_locked();
+}
+
+Cluster::~Cluster() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (WorkerState& w : workers_) {
+    if (!w.alive) continue;
+    // Best-effort graceful stop: one kShutdown attempt with a short budget,
+    // then close the link (EOF also terminates a healthy worker).
+    try {
+      attempt_locked(w.handle.slot, ++w.seq, MsgType::kShutdown, std::string(),
+                     /*deadline_ms=*/500);
+    } catch (...) {
+    }
+    w.handle.channel.close();
+  }
+  for (WorkerState& w : workers_) {
+    if (!w.alive || w.handle.pid <= 0) continue;
+    int status = 0;
+    bool reaped = false;
+    for (int i = 0; i < 200; ++i) {  // ~2 s grace for the clean exit
+      const pid_t rc = ::waitpid(w.handle.pid, &status, WNOHANG);
+      if (rc == w.handle.pid || (rc < 0 && errno == ECHILD)) {
+        reaped = true;
+        break;
+      }
+      ::usleep(10 * 1000);
+    }
+    if (!reaped) {
+      ::kill(w.handle.pid, SIGKILL);
+      ::waitpid(w.handle.pid, &status, 0);
+    }
+    w.alive = false;
+  }
+}
+
+std::vector<int> Cluster::open_fds_locked() const {
+  std::vector<int> fds;
+  for (const WorkerState& w : workers_) {
+    if (w.alive && w.handle.channel.valid()) fds.push_back(w.handle.channel.fd());
+  }
+  return fds;
+}
+
+void Cluster::spawn_slot_locked(std::size_t slot) {
+  WorkerState& w = workers_[slot];
+  w.handle = spawn_worker(config_, slot, open_fds_locked());
+  w.alive = true;
+  w.seq = 0;
+  w.last_ok_ns = monotonic_ns();
+  w.missed_heartbeats = 0;
+  ++stats_.workers_spawned;
+  GP_COUNTER_ADD("gp.cluster.workers_spawned", 1);
+}
+
+std::size_t Cluster::route_locked(std::uint64_t session_id) const {
+  if (ring_.empty()) return kNoOwner;
+  const std::uint64_t h = session_hash(session_id);
+  auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                             std::make_pair(h, static_cast<std::size_t>(0)));
+  for (std::size_t step = 0; step < ring_.size(); ++step, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (workers_[it->second].alive) return it->second;
+  }
+  return kNoOwner;
+}
+
+Cluster::SessionState& Cluster::session_locked(std::uint64_t session_id) {
+  return sessions_[session_id];
+}
+
+Message Cluster::attempt_locked(std::size_t slot, std::uint64_t seq, MsgType type,
+                                const std::string& payload, std::uint64_t deadline_ms) {
+  WorkerState& w = workers_[slot];
+  if (!w.handle.channel.valid()) throw TransportError("worker link is closed");
+  Message request;
+  request.type = type;
+  request.seq = seq;
+  request.payload = payload;
+  ++stats_.rpc_attempts;
+  w.handle.channel.send_message(encode_message(request));
+  std::string bytes;
+  for (;;) {
+    if (!w.handle.channel.recv_message(bytes, deadline_ms)) {
+      throw TransportError("worker closed the link mid-RPC");
+    }
+    Message reply;
+    try {
+      reply = decode_message(bytes);
+    } catch (const SerializationError& e) {
+      // The reply got damaged in flight: a retransmission produces fresh
+      // bytes, so this is a *transport* fault at the RPC layer — wrapping it
+      // keeps faults::with_retries' never-retry-SerializationError contract
+      // intact while still retrying the link.
+      ++stats_.corrupt_replies;
+      GP_COUNTER_ADD("gp.cluster.corrupt_replies", 1);
+      throw TransportError(std::string("corrupt reply envelope: ") + e.what());
+    }
+    if (reply.type == MsgType::kCorrupt) {
+      // Our request got damaged in flight; the worker rejected it typed and
+      // changed no state. Re-send (same seq, so a racing duplicate is safe).
+      ++stats_.corrupt_requests;
+      GP_COUNTER_ADD("gp.cluster.corrupt_requests", 1);
+      throw TransportError("worker rejected a corrupt request: " +
+                           decode_text(reply.payload));
+    }
+    // A reply from an earlier timed-out attempt of a previous RPC can still
+    // sit in the stream; seqs are per-link unique, so skip anything stale.
+    if (reply.seq != seq) continue;
+    w.last_ok_ns = monotonic_ns();
+    w.missed_heartbeats = 0;
+    return reply;
+  }
+}
+
+Message Cluster::call_locked(std::size_t slot, MsgType type, const std::string& payload,
+                             std::uint64_t deadline_ms,
+                             const faults::RetryPolicy& policy) {
+  WorkerState& w = workers_[slot];
+  if (!w.alive) throw TransportError("worker slot is down");
+  // One seq for the whole RPC: every retry re-sends the same seq, so the
+  // worker's at-most-once cache fires instead of re-executing the request.
+  const std::uint64_t seq = ++w.seq;
+  ++stats_.rpc_calls;
+  try {
+    return faults::with_retries(policy, [&]() -> Message {
+      return attempt_locked(slot, seq, type, payload, deadline_ms);
+    });
+  } catch (const Error&) {
+    ++stats_.rpc_failures;
+    GP_COUNTER_ADD("gp.cluster.rpc_failures", 1);
+    throw;
+  }
+}
+
+Message Cluster::call_locked(std::size_t slot, MsgType type, const std::string& payload) {
+  return call_locked(slot, type, payload, config_.rpc_deadline_ms, config_.retry);
+}
+
+serve::Admission Cluster::push_frame(std::uint64_t session_id, const FrameView& frame) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const std::string payload = encode_wire_frame(session_id, frame);
+  for (std::size_t round = 0; round < config_.workers + 2; ++round) {
+    SessionState& s = session_locked(session_id);
+    if (s.owner == kNoOwner) {
+      const bool has_history =
+          s.checkpoint_valid || !s.replay.empty() || s.emitted > 0;
+      if (has_history) {
+        // A previously-unplaceable session regains capacity: run the full
+        // failover (restore checkpoint + replay) before this new frame.
+        pending_migrations_.emplace_back(session_id, kNoOwner);
+        drive_migrations_locked();
+      } else {
+        s.owner = route_locked(session_id);
+      }
+      if (s.owner == kNoOwner) {
+        ++stats_.frames_shed_no_worker;
+        GP_COUNTER_ADD("gp.cluster.frames_shed_no_worker", 1);
+        return serve::Admission::kRejectedNoWorker;
+      }
+    }
+    const std::size_t owner = s.owner;
+    serve::Admission verdict;
+    try {
+      const Message reply = call_locked(owner, MsgType::kFrame, payload);
+      if (reply.type != MsgType::kAck) {
+        // kError (handler threw) or a protocol violation: the worker's state
+        // for this stream can no longer be trusted — evict and fail over.
+        throw TransportError(std::string("unexpected kFrame reply: ") +
+                             msg_type_name(reply.type));
+      }
+      verdict = static_cast<serve::Admission>(decode_ack(reply.payload));
+    } catch (const Error&) {
+      evict_locked(owner, EvictionReason::kLinkFailure, /*already_reaped=*/false);
+      continue;  // the eviction migrated (or unowned) this session; re-route
+    }
+    if (verdict == serve::Admission::kAccepted) {
+      // Record for replay only *after* the ack: an eviction mid-push means
+      // the frame was never accepted anywhere, and this loop re-sends it to
+      // the new owner itself — buffering it early would double-deliver.
+      s.replay.push_back(own_frame(frame));
+      ++s.frames_since_checkpoint;
+      ++stats_.frames_accepted;
+      GP_COUNTER_ADD("gp.cluster.frames_accepted", 1);
+    } else {
+      ++stats_.frames_rejected_queue_full;
+      GP_COUNTER_ADD("gp.cluster.frames_rejected", 1);
+    }
+    return verdict;
+  }
+  ++stats_.frames_shed_no_worker;
+  GP_COUNTER_ADD("gp.cluster.frames_shed_no_worker", 1);
+  return serve::Admission::kRejectedNoWorker;
+}
+
+void Cluster::append_results_locked(const std::vector<serve::ServeResult>& batch,
+                                    std::vector<serve::ServeResult>& out) {
+  for (const serve::ServeResult& r : batch) {
+    SessionState& s = session_locked(r.session_id);
+    if (r.segment_ordinal < s.emitted) {
+      // A failover replayed frames whose segments were already delivered;
+      // the per-session ordinal is the dedup key.
+      ++stats_.duplicate_results_dropped;
+      GP_COUNTER_ADD("gp.cluster.duplicate_results_dropped", 1);
+      continue;
+    }
+    s.emitted = r.segment_ordinal + 1;
+    ++stats_.results;
+    out.push_back(r);
+  }
+}
+
+std::vector<serve::ServeResult> Cluster::pump() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++tick_;
+  std::vector<serve::ServeResult> out;
+  // Sessions migrated on a *previous* tick have had their replay frames
+  // drained by now (their new owner was pumped), so they are checkpointable
+  // again this tick.
+  for (auto& [sid, s] : sessions_) s.migrated_this_tick = false;
+  reap_dead_locked();
+  for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+    if (!workers_[slot].alive) continue;
+    try {
+      const Message reply = call_locked(slot, MsgType::kPump, std::string());
+      if (reply.type != MsgType::kResults) {
+        throw TransportError(std::string("unexpected kPump reply: ") +
+                             msg_type_name(reply.type));
+      }
+      append_results_locked(decode_wire_results(reply.payload), out);
+    } catch (const Error&) {
+      evict_locked(slot, EvictionReason::kLinkFailure, /*already_reaped=*/false);
+    }
+  }
+  checkpoint_due_locked();
+  heartbeat_probe_locked();
+  publish_gauges_locked();
+  return out;
+}
+
+std::vector<serve::ServeResult> Cluster::drain() {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++tick_;
+  std::vector<serve::ServeResult> out;
+  reap_dead_locked();
+  // A worker dying mid-drain migrates its sessions (replay frames land in
+  // the new owner's ingress queue), so keep draining until one full pass
+  // completes without an eviction. Re-draining an already-flushed worker is
+  // idempotent, and replayed duplicates fall to the ordinal dedup.
+  for (std::size_t pass = 0; pass < config_.workers + 2; ++pass) {
+    const std::uint64_t evictions_before = stats_.workers_evicted;
+    for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+      if (!workers_[slot].alive) continue;
+      try {
+        const Message reply = call_locked(slot, MsgType::kDrainAll, std::string());
+        if (reply.type != MsgType::kResults) {
+          throw TransportError(std::string("unexpected kDrainAll reply: ") +
+                               msg_type_name(reply.type));
+        }
+        append_results_locked(decode_wire_results(reply.payload), out);
+      } catch (const Error&) {
+        evict_locked(slot, EvictionReason::kLinkFailure, /*already_reaped=*/false);
+      }
+    }
+    if (stats_.workers_evicted == evictions_before) break;
+  }
+  publish_gauges_locked();
+  return out;
+}
+
+void Cluster::checkpoint_due_locked() {
+  for (auto& [sid, s] : sessions_) {
+    if (s.owner == kNoOwner) continue;
+    if (s.migrated_this_tick) continue;  // replay not yet drained by its owner
+    if (s.frames_since_checkpoint < config_.checkpoint_every) continue;
+    if (!workers_[s.owner].alive) continue;
+    try {
+      const Message reply =
+          call_locked(s.owner, MsgType::kCheckpoint, encode_u64(sid));
+      if (reply.type != MsgType::kState) {
+        throw TransportError(std::string("unexpected kCheckpoint reply: ") +
+                             msg_type_name(reply.type));
+      }
+      auto [echo_sid, blob] = decode_state(reply.payload);
+      if (echo_sid != sid || blob.empty()) continue;  // keep the replay buffer
+      s.checkpoint = std::move(blob);
+      s.checkpoint_valid = true;
+      s.replay.clear();
+      s.frames_since_checkpoint = 0;
+      ++stats_.checkpoints;
+      GP_COUNTER_ADD("gp.cluster.checkpoints", 1);
+    } catch (const Error&) {
+      evict_locked(s.owner, EvictionReason::kLinkFailure, /*already_reaped=*/false);
+      // The eviction migrated this session (flagging it), or left it
+      // unowned; either way its checkpoint state is untouched. The map
+      // itself was not mutated, so iteration continues safely.
+    }
+  }
+}
+
+void Cluster::heartbeat_probe_locked() {
+  const std::uint64_t now_ns = monotonic_ns();
+  for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+    WorkerState& w = workers_[slot];
+    if (!w.alive) continue;
+    const std::uint64_t idle_ms = (now_ns - w.last_ok_ns) / 1000000ULL;
+    // Only probe workers that have been silent: a worker answering real RPCs
+    // is evidently alive, and last_ok_ns refreshes on every success.
+    if (idle_ms < config_.heartbeat_ms) continue;
+    ++stats_.heartbeat_probes;
+    GP_COUNTER_ADD("gp.cluster.heartbeat_probes", 1);
+    const std::uint64_t nonce = ++heartbeat_nonce_;
+    bool ok = false;
+    try {
+      const Message reply = attempt_locked(slot, ++w.seq, MsgType::kHeartbeat,
+                                           encode_u64(nonce), config_.heartbeat_ms);
+      ok = reply.type == MsgType::kAck && decode_u64(reply.payload) == nonce;
+    } catch (const Error&) {
+      ok = false;
+    }
+    if (ok) continue;  // attempt_locked already reset the miss counter
+    ++stats_.heartbeat_misses;
+    GP_COUNTER_ADD("gp.cluster.heartbeat_misses", 1);
+    ++w.missed_heartbeats;
+    if (w.missed_heartbeats >= config_.max_missed_heartbeats) {
+      evict_locked(slot, EvictionReason::kMissedHeartbeats, /*already_reaped=*/false);
+    }
+  }
+}
+
+void Cluster::reap_dead_locked() {
+  for (std::size_t slot = 0; slot < workers_.size(); ++slot) {
+    WorkerState& w = workers_[slot];
+    if (!w.alive || w.handle.pid <= 0) continue;
+    int status = 0;
+    const pid_t rc = ::waitpid(w.handle.pid, &status, WNOHANG);
+    if (rc == w.handle.pid || (rc < 0 && errno == ECHILD)) {
+      evict_locked(slot, EvictionReason::kProcessDied, /*already_reaped=*/true);
+    }
+  }
+}
+
+void Cluster::evict_locked(std::size_t slot, EvictionReason reason, bool already_reaped) {
+  WorkerState& w = workers_[slot];
+  if (!w.alive) return;
+  w.alive = false;
+  const pid_t pid = w.handle.pid;
+  ++stats_.workers_evicted;
+  GP_COUNTER_ADD("gp.cluster.workers_evicted", 1);
+  switch (reason) {
+    case EvictionReason::kProcessDied:
+      ++stats_.evicted_process_died;
+      break;
+    case EvictionReason::kLinkFailure:
+      ++stats_.evicted_link_failure;
+      break;
+    case EvictionReason::kMissedHeartbeats:
+      ++stats_.evicted_missed_heartbeats;
+      break;
+  }
+  health::FlightRecorder::global().record(
+      health::EventKind::kWorkerEvicted, tick_, static_cast<std::uint64_t>(slot),
+      static_cast<std::uint64_t>(pid), static_cast<std::uint64_t>(reason));
+  log_warn() << "cluster: evicting worker " << slot << " (pid " << pid
+             << "): " << eviction_reason_name(reason);
+  if (!already_reaped && pid > 0) {
+    // The process may be hung (SIGSTOP, livelock) rather than dead; make the
+    // eviction final so the slot can be reused.
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  w.handle.channel.close();
+  w.handle.pid = -1;
+  for (auto& [sid, s] : sessions_) {
+    if (s.owner != slot) continue;
+    s.owner = kNoOwner;
+    pending_migrations_.emplace_back(sid, slot);
+  }
+  if (config_.respawn) {
+    spawn_slot_locked(slot);
+    ++stats_.workers_respawned;
+    GP_COUNTER_ADD("gp.cluster.workers_respawned", 1);
+  }
+  drive_migrations_locked();
+}
+
+void Cluster::drive_migrations_locked() {
+  // Evictions triggered *during* a migration (the new owner fails too) land
+  // back in pending_migrations_; only the outermost call drains the queue,
+  // so the recursion depth stays constant no matter how many workers fall.
+  if (migration_depth_ > 0) return;
+  ++migration_depth_;
+  // Hard bound on total work: every session can fail over across every slot
+  // a constant number of times before we give up and leave it unowned.
+  std::size_t pops_left = (sessions_.size() + 1) * (config_.workers + 2);
+  while (!pending_migrations_.empty()) {
+    const auto [sid, from_slot] = pending_migrations_.back();
+    pending_migrations_.pop_back();
+    SessionState& s = session_locked(sid);
+    if (s.owner != kNoOwner) continue;  // already re-homed by a later entry
+    if (pops_left == 0) {
+      ++stats_.migration_failures;
+      GP_COUNTER_ADD("gp.cluster.migration_failures", 1);
+      continue;
+    }
+    --pops_left;
+    std::size_t placed_target = kNoOwner;
+    for (std::size_t attempt = 0;
+         attempt < config_.workers + 1 && placed_target == kNoOwner; ++attempt) {
+      const std::size_t target = route_locked(sid);
+      if (target == kNoOwner) break;
+      try {
+        if (s.checkpoint_valid) {
+          const Message reply = call_locked(
+              target, MsgType::kRestore, encode_state(sid, s.checkpoint));
+          if (reply.type != MsgType::kAck) {
+            throw TransportError(
+                std::string("unexpected kRestore reply: ") + msg_type_name(reply.type) +
+                (reply.type == MsgType::kError ? " (" + decode_text(reply.payload) + ")"
+                                               : std::string()));
+          }
+        }
+        for (const FrameCloud& frame : s.replay) {
+          const Message reply = call_locked(
+              target, MsgType::kFrame, encode_wire_frame(sid, frame));
+          if (reply.type != MsgType::kAck ||
+              static_cast<serve::Admission>(decode_ack(reply.payload)) !=
+                  serve::Admission::kAccepted) {
+            // A replay frame the old owner had accepted must land — a
+            // partial replay leaves the target's stream diverged, so discard
+            // that worker's state (evict) and try a fresh target.
+            throw TransportError("replay frame not accepted during failover");
+          }
+        }
+        placed_target = target;
+      } catch (const Error& e) {
+        log_warn() << "cluster: failover of session " << sid << " to worker " << target
+                   << " failed: " << e.what();
+        evict_locked(target, EvictionReason::kLinkFailure, /*already_reaped=*/false);
+        // Note: the eviction queued the *target's* sessions; this session is
+        // still unowned and the attempt loop tries the next route.
+      }
+    }
+    if (placed_target != kNoOwner) {
+      s.owner = placed_target;
+      s.migrated_this_tick = true;
+      ++stats_.sessions_migrated;
+      GP_COUNTER_ADD("gp.cluster.sessions_migrated", 1);
+      health::FlightRecorder::global().record(
+          health::EventKind::kSessionMigrated, tick_, sid,
+          static_cast<std::uint64_t>(from_slot),
+          static_cast<std::uint64_t>(placed_target));
+    } else {
+      ++stats_.migration_failures;
+      GP_COUNTER_ADD("gp.cluster.migration_failures", 1);
+      // Left unowned with checkpoint+replay intact: a later push_frame (or
+      // respawn) re-queues the failover once capacity returns.
+    }
+  }
+  --migration_depth_;
+}
+
+void Cluster::supervise() {
+  std::lock_guard<std::mutex> lk(mu_);
+  reap_dead_locked();
+  heartbeat_probe_locked();
+  publish_gauges_locked();
+}
+
+health::Verdict Cluster::verdict_locked() const {
+  std::size_t alive = 0;
+  for (const WorkerState& w : workers_) alive += w.alive ? 1 : 0;
+  if (alive == 0) return health::Verdict::kUnhealthy;
+  if (alive < workers_.size()) return health::Verdict::kDegraded;
+  return health::Verdict::kHealthy;
+}
+
+void Cluster::publish_gauges_locked() const {
+  std::size_t alive = 0;
+  for (const WorkerState& w : workers_) alive += w.alive ? 1 : 0;
+  obs::gauge("gp.cluster.workers_alive").set(static_cast<double>(alive));
+  obs::gauge("gp.cluster.verdict")
+      .set(static_cast<double>(static_cast<int>(verdict_locked())));
+}
+
+health::Verdict Cluster::verdict() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return verdict_locked();
+}
+
+std::size_t Cluster::worker_count() const { return config_.workers; }
+
+std::size_t Cluster::workers_alive() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::size_t alive = 0;
+  for (const WorkerState& w : workers_) alive += w.alive ? 1 : 0;
+  return alive;
+}
+
+pid_t Cluster::worker_pid(std::size_t slot) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (slot >= workers_.size() || !workers_[slot].alive) return -1;
+  return workers_[slot].handle.pid;
+}
+
+std::size_t Cluster::owner_slot(std::uint64_t session_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? kNoOwner : it->second.owner;
+}
+
+Cluster::Stats Cluster::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+}  // namespace gp::cluster

@@ -1,0 +1,186 @@
+// gp::cluster — crash-tolerant multi-process serving (DESIGN.md §12).
+//
+// The Cluster owns N forked worker processes, each running a single-threaded
+// gp::serve::Server behind the checksummed wire protocol (wire.hpp), and
+// plays two roles over them:
+//
+//   Router: consistent-hashes session ids onto worker slots (a fixed ring
+//   of virtual nodes; assignments are sticky until an eviction), speaks
+//   at-most-once RPC per link (per-link seq + worker-side duplicate
+//   suppression), and retries transient link failures under
+//   faults::with_retries with a total deadline budget.
+//
+//   Supervisor: detects dead children (waitpid WNOHANG), hung workers
+//   (missed heartbeat probes) and broken links (RPC failure after retries),
+//   evicts them typed, respawns replacements, and *migrates* the evicted
+//   worker's sessions — restore the last checkpointed StreamSession state
+//   blob on the new owner, then re-deliver the replay buffer of frames
+//   accepted since that checkpoint. The delivered frame sequence after a
+//   failover is therefore byte-identical to the uninterrupted stream, and
+//   because per-session results are a pure function of (frame sequence,
+//   serve seed, session id, ordinal), results stay *bitwise* identical to a
+//   fault-free single-worker run. Replayed segments re-emitted by the new
+//   owner are deduplicated by per-session next-expected-ordinal.
+//
+// Graceful degradation: when every slot is down and respawn is off,
+// push_frame sheds typed (serve::Admission::kRejectedNoWorker) — the serve
+// load-shed vocabulary, extended one row. Everything is counted under
+// gp.cluster.* and the capacity verdict reuses gp::health's vocabulary.
+//
+// Threading contract: all public methods are thread-safe behind one router
+// mutex; RPCs serialize on it (throughput scaling comes from the worker
+// processes, not from router concurrency).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cluster/config.hpp"
+#include "cluster/wire.hpp"
+#include "cluster/worker.hpp"
+#include "health/slo.hpp"
+#include "pointcloud/point.hpp"
+#include "serve/config.hpp"
+
+namespace gp::cluster {
+
+/// Why a worker was evicted (flight-recorder payload + per-reason counters).
+enum class EvictionReason : std::uint64_t {
+  kProcessDied = 0,     ///< waitpid reaped the child (crash / SIGKILL)
+  kLinkFailure,         ///< an RPC failed after retries + deadline budget
+  kMissedHeartbeats,    ///< max_missed_heartbeats probes went unanswered
+};
+const char* eviction_reason_name(EvictionReason reason);
+
+class Cluster {
+ public:
+  /// Forks config.workers workers (each publishes config.model_path).
+  explicit Cluster(const ClusterConfig& config);
+  /// Graceful shutdown: best-effort kShutdown RPC, close links, reap; any
+  /// straggler is SIGKILLed. Never throws.
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Routes one frame to the session's owner worker. Returns the worker's
+  /// admission verdict; kRejectedNoWorker when no live worker remains.
+  /// Accepted frames enter the session's replay buffer until the next
+  /// checkpoint, so a failover can re-deliver them.
+  serve::Admission push_frame(std::uint64_t session_id, const FrameView& frame);
+
+  /// One cluster tick: reap dead children, pump every live worker (collect
+  /// + dedupe results), take due session checkpoints, probe idle workers.
+  std::vector<serve::ServeResult> pump();
+
+  /// End-of-stream: drains every worker (flushes in-progress gestures),
+  /// repeating while failovers migrate sessions mid-drain, so the final
+  /// result set is complete even when a worker dies during the drain.
+  std::vector<serve::ServeResult> drain();
+
+  /// Supervision sweep without pumping: reap dead children and heartbeat-
+  /// probe workers idle for longer than heartbeat_ms. Call this when the
+  /// cluster is otherwise idle; pump() runs the same sweep every tick.
+  void supervise();
+
+  /// Capacity verdict in gp::health vocabulary: kHealthy = every slot live,
+  /// kDegraded = some slots down, kUnhealthy = none left.
+  health::Verdict verdict() const;
+
+  std::size_t worker_count() const;  ///< configured slots
+  std::size_t workers_alive() const;
+  /// pid of slot `s` (-1 when down) — chaos tests SIGKILL/SIGSTOP through it.
+  pid_t worker_pid(std::size_t slot) const;
+  /// Current owner slot of a session (SIZE_MAX when unowned); diagnostics.
+  std::size_t owner_slot(std::uint64_t session_id) const;
+
+  /// Monotonic tallies, mirrored into gp.cluster.* obs counters.
+  struct Stats {
+    std::uint64_t frames_accepted = 0;
+    std::uint64_t frames_rejected_queue_full = 0;
+    std::uint64_t frames_shed_no_worker = 0;
+    std::uint64_t results = 0;
+    std::uint64_t duplicate_results_dropped = 0;
+    std::uint64_t corrupt_requests = 0;  ///< worker kCorrupt replies (typed rejects)
+    std::uint64_t corrupt_replies = 0;   ///< router-side envelope decode failures
+    std::uint64_t rpc_attempts = 0;
+    std::uint64_t rpc_calls = 0;         ///< retries = attempts - calls
+    std::uint64_t rpc_failures = 0;      ///< RPCs that exhausted retries
+    std::uint64_t workers_spawned = 0;
+    std::uint64_t workers_evicted = 0;
+    std::uint64_t evicted_process_died = 0;
+    std::uint64_t evicted_link_failure = 0;
+    std::uint64_t evicted_missed_heartbeats = 0;
+    std::uint64_t workers_respawned = 0;
+    std::uint64_t sessions_migrated = 0;
+    std::uint64_t migration_failures = 0;  ///< sessions left unowned
+    std::uint64_t checkpoints = 0;
+    std::uint64_t heartbeat_probes = 0;
+    std::uint64_t heartbeat_misses = 0;
+  };
+  Stats stats() const;
+
+  const ClusterConfig& config() const { return config_; }
+
+ private:
+  static constexpr std::size_t kNoOwner = static_cast<std::size_t>(-1);
+
+  struct WorkerState {
+    WorkerHandle handle;
+    bool alive = false;
+    std::uint64_t seq = 0;          ///< per-link request sequence
+    std::uint64_t last_ok_ns = 0;   ///< last successful RPC (heartbeat basis)
+    std::size_t missed_heartbeats = 0;
+  };
+
+  struct SessionState {
+    std::size_t owner = kNoOwner;
+    std::uint64_t emitted = 0;  ///< results returned to the caller (dedupe bar)
+    std::uint64_t frames_since_checkpoint = 0;
+    bool checkpoint_valid = false;
+    bool migrated_this_tick = false;  ///< skip checkpointing until re-pumped
+    std::string checkpoint;           ///< GPSS blob (state at last checkpoint)
+    std::vector<FrameCloud> replay;   ///< accepted frames since the checkpoint
+  };
+
+  // All *_locked members require mu_.
+  void spawn_slot_locked(std::size_t slot);
+  std::vector<int> open_fds_locked() const;
+  /// One request/reply exchange with a fixed seq (retries reuse the seq so
+  /// the worker's duplicate suppression can fire). Returns kError replies to
+  /// the caller; wraps corrupt envelopes into retryable TransportError.
+  Message attempt_locked(std::size_t slot, std::uint64_t seq, MsgType type,
+                         const std::string& payload, std::uint64_t deadline_ms);
+  Message call_locked(std::size_t slot, MsgType type, const std::string& payload,
+                      std::uint64_t deadline_ms, const faults::RetryPolicy& policy);
+  Message call_locked(std::size_t slot, MsgType type, const std::string& payload);
+  void reap_dead_locked();
+  void evict_locked(std::size_t slot, EvictionReason reason, bool already_reaped);
+  void drive_migrations_locked();
+  std::size_t route_locked(std::uint64_t session_id) const;
+  SessionState& session_locked(std::uint64_t session_id);
+  void append_results_locked(const std::vector<serve::ServeResult>& batch,
+                             std::vector<serve::ServeResult>& out);
+  void checkpoint_due_locked();
+  void heartbeat_probe_locked();
+  void publish_gauges_locked() const;
+  health::Verdict verdict_locked() const;
+
+  ClusterConfig config_;
+  mutable std::mutex mu_;
+  std::vector<WorkerState> workers_;
+  std::vector<std::pair<std::uint64_t, std::size_t>> ring_;  ///< (hash, slot), sorted
+  std::map<std::uint64_t, SessionState> sessions_;
+  /// (session id, evicted-from slot) queued for failover.
+  std::vector<std::pair<std::uint64_t, std::size_t>> pending_migrations_;
+  int migration_depth_ = 0;  ///< re-entrancy guard for drive_migrations
+  std::uint64_t tick_ = 0;   ///< cluster pump/drain count (flight-rec basis)
+  std::uint64_t heartbeat_nonce_ = 0;
+  Stats stats_;
+};
+
+}  // namespace gp::cluster

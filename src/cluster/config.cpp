@@ -1,0 +1,34 @@
+#include "cluster/config.hpp"
+
+#include <cstdlib>
+
+#include "common/logging.hpp"
+
+namespace gp::cluster {
+
+namespace {
+
+/// Parses a positive integer env var; warns and keeps `fallback` on junk.
+std::uint64_t env_u64(const char* name, std::uint64_t fallback, std::uint64_t min_value) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < min_value) {
+    log_warn() << "ignoring invalid " << name << "='" << v << "' (want an integer >= "
+               << min_value << ")";
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(parsed);
+}
+
+}  // namespace
+
+ClusterConfig ClusterConfig::from_env(ClusterConfig base) {
+  base.workers = static_cast<std::size_t>(env_u64("GP_CLUSTER_WORKERS", base.workers, 1));
+  base.heartbeat_ms = env_u64("GP_CLUSTER_HEARTBEAT_MS", base.heartbeat_ms, 1);
+  base.serve = serve::ServeConfig::from_env(base.serve);
+  return base;
+}
+
+}  // namespace gp::cluster

@@ -1,0 +1,164 @@
+#include "cluster/transport.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "cluster/wire.hpp"
+#include "common/logging.hpp"
+#include "exec/exec.hpp"
+#include "faults/faults.hpp"
+
+namespace gp::cluster {
+
+namespace {
+
+/// Remaining poll budget in ms, or -1 for "block indefinitely".
+int remaining_ms(std::uint64_t deadline_ms, std::uint64_t start_ns) {
+  if (deadline_ms == 0) return -1;
+  const std::uint64_t elapsed_ms = (monotonic_ns() - start_ns) / 1000000ULL;
+  if (elapsed_ms >= deadline_ms) return 0;
+  return static_cast<int>(deadline_ms - elapsed_ms);
+}
+
+}  // namespace
+
+Channel::Channel(int fd, LinkFaultConfig faults) : fd_(fd), faults_(faults) {}
+
+Channel::~Channel() { close(); }
+
+Channel::Channel(Channel&& other) noexcept
+    : fd_(other.fd_),
+      send_count_(other.send_count_),
+      faults_(other.faults_),
+      chaos_scratch_(std::move(other.chaos_scratch_)) {
+  other.fd_ = -1;
+}
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    send_count_ = other.send_count_;
+    faults_ = other.faults_;
+    chaos_scratch_ = std::move(other.chaos_scratch_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Channel::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Channel::send_message(const std::string& envelope) {
+  if (fd_ < 0) throw TransportError("send on a closed channel");
+  const std::string* bytes = &envelope;
+  const std::uint64_t draw_index = send_count_++;
+  if (faults_.armed()) {
+    // Deterministic chaos: the draw is a pure function of (seed, send
+    // counter), so a retry — a new send — corrupts (or not) independently
+    // and any failing schedule replays exactly from the config.
+    Rng rng = exec::child_rng(faults_.seed, draw_index);
+    const bool flip = rng.uniform() < faults_.flip_prob;
+    const bool truncate = rng.uniform() < faults_.truncate_prob;
+    if (flip || truncate) {
+      chaos_scratch_ = envelope;
+      if (truncate && chaos_scratch_.size() > 6) {
+        // Keep at least the magic so the receiver exercises the checksum /
+        // short-payload paths, not only the tag check.
+        const std::size_t keep =
+            6 + rng.index(chaos_scratch_.size() - 6);
+        chaos_scratch_.resize(keep);
+      }
+      if (flip) {
+        faults::flip_bits(chaos_scratch_, faults_.flip_bits,
+                          exec::child_seed(faults_.seed, draw_index));
+      }
+      bytes = &chaos_scratch_;
+    }
+  }
+  if (bytes->size() > kMaxMessageBytes) {
+    throw TransportError("message exceeds the framing cap");
+  }
+  const std::uint32_t len = static_cast<std::uint32_t>(bytes->size());
+  char header[sizeof(len)];
+  std::memcpy(header, &len, sizeof(len));
+
+  const auto send_all = [&](const char* data, std::size_t n) {
+    std::size_t sent = 0;
+    while (sent < n) {
+      const ssize_t rc = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        throw TransportError(std::string("link send failed: ") + std::strerror(errno));
+      }
+      sent += static_cast<std::size_t>(rc);
+    }
+  };
+  send_all(header, sizeof(header));
+  send_all(bytes->data(), bytes->size());
+}
+
+void Channel::read_exact(char* dst, std::size_t n, std::uint64_t deadline_ms,
+                         std::uint64_t start_ns, bool* clean_eof) {
+  std::size_t got = 0;
+  while (got < n) {
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int budget = remaining_ms(deadline_ms, start_ns);
+    if (deadline_ms != 0 && budget <= 0) {
+      throw TimeoutError("link recv deadline (" + std::to_string(deadline_ms) +
+                         " ms) exceeded");
+    }
+    const int rc = ::poll(&pfd, 1, budget);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(std::string("link poll failed: ") + std::strerror(errno));
+    }
+    if (rc == 0) {
+      throw TimeoutError("link recv deadline (" + std::to_string(deadline_ms) +
+                         " ms) exceeded");
+    }
+    const ssize_t r = ::read(fd_, dst + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw TransportError(std::string("link read failed: ") + std::strerror(errno));
+    }
+    if (r == 0) {
+      if (got == 0 && clean_eof != nullptr) {
+        *clean_eof = true;
+        return;
+      }
+      throw TransportError("peer closed the link mid-message");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+}
+
+bool Channel::recv_message(std::string& out, std::uint64_t deadline_ms) {
+  if (fd_ < 0) throw TransportError("recv on a closed channel");
+  const std::uint64_t start_ns = monotonic_ns();
+  std::uint32_t len = 0;
+  bool clean_eof = false;
+  read_exact(reinterpret_cast<char*>(&len), sizeof(len), deadline_ms, start_ns,
+             &clean_eof);
+  if (clean_eof) return false;
+  if (len > kMaxMessageBytes) {
+    throw TransportError("framing length " + std::to_string(len) +
+                         " exceeds the cap (corrupt framing)");
+  }
+  out.resize(len);
+  if (len > 0) read_exact(out.data(), len, deadline_ms, start_ns, nullptr);
+  return true;
+}
+
+}  // namespace gp::cluster

@@ -1,0 +1,68 @@
+// gp::cluster transport: framed, deadline-bounded messaging over a
+// socketpair (DESIGN.md §12).
+//
+// Framing is [u32 little-endian length][envelope bytes]; the envelope's own
+// magic/version/checksum (wire.hpp) authenticates the content. The framing
+// length is capped, so a corrupt length prefix is a typed TransportError,
+// never a multi-gigabyte read. Reads are poll(2)-bounded: recv_message
+// either returns a complete frame, returns false on a clean EOF (peer
+// closed at a message boundary — normal shutdown), or throws TimeoutError /
+// TransportError. Writes use MSG_NOSIGNAL so a dead peer surfaces as a
+// typed TransportError instead of SIGPIPE killing the router.
+//
+// Link chaos: when constructed with an armed LinkFaultConfig, each send may
+// corrupt the outgoing envelope (bit flips / truncation) under a draw keyed
+// by (seed, send counter). The framing length always matches what is sent —
+// the model is "bytes damaged in flight", not "framing broken" — so the
+// receiver always obtains *an* envelope and the checksum decides.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/config.hpp"
+
+namespace gp::cluster {
+
+class Channel {
+ public:
+  Channel() = default;
+  explicit Channel(int fd, LinkFaultConfig faults = {});
+  ~Channel();
+  Channel(Channel&& other) noexcept;
+  Channel& operator=(Channel&& other) noexcept;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Sends one framed envelope (after the chaos draw). Throws
+  /// TransportError on a dead peer or write failure.
+  void send_message(const std::string& envelope);
+
+  /// Receives one framed envelope into `out`. `deadline_ms` bounds the
+  /// whole message (0 = block indefinitely — the worker side, where a
+  /// vanished router manifests as EOF, not a hang). Returns false on clean
+  /// EOF at a message boundary; throws TimeoutError past the deadline and
+  /// TransportError on mid-message EOF or read errors.
+  bool recv_message(std::string& out, std::uint64_t deadline_ms);
+
+  void close() noexcept;
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Envelopes sent so far (chaos draws consumed); diagnostics/tests.
+  std::uint64_t sends() const { return send_count_; }
+
+  /// Hard cap on a framed message (validated against the length prefix).
+  static constexpr std::uint32_t kMaxMessageBytes = 64u << 20;
+
+ private:
+  void read_exact(char* dst, std::size_t n, std::uint64_t deadline_ms,
+                  std::uint64_t start_ns, bool* clean_eof);
+
+  int fd_ = -1;
+  std::uint64_t send_count_ = 0;
+  LinkFaultConfig faults_;
+  std::string chaos_scratch_;  ///< recycled corrupted-copy buffer
+};
+
+}  // namespace gp::cluster

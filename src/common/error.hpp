@@ -30,6 +30,16 @@ class SerializationError : public Error {
   explicit SerializationError(const std::string& what) : Error(what) {}
 };
 
+/// Thrown when an operation exhausts its wall-clock deadline (retry budgets
+/// in gp::faults, deadline-bounded cluster RPCs). Deliberately a plain
+/// gp::Error subclass: a timeout on one attempt *is* transient and may be
+/// retried by an enclosing policy — only the enclosing policy's own total
+/// deadline turns it terminal.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
+
 /// Verifies an internal invariant; throws gp::Error when it does not hold.
 inline void check(bool condition, std::string_view message) {
   if (!condition) throw Error(std::string(message));

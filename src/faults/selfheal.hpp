@@ -11,6 +11,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <thread>
 
@@ -30,9 +31,17 @@ std::string quarantine_file(const std::string& path) noexcept;
 /// Retry schedule for transient IO: `attempts` tries total, sleeping
 /// base_backoff_ms * 2^k between consecutive tries. The defaults keep the
 /// worst-case added latency to ~6 ms — cheap insurance on the cold path.
+///
+/// `deadline_ms` is an optional *total* wall-clock budget across all
+/// attempts (0 = unlimited). The budget is checked before each retry —
+/// once it is exhausted a gp::TimeoutError wrapping the last failure is
+/// thrown instead of sleeping into another attempt, so a caller holding a
+/// latency SLO (the cluster router's per-link RPCs) gets a typed, bounded
+/// failure rather than the full exponential tail.
 struct RetryPolicy {
   std::size_t attempts = 3;
   double base_backoff_ms = 2.0;
+  std::uint64_t deadline_ms = 0;  ///< total budget across attempts; 0 = none
 };
 
 /// Runs `fn` under the retry policy. A gp::Error from `fn` triggers a
@@ -41,17 +50,31 @@ struct RetryPolicy {
 /// friends are not transient and escape immediately. SerializationError is
 /// *also* not retried: corrupt bytes stay corrupt no matter how often they
 /// are re-read, so it escapes at once for the caller to quarantine.
+/// With a deadline budget, retries stop early with gp::TimeoutError once
+/// elapsed + the next backoff would overrun `deadline_ms`.
 template <typename Fn>
 auto with_retries(const RetryPolicy& policy, Fn&& fn) -> decltype(fn()) {
+  using Clock = std::chrono::steady_clock;
   const std::size_t attempts = policy.attempts == 0 ? 1 : policy.attempts;
+  const Clock::time_point start = Clock::now();
   for (std::size_t attempt = 0;; ++attempt) {
     try {
       return fn();
     } catch (const SerializationError&) {
       throw;  // corruption is deterministic, not transient
-    } catch (const Error&) {
+    } catch (const Error& e) {
       if (attempt + 1 >= attempts) throw;
       const double ms = policy.base_backoff_ms * static_cast<double>(1ULL << attempt);
+      if (policy.deadline_ms > 0) {
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+        if (elapsed_ms + ms > static_cast<double>(policy.deadline_ms)) {
+          throw TimeoutError("retry deadline budget (" +
+                             std::to_string(policy.deadline_ms) +
+                             " ms) exhausted after " + std::to_string(attempt + 1) +
+                             " attempt(s); last error: " + e.what());
+        }
+      }
       std::this_thread::sleep_for(
           std::chrono::microseconds(static_cast<long>(ms * 1000.0)));
     }

@@ -58,6 +58,8 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kHotSwap: return "hot_swap";
     case EventKind::kPublishFail: return "publish_fail";
     case EventKind::kVerdictFlip: return "verdict_flip";
+    case EventKind::kWorkerEvicted: return "worker_evicted";
+    case EventKind::kSessionMigrated: return "session_migrated";
     case EventKind::kMark: return "mark";
   }
   return "?";

@@ -40,6 +40,8 @@ enum class EventKind : std::uint64_t {
   kHotSwap,             ///< a=new version
   kPublishFail,         ///< a=0 (load/verify failure; old model keeps serving)
   kVerdictFlip,         ///< a=old verdict, b=new verdict, c=tick streak
+  kWorkerEvicted,       ///< a=worker slot, b=pid, c=eviction reason (§12)
+  kSessionMigrated,     ///< a=session_id, b=from slot, c=to slot (§12)
   kMark,                ///< a/b/c caller-defined (tests, tooling)
 };
 const char* event_kind_name(EventKind kind);

@@ -199,4 +199,36 @@ std::string health_bench_json(std::size_t reps, std::size_t ticks_per_rep,
   return out.str();
 }
 
+std::string cluster_bench_json(std::size_t sessions,
+                               const std::vector<std::size_t>& workers_swept,
+                               const std::vector<ClusterSweepCell>& cells,
+                               const ClusterFailoverSummary& failover) {
+  std::ostringstream out;
+  out << "{\n  \"sessions\": " << sessions << ",\n  \"workers\": [";
+  for (std::size_t i = 0; i < workers_swept.size(); ++i) {
+    out << (i ? ", " : "") << workers_swept[i];
+  }
+  out << "],\n  \"cells\": [\n";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const ClusterSweepCell& c = cells[i];
+    out << "    {\"workers\": " << c.workers << ", \"frames\": " << c.frames
+        << ", \"results\": " << c.results << ", \"rpc_calls\": " << c.rpc_calls
+        << ", \"rpc_attempts\": " << c.rpc_attempts
+        << ", \"checkpoints\": " << c.checkpoints << ", \"ms\": " << json::number(c.ms)
+        << ", \"bitwise_vs_single\": " << (c.bitwise_vs_single ? "true" : "false") << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"failover\": {\n    \"measured\": "
+      << (failover.measured ? "true" : "false") << ",\n    \"workers\": "
+      << failover.workers << ",\n    \"evictions\": " << failover.evictions
+      << ",\n    \"migrations\": " << failover.migrations
+      << ",\n    \"respawns\": " << failover.respawns
+      << ",\n    \"results\": " << failover.results
+      << ",\n    \"shed\": " << failover.shed
+      << ",\n    \"ms\": " << json::number(failover.ms)
+      << ",\n    \"bitwise_identical\": "
+      << (failover.bitwise_identical ? "true" : "false") << "\n  }\n}\n";
+  return out.str();
+}
+
 }  // namespace gp::obs

@@ -182,4 +182,43 @@ std::string health_bench_json(std::size_t reps, std::size_t ticks_per_rep,
                               const std::string& verdict, std::uint64_t verdict_flips,
                               std::uint64_t flightrec_events);
 
+/// One worker-count cell of the cluster sweep: the same session streams
+/// served by a gp::cluster::Cluster with `workers` forked replicas.
+struct ClusterSweepCell {
+  std::size_t workers = 0;
+  std::uint64_t frames = 0;       ///< frames accepted across all sessions
+  std::uint64_t results = 0;      ///< ServeResults delivered to the router
+  std::uint64_t rpc_calls = 0;    ///< logical RPCs issued on worker links
+  std::uint64_t rpc_attempts = 0; ///< wire attempts incl. retries
+  std::uint64_t checkpoints = 0;  ///< session state snapshots captured
+  double ms = 0.0;                ///< stream in → drained wall time
+  bool bitwise_vs_single = false; ///< results identical to the 1-worker run
+};
+
+/// The kill-and-recover scenario: one worker SIGKILLed mid-stream, its
+/// sessions restored onto survivors from checkpoint + replay.
+struct ClusterFailoverSummary {
+  bool measured = false;
+  std::size_t workers = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t respawns = 0;
+  std::uint64_t results = 0;
+  std::uint64_t shed = 0;  ///< must be 0: failover degrades, it never drops
+  double ms = 0.0;
+  bool bitwise_identical = false;  ///< results match the undisturbed run
+};
+
+/// Builds the BENCH_cluster.json document (gp::cluster crash-tolerance
+/// evidence, DESIGN.md §12). Schema (pinned by golden test
+/// `bench_cluster_schema`):
+///   {sessions, workers:[...], cells:[{workers,frames,results,rpc_calls,
+///    rpc_attempts,checkpoints,ms,bitwise_vs_single}],
+///    failover:{measured,workers,evictions,migrations,respawns,results,
+///              shed,ms,bitwise_identical}}
+std::string cluster_bench_json(std::size_t sessions,
+                               const std::vector<std::size_t>& workers_swept,
+                               const std::vector<ClusterSweepCell>& cells,
+                               const ClusterFailoverSummary& failover);
+
 }  // namespace gp::obs

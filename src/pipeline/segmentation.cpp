@@ -221,4 +221,156 @@ std::vector<GestureSegment> GestureSegmenter::segment_all(const FrameSequence& f
   return segmenter.take_segments();
 }
 
+namespace {
+
+// Frame (de)serialization for the session-handoff state blob. Minimum wire
+// footprint of one point: 5 f64 + 1 i32 = 44 bytes, used to validate the
+// untrusted point count before any allocation. A frame itself can be empty,
+// so the per-frame floor is only its header (index + timestamp + count).
+constexpr std::size_t kMinPointBytes = 5 * sizeof(double) + sizeof(std::int32_t);
+constexpr std::size_t kMinFrameBytes =
+    sizeof(std::int32_t) + sizeof(double) + sizeof(std::uint64_t);
+
+void write_frame(BinaryWriter& w, const FrameCloud& frame) {
+  w.write_i32(frame.frame_index);
+  w.write_f64(frame.timestamp);
+  w.write_u64(frame.points.size());
+  for (const RadarPoint& p : frame.points) {
+    w.write_f64(p.position.x);
+    w.write_f64(p.position.y);
+    w.write_f64(p.position.z);
+    w.write_f64(p.velocity);
+    w.write_f64(p.snr_db);
+    w.write_i32(p.frame);
+  }
+}
+
+void read_frame(BinaryReader& r, FrameCloud& frame) {
+  frame.frame_index = r.read_i32();
+  frame.timestamp = r.read_f64();
+  const std::uint64_t n = r.read_count(kMinPointBytes, "segmenter frame points");
+  frame.points.clear();
+  frame.points.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    RadarPoint p;
+    p.position.x = r.read_f64();
+    p.position.y = r.read_f64();
+    p.position.z = r.read_f64();
+    p.velocity = r.read_f64();
+    p.snr_db = r.read_f64();
+    p.frame = r.read_i32();
+    frame.points.push_back(p);
+  }
+}
+
+}  // namespace
+
+void GestureSegmenter::save_state(BinaryWriter& w) const {
+  check(ranges_.empty(), "GestureSegmenter::save_state: completed segments not drained");
+  // Params fingerprint: a restored stream continuing under different
+  // segmentation params would silently diverge; make the mismatch typed.
+  w.write_u64(params_.threshold_window);
+  w.write_u64(params_.detection_window);
+  w.write_u64(params_.min_motion_frames);
+  w.write_f64(params_.threshold_quantile);
+  w.write_u64(params_.threshold_margin);
+  w.write_u64(params_.min_threshold);
+  w.write_u64(params_.max_gesture_frames);
+  w.write_u64(params_.max_gap_frames);
+
+  // Count-history ring, oldest first (canonical: rotation-independent).
+  w.write_u64(recent_size_);
+  for (std::size_t k = 0; k < recent_size_; ++k) {
+    w.write_u64(recent_counts_[(recent_start_ + k) % recent_counts_.size()]);
+  }
+
+  // Detection-window state ring, oldest first. window_pos_ is the next
+  // overwrite slot, i.e. the oldest entry — start there.
+  const std::size_t n = window_states_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    w.write_u8(static_cast<std::uint8_t>(window_states_[(window_pos_ + k) % n]));
+  }
+
+  w.write_u64(frames_seen_);
+  w.write_u8(in_gesture_ ? 1 : 0);
+  w.write_u8(have_last_index_ ? 1 : 0);
+  w.write_i32(last_frame_index_);
+  w.write_u64(gesture_start_);
+  w.write_u64(last_motion_frame_);
+
+  w.write_u64(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) write_frame(w, pending_[i]);
+
+  w.write_u64(window_count_);
+  for (std::size_t k = 0; k < window_count_; ++k) write_frame(w, window_frame(k));
+}
+
+void GestureSegmenter::load_state(BinaryReader& r) {
+  const auto expect_u64 = [&](std::uint64_t expected, const char* what) {
+    const std::uint64_t got = r.read_u64();
+    if (got != expected) {
+      throw SerializationError(std::string("segmenter state: ") + what +
+                               " mismatch: saved " + std::to_string(got) +
+                               ", restoring segmenter has " + std::to_string(expected));
+    }
+  };
+  expect_u64(params_.threshold_window, "threshold_window");
+  expect_u64(params_.detection_window, "detection_window");
+  expect_u64(params_.min_motion_frames, "min_motion_frames");
+  if (r.read_f64() != params_.threshold_quantile) {
+    throw SerializationError("segmenter state: threshold_quantile mismatch");
+  }
+  expect_u64(params_.threshold_margin, "threshold_margin");
+  expect_u64(params_.min_threshold, "min_threshold");
+  expect_u64(params_.max_gesture_frames, "max_gesture_frames");
+  expect_u64(params_.max_gap_frames, "max_gap_frames");
+
+  const std::uint64_t recent_n = r.read_count(sizeof(std::uint64_t), "recent counts");
+  if (recent_n > recent_counts_.size()) {
+    throw SerializationError("segmenter state: recent-count ring overflows capacity");
+  }
+  // Canonical restore: logical content at ring offset 0. A rotation of the
+  // ring start is unobservable through push()/current_threshold(), so the
+  // restored segmenter behaves bitwise identically to the saved one.
+  recent_start_ = 0;
+  recent_size_ = static_cast<std::size_t>(recent_n);
+  for (std::size_t k = 0; k < recent_size_; ++k) {
+    recent_counts_[k] = static_cast<std::size_t>(r.read_u64());
+  }
+  threshold_dirty_ = true;
+
+  const std::size_t n = window_states_.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    window_states_[k] = static_cast<char>(r.read_u8() != 0 ? 1 : 0);
+  }
+  window_pos_ = 0;
+
+  frames_seen_ = static_cast<std::size_t>(r.read_u64());
+  in_gesture_ = r.read_u8() != 0;
+  have_last_index_ = r.read_u8() != 0;
+  last_frame_index_ = r.read_i32();
+  gesture_start_ = static_cast<std::size_t>(r.read_u64());
+  last_motion_frame_ = static_cast<std::size_t>(r.read_u64());
+
+  const std::uint64_t pending_n = r.read_count(kMinFrameBytes, "pending frames");
+  if (pending_n > params_.max_gesture_frames + params_.detection_window) {
+    throw SerializationError("segmenter state: pending gesture overflows max length");
+  }
+  pending_.clear();
+  for (std::uint64_t i = 0; i < pending_n; ++i) read_frame(r, pending_.emplace_back());
+
+  const std::uint64_t window_n = r.read_count(kMinFrameBytes, "window frames");
+  if (window_n > params_.detection_window) {
+    throw SerializationError("segmenter state: window frame count overflows window");
+  }
+  window_start_ = 0;
+  window_count_ = static_cast<std::size_t>(window_n);
+  // Keep the lazy-growth invariant (size grows once per early push until it
+  // reaches detection_window): size >= count, slots beyond count are spare.
+  while (window_frames_.size() < window_count_) window_frames_.emplace_back();
+  for (std::size_t k = 0; k < window_count_; ++k) read_frame(r, window_frames_[k]);
+
+  clear_completed();
+}
+
 }  // namespace gp

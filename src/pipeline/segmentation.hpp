@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/mem.hpp"
+#include "common/serialize.hpp"
 #include "pointcloud/point.hpp"
 
 namespace gp {
@@ -86,6 +87,22 @@ class GestureSegmenter {
   /// Convenience: segments a complete recorded sequence in one call.
   static std::vector<GestureSegment> segment_all(const FrameSequence& frames,
                                                  SegmentationParams params = {});
+
+  /// Serializes the full mid-stream state (count-history ring, detection
+  /// window, open gesture, gap-tracking indices) through `w` in canonical
+  /// form: rings are written oldest-first so two segmenters with the same
+  /// logical state produce identical bytes regardless of ring rotation.
+  /// Precondition: the completed-segment store has been drained
+  /// (clear_completed()/take_segments()) — checkpointing undrained results
+  /// would silently drop them on the restoring side, so it throws instead.
+  /// The segmentation params are fingerprinted into the stream and
+  /// validated on load (SerializationError on mismatch).
+  void save_state(BinaryWriter& w) const;
+  /// Restores state written by save_state into a segmenter constructed with
+  /// the *same* SegmentationParams. After a load, a continued stream
+  /// produces segments bitwise identical to the uninterrupted run (the
+  /// session-handoff bar; pinned by tests/test_cluster.cpp).
+  void load_state(BinaryReader& r);
 
  private:
   bool is_motion_frame(std::size_t point_count) const;

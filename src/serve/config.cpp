@@ -42,6 +42,7 @@ const char* admission_name(Admission a) {
   switch (a) {
     case Admission::kAccepted: return "accepted";
     case Admission::kRejectedQueueFull: return "rejected_queue_full";
+    case Admission::kRejectedNoWorker: return "rejected_no_worker";
   }
   return "?";
 }

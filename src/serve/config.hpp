@@ -85,6 +85,11 @@ struct ServeConfig {
 enum class Admission {
   kAccepted = 0,
   kRejectedQueueFull,  ///< shard ingress queue at queue_cap; frame shed
+  /// Cluster-level shed (gp::cluster, DESIGN.md §12): every worker process
+  /// that could own the session is down and respawn is disabled — there is
+  /// no capacity left to route to, so the frame is rejected typed instead
+  /// of queued forever.
+  kRejectedNoWorker,
 };
 
 const char* admission_name(Admission a);

@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "exec/exec.hpp"
@@ -52,6 +53,16 @@ class Server {
   /// force-flushes the batcher, so results of *other* sessions' pending
   /// segments may ride along.
   std::vector<ServeResult> end_session(std::uint64_t session_id);
+
+  /// Session-handoff passthroughs (gp::cluster failover, DESIGN.md §12).
+  /// Serialize with pump/drain and only call them quiescent — right after a
+  /// pump, before any new push — so the blob captures the whole stream.
+  bool export_session(std::uint64_t session_id, std::ostream& out) {
+    return sessions_.export_session(session_id, out);
+  }
+  void restore_session(std::uint64_t session_id, std::istream& in) {
+    sessions_.restore_session(session_id, in);
+  }
 
   std::uint64_t ticks() const { return tick_.load(std::memory_order_relaxed); }
   SessionManager::Stats session_stats() const { return sessions_.stats(); }

@@ -112,6 +112,25 @@ void StreamSession::drain_completed(std::uint64_t tick, std::vector<SegmentPtr>&
   segmenter_.clear_completed();
 }
 
+void StreamSession::save_state(std::ostream& out) const {
+  BinaryWriter w(out, "GPSS");
+  w.write_u64(id_);
+  w.write_u64(ordinal_);
+  segmenter_.save_state(w);
+}
+
+void StreamSession::load_state(std::istream& in) {
+  BinaryReader r(in, "GPSS");
+  const std::uint64_t saved_id = r.read_u64();
+  if (saved_id != id_) {
+    throw SerializationError("session state: blob is for session " +
+                             std::to_string(saved_id) + ", restoring into session " +
+                             std::to_string(id_));
+  }
+  ordinal_ = r.read_u64();
+  segmenter_.load_state(r);
+}
+
 SessionManager::SessionManager(const ServeConfig& config, health::HealthMonitor* monitor)
     : config_(config), monitor_(monitor) {
   check_arg(config_.shards >= 1, "SessionManager: shards must be >= 1");
@@ -235,6 +254,21 @@ void SessionManager::finish_all(std::uint64_t tick, std::vector<SegmentPtr>& out
     std::lock_guard<std::mutex> lock(shard.session_mu);
     for (auto& [id, session] : shard.sessions) session.finish(tick, out);
   }
+}
+
+bool SessionManager::export_session(std::uint64_t session_id, std::ostream& out) {
+  Shard& shard = *shards_[shard_of(session_id)];
+  std::lock_guard<std::mutex> lock(shard.session_mu);
+  auto it = shard.sessions.find(session_id);
+  if (it == shard.sessions.end()) return false;
+  it->second.save_state(out);
+  return true;
+}
+
+void SessionManager::restore_session(std::uint64_t session_id, std::istream& in) {
+  Shard& shard = *shards_[shard_of(session_id)];
+  std::lock_guard<std::mutex> lock(shard.session_mu);
+  session(shard, session_id).load_state(in);
 }
 
 SessionManager::Stats SessionManager::stats() const {

@@ -97,6 +97,19 @@ class StreamSession {
   /// End-of-stream: flushes a gesture still in progress.
   void finish(std::uint64_t tick, std::vector<SegmentPtr>& out);
 
+  /// Serializes the session's resumable streaming state (segment ordinal +
+  /// full mid-gesture segmenter state; the Preprocessor is stateless and
+  /// the featurize RNG chain is a pure function of (seed, id, ordinal), so
+  /// neither needs bytes) as one "GPSS" blob. Precondition: all completed
+  /// segments have been drained — push_frame/finish drain eagerly, so any
+  /// quiescent session satisfies it. A restored session continues the
+  /// stream bitwise identically to the uninterrupted run (the cluster
+  /// session-handoff bar, DESIGN.md §12).
+  void save_state(std::ostream& out) const;
+  /// Restores state saved by save_state into a session with the same id and
+  /// config; throws SerializationError on id/params mismatch or corruption.
+  void load_state(std::istream& in);
+
   std::uint64_t id() const { return id_; }
   std::uint64_t segments_completed() const { return ordinal_; }
 
@@ -149,6 +162,15 @@ class SessionManager {
   void finish_session(std::uint64_t session_id, std::uint64_t tick,
                       std::vector<SegmentPtr>& out);
   void finish_all(std::uint64_t tick, std::vector<SegmentPtr>& out);
+
+  /// Session-handoff passthroughs (cluster failover, DESIGN.md §12): both
+  /// must run quiescent — after a drain, with no frames queued for the
+  /// session — or the exported blob would miss in-flight state.
+  /// export_session returns false when the session does not exist;
+  /// restore_session creates the session if needed and overwrites its
+  /// streaming state from the blob.
+  bool export_session(std::uint64_t session_id, std::ostream& out);
+  void restore_session(std::uint64_t session_id, std::istream& in);
 
   /// Aggregate load-shed tallies (monotonic).
   struct Stats {

@@ -4,12 +4,14 @@
 #include <fstream>
 #include <sstream>
 
+#include "cluster/wire.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "datasets/cache.hpp"
 #include "nn/quant.hpp"
 #include "nn/serialize_nn.hpp"
 #include "pointcloud/io.hpp"
+#include "serve/config.hpp"
 
 namespace gp::testkit {
 
@@ -130,6 +132,38 @@ std::string quant_tables_seed() {
   return out.str();
 }
 
+std::string wire_frame_seed() {
+  Rng rng(0xC0FFEE05ULL, 15);
+  FrameCloud frame;
+  frame.frame_index = 7;
+  frame.timestamp = 0.7;
+  for (int i = 0; i < 5; ++i) frame.points.push_back(seed_point(rng, 7));
+  cluster::Message msg;
+  msg.type = cluster::MsgType::kFrame;
+  msg.seq = 3;
+  msg.payload = cluster::encode_wire_frame(0xF0225EEDULL, frame);
+  return cluster::encode_message(msg);
+}
+
+std::string wire_results_seed() {
+  std::vector<serve::ServeResult> results(2);
+  results[0].session_id = 11;
+  results[0].segment_ordinal = 2;
+  results[0].request_id = 0x5EED;
+  results[0].gesture = 1;
+  results[0].user = 0;
+  results[0].gesture_margin = 0.125;
+  results[0].user_margin = 0.0625;
+  results[0].model_version = 1;
+  results[1].session_id = 12;
+  results[1].abstained = true;
+  cluster::Message msg;
+  msg.type = cluster::MsgType::kResults;
+  msg.seq = 4;
+  msg.payload = cluster::encode_wire_results(results);
+  return cluster::encode_message(msg);
+}
+
 std::vector<std::string> write_corpus(const std::string& dir) {
   std::filesystem::create_directories(dir);
   const std::vector<std::pair<std::string, std::string>> entries = {
@@ -138,6 +172,8 @@ std::vector<std::string> write_corpus(const std::string& dir) {
       {"params_gpnn.bin", params_seed()},
       {"report.json", report_json_seed()},
       {"quant_gpq8.bin", quant_tables_seed()},
+      {"wire_frame_gpwm.bin", wire_frame_seed()},
+      {"wire_results_gpwm.bin", wire_results_seed()},
   };
   std::vector<std::string> names;
   for (const auto& [name, payload] : entries) {

@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <string>
+#include <type_traits>
 #include <vector>
 
 #include "datasets/catalog.hpp"
@@ -456,6 +458,72 @@ TEST(WithRetries, RetriesTransientErrorsButNotCorruption) {
                                     }),
                Error);
   EXPECT_EQ(calls, 2);  // budget respected
+}
+
+TEST(WithRetries, DeadlineBudgetStopsRetriesWithTypedTimeout) {
+  // A huge backoff against a 1 ms total budget: the pre-sleep check fires
+  // before the first retry, so exactly one attempt runs and the failure is
+  // typed TimeoutError (not the transient error it wraps).
+  faults::RetryPolicy tight;
+  tight.attempts = 10;
+  tight.base_backoff_ms = 10'000.0;
+  tight.deadline_ms = 1;
+  int calls = 0;
+  try {
+    faults::with_retries(tight, [&]() -> int {
+      ++calls;
+      throw Error("transient");
+    });
+    FAIL() << "expected TimeoutError";
+  } catch (const TimeoutError& e) {
+    EXPECT_NE(std::string(e.what()).find("transient"), std::string::npos)
+        << "timeout must carry the last underlying error";
+  }
+  EXPECT_EQ(calls, 1);
+
+  // TimeoutError stays a gp::Error: callers with a plain catch keep working.
+  static_assert(std::is_base_of_v<Error, TimeoutError>);
+}
+
+TEST(WithRetries, DeadlineBudgetDoesNotChangeOtherPolicies) {
+  // deadline_ms = 0 (the default) must behave exactly as before the budget
+  // existed: all attempts are consumed and the last error propagates as-is.
+  faults::RetryPolicy unlimited;
+  unlimited.attempts = 3;
+  unlimited.base_backoff_ms = 0.01;
+  int calls = 0;
+  EXPECT_THROW(faults::with_retries(unlimited,
+                                    [&]() -> int {
+                                      ++calls;
+                                      throw Error("always down");
+                                    }),
+               Error);
+  EXPECT_EQ(calls, 3);
+
+  // A generous budget never fires for a quickly-succeeding retry chain.
+  faults::RetryPolicy roomy;
+  roomy.attempts = 4;
+  roomy.base_backoff_ms = 0.01;
+  roomy.deadline_ms = 60'000;
+  calls = 0;
+  EXPECT_EQ(faults::with_retries(roomy,
+                                 [&] {
+                                   if (++calls < 3) throw Error("transient");
+                                   return 7;
+                                 }),
+            7);
+  EXPECT_EQ(calls, 3);
+
+  // SerializationError still escapes on attempt one even with a budget set:
+  // corruption is deterministic and must never burn retry/deadline budget.
+  calls = 0;
+  EXPECT_THROW(faults::with_retries(roomy,
+                                    [&]() -> int {
+                                      ++calls;
+                                      throw SerializationError("rotten");
+                                    }),
+               SerializationError);
+  EXPECT_EQ(calls, 1);
 }
 
 }  // namespace

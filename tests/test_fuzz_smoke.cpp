@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/wire.hpp"
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "datasets/cache.hpp"
@@ -49,6 +50,8 @@ std::vector<std::string> corpus() {
   seeds.push_back(testkit::params_seed());
   seeds.push_back(testkit::report_json_seed());
   seeds.push_back(testkit::quant_tables_seed());
+  seeds.push_back(testkit::wire_frame_seed());
+  seeds.push_back(testkit::wire_results_seed());
   seeds.push_back("");  // the degenerate seed every parser must survive
   return seeds;
 }
@@ -163,6 +166,84 @@ TEST(FuzzSmoke, SloSpecParser) {
         }
         throw std::runtime_error("accepted GP_SLO spec failed canonical round-trip: '" +
                                  canonical + "'");
+      });
+  expect_clean(outcome);
+}
+
+// The GPWM cluster envelope decoder (DESIGN.md §12) is the trust boundary
+// of the worker links: every byte arriving from a socketpair is untrusted
+// until decode_message accepts it. Bit flips must die on the checksum,
+// truncations on the hardened reader — always as SerializationError. The
+// inner payload decoders run behind the envelope in production but are
+// fuzzed raw here so a forged checksum cannot be the only line of defense.
+TEST(FuzzSmoke, ClusterWireEnvelopeDecoder) {
+  const auto outcome = testkit::fuzz_target(
+      "cluster/decode_message", corpus(),
+      [](const std::string& payload) { (void)cluster::decode_message(payload); });
+  expect_clean(outcome);
+}
+
+TEST(FuzzSmoke, ClusterWireFrameDecoder) {
+  const auto outcome = testkit::fuzz_target(
+      "cluster/decode_wire_frame", corpus(),
+      [](const std::string& payload) {
+        // The canonical corpus seed is a full envelope; unwrap when it
+        // decodes so the inner GPWF payload gets direct coverage too.
+        try {
+          const cluster::Message msg = cluster::decode_message(payload);
+          (void)cluster::decode_wire_frame(msg.payload);
+          return;
+        } catch (const SerializationError&) {
+        }
+        (void)cluster::decode_wire_frame(payload);
+      });
+  expect_clean(outcome);
+}
+
+TEST(FuzzSmoke, ClusterWireResultsDecoder) {
+  const auto outcome = testkit::fuzz_target(
+      "cluster/decode_wire_results", corpus(),
+      [](const std::string& payload) {
+        try {
+          const cluster::Message msg = cluster::decode_message(payload);
+          (void)cluster::decode_wire_results(msg.payload);
+          return;
+        } catch (const SerializationError&) {
+        }
+        (void)cluster::decode_wire_results(payload);
+      });
+  expect_clean(outcome);
+}
+
+// The GPWK control payloads (acks, session-state blobs, error text) share
+// the hardened-reader contract with the larger decoders.
+TEST(FuzzSmoke, ClusterWireControlDecoders) {
+  std::vector<std::string> seeds = corpus();
+  // Canonical GPWK payloads (the committed corpus carries full GPWM
+  // envelopes, whose inner tags are GPWF/GPWR) so mutants explore near-valid
+  // control payloads too.
+  seeds.push_back(cluster::encode_ack(3));
+  seeds.push_back(cluster::encode_u64(0xF0225EEDULL));
+  seeds.push_back(cluster::encode_state(7, std::string("\x01\x02\x00\x03", 4)));
+  seeds.push_back(cluster::encode_text("segmenter state: window mismatch"));
+  const auto outcome = testkit::fuzz_target(
+      "cluster/decode_control", seeds,
+      [](const std::string& payload) {
+        bool accepted = false;
+        const auto tolerate = [&](auto&& fn) {
+          try {
+            fn();
+            accepted = true;
+          } catch (const SerializationError&) {
+          }
+        };
+        tolerate([&] { (void)cluster::decode_ack(payload); });
+        tolerate([&] { (void)cluster::decode_u64(payload); });
+        tolerate([&] { (void)cluster::decode_state(payload); });
+        tolerate([&] { (void)cluster::decode_text(payload); });
+        // Re-throw one typed rejection when nothing accepted, so the fuzz
+        // accounting still distinguishes accepted from rejected payloads.
+        if (!accepted) (void)cluster::decode_ack(payload);
       });
   expect_clean(outcome);
 }

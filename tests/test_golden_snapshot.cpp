@@ -407,6 +407,40 @@ TEST(GoldenSnapshot, HealthJsonSchemasMatchGolden) {
   EXPECT_TRUE(outcome.ok) << outcome.message;
 }
 
+TEST(GoldenSnapshot, ClusterBenchSchemaMatchesGolden) {
+  // Exemplar BENCH_cluster.json (bench/cluster_bench.cpp): the key-path set
+  // of the crash-tolerance artifact, values arbitrary.
+  obs::ClusterSweepCell cell;
+  cell.workers = 2;
+  cell.frames = 540;
+  cell.results = 9;
+  cell.rpc_calls = 730;
+  cell.rpc_attempts = 730;
+  cell.checkpoints = 22;
+  cell.ms = 880.0;
+  cell.bitwise_vs_single = true;
+  obs::ClusterFailoverSummary failover;
+  failover.measured = true;
+  failover.workers = 2;
+  failover.evictions = 1;
+  failover.migrations = 2;
+  failover.respawns = 1;
+  failover.results = 9;
+  failover.shed = 0;
+  failover.ms = 950.0;
+  failover.bitwise_identical = true;
+  const std::string bench =
+      obs::cluster_bench_json(3, {1, 2, 3}, {obs::ClusterSweepCell{}, cell}, failover);
+
+  testkit::Snapshot snap;
+  snap.add(testkit::summarize_json_schema("bench.cluster_schema",
+                                          obs::json::parse(bench)));
+  const testkit::GoldenOutcome outcome =
+      testkit::check_golden(g_golden, "bench_cluster_schema", snap);
+  if (outcome.updated) std::cout << outcome.message;
+  EXPECT_TRUE(outcome.ok) << outcome.message;
+}
+
 }  // namespace
 }  // namespace gp
 

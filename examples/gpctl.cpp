@@ -14,6 +14,12 @@
 //       live health dashboard: drives a synthetic serve load in-process and
 //       redraws verdict/SLIs/exemplar from Server::health_snapshot() each
 //       round (honours GP_SLO, GP_FLIGHTREC, GP_SERVE_*, GP_FAULTS)
+//   gpctl enroll [--rounds N] [--sessions N]
+//       live enrollment view (gp::enroll, DESIGN.md §13): streams enrolled
+//       performers plus one unknown newcomer through a serve stack with the
+//       EnrollmentService armed, and redraws candidate buffers, fine-tunes
+//       in flight and the last published model version each round (honours
+//       GP_ENROLL_K, GP_ENROLL_MAX_CANDIDATES, GP_ENROLL_BACKGROUND)
 //
 // Dataset names: gestureprint-office, gestureprint-meeting, pantomime-office,
 // pantomime-open, mhomeges, mtranssee.
@@ -25,9 +31,11 @@
 #include <memory>
 #include <string>
 
+#include "common/config.hpp"
 #include "common/table.hpp"
 #include "datasets/cache.hpp"
 #include "datasets/catalog.hpp"
+#include "enroll/enroll.hpp"
 #include "eval/splits.hpp"
 #include "serve/server.hpp"
 #include "system/cross_validate.hpp"
@@ -38,7 +46,8 @@ namespace {
 using namespace gp;
 
 int usage() {
-  std::cerr << "usage: gpctl generate|train|eval|crossval|info|top ... (see header comment)\n";
+  std::cerr << "usage: gpctl generate|train|eval|crossval|info|top|enroll ... "
+               "(see header comment)\n";
   return 2;
 }
 
@@ -286,6 +295,130 @@ int cmd_top(int argc, char** argv) {
   return 0;
 }
 
+// ----------------------------------------------------------------- enroll
+
+/// One enrollment-view frame: service stats, live candidate buffers, and the
+/// publish audit trail. Redraws in place on a tty (like `top`).
+void draw_enroll_view(const enroll::EnrollmentService& service, std::uint64_t model_version,
+                      std::size_t round, std::size_t rounds) {
+  if (::isatty(1) != 0) std::cout << "\033[2J\033[H";
+  const enroll::EnrollmentService::Stats stats = service.stats();
+  std::cout << "gpctl enroll — round " << round << "/" << rounds << ", serving model v"
+            << model_version << " (last publish v" << stats.last_publish_version << ")\n";
+  std::cout << "novelty rejections " << stats.novelty_rejections << ", fine-tunes "
+            << stats.fine_tunes_started << " started / " << stats.fine_tunes_in_flight
+            << " in flight / " << stats.fine_tunes_failed << " failed, users enrolled "
+            << stats.users_enrolled << "\n";
+  std::cout << "evicted: " << stats.evicted_segments << " segments, "
+            << stats.evicted_candidates << " candidates\n\n";
+
+  Table buffers({"candidate", "segments", "ever admitted", "need (K)"});
+  for (const enroll::Candidate& c : service.buffer().candidates()) {
+    buffers.add_row({std::to_string(c.id), std::to_string(c.segments.size()),
+                     std::to_string(c.admitted),
+                     std::to_string(service.config().admission.k_segments)});
+  }
+  if (service.buffer().candidates().empty()) {
+    std::cout << "no live enrollment candidates\n";
+  } else {
+    buffers.print();
+  }
+
+  for (const enroll::EnrollmentService::EnrolledUser& u : service.enrolled()) {
+    std::cout << "enrolled user " << u.user_id << " from candidate " << u.candidate_id
+              << " at tick " << u.tick << " -> model v" << u.model_version << " ("
+              << u.artifact << ")\n";
+  }
+  std::cout.flush();
+}
+
+/// Live enrollment dashboard over a synthetic open-set load: enrolled
+/// performers plus one unknown newcomer stream in-process; the view redraws
+/// as the newcomer's rejected segments buffer up, trigger the head-only
+/// fine-tune, and hot-swap publish a widened model.
+int cmd_enroll(int argc, char** argv) {
+  const auto flags = parse_flags(argc, argv, 2);
+  const std::size_t rounds = flags.count("rounds") ? std::stoul(flags.at("rounds")) : 6;
+  const std::size_t sessions = flags.count("sessions") ? std::stoul(flags.at("sessions")) : 3;
+
+  DatasetScale scale;
+  scale.max_users = 3;
+  scale.reps = 8;
+  DatasetSpec spec = gestureprint_spec(1, scale);
+  spec.gestures.resize(3);
+  std::cout << "training a demo model (" << spec.num_users << " users x "
+            << spec.gestures.size() << " gestures)...\n";
+  const Dataset dataset = generate_dataset(spec);
+  GesturePrintConfig config;
+  config.training.epochs = 6;
+  config.training.batch_size = 16;
+  config.prep.augmentation.copies = 2;
+  Rng split_rng(3, 1);
+  const Split split = stratified_split(dataset.gesture_labels(), 0.2, split_rng);
+
+  const std::string model_path = output_dir() + "/gpctl_enroll_model.gpsy";
+  {
+    GesturePrintSystem system(config);
+    system.fit(dataset, split.train);
+    system.save(model_path);
+  }
+  serve::ModelRegistry registry(config);
+  if (!registry.publish_file(model_path).has_value()) {
+    std::cerr << "gpctl: could not publish " << model_path << "\n";
+    return 1;
+  }
+
+  serve::ServeConfig base;
+  base.system = config;
+  base.enroll.enabled = true;
+  base.enroll.k_segments = 4;
+  base.enroll.candidate_radius = 1e6;  // one newcomer at a time in this demo
+  const serve::ServeConfig serve_config = serve::ServeConfig::from_env(base);
+
+  enroll::EnrollmentServiceConfig ec;
+  ec.admission = serve_config.enroll;
+  ec.base_model_path = model_path;
+  ec.publish_dir = output_dir();
+  ec.fine_tune_epochs = 2;
+  enroll::EnrollmentService service(ec, registry);
+  service.calibrate(dataset, split.train);
+
+  serve::Server server(serve_config, registry);
+  server.set_enrollment_hook(&service);
+
+  // Enrolled performers on sessions 1..N-1; the newcomer (a different-seed
+  // cohort's user 0) streams last and trips the novelty gate.
+  const std::vector<int> script{0, 2, 1, 0, 1, 2, 0, 1};
+  std::vector<ContinuousRecording> streams;
+  std::size_t max_frames = 0;
+  for (std::size_t s = 0; s + 1 < std::max<std::size_t>(sessions, 2); ++s) {
+    streams.push_back(generate_recording(spec, s % spec.num_users, script, 0x709 + s));
+    max_frames = std::max(max_frames, streams.back().frames.size());
+  }
+  DatasetSpec newcomer_spec = spec;
+  newcomer_spec.user_seed = 987654;
+  streams.push_back(generate_recording(newcomer_spec, 0, script, 0x57A6E));
+  max_frames = std::max(max_frames, streams.back().frames.size());
+
+  const std::size_t frames_per_round = std::max<std::size_t>(1, max_frames / rounds);
+  std::size_t round = 0;
+  for (std::size_t f = 0; f < max_frames; ++f) {
+    for (std::size_t s = 0; s < streams.size(); ++s) {
+      if (f >= streams[s].frames.size()) continue;
+      (void)server.push_frame(s + 1, streams[s].frames[f]);
+    }
+    (void)server.pump();
+    if ((f + 1) % frames_per_round == 0 && round < rounds) {
+      ++round;
+      draw_enroll_view(service, registry.version(), round, rounds);
+    }
+  }
+  (void)server.drain();
+  service.wait_for_fine_tune();
+  draw_enroll_view(service, registry.version(), rounds, rounds);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -298,6 +431,7 @@ int main(int argc, char** argv) {
     if (command == "crossval") return cmd_crossval(argc, argv);
     if (command == "info") return cmd_info(argc, argv);
     if (command == "top") return cmd_top(argc, argv);
+    if (command == "enroll") return cmd_enroll(argc, argv);
   } catch (const std::exception& e) {
     std::cerr << "gpctl: " << e.what() << "\n";
     return 1;

@@ -27,7 +27,7 @@ run_tier1() {
 }
 
 run_asan() {
-  echo "==> tier 2: AddressSanitizer build, fuzz-smoke + obs-smoke + fault + mem + gemm + quant + cluster labels"
+  echo "==> tier 2: AddressSanitizer build, fuzz-smoke + obs-smoke + fault + mem + gemm + quant + cluster + enroll labels"
   cmake -B "$ROOT/build-asan" -S "$ROOT" -DGP_SANITIZE=address >/dev/null
   cmake --build "$ROOT/build-asan" -j "$JOBS"
   # mem rides the asan lane: the counting operator new/delete and the arena
@@ -38,7 +38,10 @@ run_asan() {
   # the failover path replays serialized session state — both are
   # memory-safety surfaces — while the fork()ed single-threaded workers give
   # TSan nothing to see and are kept out of its lane.
-  (cd "$ROOT/build-asan" && ctest --output-on-failure -j "$JOBS" -L 'fuzz-smoke|obs-smoke|fault|mem|gemm|quant|cluster')
+  # enroll rides asan: the GPEB/GPBG readers parse untrusted bytes and the
+  # buffered-evidence clouds move through take()/fine-tune ownership handoffs
+  # — lifetime bugs there are ASan's department.
+  (cd "$ROOT/build-asan" && ctest --output-on-failure -j "$JOBS" -L 'fuzz-smoke|obs-smoke|fault|mem|gemm|quant|cluster|enroll')
 }
 
 run_tsan() {

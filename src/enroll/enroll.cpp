@@ -1,0 +1,326 @@
+#include "enroll/enroll.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <exception>
+#include <tuple>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/fnv.hpp"
+#include "common/logging.hpp"
+#include "exec/exec.hpp"
+#include "obs/metrics.hpp"
+
+namespace gp::enroll {
+
+EnrollmentService::EnrollmentService(EnrollmentServiceConfig config,
+                                     serve::ModelRegistry& registry)
+    : config_(std::move(config)),
+      registry_(&registry),
+      gallery_(config_.open_set),
+      buffer_(EnrollmentBuffer::Config{config_.admission.max_candidates,
+                                       config_.admission.buffer_cap,
+                                       config_.admission.candidate_radius}),
+      base_model_path_(config_.base_model_path) {
+  check_arg(config_.admission.k_segments >= 1, "enrollment K must be >= 1");
+  check_arg(!config_.publish_dir.empty(), "enrollment needs a publish directory");
+}
+
+EnrollmentService::~EnrollmentService() {
+  if (worker_.joinable()) worker_.join();
+}
+
+void EnrollmentService::calibrate(const Dataset& dataset,
+                                  std::span<const std::size_t> genuine_indices) {
+  std::vector<BiometricStats> raw;
+  std::vector<int> gestures;
+  raw.reserve(genuine_indices.size());
+  gestures.reserve(genuine_indices.size());
+  for (std::size_t idx : genuine_indices) {
+    check_arg(idx < dataset.samples.size(), "calibration index out of range");
+    raw.push_back(biometric_stats(dataset.samples[idx].cloud));
+    gestures.push_back(dataset.samples[idx].gesture);
+  }
+  gallery_.calibrate(raw, gestures);
+
+  // Capture the replay set: up to replay_per_cell enrolled samples per
+  // (gesture, user) cell. Every future fine-tune trains the widened head
+  // against these negatives, so the new class cannot swallow the enrolled
+  // users' decision regions.
+  replay_.spec = dataset.spec;
+  replay_.users = dataset.users;
+  replay_.samples.clear();
+  std::map<std::pair<int, int>, std::size_t> cell_counts;
+  for (std::size_t idx : genuine_indices) {
+    const GestureSample& s = dataset.samples[idx];
+    std::size_t& count = cell_counts[{s.gesture, s.user}];
+    if (count >= config_.replay_per_cell) continue;
+    ++count;
+    replay_.samples.push_back(s);
+  }
+}
+
+bool EnrollmentService::gate(const serve::PendingSegment& segment,
+                             const serve::ServeResult& result) {
+  if (!gallery_.calibrated()) return false;
+  const BiometricStats normalized = gallery_.normalize(segment.biometrics);
+  const double distance = gallery_.novelty_normalized(result.gesture, normalized);
+  if (gallery_.accepts(distance)) return false;
+
+  EnrollObservation obs;
+  obs.session_id = segment.session_id;
+  obs.ordinal = segment.ordinal;
+  obs.gesture = result.gesture;
+  obs.raw = segment.biometrics;
+  obs.normalized = normalized;
+  obs.cloud = segment.cloud;
+  obs.staged_ns = monotonic_ns();
+  staged_.push_back(std::move(obs));
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.novelty_rejections;
+  }
+  return true;
+}
+
+void EnrollmentService::close_tick(std::uint64_t tick) {
+  // 1. Land a finished background fine-tune: publish + gallery growth happen
+  //    here, at the tick barrier, never on the worker thread.
+  if (config_.admission.background) {
+    std::optional<FineTuneOutcome> done;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (worker_outcome_.has_value() && !worker_running_) {
+        done = std::move(worker_outcome_);
+        worker_outcome_.reset();
+      }
+    }
+    if (done.has_value()) {
+      worker_.join();
+      commit_outcome(std::move(*done), tick);
+    }
+  }
+
+  // 2. Admit this tick's rejected segments in (session_id, ordinal) order —
+  //    the shard-count/thread-count-independent canonical stream order.
+  if (!staged_.empty()) {
+    std::sort(staged_.begin(), staged_.end(),
+              [](const EnrollObservation& a, const EnrollObservation& b) {
+                return std::tie(a.session_id, a.ordinal) < std::tie(b.session_id, b.ordinal);
+              });
+    for (EnrollObservation& obs : staged_) {
+      const EnrollmentBuffer::AdmitOutcome outcome = buffer_.admit(std::move(obs));
+      if (outcome.founded) GP_COUNTER_ADD("gp.enroll.candidates.founded", 1);
+      switch (outcome.eviction) {
+        case Eviction::kSegmentOldest:
+          GP_COUNTER_ADD("gp.enroll.evicted.segment_oldest", 1);
+          break;
+        case Eviction::kCandidateWeakest:
+          GP_COUNTER_ADD("gp.enroll.evicted.candidate_weakest", 1);
+          break;
+        case Eviction::kNone:
+          break;
+      }
+    }
+    staged_.clear();
+  }
+
+  // 3. Fire fine-tunes for K-ready candidates.
+  trigger_ready(tick);
+
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.candidates = buffer_.candidates().size();
+  stats_.buffered_segments = buffer_.total_segments();
+  stats_.evicted_segments = buffer_.stats().evicted_segments;
+  stats_.evicted_candidates = buffer_.stats().evicted_candidates;
+}
+
+void EnrollmentService::trigger_ready(std::uint64_t tick) {
+  for (;;) {
+    // Lowest-id ready candidate first: founding order, deterministic.
+    const Candidate* ready = nullptr;
+    for (const Candidate& c : buffer_.candidates()) {
+      if (c.segments.size() >= config_.admission.k_segments) {
+        ready = &c;
+        break;
+      }
+    }
+    if (ready == nullptr) return;
+
+    if (config_.admission.background) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        // One fine-tune in flight at a time; the candidate keeps buffering
+        // until the slot frees up.
+        if (worker_running_ || worker_outcome_.has_value()) return;
+        worker_running_ = true;
+        ++stats_.fine_tunes_started;
+        ++stats_.fine_tunes_in_flight;
+      }
+      FineTuneJob job;
+      job.candidate_id = ready->id;
+      job.seq = ++enroll_seq_;
+      job.trigger_tick = tick;
+      job.evidence = buffer_.take(ready->id);
+      for (const EnrollObservation& obs : job.evidence) {
+        if (job.first_staged_ns == 0 || obs.staged_ns < job.first_staged_ns) {
+          job.first_staged_ns = obs.staged_ns;
+        }
+      }
+      if (worker_.joinable()) worker_.join();  // previous outcome committed
+      worker_ = std::thread([this, job = std::move(job)]() mutable {
+        FineTuneOutcome outcome = run_fine_tune(std::move(job));
+        std::lock_guard<std::mutex> lk(mu_);
+        worker_outcome_ = std::move(outcome);
+        worker_running_ = false;
+        --stats_.fine_tunes_in_flight;
+      });
+      return;  // the slot is taken; further candidates wait
+    }
+
+    // Synchronous: run inline at the tick barrier. Several ready candidates
+    // enroll back-to-back, each fine-tune rebased on the previous publish.
+    FineTuneJob job;
+    job.candidate_id = ready->id;
+    job.seq = ++enroll_seq_;
+    job.trigger_tick = tick;
+    job.evidence = buffer_.take(ready->id);
+    for (const EnrollObservation& obs : job.evidence) {
+      if (job.first_staged_ns == 0 || obs.staged_ns < job.first_staged_ns) {
+        job.first_staged_ns = obs.staged_ns;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.fine_tunes_started;
+    }
+    commit_outcome(run_fine_tune(std::move(job)), tick);
+  }
+}
+
+EnrollmentService::FineTuneOutcome EnrollmentService::run_fine_tune(FineTuneJob job) {
+  GP_COUNTER_ADD("gp.enroll.fine_tune.started", 1);
+  FineTuneOutcome outcome;
+  outcome.job = std::move(job);
+  try {
+    GesturePrintSystem sys(registry_->config());
+    if (!sys.try_load(base_model_path_)) {
+      log_warn() << "enroll: fine-tune " << outcome.job.seq << " could not load base model '"
+                 << base_model_path_ << "'";
+      return outcome;
+    }
+    const int new_user =
+        sys.widen_users(exec::child_seed(config_.seed, outcome.job.seq));
+
+    // Adaptation set: the calibrated replay negatives plus the candidate's
+    // buffered evidence labelled as the new class. The synthetic profile is
+    // a placeholder consistent with the widened label space — training only
+    // reads the recorded clouds.
+    Dataset adapt = replay_;
+    Rng profile_rng(exec::child_seed(config_.seed ^ 0x9E3779B97F4A7C15ULL, outcome.job.seq));
+    adapt.users.push_back(UserProfile::sample(new_user, profile_rng));
+    adapt.spec.num_users = adapt.users.size();
+    for (const EnrollObservation& obs : outcome.job.evidence) {
+      GestureSample sample;
+      sample.cloud = obs.cloud;
+      sample.gesture = obs.gesture;
+      sample.user = new_user;
+      adapt.samples.push_back(std::move(sample));
+    }
+    std::vector<std::size_t> indices(adapt.samples.size());
+    for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+    sys.fine_tune_user_heads(adapt, indices, config_.fine_tune_epochs, config_.fine_tune_lr);
+
+    const std::string artifact =
+        config_.publish_dir + "/enroll_v" + std::to_string(outcome.job.seq) + ".gpsy";
+    sys.save(artifact);
+    outcome.ok = true;
+    outcome.user_id = new_user;
+    outcome.artifact = artifact;
+  } catch (const std::exception& e) {
+    log_warn() << "enroll: fine-tune " << outcome.job.seq << " failed: " << e.what();
+    outcome.ok = false;
+  }
+  return outcome;
+}
+
+void EnrollmentService::commit_outcome(FineTuneOutcome outcome, std::uint64_t tick) {
+  if (!outcome.ok) {
+    GP_COUNTER_ADD("gp.enroll.fine_tune.failed", 1);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.fine_tunes_failed;
+    return;  // evidence is consumed; the candidate re-accumulates if they return
+  }
+  const std::optional<std::uint64_t> version =
+      registry_->publish_file(outcome.artifact, config_.quant);
+  if (!version.has_value()) {
+    GP_COUNTER_ADD("gp.enroll.fine_tune.failed", 1);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.fine_tunes_failed;
+    return;
+  }
+
+  // The registry serves the widened head now; grow the novelty gallery so
+  // the enrolled person's future segments pass the gate, and rebase the next
+  // fine-tune on this artifact so enrollments compose.
+  for (const EnrollObservation& obs : outcome.job.evidence) {
+    gallery_.enroll_sample(obs.gesture, obs.raw);
+  }
+  base_model_path_ = outcome.artifact;
+
+  GP_COUNTER_ADD("gp.enroll.published", 1);
+  if (outcome.job.first_staged_ns != 0) {
+    const double ms =
+        static_cast<double>(monotonic_ns() - outcome.job.first_staged_ns) / 1e6;
+    static obs::Histogram& to_live = obs::histogram("gp.enroll.to_live_ms");
+    to_live.observe(ms);
+  }
+
+  EnrolledUser record;
+  record.user_id = outcome.user_id;
+  record.candidate_id = outcome.job.candidate_id;
+  record.model_version = *version;
+  record.tick = tick;
+  record.artifact = outcome.artifact;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.users_enrolled;
+  stats_.last_publish_version = *version;
+  enrolled_.push_back(std::move(record));
+}
+
+void EnrollmentService::wait_for_fine_tune() {
+  if (!config_.admission.background) return;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (!worker_running_) return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+EnrollmentService::Stats EnrollmentService::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::vector<EnrollmentService::EnrolledUser> EnrollmentService::enrolled() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return enrolled_;
+}
+
+std::uint64_t EnrollmentService::params_fingerprint() const {
+  std::uint64_t h = fnv::kOffsetBasis;
+  h = fnv::accumulate_value(h, gallery_.calibrated() ? 1u : 0u);
+  h = fnv::accumulate_value(h, std::bit_cast<std::uint64_t>(gallery_.threshold()));
+  h = fnv::accumulate_value(h, std::bit_cast<std::uint64_t>(gallery_.config().target_false_rejection));
+  h = fnv::accumulate_value(h, static_cast<std::uint64_t>(gallery_.config().k_neighbors));
+  for (double v : gallery_.z_mean()) h = fnv::accumulate_value(h, std::bit_cast<std::uint64_t>(v));
+  for (double v : gallery_.z_stddev()) h = fnv::accumulate_value(h, std::bit_cast<std::uint64_t>(v));
+  return h;
+}
+
+}  // namespace gp::enroll

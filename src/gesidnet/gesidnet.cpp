@@ -139,6 +139,95 @@ double GesIDNet::train_step(const BatchedCloud& batch, const std::vector<int>& l
   return primary.loss + auxiliary.loss;
 }
 
+double GesIDNet::train_step_head_only(const BatchedCloud& batch, const std::vector<int>& labels) {
+  check(!fused_, "train_step_head_only on a fused (inference-only) GesIDNet");
+  GP_SPAN("gesidnet.fwd");
+  // Trunk in inference mode: set-abstraction/level batch-norms neither
+  // normalise by batch statistics nor update their running stats, so a
+  // fine-tuned model's trunk forward is bit-identical to the base model's.
+  sa1_out_ = sa1_->forward(batch, /*training=*/false);
+  const BatchedCloud sa2_out = sa2_->forward(sa1_out_, /*training=*/false);
+  f1_ = level1_->forward(sa1_out_, /*training=*/false);
+  f2_ = level2_->forward(sa2_out, /*training=*/false);
+
+  nn::Tensor y1;
+  nn::Tensor y2;
+  if (config_.enable_fusion) {
+    const nn::Tensor r21 = resize_2to1_->forward(f2_, /*training=*/false);
+    const nn::Tensor r12 = resize_1to2_->forward(f1_, /*training=*/false);
+    y1 = fusion1_->forward(r21, f1_);
+    y2 = fusion2_->forward(r12, f2_);
+  } else {
+    y1 = f1_;
+    y2 = f2_;
+  }
+
+  // Only the heads train: dropout stays active where learning happens.
+  const nn::Tensor logits1 = head1_->forward(y1, /*training=*/true);
+  const nn::Tensor logits2 = head2_->forward(y2, /*training=*/true);
+  const nn::LossResult primary = nn::softmax_cross_entropy(logits1, labels, 1.0);
+  const nn::LossResult auxiliary =
+      nn::softmax_cross_entropy(logits2, labels, config_.aux_loss_weight);
+  {
+    GP_SPAN("gesidnet.head.bwd");
+    (void)head1_->backward(primary.grad);    // trunk frozen: input grads unused
+    (void)head2_->backward(auxiliary.grad);
+  }
+  return primary.loss + auxiliary.loss;
+}
+
+std::vector<nn::Parameter*> GesIDNet::head_parameters() {
+  std::vector<nn::Parameter*> out = head1_->parameters();
+  const auto extra = head2_->parameters();
+  out.insert(out.end(), extra.begin(), extra.end());
+  return out;
+}
+
+std::unique_ptr<GesIDNet> GesIDNet::widen_head(std::size_t new_classes, std::uint64_t seed) {
+  check(!fused_, "widen_head on a fused (inference-only) GesIDNet");
+  check_arg(new_classes > config_.num_classes, "widen_head must grow the class count");
+
+  GesIDNetConfig config = config_;
+  config.num_classes = new_classes;
+  // Same ownership pattern as clone(): the widened model carries its own Rng
+  // so its Dropout layers have a live stream when it is trained later. The
+  // seed also determines the fresh init of the added class rows.
+  auto rng = std::make_unique<Rng>(seed, 0xA02BDBF7BB3C0A7EULL);
+  auto copy = std::make_unique<GesIDNet>(std::move(config), *rng);
+  copy->owned_rng_ = std::move(rng);
+
+  const auto src_params = parameters();
+  const auto dst_params = copy->parameters();
+  check(src_params.size() == dst_params.size(), "widen_head parameter list mismatch");
+  for (std::size_t i = 0; i < src_params.size(); ++i) {
+    const nn::Parameter& src = *src_params[i];
+    nn::Parameter& dst = *dst_params[i];
+    if (src.value.rows() == dst.value.rows() && src.value.cols() == dst.value.cols()) {
+      dst.value = src.value;
+      continue;
+    }
+    // Only the final head Linears change shape: weight (classes x in) gains
+    // rows, bias (1 x classes) gains columns. Copy the overlap — existing
+    // users keep their exact decision boundaries — and leave the new class
+    // rows at their fresh seeded init.
+    check(dst.value.rows() >= src.value.rows() && dst.value.cols() >= src.value.cols(),
+          "widen_head parameter shapes must grow");
+    for (std::size_t r = 0; r < src.value.rows(); ++r) {
+      for (std::size_t c = 0; c < src.value.cols(); ++c) {
+        dst.value.at(r, c) = src.value.at(r, c);
+      }
+    }
+  }
+
+  const auto src_buffers = buffers();
+  const auto dst_buffers = copy->buffers();
+  check(src_buffers.size() == dst_buffers.size(), "widen_head buffer list mismatch");
+  for (std::size_t i = 0; i < src_buffers.size(); ++i) {
+    dst_buffers[i]->value = src_buffers[i]->value;  // trunk BN stats: identical shapes
+  }
+  return copy;
+}
+
 void GesIDNet::fuse_for_inference(nn::QuantMode mode) {
   if (fused_) return;
   // Preloaded tables (stashed by deserialization) are consumed in the same

@@ -45,6 +45,19 @@ class GesIDNet : public PointCloudClassifier {
   /// inference path in predict_logits.
   std::unique_ptr<PointCloudClassifier> clone() override;
 
+  /// Just the dual-head parameters — the subset a head-only fine-tune
+  /// optimises (the PointNet++ trunk stays frozen).
+  std::vector<nn::Parameter*> head_parameters() override;
+  /// Head-only training step: the trunk runs in inference mode (batch-norm
+  /// running stats frozen — that is the point of a head-only fine-tune),
+  /// only head1_/head2_ see training mode and accumulate gradients.
+  double train_step_head_only(const BatchedCloud& batch, const std::vector<int>& labels) override;
+  /// Architecture-preserving head widening: returns a fresh model with
+  /// `new_classes` outputs whose trunk and existing class rows are copied
+  /// from this one; the added class rows keep their seed-derived init. The
+  /// copy owns its Rng (clone() pattern), so it can be trained later.
+  std::unique_ptr<GesIDNet> widen_head(std::size_t new_classes, std::uint64_t seed);
+
   /// Intermediate representations for the t-SNE study (Fig. 6).
   struct Features {
     nn::Tensor low;         ///< F^l1 (B x C1)

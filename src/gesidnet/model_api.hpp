@@ -27,6 +27,15 @@ class PointCloudClassifier {
   virtual std::vector<nn::Parameter*> buffers() { return {}; }
   virtual std::string name() const = 0;
 
+  /// Parameter subset a head-only fine-tune optimises. Models without a
+  /// head/trunk split train everything (identical to parameters()).
+  virtual std::vector<nn::Parameter*> head_parameters() { return parameters(); }
+  /// Training step with the feature trunk frozen (no batch-norm statistic
+  /// drift); models without the split fall back to a full step.
+  virtual double train_step_head_only(const BatchedCloud& batch, const std::vector<int>& labels) {
+    return train_step(batch, labels);
+  }
+
   /// Deep copy with identical weights and buffers, used to build per-thread
   /// inference replicas (layers cache activations, so one instance cannot
   /// serve two threads). Models that do not support replication return

@@ -19,7 +19,8 @@ TrainStats train_classifier(PointCloudClassifier& model, const LabeledSamples& d
   check_arg(config.batch_size >= 2, "batch size must be >= 2 (batch norm)");
 
   Rng rng(config.seed, 0x7f4a7c15ULL);
-  nn::Adam optimizer(model.parameters(), config.lr, 0.9, 0.999, 1e-8, config.weight_decay);
+  nn::Adam optimizer(config.head_only ? model.head_parameters() : model.parameters(), config.lr,
+                     0.9, 0.999, 1e-8, config.weight_decay);
 
   std::vector<std::size_t> order(data.samples.size());
   std::iota(order.begin(), order.end(), 0);
@@ -58,7 +59,8 @@ TrainStats train_classifier(PointCloudClassifier& model, const LabeledSamples& d
       // kernels in gp::nn split every layer over `ctx`'s pool while keeping
       // the serial accumulation order (see DESIGN.md "Execution model").
       make_batch(batch_samples, batch);
-      epoch_loss += model.train_step(batch, batch_labels);
+      epoch_loss += config.head_only ? model.train_step_head_only(batch, batch_labels)
+                                     : model.train_step(batch, batch_labels);
       optimizer.step();
       ++steps;
       samples_seen += count;

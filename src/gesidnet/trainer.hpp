@@ -31,6 +31,9 @@ struct TrainConfig {
   double weight_decay = 1e-4;
   std::uint64_t seed = 1;
   bool verbose = false;
+  /// Optimise only head_parameters() via train_step_head_only (frozen-trunk
+  /// fine-tune for gp::enroll); default trains the full model.
+  bool head_only = false;
 };
 
 struct TrainStats {

@@ -231,4 +231,34 @@ std::string cluster_bench_json(std::size_t sessions,
   return out.str();
 }
 
+std::string enroll_bench_json(std::size_t k_segments, std::size_t max_candidates,
+                              const std::vector<EnrollOpenSetRow>& open_set,
+                              const EnrollServeSummary& serve,
+                              const EnrollLatencySummary& to_live) {
+  std::ostringstream out;
+  out << "{\n  \"k_segments\": " << k_segments
+      << ",\n  \"max_candidates\": " << max_candidates << ",\n  \"open_set\": [\n";
+  for (std::size_t i = 0; i < open_set.size(); ++i) {
+    const EnrollOpenSetRow& r = open_set[i];
+    out << "    {\"phase\": \"" << json::escape(r.phase) << "\", \"eer\": " << json::number(r.eer)
+        << ", \"threshold\": " << json::number(r.threshold)
+        << ", \"genuine_accept\": " << json::number(r.genuine_accept)
+        << ", \"newcomer_reject\": " << json::number(r.newcomer_reject) << "}"
+        << (i + 1 < open_set.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"serve\": {\n    \"ticks\": " << serve.ticks
+      << ",\n    \"results\": " << serve.results
+      << ",\n    \"expected_results\": " << serve.expected_results
+      << ",\n    \"novelty_rejections\": " << serve.novelty_rejections
+      << ",\n    \"candidates_founded\": " << serve.candidates_founded
+      << ",\n    \"fine_tunes\": " << serve.fine_tunes
+      << ",\n    \"users_enrolled\": " << serve.users_enrolled
+      << ",\n    \"published_version\": " << serve.published_version
+      << "\n  },\n  \"to_live_ms\": {\"count\": " << to_live.count
+      << ", \"p50_ms\": " << json::number(to_live.p50_ms)
+      << ", \"p95_ms\": " << json::number(to_live.p95_ms)
+      << ", \"p99_ms\": " << json::number(to_live.p99_ms) << "}\n}\n";
+  return out.str();
+}
+
 }  // namespace gp::obs

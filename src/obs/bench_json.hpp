@@ -221,4 +221,55 @@ std::string cluster_bench_json(std::size_t sessions,
                                const std::vector<ClusterSweepCell>& cells,
                                const ClusterFailoverSummary& failover);
 
+/// One open-set operating point of the enrollment bench: the same
+/// newcomer-vs-enrolled separation measured before and after the enrollment
+/// pipeline ran. `eer` is the equal-error rate of the novelty score over
+/// (enrolled-genuine, newcomer) samples; `newcomer_reject` the fraction of
+/// newcomer segments the gate still rejects at the calibrated threshold.
+struct EnrollOpenSetRow {
+  std::string phase;  ///< "before" | "after"
+  /// Newcomer-vs-stranger novelty EER: how well the gallery separates the
+  /// (to-be-)enrolled person from people who stay unauthorized. Near chance
+  /// before enrollment (both unseen); enrollment pulls it down.
+  double eer = 0.0;
+  double threshold = 0.0;
+  double genuine_accept = 0.0;
+  double newcomer_reject = 0.0;
+};
+
+/// The live serve-path half of the enrollment story: abstain → buffer →
+/// head-only fine-tune → hot-swap publish, with the lossless-swap evidence
+/// (results == expected_results) and the gp.enroll.* counter deltas.
+struct EnrollServeSummary {
+  std::uint64_t ticks = 0;
+  std::uint64_t results = 0;
+  std::uint64_t expected_results = 0;  ///< zero-dropped-ticks evidence
+  std::uint64_t novelty_rejections = 0;
+  std::uint64_t candidates_founded = 0;
+  std::uint64_t fine_tunes = 0;
+  std::uint64_t users_enrolled = 0;
+  std::uint64_t published_version = 0;  ///< registry version after enrollment
+};
+
+/// Enrollment-to-live latency (first rejected segment staged → widened head
+/// published), from the gp.enroll.to_live_ms histogram.
+struct EnrollLatencySummary {
+  std::uint64_t count = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Builds the BENCH_enroll.json document (gp::enroll evidence, DESIGN.md
+/// §13). Schema (pinned by golden test `bench_enroll_schema`):
+///   {k_segments, max_candidates, open_set:[{phase,eer,threshold,
+///    genuine_accept,newcomer_reject}], serve:{ticks,results,
+///    expected_results,novelty_rejections,candidates_founded,fine_tunes,
+///    users_enrolled,published_version},
+///    to_live_ms:{count,p50_ms,p95_ms,p99_ms}}
+std::string enroll_bench_json(std::size_t k_segments, std::size_t max_candidates,
+                              const std::vector<EnrollOpenSetRow>& open_set,
+                              const EnrollServeSummary& serve,
+                              const EnrollLatencySummary& to_live);
+
 }  // namespace gp::obs

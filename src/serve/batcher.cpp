@@ -239,6 +239,27 @@ void MicroBatcher::run_batch_into(std::vector<ServeResult>& results) {
     }
   }
 
+  // Open-set enrollment gate (gp::enroll, DESIGN.md §13): after the user
+  // pass, every recognised segment's biometric descriptor is scored against
+  // the novelty gallery. A rejected segment keeps its gesture answer but has
+  // the user answer withheld — the hook buffers it as enrollment evidence.
+  // gate() is read-only within the tick, so the verdict is independent of
+  // shard count and batch composition.
+  if (enroll_ != nullptr) {
+    for (const std::size_t i : live) {
+      const PendingSegment& seg = *batch[i].segment;
+      ServeResult& r = results[base + i];
+      if (r.gesture < 0 || !seg.has_biometrics) continue;
+      if (enroll_->gate(seg, r)) {
+        r.user = kAbstain;
+        r.abstained = true;
+        r.novelty_rejected = true;
+        ++delta.novelty_rejected;
+        GP_COUNTER_ADD("gp.serve.rejected.novelty", 1);
+      }
+    }
+  }
+
   for (std::size_t i = 0; i < batch.size(); ++i) {
     if (results[base + i].abstained) ++delta.abstained;
   }
@@ -250,6 +271,7 @@ void MicroBatcher::run_batch_into(std::vector<ServeResult>& results) {
     stats_.quality_rejected += delta.quality_rejected;
     stats_.abstained += delta.abstained;
     stats_.no_model += delta.no_model;
+    stats_.novelty_rejected += delta.novelty_rejected;
   }
   GP_COUNTER_ADD("gp.serve.batches", 1);
   if (snapshot != nullptr && snapshot->quant == nn::QuantMode::kInt8) {

@@ -31,6 +31,7 @@
 
 #include "common/mem.hpp"
 #include "nn/tensor.hpp"
+#include "serve/enroll_hook.hpp"
 #include "serve/registry.hpp"
 #include "serve/sessions.hpp"
 
@@ -59,6 +60,11 @@ class MicroBatcher {
   /// Segments waiting for a flush.
   std::size_t pending() const;
 
+  /// Arms the open-set enrollment gate (gp::enroll). The hook must outlive
+  /// the batcher; nullptr disarms. With no hook (or GP_ENROLL=0) the flush
+  /// path is byte-identical to a build without the enrollment layer.
+  void set_enrollment_hook(EnrollmentHook* hook) { enroll_ = hook; }
+
   /// Monotonic tallies (batches flushed, results by disposition).
   struct Stats {
     std::uint64_t batches = 0;
@@ -66,6 +72,7 @@ class MicroBatcher {
     std::uint64_t quality_rejected = 0;
     std::uint64_t abstained = 0;
     std::uint64_t no_model = 0;  ///< answered while no snapshot was published
+    std::uint64_t novelty_rejected = 0;  ///< open-set gate fired (GP_ENROLL)
   };
   Stats stats() const;
 
@@ -85,6 +92,7 @@ class MicroBatcher {
   const ServeConfig* config_;
   ModelRegistry* registry_;
   health::HealthMonitor* monitor_;
+  EnrollmentHook* enroll_ = nullptr;  ///< armed by Server when GP_ENROLL=1
   mutable std::mutex mu_;
   /// FIFO as a head-indexed vector ring: pop = advance queue_head_;
   /// storage is compacted (clear, head reset) whenever it empties, so slot

@@ -35,6 +35,13 @@ ServeConfig ServeConfig::from_env(ServeConfig base) {
   if (auto faults = faults::FaultConfig::from_env()) base.session_faults = *faults;
   base.health = health::HealthConfig::from_env(base.health);
   base.quant = nn::quant_mode_from_env(base.quant);
+  base.enroll.enabled = env_u64("GP_ENROLL", base.enroll.enabled ? 1 : 0, 0) != 0;
+  base.enroll.k_segments =
+      static_cast<std::size_t>(env_u64("GP_ENROLL_K", base.enroll.k_segments, 1));
+  base.enroll.max_candidates = static_cast<std::size_t>(
+      env_u64("GP_ENROLL_MAX_CANDIDATES", base.enroll.max_candidates, 1));
+  base.enroll.background =
+      env_u64("GP_ENROLL_BACKGROUND", base.enroll.background ? 1 : 0, 0) != 0;
   return base;
 }
 

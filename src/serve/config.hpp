@@ -29,6 +29,36 @@
 
 namespace gp::serve {
 
+/// Online-enrollment knobs (gp::enroll, DESIGN.md §13). Disabled by default:
+/// with `enabled == false` the serve path performs no biometric extraction,
+/// no novelty gating and no buffering — bitwise identical to a build without
+/// the enrollment layer.
+struct EnrollConfig {
+  /// Master switch (GP_ENROLL=0/1). Off keeps the serve path byte-identical
+  /// to the pre-enrollment goldens.
+  bool enabled = false;
+  /// Segments a candidate must accumulate before the head-only fine-tune
+  /// fires. GP_ENROLL_K.
+  std::size_t k_segments = 6;
+  /// Bound on concurrently tracked enrollment candidates; admitting one
+  /// more evicts the weakest (fewest observations, oldest id on ties).
+  /// GP_ENROLL_MAX_CANDIDATES.
+  std::size_t max_candidates = 4;
+  /// Per-candidate segment buffer bound; a full buffer evicts its oldest
+  /// segment (typed, counted) before admitting the new one.
+  std::size_t buffer_cap = 16;
+  /// Candidate clustering radius in the z-scored biometric space: a novel
+  /// segment joins the nearest candidate centroid within this distance,
+  /// otherwise it founds a new candidate.
+  double candidate_radius = 3.5;
+  /// Run fine-tunes on a background thread (GP_ENROLL_BACKGROUND=1). The
+  /// default runs them synchronously at tick close, which keeps enrollment
+  /// outcomes bitwise deterministic in stream position; background mode
+  /// trades that for an unblocked pump loop (artifacts stay identical, the
+  /// publish lands a wall-clock-dependent number of ticks later).
+  bool background = false;
+};
+
 /// Serving-layer knobs. Every field has a GP_SERVE_* environment override
 /// (applied by from_env; invalid values warn and keep the base value).
 struct ServeConfig {
@@ -71,6 +101,9 @@ struct ServeConfig {
   /// fused baseline. Callers pass this to ModelRegistry::publish*; each
   /// snapshot records the mode it was fused with. GP_QUANT (int8|off).
   nn::QuantMode quant = nn::QuantMode::kOff;
+  /// Online enrollment (gp::enroll). GP_ENROLL / GP_ENROLL_K /
+  /// GP_ENROLL_MAX_CANDIDATES / GP_ENROLL_BACKGROUND.
+  EnrollConfig enroll;
 
   /// Applies GP_SERVE_SHARDS / GP_SERVE_BATCH_MAX / GP_SERVE_BATCH_WAIT_US /
   /// GP_SERVE_QUEUE_CAP / GP_SERVE_STALE_TICKS / GP_QUANT / GP_FAULTS plus
@@ -106,6 +139,11 @@ struct ServeResult {
   int user = -1;                      ///< class id, or kAbstain
   bool abstained = false;             ///< margin gate fired
   bool quality_rejected = false;      ///< segment failed preprocessing guards
+  /// Open-set novelty gate fired (GP_ENROLL only): the biometric descriptor
+  /// was too far from every enrolled gallery sample, so the user answer was
+  /// withheld and the segment routed into an enrollment buffer. Never set
+  /// when enrollment is disabled.
+  bool novelty_rejected = false;
   double gesture_margin = 0.0;
   double user_margin = 0.0;
   std::uint64_t model_version = 0;    ///< snapshot that answered (hot-swap audit)

@@ -1,0 +1,42 @@
+// Enrollment hook: the seam between gp::serve and gp::enroll (DESIGN.md §13).
+//
+// gp::serve must not depend on the enrollment subsystem (layering: enroll is
+// built *on top of* serve), so the MicroBatcher talks to an abstract hook.
+// The contract mirrors the serve determinism bar:
+//
+//  * gate() is called from the single pump thread during a flush, once per
+//    live segment whose gesture was recognised. It must be *read-only* with
+//    respect to the novelty geometry within a tick — the gallery and the
+//    candidate set it consults may only change inside close_tick() — so a
+//    segment's verdict cannot depend on which shard or batch position
+//    delivered it.
+//  * close_tick() runs after every pump/drain tick on the pump thread, with
+//    no flush in flight. All mutations (candidate clustering, K-trigger
+//    fine-tunes, gallery growth, publishes) happen here, over observations
+//    staged by gate() and ordered by (session_id, ordinal) — a pure function
+//    of the stream, invariant to GP_THREADS and shard count.
+#pragma once
+
+#include <cstdint>
+
+namespace gp::serve {
+
+struct PendingSegment;
+struct ServeResult;
+
+class EnrollmentHook {
+ public:
+  virtual ~EnrollmentHook() = default;
+
+  /// Scores `segment` against the open-set novelty gallery. Returns true
+  /// when the segment is rejected as novel (the batcher then withholds the
+  /// user answer and marks the result novelty_rejected); the hook stages the
+  /// observation for candidate clustering at the next close_tick().
+  /// `result` carries the recognised gesture the gallery is keyed by.
+  virtual bool gate(const PendingSegment& segment, const ServeResult& result) = 0;
+
+  /// Tick barrier: apply staged observations, run due fine-tunes, publish.
+  virtual void close_tick(std::uint64_t tick) = 0;
+};
+
+}  // namespace gp::serve

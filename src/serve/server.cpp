@@ -40,6 +40,9 @@ std::vector<ServeResult> Server::pump() {
   obs::publish_mem_metrics();
   std::vector<ServeResult> results = batcher_.poll(false);
   monitor_.close_tick(tick);
+  // Enrollment barrier: all clustering / fine-tune / publish mutations run
+  // here, after the flush, so gate() stays read-only within the tick.
+  if (enroll_ != nullptr) enroll_->close_tick(tick);
   return results;
 }
 
@@ -52,6 +55,7 @@ std::vector<ServeResult> Server::drain() {
   obs::publish_mem_metrics();
   std::vector<ServeResult> results = batcher_.poll(true);
   monitor_.close_tick(tick);
+  if (enroll_ != nullptr) enroll_->close_tick(tick);
   return results;
 }
 

@@ -76,6 +76,14 @@ class Server {
   const health::HealthMonitor& health() const { return monitor_; }
   health::HealthMonitor& health() { return monitor_; }
 
+  /// Arms the open-set enrollment layer (gp::enroll, DESIGN.md §13): the
+  /// hook gates flush results and gets a close_tick() barrier after every
+  /// pump/drain tick. Must outlive the server; nullptr disarms.
+  void set_enrollment_hook(EnrollmentHook* hook) {
+    enroll_ = hook;
+    batcher_.set_enrollment_hook(hook);
+  }
+
  private:
   ServeConfig config_;
   ModelRegistry* registry_;
@@ -84,6 +92,7 @@ class Server {
   health::HealthMonitor monitor_;
   SessionManager sessions_;
   MicroBatcher batcher_;
+  EnrollmentHook* enroll_ = nullptr;
   std::atomic<std::uint64_t> tick_{0};
   /// Recycled segment carrier between drain_into and submit (pump thread
   /// only; submit moves the handles out and clears it).

@@ -105,6 +105,15 @@ void StreamSession::drain_completed(std::uint64_t tick, std::vector<SegmentPtr>&
                        pending->variants[slot]);
       }
       pending->variant_count = static_cast<std::size_t>(rounds);
+      if (config_->enroll.enabled) {
+        // Enrollment payload: descriptor for the novelty gate plus the
+        // cleaned cloud for fine-tune buffering. Both are deterministic
+        // per-segment functions (no RNG), so the featurize chain above is
+        // untouched and results stay shard/thread-invariant.
+        pending->biometrics = biometric_stats(cloud_scratch_);
+        pending->has_biometrics = true;
+        pending->cloud = cloud_scratch_;
+      }
     }
     ++ordinal_;
     out.push_back(std::move(pending));

@@ -38,6 +38,7 @@
 #include "health/health.hpp"
 #include "pipeline/preprocessor.hpp"
 #include "serve/config.hpp"
+#include "system/open_set.hpp"
 
 namespace gp::serve {
 
@@ -60,6 +61,15 @@ struct PendingSegment {
   /// completed this segment was admitted, and when its shard drain began.
   std::uint64_t admit_ns = 0;
   std::uint64_t drained_ns = 0;
+  /// Enrollment payload (GP_ENROLL only; DESIGN.md §13): the biometric
+  /// descriptor the novelty gate scores, plus a copy of the cleaned cloud so
+  /// a buffered candidate segment can be re-featurized as fine-tune training
+  /// data. Never populated when enrollment is disabled — the extra copies
+  /// would break both the zero-alloc steady-tick contract and the
+  /// disabled-path bitwise-identity bar.
+  bool has_biometrics = false;
+  BiometricStats biometrics{};
+  GestureCloud cloud;
 
   std::span<const FeaturizedSample> active_variants() const {
     return {variants.data(), variant_count};
@@ -76,6 +86,8 @@ struct PendingSegment {
     request_id = 0;
     admit_ns = 0;
     drained_ns = 0;
+    has_biometrics = false;
+    cloud.points.clear();  // keeps capacity, like the variant buffers
   }
 };
 

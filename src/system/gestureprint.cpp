@@ -194,6 +194,57 @@ void GesturePrintSystem::fine_tune(const Dataset& dataset,
   }
 }
 
+int GesturePrintSystem::widen_users(std::uint64_t seed) {
+  check(fitted(), "widen_users before fit");
+  check(!gesture_model_->fused(), "widen_users on a fused (inference-only) system");
+  const int new_user = static_cast<int>(num_users_);
+  ++num_users_;
+  // Derive per-model init seeds from the caller's seed, not from rng_: the
+  // existing fit/load/classify draw sequence must stay untouched so the
+  // pre-enrollment paths remain bitwise identical.
+  for (std::size_t g = 0; g < user_models_.size(); ++g) {
+    if (user_models_[g] == nullptr) continue;
+    user_models_[g] = user_models_[g]->widen_head(num_users_, exec::child_seed(seed, g));
+  }
+  return new_user;
+}
+
+void GesturePrintSystem::fine_tune_user_heads(const Dataset& dataset,
+                                              std::span<const std::size_t> indices,
+                                              std::size_t epochs, double lr) {
+  check(fitted(), "fine_tune_user_heads before fit");
+  check_arg(!indices.empty(), "fine_tune_user_heads with no samples");
+  check_arg(dataset.num_gestures() == num_gestures_ && dataset.num_users() == num_users_,
+            "fine_tune_user_heads label space mismatch");
+
+  TrainConfig tc = config_.training;
+  tc.epochs = epochs;
+  tc.lr = lr;
+  tc.seed = rng_();
+  tc.head_only = true;  // frozen trunk: the whole point of the enroll path
+
+  if (config_.mode == IdentificationMode::kParallel) {
+    Rng prep_rng = rng_.fork();
+    const LabeledSamples adapt =
+        prepare_subset(dataset, indices, LabelKind::kUser, config_.prep, prep_rng);
+    train_classifier(*user_models_.front(), adapt, tc);
+    return;
+  }
+  for (std::size_t g = 0; g < num_gestures_; ++g) {
+    if (g >= user_models_.size() || user_models_[g] == nullptr) continue;
+    std::vector<std::size_t> gesture_indices;
+    for (std::size_t idx : indices) {
+      if (dataset.samples[idx].gesture == static_cast<int>(g)) gesture_indices.push_back(idx);
+    }
+    // Per-gesture adaptation needs at least a minibatch worth of samples.
+    if (gesture_indices.size() < 4) continue;
+    Rng prep_rng = rng_.fork();
+    const LabeledSamples adapt = prepare_subset(dataset, gesture_indices, LabelKind::kUser,
+                                                config_.prep, prep_rng);
+    train_classifier(*user_models_[g], adapt, tc);
+  }
+}
+
 void GesturePrintSystem::fuse_for_inference(nn::QuantMode mode) {
   check(fitted(), "fuse_for_inference before fit");
   gesture_model_->fuse_for_inference(mode);

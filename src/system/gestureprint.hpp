@@ -93,6 +93,20 @@ class GesturePrintSystem {
   void fine_tune(const Dataset& dataset, std::span<const std::size_t> indices,
                  std::size_t epochs, double lr = 5e-4);
 
+  /// Grows the user label space by one (gp::enroll): every user-ID model is
+  /// replaced by its widened copy (GesIDNet::widen_head) — existing users'
+  /// decision boundaries are copied exactly, the new class row starts at a
+  /// `seed`-derived init. The gesture model is untouched. Requires an
+  /// unfused fitted system; returns the new user's class id.
+  int widen_users(std::uint64_t seed);
+
+  /// Head-only fine-tune of the user-ID models (frozen PointNet++ trunk,
+  /// TrainConfig::head_only): the enrollment path trains just the widened
+  /// heads on replayed + newly-buffered samples. `dataset` must carry the
+  /// (already widened) user label space; the gesture model is not trained.
+  void fine_tune_user_heads(const Dataset& dataset, std::span<const std::size_t> indices,
+                            std::size_t epochs, double lr = 5e-4);
+
   /// Persists every trained model (weights + batch-norm statistics). The
   /// file carries a whole-payload FNV-1a checksum trailer so bit rot is
   /// *detected* on load instead of silently perturbing weights.

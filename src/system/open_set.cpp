@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
 #include <limits>
+#include <ostream>
 
 #include "common/error.hpp"
 #include "common/math_utils.hpp"
+#include "common/serialize.hpp"
 
 namespace gp {
 
@@ -71,15 +74,13 @@ double l2(const BiometricStats& a, const BiometricStats& b) {
 
 }  // namespace
 
-OpenSetIdentifier::OpenSetIdentifier(GesturePrintSystem& system, OpenSetConfig config)
-    : system_(system), config_(config) {
+BiometricGallery::BiometricGallery(OpenSetConfig config) : config_(config) {
   check_arg(config_.target_false_rejection > 0.0 && config_.target_false_rejection < 0.5,
             "target false rejection must be in (0, 0.5)");
   check_arg(config_.k_neighbors >= 1, "k_neighbors must be >= 1");
-  check_arg(system_.fitted(), "open-set wrapper needs a fitted system");
 }
 
-BiometricStats OpenSetIdentifier::normalize(const BiometricStats& stats) const {
+BiometricStats BiometricGallery::normalize(const BiometricStats& stats) const {
   BiometricStats out{};
   for (std::size_t d = 0; d < kBiometricDims; ++d) {
     out[d] = (stats[d] - mean_[d]) / stddev_[d];
@@ -87,8 +88,8 @@ BiometricStats OpenSetIdentifier::normalize(const BiometricStats& stats) const {
   return out;
 }
 
-double OpenSetIdentifier::novelty_distance(int gesture, const BiometricStats& normalized,
-                                           const BiometricStats* exclude) const {
+double BiometricGallery::novelty_normalized(int gesture, const BiometricStats& normalized,
+                                            const BiometricStats* exclude) const {
   const auto it = gallery_.find(gesture);
   if (it == gallery_.end() || it->second.empty()) {
     // No enrollment evidence for this gesture: maximally novel.
@@ -113,18 +114,29 @@ double OpenSetIdentifier::novelty_distance(int gesture, const BiometricStats& no
   return acc / static_cast<double>(k);
 }
 
-void OpenSetIdentifier::calibrate(const Dataset& dataset,
-                                  std::span<const std::size_t> genuine_indices) {
-  check_arg(genuine_indices.size() >= 8, "calibration needs several genuine samples");
+double BiometricGallery::novelty(int gesture, const BiometricStats& raw) const {
+  check(calibrated_, "biometric gallery not calibrated");
+  return novelty_normalized(gesture, normalize(raw));
+}
 
-  // Descriptor statistics for z-scoring.
-  std::vector<BiometricStats> raw;
-  std::vector<int> gestures;
-  raw.reserve(genuine_indices.size());
-  for (std::size_t idx : genuine_indices) {
-    raw.push_back(biometric_stats(dataset.samples[idx].cloud));
-    gestures.push_back(dataset.samples[idx].gesture);
-  }
+void BiometricGallery::enroll_sample(int gesture, const BiometricStats& raw) {
+  check(calibrated_, "biometric gallery not calibrated");
+  // Frozen z-stats: incremental enrollment must not move the metric space
+  // under already-enrolled users, so only the gallery grows.
+  gallery_[gesture].push_back(normalize(raw));
+}
+
+std::size_t BiometricGallery::size() const {
+  std::size_t total = 0;
+  for (const auto& [gesture, samples] : gallery_) total += samples.size();
+  return total;
+}
+
+void BiometricGallery::calibrate(const std::vector<BiometricStats>& raw,
+                                 const std::vector<int>& gestures) {
+  check_arg(raw.size() == gestures.size(), "gallery calibration label mismatch");
+  check_arg(raw.size() >= 8, "calibration needs several genuine samples");
+
   mean_.fill(0.0);
   for (const auto& s : raw) {
     for (std::size_t d = 0; d < kBiometricDims; ++d) mean_[d] += s[d];
@@ -153,7 +165,7 @@ void OpenSetIdentifier::calibrate(const Dataset& dataset,
   std::vector<double> distances;
   for (std::size_t i = 0; i < raw.size(); ++i) {
     const BiometricStats probe = normalize(raw[i]);
-    const double d = novelty_distance(gestures[i], probe, &probe);
+    const double d = novelty_normalized(gestures[i], probe, &probe);
     if (d < std::numeric_limits<double>::max()) distances.push_back(d);
   }
   check(!distances.empty(), "no usable calibration distances");
@@ -164,15 +176,100 @@ void OpenSetIdentifier::calibrate(const Dataset& dataset,
   calibrated_ = true;
 }
 
+void BiometricGallery::save(std::ostream& out) const {
+  BinaryWriter writer(out, "GPBG");
+  writer.write_f64(config_.target_false_rejection);
+  writer.write_u64(config_.k_neighbors);
+  writer.write_u8(calibrated_ ? 1 : 0);
+  writer.write_f64(threshold_);
+  std::vector<double> stats(kBiometricDims);
+  std::copy(mean_.begin(), mean_.end(), stats.begin());
+  writer.write_f64_vector(stats);
+  std::copy(stddev_.begin(), stddev_.end(), stats.begin());
+  writer.write_f64_vector(stats);
+  writer.write_u64(gallery_.size());
+  for (const auto& [gesture, samples] : gallery_) {
+    writer.write_i32(gesture);
+    writer.write_u64(samples.size());
+    for (const auto& s : samples) {
+      std::copy(s.begin(), s.end(), stats.begin());
+      writer.write_f64_vector(stats);
+    }
+  }
+}
+
+BiometricGallery BiometricGallery::load(std::istream& in) {
+  BinaryReader reader(in, "GPBG");
+  OpenSetConfig config;
+  config.target_false_rejection = reader.read_f64();
+  const std::uint64_t k = reader.read_u64();
+  if (!(config.target_false_rejection > 0.0 && config.target_false_rejection < 0.5)) {
+    throw SerializationError("gallery FRR out of range");
+  }
+  if (k < 1 || k > 1024) throw SerializationError("gallery k_neighbors out of range");
+  config.k_neighbors = static_cast<std::size_t>(k);
+  BiometricGallery gallery(config);
+  gallery.calibrated_ = reader.read_u8() != 0;
+  gallery.threshold_ = reader.read_f64();
+
+  const auto read_stats = [&reader]() {
+    const std::vector<double> v = reader.read_f64_vector();
+    if (v.size() != kBiometricDims) {
+      throw SerializationError("gallery descriptor has wrong dimension");
+    }
+    BiometricStats s{};
+    std::copy(v.begin(), v.end(), s.begin());
+    return s;
+  };
+  gallery.mean_ = read_stats();
+  gallery.stddev_ = read_stats();
+  for (std::size_t d = 0; d < kBiometricDims; ++d) {
+    if (!(gallery.stddev_[d] > 0.0)) {
+      throw SerializationError("gallery stddev must be positive");
+    }
+  }
+
+  // Each gesture entry holds at least an i32 gesture id + u64 count; each
+  // descriptor at least a length prefix + 12 doubles.
+  const std::uint64_t num_gestures = reader.read_count(12, "gallery gestures");
+  for (std::uint64_t g = 0; g < num_gestures; ++g) {
+    const int gesture = reader.read_i32();
+    if (gesture < 0 || gesture > 4096) throw SerializationError("gallery gesture id out of range");
+    const std::uint64_t count =
+        reader.read_count(8 + kBiometricDims * sizeof(double), "gallery descriptors");
+    auto& samples = gallery.gallery_[gesture];
+    samples.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) samples.push_back(read_stats());
+  }
+  return gallery;
+}
+
+OpenSetIdentifier::OpenSetIdentifier(GesturePrintSystem& system, OpenSetConfig config)
+    : system_(system), gallery_(config) {
+  check_arg(system_.fitted(), "open-set wrapper needs a fitted system");
+}
+
+void OpenSetIdentifier::calibrate(const Dataset& dataset,
+                                  std::span<const std::size_t> genuine_indices) {
+  check_arg(genuine_indices.size() >= 8, "calibration needs several genuine samples");
+  std::vector<BiometricStats> raw;
+  std::vector<int> gestures;
+  raw.reserve(genuine_indices.size());
+  for (std::size_t idx : genuine_indices) {
+    raw.push_back(biometric_stats(dataset.samples[idx].cloud));
+    gestures.push_back(dataset.samples[idx].gesture);
+  }
+  gallery_.calibrate(raw, gestures);
+}
+
 OpenSetDecision OpenSetIdentifier::decide(const GestureCloud& cloud) {
-  check(calibrated_, "open-set identifier not calibrated");
+  check(gallery_.calibrated(), "open-set identifier not calibrated");
   const InferenceResult inference = system_.classify(cloud);
 
   OpenSetDecision decision;
   decision.gesture = inference.gesture;
-  decision.distance =
-      novelty_distance(inference.gesture, normalize(biometric_stats(cloud)));
-  if (decision.distance <= threshold_) {
+  decision.distance = gallery_.novelty(inference.gesture, biometric_stats(cloud));
+  if (gallery_.accepts(decision.distance)) {
     decision.accepted = true;
     decision.user = inference.user;
   }
@@ -185,7 +282,7 @@ OpenSetEvaluation OpenSetIdentifier::evaluate(const Dataset& genuine,
   check_arg(!genuine_idx.empty() && !impostors.empty(), "open-set eval needs both cohorts");
 
   OpenSetEvaluation eval;
-  eval.threshold = threshold_;
+  eval.threshold = gallery_.threshold();
 
   std::size_t accepted = 0;
   std::size_t accepted_correct = 0;

@@ -11,10 +11,17 @@
 // pace, range of motion). Rejection therefore scores novelty as the mean
 // distance to the k nearest enrolled gallery samples in a z-scored
 // biometric-statistics space, per recognised gesture.
+//
+// The gallery itself is a value type (BiometricGallery) so that gp::enroll
+// can carry one inside the serve process: calibrate once from the enrolled
+// training split, score live segments, and grow it incrementally as new
+// users are admitted — without re-running the full calibration.
 #pragma once
 
 #include <array>
+#include <iosfwd>
 #include <map>
+#include <vector>
 
 #include "system/gestureprint.hpp"
 
@@ -36,6 +43,65 @@ using BiometricStats = std::array<double, kBiometricDims>;
 /// mean |v|, std v, point density, centroid z, and a 4-bin temporal height
 /// profile of the motion].
 BiometricStats biometric_stats(const GestureCloud& cloud);
+
+/// Per-gesture gallery of z-scored biometric descriptors with a calibrated
+/// novelty threshold. Pure value type: no model reference, copyable,
+/// serializable ("GPBG"), and incrementally growable — `enroll_sample`
+/// inserts new descriptors under the *frozen* calibration z-statistics so
+/// the novelty geometry of already-enrolled users never shifts.
+class BiometricGallery {
+ public:
+  explicit BiometricGallery(OpenSetConfig config = {});
+
+  /// Computes z-scoring statistics over the raw descriptors, builds the
+  /// per-gesture gallery, and calibrates the acceptance threshold to the
+  /// target FRR via leave-one-out novelty distances. Needs >= 8 samples.
+  void calibrate(const std::vector<BiometricStats>& raw, const std::vector<int>& gestures);
+
+  /// Novelty distance of a raw (un-normalized) descriptor for `gesture`.
+  /// Unseen gestures score maximally novel (numeric max).
+  double novelty(int gesture, const BiometricStats& raw) const;
+
+  /// Whether a novelty distance passes the calibrated threshold.
+  bool accepts(double distance) const { return distance <= threshold_; }
+
+  /// Adds one raw descriptor to the gallery under the frozen calibration
+  /// z-statistics (incremental enrollment; threshold unchanged).
+  void enroll_sample(int gesture, const BiometricStats& raw);
+
+  /// z-scores a descriptor with the calibration statistics. Exposed so
+  /// candidate clustering (gp::enroll) operates in the same metric space
+  /// the novelty decision uses.
+  BiometricStats normalize(const BiometricStats& stats) const;
+
+  /// Mean distance to the k nearest gallery descriptors for this gesture.
+  /// `exclude` skips exactly one copy of self (leave-one-out calibration).
+  double novelty_normalized(int gesture, const BiometricStats& normalized,
+                            const BiometricStats* exclude = nullptr) const;
+
+  double threshold() const { return threshold_; }
+  bool calibrated() const { return calibrated_; }
+  const OpenSetConfig& config() const { return config_; }
+  /// The frozen calibration z-statistics (gp::enroll fingerprints these to
+  /// bind persisted buffers to the calibration that z-scored them).
+  const BiometricStats& z_mean() const { return mean_; }
+  const BiometricStats& z_stddev() const { return stddev_; }
+  /// Total descriptors across all gestures.
+  std::size_t size() const;
+
+  /// Round-trips the calibrated gallery ("GPBG" tag, hardened reader path;
+  /// throws SerializationError on corruption).
+  void save(std::ostream& out) const;
+  static BiometricGallery load(std::istream& in);
+
+ private:
+  OpenSetConfig config_;
+  std::map<int, std::vector<BiometricStats>> gallery_;  ///< gesture -> z-scored descriptors
+  BiometricStats mean_{};
+  BiometricStats stddev_{};
+  double threshold_ = 0.0;
+  bool calibrated_ = false;
+};
 
 /// Decision for one sample under open-set identification.
 struct OpenSetDecision {
@@ -72,23 +138,13 @@ class OpenSetIdentifier {
   OpenSetEvaluation evaluate(const Dataset& genuine, std::span<const std::size_t> genuine_idx,
                              const std::vector<GestureCloud>& impostors);
 
-  double threshold() const { return threshold_; }
-  bool calibrated() const { return calibrated_; }
+  double threshold() const { return gallery_.threshold(); }
+  bool calibrated() const { return gallery_.calibrated(); }
+  const BiometricGallery& gallery() const { return gallery_; }
 
  private:
-  /// z-scores a descriptor with the calibration statistics.
-  BiometricStats normalize(const BiometricStats& stats) const;
-  /// Mean distance to the k nearest gallery descriptors for this gesture.
-  double novelty_distance(int gesture, const BiometricStats& normalized,
-                          const BiometricStats* exclude = nullptr) const;
-
   GesturePrintSystem& system_;
-  OpenSetConfig config_;
-  std::map<int, std::vector<BiometricStats>> gallery_;  ///< gesture -> z-scored descriptors
-  BiometricStats mean_{};
-  BiometricStats stddev_{};
-  double threshold_ = 0.0;
-  bool calibrated_ = false;
+  BiometricGallery gallery_;
 };
 
 }  // namespace gp

@@ -11,7 +11,9 @@
 #include "nn/quant.hpp"
 #include "nn/serialize_nn.hpp"
 #include "pointcloud/io.hpp"
+#include "enroll/buffer.hpp"
 #include "serve/config.hpp"
+#include "system/open_set.hpp"
 
 namespace gp::testkit {
 
@@ -164,6 +166,52 @@ std::string wire_results_seed() {
   return cluster::encode_message(msg);
 }
 
+std::string enroll_buffer_seed() {
+  Rng rng(0xC0FFEE07ULL, 21);
+  enroll::EnrollmentBuffer::Config config;
+  config.max_candidates = 3;
+  config.buffer_cap = 4;
+  config.candidate_radius = 2.0;
+  enroll::EnrollmentBuffer buffer(config);
+  for (int i = 0; i < 5; ++i) {
+    enroll::EnrollObservation obs;
+    obs.session_id = static_cast<std::uint64_t>(1 + i % 2);
+    obs.ordinal = static_cast<std::uint64_t>(i);
+    obs.gesture = i % 2;
+    for (std::size_t d = 0; d < kBiometricDims; ++d) {
+      obs.raw[d] = rng.uniform(0.0, 2.0);
+      // Two well-separated clusters so the seed exercises both the join and
+      // the found-new-candidate paths.
+      obs.normalized[d] = rng.uniform(-0.3, 0.3) + (i % 2 == 0 ? 0.0 : 8.0);
+    }
+    obs.cloud.num_frames = 4;
+    obs.cloud.first_frame = 2;
+    obs.cloud.duration_s = 0.4;
+    for (int pt = 0; pt < 6; ++pt) obs.cloud.points.push_back(seed_point(rng, 2 + pt / 2));
+    (void)buffer.admit(std::move(obs));
+  }
+  std::ostringstream out(std::ios::binary);
+  buffer.save(out, kEnrollSeedFingerprint);
+  return out.str();
+}
+
+std::string biometric_gallery_seed() {
+  Rng rng(0xC0FFEE08ULL, 22);
+  std::vector<BiometricStats> raw;
+  std::vector<int> gestures;
+  for (int i = 0; i < 12; ++i) {
+    BiometricStats stats{};
+    for (std::size_t d = 0; d < kBiometricDims; ++d) stats[d] = rng.uniform(0.2, 3.0);
+    raw.push_back(stats);
+    gestures.push_back(i % 2);
+  }
+  BiometricGallery gallery;
+  gallery.calibrate(raw, gestures);
+  std::ostringstream out(std::ios::binary);
+  gallery.save(out);
+  return out.str();
+}
+
 std::vector<std::string> write_corpus(const std::string& dir) {
   std::filesystem::create_directories(dir);
   const std::vector<std::pair<std::string, std::string>> entries = {
@@ -174,6 +222,8 @@ std::vector<std::string> write_corpus(const std::string& dir) {
       {"quant_gpq8.bin", quant_tables_seed()},
       {"wire_frame_gpwm.bin", wire_frame_seed()},
       {"wire_results_gpwm.bin", wire_results_seed()},
+      {"enroll_gpeb.bin", enroll_buffer_seed()},
+      {"gallery_gpbg.bin", biometric_gallery_seed()},
   };
   std::vector<std::string> names;
   for (const auto& [name, payload] : entries) {

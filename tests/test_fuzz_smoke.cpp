@@ -26,6 +26,7 @@
 #include "common/csv.hpp"
 #include "common/error.hpp"
 #include "datasets/cache.hpp"
+#include "enroll/buffer.hpp"
 #include "health/slo.hpp"
 #include "nn/quant.hpp"
 #include "nn/serialize_nn.hpp"
@@ -52,6 +53,8 @@ std::vector<std::string> corpus() {
   seeds.push_back(testkit::quant_tables_seed());
   seeds.push_back(testkit::wire_frame_seed());
   seeds.push_back(testkit::wire_results_seed());
+  seeds.push_back(testkit::enroll_buffer_seed());
+  seeds.push_back(testkit::biometric_gallery_seed());
   seeds.push_back("");  // the degenerate seed every parser must survive
   return seeds;
 }
@@ -244,6 +247,34 @@ TEST(FuzzSmoke, ClusterWireControlDecoders) {
         // Re-throw one typed rejection when nothing accepted, so the fuzz
         // accounting still distinguishes accepted from rejected payloads.
         if (!accepted) (void)cluster::decode_ack(payload);
+      });
+  expect_clean(outcome);
+}
+
+// The GPEB enrollment-buffer reader (gp::enroll, DESIGN.md §13) restores
+// persisted candidate state across process restarts: unvalidated counts,
+// out-of-range candidate ids/gestures/quality bytes and a wrong calibration
+// fingerprint must all surface as SerializationError — never a crash or an
+// unchecked allocation.
+TEST(FuzzSmoke, EnrollBufferDecoder) {
+  const auto outcome = testkit::fuzz_target(
+      "enroll/buffer_load", corpus(),
+      [](const std::string& payload) {
+        std::istringstream in(payload, std::ios::binary);
+        (void)enroll::EnrollmentBuffer::load(in, testkit::kEnrollSeedFingerprint);
+      });
+  expect_clean(outcome);
+}
+
+// The GPBG biometric-gallery reader: the calibration a serve-side novelty
+// gate restores at startup. Zero/negative stddevs (division hazards), bogus
+// FRR targets and forged per-gesture counts must die typed.
+TEST(FuzzSmoke, BiometricGalleryDecoder) {
+  const auto outcome = testkit::fuzz_target(
+      "system/biometric_gallery_load", corpus(),
+      [](const std::string& payload) {
+        std::istringstream in(payload, std::ios::binary);
+        (void)BiometricGallery::load(in);
       });
   expect_clean(outcome);
 }

@@ -441,6 +441,44 @@ TEST(GoldenSnapshot, ClusterBenchSchemaMatchesGolden) {
   EXPECT_TRUE(outcome.ok) << outcome.message;
 }
 
+TEST(GoldenSnapshot, EnrollBenchSchemaMatchesGolden) {
+  // Exemplar BENCH_enroll.json (bench/enroll_bench.cpp): the key-path set of
+  // the enrollment-as-a-service artifact, values arbitrary.
+  obs::EnrollOpenSetRow before;
+  before.phase = "before";
+  before.eer = 0.21;
+  before.threshold = 2.4;
+  before.genuine_accept = 0.95;
+  before.newcomer_reject = 0.88;
+  obs::EnrollOpenSetRow after = before;
+  after.phase = "after";
+  after.eer = 0.04;
+  after.newcomer_reject = 0.1;
+  obs::EnrollServeSummary serve;
+  serve.ticks = 160;
+  serve.results = 9;
+  serve.expected_results = 9;
+  serve.novelty_rejections = 6;
+  serve.candidates_founded = 1;
+  serve.fine_tunes = 1;
+  serve.users_enrolled = 1;
+  serve.published_version = 2;
+  obs::EnrollLatencySummary to_live;
+  to_live.count = 1;
+  to_live.p50_ms = 850.0;
+  to_live.p95_ms = 850.0;
+  to_live.p99_ms = 850.0;
+  const std::string bench = obs::enroll_bench_json(4, 4, {before, after}, serve, to_live);
+
+  testkit::Snapshot snap;
+  snap.add(testkit::summarize_json_schema("bench.enroll_schema",
+                                          obs::json::parse(bench)));
+  const testkit::GoldenOutcome outcome =
+      testkit::check_golden(g_golden, "bench_enroll_schema", snap);
+  if (outcome.updated) std::cout << outcome.message;
+  EXPECT_TRUE(outcome.ok) << outcome.message;
+}
+
 }  // namespace
 }  // namespace gp
 
